@@ -1,0 +1,86 @@
+"""Ablation bench (ours): per-stereotype application & validation cost.
+
+DESIGN.md calls out the profile mechanism as a design choice (python rules
+vs OCL for the relational Table 3 constraints); this bench measures what
+each stereotype costs to apply and validate, and compares the OCL-checked
+stereotypes against the python-rule ones.
+"""
+
+import pytest
+
+from repro.casestudy.easychair import build_uml_model
+from repro.dqwebre.profile import DQWEBRE_STEREOTYPES, build_dqwebre_profile
+from repro.uml import classes, elements, profiles, usecases
+from repro.uml.profiles import validate_applications
+from repro.webre.profile import build_webre_profile
+
+#: Minimal tag payloads per stereotype (required tags only).
+TAGS = {
+    "DQ_Req_Specification": {"ID": 1, "Text": "spec"},
+    "DQConstraint": {
+        "DQConstraint": ["score"], "lower_bound": 0, "upper_bound": 5,
+    },
+}
+
+
+def fresh_target(model, stereotype_name):
+    """An element of the right base class, wired so constraints pass."""
+    webre = build_webre_profile()
+    if stereotype_name in ("InformationCase", "DQ_Requirement"):
+        process = usecases.use_case(model, "process")
+        profiles.apply_stereotype(
+            process, profiles.find_stereotype(webre, "WebProcess")
+        )
+        case = usecases.use_case(model, "ic")
+        if stereotype_name == "InformationCase":
+            usecases.include(process, case)
+            return case
+        dq_profile = build_dqwebre_profile()
+        profiles.apply_stereotype(
+            case, profiles.find_stereotype(dq_profile, "InformationCase")
+        )
+        usecases.include(process, case)
+        requirement = usecases.use_case(model, "dqr")
+        usecases.include(requirement, case)
+        return requirement
+    if stereotype_name == "Add_DQ_Metadata":
+        from repro.uml import activities
+
+        activity = activities.activity(model, "flow")
+        return activities.action(activity, "store metadata")
+    if stereotype_name == "DQ_Req_Specification":
+        from repro.uml import requirements
+
+        return requirements.requirement(model, "spec")
+    # class stereotypes
+    cls = classes.class_(model, f"{stereotype_name} class")
+    if stereotype_name == "DQConstraint":
+        dq_profile = build_dqwebre_profile()
+        validator = classes.class_(model, "validator")
+        profiles.apply_stereotype(
+            validator, profiles.find_stereotype(dq_profile, "DQ_Validator")
+        )
+        classes.associate(model, cls, validator)
+    return cls
+
+
+@pytest.mark.parametrize("stereotype_name", DQWEBRE_STEREOTYPES)
+def test_apply_and_validate_stereotype(benchmark, stereotype_name):
+    profile = build_dqwebre_profile()
+    stereotype = profiles.find_stereotype(profile, stereotype_name)
+    tags = TAGS.get(stereotype_name, {})
+
+    def run():
+        model = elements.model("bench")
+        target = fresh_target(model, stereotype_name)
+        profiles.apply_stereotype(target, stereotype, **tags)
+        return validate_applications(model)
+
+    diagnostics = benchmark(run)
+    assert diagnostics == [], (stereotype_name, diagnostics)
+
+
+def test_validate_full_case_study_profile(benchmark):
+    case = build_uml_model()
+    diagnostics = benchmark(validate_applications, case["model"])
+    assert diagnostics == []

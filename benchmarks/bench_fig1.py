@@ -1,0 +1,18 @@
+"""Fig. 1 — the extended metamodel with DQ elements.
+
+Regenerates the class diagram, asserts it contains the WebRE base and all
+seven highlighted DQ additions, and times the rendering.
+"""
+
+from repro.reports import figures
+
+
+def test_figure1_regeneration(benchmark):
+    source = benchmark(figures.figure1)
+    for name in ("WebProcess", "UserTransaction", "Node", "Content", "WebUI",
+                 "InformationCase", "DQ_Requirement", "DQ_Req_Specification",
+                 "Add_DQ_Metadata", "DQ_Metadata", "DQ_Validator",
+                 "DQConstraint"):
+        assert name in source, name
+    highlighted = [l for l in source.splitlines() if "#D5E8D4" in l]
+    assert len(highlighted) == 7  # exactly the Fig. 1 additions

@@ -1,0 +1,11 @@
+"""Fig. 2 — the new UseCase stereotypes of the DQ_WebRE profile."""
+
+from repro.reports import figures
+
+
+def test_figure2_regeneration(benchmark):
+    source = benchmark(figures.figure2)
+    assert "InformationCase" in source
+    assert "DQ_Requirement" in source
+    assert "M_UseCase" in source           # extends the UseCase metaclass
+    assert "DQ_Metadata" not in source     # class stereotypes live in Fig. 4

@@ -1,0 +1,10 @@
+"""Fig. 3 — the new Activity stereotype (Add_DQ_Metadata)."""
+
+from repro.reports import figures
+
+
+def test_figure3_regeneration(benchmark):
+    source = benchmark(figures.figure3)
+    assert "Add_DQ_Metadata" in source
+    assert "M_Activity" in source
+    assert "InformationCase" not in source

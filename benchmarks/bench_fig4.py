@@ -1,0 +1,13 @@
+"""Fig. 4 — the new Class stereotypes (DQ_Metadata/DQ_Validator/DQConstraint)."""
+
+from repro.reports import figures
+
+
+def test_figure4_regeneration(benchmark):
+    source = benchmark(figures.figure4)
+    for name in ("DQ_Metadata", "DQ_Validator", "DQConstraint"):
+        assert name in source, name
+    # Table 3's tagged values appear on the stereotype boxes
+    assert "DQ_metadata : string_set" in source
+    assert "upper_bound : integer" in source
+    assert "lower_bound : integer" in source

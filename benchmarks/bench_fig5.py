@@ -1,0 +1,16 @@
+"""Fig. 5 — the DQ_Req_Specification requirement element."""
+
+from repro.reports import figures
+
+
+def test_figure5_regeneration(benchmark):
+    source = benchmark(figures.figure5)
+    assert "DQ_Req_Specification" in source
+    assert "ID : integer" in source
+    assert "Text : string" in source
+
+
+def test_figure5_requirements_diagram_usage():
+    source = figures.figure5_requirements_diagram()
+    assert "<<requirement>>" in source
+    assert "<<refine>>" in source

@@ -1,0 +1,24 @@
+"""Fig. 6 — the EasyChair use case diagram specifying DQ requirements.
+
+Rebuilds the UML case study model and renders the use case diagram; asserts
+the paper's elements: the PC member actor, the WebProcess, the
+InformationCase, the four DQ_Requirement use cases and their includes.
+"""
+
+from repro.casestudy.easychair import build_uml_model
+from repro.diagrams import plantuml
+
+
+def _regenerate() -> str:
+    case = build_uml_model()
+    return plantuml.usecase_diagram(case["usecases_package"])
+
+
+def test_figure6_regeneration(benchmark):
+    source = benchmark(_regenerate)
+    assert 'actor "PC member"' in source
+    assert "Add new review to submission" in source
+    assert "Add all data as result of review" in source
+    assert source.count("<<DQ_Requirement>>") == 4
+    assert source.count("<<include>>") == 5  # process->IC + 4 DQRs->IC
+    assert "first_name" in source            # the Fig. 6 data comment

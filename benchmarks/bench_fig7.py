@@ -1,0 +1,35 @@
+"""Fig. 7 — the EasyChair activity diagram with DQ management.
+
+Rebuilds the UML case study and renders the activity diagram; asserts the
+paper's five UserTransactions, the two Add_DQ_Metadata activities, the two
+validator actions and the WebUI object node.
+"""
+
+from repro.casestudy.easychair import build_uml_model
+from repro.diagrams import plantuml
+
+FIG7_ACTIONS = (
+    "add reviewer information",
+    "add evaluation scores",
+    "add additional scores",
+    "add detailed information of review",
+    "add comments for PC",
+    "store metadata of traceability",
+    "add metadata about confidentiality",
+    "Verify Precision of data",
+    "Check Completeness of entered data",
+)
+
+
+def _regenerate() -> str:
+    case = build_uml_model()
+    return plantuml.activity_diagram(case["activity"])
+
+
+def test_figure7_regeneration(benchmark):
+    source = benchmark(_regenerate)
+    for action in FIG7_ACTIONS:
+        assert action in source, action
+    assert "webpage of New Review" in source
+    assert source.count("<<UserTransaction>>") == 5
+    assert source.count("<<Add_DQ_Metadata>>") == 2

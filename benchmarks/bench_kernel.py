@@ -1,0 +1,89 @@
+"""Kernel micro-benches: the cost basis everything else sits on.
+
+Object creation, feature mutation, tree traversal, cloning and diffing at a
+fixed model size, so kernel regressions surface even when the higher-level
+benches hide them behind caching.
+"""
+
+import pytest
+
+from repro.core import MANY, STRING, INTEGER, MetaPackage, global_registry, walk
+from repro.core.diff import clone_tree, diff
+
+
+def _package():
+    pkg = MetaPackage("kbench", "urn:test:kbench")
+    item = pkg.define_class("Item")
+    item.attribute("name", STRING, lower=1)
+    item.attribute("rank", INTEGER, default=0)
+    box = pkg.define_class("Box")
+    box.attribute("name", STRING, lower=1)
+    box.reference("items", item, upper=MANY, containment=True, opposite="box")
+    item.reference("box", box)
+    box.reference("featured", item)
+    return pkg.resolve()
+
+
+PKG = global_registry.by_uri("urn:test:kbench") or global_registry.register(
+    _package()
+)
+ITEM = PKG.find_class("Item")
+BOX = PKG.find_class("Box")
+
+
+def build_box(size: int):
+    box = BOX.create(name="box")
+    for index in range(size):
+        box.items.append(ITEM.create(name=f"item-{index}", rank=index))
+    box.featured = box.items[0]
+    return box
+
+
+def test_object_creation(benchmark):
+    def create():
+        return build_box(100)
+
+    box = benchmark(create)
+    assert len(box.items) == 100
+
+
+def test_attribute_mutation(benchmark):
+    box = build_box(100)
+
+    def mutate():
+        for item in box.items:
+            item.rank = item.rank + 1
+        return box.items[0].rank
+
+    rank = benchmark(mutate)
+    assert rank >= 1
+
+
+def test_walk(benchmark):
+    box = build_box(500)
+    count = benchmark(lambda: sum(1 for __ in walk(box)))
+    assert count == 501
+
+
+def test_clone(benchmark):
+    box = build_box(200)
+    copy = benchmark(clone_tree, box)
+    assert len(copy.items) == 200
+    assert copy.featured is copy.items[0]
+
+
+def test_diff_identical(benchmark):
+    box = build_box(200)
+    copy = clone_tree(box)
+    changes = benchmark(diff, box, copy)
+    assert changes == []
+
+
+@pytest.mark.parametrize("edits", [1, 20])
+def test_diff_with_edits(benchmark, edits):
+    box = build_box(200)
+    copy = clone_tree(box)
+    for index in range(edits):
+        copy.items[index].rank = 9999
+    changes = benchmark(diff, box, copy)
+    assert len(changes) == edits

@@ -1,0 +1,36 @@
+"""Scaling bench (ours): OCL-lite parse and evaluation throughput.
+
+Times the constraint language that powers profile/well-formedness checks,
+from trivial navigations to nested iterators, over the EasyChair model.
+"""
+
+import pytest
+
+from repro.core.ocl import OclExpression, parse
+
+EXPRESSIONS = {
+    "navigation": "self.name",
+    "collection-size": "self.dq_requirements->size() = 4",
+    "select": "self.contents->select(c | c.attributes->size() > 1)->size()",
+    "forall-nested": (
+        "self.information_cases->forAll(ic | "
+        "ic.contents->forAll(c | c.attributes->notEmpty()))"
+    ),
+    "exists-chain": (
+        "self.dq_validators->exists(v | "
+        "v.operations->includes('check_precision'))"
+    ),
+}
+
+
+@pytest.mark.parametrize("label", sorted(EXPRESSIONS))
+def test_ocl_evaluation(benchmark, easychair_model, label):
+    expression = OclExpression(EXPRESSIONS[label])
+    result = benchmark(expression.evaluate, easychair_model)
+    assert result is not None
+
+
+def test_ocl_parse_throughput(benchmark):
+    text = EXPRESSIONS["forall-nested"]
+    expression = benchmark(parse, text)
+    assert expression.text == text

@@ -1,0 +1,55 @@
+"""Benches for the pipeline extensions: SRS generation, methodology
+assessment, navigation analysis, and the second (web-shop) case study."""
+
+from repro.casestudy import webshop
+from repro.casestudy.easychair import build_requirements_model
+from repro.dq.metadata import Clock
+from repro.dqwebre.methodology import assess
+from repro.runtime.navigation import NavigationGraph, check_navigations
+from repro.transform.docgen import generate_srs
+
+
+def test_srs_generation(benchmark, easychair_model):
+    document = benchmark(generate_srs, easychair_model)
+    assert "## 5. Traceability matrix" in document
+    assert document.count("### 4.") == 4  # one per DQ requirement
+
+
+def test_methodology_assessment(benchmark, easychair_model):
+    report = benchmark(assess, easychair_model)
+    assert report.complete
+    assert len(report.results) == 10
+
+
+def test_navigation_analysis(benchmark, easychair_model):
+    def analyse():
+        graph = NavigationGraph(easychair_model)
+        return graph, check_navigations(easychair_model)
+
+    graph, problems = benchmark(analyse)
+    assert problems == []
+    assert "new review" in graph.node_names
+
+
+def test_webshop_build_and_enforce(benchmark):
+    """The second case study end to end: build app, accept 1, reject 4."""
+
+    def run():
+        app = webshop.build_app(Clock())
+        statuses = [
+            app.post(webshop.ORDER_PATH, webshop.valid_order(),
+                     user="clerk").status,
+            app.post(webshop.ORDER_PATH,
+                     webshop.valid_order(sku=None), user="clerk").status,
+            app.post(webshop.ORDER_PATH,
+                     webshop.valid_order(quantity=5000), user="clerk").status,
+            app.post(webshop.ORDER_PATH,
+                     webshop.valid_order(channel="darkweb"),
+                     user="clerk").status,
+            app.post(webshop.ORDER_PATH,
+                     webshop.valid_order(total_cents=1), user="clerk").status,
+        ]
+        return statuses
+
+    statuses = benchmark(run)
+    assert statuses == [201, 422, 422, 422, 422]

@@ -1,0 +1,85 @@
+"""The headline comparison: DQ-aware application vs no-DQ baseline.
+
+This is the paper's implicit evaluation (§1): a web application customized
+with DQ software requirements vs the status-quo application that stores
+whatever arrives.  Expected shape, which the assertions pin down:
+
+* the DQ-aware app **rejects every defective submission** (catch rate 1.0)
+  at a modest latency overhead per request;
+* the baseline is faster per request but **stores every defect** —
+  the "post-mortem cleansing" debt the paper argues against.
+"""
+
+import pytest
+
+from repro.casestudy import easychair
+from repro.casestudy.workloads import ReviewWorkload
+from repro.dq.metadata import Clock
+
+
+def run_workload(app, count=200, seed=7):
+    return ReviewWorkload(seed=seed).run(app, count)
+
+
+def test_dq_aware_app_throughput(benchmark):
+    def build_and_run():
+        app = easychair.build_app(Clock())
+        return run_workload(app)
+
+    outcome = benchmark(build_and_run)
+    assert outcome.false_accepts == 0
+    assert outcome.false_rejects == 0
+    assert outcome.catch_rate == 1.0
+
+
+def test_baseline_app_throughput(benchmark):
+    def build_and_run():
+        app = easychair.build_baseline(Clock())
+        return run_workload(app)
+
+    outcome = benchmark(build_and_run)
+    assert outcome.rejected_dq == 0 and outcome.rejected_auth == 0
+    assert outcome.false_accepts > 0  # the baseline stores the defects
+
+
+def test_single_clean_submit_dq(benchmark):
+    app = easychair.build_app(Clock())
+    form = app.forms[0].name
+    payload = easychair.complete_review()
+
+    def submit():
+        return app.submit(form, payload, "pc_member_1")
+
+    stored = benchmark(submit)
+    assert stored.metadata.stored_by == "pc_member_1"
+
+
+def test_single_clean_submit_baseline(benchmark):
+    app = easychair.build_baseline(Clock())
+    form = app.forms[0].name
+    payload = easychair.complete_review()
+
+    def submit():
+        return app.submit(form, payload, "pc_member_1")
+
+    stored = benchmark(submit)
+    assert stored.record_id >= 1
+
+
+@pytest.mark.parametrize("defect_rate", [0.0, 0.3, 0.9])
+def test_catch_rate_across_defect_mixes(benchmark, defect_rate):
+    """Catch rate stays 1.0 regardless of how dirty the workload is."""
+
+    def build_and_run():
+        app = easychair.build_app(Clock())
+        workload = ReviewWorkload(
+            seed=3,
+            missing_rate=defect_rate,
+            out_of_range_rate=defect_rate,
+            unauthorized_rate=defect_rate / 3,
+        )
+        return workload.run(app, 100)
+
+    outcome = benchmark(build_and_run)
+    assert outcome.false_accepts == 0
+    assert outcome.catch_rate == 1.0

@@ -1,0 +1,44 @@
+"""Scaling bench (ours): XMI / JSON round-trip time vs model size."""
+
+import pytest
+
+from repro.core import global_registry
+from repro.core.serialization import jsonio, xmi
+
+from .bench_validation_scaling import build_model
+
+
+@pytest.mark.parametrize("cases", [10, 100])
+class TestJsonRoundTrip:
+    def test_dumps(self, benchmark, cases):
+        model = build_model(cases)
+        text = benchmark(jsonio.dumps, model)
+        assert "dq_requirements" in text
+
+    def test_loads(self, benchmark, cases):
+        model = build_model(cases)
+        text = jsonio.dumps(model)
+        restored = benchmark(jsonio.loads, text, global_registry)
+        assert len(restored.information_cases) == cases
+
+
+@pytest.mark.parametrize("cases", [10, 100])
+class TestXmiRoundTrip:
+    def test_dumps(self, benchmark, cases):
+        model = build_model(cases)
+        text = benchmark(xmi.dumps, model)
+        assert "xmi" in text
+
+    def test_loads(self, benchmark, cases):
+        model = build_model(cases)
+        text = xmi.dumps(model)
+        restored = benchmark(xmi.loads, text, global_registry)
+        assert len(restored.information_cases) == cases
+
+
+def test_round_trip_identity_easychair(benchmark, easychair_model):
+    def round_trip():
+        return jsonio.loads(jsonio.dumps(easychair_model), global_registry)
+
+    restored = benchmark(round_trip)
+    assert jsonio.to_dict(restored) == jsonio.to_dict(easychair_model)

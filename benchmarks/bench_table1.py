@@ -1,0 +1,25 @@
+"""Table 1 — the ISO/IEC 25012 data quality characteristics.
+
+Regenerates the table, asserts the 15 rows / 3 groups the paper prints,
+and times the regeneration.
+"""
+
+from repro.reports import tables
+
+
+def _regenerate() -> str:
+    return tables.table1()
+
+
+def test_table1_regeneration(benchmark):
+    rows = tables.table1_rows()
+    assert len(rows) == 15
+    groups = [row[0] for row in rows]
+    assert groups.count("Inherent") == 5
+    assert groups.count("Inherent and System dependent") == 7
+    assert groups.count("System dependent") == 3
+    assert [row[1] for row in rows][:3] == [
+        "Accuracy", "Completeness", "Consistency",
+    ]
+    text = benchmark(_regenerate)
+    assert "Table 1" in text and "Recoverability" in text

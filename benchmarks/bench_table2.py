@@ -1,0 +1,25 @@
+"""Table 2 — the nine WebRE metamodel elements.
+
+Checks that the regenerated rows are exactly the paper's, and that each
+element really exists as an instantiable (or abstract) metaclass.
+"""
+
+from repro.reports import tables
+from repro.webre.metamodel import WEBRE
+
+
+def _regenerate() -> str:
+    return tables.table2()
+
+
+def test_table2_regeneration(benchmark):
+    rows = tables.table2_rows()
+    assert [row[0] for row in rows] == [
+        "WebUser", "Navigation", "WebProcess", "Browse", "Search",
+        "UserTransaction", "Node", "Content", "WebUI",
+    ]
+    for name, description in rows:
+        assert WEBRE.find_class(name) is not None, name
+        assert description
+    text = benchmark(_regenerate)
+    assert "Table 2" in text and "UserTransaction" in text

@@ -1,0 +1,41 @@
+"""Scaling bench (ours): requirements → design transformation + codegen."""
+
+import pytest
+
+from repro.transform.codegen import generate_app_module
+from repro.transform.req2design import transform
+
+from .bench_validation_scaling import build_model
+
+
+@pytest.mark.parametrize("cases", [10, 50, 200])
+def test_req2design_scales(benchmark, cases):
+    model = build_model(cases)
+    result = benchmark(transform, model)
+    design = result.primary
+    # one entity per Content plus one composite per InformationCase
+    assert len(design.entities) == 2 * cases
+    assert len(design.forms) == cases
+    assert len(design.validators) == 2 * cases
+
+
+def test_easychair_transform(benchmark, easychair_model):
+    result = benchmark(transform, easychair_model)
+    design = result.primary
+    assert len(design.forms) == 1
+    assert {v.kind for v in design.validators} == {
+        "completeness", "precision",
+    }
+
+
+def test_codegen(benchmark, easychair_design):
+    source = benchmark(generate_app_module, easychair_design)
+    compile(source, "generated.py", "exec")
+    assert "build_app" in source
+
+
+@pytest.mark.parametrize("cases", [50])
+def test_codegen_scales(benchmark, cases):
+    design = transform(build_model(cases)).primary
+    source = benchmark(generate_app_module, design)
+    assert source.count("register_form") >= cases

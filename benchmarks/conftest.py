@@ -1,0 +1,22 @@
+"""Shared fixtures for the benchmark harness.
+
+Every bench regenerates a paper artifact (or measures our tooling) and
+asserts the expected *shape* before timing, so a silent regression cannot
+hide behind a fast wrong answer.
+"""
+
+import pytest
+
+from repro.casestudy import easychair
+
+
+@pytest.fixture(scope="session")
+def easychair_model():
+    return easychair.build_requirements_model()
+
+
+@pytest.fixture(scope="session")
+def easychair_design(easychair_model):
+    from repro.transform.req2design import transform
+
+    return transform(easychair_model).primary

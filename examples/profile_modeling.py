@@ -1,0 +1,92 @@
+"""Working at the UML level: profiles, stereotypes and diagrams.
+
+The paper's second artifact is a *UML profile* analysts use inside their
+IDE.  This example plays the analyst: it draws a use case diagram for a
+patient portal with WebRE + DQ_WebRE stereotypes, lets the profile
+validation catch a Table 3 violation, fixes it, and renders the diagrams
+as PlantUML and Mermaid.
+
+Run:  python examples/profile_modeling.py
+"""
+
+from repro.diagrams import mermaid, plantuml
+from repro.dqwebre.profile import build_dqwebre_profile
+from repro.uml import classes, elements, profiles, usecases
+from repro.webre.profile import build_webre_profile
+
+
+def main() -> None:
+    webre = build_webre_profile()
+    dqwebre = build_dqwebre_profile()
+
+    model = elements.model("PatientPortal")
+    elements.apply_profile(model, webre)
+    elements.apply_profile(model, dqwebre)
+    diagram = elements.package(model, "Use cases")
+
+    patient = usecases.actor(diagram, "Patient")
+    profiles.apply_stereotype(
+        patient, profiles.find_stereotype(webre, "WebUser")
+    )
+    book_visit = usecases.use_case(diagram, "Book a visit")
+    profiles.apply_stereotype(
+        book_visit, profiles.find_stereotype(webre, "WebProcess")
+    )
+    usecases.communicates(patient, book_visit)
+
+    manage_data = usecases.use_case(diagram, "Manage booking data")
+    profiles.apply_stereotype(
+        manage_data, profiles.find_stereotype(dqwebre, "InformationCase")
+    )
+    requirement = usecases.use_case(
+        diagram, "Verify insurance number format"
+    )
+    profiles.apply_stereotype(
+        requirement,
+        profiles.find_stereotype(dqwebre, "DQ_Requirement"),
+        characteristic="Accuracy",
+    )
+    usecases.include(requirement, manage_data)
+
+    # Deliberately wrong at first: the InformationCase is not yet related
+    # to any WebProcess (the Table 3 constraint).
+    print("== First validation: the profile catches the Table 3 violation ==")
+    for diagnostic in profiles.validate_applications(model):
+        print(" ", diagnostic.render())
+
+    # The fix: the WebProcess includes the InformationCase (as in Fig. 6).
+    usecases.include(book_visit, manage_data)
+    print("\n== After adding the include, the model is clean ==")
+    diagnostics = profiles.validate_applications(model)
+    print("  diagnostics:", diagnostics or "none")
+
+    # Structural side: DQConstraint must attach to a DQ_Validator.
+    structure = elements.package(model, "Structure")
+    validator = classes.class_(structure, "BookingValidator")
+    profiles.apply_stereotype(
+        validator, profiles.find_stereotype(dqwebre, "DQ_Validator")
+    )
+    classes.operation(validator, "check_format", "Boolean")
+    bounds = classes.class_(structure, "visit horizon")
+    profiles.apply_stereotype(
+        bounds,
+        profiles.find_stereotype(dqwebre, "DQConstraint"),
+        DQConstraint=["days_ahead"],
+        lower_bound=0,
+        upper_bound=180,
+    )
+    classes.associate(structure, bounds, validator, name="restricts")
+    assert profiles.validate_applications(model) == []
+
+    print("\n== Use case diagram (PlantUML) ==")
+    print(plantuml.usecase_diagram(diagram, title="Patient portal"))
+
+    print("\n== Class diagram (PlantUML) ==")
+    print(plantuml.class_diagram(structure, title="DQ structure"))
+
+    print("\n== Use case diagram (Mermaid) ==")
+    print(mermaid.usecase_diagram(diagram))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""repro — a reproduction of *Capturing data quality requirements for web
+applications by means of DQ_WebRE* (Guerra-García, Caballero & Piattini).
+
+The library layers bottom-up:
+
+* :mod:`repro.core` — a MOF-flavoured metamodeling kernel (metaclasses,
+  model objects, OCL-lite constraints, XMI/JSON serialization, diff);
+* :mod:`repro.uml` — a UML 2.x subset with a full profile mechanism;
+* :mod:`repro.webre` — the WebRE web-requirements metamodel and profile;
+* :mod:`repro.dq` — the data quality substrate (ISO/IEC 25012, dimensions,
+  DQR/DQSR, metrics, runtime validators);
+* :mod:`repro.dqwebre` — **the paper's contribution**: the extended
+  metamodel (Fig. 1) and the DQ_WebRE UML profile (Table 3), with a fluent
+  builder, well-formedness validation and DQR → DQSR derivation;
+* :mod:`repro.transform` — the MDA pipeline: QVT-lite transformations,
+  the design metamodel, templates and Python code generation;
+* :mod:`repro.runtime` — a simulated DQ-aware web application substrate
+  that *enforces* the captured requirements;
+* :mod:`repro.diagrams` — PlantUML / Mermaid / ASCII renderers;
+* :mod:`repro.casestudy` — the EasyChair case study (paper §4) and
+  synthetic workloads;
+* :mod:`repro.reports` — regenerates every table and figure of the paper.
+
+Quickstart::
+
+    from repro.dqwebre import DQWebREBuilder
+    from repro.transform.req2design import transform
+    from repro.runtime.dqengine import build_app
+
+    builder = DQWebREBuilder("My app")
+    # ... author users / contents / processes / DQ requirements ...
+    design = transform(builder.model).primary
+    app = build_app(design)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "core",
+    "uml",
+    "webre",
+    "dq",
+    "dqwebre",
+    "transform",
+    "runtime",
+    "diagrams",
+    "casestudy",
+    "reports",
+]

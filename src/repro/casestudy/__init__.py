@@ -1,0 +1,30 @@
+"""``repro.casestudy`` — the EasyChair case study (paper §4) and workloads."""
+
+from . import easychair, webshop, workloads
+from .easychair import (
+    ALL_REVIEW_FIELDS,
+    REVIEW_LIST_PATH,
+    REVIEW_PATH,
+    SCORE_BOUNDS,
+    build_app,
+    build_baseline,
+    build_design,
+    build_requirements_model,
+    build_uml_model,
+    complete_review,
+)
+from .workloads import (
+    ReviewWorkload,
+    Submission,
+    WorkloadOutcome,
+    compare_dq_vs_baseline,
+)
+
+__all__ = [
+    "easychair", "webshop", "workloads",
+    "build_requirements_model", "build_uml_model", "build_design",
+    "build_app", "build_baseline", "complete_review",
+    "ALL_REVIEW_FIELDS", "SCORE_BOUNDS", "REVIEW_PATH", "REVIEW_LIST_PATH",
+    "ReviewWorkload", "Submission", "WorkloadOutcome",
+    "compare_dq_vs_baseline",
+]

@@ -1,0 +1,491 @@
+"""The EasyChair case study — the paper's §4, Figs. 6 and 7.
+
+The paper demonstrates DQ_WebRE on the EasyChair conference system: the
+use case **"Add new review to submission"** performed by a **PC member**,
+with four data quality requirements on the review data:
+
+1. **Confidentiality** — "check that data will be accessed only by
+   authorized users";
+2. **Completeness** — "verify that all data have been completed by
+   reviewer";
+3. **Traceability** — "check who is able to add or change a revision";
+4. **Precision** — "validate the score assigned to each topic of revision".
+
+This module builds the case study twice, matching the paper's two artifacts:
+
+* :func:`build_requirements_model` — the **extended-metamodel** flavour
+  (instances of :mod:`repro.dqwebre.metamodel`), ready for validation,
+  transformation and code generation;
+* :func:`build_uml_model` — the **UML + profile** flavour: the Fig. 6 use
+  case diagram and the Fig. 7 activity diagram with DQ_WebRE stereotypes
+  applied, ready for diagram rendering and profile validation;
+
+plus :func:`build_app`, the runnable DQ-aware application generated from
+the requirements model.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core import MObject
+from repro.dq.metadata import Clock
+from repro.dqwebre import DQWebREBuilder
+from repro.dqwebre.profile import build_dqwebre_profile
+from repro.runtime.app import WebApp
+from repro.runtime.dqengine import build_app as build_app_from_design
+from repro.runtime.dqengine import build_baseline_app
+from repro.transform.req2design import transform
+from repro.uml import activities, classes, elements, profiles, requirements, usecases
+from repro.webre.profile import build_webre_profile
+
+#: The review form fields, grouped by the Content element that stores them.
+REVIEWER_INFO_FIELDS = ("first_name", "last_name", "email_address")
+EVALUATION_SCORE_FIELDS = ("overall_evaluation", "reviewer_confidence")
+ADDITIONAL_SCORE_FIELDS = ("originality", "significance", "presentation")
+DETAIL_FIELDS = ("detailed_comments",)
+PC_COMMENT_FIELDS = ("confidential_comments_for_pc",)
+
+#: Every field of the "Add new review" page, in form order.
+ALL_REVIEW_FIELDS = (
+    REVIEWER_INFO_FIELDS
+    + EVALUATION_SCORE_FIELDS
+    + ADDITIONAL_SCORE_FIELDS
+    + DETAIL_FIELDS
+    + PC_COMMENT_FIELDS
+)
+
+#: The DQConstraint bounds (EasyChair's usual scales).
+SCORE_BOUNDS = {
+    "overall_evaluation": (-3, 3),
+    "reviewer_confidence": (1, 5),
+    "originality": (1, 5),
+    "significance": (1, 5),
+    "presentation": (1, 5),
+}
+
+#: The traceability + confidentiality metadata of Fig. 7.
+TRACEABILITY_METADATA = (
+    "stored_by",
+    "stored_date",
+    "last_modified_by",
+    "last_modified_date",
+)
+CONFIDENTIALITY_METADATA = ("security_level", "available_to")
+
+#: The create-review endpoint (derived from the InformationCase name).
+REVIEW_PATH = "/add-all-data-as-result-of-review"
+REVIEW_LIST_PATH = "/add-all-data-as-result-of-review/list"
+
+
+# ---------------------------------------------------------------------------
+# Metamodel flavour (DQWebREModel)
+# ---------------------------------------------------------------------------
+
+
+def build_requirements_model() -> MObject:
+    """The EasyChair DQ_WebRE requirements model (metamodel flavour)."""
+    builder = DQWebREBuilder("EasyChair")
+
+    author = builder.web_user("Author", "submits papers")
+    pc_member = builder.web_user("PC member", "reviews assigned papers")
+    chair = builder.web_user("Chair", "manages the programme committee")
+
+    reviewer_info = builder.content(
+        "information of reviewer", REVIEWER_INFO_FIELDS
+    )
+    evaluation_scores = builder.content(
+        "evaluation scores", EVALUATION_SCORE_FIELDS
+    )
+    additional_scores = builder.content(
+        "additional scores", ADDITIONAL_SCORE_FIELDS
+    )
+    review_details = builder.content(
+        "detailed information of review", DETAIL_FIELDS
+    )
+    pc_comments = builder.content("comments for PC", PC_COMMENT_FIELDS)
+    submission = builder.content(
+        "submission", ("title", "abstract", "authors")
+    )
+
+    review_page = builder.web_ui("webpage of New Review", ALL_REVIEW_FIELDS)
+    submissions_page = builder.web_ui(
+        "webpage of Submissions", ("title", "authors")
+    )
+    menu_node = builder.node("PC member menu")
+    submissions_node = builder.node(
+        "assigned submissions", contents=[submission], ui=submissions_page
+    )
+    review_node = builder.node(
+        "new review", contents=[reviewer_info, evaluation_scores],
+        ui=review_page,
+    )
+
+    navigation = builder.navigation(
+        "Browse to new review", target=review_node, user=pc_member
+    )
+    builder.browse(
+        navigation, "open assigned submissions",
+        source=menu_node, target=submissions_node,
+    )
+    builder.browse(
+        navigation, "open review form",
+        source=submissions_node, target=review_node,
+    )
+
+    builder.web_process("Submit paper", user=author)
+    builder.web_process("Assign papers to reviewers", user=chair)
+    review_process = builder.web_process(
+        "Add new review to submission", user=pc_member
+    )
+    transactions = [
+        builder.user_transaction(
+            review_process, "add reviewer information", [reviewer_info]
+        ),
+        builder.user_transaction(
+            review_process, "add evaluation scores", [evaluation_scores]
+        ),
+        builder.user_transaction(
+            review_process, "add additional scores", [additional_scores]
+        ),
+        builder.user_transaction(
+            review_process, "add detailed information of review",
+            [review_details],
+        ),
+        builder.user_transaction(
+            review_process, "add comments for PC", [pc_comments]
+        ),
+    ]
+    builder.search(
+        review_process, "find submission", queries=submission,
+        target=submissions_node, parameters=["title"],
+    )
+
+    information_case = builder.information_case(
+        "Add all data as result of review",
+        processes=[review_process],
+        contents=[
+            reviewer_info,
+            evaluation_scores,
+            additional_scores,
+            review_details,
+            pc_comments,
+        ],
+        user=pc_member,
+    )
+
+    builder.dq_requirement(
+        "Confidentiality of review data",
+        information_case,
+        characteristic="Confidentiality",
+        statement="check that data will be accessed only by authorized users",
+    )
+    builder.dq_requirement(
+        "Completeness of review data",
+        information_case,
+        characteristic="Completeness",
+        statement="verify that all data have been completed by reviewer",
+    )
+    builder.dq_requirement(
+        "Traceability of review data",
+        information_case,
+        characteristic="Traceability",
+        statement="check who is able to add or change a revision",
+    )
+    builder.dq_requirement(
+        "Precision of evaluation scores",
+        information_case,
+        characteristic="Precision",
+        statement="validate the score assigned to each topic of revision",
+    )
+
+    metadata = builder.dq_metadata(
+        "Review DQ metadata",
+        TRACEABILITY_METADATA + CONFIDENTIALITY_METADATA,
+        contents=[reviewer_info, evaluation_scores, additional_scores,
+                  review_details, pc_comments],
+    )
+    validator = builder.dq_validator(
+        "Review DQ validator",
+        ["check_completeness", "check_precision"],
+        validates=[review_page],
+    )
+    for field, (lower, upper) in SCORE_BOUNDS.items():
+        builder.dq_constraint(
+            f"bounds of {field}", validator, [field], lower, upper
+        )
+    builder.add_dq_metadata(
+        "store metadata of traceability",
+        metadata,
+        TRACEABILITY_METADATA,
+        after=transactions,
+    )
+    builder.add_dq_metadata(
+        "add metadata about confidentiality",
+        metadata,
+        CONFIDENTIALITY_METADATA,
+        after=transactions,
+    )
+    return builder.model
+
+
+# ---------------------------------------------------------------------------
+# UML + profile flavour (Figs. 6 and 7)
+# ---------------------------------------------------------------------------
+
+
+def build_uml_model() -> dict:
+    """The EasyChair UML model with DQ_WebRE stereotypes applied.
+
+    Returns a dict with the model root and the named elements the figures
+    and tests need: ``model``, ``webre_profile``, ``dqwebre_profile``,
+    ``usecases_package`` (Fig. 6), ``activity`` (Fig. 7),
+    ``classes_package``, ``requirements_package``.
+    """
+    webre_profile = build_webre_profile()
+    dqwebre_profile = build_dqwebre_profile()
+
+    model = elements.model("EasyChair")
+    elements.apply_profile(model, webre_profile)
+    elements.apply_profile(model, dqwebre_profile)
+    model.packagedElements.append(webre_profile)
+    model.packagedElements.append(dqwebre_profile)
+
+    def webre(name: str):
+        return profiles.find_stereotype(webre_profile, name)
+
+    def dq(name: str):
+        return profiles.find_stereotype(dqwebre_profile, name)
+
+    # ---- Fig. 6: the use case diagram ---------------------------------
+    cases = elements.package(model, "Use cases")
+    pc_member = usecases.actor(cases, "PC member")
+    profiles.apply_stereotype(pc_member, webre("WebUser"))
+
+    add_review = usecases.use_case(cases, "Add new review to submission")
+    profiles.apply_stereotype(add_review, webre("WebProcess"))
+    usecases.communicates(pc_member, add_review)
+
+    information_case = usecases.use_case(
+        cases, "Add all data as result of review"
+    )
+    profiles.apply_stereotype(information_case, dq("InformationCase"))
+    usecases.include(add_review, information_case)
+
+    dq_requirements = {}
+    for name, characteristic, statement in (
+        (
+            "Check that data will be accessed only by authorized users",
+            "Confidentiality",
+            "check that data will be accessed only by authorized users",
+        ),
+        (
+            "Verify that all data have been completed by reviewer",
+            "Completeness",
+            "verify that all data have been completed by reviewer",
+        ),
+        (
+            "Check who is able to add or change a revision",
+            "Traceability",
+            "check who is able to add or change a revision",
+        ),
+        (
+            "Validate the score assigned to each topic of revision",
+            "Precision",
+            "validate the score assigned to each topic of revision",
+        ),
+    ):
+        requirement_case = usecases.use_case(cases, name)
+        profiles.apply_stereotype(
+            requirement_case, dq("DQ_Requirement"),
+            characteristic=characteristic,
+        )
+        usecases.include(requirement_case, information_case)
+        dq_requirements[characteristic] = requirement_case
+
+    # The Fig. 6 comment listing the data involved.
+    elements.comment(
+        information_case,
+        "data: first_name, last_name, email_address, overall_evaluation, "
+        "reviewer_confidence, ...",
+    )
+
+    # ---- Fig. 7: the activity diagram -------------------------------------
+    behaviour = elements.package(model, "Behaviour")
+    activity = activities.activity(behaviour, "Add new review to submission")
+    start = activities.initial(activity)
+    transactions = []
+    for name in (
+        "add reviewer information",
+        "add evaluation scores",
+        "add additional scores",
+        "add detailed information of review",
+        "add comments for PC",
+    ):
+        action = activities.action(activity, name)
+        profiles.apply_stereotype(action, webre("UserTransaction"))
+        transactions.append(action)
+
+    store_traceability = activities.action(
+        activity, "store metadata of traceability"
+    )
+    profiles.apply_stereotype(store_traceability, dq("Add_DQ_Metadata"))
+    add_confidentiality = activities.action(
+        activity, "add metadata about confidentiality"
+    )
+    profiles.apply_stereotype(add_confidentiality, dq("Add_DQ_Metadata"))
+
+    verify_precision = activities.action(activity, "Verify Precision of data")
+    check_completeness = activities.action(
+        activity, "Check Completeness of entered data"
+    )
+    webpage = activities.object_node(
+        activity, "webpage of New Review", type="WebUI"
+    )
+    profiles.apply_stereotype(webpage, webre("WebUI"))
+    end = activities.final(activity)
+
+    activities.chain(
+        activity,
+        start,
+        *transactions,
+        store_traceability,
+        add_confidentiality,
+        verify_precision,
+        check_completeness,
+        end,
+    )
+    activities.object_flow(activity, webpage, verify_precision)
+    activities.object_flow(activity, webpage, check_completeness)
+
+    # ---- the class diagram backing Figs. 4/7 ---------------------------------
+    structure = elements.package(model, "Structure")
+    reviewer_info_class = classes.class_(structure, "information of reviewer")
+    profiles.apply_stereotype(reviewer_info_class, webre("Content"))
+    for field in REVIEWER_INFO_FIELDS:
+        classes.property_(reviewer_info_class, field, "String")
+    scores_class = classes.class_(structure, "evaluation scores")
+    profiles.apply_stereotype(scores_class, webre("Content"))
+    for field in EVALUATION_SCORE_FIELDS:
+        classes.property_(scores_class, field, "Integer")
+
+    metadata_class = classes.class_(structure, "Review DQ metadata")
+    profiles.apply_stereotype(
+        metadata_class, dq("DQ_Metadata"),
+        DQ_metadata=list(TRACEABILITY_METADATA + CONFIDENTIALITY_METADATA),
+    )
+    for field in TRACEABILITY_METADATA:
+        classes.property_(metadata_class, field, "String")
+    classes.associate(
+        structure, metadata_class, reviewer_info_class, name="annotates"
+    )
+    classes.associate(
+        structure, metadata_class, scores_class, name="annotates"
+    )
+
+    validator_class = classes.class_(structure, "Review DQ validator")
+    profiles.apply_stereotype(validator_class, dq("DQ_Validator"))
+    classes.operation(validator_class, "check_completeness", "Boolean")
+    classes.operation(validator_class, "check_precision", "Boolean")
+
+    webpage_class = classes.class_(structure, "webpage of New Review")
+    profiles.apply_stereotype(webpage_class, webre("WebUI"))
+    classes.associate(
+        structure, validator_class, webpage_class, name="validates"
+    )
+
+    constraint_class = classes.class_(structure, "score bounds")
+    profiles.apply_stereotype(
+        constraint_class, dq("DQConstraint"),
+        DQConstraint=["overall_evaluation"],
+        lower_bound=-3,
+        upper_bound=3,
+    )
+    classes.associate(
+        structure, constraint_class, validator_class, name="restricts"
+    )
+
+    # ---- the Fig. 5-style requirements diagram -------------------------------
+    reqs = elements.package(model, "DQ requirement specifications")
+    spec_elements = {}
+    for index, (characteristic, case) in enumerate(
+        sorted(dq_requirements.items()), start=1
+    ):
+        spec = requirements.requirement(
+            reqs,
+            f"DQ spec {characteristic}",
+            req_id=str(index),
+            text=case.name,
+        )
+        profiles.apply_stereotype(
+            spec, dq("DQ_Req_Specification"), ID=index, Text=case.name
+        )
+        requirements.refine(spec, case)
+        spec_elements[characteristic] = spec
+
+    return {
+        "model": model,
+        "webre_profile": webre_profile,
+        "dqwebre_profile": dqwebre_profile,
+        "usecases_package": cases,
+        "activity": activity,
+        "classes_package": structure,
+        "requirements_package": reqs,
+        "information_case": information_case,
+        "web_process": add_review,
+        "dq_requirements": dq_requirements,
+        "specs": spec_elements,
+    }
+
+
+# ---------------------------------------------------------------------------
+# The runnable application
+# ---------------------------------------------------------------------------
+
+#: The user accounts of the running case study: (name, level, roles).
+USERS = (
+    ("chair", 2, ("chair",)),
+    ("pc_member_1", 1, ("pc",)),
+    ("pc_member_2", 1, ("pc",)),
+    ("author_1", 0, ("author",)),
+    ("outsider", 0, ()),
+)
+
+
+def build_design(model: Optional[MObject] = None) -> MObject:
+    """Transform the requirements model into the design (PIM) model."""
+    if model is None:
+        model = build_requirements_model()
+    return transform(model).primary
+
+
+def build_app(clock: Optional[Clock] = None) -> WebApp:
+    """The DQ-aware EasyChair review application, users registered."""
+    app = build_app_from_design(build_design(), clock=clock)
+    for name, level, roles in USERS:
+        app.add_user(name, level, roles)
+    return app
+
+
+def build_baseline(clock: Optional[Clock] = None) -> WebApp:
+    """The same application without any DQ mechanism (the §1 status quo)."""
+    app = build_baseline_app(build_design(), clock=clock)
+    for name, level, roles in USERS:
+        app.add_user(name, level, roles)
+    return app
+
+
+def complete_review(overall: int = 2, confidence: int = 4) -> dict:
+    """A fully populated, in-bounds review submission."""
+    return {
+        "first_name": "Ada",
+        "last_name": "Lovelace",
+        "email_address": "ada@example.org",
+        "overall_evaluation": overall,
+        "reviewer_confidence": confidence,
+        "originality": 4,
+        "significance": 4,
+        "presentation": 3,
+        "detailed_comments": "Sound methodology; results reproduce.",
+        "confidential_comments_for_pc": "Accept; minor revisions only.",
+    }

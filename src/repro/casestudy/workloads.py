@@ -1,0 +1,177 @@
+"""Synthetic review-submission workloads with controlled DQ defects.
+
+The paper has no measured workload (it is a methodology paper); to exercise
+the generated application end-to-end we synthesize review submissions with
+seeded, rate-controlled defect injection:
+
+* ``missing_field`` — a required field left blank (Completeness violation);
+* ``out_of_range`` — a score outside its DQConstraint bounds (Precision);
+* ``unauthorized`` — submitted by a user without clearance
+  (Confidentiality).
+
+Determinism: everything flows from ``random.Random(seed)``, so workloads —
+and therefore test results and benchmark series — are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Sequence
+
+from repro.core.errors import AuthorizationError, DataQualityViolation
+from repro.runtime.app import WebApp
+
+from .easychair import ALL_REVIEW_FIELDS, SCORE_BOUNDS, complete_review
+
+#: Users allowed to write reviews (clearance >= 1) and users who are not.
+AUTHORIZED_USERS = ("pc_member_1", "pc_member_2", "chair")
+UNAUTHORIZED_USERS = ("author_1", "outsider")
+
+
+@dataclass(frozen=True)
+class Submission:
+    """One generated review submission and its injected defects."""
+
+    user: str
+    data: dict
+    defects: tuple[str, ...] = ()
+
+    @property
+    def clean(self) -> bool:
+        return not self.defects
+
+
+@dataclass
+class WorkloadOutcome:
+    """Tally of how the application treated a workload."""
+
+    submitted: int = 0
+    accepted: int = 0
+    rejected_dq: int = 0
+    rejected_auth: int = 0
+    false_accepts: int = 0   # defective submissions that got stored
+    false_rejects: int = 0   # clean submissions that were refused
+    per_defect_caught: dict = field(default_factory=dict)
+
+    @property
+    def catch_rate(self) -> float:
+        """Fraction of defective submissions the application refused."""
+        caught = self.rejected_dq + self.rejected_auth
+        defective = caught + self.false_accepts
+        if defective == 0:
+            return 1.0
+        return caught / defective
+
+    def render(self) -> str:
+        return (
+            f"{self.submitted} submitted: {self.accepted} accepted, "
+            f"{self.rejected_dq} DQ-rejected, "
+            f"{self.rejected_auth} auth-rejected; "
+            f"{self.false_accepts} defective accepted, "
+            f"{self.false_rejects} clean refused "
+            f"(catch rate {self.catch_rate:.0%})"
+        )
+
+
+class ReviewWorkload:
+    """Generates review submissions with rate-controlled defects."""
+
+    DEFECTS = ("missing_field", "out_of_range", "unauthorized")
+
+    def __init__(
+        self,
+        seed: int = 7,
+        missing_rate: float = 0.15,
+        out_of_range_rate: float = 0.15,
+        unauthorized_rate: float = 0.10,
+    ):
+        for rate in (missing_rate, out_of_range_rate, unauthorized_rate):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError("defect rates must lie in [0, 1]")
+        self._rng = random.Random(seed)
+        self.missing_rate = missing_rate
+        self.out_of_range_rate = out_of_range_rate
+        self.unauthorized_rate = unauthorized_rate
+
+    def generate(self, count: int) -> Iterator[Submission]:
+        """Yield ``count`` submissions, defects injected independently."""
+        rng = self._rng
+        for index in range(count):
+            data = complete_review(
+                overall=rng.randint(-3, 3),
+                confidence=rng.randint(1, 5),
+            )
+            data["detailed_comments"] = f"Review body #{index}"
+            defects: list[str] = []
+            user = rng.choice(AUTHORIZED_USERS)
+            if rng.random() < self.missing_rate:
+                victim = rng.choice(ALL_REVIEW_FIELDS)
+                data[victim] = None
+                defects.append("missing_field")
+            if rng.random() < self.out_of_range_rate:
+                score_field = rng.choice(sorted(SCORE_BOUNDS))
+                lower, upper = SCORE_BOUNDS[score_field]
+                data[score_field] = upper + rng.randint(1, 10)
+                defects.append("out_of_range")
+            if rng.random() < self.unauthorized_rate:
+                user = rng.choice(UNAUTHORIZED_USERS)
+                defects.append("unauthorized")
+            yield Submission(user, data, tuple(defects))
+
+    def run(
+        self,
+        app: WebApp,
+        count: int,
+        form_name: Optional[str] = None,
+    ) -> WorkloadOutcome:
+        """Feed ``count`` submissions through ``app``; tally the outcomes."""
+        form = form_name or app.forms[0].name
+        outcome = WorkloadOutcome()
+        for submission in self.generate(count):
+            outcome.submitted += 1
+            try:
+                app.submit(form, submission.data, submission.user)
+            except DataQualityViolation:
+                outcome.rejected_dq += 1
+                self._tally_caught(outcome, submission)
+                if submission.clean:
+                    outcome.false_rejects += 1
+            except AuthorizationError:
+                outcome.rejected_auth += 1
+                self._tally_caught(outcome, submission)
+                if submission.clean:
+                    outcome.false_rejects += 1
+            else:
+                outcome.accepted += 1
+                if not submission.clean:
+                    outcome.false_accepts += 1
+        return outcome
+
+    @staticmethod
+    def _tally_caught(outcome: WorkloadOutcome, submission: Submission) -> None:
+        for defect in submission.defects:
+            outcome.per_defect_caught[defect] = (
+                outcome.per_defect_caught.get(defect, 0) + 1
+            )
+
+
+def compare_dq_vs_baseline(
+    dq_app: WebApp,
+    baseline_app: WebApp,
+    count: int = 200,
+    seed: int = 7,
+) -> dict:
+    """Run the same workload through both apps (the headline comparison).
+
+    Expected shape: the DQ-aware app catches (422/403) what the baseline
+    silently stores — the motivation of the paper's §1.
+    """
+    dq_outcome = ReviewWorkload(seed=seed).run(dq_app, count)
+    baseline_outcome = ReviewWorkload(seed=seed).run(baseline_app, count)
+    return {
+        "dq": dq_outcome,
+        "baseline": baseline_outcome,
+        "defects_stored_by_baseline": baseline_outcome.false_accepts,
+        "defects_stored_by_dq": dq_outcome.false_accepts,
+    }

@@ -1,0 +1,303 @@
+"""The ``repro`` command-line interface (``python -m repro``).
+
+Subcommands mirror the pipeline stages:
+
+* ``tables [1|2|3|all]`` — print the paper's tables;
+* ``figures [1..7|all] [--format plantuml|mermaid]`` — print the figures;
+* ``validate MODEL`` — well-formedness check a requirements model file
+  (``.json`` or ``.xmi``); exit code 1 on errors;
+* ``transform MODEL -o DESIGN.json`` — run req2design, optionally printing
+  the transformation trace;
+* ``codegen DESIGN.json -o app.py`` — generate the application module;
+* ``srs MODEL -o SRS.md`` — generate the requirements specification;
+* ``assess MODEL`` — grade the model against the ten methodology steps;
+* ``diff LEFT RIGHT [--impact]`` — compare two models; with ``--impact``,
+  follow each change through the transformation trace;
+* ``demo [--count N] [--seed S]`` — run the EasyChair case study workload
+  through the DQ-aware app and the baseline, print the comparison and the
+  DQ scorecard;
+* ``experiments`` — regenerate the measured EXPERIMENTS.md numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from repro.core import global_registry
+from repro.core.serialization import jsonio, xmi
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DQ_WebRE reproduction — capture, validate, transform "
+                    "and run data quality requirements for web applications",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    tables = commands.add_parser("tables", help="print the paper's tables")
+    tables.add_argument(
+        "which", nargs="?", default="all", choices=["1", "2", "3", "all"]
+    )
+
+    figures = commands.add_parser("figures", help="print the paper's figures")
+    figures.add_argument(
+        "which", nargs="?", default="all",
+        choices=[str(n) for n in range(1, 8)] + ["all"],
+    )
+    figures.add_argument(
+        "--format", default="plantuml", choices=["plantuml", "mermaid"]
+    )
+
+    validate = commands.add_parser(
+        "validate", help="well-formedness check a requirements model file"
+    )
+    validate.add_argument("model", help="path to a .json or .xmi model")
+
+    transform = commands.add_parser(
+        "transform", help="requirements model -> design model"
+    )
+    transform.add_argument("model", help="path to a .json or .xmi model")
+    transform.add_argument("-o", "--output", help="design model output path")
+    transform.add_argument(
+        "--trace", action="store_true", help="print the transformation trace"
+    )
+
+    codegen = commands.add_parser(
+        "codegen", help="design model -> Python application module"
+    )
+    codegen.add_argument("design", help="path to a design .json model")
+    codegen.add_argument("-o", "--output", help="generated module path")
+
+    demo = commands.add_parser(
+        "demo", help="run the EasyChair case study comparison"
+    )
+    demo.add_argument("--count", type=int, default=200)
+    demo.add_argument("--seed", type=int, default=7)
+
+    srs = commands.add_parser(
+        "srs", help="generate the software requirements specification"
+    )
+    srs.add_argument("model", help="path to a .json or .xmi model")
+    srs.add_argument("-o", "--output", help="markdown output path")
+
+    assess = commands.add_parser(
+        "assess", help="grade a model against the DQ_WebRE methodology steps"
+    )
+    assess.add_argument("model", help="path to a .json or .xmi model")
+
+    experiments = commands.add_parser(
+        "experiments",
+        help="re-run the measured experiments (the EXPERIMENTS.md numbers)",
+    )
+    experiments.add_argument("--count", type=int, default=300)
+    experiments.add_argument("--seed", type=int, default=42)
+
+    diff = commands.add_parser(
+        "diff", help="compare two model files (requirements review aid)"
+    )
+    diff.add_argument("left", help="the base model (.json or .xmi)")
+    diff.add_argument("right", help="the edited model (.json or .xmi)")
+    diff.add_argument(
+        "--impact", action="store_true",
+        help="follow each change through the transformation trace and "
+             "list the affected design elements",
+    )
+
+    return parser
+
+
+def _load_model(path: str):
+    if path.endswith(".xmi") or path.endswith(".xml"):
+        return xmi.load(path, global_registry)
+    return jsonio.load(path, global_registry)
+
+
+def _command_tables(args, out) -> int:
+    from repro.reports import tables
+
+    if args.which in ("1", "all"):
+        print(tables.table1(), file=out)
+    if args.which in ("2", "all"):
+        print(tables.table2(), file=out)
+    if args.which in ("3", "all"):
+        print(tables.table3(), file=out)
+    return 0
+
+
+def _command_figures(args, out) -> int:
+    from repro.reports import figures
+
+    wanted = (
+        list(figures.ALL_FIGURES)
+        if args.which == "all"
+        else [int(args.which)]
+    )
+    mermaid_variants = {
+        1: figures.figure1_mermaid,
+        6: figures.figure6_mermaid,
+        7: figures.figure7_mermaid,
+    }
+    for number in wanted:
+        if args.format == "mermaid":
+            generator = mermaid_variants.get(number)
+            if generator is None:
+                print(
+                    f"(figure {number} has no mermaid variant; "
+                    "use --format plantuml)",
+                    file=out,
+                )
+                continue
+        else:
+            generator = figures.ALL_FIGURES[number]
+        print(f"-- Figure {number} --", file=out)
+        print(generator(), file=out)
+    return 0
+
+
+def _command_validate(args, out) -> int:
+    from repro.dqwebre.wellformedness import validate
+
+    model = _load_model(args.model)
+    report = validate(model)
+    print(report.render(), file=out)
+    return 0 if report.ok else 1
+
+
+def _command_transform(args, out) -> int:
+    from repro.transform.req2design import transform
+
+    model = _load_model(args.model)
+    result = transform(model)
+    if args.trace:
+        print(result.trace.render(), file=out)
+    design = result.primary
+    print(
+        f"design {design.name!r}: {len(design.entities)} entities, "
+        f"{len(design.forms)} forms, {len(design.validators)} validators, "
+        f"{len(design.policies)} policies, {len(design.routes)} routes",
+        file=out,
+    )
+    if args.output:
+        jsonio.dump(design, args.output)
+        print(f"wrote {args.output}", file=out)
+    return 0
+
+
+def _command_codegen(args, out) -> int:
+    from repro.transform.codegen import generate_app_module
+
+    design = _load_model(args.design)
+    source = generate_app_module(design)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(source)
+        print(
+            f"wrote {args.output} ({len(source.splitlines())} lines)",
+            file=out,
+        )
+    else:
+        print(source, file=out)
+    return 0
+
+
+def _command_demo(args, out) -> int:
+    from repro.casestudy import easychair
+    from repro.casestudy.workloads import compare_dq_vs_baseline
+    from repro.dq.metadata import Clock
+    from repro.dq.scorecard import Scorecard
+
+    app = easychair.build_app(Clock())
+    baseline = easychair.build_baseline(Clock())
+    comparison = compare_dq_vs_baseline(
+        app, baseline, count=args.count, seed=args.seed
+    )
+    print("DQ-aware :", comparison["dq"].render(), file=out)
+    print("baseline :", comparison["baseline"].render(), file=out)
+    scorecard = Scorecard(
+        app,
+        "Add all data as result of review",
+        required_fields=easychair.ALL_REVIEW_FIELDS,
+        bounds=easychair.SCORE_BOUNDS,
+        max_age=10_000,
+    )
+    print(file=out)
+    print(scorecard.render(), file=out)
+    return 0
+
+
+def _command_srs(args, out) -> int:
+    from repro.transform.docgen import generate_srs
+
+    model = _load_model(args.model)
+    document = generate_srs(model)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(document)
+        print(f"wrote {args.output}", file=out)
+    else:
+        print(document, file=out)
+    return 0
+
+
+def _command_assess(args, out) -> int:
+    from repro.dqwebre.methodology import assess
+
+    model = _load_model(args.model)
+    report = assess(model)
+    print(report.render(), file=out)
+    return 0 if report.complete else 1
+
+
+def _command_experiments(args, out) -> int:
+    from repro.reports.experiments import full_report
+
+    print(full_report(count=args.count, seed=args.seed), file=out)
+    return 0
+
+
+def _command_diff(args, out) -> int:
+    from repro.core.diff import diff as model_diff
+
+    left = _load_model(args.left)
+    right = _load_model(args.right)
+    if args.impact:
+        from repro.transform.impact import analyse_impact
+
+        report = analyse_impact(left, right)
+        print(report.render(), file=out)
+        return 1 if report.requires_regeneration else 0
+    changes = model_diff(left, right)
+    if not changes:
+        print("models are identical", file=out)
+        return 0
+    for change in changes:
+        print(change.describe(), file=out)
+    print(f"{len(changes)} change(s)", file=out)
+    return 1
+
+
+_COMMANDS = {
+    "tables": _command_tables,
+    "figures": _command_figures,
+    "validate": _command_validate,
+    "transform": _command_transform,
+    "codegen": _command_codegen,
+    "demo": _command_demo,
+    "srs": _command_srs,
+    "assess": _command_assess,
+    "experiments": _command_experiments,
+    "diff": _command_diff,
+}
+
+
+def main(argv: Optional[list[str]] = None, out=None) -> int:
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args, out)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,80 @@
+"""``repro.core`` — the metamodeling kernel.
+
+A small MOF/Ecore-flavoured meta-layer: define metamodels
+(:class:`MetaPackage`, :class:`MetaClass`, :class:`MetaAttribute`,
+:class:`MetaReference`, :class:`MetaEnum`), instantiate them
+(:class:`MObject`), constrain them (:class:`Constraint`,
+:class:`ConstraintEngine`, OCL-lite), observe them (:mod:`repro.core.events`),
+serialize them (XMI / JSON) and diff them.
+
+Everything in the DQ_WebRE reproduction — the UML subset, WebRE, the DQ_WebRE
+extension, the design metamodel — is defined on top of this kernel.
+"""
+
+from .constraints import (
+    Constraint,
+    ConstraintEngine,
+    Diagnostic,
+    Severity,
+    ValidationReport,
+    assert_valid,
+)
+from .errors import (
+    AuthorizationError,
+    DataQualityViolation,
+    VersionConflictError,
+    MetamodelError,
+    ModelError,
+    OclError,
+    OclEvalError,
+    OclSyntaxError,
+    ProfileError,
+    ReproError,
+    SerializationError,
+    TransformationError,
+    ValidationFailed,
+)
+from .events import ADD, MOVE, REMOVE, SET, UNSET, Notification, Recorder
+from .meta import (
+    ANY,
+    BOOLEAN,
+    INTEGER,
+    MANY,
+    REAL,
+    STRING,
+    MetaAttribute,
+    MetaClass,
+    MetaEnum,
+    MetaPackage,
+    MetaReference,
+)
+from .objects import MObject, Slot
+from .ocl import OclExpression, evaluate, parse, type_resolver_for
+from .registry import MetamodelRegistry, global_registry
+from .visitor import (
+    count,
+    find,
+    find_all,
+    find_by_name,
+    incoming_references,
+    objects_of_type,
+    path_of,
+    walk,
+)
+
+__all__ = [
+    "ANY", "BOOLEAN", "INTEGER", "MANY", "REAL", "STRING",
+    "MetaAttribute", "MetaClass", "MetaEnum", "MetaPackage", "MetaReference",
+    "MObject", "Slot",
+    "Constraint", "ConstraintEngine", "Diagnostic", "Severity",
+    "ValidationReport", "assert_valid",
+    "OclExpression", "evaluate", "parse", "type_resolver_for",
+    "MetamodelRegistry", "global_registry",
+    "Notification", "Recorder", "ADD", "MOVE", "REMOVE", "SET", "UNSET",
+    "walk", "objects_of_type", "find", "find_all", "find_by_name",
+    "incoming_references", "count", "path_of",
+    "ReproError", "MetamodelError", "ModelError", "OclError",
+    "OclSyntaxError", "OclEvalError", "SerializationError",
+    "TransformationError", "ProfileError", "ValidationFailed",
+    "AuthorizationError", "DataQualityViolation", "VersionConflictError",
+]

@@ -1,0 +1,254 @@
+"""Constraint engine: declarative well-formedness rules over models.
+
+A :class:`Constraint` applies to every instance of a *context* metaclass and
+either evaluates an OCL-lite expression or calls a Python predicate.  A
+:class:`ConstraintEngine` validates a whole containment tree and returns
+:class:`Diagnostic` records, graded by :class:`Severity`.
+
+This is the machinery behind:
+
+* the kernel's built-in multiplicity checking,
+* WebRE well-formedness (``repro.webre.validation``),
+* and the paper's Table 3 profile constraints
+  (``repro.dqwebre.wellformedness``).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional, Union
+
+from .errors import OclError, ValidationFailed
+from .meta import MetaClass
+from .objects import MObject
+from .ocl import OclExpression
+from .visitor import path_of, walk
+
+
+class Severity(enum.IntEnum):
+    """Ordering matters: higher is worse."""
+
+    INFO = 0
+    WARNING = 1
+    ERROR = 2
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding produced by validating one object against one rule."""
+
+    severity: Severity
+    message: str
+    obj: Optional[MObject] = None
+    constraint: Optional[str] = None
+
+    def location(self) -> str:
+        return path_of(self.obj) if self.obj is not None else "<model>"
+
+    def render(self) -> str:
+        tag = self.severity.name
+        rule = f" [{self.constraint}]" if self.constraint else ""
+        return f"{tag}{rule} at {self.location()}: {self.message}"
+
+
+class Constraint:
+    """A named rule on a context metaclass.
+
+    ``body`` is either an OCL-lite text (must evaluate to a Boolean; False
+    means violated) or a Python callable ``obj -> bool | str | None`` where
+    returning False or an error string means violated, and ``None``/True
+    means satisfied.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        context: MetaClass,
+        body: Union[str, Callable[[MObject], object]],
+        message: str = "",
+        severity: Severity = Severity.ERROR,
+        type_resolver=None,
+    ):
+        self.name = name
+        self.context = context
+        self.message = message or name
+        self.severity = severity
+        if isinstance(body, str):
+            self.ocl_text: Optional[str] = body
+            self._expression = OclExpression(body, type_resolver)
+            self._predicate = None
+        else:
+            self.ocl_text = None
+            self._expression = None
+            self._predicate = body
+
+    def applies_to(self, obj: MObject) -> bool:
+        return obj.is_instance_of(self.context)
+
+    def check(self, obj: MObject) -> Optional[Diagnostic]:
+        """Return a diagnostic when violated, else ``None``."""
+        if self._expression is not None:
+            try:
+                ok = self._expression.evaluate(obj)
+            except OclError as exc:
+                return Diagnostic(
+                    Severity.ERROR,
+                    f"constraint expression failed: {exc}",
+                    obj,
+                    self.name,
+                )
+            if ok is True:
+                return None
+            return Diagnostic(self.severity, self.message, obj, self.name)
+        result = self._predicate(obj)
+        if result is None or result is True:
+            return None
+        message = result if isinstance(result, str) else self.message
+        return Diagnostic(self.severity, message, obj, self.name)
+
+    def __repr__(self) -> str:
+        return f"<Constraint {self.name!r} on {self.context.name}>"
+
+
+def multiplicity_constraint() -> Callable[[MObject], object]:
+    """The built-in check that every lower bound is satisfied."""
+
+    def check(obj: MObject):
+        missing = obj.missing_required_features()
+        if not missing:
+            return True
+        names = ", ".join(
+            f"{feature.name} [{feature.multiplicity()}]" for feature in missing
+        )
+        return f"required features unset: {names}"
+
+    return check
+
+
+@dataclass
+class ValidationReport:
+    """All diagnostics from one validation run, with convenience accessors."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    objects_checked: int = 0
+    constraints_evaluated: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == Severity.ERROR]
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == Severity.WARNING]
+
+    @property
+    def infos(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == Severity.INFO]
+
+    def by_constraint(self, name: str) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.constraint == name]
+
+    def render(self) -> str:
+        if not self.diagnostics:
+            return (
+                f"OK — {self.objects_checked} objects, "
+                f"{self.constraints_evaluated} constraint evaluations, "
+                "no findings"
+            )
+        lines = [d.render() for d in sorted(
+            self.diagnostics, key=lambda d: -int(d.severity)
+        )]
+        lines.append(
+            f"{len(self.errors)} error(s), {len(self.warnings)} warning(s), "
+            f"{len(self.infos)} info(s) over {self.objects_checked} objects"
+        )
+        return "\n".join(lines)
+
+
+class ConstraintEngine:
+    """Collects constraints and validates models against them."""
+
+    def __init__(self, check_multiplicities: bool = True):
+        self._constraints: list[Constraint] = []
+        self.check_multiplicities = check_multiplicities
+
+    def add(self, constraint: Constraint) -> Constraint:
+        self._constraints.append(constraint)
+        return constraint
+
+    def add_all(self, constraints: Iterable[Constraint]) -> None:
+        for constraint in constraints:
+            self.add(constraint)
+
+    def constraint(
+        self,
+        name: str,
+        context: MetaClass,
+        body,
+        message: str = "",
+        severity: Severity = Severity.ERROR,
+        type_resolver=None,
+    ) -> Constraint:
+        """Create-and-register shorthand."""
+        return self.add(
+            Constraint(name, context, body, message, severity, type_resolver)
+        )
+
+    @property
+    def constraints(self) -> list[Constraint]:
+        return list(self._constraints)
+
+    def validate(self, root: MObject, include_root: bool = True) -> ValidationReport:
+        """Validate the whole containment tree under ``root``."""
+        report = ValidationReport()
+        for obj in walk(root, include_root=include_root):
+            report.objects_checked += 1
+            if self.check_multiplicities:
+                report.constraints_evaluated += 1
+                missing = obj.missing_required_features()
+                if missing:
+                    names = ", ".join(
+                        f"{f.name} [{f.multiplicity()}]" for f in missing
+                    )
+                    report.diagnostics.append(
+                        Diagnostic(
+                            Severity.ERROR,
+                            f"required features unset: {names}",
+                            obj,
+                            "multiplicity",
+                        )
+                    )
+            for constraint in self._constraints:
+                if not constraint.applies_to(obj):
+                    continue
+                report.constraints_evaluated += 1
+                diagnostic = constraint.check(obj)
+                if diagnostic is not None:
+                    report.diagnostics.append(diagnostic)
+        return report
+
+    def validate_object(self, obj: MObject) -> ValidationReport:
+        """Validate a single object, ignoring its contents."""
+        report = ValidationReport(objects_checked=1)
+        for constraint in self._constraints:
+            if not constraint.applies_to(obj):
+                continue
+            report.constraints_evaluated += 1
+            diagnostic = constraint.check(obj)
+            if diagnostic is not None:
+                report.diagnostics.append(diagnostic)
+        return report
+
+
+def assert_valid(report: ValidationReport, what: str = "model") -> ValidationReport:
+    """Raise :class:`ValidationFailed` when the report contains errors."""
+    if not report.ok:
+        raise ValidationFailed(
+            f"{what} failed validation:\n{report.render()}", report.errors
+        )
+    return report

@@ -1,0 +1,332 @@
+"""Model diff and patch: compare two trees and apply the changes.
+
+Objects are matched by ``id`` (serialization preserves ids, so diffing a
+model against a round-tripped or edited copy matches naturally).  The diff is
+a list of :class:`Change` records:
+
+* ``AttributeChange`` — a single-valued attribute differs;
+* ``AttributeListChange`` — a many-valued attribute's items differ;
+* ``ReferenceChange`` — a reference points elsewhere (targets compared by id);
+* ``ObjectAdded`` / ``ObjectRemoved`` — an object exists on only one side.
+
+:func:`apply_diff` patches the *left* model to match the right one; after a
+successful apply, ``diff(left, right)`` is empty (a property the test suite
+checks with hypothesis).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .errors import ModelError
+from .objects import MObject, Slot
+from .serialization import jsonio
+from .visitor import walk
+
+
+@dataclass(frozen=True)
+class Change:
+    """Base record; ``object_id`` identifies the element concerned."""
+
+    object_id: str
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class AttributeChange(Change):
+    feature: str
+    old: object
+    new: object
+
+    def describe(self) -> str:
+        return f"{self.object_id}.{self.feature}: {self.old!r} -> {self.new!r}"
+
+
+@dataclass(frozen=True)
+class AttributeListChange(Change):
+    feature: str
+    old: tuple
+    new: tuple
+
+    def describe(self) -> str:
+        return (
+            f"{self.object_id}.{self.feature}: "
+            f"{list(self.old)!r} -> {list(self.new)!r}"
+        )
+
+
+@dataclass(frozen=True)
+class ReferenceChange(Change):
+    feature: str
+    old_ids: tuple
+    new_ids: tuple
+
+    def describe(self) -> str:
+        return (
+            f"{self.object_id}.{self.feature}: refs "
+            f"{list(self.old_ids)} -> {list(self.new_ids)}"
+        )
+
+
+@dataclass(frozen=True)
+class ObjectAdded(Change):
+    metaclass_name: str
+    container_id: Optional[str]
+    feature: Optional[str]
+
+    def describe(self) -> str:
+        where = (
+            f" under {self.container_id}.{self.feature}"
+            if self.container_id
+            else ""
+        )
+        return f"+ {self.metaclass_name} {self.object_id}{where}"
+
+
+@dataclass(frozen=True)
+class ObjectRemoved(Change):
+    metaclass_name: str
+
+    def describe(self) -> str:
+        return f"- {self.metaclass_name} {self.object_id}"
+
+
+def _index(root: MObject) -> dict[str, MObject]:
+    return {obj.id: obj for obj in walk(root)}
+
+
+def diff(left: MObject, right: MObject) -> list[Change]:
+    """Changes that would turn ``left`` into ``right``."""
+    left_index = _index(left)
+    right_index = _index(right)
+    changes: list[Change] = []
+
+    for obj_id, right_obj in right_index.items():
+        if obj_id not in left_index:
+            container = right_obj.container
+            feature = right_obj.containing_feature
+            changes.append(
+                ObjectAdded(
+                    obj_id,
+                    right_obj.metaclass.qualified_name(),
+                    container.id if container is not None else None,
+                    feature.name if feature is not None else None,
+                )
+            )
+    for obj_id, left_obj in left_index.items():
+        if obj_id not in right_index:
+            changes.append(
+                ObjectRemoved(obj_id, left_obj.metaclass.qualified_name())
+            )
+
+    for obj_id, left_obj in left_index.items():
+        right_obj = right_index.get(obj_id)
+        if right_obj is None:
+            continue
+        if left_obj.metaclass.qualified_name() != right_obj.metaclass.qualified_name():
+            changes.append(ObjectRemoved(obj_id, left_obj.metaclass.qualified_name()))
+            container = right_obj.container
+            feature = right_obj.containing_feature
+            changes.append(
+                ObjectAdded(
+                    obj_id,
+                    right_obj.metaclass.qualified_name(),
+                    container.id if container is not None else None,
+                    feature.name if feature is not None else None,
+                )
+            )
+            continue
+        changes.extend(_diff_features(left_obj, right_obj))
+    return changes
+
+
+def _diff_features(left_obj: MObject, right_obj: MObject) -> list[Change]:
+    changes: list[Change] = []
+    metaclass = left_obj.metaclass
+    for name in metaclass.all_attributes():
+        left_value = left_obj.get(name)
+        right_value = right_obj.get(name)
+        if isinstance(left_value, Slot):
+            left_items = tuple(left_value)
+            right_items = tuple(right_value)
+            if left_items != right_items:
+                changes.append(
+                    AttributeListChange(left_obj.id, name, left_items, right_items)
+                )
+        elif left_value != right_value:
+            changes.append(
+                AttributeChange(left_obj.id, name, left_value, right_value)
+            )
+    for name, reference in metaclass.all_references().items():
+        if reference.containment:
+            continue  # containment differences surface as added/removed objects
+        left_value = left_obj.get(name)
+        right_value = right_obj.get(name)
+        left_ids = _ref_ids(left_value)
+        right_ids = _ref_ids(right_value)
+        if left_ids != right_ids:
+            changes.append(ReferenceChange(left_obj.id, name, left_ids, right_ids))
+    return changes
+
+
+def _ref_ids(value) -> tuple:
+    if isinstance(value, Slot):
+        return tuple(item.id for item in value)
+    if value is None:
+        return ()
+    return (value.id,)
+
+
+def apply_diff(left: MObject, right: MObject, changes: list[Change]) -> MObject:
+    """Patch ``left`` in place so that ``diff(left, right)`` becomes empty.
+
+    ``right`` supplies the payload for additions (added subtrees are copied
+    from it).  Returns ``left``.
+    """
+    left_index = _index(left)
+    right_index = _index(right)
+
+    # Removals first (deepest first so containers empty out cleanly).
+    removals = [c for c in changes if isinstance(c, ObjectRemoved)]
+    removal_objects = [
+        left_index[c.object_id] for c in removals if c.object_id in left_index
+    ]
+    removal_objects.sort(key=lambda obj: -len(obj._ancestors()))
+    for obj in removal_objects:
+        obj.delete()
+        left_index.pop(obj.id, None)
+
+    # Additions next (shallowest first so parents exist).
+    additions = [c for c in changes if isinstance(c, ObjectAdded)]
+
+    def depth(change: ObjectAdded) -> int:
+        return len(right_index[change.object_id]._ancestors())
+
+    copied_pairs: list[tuple[MObject, MObject]] = []
+    for change in sorted(additions, key=depth):
+        if change.object_id in left_index:
+            continue  # added as part of a copied subtree
+        source = right_index[change.object_id]
+        clone = _copy_subtree(source, left_index, copied_pairs)
+        if change.container_id is None:
+            raise ModelError(
+                f"cannot add a second root object {change.object_id}"
+            )
+        container = left_index.get(change.container_id)
+        if container is None:
+            raise ModelError(
+                f"container {change.container_id} not present when adding "
+                f"{change.object_id}"
+            )
+        slot = container.get(change.feature)
+        if isinstance(slot, Slot):
+            slot.append(clone)
+        else:
+            container.set(change.feature, clone)
+
+    # Now that every added object exists in the left model, wire the cross
+    # references of the copied subtrees (they may point anywhere in the tree).
+    for clone, source in copied_pairs:
+        for name, reference in source.metaclass.all_references().items():
+            if reference.containment:
+                continue
+            value = source.get(name)
+            if isinstance(value, Slot):
+                targets = [_map_target(item, left_index) for item in value]
+                clone.set(name, [t for t in targets if t is not None])
+            elif value is not None:
+                clone.set(name, _map_target(value, left_index))
+
+    # Feature updates last, now that both sides' objects exist.
+    for change in changes:
+        if isinstance(change, AttributeChange):
+            left_index[change.object_id].set(change.feature, change.new)
+        elif isinstance(change, AttributeListChange):
+            left_index[change.object_id].set(change.feature, list(change.new))
+        elif isinstance(change, ReferenceChange):
+            obj = left_index[change.object_id]
+            reference = obj.metaclass.all_references()[change.feature]
+            targets = [left_index[ref_id] for ref_id in change.new_ids]
+            if reference.many:
+                obj.set(change.feature, targets)
+            else:
+                obj.set(change.feature, targets[0] if targets else None)
+    return left
+
+
+def _copy_subtree(
+    source: MObject,
+    left_index: dict[str, MObject],
+    copied_pairs: list[tuple[MObject, MObject]],
+) -> MObject:
+    """Structurally copy ``source`` (attributes + containment children).
+
+    Cross references are intentionally left unset — they are wired in a later
+    pass once every added object exists — because an added subtree may point
+    at objects outside itself.  Every created object is registered in
+    ``left_index`` under its preserved id.
+    """
+    clone = source.metaclass.create()
+    object.__setattr__(clone, "id", source.id)
+    left_index[clone.id] = clone
+    copied_pairs.append((clone, source))
+    for name in source.metaclass.all_attributes():
+        value = source.get(name)
+        if isinstance(value, Slot):
+            clone.set(name, list(value))
+        else:
+            clone.set(name, value)
+    for name, reference in source.metaclass.all_references().items():
+        if not reference.containment:
+            continue
+        value = source.get(name)
+        if isinstance(value, Slot):
+            children = [
+                _copy_subtree(child, left_index, copied_pairs) for child in value
+            ]
+            clone.set(name, children)
+        elif value is not None:
+            clone.set(name, _copy_subtree(value, left_index, copied_pairs))
+    return clone
+
+
+def _map_target(target: MObject, left_index: dict[str, MObject]) -> Optional[MObject]:
+    return left_index.get(target.id)
+
+
+def clone_tree(root: MObject, fresh_ids: bool = False) -> MObject:
+    """Deep-copy a containment tree.
+
+    By default ids are preserved so the clone diffs cleanly against the
+    original.  ``fresh_ids=True`` renumbers every object — use it when the
+    copy must coexist with the original as an *independent* model (e.g.
+    duplicating a template requirements model for a second project).
+    """
+    document = jsonio.to_dict(root)
+    registry = _registry_for(root)
+    clone = jsonio.from_dict(document, registry)
+    if fresh_ids:
+        from .objects import _next_id
+
+        for obj in walk(clone):
+            object.__setattr__(obj, "id", _next_id())
+    return clone
+
+
+def _registry_for(root: MObject):
+    from .registry import MetamodelRegistry, global_registry
+
+    package = root.metaclass.package
+    while package is not None and package.parent is not None:
+        package = package.parent
+    if package is None:
+        return global_registry
+    registry = MetamodelRegistry()
+    registry.register(package)
+    for existing in global_registry.packages():
+        if existing.uri != package.uri:
+            registry.register(existing)
+    return registry

@@ -1,0 +1,142 @@
+"""Exception hierarchy for the metamodeling kernel and everything above it.
+
+All exceptions raised by ``repro`` derive from :class:`ReproError`, so client
+code can catch a single type at an API boundary.  Below that, the tree follows
+the layering of the library:
+
+* :class:`MetamodelError` — mistakes in *metamodel definitions* (duplicate
+  feature names, unresolved reference targets, bad multiplicities ...).
+* :class:`ModelError` — mistakes when *building or mutating models* (wrong
+  value types, unknown features, multiplicity violations ...).
+* :class:`OclError` — the OCL-lite expression language (syntax / evaluation).
+* :class:`SerializationError` — XMI / JSON (de)serialization failures.
+* :class:`TransformationError` — model-to-model / model-to-text failures.
+* :class:`ProfileError` — UML profile misuse (wrong base class, bad tags).
+* :class:`RuntimeEnforcementError` — the simulated web runtime's DQ engine.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` library."""
+
+
+class MetamodelError(ReproError):
+    """A metamodel definition is internally inconsistent."""
+
+
+class DuplicateFeatureError(MetamodelError):
+    """Two structural features of a metaclass share a name."""
+
+
+class UnresolvedTypeError(MetamodelError):
+    """A lazily named reference target could not be resolved in its package."""
+
+
+class InvalidMultiplicityError(MetamodelError):
+    """A feature was declared with an impossible ``lower..upper`` bound."""
+
+
+class ModelError(ReproError):
+    """A model instance violates its metamodel while being built or mutated."""
+
+
+class UnknownFeatureError(ModelError, AttributeError):
+    """An object was asked for a structural feature its metaclass lacks.
+
+    Also an :class:`AttributeError` so that idioms like :func:`getattr` with a
+    default keep working on model objects.
+    """
+
+
+class TypeCheckError(ModelError, TypeError):
+    """A value does not conform to the declared type of a feature."""
+
+
+class MultiplicityError(ModelError):
+    """An operation would violate a feature's ``lower..upper`` bounds."""
+
+
+class ContainmentError(ModelError):
+    """An operation would corrupt the containment tree (e.g. create a cycle)."""
+
+
+class FrozenModelError(ModelError):
+    """A mutation was attempted on a model that has been frozen read-only."""
+
+
+class OclError(ReproError):
+    """Base class for the OCL-lite expression language."""
+
+
+class OclSyntaxError(OclError):
+    """The expression text could not be tokenized or parsed."""
+
+    def __init__(self, message: str, position: int = -1, text: str = ""):
+        super().__init__(message)
+        self.position = position
+        self.text = text
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        base = super().__str__()
+        if self.position >= 0 and self.text:
+            pointer = " " * self.position + "^"
+            return f"{base}\n  {self.text}\n  {pointer}"
+        return base
+
+
+class OclEvalError(OclError):
+    """The expression parsed but failed during evaluation."""
+
+
+class SerializationError(ReproError):
+    """A model could not be written to, or read back from, XMI or JSON."""
+
+
+class TransformationError(ReproError):
+    """A model transformation rule failed or produced inconsistent output."""
+
+
+class TemplateError(TransformationError):
+    """The model-to-text template engine hit a malformed template."""
+
+
+class ProfileError(ReproError):
+    """A UML profile was applied incorrectly."""
+
+
+class BaseClassMismatchError(ProfileError):
+    """A stereotype was applied to an element of the wrong UML base class."""
+
+
+class TaggedValueError(ProfileError):
+    """A tagged value is missing, unknown, or of the wrong type."""
+
+
+class ValidationFailed(ReproError):
+    """Raised by :func:`repro.core.constraints.assert_valid` on ERROR findings."""
+
+    def __init__(self, message: str, diagnostics=None):
+        super().__init__(message)
+        self.diagnostics = list(diagnostics or [])
+
+
+class RuntimeEnforcementError(ReproError):
+    """The simulated web runtime rejected an operation for DQ reasons."""
+
+
+class AuthorizationError(RuntimeEnforcementError):
+    """Confidentiality enforcement: the user may not access the data."""
+
+
+class VersionConflictError(RuntimeEnforcementError):
+    """Optimistic concurrency: the record changed since the client read it."""
+
+
+class DataQualityViolation(RuntimeEnforcementError):
+    """A runtime DQ validator rejected a write (completeness, precision ...)."""
+
+    def __init__(self, message: str, findings=None):
+        super().__init__(message)
+        self.findings = list(findings or [])

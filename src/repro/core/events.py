@@ -1,0 +1,89 @@
+"""Change notification for model objects.
+
+Every mutation of an :class:`~repro.core.objects.MObject` emits a
+:class:`Notification` to observers subscribed on the object *or any of its
+containers*, so subscribing on a model root observes the whole tree.  The
+diff engine, the runtime DQ audit trail and the test suite all consume these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+#: A single-valued feature received a (non-None) value.
+SET = "set"
+#: A single-valued feature was cleared to ``None``.
+UNSET = "unset"
+#: An item was appended/inserted into a many-valued feature.
+ADD = "add"
+#: An item was removed from a many-valued feature.
+REMOVE = "remove"
+#: An object changed container (containment move).
+MOVE = "move"
+
+KINDS = (SET, UNSET, ADD, REMOVE, MOVE)
+
+
+@dataclass(frozen=True)
+class Notification:
+    """An immutable record of one model mutation."""
+
+    kind: str
+    obj: object
+    feature: str
+    old: object
+    new: object
+
+    def __post_init__(self):
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown notification kind {self.kind!r}")
+
+    def describe(self) -> str:
+        """One-line human-readable rendering, used by audit logs."""
+        label = getattr(self.obj, "label", lambda: repr(self.obj))()
+        if self.kind == SET:
+            return f"set {label}.{self.feature} = {_short(self.new)}"
+        if self.kind == UNSET:
+            return f"unset {label}.{self.feature} (was {_short(self.old)})"
+        if self.kind == ADD:
+            return f"add {_short(self.new)} to {label}.{self.feature}"
+        if self.kind == REMOVE:
+            return f"remove {_short(self.old)} from {label}.{self.feature}"
+        return f"move {label} from {_short(self.old)} to {_short(self.new)}"
+
+
+def _short(value) -> str:
+    text = getattr(value, "label", None)
+    if callable(text):
+        return text()
+    return repr(value)
+
+
+class Recorder:
+    """An observer that accumulates notifications; handy in tests and audits.
+
+    >>> recorder = Recorder()
+    >>> # model_root.subscribe(recorder)
+    """
+
+    def __init__(self, keep: Optional[int] = None):
+        self.notifications: list[Notification] = []
+        self._keep = keep
+
+    def __call__(self, notification: Notification) -> None:
+        self.notifications.append(notification)
+        if self._keep is not None and len(self.notifications) > self._keep:
+            del self.notifications[0]
+
+    def __len__(self) -> int:
+        return len(self.notifications)
+
+    def clear(self) -> None:
+        self.notifications.clear()
+
+    def of_kind(self, kind: str) -> list[Notification]:
+        return [n for n in self.notifications if n.kind == kind]
+
+    def last(self) -> Optional[Notification]:
+        return self.notifications[-1] if self.notifications else None

@@ -1,0 +1,573 @@
+"""The metamodeling kernel: a small, MOF-flavoured meta-layer.
+
+This module lets you *define metamodels* — the same role Ecore/MOF plays for
+EMF-based tools such as the ones the DQ_WebRE paper builds on.  A metamodel is
+a :class:`MetaPackage` containing :class:`MetaClass` definitions, each with
+typed :class:`MetaAttribute` and :class:`MetaReference` features, plus
+:class:`MetaEnum` enumerations.  Instances of metaclasses are
+:class:`repro.core.objects.MObject` values created through
+:meth:`MetaClass.create`.
+
+Design notes
+------------
+* Reference targets may be given as *strings* and are resolved lazily when the
+  owning package is :meth:`MetaPackage.resolve`-d; this permits mutually
+  recursive metamodels (WebRE's ``Browse.source: Node`` / ``Node`` defined
+  later) without forward-declaration gymnastics.
+* ``upper=MANY`` (i.e. ``-1``) models the UML ``*`` multiplicity.
+* Opposite references are wired symmetrically: declaring an opposite on one
+  end is enough; resolution installs the back-pointer on the other end.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Iterable, Iterator, Optional, Sequence, Union
+
+from .errors import (
+    DuplicateFeatureError,
+    InvalidMultiplicityError,
+    MetamodelError,
+    TypeCheckError,
+    UnresolvedTypeError,
+)
+
+#: Sentinel for an unbounded upper multiplicity (UML ``*``).
+MANY = -1
+
+
+class MetaType:
+    """Abstract base of everything usable as the *type* of a feature."""
+
+    def __init__(self, name: str):
+        if not name:
+            raise MetamodelError("a MetaType needs a non-empty name")
+        self.name = name
+
+    def accepts(self, value) -> bool:
+        """Return True when ``value`` conforms to this type."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class PrimitiveType(MetaType):
+    """A primitive data type backed by a Python predicate.
+
+    The module-level singletons :data:`STRING`, :data:`INTEGER`,
+    :data:`BOOLEAN`, :data:`REAL`, :data:`ANY` cover everything the library
+    needs; you can define more for domain-specific metamodels.
+    """
+
+    def __init__(self, name: str, predicate: Callable[[object], bool]):
+        super().__init__(name)
+        self._predicate = predicate
+
+    def accepts(self, value) -> bool:
+        return self._predicate(value)
+
+
+def _is_string(value) -> bool:
+    return isinstance(value, str)
+
+
+def _is_integer(value) -> bool:
+    # bool is an int subclass but must not silently pass for INTEGER slots.
+    return isinstance(value, int) and not isinstance(value, bool)
+
+
+def _is_boolean(value) -> bool:
+    return isinstance(value, bool)
+
+
+def _is_real(value) -> bool:
+    if isinstance(value, bool):
+        return False
+    return isinstance(value, (int, float)) and not (
+        isinstance(value, float) and math.isnan(value)
+    )
+
+
+STRING = PrimitiveType("String", _is_string)
+INTEGER = PrimitiveType("Integer", _is_integer)
+BOOLEAN = PrimitiveType("Boolean", _is_boolean)
+REAL = PrimitiveType("Real", _is_real)
+ANY = PrimitiveType("Any", lambda value: True)
+
+#: The built-in primitives, keyed by their metamodel-facing names.
+PRIMITIVES = {t.name: t for t in (STRING, INTEGER, BOOLEAN, REAL, ANY)}
+
+
+class MetaEnum(MetaType):
+    """An enumeration type; values are its literal strings.
+
+    >>> severity = MetaEnum("Severity", ["low", "high"])
+    >>> severity.accepts("low")
+    True
+    >>> severity.accepts("medium")
+    False
+    """
+
+    def __init__(self, name: str, literals: Sequence[str], doc: str = ""):
+        super().__init__(name)
+        literals = list(literals)
+        if not literals:
+            raise MetamodelError(f"enum {name!r} needs at least one literal")
+        if len(set(literals)) != len(literals):
+            raise MetamodelError(f"enum {name!r} has duplicate literals")
+        self.literals = literals
+        self.doc = doc
+
+    def accepts(self, value) -> bool:
+        return value in self.literals
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.literals)
+
+    @property
+    def default(self) -> str:
+        """The first literal, used when a mandatory slot has no default."""
+        return self.literals[0]
+
+
+class MetaFeature:
+    """Common behaviour of attributes and references.
+
+    ``lower``/``upper`` encode multiplicity as in UML: ``0..1`` optional
+    single-valued, ``1..1`` mandatory, ``0..*`` any number, ``1..*`` at least
+    one.  ``upper`` may be :data:`MANY` or any positive bound.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        lower: int = 0,
+        upper: int = 1,
+        doc: str = "",
+        derived: bool = False,
+    ):
+        if not name or not name.isidentifier():
+            raise MetamodelError(f"feature name {name!r} is not an identifier")
+        if lower < 0:
+            raise InvalidMultiplicityError(f"{name}: lower bound {lower} < 0")
+        if upper != MANY and upper < 1:
+            raise InvalidMultiplicityError(f"{name}: upper bound {upper} < 1")
+        if upper != MANY and lower > upper:
+            raise InvalidMultiplicityError(
+                f"{name}: lower {lower} exceeds upper {upper}"
+            )
+        self.name = name
+        self.lower = lower
+        self.upper = upper
+        self.doc = doc
+        self.derived = derived
+        self.owner: Optional[MetaClass] = None
+
+    @property
+    def many(self) -> bool:
+        """True for a collection-valued feature (``upper`` > 1 or ``*``)."""
+        return self.upper == MANY or self.upper > 1
+
+    @property
+    def required(self) -> bool:
+        return self.lower >= 1
+
+    def multiplicity(self) -> str:
+        """Render the multiplicity the way UML diagrams do, e.g. ``1..*``."""
+        upper = "*" if self.upper == MANY else str(self.upper)
+        return f"{self.lower}..{upper}"
+
+    def __repr__(self) -> str:
+        owner = self.owner.name if self.owner else "?"
+        return f"<{type(self).__name__} {owner}.{self.name} [{self.multiplicity()}]>"
+
+
+class MetaAttribute(MetaFeature):
+    """A data-valued structural feature (primitive or enum typed)."""
+
+    def __init__(
+        self,
+        name: str,
+        type: MetaType = STRING,
+        lower: int = 0,
+        upper: int = 1,
+        default=None,
+        doc: str = "",
+        derived: bool = False,
+    ):
+        super().__init__(name, lower, upper, doc, derived)
+        if isinstance(type, MetaClass):
+            raise MetamodelError(
+                f"attribute {name!r} cannot be typed by a MetaClass; "
+                "use MetaReference"
+            )
+        self.type = type
+        if default is not None and not self.many and not type.accepts(default):
+            raise TypeCheckError(
+                f"default {default!r} does not conform to {type.name} "
+                f"for attribute {name!r}"
+            )
+        self.default = default
+
+    def check_value(self, value) -> None:
+        """Raise :class:`TypeCheckError` unless ``value`` conforms."""
+        if value is None:
+            return
+        if not self.type.accepts(value):
+            raise TypeCheckError(
+                f"attribute {self.qualified_name()}: {value!r} is not a "
+                f"{self.type.name}"
+            )
+
+    def qualified_name(self) -> str:
+        owner = self.owner.name if self.owner else "?"
+        return f"{owner}.{self.name}"
+
+
+class MetaReference(MetaFeature):
+    """An object-valued structural feature pointing at a :class:`MetaClass`.
+
+    ``target`` may be a metaclass or its (possibly qualified) name, resolved
+    when the package is finalized.  ``containment=True`` makes the reference
+    own its targets: each object has at most one container, and adding it to a
+    second containment slot moves it.  ``opposite`` names the inverse
+    reference on the target class; the kernel keeps both ends in sync.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        target: Union["MetaClass", str],
+        lower: int = 0,
+        upper: int = 1,
+        containment: bool = False,
+        opposite: Optional[str] = None,
+        doc: str = "",
+        derived: bool = False,
+    ):
+        super().__init__(name, lower, upper, doc, derived)
+        self._target = target
+        self.containment = containment
+        self.opposite_name = opposite
+        self.opposite: Optional[MetaReference] = None
+
+    @property
+    def target(self) -> "MetaClass":
+        if isinstance(self._target, str):
+            raise UnresolvedTypeError(
+                f"reference {self.name!r} still targets the unresolved name "
+                f"{self._target!r}; call MetaPackage.resolve() first"
+            )
+        return self._target
+
+    @property
+    def resolved(self) -> bool:
+        return not isinstance(self._target, str)
+
+    def check_value(self, value) -> None:
+        """Raise :class:`TypeCheckError` unless ``value`` is a conforming object."""
+        if value is None:
+            return
+        metaclass = getattr(value, "metaclass", None)
+        if metaclass is None or not metaclass.conforms_to(self.target):
+            got = metaclass.name if metaclass is not None else type(value).__name__
+            raise TypeCheckError(
+                f"reference {self.qualified_name()}: expected a "
+                f"{self.target.name}, got {got}"
+            )
+
+    def qualified_name(self) -> str:
+        owner = self.owner.name if self.owner else "?"
+        return f"{owner}.{self.name}"
+
+
+class MetaClass(MetaType):
+    """A class at the meta level — the thing model objects are instances of.
+
+    >>> pkg = MetaPackage("shapes", "urn:shapes")
+    >>> point = MetaClass("Point", package=pkg)
+    >>> _ = point.add_attribute(MetaAttribute("x", INTEGER, lower=1, default=0))
+    >>> p = point.create(x=3)
+    >>> p.get("x")
+    3
+    """
+
+    def __init__(
+        self,
+        name: str,
+        package: Optional["MetaPackage"] = None,
+        superclasses: Iterable["MetaClass"] = (),
+        abstract: bool = False,
+        doc: str = "",
+    ):
+        super().__init__(name)
+        self.package = package
+        self.superclasses: list[MetaClass] = list(superclasses)
+        self.abstract = abstract
+        self.doc = doc
+        self.attributes: dict[str, MetaAttribute] = {}
+        self.references: dict[str, MetaReference] = {}
+        if package is not None:
+            package.add_class(self)
+        for sup in self.superclasses:
+            if sup is self:
+                raise MetamodelError(f"{name!r} cannot inherit from itself")
+
+    # -- definition ------------------------------------------------------
+
+    def add_attribute(self, attribute: MetaAttribute) -> MetaAttribute:
+        self._check_fresh_feature_name(attribute.name)
+        attribute.owner = self
+        self.attributes[attribute.name] = attribute
+        return attribute
+
+    def add_reference(self, reference: MetaReference) -> MetaReference:
+        self._check_fresh_feature_name(reference.name)
+        reference.owner = self
+        self.references[reference.name] = reference
+        return reference
+
+    def attribute(
+        self, name: str, type: MetaType = STRING, **kwargs
+    ) -> "MetaClass":
+        """Fluent shorthand: define an attribute and return the class."""
+        self.add_attribute(MetaAttribute(name, type, **kwargs))
+        return self
+
+    def reference(
+        self, name: str, target: Union["MetaClass", str], **kwargs
+    ) -> "MetaClass":
+        """Fluent shorthand: define a reference and return the class."""
+        self.add_reference(MetaReference(name, target, **kwargs))
+        return self
+
+    def _check_fresh_feature_name(self, name: str) -> None:
+        # A subclass may *redefine* (shadow) an inherited feature, so only
+        # duplicates among a class's own features are rejected.
+        if name in self.attributes or name in self.references:
+            raise DuplicateFeatureError(
+                f"metaclass {self.name!r} already has a feature {name!r}"
+            )
+
+    # -- inheritance ------------------------------------------------------
+
+    def all_superclasses(self) -> list["MetaClass"]:
+        """All transitive superclasses, nearest first, duplicates removed."""
+        seen: dict[int, MetaClass] = {}
+        stack = list(self.superclasses)
+        ordered: list[MetaClass] = []
+        while stack:
+            cls = stack.pop(0)
+            if id(cls) in seen:
+                continue
+            seen[id(cls)] = cls
+            ordered.append(cls)
+            stack.extend(cls.superclasses)
+        return ordered
+
+    def conforms_to(self, other: "MetaClass") -> bool:
+        """True when instances of ``self`` are acceptable where ``other`` is."""
+        return other is self or other in self.all_superclasses()
+
+    def all_attributes(self) -> dict[str, MetaAttribute]:
+        """Own + inherited attributes; nearer definitions shadow farther ones."""
+        merged: dict[str, MetaAttribute] = {}
+        for cls in reversed(self.all_superclasses()):
+            merged.update(cls.attributes)
+        merged.update(self.attributes)
+        return merged
+
+    def all_references(self) -> dict[str, MetaReference]:
+        """Own + inherited references; nearer definitions shadow farther ones."""
+        merged: dict[str, MetaReference] = {}
+        for cls in reversed(self.all_superclasses()):
+            merged.update(cls.references)
+        merged.update(self.references)
+        return merged
+
+    def find_feature(self, name: str) -> Optional[MetaFeature]:
+        feature = self.all_attributes().get(name)
+        if feature is not None:
+            return feature
+        return self.all_references().get(name)
+
+    # -- instantiation -----------------------------------------------------
+
+    def accepts(self, value) -> bool:
+        metaclass = getattr(value, "metaclass", None)
+        return metaclass is not None and metaclass.conforms_to(self)
+
+    def create(self, **initial_values):
+        """Instantiate this metaclass as an :class:`~repro.core.objects.MObject`.
+
+        Keyword arguments initialize same-named features; mandatory
+        single-valued attributes without an explicit value fall back to their
+        declared default (or the enum's first literal).
+        """
+        from .objects import MObject  # local import: objects depends on meta
+
+        if self.abstract:
+            raise MetamodelError(f"cannot instantiate abstract class {self.name!r}")
+        obj = MObject(self)
+        for name, value in initial_values.items():
+            obj.set(name, value)
+        return obj
+
+    def qualified_name(self) -> str:
+        if self.package is None:
+            return self.name
+        return f"{self.package.qualified_name()}.{self.name}"
+
+    def __repr__(self) -> str:
+        flags = " abstract" if self.abstract else ""
+        return f"<MetaClass {self.qualified_name()}{flags}>"
+
+
+class MetaPackage:
+    """A named, URI-identified container of metaclasses, enums and subpackages."""
+
+    def __init__(self, name: str, uri: str = "", parent: Optional["MetaPackage"] = None):
+        if not name:
+            raise MetamodelError("a MetaPackage needs a non-empty name")
+        self.name = name
+        self.uri = uri or f"urn:repro:{name}"
+        self.parent = parent
+        self.classes: dict[str, MetaClass] = {}
+        self.enums: dict[str, MetaEnum] = {}
+        self.subpackages: dict[str, MetaPackage] = {}
+        if parent is not None:
+            parent.add_subpackage(self)
+
+    # -- construction ------------------------------------------------------
+
+    def add_class(self, metaclass: MetaClass) -> MetaClass:
+        if metaclass.name in self.classes:
+            raise MetamodelError(
+                f"package {self.name!r} already defines class {metaclass.name!r}"
+            )
+        metaclass.package = self
+        self.classes[metaclass.name] = metaclass
+        return metaclass
+
+    def add_enum(self, enum: MetaEnum) -> MetaEnum:
+        if enum.name in self.enums:
+            raise MetamodelError(
+                f"package {self.name!r} already defines enum {enum.name!r}"
+            )
+        self.enums[enum.name] = enum
+        return enum
+
+    def add_subpackage(self, package: "MetaPackage") -> "MetaPackage":
+        if package.name in self.subpackages:
+            raise MetamodelError(
+                f"package {self.name!r} already has subpackage {package.name!r}"
+            )
+        package.parent = self
+        self.subpackages[package.name] = package
+        return package
+
+    def define_class(
+        self,
+        name: str,
+        superclasses: Iterable[MetaClass] = (),
+        abstract: bool = False,
+        doc: str = "",
+    ) -> MetaClass:
+        """Create-and-register a metaclass in one call."""
+        return MetaClass(
+            name, package=self, superclasses=superclasses, abstract=abstract, doc=doc
+        )
+
+    def define_enum(self, name: str, literals: Sequence[str], doc: str = "") -> MetaEnum:
+        return self.add_enum(MetaEnum(name, literals, doc))
+
+    # -- lookup -------------------------------------------------------------
+
+    def find_class(self, name: str) -> Optional[MetaClass]:
+        """Find a class by simple or dotted name, searching subpackages."""
+        if "." in name:
+            head, _, rest = name.partition(".")
+            sub = self.subpackages.get(head)
+            if sub is not None:
+                return sub.find_class(rest)
+            if head == self.name:
+                return self.find_class(rest)
+            return None
+        if name in self.classes:
+            return self.classes[name]
+        for sub in self.subpackages.values():
+            found = sub.find_class(name)
+            if found is not None:
+                return found
+        return None
+
+    def find_type(self, name: str) -> Optional[MetaType]:
+        """Find a class, enum or primitive by name."""
+        if name in PRIMITIVES:
+            return PRIMITIVES[name]
+        if name in self.enums:
+            return self.enums[name]
+        found = self.find_class(name)
+        if found is not None:
+            return found
+        for sub in self.subpackages.values():
+            found = sub.find_type(name)
+            if found is not None:
+                return found
+        return None
+
+    def all_classes(self) -> Iterator[MetaClass]:
+        """Every class in this package and its subpackages, depth-first."""
+        yield from self.classes.values()
+        for sub in self.subpackages.values():
+            yield from sub.all_classes()
+
+    def qualified_name(self) -> str:
+        if self.parent is None:
+            return self.name
+        return f"{self.parent.qualified_name()}.{self.name}"
+
+    # -- finalization ---------------------------------------------------------
+
+    def resolve(self) -> "MetaPackage":
+        """Resolve string reference targets and wire opposite references.
+
+        Idempotent; returns ``self`` so definitions can end with
+        ``return package.resolve()``.
+        """
+        root = self
+        while root.parent is not None:
+            root = root.parent
+        for metaclass in self.all_classes():
+            for reference in metaclass.references.values():
+                if not reference.resolved:
+                    target = root.find_class(reference._target)
+                    if target is None:
+                        raise UnresolvedTypeError(
+                            f"{reference.qualified_name()}: no class named "
+                            f"{reference._target!r} in package "
+                            f"{root.qualified_name()!r}"
+                        )
+                    reference._target = target
+        for metaclass in self.all_classes():
+            for reference in metaclass.references.values():
+                if reference.opposite_name and reference.opposite is None:
+                    other = reference.target.find_feature(reference.opposite_name)
+                    if not isinstance(other, MetaReference):
+                        raise MetamodelError(
+                            f"{reference.qualified_name()}: opposite "
+                            f"{reference.opposite_name!r} is not a reference "
+                            f"of {reference.target.name!r}"
+                        )
+                    if other.opposite is not None and other.opposite is not reference:
+                        raise MetamodelError(
+                            f"{other.qualified_name()} already has an opposite"
+                        )
+                    reference.opposite = other
+                    other.opposite = reference
+                    other.opposite_name = reference.name
+        return self
+
+    def __repr__(self) -> str:
+        return f"<MetaPackage {self.qualified_name()} uri={self.uri!r}>"

@@ -1,0 +1,456 @@
+"""Model objects: dynamic instances of :class:`~repro.core.meta.MetaClass`.
+
+An :class:`MObject` stores one *slot* per structural feature of its metaclass.
+Single-valued slots hold a value or ``None``; many-valued slots hold a
+:class:`Slot` list-like collection.  The kernel maintains two global model
+invariants automatically:
+
+* **containment tree** — an object has at most one container; putting it into
+  another containment slot *moves* it, and cycles are rejected;
+* **opposite symmetry** — when a reference has an opposite, mutating either
+  end updates the other.
+
+Mutations emit :class:`~repro.core.events.Notification` events to observers
+registered on the object or any of its containers, which the diff engine and
+the runtime DQ interceptors build on.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, Optional
+
+from .errors import (
+    ContainmentError,
+    FrozenModelError,
+    MultiplicityError,
+    TypeCheckError,
+    UnknownFeatureError,
+)
+from .events import ADD, MOVE, REMOVE, SET, UNSET, Notification
+from .meta import MANY, MetaAttribute, MetaClass, MetaFeature, MetaReference
+
+_id_counter = itertools.count(1)
+
+
+def _next_id() -> str:
+    return f"o{next(_id_counter)}"
+
+
+class Slot:
+    """The mutable collection held by a many-valued feature of one object.
+
+    Behaves like a list (index, iterate, ``len``, ``in``) but funnels every
+    mutation through the owning object so type checks, containment moves,
+    opposite updates and notifications all happen.
+    """
+
+    def __init__(self, owner: "MObject", feature: MetaFeature):
+        self._owner = owner
+        self._feature = feature
+        self._items: list = []
+
+    # -- read access ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator:
+        return iter(self._items)
+
+    def __getitem__(self, index):
+        return self._items[index]
+
+    def __contains__(self, item) -> bool:
+        return item in self._items
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, Slot):
+            return self._items == other._items
+        if isinstance(other, list):
+            return self._items == other
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"Slot({self._feature.name}={self._items!r})"
+
+    def index(self, item) -> int:
+        return self._items.index(item)
+
+    # -- mutation ----------------------------------------------------------
+
+    def append(self, item) -> None:
+        self.insert(len(self._items), item)
+
+    def add(self, item) -> None:
+        """Alias of :meth:`append`, reading better for set-like features."""
+        self.append(item)
+
+    def extend(self, items) -> None:
+        for item in items:
+            self.append(item)
+
+    def insert(self, index: int, item) -> None:
+        owner = self._owner
+        owner._check_mutable()
+        feature = self._feature
+        owner._check_feature_value(feature, item)
+        upper = feature.upper
+        if upper != MANY and len(self._items) >= upper:
+            raise MultiplicityError(
+                f"{feature.qualified_name()}: upper bound {upper} reached"
+            )
+        if isinstance(feature, MetaReference):
+            if item in self._items:
+                return  # references behave like ordered sets
+            owner._attach_reference_target(feature, item)
+        self._items.insert(index, item)
+        owner._notify(Notification(ADD, owner, feature.name, None, item))
+
+    def remove(self, item) -> None:
+        owner = self._owner
+        owner._check_mutable()
+        if item not in self._items:
+            raise ValueError(f"{item!r} not in slot {self._feature.name!r}")
+        self._items.remove(item)
+        if isinstance(self._feature, MetaReference):
+            owner._detach_reference_target(self._feature, item)
+        owner._notify(Notification(REMOVE, owner, self._feature.name, item, None))
+
+    def discard(self, item) -> None:
+        if item in self._items:
+            self.remove(item)
+
+    def clear(self) -> None:
+        for item in list(self._items):
+            self.remove(item)
+
+    def pop(self, index: int = -1):
+        item = self._items[index]
+        self.remove(item)
+        return item
+
+    def _silent_remove(self, item) -> None:
+        """Remove without touching opposites (used by the kernel itself)."""
+        self._items.remove(item)
+
+    def _silent_append(self, item) -> None:
+        self._items.append(item)
+
+
+class MObject:
+    """A model element: one instance of a :class:`MetaClass`.
+
+    Features are accessed with :meth:`get` / :meth:`set` or, for convenience,
+    as plain Python attributes (``order.customer`` works whenever ``customer``
+    is a feature of the metaclass and does not collide with an MObject
+    method).
+    """
+
+    _RESERVED = ()
+
+    def __init__(self, metaclass: MetaClass):
+        object.__setattr__(self, "metaclass", metaclass)
+        object.__setattr__(self, "id", _next_id())
+        object.__setattr__(self, "_slots", {})
+        object.__setattr__(self, "_container", None)
+        object.__setattr__(self, "_containing_feature", None)
+        object.__setattr__(self, "_observers", [])
+        object.__setattr__(self, "_frozen", False)
+        slots = self._slots
+        for name, attribute in metaclass.all_attributes().items():
+            if attribute.many:
+                slots[name] = Slot(self, attribute)
+            else:
+                slots[name] = attribute.default
+        for name, reference in metaclass.all_references().items():
+            if reference.many:
+                slots[name] = Slot(self, reference)
+            else:
+                slots[name] = None
+
+    # -- feature access -------------------------------------------------------
+
+    def feature(self, name: str) -> MetaFeature:
+        feature = self.metaclass.find_feature(name)
+        if feature is None:
+            raise UnknownFeatureError(
+                f"{self.metaclass.name} has no feature {name!r}"
+            )
+        return feature
+
+    def has_feature(self, name: str) -> bool:
+        return self.metaclass.find_feature(name) is not None
+
+    def get(self, name: str):
+        self.feature(name)  # raises on unknown names
+        return self._slots[name]
+
+    def set(self, name: str, value) -> "MObject":
+        """Set a feature; many-valued features accept an iterable (replaces).
+
+        Returns ``self`` to allow chained initialization.
+        """
+        self._check_mutable()
+        feature = self.feature(name)
+        if feature.many:
+            slot: Slot = self._slots[name]
+            slot.clear()
+            if value is not None:
+                slot.extend(value)
+            return self
+        old = self._slots[name]
+        if value is old:
+            return self
+        self._check_feature_value(feature, value)
+        if isinstance(feature, MetaReference):
+            if old is not None:
+                self._detach_reference_target(feature, old)
+            if value is not None:
+                self._attach_reference_target(feature, value)
+        self._slots[name] = value
+        kind = SET if value is not None else UNSET
+        self._notify(Notification(kind, self, name, old, value))
+        return self
+
+    def unset(self, name: str) -> "MObject":
+        feature = self.feature(name)
+        if feature.many:
+            self._slots[name].clear()
+            return self
+        return self.set(name, None)
+
+    def __getattr__(self, name: str):
+        # Only called when normal attribute lookup fails.
+        slots = object.__getattribute__(self, "_slots")
+        if name in slots:
+            return slots[name]
+        metaclass = object.__getattribute__(self, "metaclass")
+        raise UnknownFeatureError(f"{metaclass.name} has no feature {name!r}")
+
+    def __setattr__(self, name: str, value) -> None:
+        if name.startswith("_") or name in ("metaclass", "id"):
+            object.__setattr__(self, name, value)
+            return
+        self.set(name, value)
+
+    # -- checking ------------------------------------------------------------
+
+    def _check_feature_value(self, feature: MetaFeature, value) -> None:
+        if value is None:
+            return
+        if isinstance(feature, MetaAttribute):
+            feature.check_value(value)
+        else:
+            assert isinstance(feature, MetaReference)
+            feature.check_value(value)
+
+    def _check_mutable(self) -> None:
+        if self._frozen:
+            raise FrozenModelError(
+                f"{self.metaclass.name} {self.id} is frozen read-only"
+            )
+
+    def freeze(self, recursive: bool = True) -> "MObject":
+        """Make this object (and by default its contents) read-only."""
+        object.__setattr__(self, "_frozen", True)
+        if recursive:
+            for child in self.owned_elements():
+                child.freeze(recursive=True)
+        return self
+
+    def unfreeze(self, recursive: bool = True) -> "MObject":
+        object.__setattr__(self, "_frozen", False)
+        if recursive:
+            for child in self.owned_elements():
+                child.unfreeze(recursive=True)
+        return self
+
+    # -- containment -------------------------------------------------------------
+
+    @property
+    def container(self) -> Optional["MObject"]:
+        """The object owning ``self`` through a containment reference."""
+        return self._container
+
+    @property
+    def containing_feature(self) -> Optional[MetaReference]:
+        return self._containing_feature
+
+    def root(self) -> "MObject":
+        """The top of this object's containment tree (``self`` if unowned)."""
+        obj = self
+        while obj._container is not None:
+            obj = obj._container
+        return obj
+
+    def owned_elements(self) -> Iterator["MObject"]:
+        """Direct children via containment references."""
+        for name, reference in self.metaclass.all_references().items():
+            if not reference.containment:
+                continue
+            value = self._slots[name]
+            if isinstance(value, Slot):
+                yield from value
+            elif value is not None:
+                yield value
+
+    def all_contents(self) -> Iterator["MObject"]:
+        """Every transitively contained object, depth-first pre-order."""
+        for child in self.owned_elements():
+            yield child
+            yield from child.all_contents()
+
+    def _attach_reference_target(self, feature: MetaReference, value: "MObject") -> None:
+        if feature.containment:
+            if value is self or value in self._ancestors():
+                raise ContainmentError(
+                    f"adding {value.id} under {self.id} would create a "
+                    "containment cycle"
+                )
+            old_container = value._container
+            if old_container is not None:
+                old_container._release_child(value)
+            object.__setattr__(value, "_container", self)
+            object.__setattr__(value, "_containing_feature", feature)
+            if old_container is not None:
+                self._notify(Notification(MOVE, value, feature.name, old_container, self))
+        if feature.opposite is not None:
+            value._install_opposite(feature.opposite, self)
+
+    def _detach_reference_target(self, feature: MetaReference, value: "MObject") -> None:
+        if feature.containment and value._container is self:
+            object.__setattr__(value, "_container", None)
+            object.__setattr__(value, "_containing_feature", None)
+        if feature.opposite is not None:
+            value._remove_opposite(feature.opposite, self)
+
+    def _install_opposite(self, opposite: MetaReference, source: "MObject") -> None:
+        slot = self._slots[opposite.name]
+        if isinstance(slot, Slot):
+            if source not in slot:
+                slot._silent_append(source)
+        elif slot is not source:
+            if slot is not None:
+                # Steal: drop the previous one-to-one partner's pointer.
+                slot._drop_pointer_to(self, opposite)
+            self._slots[opposite.name] = source
+
+    def _remove_opposite(self, opposite: MetaReference, source: "MObject") -> None:
+        slot = self._slots[opposite.name]
+        if isinstance(slot, Slot):
+            if source in slot:
+                slot._silent_remove(source)
+        elif slot is source:
+            self._slots[opposite.name] = None
+
+    def _drop_pointer_to(self, target: "MObject", reference: MetaReference) -> None:
+        """Remove ``target`` from the inverse of ``reference`` silently."""
+        inverse = reference.opposite
+        if inverse is None:
+            return
+        slot = self._slots.get(inverse.name)
+        if isinstance(slot, Slot):
+            if target in slot:
+                slot._silent_remove(target)
+        elif slot is target:
+            self._slots[inverse.name] = None
+
+    def _release_child(self, child: "MObject") -> None:
+        """Remove ``child`` from whichever containment slot holds it."""
+        feature = child._containing_feature
+        if feature is None:
+            return
+        slot = self._slots.get(feature.name)
+        if isinstance(slot, Slot):
+            if child in slot:
+                slot._silent_remove(child)
+        elif slot is child:
+            self._slots[feature.name] = None
+        object.__setattr__(child, "_container", None)
+        object.__setattr__(child, "_containing_feature", None)
+
+    def _ancestors(self) -> list["MObject"]:
+        chain = []
+        obj = self._container
+        while obj is not None:
+            chain.append(obj)
+            obj = obj._container
+        return chain
+
+    def delete(self) -> None:
+        """Detach from the container and clear incoming opposite pointers."""
+        self._check_mutable()
+        if self._container is not None:
+            feature = self._containing_feature
+            container = self._container
+            slot = container._slots.get(feature.name)
+            if isinstance(slot, Slot):
+                slot.remove(self)
+            else:
+                container.set(feature.name, None)
+        for name, reference in self.metaclass.all_references().items():
+            if reference.opposite is None and not reference.containment:
+                continue
+            value = self._slots[name]
+            if isinstance(value, Slot):
+                value.clear()
+            elif value is not None:
+                self.set(name, None)
+
+    # -- validation helpers ---------------------------------------------------
+
+    def missing_required_features(self) -> list[MetaFeature]:
+        """Features whose lower bound is not met (used by the validator)."""
+        missing = []
+        for name, feature in self.metaclass.all_attributes().items():
+            if not self._lower_bound_met(feature, self._slots[name]):
+                missing.append(feature)
+        for name, feature in self.metaclass.all_references().items():
+            if not self._lower_bound_met(feature, self._slots[name]):
+                missing.append(feature)
+        return missing
+
+    @staticmethod
+    def _lower_bound_met(feature: MetaFeature, value) -> bool:
+        if feature.lower == 0:
+            return True
+        if isinstance(value, Slot):
+            return len(value) >= feature.lower
+        return value is not None
+
+    # -- events -----------------------------------------------------------------
+
+    def subscribe(self, observer) -> None:
+        """Register ``observer(notification)`` for events in this subtree."""
+        self._observers.append(observer)
+
+    def unsubscribe(self, observer) -> None:
+        if observer in self._observers:
+            self._observers.remove(observer)
+
+    def _notify(self, notification: Notification) -> None:
+        obj = self
+        while obj is not None:
+            for observer in list(obj._observers):
+                observer(notification)
+            obj = obj._container
+
+    # -- misc ------------------------------------------------------------------
+
+    def is_instance_of(self, metaclass: MetaClass) -> bool:
+        return self.metaclass.conforms_to(metaclass)
+
+    def label(self) -> str:
+        """A human-readable label: the ``name`` feature when present."""
+        if self.has_feature("name"):
+            name = self._slots.get("name")
+            if isinstance(name, str) and name:
+                return name
+        return self.id
+
+    def __repr__(self) -> str:
+        return f"<{self.metaclass.name} {self.label()!r} ({self.id})>"

@@ -1,0 +1,902 @@
+"""OCL-lite: a small OCL-flavoured expression language over model objects.
+
+The DQ_WebRE profile constraints of the paper's Table 3 ("must be related to
+at least one element of type WebProcess") are stated in OCL in UML tooling.
+This module implements enough of OCL to express and machine-check all of
+them, plus the well-formedness rules of WebRE and the kernel:
+
+* literals: integers, reals, strings (single quotes), ``true``/``false``,
+  ``null``, sequence literals ``Sequence{1, 2, 3}`` / ``Set{...}``;
+* ``self`` and iterator variables;
+* property navigation ``a.b.c`` (collections flatten-navigate like OCL);
+* collection operations via ``->``: ``size``, ``isEmpty``, ``notEmpty``,
+  ``includes``, ``excludes``, ``includesAll``, ``excludesAll``, ``count``,
+  ``sum``, ``min``, ``max``, ``first``, ``last``, ``asSet``, ``asSequence``,
+  ``flatten``, and the iterators ``exists``, ``forAll``, ``select``,
+  ``reject``, ``collect``, ``any``, ``one``, ``isUnique``, ``sortedBy``,
+  ``closure`` (transitive, cycle-safe);
+* type tests ``oclIsKindOf(Type)`` / ``oclIsTypeOf(Type)`` and
+  ``oclAsType(Type)`` (a checked identity in this dynamic kernel);
+* operators ``not``, ``and``, ``or``, ``xor``, ``implies``,
+  ``=``, ``<>``, ``<``, ``<=``, ``>``, ``>=``, ``+``, ``-``, ``*``, ``/``,
+  ``mod``, ``div``, unary minus;
+* ``if <c> then <a> else <b> endif`` and ``let x = e in body``;
+* string ops as methods: ``size()``, ``concat(s)``, ``toUpper()``,
+  ``toLower()``, ``substring(lo, hi)`` (1-based inclusive, as OCL).
+
+Evaluation is dynamically typed; ``null`` propagates through navigation the
+way practical OCL tools do (navigating from null yields null / empty).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from .errors import OclEvalError, OclSyntaxError
+from .meta import MetaClass
+from .objects import MObject, Slot
+
+# ---------------------------------------------------------------------------
+# Lexer
+# ---------------------------------------------------------------------------
+
+_KEYWORDS = {
+    "self", "true", "false", "null", "not", "and", "or", "xor", "implies",
+    "if", "then", "else", "endif", "let", "in", "div", "mod",
+    "Sequence", "Set",
+}
+
+_TWO_CHAR = {"->", "<=", ">=", "<>"}
+_ONE_CHAR = set("()[]{},.|=<>+-*/:")
+
+
+class Token:
+    __slots__ = ("kind", "value", "pos")
+
+    def __init__(self, kind: str, value, pos: int):
+        self.kind = kind
+        self.value = value
+        self.pos = pos
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind}, {self.value!r})"
+
+
+def tokenize(text: str) -> list[Token]:
+    tokens: list[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if text[i:i + 2] in _TWO_CHAR:
+            tokens.append(Token("op", text[i:i + 2], i))
+            i += 2
+            continue
+        if ch == "'":
+            j = i + 1
+            chunks = []
+            while j < n:
+                if text[j] == "'":
+                    if j + 1 < n and text[j + 1] == "'":  # escaped quote
+                        chunks.append("'")
+                        j += 2
+                        continue
+                    break
+                chunks.append(text[j])
+                j += 1
+            if j >= n:
+                raise OclSyntaxError("unterminated string literal", i, text)
+            tokens.append(Token("string", "".join(chunks), i))
+            i = j + 1
+            continue
+        if ch.isdigit():
+            j = i
+            while j < n and text[j].isdigit():
+                j += 1
+            if j < n - 1 and text[j] == "." and text[j + 1].isdigit():
+                j += 1
+                while j < n and text[j].isdigit():
+                    j += 1
+                tokens.append(Token("real", float(text[i:j]), i))
+            else:
+                tokens.append(Token("int", int(text[i:j]), i))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            if word in _KEYWORDS:
+                tokens.append(Token("kw", word, i))
+            else:
+                tokens.append(Token("name", word, i))
+            i = j
+            continue
+        if ch in _ONE_CHAR:
+            tokens.append(Token("op", ch, i))
+            i += 1
+            continue
+        raise OclSyntaxError(f"unexpected character {ch!r}", i, text)
+    tokens.append(Token("eof", None, n))
+    return tokens
+
+
+# ---------------------------------------------------------------------------
+# AST
+# ---------------------------------------------------------------------------
+
+
+class Node:
+    """Base class of AST nodes; subclasses implement :meth:`eval`."""
+
+    def eval(self, env: "Environment"):
+        raise NotImplementedError
+
+
+class Literal(Node):
+    def __init__(self, value):
+        self.value = value
+
+    def eval(self, env):
+        return self.value
+
+
+class CollectionLiteral(Node):
+    def __init__(self, kind: str, items: list[Node]):
+        self.kind = kind  # "Sequence" or "Set"
+        self.items = items
+
+    def eval(self, env):
+        values = [item.eval(env) for item in self.items]
+        if self.kind == "Set":
+            return _unique(values)
+        return values
+
+
+class Variable(Node):
+    def __init__(self, name: str):
+        self.name = name
+
+    def eval(self, env):
+        return env.lookup(self.name)
+
+
+class Navigation(Node):
+    """``source.name`` — property access, flattening over collections."""
+
+    def __init__(self, source: Node, name: str):
+        self.source = source
+        self.name = name
+
+    def eval(self, env):
+        value = self.source.eval(env)
+        return _navigate(value, self.name)
+
+
+class MethodCall(Node):
+    """``source.name(args)`` — dot-call: string ops, oclIsKindOf, etc."""
+
+    def __init__(self, source: Node, name: str, args: list[Node]):
+        self.source = source
+        self.name = name
+        self.args = args
+
+    def eval(self, env):
+        receiver = self.source.eval(env)
+        name = self.name
+        if name in ("oclIsKindOf", "oclIsTypeOf", "oclAsType"):
+            metaclass = env.resolve_type(_type_argument(self.args, name))
+            return _type_operation(name, receiver, metaclass)
+        args = [arg.eval(env) for arg in self.args]
+        return _method(receiver, name, args)
+
+
+class ArrowCall(Node):
+    """``source->op(...)`` — collection operation or iterator."""
+
+    ITERATORS = {
+        "exists", "forAll", "select", "reject", "collect", "any", "one",
+        "isUnique", "sortedBy", "closure",
+    }
+
+    def __init__(
+        self,
+        source: Node,
+        name: str,
+        iterator: Optional[str],
+        body: Optional[Node],
+        args: list[Node],
+    ):
+        self.source = source
+        self.name = name
+        self.iterator = iterator
+        self.body = body
+        self.args = args
+
+    def eval(self, env):
+        collection = _as_collection(self.source.eval(env))
+        if self.name in self.ITERATORS:
+            return self._eval_iterator(collection, env)
+        args = [arg.eval(env) for arg in self.args]
+        return _collection_op(self.name, collection, args)
+
+    def _eval_iterator(self, collection: list, env: "Environment"):
+        var = self.iterator or "__it"
+        body = self.body
+        if body is None:
+            raise OclEvalError(f"iterator {self.name}() needs a body expression")
+
+        def each(item):
+            return body.eval(env.child({var: item}))
+
+        name = self.name
+        if name == "exists":
+            return any(_truthy(each(item)) for item in collection)
+        if name == "forAll":
+            return all(_truthy(each(item)) for item in collection)
+        if name == "select":
+            return [item for item in collection if _truthy(each(item))]
+        if name == "reject":
+            return [item for item in collection if not _truthy(each(item))]
+        if name == "collect":
+            return _flatten_once([each(item) for item in collection])
+        if name == "any":
+            for item in collection:
+                if _truthy(each(item)):
+                    return item
+            return None
+        if name == "one":
+            return sum(1 for item in collection if _truthy(each(item))) == 1
+        if name == "isUnique":
+            seen = []
+            for item in collection:
+                key = each(item)
+                if key in seen:
+                    return False
+                seen.append(key)
+            return True
+        if name == "sortedBy":
+            return sorted(collection, key=each)
+        if name == "closure":
+            # transitive closure of the body navigation, cycle-safe
+            result: list = []
+            frontier = list(collection)
+            while frontier:
+                item = frontier.pop(0)
+                produced = _as_collection(each(item))
+                for value in produced:
+                    if not any(_ocl_equal(value, seen) for seen in result):
+                        result.append(value)
+                        frontier.append(value)
+            return result
+        raise OclEvalError(f"unknown iterator {name!r}")  # pragma: no cover
+
+
+class Unary(Node):
+    def __init__(self, op: str, operand: Node):
+        self.op = op
+        self.operand = operand
+
+    def eval(self, env):
+        value = self.operand.eval(env)
+        if self.op == "not":
+            return not _truthy(value)
+        if self.op == "-":
+            _require_number(value, "unary -")
+            return -value
+        raise OclEvalError(f"unknown unary operator {self.op!r}")  # pragma: no cover
+
+
+class Binary(Node):
+    def __init__(self, op: str, left: Node, right: Node):
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def eval(self, env):
+        op = self.op
+        if op in ("and", "or", "implies"):
+            left = _truthy(self.left.eval(env))
+            if op == "and":
+                return left and _truthy(self.right.eval(env))
+            if op == "or":
+                return left or _truthy(self.right.eval(env))
+            return (not left) or _truthy(self.right.eval(env))
+        left = self.left.eval(env)
+        right = self.right.eval(env)
+        if op == "xor":
+            return _truthy(left) != _truthy(right)
+        if op == "=":
+            return _ocl_equal(left, right)
+        if op == "<>":
+            return not _ocl_equal(left, right)
+        if op in ("<", "<=", ">", ">="):
+            _require_comparable(left, right, op)
+            if op == "<":
+                return left < right
+            if op == "<=":
+                return left <= right
+            if op == ">":
+                return left > right
+            return left >= right
+        if op == "+":
+            if isinstance(left, str) or isinstance(right, str):
+                if not (isinstance(left, str) and isinstance(right, str)):
+                    raise OclEvalError("'+' cannot mix strings and numbers")
+                return left + right
+            _require_number(left, "+")
+            _require_number(right, "+")
+            return left + right
+        _require_number(left, op)
+        _require_number(right, op)
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/":
+            if right == 0:
+                raise OclEvalError("division by zero")
+            return left / right
+        if op == "div":
+            if right == 0:
+                raise OclEvalError("division by zero")
+            return int(left // right)
+        if op == "mod":
+            if right == 0:
+                raise OclEvalError("modulo by zero")
+            return int(left % right)
+        raise OclEvalError(f"unknown operator {op!r}")  # pragma: no cover
+
+
+class IfThenElse(Node):
+    def __init__(self, condition: Node, then: Node, otherwise: Node):
+        self.condition = condition
+        self.then = then
+        self.otherwise = otherwise
+
+    def eval(self, env):
+        if _truthy(self.condition.eval(env)):
+            return self.then.eval(env)
+        return self.otherwise.eval(env)
+
+
+class Let(Node):
+    def __init__(self, name: str, value: Node, body: Node):
+        self.name = name
+        self.value = value
+        self.body = body
+
+    def eval(self, env):
+        return self.body.eval(env.child({self.name: self.value.eval(env)}))
+
+
+# ---------------------------------------------------------------------------
+# Parser (recursive descent, precedence climbing)
+# ---------------------------------------------------------------------------
+
+
+class Parser:
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = tokenize(text)
+        self.index = 0
+
+    # grammar precedence, loosest first:
+    #   implies < xor < or < and < not < comparison < additive
+    #   < multiplicative < unary- < postfix < primary
+
+    def parse(self) -> Node:
+        node = self._implies()
+        self._expect_kind("eof")
+        return node
+
+    def _peek(self) -> Token:
+        return self.tokens[self.index]
+
+    def _advance(self) -> Token:
+        token = self.tokens[self.index]
+        self.index += 1
+        return token
+
+    def _match(self, kind: str, value=None) -> Optional[Token]:
+        token = self._peek()
+        if token.kind == kind and (value is None or token.value == value):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: str, value) -> Token:
+        token = self._match(kind, value)
+        if token is None:
+            got = self._peek()
+            raise OclSyntaxError(
+                f"expected {value!r}, got {got.value!r}", got.pos, self.text
+            )
+        return token
+
+    def _expect_kind(self, kind: str) -> Token:
+        token = self._peek()
+        if token.kind != kind:
+            raise OclSyntaxError(
+                f"expected {kind}, got {token.value!r}", token.pos, self.text
+            )
+        return self._advance()
+
+    def _implies(self) -> Node:
+        node = self._xor()
+        while self._match("kw", "implies"):
+            node = Binary("implies", node, self._xor())
+        return node
+
+    def _xor(self) -> Node:
+        node = self._or()
+        while self._match("kw", "xor"):
+            node = Binary("xor", node, self._or())
+        return node
+
+    def _or(self) -> Node:
+        node = self._and()
+        while self._match("kw", "or"):
+            node = Binary("or", node, self._and())
+        return node
+
+    def _and(self) -> Node:
+        node = self._not()
+        while self._match("kw", "and"):
+            node = Binary("and", node, self._not())
+        return node
+
+    def _not(self) -> Node:
+        if self._match("kw", "not"):
+            return Unary("not", self._not())
+        return self._comparison()
+
+    def _comparison(self) -> Node:
+        node = self._additive()
+        token = self._peek()
+        if token.kind == "op" and token.value in ("=", "<>", "<", "<=", ">", ">="):
+            self._advance()
+            return Binary(token.value, node, self._additive())
+        return node
+
+    def _additive(self) -> Node:
+        node = self._multiplicative()
+        while True:
+            token = self._peek()
+            if token.kind == "op" and token.value in ("+", "-"):
+                self._advance()
+                node = Binary(token.value, node, self._multiplicative())
+            else:
+                return node
+
+    def _multiplicative(self) -> Node:
+        node = self._unary()
+        while True:
+            token = self._peek()
+            if token.kind == "op" and token.value in ("*", "/"):
+                self._advance()
+                node = Binary(token.value, node, self._unary())
+            elif token.kind == "kw" and token.value in ("div", "mod"):
+                self._advance()
+                node = Binary(token.value, node, self._unary())
+            else:
+                return node
+
+    def _unary(self) -> Node:
+        if self._match("op", "-"):
+            return Unary("-", self._unary())
+        return self._postfix()
+
+    def _postfix(self) -> Node:
+        node = self._primary()
+        while True:
+            if self._match("op", "."):
+                name = self._expect_kind("name").value
+                if self._match("op", "("):
+                    args = self._arguments()
+                    node = MethodCall(node, name, args)
+                else:
+                    node = Navigation(node, name)
+            elif self._match("op", "->"):
+                name = self._expect_kind("name").value
+                self._expect("op", "(")
+                node = self._arrow_call(node, name)
+            else:
+                return node
+
+    def _arrow_call(self, source: Node, name: str) -> Node:
+        if name in ArrowCall.ITERATORS:
+            iterator, body = self._iterator_body()
+            self._expect("op", ")")
+            return ArrowCall(source, name, iterator, body, [])
+        args = self._arguments()
+        return ArrowCall(source, name, None, None, args)
+
+    def _iterator_body(self) -> tuple[Optional[str], Node]:
+        # Either "x | expr" or just "expr" (anonymous iterator not supported
+        # inside the body — use an explicit variable for nested iterators).
+        checkpoint = self.index
+        token = self._peek()
+        if token.kind == "name":
+            self._advance()
+            if self._match("op", "|"):
+                return token.value, self._implies()
+            self.index = checkpoint
+        return None, self._implies()
+
+    def _arguments(self) -> list[Node]:
+        args: list[Node] = []
+        if self._match("op", ")"):
+            return args
+        args.append(self._implies())
+        while self._match("op", ","):
+            args.append(self._implies())
+        self._expect("op", ")")
+        return args
+
+    def _primary(self) -> Node:
+        token = self._peek()
+        if token.kind in ("int", "real", "string"):
+            self._advance()
+            return Literal(token.value)
+        if token.kind == "kw":
+            if token.value == "true":
+                self._advance()
+                return Literal(True)
+            if token.value == "false":
+                self._advance()
+                return Literal(False)
+            if token.value == "null":
+                self._advance()
+                return Literal(None)
+            if token.value == "self":
+                self._advance()
+                return Variable("self")
+            if token.value == "if":
+                return self._if_expression()
+            if token.value == "let":
+                return self._let_expression()
+            if token.value in ("Sequence", "Set"):
+                return self._collection_literal()
+        if token.kind == "name":
+            self._advance()
+            return Variable(token.value)
+        if self._match("op", "("):
+            node = self._implies()
+            self._expect("op", ")")
+            return node
+        raise OclSyntaxError(
+            f"unexpected token {token.value!r}", token.pos, self.text
+        )
+
+    def _if_expression(self) -> Node:
+        self._expect("kw", "if")
+        condition = self._implies()
+        self._expect("kw", "then")
+        then = self._implies()
+        self._expect("kw", "else")
+        otherwise = self._implies()
+        self._expect("kw", "endif")
+        return IfThenElse(condition, then, otherwise)
+
+    def _let_expression(self) -> Node:
+        self._expect("kw", "let")
+        name = self._expect_kind("name").value
+        self._expect("op", "=")
+        value = self._implies()
+        self._expect("kw", "in")
+        body = self._implies()
+        return Let(name, value, body)
+
+    def _collection_literal(self) -> Node:
+        kind = self._advance().value  # Sequence / Set
+        self._expect("op", "{")
+        items: list[Node] = []
+        if not self._match("op", "}"):
+            items.append(self._implies())
+            while self._match("op", ","):
+                items.append(self._implies())
+            self._expect("op", "}")
+        return CollectionLiteral(kind, items)
+
+
+# ---------------------------------------------------------------------------
+# Evaluation helpers
+# ---------------------------------------------------------------------------
+
+
+class Environment:
+    """Variable bindings plus the type-resolution context for OCL type tests."""
+
+    def __init__(self, bindings: dict, type_resolver=None, parent=None):
+        self._bindings = bindings
+        self._type_resolver = type_resolver
+        self._parent = parent
+
+    def lookup(self, name: str):
+        env: Optional[Environment] = self
+        while env is not None:
+            if name in env._bindings:
+                return env._bindings[name]
+            env = env._parent
+        raise OclEvalError(f"unbound variable {name!r}")
+
+    def child(self, bindings: dict) -> "Environment":
+        return Environment(bindings, self._type_resolver, self)
+
+    def resolve_type(self, name: str) -> MetaClass:
+        env: Optional[Environment] = self
+        while env is not None:
+            if env._type_resolver is not None:
+                metaclass = env._type_resolver(name)
+                if metaclass is not None:
+                    return metaclass
+            env = env._parent
+        raise OclEvalError(f"unknown type {name!r} in OCL type operation")
+
+
+def _truthy(value) -> bool:
+    if value is None:
+        return False
+    if isinstance(value, bool):
+        return value
+    raise OclEvalError(f"expected a Boolean, got {value!r}")
+
+
+def _require_number(value, op: str) -> None:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise OclEvalError(f"operator {op!r} needs numbers, got {value!r}")
+
+
+def _require_comparable(left, right, op: str) -> None:
+    if isinstance(left, str) and isinstance(right, str):
+        return
+    _require_number(left, op)
+    _require_number(right, op)
+
+
+def _ocl_equal(left, right) -> bool:
+    if isinstance(left, Slot):
+        left = list(left)
+    if isinstance(right, Slot):
+        right = list(right)
+    if isinstance(left, MObject) or isinstance(right, MObject):
+        return left is right
+    return left == right
+
+
+def _as_collection(value) -> list:
+    if value is None:
+        return []
+    if isinstance(value, Slot):
+        return list(value)
+    if isinstance(value, (list, tuple, set)):
+        return list(value)
+    return [value]
+
+
+def _unique(values: list) -> list:
+    result: list = []
+    for value in values:
+        if not any(_ocl_equal(value, seen) for seen in result):
+            result.append(value)
+    return result
+
+
+def _flatten_once(values: list) -> list:
+    flattened: list = []
+    for value in values:
+        if isinstance(value, (list, tuple, Slot)):
+            flattened.extend(value)
+        else:
+            flattened.append(value)
+    return flattened
+
+
+def _navigate(value, name: str):
+    if value is None:
+        return None
+    if isinstance(value, (list, tuple, Slot)):
+        return _flatten_once([_navigate(item, name) for item in value if item is not None])
+    if isinstance(value, MObject):
+        if not value.has_feature(name):
+            raise OclEvalError(
+                f"{value.metaclass.name} has no property {name!r}"
+            )
+        result = value.get(name)
+        if isinstance(result, Slot):
+            return list(result)
+        return result
+    if isinstance(value, dict):
+        # Plain records navigate like objects: absent keys read as null,
+        # so expressions stay total over partially filled submissions.
+        return value.get(name)
+    raise OclEvalError(f"cannot navigate {name!r} from {value!r}")
+
+
+def _type_argument(args: list[Node], operation: str) -> str:
+    if len(args) != 1 or not isinstance(args[0], Variable):
+        raise OclEvalError(f"{operation} expects a single type name argument")
+    return args[0].name
+
+
+def _type_operation(name: str, receiver, metaclass: MetaClass):
+    if name == "oclIsKindOf":
+        return isinstance(receiver, MObject) and receiver.is_instance_of(metaclass)
+    if name == "oclIsTypeOf":
+        return isinstance(receiver, MObject) and receiver.metaclass is metaclass
+    # oclAsType: checked identity cast
+    if not (isinstance(receiver, MObject) and receiver.is_instance_of(metaclass)):
+        raise OclEvalError(
+            f"oclAsType: value {receiver!r} is not a {metaclass.name}"
+        )
+    return receiver
+
+
+def _method(receiver, name: str, args: list):
+    if isinstance(receiver, str):
+        return _string_method(receiver, name, args)
+    if isinstance(receiver, (int, float)) and not isinstance(receiver, bool):
+        return _number_method(receiver, name, args)
+    raise OclEvalError(f"no method {name!r} on {receiver!r}")
+
+
+def _string_method(receiver: str, name: str, args: list):
+    if name == "size" and not args:
+        return len(receiver)
+    if name == "concat" and len(args) == 1:
+        return receiver + str(args[0])
+    if name == "toUpper" and not args:
+        return receiver.upper()
+    if name == "toLower" and not args:
+        return receiver.lower()
+    if name == "substring" and len(args) == 2:
+        lo, hi = args
+        if not (1 <= lo <= hi <= len(receiver)):
+            raise OclEvalError(
+                f"substring({lo}, {hi}) out of range for length {len(receiver)}"
+            )
+        return receiver[lo - 1:hi]
+    if name == "indexOf" and len(args) == 1:
+        return receiver.find(str(args[0])) + 1  # OCL is 1-based; 0 = absent
+    raise OclEvalError(f"unknown string method {name!r}")
+
+
+def _number_method(receiver, name: str, args: list):
+    if name == "abs" and not args:
+        return abs(receiver)
+    if name == "floor" and not args:
+        return int(receiver // 1)
+    if name == "round" and not args:
+        return round(receiver)
+    if name == "max" and len(args) == 1:
+        return max(receiver, args[0])
+    if name == "min" and len(args) == 1:
+        return min(receiver, args[0])
+    raise OclEvalError(f"unknown number method {name!r}")
+
+
+def _collection_op(name: str, collection: list, args: list):
+    if name == "size":
+        return len(collection)
+    if name == "isEmpty":
+        return len(collection) == 0
+    if name == "notEmpty":
+        return len(collection) > 0
+    if name == "includes":
+        return any(_ocl_equal(item, args[0]) for item in collection)
+    if name == "excludes":
+        return not any(_ocl_equal(item, args[0]) for item in collection)
+    if name == "includesAll":
+        other = _as_collection(args[0])
+        return all(
+            any(_ocl_equal(item, wanted) for item in collection) for wanted in other
+        )
+    if name == "excludesAll":
+        other = _as_collection(args[0])
+        return not any(
+            any(_ocl_equal(item, banned) for item in collection) for banned in other
+        )
+    if name == "count":
+        return sum(1 for item in collection if _ocl_equal(item, args[0]))
+    if name == "sum":
+        total = 0
+        for item in collection:
+            _require_number(item, "sum")
+            total += item
+        return total
+    if name == "min":
+        if not collection:
+            raise OclEvalError("min() on empty collection")
+        return min(collection)
+    if name == "max":
+        if not collection:
+            raise OclEvalError("max() on empty collection")
+        return max(collection)
+    if name == "first":
+        return collection[0] if collection else None
+    if name == "last":
+        return collection[-1] if collection else None
+    if name == "at":
+        index = args[0]
+        if not (1 <= index <= len(collection)):
+            raise OclEvalError(f"at({index}) out of range 1..{len(collection)}")
+        return collection[index - 1]
+    if name == "asSet":
+        return _unique(collection)
+    if name == "asSequence":
+        return list(collection)
+    if name == "flatten":
+        return _flatten_once(collection)
+    if name == "including":
+        return collection + [args[0]]
+    if name == "excluding":
+        return [item for item in collection if not _ocl_equal(item, args[0])]
+    if name == "union":
+        return collection + _as_collection(args[0])
+    if name == "intersection":
+        other = _as_collection(args[0])
+        return [
+            item for item in collection
+            if any(_ocl_equal(item, o) for o in other)
+        ]
+    raise OclEvalError(f"unknown collection operation {name!r}")
+
+
+# ---------------------------------------------------------------------------
+# Public API
+# ---------------------------------------------------------------------------
+
+
+class OclExpression:
+    """A parsed, reusable OCL-lite expression.
+
+    >>> expr = OclExpression("self.name.size() > 0")
+    >>> # expr.evaluate(some_object)
+    """
+
+    def __init__(self, text: str, type_resolver=None):
+        self.text = text
+        self._ast = Parser(text).parse()
+        self._type_resolver = type_resolver
+
+    def evaluate(self, context, variables: Optional[dict] = None, type_resolver=None):
+        bindings = {"self": context}
+        if variables:
+            bindings.update(variables)
+        resolver = type_resolver or self._type_resolver
+        return self._ast.eval(Environment(bindings, resolver))
+
+    def __repr__(self) -> str:
+        return f"OclExpression({self.text!r})"
+
+
+def parse(text: str) -> OclExpression:
+    """Parse ``text``; raises :class:`OclSyntaxError` on malformed input."""
+    return OclExpression(text)
+
+
+def evaluate(
+    text: str,
+    context,
+    variables: Optional[dict] = None,
+    type_resolver=None,
+):
+    """Parse and evaluate in one call (convenience for one-shot checks)."""
+    return OclExpression(text).evaluate(context, variables, type_resolver)
+
+
+def type_resolver_for(*packages) -> "callable":
+    """Build a type resolver that looks class names up in ``packages``."""
+
+    def resolve(name: str) -> Optional[MetaClass]:
+        for package in packages:
+            found = package.find_class(name)
+            if found is not None:
+                return found
+        return None
+
+    return resolve

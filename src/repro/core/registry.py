@@ -1,0 +1,71 @@
+"""A registry of metamodel packages, keyed by URI and by name.
+
+Serializers need to find a metaclass again from its qualified name when a
+model is read back; the registry is that lookup service.  The library
+registers its built-in metamodels (UML, WebRE, DQ_WebRE, the design
+metamodel) in the :data:`global_registry` at import time.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from .errors import MetamodelError
+from .meta import MetaClass, MetaPackage
+
+
+class MetamodelRegistry:
+    """Maps package URIs and names to :class:`MetaPackage` instances."""
+
+    def __init__(self):
+        self._by_uri: dict[str, MetaPackage] = {}
+
+    def register(self, package: MetaPackage) -> MetaPackage:
+        existing = self._by_uri.get(package.uri)
+        if existing is not None and existing is not package:
+            raise MetamodelError(
+                f"URI {package.uri!r} already registered for package "
+                f"{existing.name!r}"
+            )
+        self._by_uri[package.uri] = package
+        return package
+
+    def unregister(self, package: MetaPackage) -> None:
+        self._by_uri.pop(package.uri, None)
+
+    def by_uri(self, uri: str) -> Optional[MetaPackage]:
+        return self._by_uri.get(uri)
+
+    def by_name(self, name: str) -> Optional[MetaPackage]:
+        for package in self._by_uri.values():
+            if package.name == name or package.qualified_name() == name:
+                return package
+        return None
+
+    def find_class(self, qualified_name: str) -> Optional[MetaClass]:
+        """Resolve ``package.Class`` or bare ``Class`` across all packages."""
+        if "." in qualified_name:
+            package_name, _, class_name = qualified_name.partition(".")
+            package = self.by_name(package_name)
+            if package is not None:
+                found = package.find_class(class_name)
+                if found is not None:
+                    return found
+        for package in self._by_uri.values():
+            found = package.find_class(qualified_name)
+            if found is not None:
+                return found
+        return None
+
+    def packages(self) -> Iterator[MetaPackage]:
+        return iter(self._by_uri.values())
+
+    def __contains__(self, uri: str) -> bool:
+        return uri in self._by_uri
+
+    def __len__(self) -> int:
+        return len(self._by_uri)
+
+
+#: The process-wide registry used by serializers unless told otherwise.
+global_registry = MetamodelRegistry()

@@ -1,0 +1,5 @@
+"""Model (de)serialization: XMI-flavoured XML and JSON."""
+
+from . import jsonio, xmi
+
+__all__ = ["jsonio", "xmi"]

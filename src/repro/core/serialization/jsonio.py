@@ -1,0 +1,175 @@
+"""JSON (de)serialization of model object trees.
+
+The format is a direct rendering of the containment tree:
+
+.. code-block:: json
+
+    {
+      "eClass": "webre.WebProcess",
+      "id": "o42",
+      "name": "Add new review to submission",
+      "activities": [ { "eClass": "...", ... } ],
+      "target": { "$ref": "o17" }
+    }
+
+* containment references nest child documents;
+* cross references use ``{"$ref": <id>}`` stubs, resolved in a second pass;
+* attributes serialize as plain JSON values.
+
+Round trip is identity up to object ``id`` renumbering (ids are preserved in
+the document and restored on load so cross references stay stable).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional, Union
+
+from ..errors import SerializationError
+from ..meta import MetaReference
+from ..objects import MObject, Slot
+from ..registry import MetamodelRegistry, global_registry
+
+_CLASS_KEY = "eClass"
+_ID_KEY = "id"
+_REF_KEY = "$ref"
+
+
+def to_dict(root: MObject) -> dict:
+    """Serialize the tree under ``root`` into a JSON-compatible dict.
+
+    Every cross reference must stay inside the serialized tree; a reference
+    escaping it would produce a document that cannot be loaded back, so it
+    is rejected here, at dump time, with a pointed error.
+    """
+    _check_self_contained(root)
+    return _object_to_dict(root)
+
+
+def _check_self_contained(root: MObject) -> None:
+    from ..visitor import referenced_objects, walk
+
+    inside = {id(obj) for obj in walk(root)}
+    for obj in walk(root):
+        for feature_name, target in referenced_objects(obj):
+            if id(target) not in inside:
+                raise SerializationError(
+                    f"{obj.metaclass.name} {obj.label()!r}.{feature_name} "
+                    f"references {target.label()!r} outside the serialized "
+                    "tree; detach it (or serialize a common root) first"
+                )
+
+
+def _object_to_dict(obj: MObject) -> dict:
+    document: dict = {
+        _CLASS_KEY: obj.metaclass.qualified_name(),
+        _ID_KEY: obj.id,
+    }
+    for name in obj.metaclass.all_attributes():
+        value = obj.get(name)
+        if isinstance(value, Slot):
+            if len(value):
+                document[name] = list(value)
+        elif value is not None:
+            document[name] = value
+    for name, reference in obj.metaclass.all_references().items():
+        value = obj.get(name)
+        if reference.containment:
+            if isinstance(value, Slot):
+                if len(value):
+                    document[name] = [_object_to_dict(child) for child in value]
+            elif value is not None:
+                document[name] = _object_to_dict(value)
+        else:
+            if isinstance(value, Slot):
+                if len(value):
+                    document[name] = [{_REF_KEY: item.id} for item in value]
+            elif value is not None:
+                document[name] = {_REF_KEY: value.id}
+    return document
+
+
+def dumps(root: MObject, indent: Optional[int] = 2) -> str:
+    """Serialize to a JSON string."""
+    return json.dumps(to_dict(root), indent=indent)
+
+
+def dump(root: MObject, path: str, indent: Optional[int] = 2) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dumps(root, indent))
+
+
+def from_dict(
+    document: dict, registry: Optional[MetamodelRegistry] = None
+) -> MObject:
+    """Rebuild a model tree from :func:`to_dict` output."""
+    registry = registry or global_registry
+    by_id: dict[str, MObject] = {}
+    pending: list[tuple[MObject, str, Union[list, dict]]] = []
+    root = _build_object(document, registry, by_id, pending)
+    for obj, feature_name, raw in pending:
+        if isinstance(raw, list):
+            targets = [_resolve_ref(stub, by_id) for stub in raw]
+            obj.set(feature_name, targets)
+        else:
+            obj.set(feature_name, _resolve_ref(raw, by_id))
+    return root
+
+
+def _build_object(document: dict, registry, by_id, pending) -> MObject:
+    if _CLASS_KEY not in document:
+        raise SerializationError(f"document lacks {_CLASS_KEY!r}: {document!r}")
+    class_name = document[_CLASS_KEY]
+    metaclass = registry.find_class(class_name)
+    if metaclass is None:
+        raise SerializationError(f"unknown metaclass {class_name!r}")
+    obj = metaclass.create()
+    if _ID_KEY in document:
+        object.__setattr__(obj, "id", document[_ID_KEY])
+    if obj.id in by_id:
+        raise SerializationError(f"duplicate object id {obj.id!r}")
+    by_id[obj.id] = obj
+    references = metaclass.all_references()
+    attributes = metaclass.all_attributes()
+    for key, value in document.items():
+        if key in (_CLASS_KEY, _ID_KEY):
+            continue
+        if key in attributes:
+            obj.set(key, value)
+            continue
+        reference = references.get(key)
+        if reference is None:
+            raise SerializationError(
+                f"{class_name} has no feature {key!r} (stale document?)"
+            )
+        if reference.containment:
+            if isinstance(value, list):
+                children = [
+                    _build_object(child, registry, by_id, pending)
+                    for child in value
+                ]
+                obj.set(key, children)
+            else:
+                obj.set(key, _build_object(value, registry, by_id, pending))
+        else:
+            pending.append((obj, key, value))
+    return obj
+
+
+def _resolve_ref(stub, by_id: dict[str, MObject]) -> MObject:
+    if not isinstance(stub, dict) or _REF_KEY not in stub:
+        raise SerializationError(f"expected a $ref stub, got {stub!r}")
+    ref_id = stub[_REF_KEY]
+    target = by_id.get(ref_id)
+    if target is None:
+        raise SerializationError(f"dangling reference to id {ref_id!r}")
+    return target
+
+
+def loads(text: str, registry: Optional[MetamodelRegistry] = None) -> MObject:
+    return from_dict(json.loads(text), registry)
+
+
+def load(path: str, registry: Optional[MetamodelRegistry] = None) -> MObject:
+    with open(path, "r", encoding="utf-8") as handle:
+        return loads(handle.read(), registry)

@@ -1,0 +1,221 @@
+"""XMI-flavoured XML (de)serialization of model object trees.
+
+This follows the spirit of OMG XMI as used by EMF tools (the paper's
+ecosystem): one XML element per model object, ``xmi:id`` identifiers,
+containment as nested elements, cross references as ``idref`` attributes.
+
+Layout:
+
+.. code-block:: xml
+
+    <xmi:XMI xmlns:xmi="http://www.omg.org/XMI">
+      <webre.WebProcess xmi:id="o1" name="Add new review">
+        <activities xmi:type="webre.Browse" xmi:id="o2" name="..."
+                    target="o9"/>
+      </webre.WebProcess>
+    </xmi:XMI>
+
+* the root object's tag is its qualified metaclass name;
+* contained children use the *feature name* as tag with an ``xmi:type``
+  attribute carrying the concrete metaclass (EMF style);
+* single-valued primitive attributes become XML attributes; many-valued
+  attributes become ``<feature>text</feature>`` child elements;
+* cross references are XML attributes holding space-separated target ids.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import Optional
+
+from ..errors import SerializationError
+from ..meta import MetaAttribute, BOOLEAN, INTEGER, REAL
+from ..objects import MObject, Slot
+from ..registry import MetamodelRegistry, global_registry
+
+XMI_NS = "http://www.omg.org/XMI"
+_ID = f"{{{XMI_NS}}}id"
+_TYPE = f"{{{XMI_NS}}}type"
+
+ET.register_namespace("xmi", XMI_NS)
+
+
+def to_element(root: MObject) -> ET.Element:
+    """Serialize a tree into an ``<xmi:XMI>`` :class:`~xml.etree.ElementTree.Element`.
+
+    Like the JSON flavour, references escaping the tree are rejected at
+    dump time (the resulting document could never resolve them).
+    """
+    from .jsonio import _check_self_contained
+
+    _check_self_contained(root)
+    wrapper = ET.Element(f"{{{XMI_NS}}}XMI")
+    wrapper.append(_object_to_element(root, tag=root.metaclass.qualified_name()))
+    return wrapper
+
+
+def _object_to_element(obj: MObject, tag: str, concrete: Optional[str] = None) -> ET.Element:
+    element = ET.Element(tag)
+    element.set(_ID, obj.id)
+    if concrete is not None:
+        element.set(_TYPE, concrete)
+    for name, attribute in obj.metaclass.all_attributes().items():
+        value = obj.get(name)
+        if isinstance(value, Slot):
+            for item in value:
+                child = ET.SubElement(element, name)
+                child.text = _render_value(item)
+        elif value is not None:
+            element.set(name, _render_value(value))
+    for name, reference in obj.metaclass.all_references().items():
+        value = obj.get(name)
+        if reference.containment:
+            if isinstance(value, Slot):
+                for item in value:
+                    element.append(
+                        _object_to_element(
+                            item, tag=name,
+                            concrete=item.metaclass.qualified_name(),
+                        )
+                    )
+            elif value is not None:
+                element.append(
+                    _object_to_element(
+                        value, tag=name,
+                        concrete=value.metaclass.qualified_name(),
+                    )
+                )
+        else:
+            if isinstance(value, Slot):
+                if len(value):
+                    element.set(name, " ".join(item.id for item in value))
+            elif value is not None:
+                element.set(name, value.id)
+    return element
+
+
+def _render_value(value) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    return str(value)
+
+
+def dumps(root: MObject) -> str:
+    """Serialize to an XML string."""
+    element = to_element(root)
+    ET.indent(element)
+    return ET.tostring(element, encoding="unicode")
+
+
+def dump(root: MObject, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dumps(root))
+
+
+def from_element(
+    wrapper: ET.Element, registry: Optional[MetamodelRegistry] = None
+) -> MObject:
+    """Rebuild a model from :func:`to_element` output."""
+    registry = registry or global_registry
+    children = list(wrapper)
+    if len(children) != 1:
+        raise SerializationError(
+            f"expected exactly one root object element, got {len(children)}"
+        )
+    by_id: dict[str, MObject] = {}
+    pending: list[tuple[MObject, str, str]] = []
+    root_element = children[0]
+    root = _build_object(root_element, root_element.tag, registry, by_id, pending)
+    for obj, feature_name, raw_ids in pending:
+        reference = obj.metaclass.all_references()[feature_name]
+        ids = raw_ids.split()
+        targets = []
+        for ref_id in ids:
+            target = by_id.get(ref_id)
+            if target is None:
+                raise SerializationError(f"dangling reference to id {ref_id!r}")
+            targets.append(target)
+        if reference.many:
+            obj.set(feature_name, targets)
+        else:
+            if len(targets) != 1:
+                raise SerializationError(
+                    f"{feature_name}: single-valued reference with "
+                    f"{len(targets)} targets"
+                )
+            obj.set(feature_name, targets[0])
+    return root
+
+
+def _build_object(element: ET.Element, class_name: str, registry, by_id, pending) -> MObject:
+    metaclass = registry.find_class(class_name)
+    if metaclass is None:
+        raise SerializationError(f"unknown metaclass {class_name!r}")
+    obj = metaclass.create()
+    xmi_id = element.get(_ID)
+    if xmi_id:
+        object.__setattr__(obj, "id", xmi_id)
+    if obj.id in by_id:
+        raise SerializationError(f"duplicate xmi:id {obj.id!r}")
+    by_id[obj.id] = obj
+    attributes = metaclass.all_attributes()
+    references = metaclass.all_references()
+    for key, raw in element.attrib.items():
+        if key in (_ID, _TYPE):
+            continue
+        if key in attributes:
+            obj.set(key, _parse_value(attributes[key], raw))
+        elif key in references:
+            pending.append((obj, key, raw))
+        else:
+            raise SerializationError(f"{class_name} has no feature {key!r}")
+    for child in element:
+        name = child.tag
+        if name in attributes:
+            attribute = attributes[name]
+            slot = obj.get(name)
+            slot.append(_parse_value(attribute, child.text or ""))
+            continue
+        reference = references.get(name)
+        if reference is None or not reference.containment:
+            raise SerializationError(
+                f"{class_name}: unexpected child element {name!r}"
+            )
+        concrete = child.get(_TYPE) or reference.target.qualified_name()
+        built = _build_object(child, concrete, registry, by_id, pending)
+        if reference.many:
+            obj.get(name).append(built)
+        else:
+            obj.set(name, built)
+    return obj
+
+
+def _parse_value(attribute: MetaAttribute, raw: str):
+    if attribute.type is BOOLEAN:
+        if raw not in ("true", "false"):
+            raise SerializationError(f"bad boolean literal {raw!r}")
+        return raw == "true"
+    if attribute.type is INTEGER:
+        try:
+            return int(raw)
+        except ValueError as exc:
+            raise SerializationError(f"bad integer literal {raw!r}") from exc
+    if attribute.type is REAL:
+        try:
+            return float(raw)
+        except ValueError as exc:
+            raise SerializationError(f"bad real literal {raw!r}") from exc
+    return raw
+
+
+def loads(text: str, registry: Optional[MetamodelRegistry] = None) -> MObject:
+    try:
+        wrapper = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise SerializationError(f"malformed XMI document: {exc}") from exc
+    return from_element(wrapper, registry)
+
+
+def load(path: str, registry: Optional[MetamodelRegistry] = None) -> MObject:
+    with open(path, "r", encoding="utf-8") as handle:
+        return loads(handle.read(), registry)

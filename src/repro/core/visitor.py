@@ -1,0 +1,96 @@
+"""Traversal and query helpers over model object trees."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional
+
+from .meta import MetaClass
+from .objects import MObject, Slot
+
+
+def walk(root: MObject, include_root: bool = True) -> Iterator[MObject]:
+    """Depth-first pre-order traversal of a containment tree."""
+    if include_root:
+        yield root
+    yield from root.all_contents()
+
+
+def objects_of_type(
+    root: MObject, metaclass: MetaClass, include_root: bool = True
+) -> list[MObject]:
+    """All objects in the tree conforming to ``metaclass``."""
+    return [
+        obj
+        for obj in walk(root, include_root=include_root)
+        if obj.is_instance_of(metaclass)
+    ]
+
+
+def find(
+    root: MObject,
+    predicate: Callable[[MObject], bool],
+    include_root: bool = True,
+) -> Optional[MObject]:
+    """First object (pre-order) satisfying ``predicate``, else ``None``."""
+    for obj in walk(root, include_root=include_root):
+        if predicate(obj):
+            return obj
+    return None
+
+
+def find_all(
+    root: MObject,
+    predicate: Callable[[MObject], bool],
+    include_root: bool = True,
+) -> list[MObject]:
+    return [obj for obj in walk(root, include_root=include_root) if predicate(obj)]
+
+
+def find_by_name(root: MObject, name: str) -> Optional[MObject]:
+    """First object whose ``name`` feature equals ``name``."""
+    def has_name(obj: MObject) -> bool:
+        return obj.has_feature("name") and obj.get("name") == name
+
+    return find(root, has_name)
+
+
+def count(root: MObject) -> int:
+    """Number of objects in the tree, root included."""
+    return sum(1 for _ in walk(root))
+
+
+def path_of(obj: MObject) -> str:
+    """A slash-separated path of labels from the root to ``obj``.
+
+    Used by the XMI serializer for cross-references and by diagnostics to
+    point at an offending element.
+    """
+    parts: list[str] = []
+    current: Optional[MObject] = obj
+    while current is not None:
+        parts.append(current.label())
+        current = current.container
+    return "/".join(reversed(parts))
+
+
+def referenced_objects(obj: MObject) -> Iterator[tuple[str, MObject]]:
+    """Yield ``(feature_name, target)`` for every non-containment reference."""
+    for name, reference in obj.metaclass.all_references().items():
+        if reference.containment:
+            continue
+        value = obj.get(name)
+        if isinstance(value, Slot):
+            for item in value:
+                yield name, item
+        elif value is not None:
+            yield name, value
+
+
+def incoming_references(root: MObject, target: MObject) -> list[tuple[MObject, str]]:
+    """All ``(source, feature)`` pairs in the tree pointing at ``target``."""
+    hits = []
+    for obj in walk(root):
+        for feature_name, pointed in referenced_objects(obj):
+            if pointed is target:
+                hits.append((obj, feature_name))
+    return hits

@@ -1,0 +1,5 @@
+"""``repro.diagrams`` — diagram source emitters (PlantUML, Mermaid, ASCII)."""
+
+from . import ascii, mermaid, plantuml
+
+__all__ = ["plantuml", "mermaid", "ascii"]

@@ -1,0 +1,91 @@
+"""Plain-text renderings for terminals, logs and documentation."""
+
+from __future__ import annotations
+
+from repro.core import MObject, Slot
+from repro.core.meta import MetaPackage
+
+
+def containment_tree(root: MObject, indent: str = "") -> str:
+    """The containment tree of a model, one element per line."""
+    lines = [f"{indent}{root.metaclass.name}: {root.label()}"]
+    for child in root.owned_elements():
+        lines.append(containment_tree(child, indent + "  "))
+    return "\n".join(lines)
+
+
+def metamodel_summary(package: MetaPackage) -> str:
+    """Classes, features and inheritance of a metamodel, as text."""
+    lines = [f"package {package.qualified_name()} <{package.uri}>"]
+    for sub in package.subpackages.values():
+        lines.append(metamodel_summary(sub))
+    for metaclass in package.classes.values():
+        flags = " (abstract)" if metaclass.abstract else ""
+        supers = ", ".join(s.name for s in metaclass.superclasses)
+        extends = f" extends {supers}" if supers else ""
+        lines.append(f"  class {metaclass.name}{flags}{extends}")
+        for attribute in metaclass.attributes.values():
+            lines.append(
+                f"    {attribute.name}: {attribute.type.name} "
+                f"[{attribute.multiplicity()}]"
+            )
+        for reference in metaclass.references.values():
+            kind = "contains" if reference.containment else "refs"
+            target = (
+                reference.target.name
+                if reference.resolved
+                else repr(reference._target)
+            )
+            lines.append(
+                f"    {reference.name} {kind} {target} "
+                f"[{reference.multiplicity()}]"
+            )
+    return "\n".join(lines)
+
+
+def table(headers: list[str], rows: list[list[str]], max_width: int = 40) -> str:
+    """A monospace table with simple column sizing and cell truncation."""
+    def clip(text: str) -> str:
+        text = str(text)
+        if len(text) <= max_width:
+            return text
+        return text[: max_width - 1] + "…"
+
+    clipped = [[clip(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in clipped:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: list[str]) -> str:
+        return " | ".join(
+            cell.ljust(width) for cell, width in zip(cells, widths)
+        ).rstrip()
+
+    separator = "-+-".join("-" * width for width in widths)
+    out = [line(headers), separator]
+    out.extend(line(row) for row in clipped)
+    return "\n".join(out)
+
+
+def object_card(obj: MObject) -> str:
+    """One element with its feature values, card style."""
+    lines = [f"[{obj.metaclass.name}] {obj.label()}"]
+    for name in obj.metaclass.all_attributes():
+        value = obj.get(name)
+        if isinstance(value, Slot):
+            if len(value):
+                lines.append(f"  {name} = {list(value)!r}")
+        elif value is not None:
+            lines.append(f"  {name} = {value!r}")
+    for name, reference in obj.metaclass.all_references().items():
+        if reference.containment:
+            continue
+        value = obj.get(name)
+        if isinstance(value, Slot):
+            if len(value):
+                labels = ", ".join(item.label() for item in value)
+                lines.append(f"  {name} -> {labels}")
+        elif value is not None:
+            lines.append(f"  {name} -> {value.label()}")
+    return "\n".join(lines)

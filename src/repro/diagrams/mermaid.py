@@ -1,0 +1,122 @@
+"""Mermaid emitters — a second diagram syntax for web-friendly rendering.
+
+Covers the diagram kinds the reproduction needs: metamodel/class diagrams
+(``classDiagram``), use case diagrams (``graph``, as Mermaid has no native
+use case syntax) and activity diagrams (``flowchart``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core import MObject
+from repro.core.meta import MANY, MetaPackage
+from repro.uml import metamodel as U
+from repro.uml.profiles import stereotype_names
+
+
+def _identifier(name: str) -> str:
+    cleaned = "".join(c if c.isalnum() else "_" for c in name)
+    if not cleaned or cleaned[0].isdigit():
+        cleaned = f"e_{cleaned}"
+    return cleaned
+
+
+def metamodel_diagram(package: MetaPackage, highlight: Iterable[str] = ()) -> str:
+    """A metamodel as a Mermaid classDiagram."""
+    highlight = set(highlight)
+    lines = ["classDiagram"]
+    classes = list(package.all_classes())
+    for metaclass in classes:
+        identifier = _identifier(metaclass.name)
+        lines.append(f"class {identifier}")
+        if metaclass.abstract:
+            lines.append(f"<<abstract>> {identifier}")
+        elif metaclass.name in highlight:
+            lines.append(f"<<DQ>> {identifier}")
+        for attribute in metaclass.attributes.values():
+            lines.append(
+                f"{identifier} : {attribute.name} {attribute.type.name}"
+            )
+    for metaclass in classes:
+        identifier = _identifier(metaclass.name)
+        for superclass in metaclass.superclasses:
+            lines.append(f"{_identifier(superclass.name)} <|-- {identifier}")
+        for reference in metaclass.references.values():
+            if not reference.resolved:
+                continue
+            upper = "*" if reference.upper == MANY else str(reference.upper)
+            link = "*--" if reference.containment else "-->"
+            lines.append(
+                f'{identifier} {link} "{reference.lower}..{upper}" '
+                f"{_identifier(reference.target.name)} : {reference.name}"
+            )
+    return "\n".join(lines)
+
+
+def usecase_diagram(package: MObject) -> str:
+    """Actors and use cases as a Mermaid graph (ellipses for use cases)."""
+    lines = ["graph LR"]
+    for element in package.packagedElements:
+        if element.is_instance_of(U.Actor):
+            lines.append(
+                f'{_identifier(element.name)}["{_label(element)}"]'
+            )
+        elif element.is_instance_of(U.UseCase):
+            lines.append(
+                f'{_identifier(element.name)}(["{_label(element)}"])'
+            )
+    for element in package.packagedElements:
+        if not element.is_instance_of(U.UseCase):
+            continue
+        identifier = _identifier(element.name)
+        for actor in element.actors:
+            lines.append(f"{_identifier(actor.name)} --- {identifier}")
+        for link in element.includes:
+            lines.append(
+                f"{identifier} -.->|include| "
+                f"{_identifier(link.addition.name)}"
+            )
+        for link in element.extends:
+            lines.append(
+                f"{identifier} -.->|extend| "
+                f"{_identifier(link.extendedCase.name)}"
+            )
+    return "\n".join(lines)
+
+
+def _label(element: MObject) -> str:
+    names = stereotype_names(element)
+    prefix = "".join(f"«{n}» " for n in names)
+    return f"{prefix}{element.name}"
+
+
+def activity_diagram(activity: MObject) -> str:
+    """An activity as a Mermaid flowchart."""
+    lines = ["flowchart TD"]
+    for node in activity.nodes:
+        identifier = _identifier(node.name or node.id)
+        if node.is_instance_of(U.InitialNode):
+            lines.append(f"{identifier}((start))")
+        elif node.is_instance_of(U.ActivityFinalNode) or node.is_instance_of(
+            U.FlowFinalNode
+        ):
+            lines.append(f"{identifier}(((end)))")
+        elif node.is_instance_of(U.DecisionNode) or node.is_instance_of(
+            U.MergeNode
+        ):
+            lines.append(f'{identifier}{{"{_label(node)}"}}')
+        elif node.is_instance_of(U.ObjectNode):
+            lines.append(f'{identifier}[/"{_label(node)}"/]')
+        else:
+            lines.append(f'{identifier}["{_label(node)}"]')
+    for edge in activity.edges:
+        source = _identifier(edge.source.name or edge.source.id)
+        target = _identifier(edge.target.name or edge.target.id)
+        if edge.is_instance_of(U.ObjectFlow):
+            arrow = "-.->"
+        else:
+            arrow = "-->"
+        guard = f"|{edge.guard}|" if edge.guard else ""
+        lines.append(f"{source} {arrow}{guard} {target}")
+    return "\n".join(lines)

@@ -1,0 +1,338 @@
+"""PlantUML emitters: render models and metamodels as diagram sources.
+
+The paper's figures are Enterprise Architect diagrams; we regenerate each as
+PlantUML text — machine-readable, diffable, and renderable with any PlantUML
+toolchain.  Emitters:
+
+* :func:`metamodel_diagram` — a :class:`MetaPackage` as a class diagram
+  (Fig. 1 flavour);
+* :func:`usecase_diagram` — a UML package as a use case diagram with
+  stereotypes and include/extend (Fig. 6 flavour);
+* :func:`activity_diagram` — a UML activity as an activity diagram
+  (Fig. 7 flavour);
+* :func:`class_diagram` — UML classes/associations with stereotypes
+  (Fig. 4 flavour);
+* :func:`profile_diagram` — a UML profile's stereotypes, tags and
+  constraints (Figs. 2-5 flavour);
+* :func:`requirement_diagram` — SysML-ish requirements and their links.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.core import MObject
+from repro.core.meta import MANY, MetaClass, MetaPackage
+from repro.uml import metamodel as U
+from repro.uml.profiles import stereotype_names
+
+
+def _identifier(name: str) -> str:
+    """A PlantUML-safe alias for an element name."""
+    cleaned = "".join(c if c.isalnum() else "_" for c in name)
+    if not cleaned or cleaned[0].isdigit():
+        cleaned = f"e_{cleaned}"
+    return cleaned
+
+
+def _stereo_prefix(element: MObject) -> str:
+    names = stereotype_names(element)
+    return "".join(f"<<{name}>> " for name in names)
+
+
+# ---------------------------------------------------------------------------
+# Metamodel (MetaPackage) -> class diagram
+# ---------------------------------------------------------------------------
+
+
+def metamodel_diagram(
+    package: MetaPackage,
+    title: str = "",
+    highlight: Iterable[str] = (),
+) -> str:
+    """Render a metamodel as a PlantUML class diagram.
+
+    ``highlight`` names metaclasses to tint (used to mark the DQ additions
+    of Fig. 1 against the WebRE base).
+    """
+    highlight = set(highlight)
+    lines = ["@startuml"]
+    if title:
+        lines.append(f"title {title}")
+    lines.append("skinparam classAttributeIconSize 0")
+    classes = list(package.all_classes())
+    for metaclass in classes:
+        lines.extend(_metaclass_block(metaclass, metaclass.name in highlight))
+    for metaclass in classes:
+        for superclass in metaclass.superclasses:
+            lines.append(
+                f"{_identifier(superclass.name)} <|-- "
+                f"{_identifier(metaclass.name)}"
+            )
+        for reference in metaclass.references.values():
+            if not reference.resolved:
+                continue
+            arrow = "*--" if reference.containment else "-->"
+            upper = "*" if reference.upper == MANY else str(reference.upper)
+            label = f"{reference.name} [{reference.lower}..{upper}]"
+            lines.append(
+                f"{_identifier(metaclass.name)} {arrow} "
+                f"{_identifier(reference.target.name)} : {label}"
+            )
+    lines.append("@enduml")
+    return "\n".join(lines)
+
+
+def _metaclass_block(metaclass: MetaClass, highlighted: bool) -> list[str]:
+    color = " #D5E8D4" if highlighted else ""
+    kind = "abstract class" if metaclass.abstract else "class"
+    header = f'{kind} "{metaclass.name}" as {_identifier(metaclass.name)}{color} {{'
+    lines = [header]
+    for attribute in metaclass.attributes.values():
+        upper = "*" if attribute.upper == MANY else str(attribute.upper)
+        suffix = f" [{attribute.lower}..{upper}]" if attribute.many else ""
+        lines.append(f"  {attribute.name} : {attribute.type.name}{suffix}")
+    lines.append("}")
+    return lines
+
+
+# ---------------------------------------------------------------------------
+# UML use case diagram
+# ---------------------------------------------------------------------------
+
+
+def usecase_diagram(package: MObject, title: str = "") -> str:
+    """Render a UML package's actors/use cases as a use case diagram."""
+    lines = ["@startuml"]
+    if title:
+        lines.append(f"title {title}")
+    actors = _packaged(package, U.Actor)
+    cases = _packaged(package, U.UseCase)
+    for actor in actors:
+        stereo = _stereo_text(actor)
+        lines.append(f'actor "{actor.name}" as {_identifier(actor.name)}{stereo}')
+    for case in cases:
+        stereo = _stereo_text(case)
+        lines.append(
+            f'usecase "{case.name}" as {_identifier(case.name)}{stereo}'
+        )
+    for case in cases:
+        for actor in case.actors:
+            lines.append(
+                f"{_identifier(actor.name)} -- {_identifier(case.name)}"
+            )
+        for link in case.includes:
+            lines.append(
+                f"{_identifier(case.name)} ..> "
+                f"{_identifier(link.addition.name)} : <<include>>"
+            )
+        for link in case.extends:
+            lines.append(
+                f"{_identifier(case.name)} ..> "
+                f"{_identifier(link.extendedCase.name)} : <<extend>>"
+            )
+    lines.extend(_comment_lines(cases))
+    lines.append("@enduml")
+    return "\n".join(lines)
+
+
+def _stereo_text(element: MObject) -> str:
+    names = stereotype_names(element)
+    if not names:
+        return ""
+    inner = ", ".join(names)
+    return f" <<{inner}>>"
+
+
+def _comment_lines(elements: Iterable[MObject]) -> list[str]:
+    lines: list[str] = []
+    for element in elements:
+        for index, comment in enumerate(element.ownedComments):
+            note_id = f"N_{_identifier(element.name)}_{index}"
+            body = comment.body.replace("\n", "\\n")
+            lines.append(f'note "{body}" as {note_id}')
+            lines.append(f"{note_id} .. {_identifier(element.name)}")
+    return lines
+
+
+def _packaged(package: MObject, metaclass) -> list[MObject]:
+    found = []
+    for element in package.packagedElements:
+        if element.is_instance_of(metaclass):
+            found.append(element)
+        if element.is_instance_of(U.Package):
+            found.extend(_packaged(element, metaclass))
+    return found
+
+
+# ---------------------------------------------------------------------------
+# UML activity diagram
+# ---------------------------------------------------------------------------
+
+
+def activity_diagram(activity: MObject, title: str = "") -> str:
+    """Render a UML Activity (graph form, explicit nodes and edges)."""
+    lines = ["@startuml"]
+    lines.append(f"title {title or activity.name}")
+    for node in activity.nodes:
+        lines.extend(_activity_node(node))
+    for edge in activity.edges:
+        arrow = "-->" if edge.is_instance_of(U.ControlFlow) else "..>"
+        guard = f" : [{edge.guard}]" if edge.guard else ""
+        lines.append(
+            f"{_node_id(edge.source)} {arrow} {_node_id(edge.target)}{guard}"
+        )
+    lines.append("@enduml")
+    return "\n".join(lines)
+
+
+def _node_id(node: MObject) -> str:
+    return _identifier(node.name or node.id)
+
+
+def _activity_node(node: MObject) -> list[str]:
+    identifier = _node_id(node)
+    stereo = _stereo_text(node)
+    if node.is_instance_of(U.InitialNode):
+        return [f'circle " " as {identifier}']
+    if node.is_instance_of(U.ActivityFinalNode) or node.is_instance_of(
+        U.FlowFinalNode
+    ):
+        return [f'circle "(end)" as {identifier}']
+    if node.is_instance_of(U.DecisionNode) or node.is_instance_of(U.MergeNode):
+        return [f'hexagon "{node.name}" as {identifier}']
+    if node.is_instance_of(U.ForkNode) or node.is_instance_of(U.JoinNode):
+        return [f'rectangle "{node.name}" as {identifier} <<fork>>']
+    if node.is_instance_of(U.ObjectNode):
+        type_suffix = f" : {node.type}" if node.type else ""
+        return [
+            f'card "{node.name}{type_suffix}" as {identifier}{stereo}'
+        ]
+    # actions
+    return [f'rectangle "{node.name}" as {identifier}{stereo}']
+
+
+# ---------------------------------------------------------------------------
+# UML class diagram
+# ---------------------------------------------------------------------------
+
+
+def class_diagram(package: MObject, title: str = "") -> str:
+    """Render a UML package's classes and associations."""
+    lines = ["@startuml"]
+    if title:
+        lines.append(f"title {title}")
+    lines.append("skinparam classAttributeIconSize 0")
+    classes = _packaged(package, U.Class)
+    for cls in classes:
+        stereo = _stereo_text(cls)
+        lines.append(f'class "{cls.name}" as {_identifier(cls.name)}{stereo} {{')
+        for prop in cls.ownedAttributes:
+            type_text = f" : {prop.type}" if prop.type else ""
+            lines.append(f"  {prop.name}{type_text}")
+        for op in cls.ownedOperations:
+            return_text = f" : {op.returnType}" if op.returnType else ""
+            lines.append(f"  {op.name}(){return_text}")
+        lines.append("}")
+    for cls in classes:
+        for superclass in cls.superClasses:
+            lines.append(
+                f"{_identifier(superclass.name)} <|-- {_identifier(cls.name)}"
+            )
+    for assoc in _packaged(package, U.Association):
+        label = f" : {assoc.name}" if assoc.name else ""
+        lines.append(
+            f"{_identifier(assoc.source.name)} --> "
+            f"{_identifier(assoc.target.name)}{label}"
+        )
+    lines.extend(_comment_lines(classes))
+    lines.append("@enduml")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Profile diagram
+# ---------------------------------------------------------------------------
+
+
+def profile_diagram(
+    profile: MObject,
+    title: str = "",
+    only: Optional[Iterable[str]] = None,
+) -> str:
+    """Render a profile's stereotypes (optionally a subset) as Figs. 2-5 do."""
+    wanted = set(only) if only is not None else None
+    lines = ["@startuml"]
+    lines.append(f"title {title or profile.name}")
+    lines.append("skinparam classAttributeIconSize 0")
+    base_classes: set[str] = set()
+    for stereotype in profile.ownedStereotypes:
+        if wanted is not None and stereotype.name not in wanted:
+            continue
+        identifier = _identifier(stereotype.name)
+        lines.append(
+            f'class "{stereotype.name}" as {identifier} <<stereotype>> {{'
+        )
+        for tag in stereotype.tagDefinitions:
+            lines.append(f"  {tag.name} : {tag.type}")
+        lines.append("}")
+        for base in stereotype.baseClasses:
+            base_classes.add(base)
+            lines.append(
+                f"M_{_identifier(base)} <|-- {identifier} : <<extends>>"
+            )
+        for index, constraint in enumerate(stereotype.constraints):
+            note_id = f"C_{identifier}_{index}"
+            body = (constraint.description or constraint.name).replace(
+                "\n", "\\n"
+            )
+            lines.append(f'note "{body}" as {note_id}')
+            lines.append(f"{note_id} .. {identifier}")
+    for base in sorted(base_classes):
+        lines.insert(
+            3, f'class "{base}" as M_{_identifier(base)} <<metaclass>>'
+        )
+    lines.append("@enduml")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Requirement diagram
+# ---------------------------------------------------------------------------
+
+
+def requirement_diagram(package: MObject, title: str = "") -> str:
+    """Render a package's requirements and their relationships."""
+    lines = ["@startuml"]
+    if title:
+        lines.append(f"title {title}")
+    requirements = _packaged(package, U.Requirement)
+    for req in requirements:
+        identifier = _identifier(req.name)
+        req_id = req.reqId or "-"
+        text = (req.text or "").replace("\n", "\\n")
+        lines.append(
+            f'card "<<requirement>>\\n{req.name}\\nid = {req_id}\\n{text}" '
+            f"as {identifier}"
+        )
+    for req in requirements:
+        identifier = _identifier(req.name)
+        for source in req.derivedFrom:
+            lines.append(
+                f"{_identifier(source.name)} <.. {identifier} : "
+                "<<deriveReqt>>"
+            )
+        for element in req.satisfiedBy:
+            lines.append(
+                f"{identifier} <.. {_identifier(element.name)} : <<satisfy>>"
+            )
+        for element in req.verifiedBy:
+            lines.append(
+                f"{identifier} <.. {_identifier(element.name)} : <<verify>>"
+            )
+        for element in req.refinedBy:
+            lines.append(
+                f"{identifier} <.. {_identifier(element.name)} : <<refine>>"
+            )
+    lines.append("@enduml")
+    return "\n".join(lines)

@@ -1,0 +1,62 @@
+"""``repro.dq`` — the data quality domain substrate.
+
+* :mod:`repro.dq.iso25012` — the ISO/IEC 25012 DQ model (paper Table 1);
+* :mod:`repro.dq.dimensions` — the Strong/Lee/Wang user-facing dimensions;
+* :mod:`repro.dq.requirements` — DQR / DQSR concepts and catalogue;
+* :mod:`repro.dq.metadata` — DQ metadata records (traceability,
+  confidentiality) and the deterministic clock;
+* :mod:`repro.dq.metrics` — measurement functions per characteristic;
+* :mod:`repro.dq.validators` — runtime validators (DQ_Validator operations).
+"""
+
+from . import (
+    dimensions,
+    iso25012,
+    metadata,
+    metrics,
+    profiling,
+    requirements,
+    scorecard,
+    validators,
+)
+from .iso25012 import ALL_CHARACTERISTICS, Category, Characteristic
+from .metadata import Clock, DQMetadataRecord
+from .profiling import DataProfiler, FieldProfile, Suggestion
+from .scorecard import ScoreLine, Scorecard
+from .requirements import (
+    DataQualityRequirement,
+    DataQualitySoftwareRequirement,
+    Mechanism,
+    RequirementsCatalog,
+    requirement_for,
+)
+from .validators import (
+    CompletenessValidator,
+    OclConsistencyValidator,
+    ConsistencyValidator,
+    CredibilityValidator,
+    CurrentnessValidator,
+    EnumValidator,
+    Finding,
+    FormatValidator,
+    PrecisionValidator,
+    UniquenessValidator,
+    Validator,
+    ValidatorSuite,
+)
+
+__all__ = [
+    "iso25012", "dimensions", "requirements", "metadata", "metrics",
+    "validators", "profiling", "scorecard",
+    "DataProfiler", "FieldProfile", "Suggestion",
+    "Scorecard", "ScoreLine",
+    "ALL_CHARACTERISTICS", "Category", "Characteristic",
+    "Clock", "DQMetadataRecord",
+    "DataQualityRequirement", "DataQualitySoftwareRequirement",
+    "Mechanism", "RequirementsCatalog", "requirement_for",
+    "Validator", "ValidatorSuite", "Finding",
+    "CompletenessValidator", "PrecisionValidator", "FormatValidator",
+    "OclConsistencyValidator",
+    "EnumValidator", "ConsistencyValidator", "CurrentnessValidator",
+    "CredibilityValidator", "UniquenessValidator",
+]

@@ -1,0 +1,179 @@
+"""The Strong/Lee/Wang data quality dimensions ("Data quality in context").
+
+The paper states (§2.1) that *"when a user is specifying his/her data quality
+requirements (DQR), s/he can choose those data quality dimensions from those
+proposed in the model provided in (D. M. Strong et al. 1997)"* — the classic
+fifteen dimensions in four categories — and that the chosen dimensions are
+then translated into the ISO/IEC 25012 characteristics the software must
+implement (Table 1).
+
+This module provides that dimension catalogue plus the dimension →
+characteristic mapping used by the DQR → DQSR derivation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from . import iso25012
+
+
+class DimensionCategory(enum.Enum):
+    """Strong, Lee & Wang's four conceptual categories."""
+
+    INTRINSIC = "Intrinsic"
+    CONTEXTUAL = "Contextual"
+    REPRESENTATIONAL = "Representational"
+    ACCESSIBILITY = "Accessibility"
+
+
+@dataclass(frozen=True)
+class Dimension:
+    """One user-facing data quality dimension."""
+
+    name: str
+    category: DimensionCategory
+    description: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+def _dim(name: str, category: DimensionCategory, description: str) -> Dimension:
+    return Dimension(name, category, description)
+
+
+ACCURACY = _dim(
+    "Accuracy", DimensionCategory.INTRINSIC,
+    "The extent to which data are correct, reliable and certified.",
+)
+OBJECTIVITY = _dim(
+    "Objectivity", DimensionCategory.INTRINSIC,
+    "The extent to which data are unbiased and impartial.",
+)
+BELIEVABILITY = _dim(
+    "Believability", DimensionCategory.INTRINSIC,
+    "The extent to which data are accepted as true and credible.",
+)
+REPUTATION = _dim(
+    "Reputation", DimensionCategory.INTRINSIC,
+    "The extent to which data are trusted in terms of their source.",
+)
+VALUE_ADDED = _dim(
+    "Value-added", DimensionCategory.CONTEXTUAL,
+    "The extent to which data are beneficial for the task at hand.",
+)
+RELEVANCY = _dim(
+    "Relevancy", DimensionCategory.CONTEXTUAL,
+    "The extent to which data are applicable to the task at hand.",
+)
+TIMELINESS = _dim(
+    "Timeliness", DimensionCategory.CONTEXTUAL,
+    "The extent to which the age of the data is appropriate for the task.",
+)
+COMPLETENESS = _dim(
+    "Completeness", DimensionCategory.CONTEXTUAL,
+    "The extent to which data are of sufficient breadth, depth and scope.",
+)
+AMOUNT_OF_DATA = _dim(
+    "Appropriate amount of data", DimensionCategory.CONTEXTUAL,
+    "The extent to which the quantity of data fits the task at hand.",
+)
+INTERPRETABILITY = _dim(
+    "Interpretability", DimensionCategory.REPRESENTATIONAL,
+    "The extent to which data are in appropriate language and units.",
+)
+EASE_OF_UNDERSTANDING = _dim(
+    "Ease of understanding", DimensionCategory.REPRESENTATIONAL,
+    "The extent to which data are clear and easily comprehended.",
+)
+CONCISE_REPRESENTATION = _dim(
+    "Concise representation", DimensionCategory.REPRESENTATIONAL,
+    "The extent to which data are compactly represented.",
+)
+CONSISTENT_REPRESENTATION = _dim(
+    "Consistent representation", DimensionCategory.REPRESENTATIONAL,
+    "The extent to which data are presented in the same format.",
+)
+ACCESSIBILITY = _dim(
+    "Accessibility", DimensionCategory.ACCESSIBILITY,
+    "The extent to which data are available or easily retrievable.",
+)
+ACCESS_SECURITY = _dim(
+    "Access security", DimensionCategory.ACCESSIBILITY,
+    "The extent to which access to data is appropriately restricted.",
+)
+
+#: All fifteen Strong/Lee/Wang dimensions.
+ALL_DIMENSIONS: tuple[Dimension, ...] = (
+    ACCURACY,
+    OBJECTIVITY,
+    BELIEVABILITY,
+    REPUTATION,
+    VALUE_ADDED,
+    RELEVANCY,
+    TIMELINESS,
+    COMPLETENESS,
+    AMOUNT_OF_DATA,
+    INTERPRETABILITY,
+    EASE_OF_UNDERSTANDING,
+    CONCISE_REPRESENTATION,
+    CONSISTENT_REPRESENTATION,
+    ACCESSIBILITY,
+    ACCESS_SECURITY,
+)
+
+_BY_NAME = {d.name.lower(): d for d in ALL_DIMENSIONS}
+
+
+def by_name(name: str) -> Dimension:
+    """Case-insensitive lookup; raises KeyError with the catalogue listed."""
+    try:
+        return _BY_NAME[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown DQ dimension {name!r}; expected one of "
+            f"{', '.join(d.name for d in ALL_DIMENSIONS)}"
+        ) from None
+
+
+def by_category(category: DimensionCategory) -> tuple[Dimension, ...]:
+    return tuple(d for d in ALL_DIMENSIONS if d.category is category)
+
+
+#: User-facing dimension -> ISO/IEC 25012 characteristics the software must
+#: implement to satisfy it.  This mapping powers DQR -> DQSR derivation; it
+#: follows the correspondences discussed in the DQ literature the paper
+#: cites (Batini et al. 2009; ISO/IEC 25012).
+DIMENSION_TO_CHARACTERISTICS: dict[Dimension, tuple] = {
+    ACCURACY: (iso25012.ACCURACY, iso25012.PRECISION),
+    OBJECTIVITY: (iso25012.CREDIBILITY,),
+    BELIEVABILITY: (iso25012.CREDIBILITY,),
+    REPUTATION: (iso25012.CREDIBILITY, iso25012.TRACEABILITY),
+    VALUE_ADDED: (iso25012.EFFICIENCY,),
+    RELEVANCY: (iso25012.COMPLIANCE,),
+    TIMELINESS: (iso25012.CURRENTNESS,),
+    COMPLETENESS: (iso25012.COMPLETENESS,),
+    AMOUNT_OF_DATA: (iso25012.EFFICIENCY, iso25012.PRECISION),
+    INTERPRETABILITY: (iso25012.UNDERSTANDABILITY,),
+    EASE_OF_UNDERSTANDING: (iso25012.UNDERSTANDABILITY,),
+    CONCISE_REPRESENTATION: (iso25012.PRECISION, iso25012.UNDERSTANDABILITY),
+    CONSISTENT_REPRESENTATION: (iso25012.CONSISTENCY,),
+    ACCESSIBILITY: (iso25012.ACCESSIBILITY, iso25012.AVAILABILITY),
+    ACCESS_SECURITY: (iso25012.CONFIDENTIALITY,),
+}
+
+
+def characteristics_for(dimension: Dimension) -> tuple:
+    """The ISO characteristics implementing a user-facing dimension."""
+    return DIMENSION_TO_CHARACTERISTICS[dimension]
+
+
+def dimensions_for(characteristic) -> tuple[Dimension, ...]:
+    """Inverse mapping: dimensions served by an ISO characteristic."""
+    return tuple(
+        dimension
+        for dimension, characteristics in DIMENSION_TO_CHARACTERISTICS.items()
+        if characteristic in characteristics
+    )

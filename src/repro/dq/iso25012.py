@@ -1,0 +1,204 @@
+"""The ISO/IEC 25012 data quality model — the paper's Table 1.
+
+Fifteen data quality characteristics in three groups:
+
+* **inherent** — intrinsic potential of the data to satisfy needs;
+* **inherent and system dependent** — both facets;
+* **system dependent** — obtained and preserved through the computer system.
+
+Definitions are reproduced verbatim from the paper's Table 1 (which quotes
+ISO/IEC 25012:2008).  The DQ_WebRE case study (§4) uses Confidentiality,
+Completeness, Traceability and Precision.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+
+class Category(enum.Enum):
+    """The grouping used by ISO/IEC 25012 and the paper's Table 1."""
+
+    INHERENT = "Inherent"
+    INHERENT_AND_SYSTEM_DEPENDENT = "Inherent and System dependent"
+    SYSTEM_DEPENDENT = "System dependent"
+
+
+@dataclass(frozen=True)
+class Characteristic:
+    """One ISO/IEC 25012 data quality characteristic."""
+
+    name: str
+    category: Category
+    definition: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+def _inherent(name: str, definition: str) -> Characteristic:
+    return Characteristic(name, Category.INHERENT, definition)
+
+
+def _both(name: str, definition: str) -> Characteristic:
+    return Characteristic(
+        name, Category.INHERENT_AND_SYSTEM_DEPENDENT, definition
+    )
+
+
+def _system(name: str, definition: str) -> Characteristic:
+    return Characteristic(name, Category.SYSTEM_DEPENDENT, definition)
+
+
+ACCURACY = _inherent(
+    "Accuracy",
+    "The degree to which data have attributes that correctly represent the "
+    "true value of the intended attribute of a concept or event in a "
+    "specific context of use.",
+)
+COMPLETENESS = _inherent(
+    "Completeness",
+    "The degree to which subject data associated with an entity have values "
+    "for all expected attributes and related entity instances in a specific "
+    "context of use.",
+)
+CONSISTENCY = _inherent(
+    "Consistency",
+    "The degree to which data have attributes that are free from "
+    "contradiction and are coherent with other data in a specific context "
+    "of use.",
+)
+CREDIBILITY = _inherent(
+    "Credibility",
+    "The degree to which data have attributes that are regarded as true and "
+    "believable by users in a specific context of use.",
+)
+CURRENTNESS = _inherent(
+    "Currentness",
+    "The degree to which data have attributes that are of the right age in "
+    "a specific context of use.",
+)
+ACCESSIBILITY = _both(
+    "Accessibility",
+    "The degree to which data can be accessed in a specific context of use, "
+    "particularly by people who need supporting technology or special "
+    "configuration because of some disability.",
+)
+COMPLIANCE = _both(
+    "Compliance",
+    "The degree to which data have attributes that adhere to standards, "
+    "conventions or regulations in force and similar rules relating to data "
+    "quality in a specific context of use.",
+)
+CONFIDENTIALITY = _both(
+    "Confidentiality",
+    "The degree to which data have attributes that ensure that they are "
+    "only accessible and interpretable by authorized users in a specific "
+    "context of use.",
+)
+EFFICIENCY = _both(
+    "Efficiency",
+    "The degree to which data have attributes that can be processed and "
+    "provide the expected levels of performance by using the appropriate "
+    "amounts and types of resources in a specific context of use.",
+)
+PRECISION = _both(
+    "Precision",
+    "The degree to which data have attributes that are exact or that "
+    "provide discrimination in a specific context of use.",
+)
+TRACEABILITY = _both(
+    "Traceability",
+    "The degree to which data have attributes that provide an audit trail "
+    "of access to the data and of any changes made to the data in a "
+    "specific context of use.",
+)
+UNDERSTANDABILITY = _both(
+    "Understandability",
+    "The degree to which data have attributes that enable it to be read and "
+    "interpreted by users, and are expressed in appropriate languages, "
+    "symbols and units in a specific context of use.",
+)
+AVAILABILITY = _system(
+    "Availability",
+    "The degree to which data have attributes that enable them to be "
+    "retrieved by authorized users and/or applications in a specific "
+    "context.",
+)
+PORTABILITY = _system(
+    "Portability",
+    "The degree to which data have attributes that enable them to be "
+    "installed, replaced or moved from one system to another while "
+    "preserving the existing quality in a specific context of use.",
+)
+RECOVERABILITY = _system(
+    "Recoverability",
+    "The degree to which data have attributes that enable them to maintain "
+    "and preserve a specified level of operations and quality, even in the "
+    "event of failure, in a specific context of use.",
+)
+
+#: All fifteen characteristics in the paper's Table 1 order.
+ALL_CHARACTERISTICS: tuple[Characteristic, ...] = (
+    ACCURACY,
+    COMPLETENESS,
+    CONSISTENCY,
+    CREDIBILITY,
+    CURRENTNESS,
+    ACCESSIBILITY,
+    COMPLIANCE,
+    CONFIDENTIALITY,
+    EFFICIENCY,
+    PRECISION,
+    TRACEABILITY,
+    UNDERSTANDABILITY,
+    AVAILABILITY,
+    PORTABILITY,
+    RECOVERABILITY,
+)
+
+_BY_NAME = {c.name.lower(): c for c in ALL_CHARACTERISTICS}
+
+#: Characteristic names, used as the enum for model attributes.
+CHARACTERISTIC_NAMES: tuple[str, ...] = tuple(
+    c.name for c in ALL_CHARACTERISTICS
+)
+
+
+def by_name(name: str) -> Characteristic:
+    """Look a characteristic up case-insensitively; raises KeyError."""
+    try:
+        return _BY_NAME[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown ISO/IEC 25012 characteristic {name!r}; "
+            f"expected one of {', '.join(CHARACTERISTIC_NAMES)}"
+        ) from None
+
+
+def find(name: str) -> Optional[Characteristic]:
+    """Like :func:`by_name` but returns ``None`` instead of raising."""
+    return _BY_NAME.get(name.lower())
+
+
+def by_category(category: Category) -> tuple[Characteristic, ...]:
+    """The characteristics of one Table 1 group, in table order."""
+    return tuple(c for c in ALL_CHARACTERISTICS if c.category is category)
+
+
+def is_inherent(characteristic: Characteristic) -> bool:
+    """True for characteristics with an inherent facet."""
+    return characteristic.category in (
+        Category.INHERENT,
+        Category.INHERENT_AND_SYSTEM_DEPENDENT,
+    )
+
+
+def is_system_dependent(characteristic: Characteristic) -> bool:
+    """True for characteristics with a system-dependent facet."""
+    return characteristic.category in (
+        Category.SYSTEM_DEPENDENT,
+        Category.INHERENT_AND_SYSTEM_DEPENDENT,
+    )

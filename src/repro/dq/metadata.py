@@ -1,0 +1,144 @@
+"""DQ metadata: the sidecar attributes the paper's ``DQ_Metadata`` class stores.
+
+The case study (§4) derives two metadata families:
+
+* **Traceability** — ``stored_by``, ``stored_date``, ``last_modified_by``,
+  ``last_modified_date`` ("keep records about who stored the data ... as well
+  as when it was stored the first time and modified the last time");
+* **Confidentiality** — ``security_level``, ``available_to`` ("the
+  information to be stored will only be accessed by users who meet a certain
+  level of security defined previously in the application").
+
+:class:`DQMetadataRecord` is the runtime record attached to every stored
+content row by :mod:`repro.runtime.storage`; :class:`Clock` keeps timestamps
+deterministic in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+#: The canonical traceability metadata attributes (paper §4, requirement 3).
+TRACEABILITY_ATTRIBUTES = (
+    "stored_by",
+    "stored_date",
+    "last_modified_by",
+    "last_modified_date",
+)
+
+#: The canonical confidentiality metadata attributes (paper §4, Fig. 7).
+CONFIDENTIALITY_ATTRIBUTES = (
+    "security_level",
+    "available_to",
+)
+
+
+class Clock:
+    """A deterministic, monotonically increasing logical clock.
+
+    The simulated runtime has no business reading the wall clock (tests and
+    benchmarks must be reproducible), so time is a counter of *ticks* that
+    renders as an ISO-like stamp.
+    """
+
+    def __init__(self, start: int = 0):
+        self._tick = start
+
+    def now(self) -> int:
+        """Advance and return the current tick."""
+        self._tick += 1
+        return self._tick
+
+    def peek(self) -> int:
+        """The last tick handed out, without advancing."""
+        return self._tick
+
+
+@dataclass
+class DQMetadataRecord:
+    """The DQ metadata attached to one stored record."""
+
+    stored_by: Optional[str] = None
+    stored_date: Optional[int] = None
+    last_modified_by: Optional[str] = None
+    last_modified_date: Optional[int] = None
+    security_level: int = 0
+    available_to: set[str] = field(default_factory=set)
+    extra: dict = field(default_factory=dict)
+
+    # -- capture -------------------------------------------------------------
+
+    def record_store(self, user: str, clock: Clock) -> "DQMetadataRecord":
+        """Capture creation provenance (first write)."""
+        tick = clock.now()
+        self.stored_by = user
+        self.stored_date = tick
+        self.last_modified_by = user
+        self.last_modified_date = tick
+        return self
+
+    def record_modification(self, user: str, clock: Clock) -> "DQMetadataRecord":
+        """Capture update provenance (subsequent writes)."""
+        self.last_modified_by = user
+        self.last_modified_date = clock.now()
+        return self
+
+    def restrict(
+        self, security_level: int = 0, available_to: Iterable[str] = ()
+    ) -> "DQMetadataRecord":
+        """Set confidentiality metadata."""
+        if security_level < 0:
+            raise ValueError("security_level must be non-negative")
+        self.security_level = security_level
+        self.available_to = set(available_to)
+        return self
+
+    # -- queries -----------------------------------------------------------------
+
+    def accessible_by(self, user: str, user_level: int) -> bool:
+        """Confidentiality check: clearance or explicit grant.
+
+        A user may read the record when their clearance level reaches the
+        record's ``security_level`` *or* they are explicitly listed in
+        ``available_to``.
+        """
+        if user in self.available_to:
+            return True
+        return user_level >= self.security_level
+
+    def was_modified(self) -> bool:
+        """True when the record changed after its first store."""
+        if self.stored_date is None or self.last_modified_date is None:
+            return False
+        return self.last_modified_date > self.stored_date
+
+    def age(self, clock: Clock) -> Optional[int]:
+        """Ticks since last modification; None when never stored."""
+        if self.last_modified_date is None:
+            return None
+        return clock.peek() - self.last_modified_date
+
+    def as_dict(self) -> dict:
+        """Flat rendering used by audits and serialization."""
+        return {
+            "stored_by": self.stored_by,
+            "stored_date": self.stored_date,
+            "last_modified_by": self.last_modified_by,
+            "last_modified_date": self.last_modified_date,
+            "security_level": self.security_level,
+            "available_to": sorted(self.available_to),
+            **self.extra,
+        }
+
+    def attribute_names(self) -> list[str]:
+        """All populated metadata attribute names."""
+        populated = [
+            name
+            for name in TRACEABILITY_ATTRIBUTES
+            if getattr(self, name) is not None
+        ]
+        if self.security_level or self.available_to:
+            populated.extend(CONFIDENTIALITY_ATTRIBUTES)
+        populated.extend(self.extra)
+        return populated

@@ -1,0 +1,239 @@
+"""Data quality measurement functions.
+
+Each ISO/IEC 25012 characteristic used by the library gets a measurement
+over plain record dicts (the representation the simulated web runtime
+stores).  Ratios are in ``[0, 1]``; ``1.0`` is perfect quality.  The
+functions are deliberately total: empty inputs measure as perfect (nothing
+to violate), matching the usual convention in DQ assessment frameworks
+(Batini et al. 2009, which the paper builds on).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping, Optional, Sequence
+
+
+def _is_missing(value) -> bool:
+    """The DQ notion of a missing value: None or blank/whitespace text."""
+    if value is None:
+        return True
+    if isinstance(value, str) and not value.strip():
+        return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Completeness
+# ---------------------------------------------------------------------------
+
+
+def completeness_ratio(record: Mapping, expected_fields: Sequence[str]) -> float:
+    """Fraction of expected fields populated in one record."""
+    if not expected_fields:
+        return 1.0
+    populated = sum(
+        1 for field in expected_fields if not _is_missing(record.get(field))
+    )
+    return populated / len(expected_fields)
+
+
+def missing_fields(record: Mapping, expected_fields: Sequence[str]) -> list[str]:
+    """The expected fields that are absent or blank."""
+    return [f for f in expected_fields if _is_missing(record.get(f))]
+
+
+def dataset_completeness(
+    records: Iterable[Mapping], expected_fields: Sequence[str]
+) -> float:
+    """Mean per-record completeness across a dataset."""
+    ratios = [completeness_ratio(r, expected_fields) for r in records]
+    if not ratios:
+        return 1.0
+    return sum(ratios) / len(ratios)
+
+
+# ---------------------------------------------------------------------------
+# Precision
+# ---------------------------------------------------------------------------
+
+
+def in_bounds(value, lower, upper) -> bool:
+    """The paper's DQConstraint semantics: ``lower_bound <= v <= upper_bound``."""
+    if _is_missing(value):
+        return False
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        return False
+    return lower <= value <= upper
+
+
+def precision_ratio(
+    records: Iterable[Mapping], field: str, lower, upper
+) -> float:
+    """Fraction of records whose ``field`` lies within the declared bounds."""
+    records = list(records)
+    if not records:
+        return 1.0
+    valid = sum(1 for r in records if in_bounds(r.get(field), lower, upper))
+    return valid / len(records)
+
+
+# ---------------------------------------------------------------------------
+# Consistency
+# ---------------------------------------------------------------------------
+
+
+def consistency_violations(
+    record: Mapping, rules: Sequence[Callable[[Mapping], bool]]
+) -> int:
+    """Number of cross-field rules the record violates (rule True = ok)."""
+    return sum(1 for rule in rules if not rule(record))
+
+
+def consistency_ratio(
+    records: Iterable[Mapping], rules: Sequence[Callable[[Mapping], bool]]
+) -> float:
+    """Fraction of (record, rule) pairs that hold."""
+    records = list(records)
+    if not records or not rules:
+        return 1.0
+    total = len(records) * len(rules)
+    violations = sum(consistency_violations(r, rules) for r in records)
+    return (total - violations) / total
+
+
+# ---------------------------------------------------------------------------
+# Format validity (syntactic accuracy)
+# ---------------------------------------------------------------------------
+
+
+def format_valid(value, pattern: str) -> bool:
+    """True when the value is a string fully matching ``pattern``."""
+    if not isinstance(value, str):
+        return False
+    return re.fullmatch(pattern, value) is not None
+
+
+def format_validity_ratio(
+    records: Iterable[Mapping], field: str, pattern: str
+) -> float:
+    records = list(records)
+    if not records:
+        return 1.0
+    valid = sum(1 for r in records if format_valid(r.get(field), pattern))
+    return valid / len(records)
+
+
+# ---------------------------------------------------------------------------
+# Currentness
+# ---------------------------------------------------------------------------
+
+
+def currentness_score(age, max_age) -> float:
+    """Linear decay from 1.0 (fresh) to 0.0 (older than ``max_age``)."""
+    if max_age <= 0:
+        raise ValueError("max_age must be positive")
+    if age is None:
+        return 0.0
+    if age < 0:
+        raise ValueError("age cannot be negative")
+    return max(0.0, 1.0 - age / max_age)
+
+
+def is_current(age, max_age) -> bool:
+    return age is not None and 0 <= age <= max_age
+
+
+# ---------------------------------------------------------------------------
+# Uniqueness / duplication
+# ---------------------------------------------------------------------------
+
+
+def uniqueness_ratio(records: Iterable[Mapping], key_fields: Sequence[str]) -> float:
+    """Distinct key tuples over total records (1.0 = no duplicates)."""
+    records = list(records)
+    if not records:
+        return 1.0
+    keys = [tuple(r.get(f) for f in key_fields) for r in records]
+    return len(set(keys)) / len(keys)
+
+
+def duplicates(
+    records: Sequence[Mapping], key_fields: Sequence[str]
+) -> list[tuple[int, int]]:
+    """Index pairs of records sharing the same key tuple (first occurrence wins)."""
+    seen: dict[tuple, int] = {}
+    pairs: list[tuple[int, int]] = []
+    for index, record in enumerate(records):
+        key = tuple(record.get(f) for f in key_fields)
+        if key in seen:
+            pairs.append((seen[key], index))
+        else:
+            seen[key] = index
+    return pairs
+
+
+# ---------------------------------------------------------------------------
+# Accuracy against a reference (gold) dataset
+# ---------------------------------------------------------------------------
+
+
+def accuracy_ratio(
+    records: Sequence[Mapping],
+    reference: Sequence[Mapping],
+    fields: Sequence[str],
+) -> float:
+    """Fraction of (record, field) cells agreeing with the reference.
+
+    Records are matched positionally; shorter side truncates the comparison.
+    """
+    if not records or not reference or not fields:
+        return 1.0
+    paired = list(zip(records, reference))
+    total = len(paired) * len(fields)
+    agree = sum(
+        1
+        for record, truth in paired
+        for field in fields
+        if record.get(field) == truth.get(field)
+    )
+    return agree / total
+
+
+# ---------------------------------------------------------------------------
+# Aggregate assessment
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """One named measurement of one characteristic."""
+
+    characteristic: str
+    value: float
+    detail: str = ""
+
+    def __post_init__(self):
+        if not 0.0 <= self.value <= 1.0:
+            raise ValueError(
+                f"measurement {self.characteristic} out of [0,1]: {self.value}"
+            )
+
+
+def weighted_score(
+    measurements: Sequence[Measurement],
+    weights: Optional[Mapping[str, float]] = None,
+) -> float:
+    """Weighted mean of measurements; uniform weights by default."""
+    if not measurements:
+        return 1.0
+    if weights is None:
+        return sum(m.value for m in measurements) / len(measurements)
+    total_weight = sum(weights.get(m.characteristic, 1.0) for m in measurements)
+    if total_weight == 0:
+        raise ValueError("weights sum to zero")
+    return (
+        sum(m.value * weights.get(m.characteristic, 1.0) for m in measurements)
+        / total_weight
+    )

@@ -1,0 +1,283 @@
+"""Data profiling: inspect real records and *suggest* DQ requirements.
+
+The paper's §1 lists data profiling among the reactive DQ tooling
+organizations reach for after quality problems surface.  This module turns
+that reactive instrument into a proactive one in the spirit of DQ_WebRE:
+profile a sample of the data a web application will manage, and derive
+*candidate* :class:`~repro.dq.requirements.DataQualityRequirement` objects
+an analyst can review and adopt into the requirements model — closing the
+loop between observed data and captured requirements.
+
+Heuristics (each cites the characteristic it evidences):
+
+* fields that are always populated in the sample → a **Completeness**
+  candidate (the application should keep them populated);
+* numeric fields with a tight observed range → a **Precision** candidate
+  with suggested ``DQConstraint`` bounds (observed min/max, padded);
+* fields whose values all match a recognizable pattern (email, date,
+  identifier) → an **Accuracy** (format) candidate;
+* low-cardinality string fields → a **Consistency** candidate with the
+  observed value domain (enum);
+* fields named like identifiers with no duplicates → a uniqueness note.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Optional, Sequence
+
+from . import iso25012
+from .metrics import _is_missing
+from .requirements import DataQualityRequirement
+
+#: Recognizable value patterns, tried in order.
+KNOWN_PATTERNS: tuple[tuple[str, str], ...] = (
+    ("email", r"[^@\s]+@[^@\s]+\.[A-Za-z]{2,}"),
+    ("iso-date", r"\d{4}-\d{2}-\d{2}"),
+    ("identifier", r"[A-Za-z]+[-_]?\d+"),
+)
+
+#: A field counts as enum-like when it has at most this many distinct values
+#: and at least this many observations per value on average.
+ENUM_MAX_CARDINALITY = 8
+ENUM_MIN_SUPPORT = 3
+
+
+@dataclass
+class FieldProfile:
+    """Statistics of one field across the sample."""
+
+    name: str
+    total: int = 0
+    missing: int = 0
+    values: list = field(default_factory=list)
+
+    @property
+    def present(self) -> int:
+        return self.total - self.missing
+
+    @property
+    def completeness(self) -> float:
+        if self.total == 0:
+            return 1.0
+        return self.present / self.total
+
+    @property
+    def distinct(self) -> int:
+        return len({repr(v) for v in self.values})
+
+    def numeric_values(self) -> list[float]:
+        return [
+            v for v in self.values
+            if isinstance(v, (int, float)) and not isinstance(v, bool)
+        ]
+
+    @property
+    def is_numeric(self) -> bool:
+        return bool(self.values) and len(self.numeric_values()) == len(
+            self.values
+        )
+
+    def numeric_range(self) -> Optional[tuple[float, float]]:
+        numbers = self.numeric_values()
+        if not numbers:
+            return None
+        return (min(numbers), max(numbers))
+
+    def string_values(self) -> list[str]:
+        return [v for v in self.values if isinstance(v, str)]
+
+    @property
+    def is_textual(self) -> bool:
+        return bool(self.values) and len(self.string_values()) == len(
+            self.values
+        )
+
+    def matched_pattern(self) -> Optional[tuple[str, str]]:
+        """The first known pattern every present value matches."""
+        strings = self.string_values()
+        if not strings or len(strings) != len(self.values):
+            return None
+        for label, pattern in KNOWN_PATTERNS:
+            if all(re.fullmatch(pattern, s) for s in strings):
+                return (label, pattern)
+        return None
+
+    def looks_like_enum(self) -> bool:
+        if not self.is_textual or not self.values:
+            return False
+        distinct = self.distinct
+        if distinct > ENUM_MAX_CARDINALITY or distinct < 2:
+            return False
+        return len(self.values) / distinct >= ENUM_MIN_SUPPORT
+
+    def value_domain(self) -> list[str]:
+        return sorted({v for v in self.string_values()})
+
+    def has_duplicates(self) -> bool:
+        return self.distinct < len(self.values)
+
+
+@dataclass(frozen=True)
+class Suggestion:
+    """A candidate DQ requirement with the evidence that produced it."""
+
+    characteristic: iso25012.Characteristic
+    fields: tuple[str, ...]
+    rationale: str
+    bounds: Optional[dict] = None
+    patterns: Optional[dict] = None
+    domains: Optional[dict] = None
+
+    def to_requirement(self, task: str, user_role: str) -> DataQualityRequirement:
+        """Adopt this suggestion as a first-class DQR."""
+        return DataQualityRequirement(
+            task=task,
+            user_role=user_role,
+            data_items=self.fields,
+            characteristic=self.characteristic,
+            statement=self.rationale,
+        )
+
+    def describe(self) -> str:
+        return (
+            f"{self.characteristic.name} on ({', '.join(self.fields)}): "
+            f"{self.rationale}"
+        )
+
+
+class DataProfiler:
+    """Profiles record samples and proposes DQ requirements."""
+
+    def __init__(self, fields: Optional[Sequence[str]] = None):
+        self._declared_fields = tuple(fields) if fields else None
+        self._profiles: dict[str, FieldProfile] = {}
+        self._records_seen = 0
+
+    def add_records(self, records: Iterable[Mapping]) -> "DataProfiler":
+        for record in records:
+            self._records_seen += 1
+            names = self._declared_fields or record.keys()
+            for name in names:
+                profile = self._profiles.setdefault(name, FieldProfile(name))
+                profile.total += 1
+                value = record.get(name)
+                if _is_missing(value):
+                    profile.missing += 1
+                else:
+                    profile.values.append(value)
+        return self
+
+    @property
+    def records_seen(self) -> int:
+        return self._records_seen
+
+    def field(self, name: str) -> FieldProfile:
+        return self._profiles[name]
+
+    @property
+    def fields(self) -> list[FieldProfile]:
+        return list(self._profiles.values())
+
+    # -- suggestion heuristics ------------------------------------------------
+
+    def suggest(self, min_sample: int = 5) -> list[Suggestion]:
+        """Candidate DQ requirements; empty when the sample is too small."""
+        if self._records_seen < min_sample:
+            return []
+        suggestions: list[Suggestion] = []
+        always_present = [
+            p.name for p in self._profiles.values()
+            if p.total and p.completeness == 1.0
+        ]
+        if always_present:
+            suggestions.append(
+                Suggestion(
+                    iso25012.COMPLETENESS,
+                    tuple(always_present),
+                    "these fields were populated in every sampled record; "
+                    "the application should require them",
+                )
+            )
+        bounds = {}
+        for profile in self._profiles.values():
+            if not profile.is_numeric or profile.present < min_sample:
+                continue
+            observed = profile.numeric_range()
+            if observed is None:
+                continue
+            bounds[profile.name] = _padded_bounds(*observed)
+        if bounds:
+            suggestions.append(
+                Suggestion(
+                    iso25012.PRECISION,
+                    tuple(sorted(bounds)),
+                    "numeric fields with a stable observed range; suggested "
+                    "DQConstraint bounds derived from the sample",
+                    bounds=bounds,
+                )
+            )
+        patterns = {}
+        for profile in self._profiles.values():
+            if profile.present < min_sample:
+                continue
+            matched = profile.matched_pattern()
+            if matched is not None:
+                patterns[profile.name] = matched[1]
+        if patterns:
+            suggestions.append(
+                Suggestion(
+                    iso25012.ACCURACY,
+                    tuple(sorted(patterns)),
+                    "every sampled value matches a recognizable format; the "
+                    "application should validate it",
+                    patterns=patterns,
+                )
+            )
+        domains = {
+            profile.name: profile.value_domain()
+            for profile in self._profiles.values()
+            if profile.looks_like_enum()
+        }
+        if domains:
+            suggestions.append(
+                Suggestion(
+                    iso25012.CONSISTENCY,
+                    tuple(sorted(domains)),
+                    "low-cardinality fields with a closed value domain; "
+                    "values outside it are likely inconsistencies",
+                    domains=domains,
+                )
+            )
+        return suggestions
+
+    def report(self) -> str:
+        """A human-readable profiling summary."""
+        lines = [f"profiled {self._records_seen} record(s)"]
+        for profile in sorted(self._profiles.values(), key=lambda p: p.name):
+            extras = []
+            if profile.is_numeric and profile.numeric_range():
+                lo, hi = profile.numeric_range()
+                extras.append(f"range [{lo}, {hi}]")
+            matched = profile.matched_pattern()
+            if matched:
+                extras.append(f"pattern {matched[0]}")
+            if profile.looks_like_enum():
+                extras.append(f"domain {profile.value_domain()}")
+            suffix = f" — {', '.join(extras)}" if extras else ""
+            lines.append(
+                f"  {profile.name}: {profile.completeness:.0%} complete, "
+                f"{profile.distinct} distinct{suffix}"
+            )
+        for suggestion in self.suggest():
+            lines.append(f"  -> suggest {suggestion.describe()}")
+        return "\n".join(lines)
+
+
+def _padded_bounds(low: float, high: float) -> tuple[int, int]:
+    """Integer bounds padded ~10% beyond the observed range."""
+    span = max(high - low, 1.0)
+    pad = span * 0.1
+    return (math.floor(low - pad), math.ceil(high + pad))

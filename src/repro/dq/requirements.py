@@ -1,0 +1,234 @@
+"""DQR and DQSR: the requirement concepts at the heart of the paper.
+
+A **Data Quality Requirement (DQR)** is *"the specification of a set of
+dimensions of Data Quality that a set of data should meet for a specific task
+performed by a given user"* (§1, quoting Guerra-García et al. 2011).
+
+Each DQR is *"collected, managed, and later transformed into the
+corresponding Data Quality Software Requirements (DQSR)"*, which are
+functional requirements the web application must implement: metadata to
+capture, validator operations to run, constraints to enforce.
+
+This module provides the plain data model (and a catalogue) for both levels;
+the model-driven derivation rules live in :mod:`repro.dqwebre.derivation`.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from . import iso25012
+from .dimensions import Dimension
+from .iso25012 import Characteristic
+
+_dqr_ids = itertools.count(1)
+_dqsr_ids = itertools.count(1)
+
+
+class Mechanism(enum.Enum):
+    """How a DQSR is realized in the application (paper §4).
+
+    * ``METADATA`` — capture and store DQ metadata alongside the data
+      (Traceability's ``stored_by``/``stored_date``, Confidentiality's
+      ``security_level``/``available_to``);
+    * ``VALIDATOR`` — implement a checking operation in a DQ_Validator class
+      (``check_completeness()``, ``check_precision()``);
+    * ``CONSTRAINT`` — declare value bounds in a DQConstraint element
+      (``lower_bound``/``upper_bound``).
+    """
+
+    METADATA = "metadata"
+    VALIDATOR = "validator"
+    CONSTRAINT = "constraint"
+
+
+@dataclass
+class DataQualityRequirement:
+    """A user-level DQR: dimensions/characteristics a task's data must meet."""
+
+    task: str
+    user_role: str
+    data_items: tuple[str, ...]
+    characteristic: Characteristic
+    statement: str = ""
+    dimensions: tuple[Dimension, ...] = ()
+    req_id: str = ""
+
+    def __post_init__(self):
+        if not self.req_id:
+            self.req_id = f"DQR-{next(_dqr_ids)}"
+        if not self.task:
+            raise ValueError("a DQR needs the task it applies to")
+        if not self.user_role:
+            raise ValueError("a DQR needs the user role stating it")
+        self.data_items = tuple(self.data_items)
+        if not self.data_items:
+            raise ValueError("a DQR needs at least one data item")
+
+    def describe(self) -> str:
+        items = ", ".join(self.data_items)
+        return (
+            f"[{self.req_id}] {self.characteristic.name} of ({items}) for "
+            f"task {self.task!r} as {self.user_role}: "
+            f"{self.statement or self.characteristic.definition}"
+        )
+
+
+@dataclass
+class DataQualitySoftwareRequirement:
+    """A DQSR: the functional requirement derived from a DQR.
+
+    ``functional_statement`` mirrors the paper's phrasing, e.g. *"check that
+    data will be accessed only by authorized users"*; the remaining fields
+    carry the implementation payload for code generation.
+    """
+
+    derived_from: str
+    characteristic: Characteristic
+    functional_statement: str
+    mechanism: Mechanism
+    metadata_attributes: tuple[str, ...] = ()
+    operations: tuple[str, ...] = ()
+    constraints: dict = field(default_factory=dict)
+    target_fields: tuple[str, ...] = ()
+    req_id: str = ""
+
+    def __post_init__(self):
+        if not self.req_id:
+            self.req_id = f"DQSR-{next(_dqsr_ids)}"
+        self.metadata_attributes = tuple(self.metadata_attributes)
+        self.operations = tuple(self.operations)
+        self.target_fields = tuple(self.target_fields)
+        if self.mechanism is Mechanism.METADATA and not self.metadata_attributes:
+            raise ValueError(
+                f"{self.req_id}: METADATA mechanism needs metadata_attributes"
+            )
+        if self.mechanism is Mechanism.VALIDATOR and not self.operations:
+            raise ValueError(
+                f"{self.req_id}: VALIDATOR mechanism needs operations"
+            )
+        if self.mechanism is Mechanism.CONSTRAINT and not self.constraints:
+            raise ValueError(
+                f"{self.req_id}: CONSTRAINT mechanism needs constraints"
+            )
+
+    def describe(self) -> str:
+        return (
+            f"[{self.req_id} <- {self.derived_from}] "
+            f"{self.characteristic.name} via {self.mechanism.value}: "
+            f"{self.functional_statement}"
+        )
+
+
+class RequirementsCatalog:
+    """An in-memory catalogue of DQRs and their derived DQSRs."""
+
+    def __init__(self):
+        self._dqrs: dict[str, DataQualityRequirement] = {}
+        self._dqsrs: dict[str, DataQualitySoftwareRequirement] = {}
+
+    # -- DQR level -------------------------------------------------------
+
+    def add_requirement(self, dqr: DataQualityRequirement) -> DataQualityRequirement:
+        if dqr.req_id in self._dqrs:
+            raise ValueError(f"duplicate DQR id {dqr.req_id!r}")
+        self._dqrs[dqr.req_id] = dqr
+        return dqr
+
+    def requirement(self, req_id: str) -> DataQualityRequirement:
+        return self._dqrs[req_id]
+
+    @property
+    def requirements(self) -> list[DataQualityRequirement]:
+        return list(self._dqrs.values())
+
+    def requirements_for_task(self, task: str) -> list[DataQualityRequirement]:
+        return [d for d in self._dqrs.values() if d.task == task]
+
+    def requirements_for_role(self, role: str) -> list[DataQualityRequirement]:
+        return [d for d in self._dqrs.values() if d.user_role == role]
+
+    def by_characteristic(
+        self, characteristic: Characteristic
+    ) -> list[DataQualityRequirement]:
+        return [
+            d for d in self._dqrs.values()
+            if d.characteristic == characteristic
+        ]
+
+    # -- DQSR level -------------------------------------------------------
+
+    def add_software_requirement(
+        self, dqsr: DataQualitySoftwareRequirement
+    ) -> DataQualitySoftwareRequirement:
+        if dqsr.req_id in self._dqsrs:
+            raise ValueError(f"duplicate DQSR id {dqsr.req_id!r}")
+        if dqsr.derived_from and dqsr.derived_from not in self._dqrs:
+            raise ValueError(
+                f"{dqsr.req_id} derives from unknown DQR {dqsr.derived_from!r}"
+            )
+        self._dqsrs[dqsr.req_id] = dqsr
+        return dqsr
+
+    def software_requirement(self, req_id: str) -> DataQualitySoftwareRequirement:
+        return self._dqsrs[req_id]
+
+    @property
+    def software_requirements(self) -> list[DataQualitySoftwareRequirement]:
+        return list(self._dqsrs.values())
+
+    def derived_from(self, dqr_id: str) -> list[DataQualitySoftwareRequirement]:
+        return [
+            s for s in self._dqsrs.values() if s.derived_from == dqr_id
+        ]
+
+    def by_mechanism(
+        self, mechanism: Mechanism
+    ) -> list[DataQualitySoftwareRequirement]:
+        return [s for s in self._dqsrs.values() if s.mechanism is mechanism]
+
+    # -- analysis -------------------------------------------------------------
+
+    def untranslated_requirements(self) -> list[DataQualityRequirement]:
+        """DQRs without any derived DQSR — a gap the analyst must close."""
+        covered = {s.derived_from for s in self._dqsrs.values()}
+        return [d for d in self._dqrs.values() if d.req_id not in covered]
+
+    def characteristics_in_use(self) -> list[Characteristic]:
+        """The distinct ISO characteristics the catalogue touches."""
+        seen: list[Characteristic] = []
+        for dqr in self._dqrs.values():
+            if dqr.characteristic not in seen:
+                seen.append(dqr.characteristic)
+        return seen
+
+    def summary(self) -> str:
+        lines = [
+            f"{len(self._dqrs)} DQR(s), {len(self._dqsrs)} DQSR(s), "
+            f"{len(self.untranslated_requirements())} untranslated"
+        ]
+        for dqr in self._dqrs.values():
+            lines.append(dqr.describe())
+            for dqsr in self.derived_from(dqr.req_id):
+                lines.append(f"  -> {dqsr.describe()}")
+        return "\n".join(lines)
+
+
+def requirement_for(
+    task: str,
+    user_role: str,
+    data_items: Iterable[str],
+    characteristic_name: str,
+    statement: str = "",
+) -> DataQualityRequirement:
+    """Convenience constructor resolving the characteristic by name."""
+    return DataQualityRequirement(
+        task=task,
+        user_role=user_role,
+        data_items=tuple(data_items),
+        characteristic=iso25012.by_name(characteristic_name),
+        statement=statement,
+    )

@@ -1,0 +1,423 @@
+"""Runtime DQ validators — the executable form of ``DQ_Validator`` classes.
+
+In the paper, each validator-mechanism DQSR becomes an operation of a class
+stereotyped ``DQ_Validator`` (e.g. ``check_completeness()``,
+``check_precision()``) that validates the data entered through a ``WebUI``
+element (§4, Fig. 7).  Here those operations are first-class
+:class:`Validator` objects that the simulated runtime invokes before every
+write.
+
+Validators examine plain record dicts and return :class:`Finding` lists;
+:class:`ValidatorSuite` composes them and produces a :class:`SuiteReport`.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping, Optional, Sequence
+
+from .metrics import _is_missing, in_bounds
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One defect detected in one record."""
+
+    code: str
+    field: str
+    message: str
+
+    def render(self) -> str:
+        return f"[{self.code}] {self.field}: {self.message}"
+
+
+class Validator:
+    """Base class: subclasses implement :meth:`check`.
+
+    ``name`` doubles as the generated operation name (``check_completeness``
+    style), keeping the link to the paper's DQ_Validator operations visible
+    in reports and generated code.
+    """
+
+    code = "dq"
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def check(self, record: Mapping) -> list[Finding]:
+        raise NotImplementedError
+
+    def is_valid(self, record: Mapping) -> bool:
+        return not self.check(record)
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class CompletenessValidator(Validator):
+    """"verify that all data have been completed" (paper §4, requirement 2)."""
+
+    code = "completeness"
+
+    def __init__(self, required_fields: Sequence[str], name: str = "check_completeness"):
+        super().__init__(name)
+        if not required_fields:
+            raise ValueError("CompletenessValidator needs required_fields")
+        self.required_fields = tuple(required_fields)
+
+    def check(self, record: Mapping) -> list[Finding]:
+        return [
+            Finding(self.code, field, "required field is missing or blank")
+            for field in self.required_fields
+            if _is_missing(record.get(field))
+        ]
+
+
+class PrecisionValidator(Validator):
+    """"validate the score assigned to each topic" (paper §4, requirement 4).
+
+    Enforces the ``DQConstraint`` bounds (``lower_bound``/``upper_bound``)
+    on numeric fields.
+    """
+
+    code = "precision"
+
+    def __init__(
+        self,
+        bounds: Mapping[str, tuple],
+        name: str = "check_precision",
+    ):
+        super().__init__(name)
+        if not bounds:
+            raise ValueError("PrecisionValidator needs at least one bound")
+        for field_name, (lower, upper) in bounds.items():
+            if lower > upper:
+                raise ValueError(
+                    f"{field_name}: lower bound {lower} exceeds upper {upper}"
+                )
+        self.bounds = dict(bounds)
+
+    def check(self, record: Mapping) -> list[Finding]:
+        findings = []
+        for field_name, (lower, upper) in self.bounds.items():
+            value = record.get(field_name)
+            if not in_bounds(value, lower, upper):
+                findings.append(
+                    Finding(
+                        self.code,
+                        field_name,
+                        f"value {value!r} outside [{lower}, {upper}]",
+                    )
+                )
+        return findings
+
+
+class FormatValidator(Validator):
+    """Syntactic accuracy: fields must fully match a regular expression."""
+
+    code = "format"
+
+    def __init__(
+        self,
+        patterns: Mapping[str, str],
+        name: str = "check_format",
+        allow_missing: bool = True,
+    ):
+        super().__init__(name)
+        if not patterns:
+            raise ValueError("FormatValidator needs at least one pattern")
+        self.patterns = {f: re.compile(p) for f, p in patterns.items()}
+        self.allow_missing = allow_missing
+
+    def check(self, record: Mapping) -> list[Finding]:
+        findings = []
+        for field_name, pattern in self.patterns.items():
+            value = record.get(field_name)
+            if _is_missing(value):
+                if not self.allow_missing:
+                    findings.append(
+                        Finding(self.code, field_name, "value is missing")
+                    )
+                continue
+            if not isinstance(value, str) or not pattern.fullmatch(value):
+                findings.append(
+                    Finding(
+                        self.code,
+                        field_name,
+                        f"value {value!r} does not match "
+                        f"{pattern.pattern!r}",
+                    )
+                )
+        return findings
+
+
+class EnumValidator(Validator):
+    """Fields must take one of an allowed set of values."""
+
+    code = "enum"
+
+    def __init__(
+        self,
+        allowed: Mapping[str, Sequence],
+        name: str = "check_enum",
+        allow_missing: bool = True,
+    ):
+        super().__init__(name)
+        if not allowed:
+            raise ValueError("EnumValidator needs at least one field")
+        self.allowed = {f: tuple(vals) for f, vals in allowed.items()}
+        self.allow_missing = allow_missing
+
+    def check(self, record: Mapping) -> list[Finding]:
+        findings = []
+        for field_name, values in self.allowed.items():
+            value = record.get(field_name)
+            if _is_missing(value):
+                if not self.allow_missing:
+                    findings.append(
+                        Finding(self.code, field_name, "value is missing")
+                    )
+                continue
+            if value not in values:
+                findings.append(
+                    Finding(
+                        self.code,
+                        field_name,
+                        f"value {value!r} not in {list(values)!r}",
+                    )
+                )
+        return findings
+
+
+class ConsistencyValidator(Validator):
+    """Cross-field rules: each rule is ``(description, predicate)``."""
+
+    code = "consistency"
+
+    def __init__(
+        self,
+        rules: Sequence[tuple[str, Callable[[Mapping], bool]]],
+        name: str = "check_consistency",
+    ):
+        super().__init__(name)
+        if not rules:
+            raise ValueError("ConsistencyValidator needs at least one rule")
+        self.rules = list(rules)
+
+    def check(self, record: Mapping) -> list[Finding]:
+        findings = []
+        for description, predicate in self.rules:
+            try:
+                ok = predicate(record)
+            except Exception:
+                ok = False
+            if not ok:
+                findings.append(Finding(self.code, "<record>", description))
+        return findings
+
+
+class OclConsistencyValidator(Validator):
+    """Cross-field rules stated declaratively in OCL-lite.
+
+    Each rule is an expression over the record (``self`` is the record
+    dict; absent fields read as ``null``), e.g.::
+
+        OclConsistencyValidator(
+            ["self.total_cents = self.quantity * self.unit_price_cents"]
+        )
+
+    A rule that evaluates to anything but ``true`` — including failing to
+    evaluate — counts as violated.  Because the rules are plain text they
+    travel inside the design model (``ValidatorSpec.rules``), so the
+    Consistency DQSR is fully declarative end to end.
+    """
+
+    code = "consistency"
+
+    def __init__(self, rules, name: str = "check_consistency"):
+        super().__init__(name)
+        from repro.core.ocl import OclExpression  # core is the base layer
+
+        rules = list(rules)
+        if not rules:
+            raise ValueError("OclConsistencyValidator needs at least one rule")
+        self.rules = [(text, OclExpression(text)) for text in rules]
+
+    def check(self, record: Mapping) -> list[Finding]:
+        from repro.core.errors import OclError
+
+        findings = []
+        for text, expression in self.rules:
+            try:
+                ok = expression.evaluate(dict(record)) is True
+            except OclError:
+                ok = False
+            if not ok:
+                findings.append(Finding(self.code, "<record>", text))
+        return findings
+
+
+class CurrentnessValidator(Validator):
+    """Data must not be older than ``max_age`` ticks at check time."""
+
+    code = "currentness"
+
+    def __init__(
+        self,
+        age_field: str,
+        max_age: int,
+        name: str = "check_currentness",
+    ):
+        super().__init__(name)
+        if max_age <= 0:
+            raise ValueError("max_age must be positive")
+        self.age_field = age_field
+        self.max_age = max_age
+
+    def check(self, record: Mapping) -> list[Finding]:
+        age = record.get(self.age_field)
+        if age is None or not isinstance(age, (int, float)) or age > self.max_age:
+            return [
+                Finding(
+                    self.code,
+                    self.age_field,
+                    f"age {age!r} exceeds maximum {self.max_age}",
+                )
+            ]
+        return []
+
+
+class CredibilityValidator(Validator):
+    """The record's source must be one of the trusted sources."""
+
+    code = "credibility"
+
+    def __init__(
+        self,
+        source_field: str,
+        trusted_sources: Iterable[str],
+        name: str = "check_credibility",
+    ):
+        super().__init__(name)
+        self.source_field = source_field
+        self.trusted_sources = frozenset(trusted_sources)
+        if not self.trusted_sources:
+            raise ValueError("CredibilityValidator needs trusted sources")
+
+    def check(self, record: Mapping) -> list[Finding]:
+        source = record.get(self.source_field)
+        if source not in self.trusted_sources:
+            return [
+                Finding(
+                    self.code,
+                    self.source_field,
+                    f"source {source!r} is not trusted",
+                )
+            ]
+        return []
+
+
+class UniquenessValidator(Validator):
+    """Stateful: rejects a key tuple already seen by this validator."""
+
+    code = "uniqueness"
+
+    def __init__(self, key_fields: Sequence[str], name: str = "check_uniqueness"):
+        super().__init__(name)
+        if not key_fields:
+            raise ValueError("UniquenessValidator needs key fields")
+        self.key_fields = tuple(key_fields)
+        self._seen: set[tuple] = set()
+
+    def check(self, record: Mapping) -> list[Finding]:
+        key = tuple(record.get(f) for f in self.key_fields)
+        if key in self._seen:
+            return [
+                Finding(
+                    self.code,
+                    ", ".join(self.key_fields),
+                    f"duplicate key {key!r}",
+                )
+            ]
+        return []
+
+    def commit(self, record: Mapping) -> None:
+        """Remember an accepted record's key (call after a successful write)."""
+        self._seen.add(tuple(record.get(f) for f in self.key_fields))
+
+    def reset(self) -> None:
+        self._seen.clear()
+
+
+@dataclass
+class SuiteReport:
+    """Aggregate outcome of running a suite over one or many records."""
+
+    records_checked: int = 0
+    findings: list[Finding] = field(default_factory=list)
+    findings_per_validator: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def count(self, code: str) -> int:
+        return sum(1 for f in self.findings if f.code == code)
+
+    def render(self) -> str:
+        if self.ok:
+            return f"OK — {self.records_checked} record(s), no findings"
+        lines = [f.render() for f in self.findings]
+        lines.append(
+            f"{len(self.findings)} finding(s) over "
+            f"{self.records_checked} record(s)"
+        )
+        return "\n".join(lines)
+
+
+class ValidatorSuite:
+    """A ``DQ_Validator`` class at runtime: an ordered set of operations."""
+
+    def __init__(self, name: str, validators: Optional[Sequence[Validator]] = None):
+        self.name = name
+        self._validators: list[Validator] = list(validators or [])
+
+    def add(self, validator: Validator) -> "ValidatorSuite":
+        self._validators.append(validator)
+        return self
+
+    @property
+    def validators(self) -> list[Validator]:
+        return list(self._validators)
+
+    @property
+    def operation_names(self) -> list[str]:
+        """The DQ_Validator operation names, e.g. ``check_completeness``."""
+        return [v.name for v in self._validators]
+
+    def check_record(self, record: Mapping) -> list[Finding]:
+        findings: list[Finding] = []
+        for validator in self._validators:
+            findings.extend(validator.check(record))
+        return findings
+
+    def run(self, records: Iterable[Mapping]) -> SuiteReport:
+        report = SuiteReport()
+        for record in records:
+            report.records_checked += 1
+            for validator in self._validators:
+                found = validator.check(record)
+                if found:
+                    report.findings.extend(found)
+                    bucket = report.findings_per_validator.setdefault(
+                        validator.name, []
+                    )
+                    bucket.extend(found)
+        return report
+
+    def __len__(self) -> int:
+        return len(self._validators)
+
+    def __repr__(self) -> str:
+        return f"<ValidatorSuite {self.name!r} ({len(self)} validators)>"

@@ -1,0 +1,60 @@
+"""``repro.dqwebre`` — the paper's contribution: metamodel + UML profile.
+
+* :mod:`repro.dqwebre.metamodel` — the extended metamodel of Fig. 1
+  (WebRE + seven DQ metaclasses);
+* :mod:`repro.dqwebre.profile` — the DQ_WebRE UML profile of Table 3
+  (stereotypes, tagged values, constraints);
+* :mod:`repro.dqwebre.builder` — a fluent authoring API for DQ-aware
+  requirements models;
+* :mod:`repro.dqwebre.wellformedness` — machine-checked Table 3 rules;
+* :mod:`repro.dqwebre.derivation` — DQR → DQSR derivation (paper §4).
+"""
+
+from . import builder, derivation, metamodel, methodology, profile, promotion, uml_sync, wellformedness
+from .builder import DQWebREBuilder
+from .methodology import MethodologyReport, StepStatus, assess
+from .promotion import is_promoted, promote
+from .uml_sync import to_uml
+from .derivation import (
+    bounds_from_model,
+    derive,
+    derive_catalog,
+    derive_from_model,
+    requirements_from_model,
+)
+from .metamodel import (
+    DQWEBRE,
+    FIG1_BEHAVIOR_ADDITIONS,
+    FIG1_STRUCTURE_ADDITIONS,
+    AddDQMetadata,
+    DQConstraint,
+    DQMetadata,
+    DQReqSpecification,
+    DQRequirement,
+    DQValidator,
+    DQWebREModel,
+    InformationCase,
+)
+from .profile import (
+    DQWEBRE_STEREOTYPES,
+    TABLE3_SPECS,
+    StereotypeSpec,
+    build_dqwebre_profile,
+)
+from .wellformedness import build_dqwebre_engine, validate
+
+__all__ = [
+    "metamodel", "profile", "builder", "wellformedness", "derivation",
+    "methodology", "assess", "MethodologyReport", "StepStatus",
+    "promotion", "promote", "is_promoted",
+    "uml_sync", "to_uml",
+    "DQWEBRE", "DQWebREModel", "InformationCase", "DQRequirement",
+    "DQReqSpecification", "AddDQMetadata", "DQMetadata", "DQValidator",
+    "DQConstraint",
+    "FIG1_BEHAVIOR_ADDITIONS", "FIG1_STRUCTURE_ADDITIONS",
+    "TABLE3_SPECS", "DQWEBRE_STEREOTYPES", "StereotypeSpec",
+    "build_dqwebre_profile", "build_dqwebre_engine", "validate",
+    "DQWebREBuilder",
+    "derive", "derive_catalog", "derive_from_model",
+    "requirements_from_model", "bounds_from_model",
+]

@@ -1,0 +1,248 @@
+"""A fluent authoring API for DQ-aware requirements models.
+
+The paper expects analysts to draw these models in an IDE (Enterprise
+Architect with the DQ_WebRE toolbox, Fig. 6); this builder is the
+programmatic equivalent: it creates a :class:`DQWebREModel` tree with all
+cross references wired and ids ready for validation, transformation and
+code generation.
+
+    >>> builder = DQWebREBuilder("EasyChair")
+    >>> pc_member = builder.web_user("PC member")
+    >>> review = builder.content("evaluation scores",
+    ...                          ["overall_evaluation", "reviewer_confidence"])
+    >>> process = builder.web_process("Add new review to submission",
+    ...                               user=pc_member)
+    >>> ic = builder.information_case("Add all data as result of review",
+    ...                               processes=[process], contents=[review])
+    >>> dqr = builder.dq_requirement("Completeness of review data", ic,
+    ...     characteristic="Completeness",
+    ...     statement="verify that all data have been completed by reviewer")
+    >>> model = builder.model
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.core import MObject
+from repro.dq import iso25012
+
+from . import metamodel as M
+from repro.webre import metamodel as W
+
+
+class DQWebREBuilder:
+    """Builds one :class:`DQWebREModel` containment tree."""
+
+    def __init__(self, name: str):
+        self.model: MObject = M.DQWebREModel.create(name=name)
+        self._spec_counter = 0
+
+    # -- WebRE base elements ------------------------------------------------
+
+    def web_user(self, name: str, description: str = "") -> MObject:
+        user = W.WebUser.create(name=name)
+        if description:
+            user.description = description
+        self.model.users.append(user)
+        return user
+
+    def node(
+        self,
+        name: str,
+        contents: Iterable[MObject] = (),
+        ui: Optional[MObject] = None,
+    ) -> MObject:
+        node = W.Node.create(name=name)
+        for content in contents:
+            node.contents.append(content)
+        if ui is not None:
+            node.ui = ui
+        self.model.nodes.append(node)
+        return node
+
+    def content(self, name: str, attributes: Sequence[str] = ()) -> MObject:
+        content = W.Content.create(name=name)
+        content.set("attributes", list(attributes))
+        self.model.contents.append(content)
+        return content
+
+    def web_ui(self, name: str, fields: Sequence[str] = ()) -> MObject:
+        ui = W.WebUI.create(name=name)
+        ui.set("fields", list(fields))
+        self.model.uis.append(ui)
+        return ui
+
+    def navigation(
+        self,
+        name: str,
+        target: MObject,
+        user: Optional[MObject] = None,
+    ) -> MObject:
+        navigation = W.Navigation.create(name=name, target=target)
+        if user is not None:
+            navigation.user = user
+        self.model.navigations.append(navigation)
+        return navigation
+
+    def browse(
+        self,
+        navigation: MObject,
+        name: str,
+        target: MObject,
+        source: Optional[MObject] = None,
+    ) -> MObject:
+        browse = W.Browse.create(name=name, target=target)
+        if source is not None:
+            browse.source = source
+        navigation.browses.append(browse)
+        return browse
+
+    def web_process(
+        self, name: str, user: Optional[MObject] = None
+    ) -> MObject:
+        process = W.WebProcess.create(name=name)
+        if user is not None:
+            process.user = user
+        self.model.processes.append(process)
+        return process
+
+    def user_transaction(
+        self,
+        process: MObject,
+        name: str,
+        data: Iterable[MObject] = (),
+    ) -> MObject:
+        transaction = W.UserTransaction.create(name=name)
+        for content in data:
+            transaction.data.append(content)
+        process.activities.append(transaction)
+        return transaction
+
+    def search(
+        self,
+        process: MObject,
+        name: str,
+        queries: MObject,
+        target: MObject,
+        parameters: Sequence[str] = (),
+    ) -> MObject:
+        search = W.Search.create(name=name, queries=queries, target=target)
+        search.set("parameters", list(parameters))
+        process.activities.append(search)
+        return search
+
+    # -- DQ_WebRE extension elements ------------------------------------------
+
+    def information_case(
+        self,
+        name: str,
+        processes: Sequence[MObject],
+        contents: Iterable[MObject] = (),
+        user: Optional[MObject] = None,
+    ) -> MObject:
+        """An ``InformationCase`` managing the data of the given processes."""
+        case = M.InformationCase.create(name=name)
+        case.set("web_processes", list(processes))
+        for content in contents:
+            case.contents.append(content)
+        if user is not None:
+            case.user = user
+        self.model.information_cases.append(case)
+        return case
+
+    def dq_requirement(
+        self,
+        name: str,
+        information_case: MObject,
+        characteristic: str,
+        statement: str = "",
+        specification_text: str = "",
+    ) -> MObject:
+        """A ``DQ_Requirement`` on an InformationCase.
+
+        ``characteristic`` is an ISO/IEC 25012 name (case-insensitive); a
+        ``DQ_Req_Specification`` child is created automatically from
+        ``specification_text`` (default: the statement).
+        """
+        resolved = iso25012.by_name(characteristic)
+        requirement = M.DQRequirement.create(
+            name=name, characteristic=resolved.name
+        )
+        requirement.information_cases.append(information_case)
+        if statement:
+            requirement.statement = statement
+        self._spec_counter += 1
+        requirement.specification = M.DQReqSpecification.create(
+            ID=self._spec_counter,
+            Text=specification_text or statement or resolved.definition,
+        )
+        self.model.dq_requirements.append(requirement)
+        return requirement
+
+    def dq_metadata(
+        self,
+        name: str,
+        attributes: Sequence[str],
+        contents: Iterable[MObject] = (),
+    ) -> MObject:
+        metadata = M.DQMetadata.create(name=name)
+        metadata.set("dq_metadata", list(attributes))
+        for content in contents:
+            metadata.contents.append(content)
+        self.model.dq_metadata_classes.append(metadata)
+        return metadata
+
+    def dq_validator(
+        self,
+        name: str,
+        operations: Sequence[str],
+        validates: Iterable[MObject] = (),
+    ) -> MObject:
+        validator = M.DQValidator.create(name=name)
+        validator.set("operations", list(operations))
+        for ui in validates:
+            validator.validates.append(ui)
+        self.model.dq_validators.append(validator)
+        return validator
+
+    def dq_constraint(
+        self,
+        name: str,
+        validator: MObject,
+        fields: Sequence[str],
+        lower_bound: int,
+        upper_bound: int,
+    ) -> MObject:
+        constraint = M.DQConstraint.create(
+            name=name,
+            validator=validator,
+            lower_bound=lower_bound,
+            upper_bound=upper_bound,
+        )
+        constraint.set("dq_constraint", list(fields))
+        self.model.dq_constraints.append(constraint)
+        return constraint
+
+    def add_dq_metadata(
+        self,
+        name: str,
+        metadata: MObject,
+        captures: Sequence[str],
+        after: Iterable[MObject] = (),
+    ) -> MObject:
+        """An ``Add_DQ_Metadata`` activity following UserTransactions."""
+        activity = M.AddDQMetadata.create(name=name, metadata=metadata)
+        activity.set("captures", list(captures))
+        for transaction in after:
+            activity.user_transactions.append(transaction)
+        self.model.add_dq_metadata_activities.append(activity)
+        return activity
+
+    # -- conveniences -------------------------------------------------------------
+
+    def validate(self):
+        """Run the DQ_WebRE well-formedness rules on the built model."""
+        from .wellformedness import validate
+
+        return validate(self.model)

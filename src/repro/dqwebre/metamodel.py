@@ -1,0 +1,232 @@
+"""The extended metamodel of the paper — Fig. 1: WebRE + DQ metaclasses.
+
+The paper's first artifact (§3): *"To develop our proposal, we have extended
+Escalona and Koch's metamodel, in order to deal with those elements which are
+considered to be essential for the specification of DQSR"*.  Seven new
+metaclasses are added:
+
+* to the **Behavior** package: ``InformationCase``, ``DQ_Requirement``,
+  ``DQ_Req_Specification`` and ``Add_DQ_Metadata``;
+* to the **Structure** package: ``DQ_Metadata``, ``DQ_Validator`` and
+  ``DQConstraint``.
+
+Their semantics follow the paper's Table 3 descriptions; multiplicities
+encode the Table 3 constraints (e.g. an ``InformationCase`` *must be related
+to at least one element of "WebProcess" type*).
+"""
+
+from __future__ import annotations
+
+from repro.core import (
+    INTEGER,
+    MANY,
+    STRING,
+    MetaPackage,
+    global_registry,
+)
+from repro.dq.iso25012 import CHARACTERISTIC_NAMES
+from repro.webre import metamodel as webre
+
+
+def build_dqwebre_package() -> MetaPackage:
+    """Construct the DQ_WebRE extended metamodel (Fig. 1)."""
+    dq = MetaPackage("dqwebre", "urn:repro:dqwebre")
+    behavior = MetaPackage("behavior", "urn:repro:dqwebre:behavior", parent=dq)
+    structure = MetaPackage(
+        "structure", "urn:repro:dqwebre:structure", parent=dq
+    )
+
+    characteristic = behavior.define_enum(
+        "DQCharacteristic",
+        list(CHARACTERISTIC_NAMES),
+        doc="The ISO/IEC 25012 characteristic a DQ_Requirement addresses.",
+    )
+
+    # ---- Structure additions ---------------------------------------------
+    dq_metadata = structure.define_class(
+        "DQ_Metadata",
+        doc="A structural element where the DQ metadata are managed and "
+            "stored; associated with Content elements so DQ requirements "
+            "can be linked directly to stored data (Table 3).",
+    )
+    dq_metadata.attribute("name", STRING, lower=1)
+    dq_metadata.attribute(
+        "dq_metadata", STRING, upper=MANY,
+        doc="Tagged value DQ_metadata: set(String) — the metadata "
+            "attribute names (e.g. stored_by, security_level).",
+    )
+    dq_metadata.reference(
+        "contents", webre.Content, upper=MANY,
+        doc="The Content elements this metadata set is associated with.",
+    )
+
+    dq_constraint = structure.define_class(
+        "DQConstraint",
+        doc="Stores the specific data of the different constraints, related "
+            "to DQ_Validator elements, with its corresponding bounds "
+            "(upper_bound, lower_bound) (Table 3).",
+    )
+    dq_constraint.attribute("name", STRING, lower=1)
+    dq_constraint.attribute(
+        "dq_constraint", STRING, upper=MANY,
+        doc="Tagged value DQConstraint: set(String) — the constrained "
+            "field names.",
+    )
+    dq_constraint.attribute("lower_bound", INTEGER, default=0)
+    dq_constraint.attribute("upper_bound", INTEGER, default=0)
+
+    dq_validator = structure.define_class(
+        "DQ_Validator",
+        doc="Manages the different DQ operations in order to validate or "
+            "restrict WebUI elements (Table 3).",
+    )
+    dq_validator.attribute("name", STRING, lower=1)
+    dq_validator.attribute(
+        "operations", STRING, upper=MANY,
+        doc="Validation operations, e.g. check_completeness(), "
+            "check_precision().",
+    )
+    dq_validator.reference(
+        "validates", webre.WebUI, upper=MANY,
+        doc="The WebUI elements this validator checks.",
+    )
+    dq_validator.reference(
+        "constraints", dq_constraint, upper=MANY, opposite="validator",
+        doc="The DQConstraints this validator enforces.",
+    )
+    # Table 3: a DQConstraint must be related to at least one DQ_Validator.
+    dq_constraint.reference(
+        "validator", dq_validator, lower=1,
+        doc="The validator enforcing this constraint (mandatory).",
+    )
+
+    # ---- Behavior additions -----------------------------------------------
+    dq_req_specification = behavior.define_class(
+        "DQ_Req_Specification",
+        doc="Specifies each DQ requirement in detail through requirements "
+            "diagrams; tagged values ID: Integer and Text: String "
+            "(Table 3).",
+    )
+    dq_req_specification.attribute("ID", INTEGER, lower=1)
+    dq_req_specification.attribute("Text", STRING, lower=1)
+
+    information_case = behavior.define_class(
+        "InformationCase", superclasses=[webre.WebREUseCase],
+        doc="Unlike normal use cases, represents use cases that manage and "
+            "store the data involved with the functionalities of the "
+            "WebProcess type; linked to them through include relationships "
+            "(Table 3).",
+    )
+    information_case.reference(
+        "web_processes", webre.WebProcess, lower=1, upper=MANY,
+        doc="Must be related to at least one WebProcess (Table 3).",
+    )
+    information_case.reference(
+        "contents", webre.Content, upper=MANY,
+        doc="The data this information case manages.",
+    )
+
+    dq_requirement = behavior.define_class(
+        "DQ_Requirement", superclasses=[webre.WebREUseCase],
+        doc="A specific use case modelling the DQ requirements (DQ "
+            "dimensions) related to InformationCase use cases (Table 3).",
+    )
+    dq_requirement.reference(
+        "information_cases", information_case, lower=1, upper=MANY,
+        doc="Must include at least one InformationCase (Table 3).",
+    )
+    dq_requirement.attribute(
+        "characteristic", characteristic, lower=1,
+        doc="The ISO/IEC 25012 characteristic addressed.",
+    )
+    dq_requirement.attribute(
+        "statement", STRING,
+        doc="The DQ functional requirement, e.g. 'check that data will be "
+            "accessed only by authorized users'.",
+    )
+    dq_requirement.reference(
+        "specification", dq_req_specification, containment=True,
+        doc="The detailed DQ_Req_Specification element.",
+    )
+
+    add_dq_metadata = behavior.define_class(
+        "Add_DQ_Metadata", superclasses=[webre.WebREActivity],
+        doc="A particular activity related to UserTransaction activities; "
+            "responsible for validating and adding the operations and "
+            "information associated with each of the DQ_metadata "
+            "attributes belonging to DQ_Metadata or DQ_Validator "
+            "(Table 3).",
+    )
+    add_dq_metadata.reference(
+        "user_transactions", webre.UserTransaction, upper=MANY,
+        doc="The UserTransaction activities this metadata capture follows.",
+    )
+    add_dq_metadata.reference(
+        "metadata", dq_metadata,
+        doc="Where the captured metadata are stored.",
+    )
+    add_dq_metadata.attribute(
+        "captures", STRING, upper=MANY,
+        doc="The metadata attribute names captured by this activity.",
+    )
+
+    # ---- Extended model root -------------------------------------------------
+    model = dq.define_class(
+        "DQWebREModel", superclasses=[webre.WebREModel],
+        doc="Root of a DQ-aware WebRE requirements model.",
+    )
+    model.reference(
+        "information_cases", information_case, upper=MANY, containment=True
+    )
+    model.reference(
+        "dq_requirements", dq_requirement, upper=MANY, containment=True
+    )
+    model.reference(
+        "dq_metadata_classes", dq_metadata, upper=MANY, containment=True
+    )
+    model.reference(
+        "dq_validators", dq_validator, upper=MANY, containment=True
+    )
+    model.reference(
+        "dq_constraints", dq_constraint, upper=MANY, containment=True
+    )
+    model.reference(
+        "add_dq_metadata_activities", add_dq_metadata, upper=MANY,
+        containment=True,
+    )
+
+    return dq.resolve()
+
+
+#: The DQ_WebRE extended metamodel (singleton).
+DQWEBRE = build_dqwebre_package()
+global_registry.register(DQWEBRE)
+
+
+def _export(name: str):
+    metaclass = DQWEBRE.find_class(name)
+    assert metaclass is not None, name
+    return metaclass
+
+
+DQWebREModel = _export("DQWebREModel")
+InformationCase = _export("InformationCase")
+DQRequirement = _export("DQ_Requirement")
+DQReqSpecification = _export("DQ_Req_Specification")
+AddDQMetadata = _export("Add_DQ_Metadata")
+DQMetadata = _export("DQ_Metadata")
+DQValidator = _export("DQ_Validator")
+DQConstraint = _export("DQConstraint")
+
+#: The seven new metaclasses of Fig. 1, grouped as the paper lists them.
+FIG1_BEHAVIOR_ADDITIONS: tuple[str, ...] = (
+    "InformationCase",
+    "DQ_Requirement",
+    "DQ_Req_Specification",
+    "Add_DQ_Metadata",
+)
+FIG1_STRUCTURE_ADDITIONS: tuple[str, ...] = (
+    "DQ_Metadata",
+    "DQ_Validator",
+    "DQConstraint",
+)

@@ -1,0 +1,308 @@
+"""A methodology assistant: how far along is the DQ_WebRE process?
+
+The paper (with its companion methodology work, DQ-VORD) prescribes a
+process: identify users and tasks, identify the data, attach information
+cases, capture DQ requirements per ISO characteristic, specify them in
+detail, and realize each through metadata, validators and constraints.
+
+:func:`assess` walks a requirements model and grades each step —
+``done`` / ``partial`` / ``missing`` — with concrete gaps an analyst can
+act on.  It complements well-formedness validation: a model can be
+perfectly well-formed and still methodologically half-finished.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core import MObject
+from repro.dq import iso25012
+
+from . import metamodel as M
+
+#: Characteristics realized through metadata vs validator operations.
+_METADATA_CHARACTERISTICS = {"Traceability", "Confidentiality", "Availability"}
+_VALIDATOR_CHARACTERISTICS = {
+    "Completeness", "Precision", "Accuracy", "Consistency", "Currentness",
+    "Credibility",
+}
+
+
+class StepStatus(enum.Enum):
+    DONE = "done"
+    PARTIAL = "partial"
+    MISSING = "missing"
+
+
+@dataclass
+class StepResult:
+    step_id: str
+    title: str
+    status: StepStatus
+    gaps: list[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        marker = {"done": "[x]", "partial": "[~]", "missing": "[ ]"}[
+            self.status.value
+        ]
+        lines = [f"{marker} {self.step_id}: {self.title}"]
+        lines.extend(f"      - {gap}" for gap in self.gaps)
+        return "\n".join(lines)
+
+
+def _grade(total: int, satisfied: int) -> StepStatus:
+    if total == 0 or satisfied == 0:
+        return StepStatus.MISSING
+    if satisfied == total:
+        return StepStatus.DONE
+    return StepStatus.PARTIAL
+
+
+def _step_users(model: MObject) -> StepResult:
+    result = StepResult(
+        "S1", "Identify the WebUsers (roles) of the application",
+        StepStatus.DONE if len(model.users) else StepStatus.MISSING,
+    )
+    if not len(model.users):
+        result.gaps.append("no WebUser modelled")
+    return result
+
+
+def _step_processes(model: MObject) -> StepResult:
+    processes = list(model.processes)
+    with_user = [p for p in processes if p.user is not None]
+    result = StepResult(
+        "S2", "Identify the WebProcesses and their initiating users",
+        _grade(len(processes) or 1, len(with_user)),
+    )
+    if not processes:
+        result.gaps.append("no WebProcess modelled")
+    for process in processes:
+        if process.user is None:
+            result.gaps.append(f"process {process.name!r} has no WebUser")
+    return result
+
+
+def _step_data(model: MObject) -> StepResult:
+    contents = list(model.contents)
+    with_attributes = [c for c in contents if len(c.attributes)]
+    result = StepResult(
+        "S3", "Identify the data (Content elements and their attributes)",
+        _grade(len(contents) or 1, len(with_attributes)),
+    )
+    if not contents:
+        result.gaps.append("no Content modelled")
+    for content in contents:
+        if not len(content.attributes):
+            result.gaps.append(f"content {content.name!r} lists no attributes")
+    return result
+
+
+def _step_information_cases(model: MObject) -> StepResult:
+    cases = list(model.information_cases)
+    covered_processes = set()
+    for case in cases:
+        covered_processes.update(p.id for p in case.web_processes)
+    data_processes = [
+        p for p in model.processes
+        if any(
+            a.is_instance_of(M.DQWEBRE.find_class("UserTransaction"))
+            or a.metaclass.name == "UserTransaction"
+            for a in p.activities
+        )
+    ]
+    covered = [p for p in data_processes if p.id in covered_processes]
+    result = StepResult(
+        "S4", "Attach an InformationCase to every data-managing WebProcess",
+        _grade(len(data_processes) or 1, len(covered) if cases else 0),
+    )
+    if not cases:
+        result.gaps.append("no InformationCase modelled")
+    for process in data_processes:
+        if process.id not in covered_processes:
+            result.gaps.append(
+                f"process {process.name!r} manages data but has no "
+                "InformationCase"
+            )
+    return result
+
+
+def _step_dq_requirements(model: MObject) -> StepResult:
+    cases = list(model.information_cases)
+    requirements = list(model.dq_requirements)
+    covered_cases = set()
+    for requirement in requirements:
+        covered_cases.update(c.id for c in requirement.information_cases)
+    covered = [c for c in cases if c.id in covered_cases]
+    result = StepResult(
+        "S5", "Capture DQ requirements on every InformationCase",
+        _grade(len(cases) or 1, len(covered) if requirements else 0),
+    )
+    if not requirements:
+        result.gaps.append("no DQ_Requirement modelled")
+    for case in cases:
+        if case.id not in covered_cases:
+            result.gaps.append(
+                f"information case {case.name!r} has no DQ requirement"
+            )
+    return result
+
+
+def _step_specifications(model: MObject) -> StepResult:
+    requirements = list(model.dq_requirements)
+    specified = [
+        r for r in requirements
+        if r.specification is not None and r.statement
+    ]
+    result = StepResult(
+        "S6", "Specify each DQ requirement (statement + DQ_Req_Specification)",
+        _grade(len(requirements) or 1, len(specified)),
+    )
+    for requirement in requirements:
+        if requirement.specification is None:
+            result.gaps.append(
+                f"requirement {requirement.name!r} lacks a specification"
+            )
+        if not requirement.statement:
+            result.gaps.append(
+                f"requirement {requirement.name!r} lacks a statement"
+            )
+    return result
+
+
+def _step_metadata(model: MObject) -> StepResult:
+    wanted = [
+        r for r in model.dq_requirements
+        if r.characteristic in _METADATA_CHARACTERISTICS
+    ]
+    has_store = len(model.dq_metadata_classes) > 0
+    has_capture = len(model.add_dq_metadata_activities) > 0
+    satisfied = len(wanted) if (has_store and has_capture) else 0
+    result = StepResult(
+        "S7", "Realize metadata-mechanism requirements "
+              "(DQ_Metadata + Add_DQ_Metadata)",
+        _grade(len(wanted), satisfied) if wanted else StepStatus.DONE,
+    )
+    if wanted and not has_store:
+        result.gaps.append("no DQ_Metadata element declared")
+    if wanted and not has_capture:
+        result.gaps.append("no Add_DQ_Metadata activity captures the metadata")
+    return result
+
+
+def _step_validators(model: MObject) -> StepResult:
+    wanted = [
+        r for r in model.dq_requirements
+        if r.characteristic in _VALIDATOR_CHARACTERISTICS
+    ]
+    operations: set[str] = set()
+    for validator in model.dq_validators:
+        operations.update(op.rstrip("()") for op in validator.operations)
+    satisfied = []
+    for requirement in wanted:
+        needed = f"check_{requirement.characteristic.lower()}"
+        alias = {
+            "check_accuracy": "check_format",
+        }.get(needed, needed)
+        if alias in operations:
+            satisfied.append(requirement)
+    result = StepResult(
+        "S8", "Realize validator-mechanism requirements "
+              "(DQ_Validator operations)",
+        _grade(len(wanted), len(satisfied)) if wanted else StepStatus.DONE,
+    )
+    for requirement in wanted:
+        if requirement not in satisfied:
+            result.gaps.append(
+                f"no validator operation realizes "
+                f"{requirement.characteristic} "
+                f"({requirement.name!r})"
+            )
+    return result
+
+
+def _step_constraints(model: MObject) -> StepResult:
+    precision = [
+        r for r in model.dq_requirements if r.characteristic == "Precision"
+    ]
+    has_bounds = len(model.dq_constraints) > 0
+    result = StepResult(
+        "S9", "Declare DQConstraint bounds for Precision requirements",
+        _grade(len(precision), len(precision) if has_bounds else 0)
+        if precision
+        else StepStatus.DONE,
+    )
+    if precision and not has_bounds:
+        result.gaps.append("Precision is required but no DQConstraint exists")
+    return result
+
+
+def _step_ui_link(model: MObject) -> StepResult:
+    validators = list(model.dq_validators)
+    linked = [v for v in validators if len(v.validates)]
+    result = StepResult(
+        "S10", "Attach every DQ_Validator to the WebUI it validates",
+        _grade(len(validators), len(linked))
+        if validators
+        else StepStatus.DONE,
+    )
+    for validator in validators:
+        if not len(validator.validates):
+            result.gaps.append(
+                f"validator {validator.name!r} validates no WebUI"
+            )
+    return result
+
+
+_STEPS: tuple[Callable[[MObject], StepResult], ...] = (
+    _step_users,
+    _step_processes,
+    _step_data,
+    _step_information_cases,
+    _step_dq_requirements,
+    _step_specifications,
+    _step_metadata,
+    _step_validators,
+    _step_constraints,
+    _step_ui_link,
+)
+
+
+@dataclass
+class MethodologyReport:
+    results: list[StepResult]
+
+    @property
+    def completion(self) -> float:
+        """Done steps count 1, partial 0.5, missing 0."""
+        if not self.results:
+            return 1.0
+        score = 0.0
+        for result in self.results:
+            if result.status is StepStatus.DONE:
+                score += 1.0
+            elif result.status is StepStatus.PARTIAL:
+                score += 0.5
+        return score / len(self.results)
+
+    @property
+    def complete(self) -> bool:
+        return all(r.status is StepStatus.DONE for r in self.results)
+
+    def step(self, step_id: str) -> StepResult:
+        for result in self.results:
+            if result.step_id == step_id:
+                return result
+        raise KeyError(step_id)
+
+    def render(self) -> str:
+        lines = [result.render() for result in self.results]
+        lines.append(f"methodology completion: {self.completion:.0%}")
+        return "\n".join(lines)
+
+
+def assess(model: MObject) -> MethodologyReport:
+    """Grade a DQ_WebRE model against the ten methodology steps."""
+    return MethodologyReport([step(model) for step in _STEPS])

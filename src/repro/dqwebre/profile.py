@@ -1,0 +1,301 @@
+"""The DQ_WebRE UML profile — the paper's second artifact (Table 3).
+
+Seven stereotypes extend the WebRE profile so DQ software requirements can
+be drawn on ordinary UML use case, activity, class and requirements diagrams
+(the paper implements the same profile in Enterprise Architect, Fig. 6's
+toolbox):
+
+=====================  ===========  ===============================  =====================================
+Stereotype             Base class   Constraints                      Tagged values
+=====================  ===========  ===============================  =====================================
+InformationCase        UseCase      related to >= 1 WebProcess       none
+DQ_Requirement         UseCase      includes >= 1 InformationCase    none
+DQ_Req_Specification   Element      —                                ID: Integer, Text: String
+Add_DQ_Metadata        Activity     not mandatory                    none
+DQ_Metadata            Class        not mandatory                    DQ_metadata: set(String)
+DQ_Validator           Class        not mandatory                    none
+DQConstraint           Class        related to >= 1 DQ_Validator     DQConstraint: set(String),
+                                                                     upper_bound: Integer,
+                                                                     lower_bound: Integer
+=====================  ===========  ===============================  =====================================
+
+The two relational constraints cannot be expressed in element-local OCL (they
+must look at stereotype applications on *other* elements), so they are
+registered python rules (see :func:`repro.uml.profiles.register_rule`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import MObject, walk
+from repro.uml import metamodel as uml
+from repro.uml import profiles
+from repro.uml.usecases import included_cases
+
+
+@dataclass(frozen=True)
+class StereotypeSpec:
+    """One row of the paper's Table 3."""
+
+    name: str
+    base_class: str
+    description: str
+    constraints: str
+    tagged_values: str
+
+
+#: The paper's Table 3, row for row.
+TABLE3_SPECS: tuple[StereotypeSpec, ...] = (
+    StereotypeSpec(
+        "InformationCase",
+        "UseCase",
+        "The IC, unlike normal use cases, has the main function of "
+        "representing use cases that manage and store the data involved "
+        "with the functionalities of the \"WebProcess\" type. These data "
+        "will be subject to the specific requirements of data quality "
+        "(DQ_Requirement) that are associated with them; we consider that "
+        "the best way to link them is through a relationship of the "
+        "\"include\" type, thus allowing them satisfy such DQ requirements.",
+        "Must be related to at least one element of \"WebProcess\" type.",
+        "None.",
+    ),
+    StereotypeSpec(
+        "DQ_Requirement",
+        "UseCase",
+        "This represents a specific use case which is necessary to model "
+        "the DQ requirements (DQ dimensions) that are related to the "
+        "\"InformationCase\" use cases.",
+        "Must be related to (\"include\") at least one element of type "
+        "\"Information Case\".",
+        "None.",
+    ),
+    StereotypeSpec(
+        "DQ_Req_Specification",
+        "Element",
+        "Abstract class that represents a particular element "
+        "(\"Requirement\" type). It will be used to specify each of the DQ "
+        "requirements added through requirements diagrams in detail.",
+        "",
+        "ID: Integer. Text: String.",
+    ),
+    StereotypeSpec(
+        "Add_DQ_Metadata",
+        "Activity",
+        "This represents a particular activity which is related to the "
+        "different \"UserTransaction\" activities. This metaclass is "
+        "responsible for validating and adding the operations and "
+        "information associated with each of the attributes (DQ_metadata) "
+        "belonging to the \"DQ_Metadata\" or \"DQ_Validator\" metaclasses.",
+        "Not mandatory.",
+        "None.",
+    ),
+    StereotypeSpec(
+        "DQ_Metadata",
+        "Class",
+        "This represents a structural element of a Web application, and "
+        "the DQ metadata will be managed and stored here. These sets of "
+        "metadata are associated with Content elements. It will thus be "
+        "possible to specify various DQ requirements (DQ dimensions) "
+        "directly linked to data stored in the elements of the "
+        "\"Content\" type.",
+        "Not mandatory.",
+        "DQ_metadata: set(String)",
+    ),
+    StereotypeSpec(
+        "DQ_Validator",
+        "Class",
+        "This represents a structural element. This metaclass will be "
+        "responsible for managing different DQ operations in order to "
+        "validate or restrict WebUI elements.",
+        "Not mandatory.",
+        "None.",
+    ),
+    StereotypeSpec(
+        "DQConstraint",
+        "Class",
+        "This represents a structural element of a Web application. In "
+        "this element are stored the specific data of the different "
+        "constraints, which will be related to elements of type "
+        "DQ_Validator. Besides its corresponding bounds (e.g. "
+        "\"upper_bound\" and \"lower_bound\").",
+        "Must be related to at least one element of type \"DQ_Validator\".",
+        "DQConstraint: set (String). upper_bound: Integer. lower_bound: "
+        "Integer",
+    ),
+)
+
+#: The seven stereotype names in Table 3 order.
+DQWEBRE_STEREOTYPES: tuple[str, ...] = tuple(s.name for s in TABLE3_SPECS)
+
+
+# ---------------------------------------------------------------------------
+# Python rules for the relational constraints
+# ---------------------------------------------------------------------------
+
+
+def _use_cases_including(element: MObject) -> list[MObject]:
+    """Use cases anywhere in ``element``'s model that include ``element``."""
+    root = element.root()
+    including = []
+    for candidate in walk(root):
+        if not candidate.is_instance_of(uml.UseCase):
+            continue
+        if element in included_cases(candidate):
+            including.append(candidate)
+    return including
+
+
+def _associated_classifiers(element: MObject) -> list[MObject]:
+    """Classifiers linked to ``element`` via any Association in the model."""
+    root = element.root()
+    peers = []
+    for candidate in walk(root):
+        if not candidate.is_instance_of(uml.Association):
+            continue
+        if candidate.source is element and candidate.target is not None:
+            peers.append(candidate.target)
+        elif candidate.target is element and candidate.source is not None:
+            peers.append(candidate.source)
+    return peers
+
+
+@profiles.register_rule("dqwebre.information-case-linked-to-webprocess")
+def information_case_linked_to_webprocess(element: MObject, application: MObject):
+    """Table 3: an InformationCase must be related to >= 1 WebProcess.
+
+    Per the paper, the link is an ``include`` from the WebProcess use case
+    (Fig. 6: "Add new review to submission" includes "Add all data as result
+    of review").  An association to a WebProcess also counts as "related".
+    """
+    related = _use_cases_including(element) + _associated_classifiers(element)
+    if any(profiles.has_stereotype(peer, "WebProcess") for peer in related):
+        return True
+    return (
+        "an <<InformationCase>> must be related to at least one "
+        "<<WebProcess>> use case"
+    )
+
+
+@profiles.register_rule("dqwebre.requirement-includes-information-case")
+def requirement_includes_information_case(element: MObject, application: MObject):
+    """Table 3: a DQ_Requirement must include >= 1 InformationCase.
+
+    Fig. 6 draws the include in either direction depending on reading; we
+    accept the DQ_Requirement including the InformationCase or being
+    included by it.
+    """
+    related = list(included_cases(element)) + _use_cases_including(element)
+    if any(
+        profiles.has_stereotype(peer, "InformationCase") for peer in related
+    ):
+        return True
+    return (
+        "a <<DQ_Requirement>> must be related (include) to at least one "
+        "<<InformationCase>> use case"
+    )
+
+
+@profiles.register_rule("dqwebre.constraint-linked-to-validator")
+def constraint_linked_to_validator(element: MObject, application: MObject):
+    """Table 3: a DQConstraint must be related to >= 1 DQ_Validator."""
+    peers = _associated_classifiers(element)
+    if any(profiles.has_stereotype(peer, "DQ_Validator") for peer in peers):
+        return True
+    return (
+        "a <<DQConstraint>> must be related to at least one "
+        "<<DQ_Validator>> class"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Profile construction
+# ---------------------------------------------------------------------------
+
+
+def build_dqwebre_profile() -> MObject:
+    """Construct the DQ_WebRE UML profile (Table 3, Figs. 2-5)."""
+    prof = profiles.profile("DQ_WebRE", uri="urn:repro:profiles:dqwebre")
+
+    information_case = profiles.stereotype(
+        prof, "InformationCase", ["UseCase"],
+        doc=TABLE3_SPECS[0].description,
+    )
+    profiles.stereotype_constraint(
+        information_case,
+        "related-to-webprocess",
+        "python:dqwebre.information-case-linked-to-webprocess",
+        TABLE3_SPECS[0].constraints,
+    )
+
+    dq_requirement = profiles.stereotype(
+        prof, "DQ_Requirement", ["UseCase"],
+        doc=TABLE3_SPECS[1].description,
+    )
+    profiles.stereotype_constraint(
+        dq_requirement,
+        "includes-information-case",
+        "python:dqwebre.requirement-includes-information-case",
+        TABLE3_SPECS[1].constraints,
+    )
+    profiles.tag_definition(dq_requirement, "characteristic", "string")
+
+    dq_req_specification = profiles.stereotype(
+        prof, "DQ_Req_Specification", ["Element"],
+        doc=TABLE3_SPECS[2].description,
+    )
+    profiles.tag_definition(
+        dq_req_specification, "ID", "integer", required=True
+    )
+    profiles.tag_definition(
+        dq_req_specification, "Text", "string", required=True
+    )
+
+    profiles.stereotype(
+        prof, "Add_DQ_Metadata", ["Activity", "Action"],
+        doc=TABLE3_SPECS[3].description,
+    )
+
+    dq_metadata = profiles.stereotype(
+        prof, "DQ_Metadata", ["Class"],
+        doc=TABLE3_SPECS[4].description,
+    )
+    profiles.tag_definition(dq_metadata, "DQ_metadata", "string_set")
+
+    profiles.stereotype(
+        prof, "DQ_Validator", ["Class"],
+        doc=TABLE3_SPECS[5].description,
+    )
+
+    dq_constraint = profiles.stereotype(
+        prof, "DQConstraint", ["Class"],
+        doc=TABLE3_SPECS[6].description,
+    )
+    profiles.tag_definition(dq_constraint, "DQConstraint", "string_set")
+    profiles.tag_definition(dq_constraint, "upper_bound", "integer")
+    profiles.tag_definition(dq_constraint, "lower_bound", "integer")
+    profiles.stereotype_constraint(
+        dq_constraint,
+        "related-to-validator",
+        "python:dqwebre.constraint-linked-to-validator",
+        TABLE3_SPECS[6].constraints,
+    )
+    profiles.stereotype_constraint(
+        dq_constraint,
+        "bounds-ordered",
+        "python:dqwebre.constraint-bounds-ordered",
+        "lower_bound must not exceed upper_bound",
+    )
+    return prof
+
+
+@profiles.register_rule("dqwebre.constraint-bounds-ordered")
+def constraint_bounds_ordered(element: MObject, application: MObject):
+    """Our addition: DQConstraint bounds must be a non-empty interval."""
+    lower = profiles.get_tag(element, "DQConstraint", "lower_bound")
+    upper = profiles.get_tag(element, "DQConstraint", "upper_bound")
+    if lower is None or upper is None:
+        return True
+    if lower <= upper:
+        return True
+    return f"lower_bound {lower} exceeds upper_bound {upper}"

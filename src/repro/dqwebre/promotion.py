@@ -1,0 +1,42 @@
+"""Promotion: adopt DQ_WebRE in a project that already has WebRE models.
+
+Teams using WebRE have plain :class:`~repro.webre.metamodel.WebREModel`
+trees.  Because the extended metamodel *specializes* WebRE (Fig. 1), every
+such model embeds losslessly into a :class:`DQWebREModel` — the analyst can
+then start attaching InformationCases and DQ requirements without touching
+the original model.
+
+Implementation: the model is serialized, its root retyped to the extended
+metaclass, and deserialized — ids and cross references survive, and the
+source model is left untouched.
+"""
+
+from __future__ import annotations
+
+from repro.core import MObject, global_registry
+from repro.core.errors import TransformationError
+from repro.core.serialization import jsonio
+from repro.webre import metamodel as W
+
+from . import metamodel as M
+
+
+def promote(webre_model: MObject) -> MObject:
+    """A fresh :class:`DQWebREModel` with the same WebRE content.
+
+    The input must be a plain ``WebREModel`` (a model that is already a
+    ``DQWebREModel`` is returned as a deep copy).  The original is never
+    mutated.
+    """
+    if not webre_model.is_instance_of(W.WebREModel):
+        raise TransformationError(
+            "promote() expects a WebREModel root, got "
+            f"{webre_model.metaclass.name}"
+        )
+    document = jsonio.to_dict(webre_model)
+    document["eClass"] = M.DQWebREModel.qualified_name()
+    return jsonio.from_dict(document, global_registry)
+
+
+def is_promoted(model: MObject) -> bool:
+    return model.is_instance_of(M.DQWebREModel)

@@ -1,0 +1,263 @@
+"""Metamodel → UML synchronization: draw the diagrams from the model.
+
+The paper offers two representations of the same requirements: the
+extended-metamodel instances (Fig. 1 flavour) and stereotyped UML diagrams
+(Table 3 / Figs. 6-7 flavour).  Keeping them aligned by hand is exactly the
+kind of drudgery MDE exists to remove — this module *generates* the UML
+flavour from a :class:`DQWebREModel`:
+
+* a use case package: actors (``WebUser``), ``WebProcess`` use cases,
+  ``InformationCase`` and ``DQ_Requirement`` use cases with the include
+  relationships of Fig. 6, plus the data comment;
+* an activity per WebProcess in Fig. 7 style: its transactions chained
+  between initial/final, Add_DQ_Metadata actions appended, validator
+  actions derived from the DQ_Validators, and the WebUI object nodes
+  feeding them;
+* a structure package: Content/DQ_Metadata/DQ_Validator/DQConstraint
+  classes with stereotypes, tags and associations.
+
+The produced model passes :func:`repro.uml.profiles.validate_applications`
+and renders with :mod:`repro.diagrams` — tested against the hand-built
+EasyChair UML model for agreement.
+"""
+
+from __future__ import annotations
+
+from repro.core import MObject
+from repro.uml import activities, classes, elements, profiles, usecases
+from repro.webre.profile import build_webre_profile
+
+from .profile import build_dqwebre_profile
+
+
+def to_uml(model: MObject) -> dict:
+    """Generate the stereotyped UML model for a DQ_WebRE requirements model.
+
+    Returns a dict: ``model``, ``usecases_package``, ``structure_package``,
+    ``activities`` (by process name), ``webre_profile``,
+    ``dqwebre_profile``.
+    """
+    webre_profile = build_webre_profile()
+    dqwebre_profile = build_dqwebre_profile()
+
+    def webre(name: str) -> MObject:
+        return profiles.find_stereotype(webre_profile, name)
+
+    def dq(name: str) -> MObject:
+        return profiles.find_stereotype(dqwebre_profile, name)
+
+    uml_model = elements.model(model.name)
+    elements.apply_profile(uml_model, webre_profile)
+    elements.apply_profile(uml_model, dqwebre_profile)
+    uml_model.packagedElements.append(webre_profile)
+    uml_model.packagedElements.append(dqwebre_profile)
+
+    cases_pkg = elements.package(uml_model, "Use cases")
+    structure_pkg = elements.package(uml_model, "Structure")
+    behaviour_pkg = elements.package(uml_model, "Behaviour")
+
+    # ---- actors -------------------------------------------------------------
+    actors: dict[str, MObject] = {}
+    for user in model.users:
+        actor = usecases.actor(cases_pkg, user.name)
+        profiles.apply_stereotype(actor, webre("WebUser"))
+        actors[user.id] = actor
+
+    # ---- web processes -------------------------------------------------------
+    process_cases: dict[str, MObject] = {}
+    for process in model.processes:
+        case = usecases.use_case(cases_pkg, process.name)
+        profiles.apply_stereotype(case, webre("WebProcess"))
+        if process.user is not None and process.user.id in actors:
+            usecases.communicates(actors[process.user.id], case)
+        process_cases[process.id] = case
+
+    # ---- information cases + DQ requirements (Fig. 6) ------------------------
+    information_cases: dict[str, MObject] = {}
+    for info_case in model.information_cases:
+        case = usecases.use_case(cases_pkg, info_case.name)
+        profiles.apply_stereotype(case, dq("InformationCase"))
+        for process in info_case.web_processes:
+            including = process_cases.get(process.id)
+            if including is not None:
+                usecases.include(including, case)
+        data_items = []
+        for content in info_case.contents:
+            data_items.extend(content.attributes)
+        if data_items:
+            elements.comment(case, "data: " + ", ".join(data_items))
+        information_cases[info_case.id] = case
+
+    specs_pkg = elements.package(uml_model, "DQ requirement specifications")
+    for requirement in model.dq_requirements:
+        req_case = usecases.use_case(
+            cases_pkg, requirement.statement or requirement.name
+        )
+        profiles.apply_stereotype(
+            req_case, dq("DQ_Requirement"),
+            characteristic=requirement.characteristic,
+        )
+        for info_case in requirement.information_cases:
+            target = information_cases.get(info_case.id)
+            if target is not None:
+                usecases.include(req_case, target)
+        # the Fig. 5 usage: a DQ_Req_Specification on a requirements diagram
+        spec = requirement.specification
+        if spec is not None:
+            from repro.uml import requirements as req_facade
+
+            spec_element = req_facade.requirement(
+                specs_pkg,
+                f"DQ spec {requirement.name}",
+                req_id=str(spec.ID),
+                text=spec.Text,
+            )
+            profiles.apply_stereotype(
+                spec_element, dq("DQ_Req_Specification"),
+                ID=spec.ID, Text=spec.Text,
+            )
+            req_facade.refine(spec_element, req_case)
+
+    # ---- structure package (Fig. 4/7 classes) --------------------------------
+    content_classes: dict[str, MObject] = {}
+    for content in model.contents:
+        cls = classes.class_(structure_pkg, content.name)
+        profiles.apply_stereotype(cls, webre("Content"))
+        for attribute in content.attributes:
+            classes.property_(cls, attribute, "String")
+        content_classes[content.id] = cls
+
+    ui_classes: dict[str, MObject] = {}
+    for ui in model.uis:
+        cls = classes.class_(structure_pkg, ui.name)
+        profiles.apply_stereotype(cls, webre("WebUI"))
+        for field in ui.fields:
+            classes.property_(cls, field, "String")
+        ui_classes[ui.id] = cls
+
+    for metadata in model.dq_metadata_classes:
+        cls = classes.class_(structure_pkg, metadata.name)
+        profiles.apply_stereotype(
+            cls, dq("DQ_Metadata"), DQ_metadata=list(metadata.dq_metadata)
+        )
+        for attribute in metadata.dq_metadata:
+            classes.property_(cls, attribute, "String")
+        for content in metadata.contents:
+            target = content_classes.get(content.id)
+            if target is not None:
+                classes.associate(structure_pkg, cls, target, name="annotates")
+
+    validator_classes: dict[str, MObject] = {}
+    for validator in model.dq_validators:
+        cls = classes.class_(structure_pkg, validator.name)
+        profiles.apply_stereotype(cls, dq("DQ_Validator"))
+        for operation in validator.operations:
+            classes.operation(cls, operation.rstrip("()"), "Boolean")
+        for ui in validator.validates:
+            target = ui_classes.get(ui.id)
+            if target is not None:
+                classes.associate(structure_pkg, cls, target, name="validates")
+        validator_classes[validator.id] = cls
+
+    for constraint in model.dq_constraints:
+        cls = classes.class_(structure_pkg, constraint.name)
+        profiles.apply_stereotype(
+            cls, dq("DQConstraint"),
+            DQConstraint=list(constraint.dq_constraint),
+            lower_bound=constraint.lower_bound,
+            upper_bound=constraint.upper_bound,
+        )
+        validator_cls = validator_classes.get(constraint.validator.id)
+        if validator_cls is not None:
+            classes.associate(
+                structure_pkg, cls, validator_cls, name="restricts"
+            )
+
+    # ---- activities (Fig. 7) ----------------------------------------------------
+    activity_by_process: dict[str, MObject] = {}
+    for process in model.processes:
+        if not len(process.activities):
+            continue
+        activity = activities.activity(behaviour_pkg, process.name)
+        start = activities.initial(activity)
+        chain_nodes = [start]
+        for item in process.activities:
+            action = activities.action(activity, item.name)
+            stereo = (
+                "UserTransaction"
+                if item.metaclass.name == "UserTransaction"
+                else "Search"
+                if item.metaclass.name == "Search"
+                else "Browse"
+            )
+            profiles.apply_stereotype(action, webre(stereo))
+            chain_nodes.append(action)
+        for add_activity in model.add_dq_metadata_activities:
+            follows = {t.id for t in add_activity.user_transactions}
+            if follows & {a.id for a in process.activities}:
+                action = activities.action(activity, add_activity.name)
+                profiles.apply_stereotype(action, dq("Add_DQ_Metadata"))
+                chain_nodes.append(action)
+        validator_actions: list[MObject] = []
+        for validator in model.dq_validators:
+            touches = _validator_touches_process(model, validator, process)
+            if not touches:
+                continue
+            for operation in validator.operations:
+                action = activities.action(
+                    activity, _operation_label(operation)
+                )
+                chain_nodes.append(action)
+                validator_actions.append(action)
+            for ui in validator.validates:
+                page = activities.object_node(
+                    activity, ui.name, type="WebUI"
+                )
+                profiles.apply_stereotype(page, webre("WebUI"))
+                for action in validator_actions:
+                    activities.object_flow(activity, page, action)
+        end = activities.final(activity)
+        chain_nodes.append(end)
+        activities.chain(activity, *chain_nodes)
+        activity_by_process[process.name] = activity
+
+    return {
+        "model": uml_model,
+        "usecases_package": cases_pkg,
+        "structure_package": structure_pkg,
+        "behaviour_package": behaviour_pkg,
+        "requirements_package": specs_pkg,
+        "activities": activity_by_process,
+        "webre_profile": webre_profile,
+        "dqwebre_profile": dqwebre_profile,
+    }
+
+
+def _validator_touches_process(model, validator, process) -> bool:
+    """A validator belongs on a process's diagram when its validated UI
+    fields overlap the data the process's InformationCases manage."""
+    ui_fields: set[str] = set()
+    for ui in validator.validates:
+        ui_fields.update(ui.fields)
+    for info_case in model.information_cases:
+        if process not in list(info_case.web_processes):
+            continue
+        if not ui_fields:
+            return True  # validator with no UI: attach wherever the case is
+        case_fields: set[str] = set()
+        for content in info_case.contents:
+            case_fields.update(content.attributes)
+        # a shared id column must not drag a validator onto a foreign
+        # process; demand that most of the validated UI is this case's data
+        if len(case_fields & ui_fields) * 2 >= len(ui_fields):
+            return True
+    return False
+
+
+def _operation_label(operation: str) -> str:
+    """Fig. 7 labels: ``check_completeness`` -> "Check Completeness of data"."""
+    bare = operation.rstrip("()")
+    if bare.startswith("check_"):
+        subject = bare[len("check_"):].replace("_", " ").title()
+        return f"Check {subject} of data"
+    return bare

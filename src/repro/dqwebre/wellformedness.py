@@ -1,0 +1,164 @@
+"""Well-formedness validation for DQ_WebRE models (metamodel flavour).
+
+These rules machine-check the paper's Table 3 constraints (and a few obvious
+consequences) over models built with :mod:`repro.dqwebre.metamodel` /
+:mod:`repro.dqwebre.builder`.  The kernel's multiplicity checking already
+enforces the mandatory relations (``InformationCase.web_processes 1..*``,
+``DQ_Requirement.information_cases 1..*``, ``DQConstraint.validator 1..1``);
+this engine adds the semantic rules on top.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core import (
+    ConstraintEngine,
+    MObject,
+    Severity,
+    ValidationReport,
+)
+from repro.dq import iso25012
+from repro.webre.validation import build_webre_engine
+
+from . import metamodel as M
+
+
+def build_dqwebre_engine() -> ConstraintEngine:
+    """WebRE rules plus the DQ_WebRE-specific ones."""
+    engine = build_webre_engine()
+
+    engine.constraint(
+        "information-case-manages-content",
+        M.InformationCase,
+        "self.contents->notEmpty()",
+        "an InformationCase should manage at least one Content element",
+        severity=Severity.WARNING,
+    )
+    engine.constraint(
+        "dq-requirement-has-statement",
+        M.DQRequirement,
+        "self.statement <> null and self.statement.size() > 0",
+        "a DQ_Requirement should state its DQ functional requirement",
+        severity=Severity.WARNING,
+    )
+
+    def _valid_characteristic(req: MObject):
+        name = req.characteristic
+        if name and iso25012.find(name) is not None:
+            return True
+        return f"unknown ISO/IEC 25012 characteristic {name!r}"
+
+    engine.constraint(
+        "dq-requirement-characteristic-valid",
+        M.DQRequirement,
+        _valid_characteristic,
+        severity=Severity.ERROR,
+    )
+
+    engine.constraint(
+        "dq-constraint-bounds-ordered",
+        M.DQConstraint,
+        "self.lower_bound <= self.upper_bound",
+        "lower_bound must not exceed upper_bound",
+        severity=Severity.ERROR,
+    )
+    engine.constraint(
+        "dq-constraint-names-fields",
+        M.DQConstraint,
+        "self.dq_constraint->notEmpty()",
+        "a DQConstraint should name the fields it bounds",
+        severity=Severity.WARNING,
+    )
+    engine.constraint(
+        "dq-validator-has-operations",
+        M.DQValidator,
+        "self.operations->notEmpty()",
+        "a DQ_Validator without operations validates nothing",
+        severity=Severity.WARNING,
+    )
+    engine.constraint(
+        "dq-validator-validates-ui",
+        M.DQValidator,
+        "self.validates->notEmpty()",
+        "a DQ_Validator should be attached to at least one WebUI",
+        severity=Severity.INFO,
+    )
+    engine.constraint(
+        "dq-metadata-has-attributes",
+        M.DQMetadata,
+        "self.dq_metadata->notEmpty()",
+        "a DQ_Metadata element should list its metadata attributes",
+        severity=Severity.WARNING,
+    )
+    engine.constraint(
+        "add-dq-metadata-captures",
+        M.AddDQMetadata,
+        "self.captures->notEmpty()",
+        "an Add_DQ_Metadata activity should name what it captures",
+        severity=Severity.WARNING,
+    )
+    engine.constraint(
+        "add-dq-metadata-has-store",
+        M.AddDQMetadata,
+        "self.metadata <> null",
+        "an Add_DQ_Metadata activity should store into a DQ_Metadata "
+        "element",
+        severity=Severity.WARNING,
+    )
+
+    def _captures_subset_of_store(activity: MObject):
+        store = activity.metadata
+        if store is None or not len(activity.captures):
+            return True
+        declared = set(store.dq_metadata)
+        extra = [name for name in activity.captures if name not in declared]
+        if extra:
+            return (
+                f"captured attributes {extra!r} are not declared in "
+                f"DQ_Metadata {store.label()!r}"
+            )
+        return True
+
+    engine.constraint(
+        "captures-declared-in-metadata",
+        M.AddDQMetadata,
+        _captures_subset_of_store,
+        severity=Severity.ERROR,
+    )
+
+    def _requirement_realized(req: MObject):
+        """Each DQ_Requirement should be realized by some mechanism.
+
+        The paper's §4 maps Confidentiality/Traceability to metadata,
+        Completeness/Precision to validator operations; a requirement whose
+        model contains neither metadata nor validators is unrealized.
+        """
+        model = req.root()
+        if not model.is_instance_of(M.DQWebREModel):
+            return True
+        if len(model.dq_metadata_classes) or len(model.dq_validators):
+            return True
+        return (
+            "the model declares DQ requirements but no DQ_Metadata or "
+            "DQ_Validator element realizes them"
+        )
+
+    engine.constraint(
+        "dq-requirement-realized",
+        M.DQRequirement,
+        _requirement_realized,
+        severity=Severity.WARNING,
+    )
+    return engine
+
+
+_ENGINE: Optional[ConstraintEngine] = None
+
+
+def validate(model: MObject) -> ValidationReport:
+    """Validate a DQ_WebRE model against the full rule set."""
+    global _ENGINE
+    if _ENGINE is None:
+        _ENGINE = build_dqwebre_engine()
+    return _ENGINE.validate(model)

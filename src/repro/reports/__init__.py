@@ -1,0 +1,11 @@
+"""``repro.reports`` — regenerate every table and figure of the paper."""
+
+from . import figures, tables
+from .figures import ALL_FIGURES, all_figures
+from .tables import all_tables, table1, table2, table3
+
+__all__ = [
+    "tables", "figures",
+    "table1", "table2", "table3", "all_tables",
+    "ALL_FIGURES", "all_figures",
+]

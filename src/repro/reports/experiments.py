@@ -1,0 +1,139 @@
+"""Regenerate the measured part of EXPERIMENTS.md programmatically.
+
+The tables and figures are static artifacts (:mod:`repro.reports.tables`,
+:mod:`repro.reports.figures`); the *measured* part — the DQ-vs-baseline
+comparison and the scorecards — depends on workload runs.  This module
+reruns them deterministically and renders the same report, so EXPERIMENTS.md
+is reproducible with one command (``python -m repro experiments``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.casestudy import easychair, webshop
+from repro.casestudy.workloads import ReviewWorkload
+from repro.dq.metadata import Clock
+from repro.dq.scorecard import Scorecard
+from repro.diagrams.ascii import table
+
+
+@dataclass(frozen=True)
+class ComparisonResult:
+    """The headline numbers of one DQ-vs-baseline run."""
+
+    count: int
+    seed: int
+    dq_accepted: int
+    dq_rejected_dq: int
+    dq_rejected_auth: int
+    dq_false_accepts: int
+    baseline_accepted: int
+    baseline_false_accepts: int
+
+    @property
+    def dq_catch_rate(self) -> float:
+        defective = (
+            self.dq_rejected_dq + self.dq_rejected_auth
+            + self.dq_false_accepts
+        )
+        if defective == 0:
+            return 1.0
+        return (self.dq_rejected_dq + self.dq_rejected_auth) / defective
+
+
+def run_comparison(count: int = 300, seed: int = 42) -> ComparisonResult:
+    """The EasyChair DQ-vs-baseline comparison, deterministic per seed."""
+    dq_app = easychair.build_app(Clock())
+    baseline = easychair.build_baseline(Clock())
+    dq_outcome = ReviewWorkload(seed=seed).run(dq_app, count)
+    baseline_outcome = ReviewWorkload(seed=seed).run(baseline, count)
+    return ComparisonResult(
+        count=count,
+        seed=seed,
+        dq_accepted=dq_outcome.accepted,
+        dq_rejected_dq=dq_outcome.rejected_dq,
+        dq_rejected_auth=dq_outcome.rejected_auth,
+        dq_false_accepts=dq_outcome.false_accepts,
+        baseline_accepted=baseline_outcome.accepted,
+        baseline_false_accepts=baseline_outcome.false_accepts,
+    )
+
+
+def comparison_table(result: ComparisonResult) -> str:
+    rows = [
+        ["accepted", str(result.dq_accepted), str(result.baseline_accepted)],
+        ["rejected — DQ (422)", str(result.dq_rejected_dq), "0"],
+        ["rejected — authorization (403)", str(result.dq_rejected_auth), "0"],
+        [
+            "defective submissions stored",
+            str(result.dq_false_accepts),
+            str(result.baseline_false_accepts),
+        ],
+        [
+            "catch rate",
+            f"{result.dq_catch_rate:.0%}",
+            "0%" if result.baseline_false_accepts else "100%",
+        ],
+    ]
+    header = (
+        f"EasyChair workload: {result.count} submissions, "
+        f"seed {result.seed}"
+    )
+    return header + "\n" + table(
+        ["", "DQ-aware app", "baseline"], rows, max_width=34
+    )
+
+
+def easychair_scorecard(count: int = 50, seed: int = 7) -> str:
+    """Run a clean-ish workload and score the stored data."""
+    app = easychair.build_app(Clock())
+    ReviewWorkload(seed=seed).run(app, count)
+    scorecard = Scorecard(
+        app,
+        "Add all data as result of review",
+        required_fields=easychair.ALL_REVIEW_FIELDS,
+        bounds=easychair.SCORE_BOUNDS,
+        max_age=100_000,
+    )
+    return scorecard.render()
+
+
+def webshop_summary() -> str:
+    """The second case study's accept/reject signature."""
+    app = webshop.build_app(Clock())
+    probes = [
+        ("valid order", webshop.valid_order(), 201),
+        ("incomplete order", webshop.valid_order(sku=None), 422),
+        ("imprecise quantity",
+         webshop.valid_order(quantity=5000, total_cents=5000 * 1999), 422),
+        ("untrusted channel", webshop.valid_order(channel="darkweb"), 422),
+        ("incoherent total", webshop.valid_order(total_cents=1), 422),
+        ("invalid email (customer)",
+         webshop.valid_customer(email="junk"), 422),
+        ("stale profile (customer)",
+         webshop.valid_customer(profile_age_days=9999), 422),
+    ]
+    lines = ["WebShop case study probes:"]
+    for label, payload, expected in probes:
+        path = (
+            webshop.CUSTOMER_PATH
+            if "customer" in label
+            else webshop.ORDER_PATH
+        )
+        status = app.post(path, payload, user="clerk").status
+        marker = "OK " if status == expected else "!! "
+        lines.append(f"  {marker}{label:28} -> {status} (expected {expected})")
+    return "\n".join(lines)
+
+
+def full_report(count: int = 300, seed: int = 42) -> str:
+    """Everything ``python -m repro experiments`` prints."""
+    sections = [
+        comparison_table(run_comparison(count=count, seed=seed)),
+        "",
+        easychair_scorecard(),
+        "",
+        webshop_summary(),
+    ]
+    return "\n".join(sections)

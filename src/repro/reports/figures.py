@@ -1,0 +1,155 @@
+"""Regenerate the paper's figures as diagram sources.
+
+Each ``figureN()`` returns the PlantUML source of the corresponding figure
+(the paper shows Enterprise Architect screenshots; PlantUML text is the
+machine-checkable equivalent).  ``figureN_mermaid()`` variants exist where a
+Mermaid rendering is also useful.
+
+* Fig. 1 — the extended metamodel (WebRE + the seven DQ metaclasses);
+* Fig. 2 — the new UseCase stereotypes (InformationCase, DQ_Requirement);
+* Fig. 3 — the new Activity stereotype (Add_DQ_Metadata);
+* Fig. 4 — the new Class stereotypes (DQ_Metadata, DQ_Validator,
+  DQConstraint);
+* Fig. 5 — the Requirement element (DQ_Req_Specification);
+* Fig. 6 — the EasyChair use case diagram with DQ requirements;
+* Fig. 7 — the EasyChair activity diagram with DQ management.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.casestudy.easychair import build_uml_model
+from repro.diagrams import mermaid, plantuml
+from repro.dqwebre.metamodel import (
+    DQWEBRE,
+    FIG1_BEHAVIOR_ADDITIONS,
+    FIG1_STRUCTURE_ADDITIONS,
+)
+from repro.dqwebre.profile import build_dqwebre_profile
+from repro.webre.metamodel import WEBRE
+
+
+@lru_cache(maxsize=1)
+def _uml_case_study() -> dict:
+    return build_uml_model()
+
+
+@lru_cache(maxsize=1)
+def _profile():
+    return build_dqwebre_profile()
+
+
+def figure1() -> str:
+    """Fig. 1: the extended metamodel with DQ elements.
+
+    Renders the WebRE packages and the DQ_WebRE additions in one class
+    diagram, the additions highlighted.
+    """
+    highlight = set(FIG1_BEHAVIOR_ADDITIONS) | set(FIG1_STRUCTURE_ADDITIONS)
+    webre_part = plantuml.metamodel_diagram(
+        WEBRE, title="Fig. 1 — Extended metamodel with DQ elements"
+    )
+    dq_part = plantuml.metamodel_diagram(DQWEBRE, highlight=highlight)
+    # merge the two @startuml blocks into one diagram
+    webre_lines = webre_part.splitlines()[:-1]  # drop @enduml
+    dq_lines = dq_part.splitlines()[1:]  # drop @startuml
+    return "\n".join(webre_lines + dq_lines)
+
+
+def figure1_mermaid() -> str:
+    highlight = set(FIG1_BEHAVIOR_ADDITIONS) | set(FIG1_STRUCTURE_ADDITIONS)
+    return mermaid.metamodel_diagram(DQWEBRE, highlight=highlight)
+
+
+def figure2() -> str:
+    """Fig. 2: new Use case elements defined in the DQ_WebRE profile."""
+    return plantuml.profile_diagram(
+        _profile(),
+        title="Fig. 2 — New Use case elements defined in DQ_WebRE profile",
+        only=["InformationCase", "DQ_Requirement"],
+    )
+
+
+def figure3() -> str:
+    """Fig. 3: new Activity element defined in the DQ_WebRE profile."""
+    return plantuml.profile_diagram(
+        _profile(),
+        title="Fig. 3 — New Activity element defined in DQ_WebRE profile",
+        only=["Add_DQ_Metadata"],
+    )
+
+
+def figure4() -> str:
+    """Fig. 4: new Class elements defined in the DQ_WebRE profile."""
+    return plantuml.profile_diagram(
+        _profile(),
+        title="Fig. 4 — New Class elements defined in DQ_WebRE profile",
+        only=["DQ_Metadata", "DQ_Validator", "DQConstraint"],
+    )
+
+
+def figure5() -> str:
+    """Fig. 5: the Requirement element (DQ_Req_Specification)."""
+    return plantuml.profile_diagram(
+        _profile(),
+        title=(
+            "Fig. 5 — New Requirement and Actor element defined in "
+            "DQ_WebRE profile"
+        ),
+        only=["DQ_Req_Specification"],
+    )
+
+
+def figure5_requirements_diagram() -> str:
+    """The case study's requirements diagram using DQ_Req_Specification."""
+    case = _uml_case_study()
+    return plantuml.requirement_diagram(
+        case["requirements_package"],
+        title="DQ requirement specifications (Fig. 5 usage)",
+    )
+
+
+def figure6() -> str:
+    """Fig. 6: the EasyChair use case diagram specifying DQ requirements."""
+    case = _uml_case_study()
+    return plantuml.usecase_diagram(
+        case["usecases_package"],
+        title="Fig. 6 — Use case diagram specifying DQ requirements",
+    )
+
+
+def figure6_mermaid() -> str:
+    case = _uml_case_study()
+    return mermaid.usecase_diagram(case["usecases_package"])
+
+
+def figure7() -> str:
+    """Fig. 7: the EasyChair activity diagram with DQ management."""
+    case = _uml_case_study()
+    return plantuml.activity_diagram(
+        case["activity"],
+        title="Fig. 7 — Activity diagram with Data Quality management",
+    )
+
+
+def figure7_mermaid() -> str:
+    case = _uml_case_study()
+    return mermaid.activity_diagram(case["activity"])
+
+
+#: figure number -> generator, for harness iteration.
+ALL_FIGURES = {
+    1: figure1,
+    2: figure2,
+    3: figure3,
+    4: figure4,
+    5: figure5,
+    6: figure6,
+    7: figure7,
+}
+
+
+def all_figures() -> dict[int, str]:
+    """Render every figure; keys are figure numbers."""
+    return {number: generate() for number, generate in ALL_FIGURES.items()}

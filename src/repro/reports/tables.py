@@ -1,0 +1,81 @@
+"""Regenerate the paper's tables, row for row.
+
+* :func:`table1` — the ISO/IEC 25012 data quality characteristics;
+* :func:`table2` — the WebRE metamodel elements;
+* :func:`table3` — the DQ_WebRE stereotype specification.
+
+Each has a ``*_rows()`` companion returning the raw data so tests and
+benchmarks can assert on content instead of formatting.
+"""
+
+from __future__ import annotations
+
+from repro.diagrams.ascii import table as render_table
+from repro.dq import iso25012
+from repro.dqwebre.profile import TABLE3_SPECS
+from repro.webre.metamodel import TABLE2_ELEMENTS
+
+
+def table1_rows() -> list[list[str]]:
+    """(group, characteristic, definition) rows in Table 1 order."""
+    return [
+        [characteristic.category.value, characteristic.name,
+         characteristic.definition]
+        for characteristic in iso25012.ALL_CHARACTERISTICS
+    ]
+
+
+def table1(max_width: int = 60) -> str:
+    """Table 1: Data Quality characteristics proposed by ISO/IEC 25012."""
+    header = (
+        "Table 1 — Data Quality characteristics proposed by the "
+        "ISO/IEC 25012 standard"
+    )
+    body = render_table(
+        ["Group", "Characteristic", "Description"],
+        table1_rows(),
+        max_width=max_width,
+    )
+    return f"{header}\n{body}"
+
+
+def table2_rows() -> list[list[str]]:
+    """(element, description) rows in Table 2 order."""
+    return [[name, description] for name, description in TABLE2_ELEMENTS]
+
+
+def table2(max_width: int = 70) -> str:
+    """Table 2: Elements of the WebRE metamodel."""
+    header = "Table 2 — Elements of WebRE metamodel"
+    body = render_table(
+        ["Element", "Description"], table2_rows(), max_width=max_width
+    )
+    return f"{header}\n{body}"
+
+
+def table3_rows() -> list[list[str]]:
+    """(name, base class, description, constraints, tagged values) rows."""
+    return [
+        [spec.name, spec.base_class, spec.description,
+         spec.constraints or "—", spec.tagged_values]
+        for spec in TABLE3_SPECS
+    ]
+
+
+def table3(max_width: int = 46) -> str:
+    """Table 3: Stereotype specification of the DQ_WebRE profile."""
+    header = (
+        "Table 3 — Stereotype specification for DQ software requirements "
+        "in DQ_WebRE profile"
+    )
+    body = render_table(
+        ["Name", "Base class", "Description", "Constraints", "Tagged values"],
+        table3_rows(),
+        max_width=max_width,
+    )
+    return f"{header}\n{body}"
+
+
+def all_tables() -> str:
+    """All three tables, ready for EXPERIMENTS.md / console output."""
+    return "\n\n".join([table1(), table2(), table3()])

@@ -1,0 +1,32 @@
+"""``repro.runtime`` — the simulated DQ-aware web application substrate.
+
+The paper targets real web applications (e.g. EasyChair); offline we
+simulate the relevant slice: requests/responses (:mod:`http`), routing
+(:mod:`routing`), forms with DQ validators (:mod:`forms`), a content store
+with DQ metadata sidecars (:mod:`storage`), users and confidentiality
+policies (:mod:`security`), an audit trail (:mod:`audit`), the assembled
+application (:mod:`app`), and the model-driven builders (:mod:`dqengine`).
+"""
+
+from . import audit, dqengine, forms, fuzz, html, http, navigation, routing, security, storage
+from .app import BatchResult, WebApp
+from .audit import AuditEvent, AuditTrail
+from .dqengine import build_app, build_baseline_app, spec_to_validator
+from .forms import Form
+from .fuzz import DesignFuzzer, FuzzOutcome
+from .navigation import NavigationGraph, NavigationSession, check_navigations
+from .http import Request, Response
+from .routing import Route, Router
+from .security import Policy, PolicyBook, User, UserDirectory
+from .storage import ContentStore, EntityStore, StoredRecord
+
+__all__ = [
+    "http", "routing", "forms", "storage", "security", "audit", "dqengine",
+    "html", "navigation", "fuzz", "DesignFuzzer", "FuzzOutcome",
+    "NavigationGraph", "NavigationSession", "check_navigations",
+    "WebApp", "BatchResult", "Form", "Request", "Response", "Route", "Router",
+    "User", "UserDirectory", "Policy", "PolicyBook",
+    "ContentStore", "EntityStore", "StoredRecord",
+    "AuditTrail", "AuditEvent",
+    "build_app", "build_baseline_app", "spec_to_validator",
+]

@@ -1,0 +1,108 @@
+"""The audit trail — the Traceability DQSR at runtime.
+
+*"This traceability requirement will make the application responsible for
+adding the metadata whose purpose will be to keep records about who stored
+the data ... as well as when"* (paper §4, requirement 3).  Besides the
+per-record metadata sidecar, the application keeps a global, queryable audit
+trail of every read, write and rejection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.dq.metadata import Clock
+
+#: Audit event kinds.
+STORE = "store"
+MODIFY = "modify"
+READ = "read"
+REJECT_DQ = "reject-dq"
+REJECT_AUTH = "reject-auth"
+
+KINDS = (STORE, MODIFY, READ, REJECT_DQ, REJECT_AUTH)
+
+
+@dataclass(frozen=True)
+class AuditEvent:
+    """One entry in the trail."""
+
+    tick: int
+    kind: str
+    user: str
+    entity: str
+    record_id: Optional[int] = None
+    detail: str = ""
+
+    def render(self) -> str:
+        where = f"{self.entity}#{self.record_id}" if self.record_id else self.entity
+        suffix = f" — {self.detail}" if self.detail else ""
+        return f"t{self.tick} {self.kind} {where} by {self.user}{suffix}"
+
+
+class AuditTrail:
+    """An append-only log of application events."""
+
+    def __init__(self, clock: Clock):
+        self._clock = clock
+        self._events: list[AuditEvent] = []
+
+    def record(
+        self,
+        kind: str,
+        user: str,
+        entity: str,
+        record_id: Optional[int] = None,
+        detail: str = "",
+    ) -> AuditEvent:
+        if kind not in KINDS:
+            raise ValueError(f"unknown audit event kind {kind!r}")
+        event = AuditEvent(
+            self._clock.now(), kind, user, entity, record_id, detail
+        )
+        self._events.append(event)
+        return event
+
+    # -- queries (the Traceability payoff) ----------------------------------
+
+    @property
+    def events(self) -> list[AuditEvent]:
+        return list(self._events)
+
+    def by_kind(self, kind: str) -> list[AuditEvent]:
+        return [e for e in self._events if e.kind == kind]
+
+    def by_user(self, user: str) -> list[AuditEvent]:
+        return [e for e in self._events if e.user == user]
+
+    def by_entity(self, entity: str) -> list[AuditEvent]:
+        return [e for e in self._events if e.entity == entity]
+
+    def for_record(self, entity: str, record_id: int) -> list[AuditEvent]:
+        return [
+            e
+            for e in self._events
+            if e.entity == entity and e.record_id == record_id
+        ]
+
+    def who_changed(self, entity: str, record_id: int) -> list[str]:
+        """The distinct users who stored or modified a record, in order."""
+        users: list[str] = []
+        for event in self.for_record(entity, record_id):
+            if event.kind in (STORE, MODIFY) and event.user not in users:
+                users.append(event.user)
+        return users
+
+    def rejections(self) -> list[AuditEvent]:
+        return [e for e in self._events if e.kind in (REJECT_DQ, REJECT_AUTH)]
+
+    def select(self, predicate: Callable[[AuditEvent], bool]) -> list[AuditEvent]:
+        return [e for e in self._events if predicate(e)]
+
+    def render(self, limit: Optional[int] = None) -> str:
+        events = self._events if limit is None else self._events[-limit:]
+        return "\n".join(e.render() for e in events)
+
+    def __len__(self) -> int:
+        return len(self._events)

@@ -1,0 +1,79 @@
+"""Forms: the runtime counterpart of ``WebUI`` elements.
+
+A :class:`Form` binds submitted data to an entity's fields and carries the
+DQ validators (the generated ``DQ_Validator`` operations) that must pass
+before the write is accepted — exactly the role the paper gives the
+"webpage of New Review" WebUI validated by ``check_completeness()`` /
+``check_precision()`` in Fig. 7.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.dq.validators import Finding, Validator
+
+
+class Form:
+    """An input form for one entity."""
+
+    def __init__(
+        self,
+        name: str,
+        entity: str,
+        fields: Sequence[str],
+        validators: Optional[Sequence[Validator]] = None,
+    ):
+        if not name:
+            raise ValueError("a form needs a name")
+        if not entity:
+            raise ValueError(f"form {name!r} needs a target entity")
+        self.name = name
+        self.entity = entity
+        self.fields = tuple(fields)
+        self._validators: list[Validator] = list(validators or [])
+
+    def add_validator(self, validator: Validator) -> "Form":
+        self._validators.append(validator)
+        return self
+
+    @property
+    def validators(self) -> list[Validator]:
+        return list(self._validators)
+
+    def bind(self, data: dict) -> dict:
+        """Project submitted data onto the form's fields.
+
+        Unknown keys are dropped (mass-assignment protection); declared
+        fields that were not submitted bind to ``None`` so completeness
+        validators see them as missing.
+        """
+        return {field: data.get(field) for field in self.fields}
+
+    def validate(self, record: dict) -> list[Finding]:
+        """Run every validator; the concatenated findings (empty = valid).
+
+        Enforcement is **fail-closed**: a validator that crashes cannot let
+        data through — its failure becomes a finding and the write is
+        rejected, never silently accepted.
+        """
+        findings: list[Finding] = []
+        for validator in self._validators:
+            try:
+                findings.extend(validator.check(record))
+            except Exception as exc:
+                findings.append(
+                    Finding(
+                        "validator-error",
+                        validator.name,
+                        f"validator crashed ({type(exc).__name__}: {exc}); "
+                        "rejecting the write fail-closed",
+                    )
+                )
+        return findings
+
+    def __repr__(self) -> str:
+        return (
+            f"<Form {self.name!r} -> {self.entity!r} "
+            f"({len(self._validators)} validators)>"
+        )

@@ -1,0 +1,213 @@
+"""Model-driven workload generation: fuzz an app from its design model.
+
+Where :mod:`repro.casestudy.workloads` hand-crafts EasyChair submissions,
+this module reads the *design model itself* — fields, required fields,
+precision bounds, format patterns, trusted sources — and synthesizes both
+valid submissions and targeted defect injections for **any** generated
+application.  Downstream users get a free conformance harness: if the
+design says the app must reject X, the fuzzer produces X and checks that
+it does.
+
+Determinism: everything derives from ``random.Random(seed)``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core import MObject
+from repro.core.errors import (
+    AuthorizationError,
+    DataQualityViolation,
+)
+from repro.dq.validators import (
+    CredibilityValidator,
+    CurrentnessValidator,
+    FormatValidator,
+    PrecisionValidator,
+)
+
+from .app import WebApp
+from .forms import Form
+
+#: Defect kinds the fuzzer can inject, keyed to the validator they target.
+DEFECTS = ("missing_field", "out_of_range", "bad_format", "bad_source",
+           "stale")
+
+
+@dataclass
+class FuzzOutcome:
+    """Aggregate result of one fuzzing run."""
+
+    submitted: int = 0
+    accepted: int = 0
+    rejected: int = 0
+    escaped_defects: list = field(default_factory=list)
+    false_rejects: list = field(default_factory=list)
+
+    @property
+    def sound(self) -> bool:
+        """True when every defect was caught and every clean input passed."""
+        return not self.escaped_defects and not self.false_rejects
+
+    def render(self) -> str:
+        return (
+            f"{self.submitted} submitted: {self.accepted} accepted, "
+            f"{self.rejected} rejected; "
+            f"{len(self.escaped_defects)} defect(s) escaped, "
+            f"{len(self.false_rejects)} clean input(s) refused"
+        )
+
+
+class DesignFuzzer:
+    """Generates and runs submissions for one form of a generated app."""
+
+    def __init__(
+        self,
+        app: WebApp,
+        form: Optional[Form] = None,
+        seed: int = 23,
+        user: str = "fuzzer",
+        user_level: int = 9,
+    ):
+        self.app = app
+        self.form = form or app.forms[0]
+        self._rng = random.Random(seed)
+        self.user = user
+        if not app.users.known(user):
+            app.add_user(user, user_level)
+        self._bounds: dict[str, tuple] = {}
+        self._patterns: dict[str, str] = {}
+        self._age_fields: dict[str, int] = {}
+        self._source_fields: dict[str, tuple] = {}
+        self._inspect_validators()
+
+    def _inspect_validators(self) -> None:
+        for validator in self.form.validators:
+            if isinstance(validator, PrecisionValidator):
+                self._bounds.update(validator.bounds)
+            elif isinstance(validator, FormatValidator):
+                for field_name, pattern in validator.patterns.items():
+                    self._patterns[field_name] = pattern.pattern
+            elif isinstance(validator, CurrentnessValidator):
+                self._age_fields[validator.age_field] = validator.max_age
+            elif isinstance(validator, CredibilityValidator):
+                self._source_fields[validator.source_field] = tuple(
+                    validator.trusted_sources
+                )
+
+    # -- generation ---------------------------------------------------------
+
+    def valid_record(self) -> dict:
+        """A record satisfying every declared validator."""
+        record: dict = {}
+        for field_name in self.form.fields:
+            record[field_name] = self._valid_value(field_name)
+        return record
+
+    def _valid_value(self, field_name: str):
+        if field_name in self._bounds:
+            lower, upper = self._bounds[field_name]
+            return self._rng.randint(int(lower), int(upper))
+        if field_name in self._age_fields:
+            return self._rng.randint(0, self._age_fields[field_name])
+        if field_name in self._source_fields:
+            return self._rng.choice(self._source_fields[field_name])
+        if field_name in self._patterns:
+            return self._sample_for_pattern(self._patterns[field_name])
+        return f"{field_name}-{self._rng.randint(1, 999)}"
+
+    def _sample_for_pattern(self, pattern: str) -> str:
+        """A value matching the known pattern families used by the library."""
+        if "@" in pattern:
+            return f"user{self._rng.randint(1, 99)}@example.org"
+        if pattern.startswith(r"\d{5}"):
+            return f"{self._rng.randint(0, 99999):05d}"
+        if r"\d{4}-\d{2}-\d{2}" in pattern:
+            return "2026-07-06"
+        # identifier-ish fallback
+        return f"ID-{self._rng.randint(100, 999)}"
+
+    def defective_record(self, defect: str) -> Optional[dict]:
+        """A record violating exactly one declared rule, or ``None`` when
+        the design declares no rule of that kind (nothing to violate)."""
+        record = self.valid_record()
+        rng = self._rng
+        if defect == "missing_field":
+            required = self._required_fields()
+            if not required:
+                return None
+            record[rng.choice(required)] = None
+            return record
+        if defect == "out_of_range":
+            if not self._bounds:
+                return None
+            field_name = rng.choice(sorted(self._bounds))
+            __, upper = self._bounds[field_name]
+            record[field_name] = int(upper) + rng.randint(1, 100)
+            return record
+        if defect == "bad_format":
+            if not self._patterns:
+                return None
+            field_name = rng.choice(sorted(self._patterns))
+            record[field_name] = "!!definitely-not-valid!!"
+            return record
+        if defect == "bad_source":
+            if not self._source_fields:
+                return None
+            field_name = rng.choice(sorted(self._source_fields))
+            record[field_name] = "untrusted-origin"
+            return record
+        if defect == "stale":
+            if not self._age_fields:
+                return None
+            field_name = rng.choice(sorted(self._age_fields))
+            record[field_name] = self._age_fields[field_name] + rng.randint(
+                1, 1000
+            )
+            return record
+        raise ValueError(f"unknown defect kind {defect!r}")
+
+    def _required_fields(self) -> list[str]:
+        from repro.dq.validators import CompletenessValidator
+
+        required: list[str] = []
+        for validator in self.form.validators:
+            if isinstance(validator, CompletenessValidator):
+                required.extend(validator.required_fields)
+        return sorted(set(required))
+
+    def applicable_defects(self) -> list[str]:
+        """The defect kinds this form's validators actually rule out."""
+        return [d for d in DEFECTS if self.defective_record(d) is not None]
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self, count: int = 100, defect_rate: float = 0.4) -> FuzzOutcome:
+        """Submit ``count`` records; ~``defect_rate`` carry one defect."""
+        if not 0.0 <= defect_rate <= 1.0:
+            raise ValueError("defect_rate must lie in [0, 1]")
+        applicable = self.applicable_defects()
+        outcome = FuzzOutcome()
+        for index in range(count):
+            inject = applicable and self._rng.random() < defect_rate
+            if inject:
+                defect = self._rng.choice(applicable)
+                record = self.defective_record(defect)
+            else:
+                defect = None
+                record = self.valid_record()
+            outcome.submitted += 1
+            try:
+                self.app.submit(self.form.name, record, self.user)
+            except (DataQualityViolation, AuthorizationError):
+                outcome.rejected += 1
+                if defect is None:
+                    outcome.false_rejects.append((index, record))
+            else:
+                outcome.accepted += 1
+                if defect is not None:
+                    outcome.escaped_defects.append((index, defect, record))
+        return outcome

@@ -1,0 +1,141 @@
+"""HTML rendering: make the simulated web application look like one.
+
+Renders the design-model artifacts as actual web pages: an input form per
+:class:`~repro.runtime.forms.Form` (the paper's "webpage of New Review"),
+a record table per entity, and a findings panel for 422 responses.  Pure
+string generation — no browser needed — but the output is valid HTML5 that
+the examples can write to disk.
+"""
+
+from __future__ import annotations
+
+from html import escape
+from typing import Iterable, Optional
+
+from repro.dq.validators import Finding
+
+from .forms import Form
+from .storage import StoredRecord
+
+
+def render_form(form: Form, action: str = "", legend: str = "") -> str:
+    """An HTML form with one labelled input per field.
+
+    Numeric-sounding fields (``*_evaluation``, ``*_hours``, ``score`` ...)
+    get ``type=number``; everything else is text.
+    """
+    rows = []
+    for field in form.fields:
+        input_type = "number" if _looks_numeric(field) else "text"
+        label = escape(field.replace("_", " "))
+        rows.append(
+            f'    <label>{label}'
+            f'<input type="{input_type}" name="{escape(field)}"></label>'
+        )
+    validator_note = ""
+    if form.validators:
+        names = ", ".join(escape(v.name) for v in form.validators)
+        validator_note = (
+            f'  <p class="dq-note">validated by: {names}</p>\n'
+        )
+    return (
+        f'<form method="post" action="{escape(action or "#")}" '
+        f'class="dq-form" data-entity="{escape(form.entity)}">\n'
+        f"  <fieldset>\n"
+        f"    <legend>{escape(legend or form.name)}</legend>\n"
+        + "\n".join(rows)
+        + "\n  </fieldset>\n"
+        + validator_note
+        + '  <button type="submit">Submit</button>\n'
+        "</form>"
+    )
+
+
+def _looks_numeric(field: str) -> bool:
+    lowered = field.lower()
+    return any(
+        token in lowered
+        for token in ("score", "evaluation", "confidence", "hours", "amount",
+                      "year", "age", "rate", "level", "originality",
+                      "significance", "presentation")
+    )
+
+
+def render_records_table(
+    entity: str, records: Iterable[StoredRecord],
+    fields: Optional[Iterable[str]] = None,
+    show_metadata: bool = False,
+) -> str:
+    """An HTML table of stored records, optionally with DQ metadata columns."""
+    records = list(records)
+    if fields is None:
+        field_names: list[str] = []
+        for stored in records:
+            for name in stored.data:
+                if name not in field_names:
+                    field_names.append(name)
+    else:
+        field_names = list(fields)
+    headers = ["id", *field_names]
+    if show_metadata:
+        headers.extend(["stored_by", "last_modified_by", "security_level"])
+    head = "".join(f"<th>{escape(str(h))}</th>" for h in headers)
+    body_rows = []
+    for stored in records:
+        cells = [str(stored.record_id)]
+        cells.extend(
+            _cell(stored.data.get(name)) for name in field_names
+        )
+        if show_metadata:
+            cells.append(_cell(stored.metadata.stored_by))
+            cells.append(_cell(stored.metadata.last_modified_by))
+            cells.append(_cell(stored.metadata.security_level))
+        body_rows.append(
+            "<tr>" + "".join(f"<td>{c}</td>" for c in cells) + "</tr>"
+        )
+    return (
+        f'<table class="dq-records" data-entity="{escape(entity)}">\n'
+        f"  <thead><tr>{head}</tr></thead>\n"
+        "  <tbody>\n    "
+        + "\n    ".join(body_rows)
+        + "\n  </tbody>\n</table>"
+    )
+
+
+def _cell(value) -> str:
+    if value is None:
+        return '<em class="missing">—</em>'
+    return escape(str(value))
+
+
+def render_findings(findings: Iterable[Finding]) -> str:
+    """The 422 panel: what the DQ validators rejected and why."""
+    items = "\n".join(
+        f'    <li class="dq-{escape(f.code)}">'
+        f"<strong>{escape(f.field)}</strong>: {escape(f.message)}</li>"
+        for f in findings
+    )
+    return (
+        '<div class="dq-findings" role="alert">\n'
+        "  <p>The submission was rejected for data quality reasons:</p>\n"
+        f"  <ul>\n{items}\n  </ul>\n"
+        "</div>"
+    )
+
+
+def render_page(title: str, *fragments: str) -> str:
+    """Wrap fragments into a minimal, valid HTML5 document."""
+    body = "\n".join(fragments)
+    return (
+        "<!DOCTYPE html>\n"
+        '<html lang="en">\n'
+        "<head>\n"
+        '  <meta charset="utf-8">\n'
+        f"  <title>{escape(title)}</title>\n"
+        "</head>\n"
+        "<body>\n"
+        f"<h1>{escape(title)}</h1>\n"
+        f"{body}\n"
+        "</body>\n"
+        "</html>"
+    )

@@ -1,0 +1,88 @@
+"""Request/response primitives for the simulated web runtime.
+
+The paper's target platform is a real web application; offline we simulate
+the slice of HTTP the case study exercises: methods, paths, form data, an
+authenticated user, and status-coded responses.  Handlers are plain
+callables ``(request) -> Response``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+#: Statuses the runtime uses, mirroring their HTTP meanings.
+OK = 200
+CREATED = 201
+BAD_REQUEST = 400
+FORBIDDEN = 403
+NOT_FOUND = 404
+METHOD_NOT_ALLOWED = 405
+CONFLICT = 409  # optimistic concurrency failure
+UNPROCESSABLE = 422  # DQ validation failure
+
+
+@dataclass
+class Request:
+    """One simulated HTTP request."""
+
+    method: str
+    path: str
+    user: str = "anonymous"
+    data: dict = field(default_factory=dict)
+    params: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        self.method = self.method.upper()
+        if not self.path.startswith("/"):
+            raise ValueError(f"path must start with '/': {self.path!r}")
+
+
+@dataclass
+class Response:
+    """One simulated HTTP response."""
+
+    status: int
+    body: object = None
+    headers: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+    def __repr__(self) -> str:
+        return f"<Response {self.status}>"
+
+
+def ok(body=None) -> Response:
+    return Response(OK, body)
+
+
+def created(body=None) -> Response:
+    return Response(CREATED, body)
+
+
+def bad_request(message: str) -> Response:
+    return Response(BAD_REQUEST, {"error": message})
+
+
+def forbidden(message: str = "forbidden") -> Response:
+    return Response(FORBIDDEN, {"error": message})
+
+
+def not_found(message: str = "not found") -> Response:
+    return Response(NOT_FOUND, {"error": message})
+
+
+def method_not_allowed(message: str = "method not allowed") -> Response:
+    return Response(METHOD_NOT_ALLOWED, {"error": message})
+
+
+def conflict(message: str = "version conflict") -> Response:
+    return Response(CONFLICT, {"error": message})
+
+
+def unprocessable(findings) -> Response:
+    """A DQ rejection: 422 with the validator findings in the body."""
+    rendered = [f.render() if hasattr(f, "render") else str(f) for f in findings]
+    return Response(UNPROCESSABLE, {"dq_findings": rendered})

@@ -1,0 +1,193 @@
+"""Navigation runtime: execute WebRE ``Navigation`` use cases.
+
+WebRE's Behavior package is not only data entry — it models *navigation*:
+a ``WebUser`` browses from node to node until a target is reached
+(Table 2).  This module interprets those models: it builds a navigation
+graph from a requirements model's nodes and browse activities, lets a
+simulated session walk it, and can check that every modelled navigation is
+actually realizable (its target reachable through its browses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core import MObject
+from repro.core.errors import ModelError
+
+
+@dataclass(frozen=True)
+class Hop:
+    """One traversal step: which browse moved the session where."""
+
+    browse_name: str
+    source: Optional[str]
+    target: str
+
+
+class NavigationGraph:
+    """The node graph induced by a model's Browse activities."""
+
+    def __init__(self, model: MObject):
+        self._nodes: dict[str, MObject] = {}
+        self._edges: dict[str, list[tuple[str, str]]] = {}
+        for node in model.nodes:
+            self._nodes[node.name] = node
+            self._edges.setdefault(node.name, [])
+        for navigation in model.navigations:
+            for browse in navigation.browses:
+                self._add_browse(browse)
+        for process in model.processes:
+            for activity in process.activities:
+                if activity.has_feature("target") and activity.has_feature(
+                    "source"
+                ):
+                    self._add_browse(activity)
+
+    def _add_browse(self, browse: MObject) -> None:
+        target = browse.target
+        if target is None:
+            return
+        source = browse.source
+        source_name = source.name if source is not None else None
+        self._nodes.setdefault(target.name, target)
+        self._edges.setdefault(target.name, [])
+        if source_name is None:
+            return
+        self._nodes.setdefault(source_name, source)
+        edges = self._edges.setdefault(source_name, [])
+        edges.append((browse.name, target.name))
+
+    @property
+    def node_names(self) -> list[str]:
+        return list(self._nodes)
+
+    def node(self, name: str) -> MObject:
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise ModelError(f"no navigation node named {name!r}") from None
+
+    def browses_from(self, name: str) -> list[tuple[str, str]]:
+        """``(browse_name, target_node)`` pairs leaving a node."""
+        return list(self._edges.get(name, []))
+
+    def reachable_from(self, name: str) -> set[str]:
+        seen = {name}
+        frontier = [name]
+        while frontier:
+            current = frontier.pop()
+            for __, target in self._edges.get(current, []):
+                if target not in seen:
+                    seen.add(target)
+                    frontier.append(target)
+        return seen
+
+    def path(self, start: str, goal: str) -> Optional[list[Hop]]:
+        """A shortest browse path, or ``None`` when unreachable (BFS)."""
+        if start == goal:
+            return []
+        self.node(start)
+        self.node(goal)
+        parents: dict[str, Hop] = {}
+        frontier = [start]
+        seen = {start}
+        while frontier:
+            current = frontier.pop(0)
+            for browse_name, target in self._edges.get(current, []):
+                if target in seen:
+                    continue
+                parents[target] = Hop(browse_name, current, target)
+                if target == goal:
+                    return self._unwind(parents, start, goal)
+                seen.add(target)
+                frontier.append(target)
+        return None
+
+    @staticmethod
+    def _unwind(parents: dict[str, Hop], start: str, goal: str) -> list[Hop]:
+        hops: list[Hop] = []
+        cursor = goal
+        while cursor != start:
+            hop = parents[cursor]
+            hops.append(hop)
+            cursor = hop.source
+        hops.reverse()
+        return hops
+
+
+@dataclass
+class NavigationSession:
+    """A simulated user walking the navigation graph."""
+
+    graph: NavigationGraph
+    user: str
+    current: str
+    history: list[Hop] = field(default_factory=list)
+
+    def available_browses(self) -> list[tuple[str, str]]:
+        return self.graph.browses_from(self.current)
+
+    def browse(self, browse_name: str) -> str:
+        """Follow the named browse from the current node."""
+        for name, target in self.graph.browses_from(self.current):
+            if name == browse_name:
+                self.history.append(Hop(name, self.current, target))
+                self.current = target
+                return target
+        raise ModelError(
+            f"no browse {browse_name!r} leaves node {self.current!r}"
+        )
+
+    def navigate_to(self, goal: str) -> list[Hop]:
+        """Walk a shortest path to ``goal``; raises when unreachable."""
+        hops = self.graph.path(self.current, goal)
+        if hops is None:
+            raise ModelError(
+                f"node {goal!r} is not reachable from {self.current!r}"
+            )
+        for hop in hops:
+            self.history.append(hop)
+        self.current = goal
+        return hops
+
+    def contents_here(self) -> list[str]:
+        """Names of the Content elements available at the current node."""
+        node = self.graph.node(self.current)
+        return [content.name for content in node.contents]
+
+
+def check_navigations(model: MObject) -> list[str]:
+    """Which modelled Navigations are not realizable; empty = all fine.
+
+    A Navigation is realizable when its target node is reachable from the
+    source of its first browse (or is directly the target of one of its
+    browses when no sources are modelled).
+    """
+    graph = NavigationGraph(model)
+    problems: list[str] = []
+    for navigation in model.navigations:
+        target = navigation.target
+        if target is None:
+            problems.append(f"navigation {navigation.name!r} has no target")
+            continue
+        browses = list(navigation.browses)
+        if not browses:
+            problems.append(
+                f"navigation {navigation.name!r} has no browse activities"
+            )
+            continue
+        direct_targets = {
+            b.target.name for b in browses if b.target is not None
+        }
+        starts = [b.source.name for b in browses if b.source is not None]
+        if target.name in direct_targets:
+            continue
+        if starts and target.name in graph.reachable_from(starts[0]):
+            continue
+        problems.append(
+            f"navigation {navigation.name!r}: target {target.name!r} is "
+            "not reachable through its browses"
+        )
+    return problems

@@ -1,0 +1,70 @@
+"""A small router: exact and parameterized paths to handlers."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from .http import Request, Response, method_not_allowed, not_found
+
+Handler = Callable[[Request], Response]
+
+
+class Route:
+    """One registered route; ``<name>`` segments capture path parameters."""
+
+    def __init__(self, path: str, method: str, handler: Handler):
+        if not path.startswith("/"):
+            raise ValueError(f"route path must start with '/': {path!r}")
+        self.path = path
+        self.method = method.upper()
+        self.handler = handler
+        self._segments = [s for s in path.split("/") if s]
+
+    def match(self, path: str) -> Optional[dict]:
+        """Path params when ``path`` matches, else ``None``."""
+        segments = [s for s in path.split("/") if s]
+        if len(segments) != len(self._segments):
+            return None
+        params: dict = {}
+        for pattern, actual in zip(self._segments, segments):
+            if pattern.startswith("<") and pattern.endswith(">"):
+                params[pattern[1:-1]] = actual
+            elif pattern != actual:
+                return None
+        return params
+
+    def __repr__(self) -> str:
+        return f"<Route {self.method} {self.path}>"
+
+
+class Router:
+    """Dispatches requests to handlers; 404/405 when nothing fits."""
+
+    def __init__(self):
+        self._routes: list[Route] = []
+
+    def add(self, path: str, method: str, handler: Handler) -> Route:
+        route = Route(path, method, handler)
+        self._routes.append(route)
+        return route
+
+    @property
+    def routes(self) -> list[Route]:
+        return list(self._routes)
+
+    def dispatch(self, request: Request) -> Response:
+        path_matched = False
+        for route in self._routes:
+            params = route.match(request.path)
+            if params is None:
+                continue
+            path_matched = True
+            if route.method != request.method:
+                continue
+            request.params.update(params)
+            return route.handler(request)
+        if path_matched:
+            return method_not_allowed(
+                f"{request.method} not allowed on {request.path}"
+            )
+        return not_found(f"no route for {request.path}")

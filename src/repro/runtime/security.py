@@ -1,0 +1,91 @@
+"""Users, clearance levels and confidentiality policies.
+
+Implements the paper's Confidentiality DQSR: *"the information to be stored
+will only be accessed by users who meet a certain level of security defined
+previously in the application (e.g. security level)"* (§4, requirement 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.errors import AuthorizationError
+
+
+@dataclass(frozen=True)
+class User:
+    """An application user with a clearance level and roles."""
+
+    name: str
+    level: int = 0
+    roles: frozenset = frozenset()
+
+    def has_role(self, role: str) -> bool:
+        return role in self.roles
+
+
+class UserDirectory:
+    """The application's registered users; unknown users get level 0."""
+
+    def __init__(self):
+        self._users: dict[str, User] = {}
+
+    def register(self, name: str, level: int = 0, roles=()) -> User:
+        if level < 0:
+            raise ValueError("clearance level must be non-negative")
+        user = User(name, level, frozenset(roles))
+        self._users[name] = user
+        return user
+
+    def get(self, name: str) -> User:
+        """The named user, or an anonymous level-0 user when unknown."""
+        return self._users.get(name, User(name, 0))
+
+    def known(self, name: str) -> bool:
+        return name in self._users
+
+    def __len__(self) -> int:
+        return len(self._users)
+
+
+@dataclass
+class Policy:
+    """Confidentiality policy for one entity."""
+
+    entity: str
+    security_level: int = 0
+    grant_writer_access: bool = True
+
+
+class PolicyBook:
+    """All confidentiality policies of an application."""
+
+    def __init__(self):
+        self._policies: dict[str, Policy] = {}
+
+    def set(self, entity: str, security_level: int, grant_writer_access: bool = True) -> Policy:
+        if security_level < 0:
+            raise ValueError("security_level must be non-negative")
+        policy = Policy(entity, security_level, grant_writer_access)
+        self._policies[entity] = policy
+        return policy
+
+    def for_entity(self, entity: str) -> Policy:
+        """The entity's policy; an open (level 0) policy by default."""
+        return self._policies.get(entity, Policy(entity, 0))
+
+    def is_restricted(self, entity: str) -> bool:
+        return self.for_entity(entity).security_level > 0
+
+    def check_write(self, entity: str, user: User) -> None:
+        """Writers must themselves clear the entity's level."""
+        policy = self.for_entity(entity)
+        if user.level < policy.security_level:
+            raise AuthorizationError(
+                f"user {user.name!r} (level {user.level}) may not write "
+                f"{entity!r} (requires level {policy.security_level})"
+            )
+
+    def __len__(self) -> int:
+        return len(self._policies)

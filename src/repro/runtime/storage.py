@@ -1,0 +1,144 @@
+"""The content store: entities, records, and their DQ metadata sidecars.
+
+This plays the role of the paper's ``Content`` elements at runtime: each
+entity (table) stores plain-dict records; every record carries a
+:class:`~repro.dq.metadata.DQMetadataRecord` sidecar where the generated
+``Add_DQ_Metadata`` activities put traceability and confidentiality
+metadata.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional, Sequence
+
+from repro.dq.metadata import Clock, DQMetadataRecord
+
+
+@dataclass
+class StoredRecord:
+    """One record plus its DQ metadata sidecar.
+
+    ``version`` starts at 1 and increments on every update — the handle
+    for optimistic-concurrency checks on modification.
+    """
+
+    record_id: int
+    data: dict
+    metadata: DQMetadataRecord = field(default_factory=DQMetadataRecord)
+    version: int = 1
+
+
+class EntityStore:
+    """All records of one entity (one ``Content`` element)."""
+
+    def __init__(self, name: str, fields: Sequence[str] = ()):
+        self.name = name
+        self.fields = tuple(fields)
+        self._records: dict[int, StoredRecord] = {}
+        self._ids = itertools.count(1)
+
+    def insert(self, data: dict) -> StoredRecord:
+        record_id = next(self._ids)
+        stored = StoredRecord(record_id, dict(data))
+        self._records[record_id] = stored
+        return stored
+
+    def update(self, record_id: int, data: dict) -> StoredRecord:
+        stored = self.get(record_id)
+        stored.data.update(data)
+        stored.version += 1
+        return stored
+
+    def get(self, record_id: int) -> StoredRecord:
+        try:
+            return self._records[record_id]
+        except KeyError:
+            raise KeyError(
+                f"{self.name}: no record with id {record_id}"
+            ) from None
+
+    def delete(self, record_id: int) -> None:
+        self.get(record_id)
+        del self._records[record_id]
+
+    def all(self) -> list[StoredRecord]:
+        return list(self._records.values())
+
+    def query(self, predicate: Callable[[dict], bool]) -> list[StoredRecord]:
+        return [s for s in self._records.values() if predicate(s.data)]
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, record_id: int) -> bool:
+        return record_id in self._records
+
+    def __repr__(self) -> str:
+        return f"<EntityStore {self.name!r} ({len(self)} records)>"
+
+
+class ContentStore:
+    """All entities of one application."""
+
+    def __init__(self, clock: Optional[Clock] = None):
+        self.clock = clock or Clock()
+        self._entities: dict[str, EntityStore] = {}
+
+    def define(self, name: str, fields: Sequence[str] = ()) -> EntityStore:
+        if name in self._entities:
+            raise ValueError(f"entity {name!r} already defined")
+        store = EntityStore(name, fields)
+        self._entities[name] = store
+        return store
+
+    def entity(self, name: str) -> EntityStore:
+        try:
+            return self._entities[name]
+        except KeyError:
+            raise KeyError(f"no entity named {name!r}") from None
+
+    def has_entity(self, name: str) -> bool:
+        return name in self._entities
+
+    @property
+    def entity_names(self) -> list[str]:
+        return list(self._entities)
+
+    # -- DQ-aware operations ----------------------------------------------
+
+    def store(
+        self,
+        entity_name: str,
+        data: dict,
+        user: str,
+        security_level: int = 0,
+        available_to: Iterable[str] = (),
+    ) -> StoredRecord:
+        """Insert with traceability + confidentiality metadata captured."""
+        stored = self.entity(entity_name).insert(data)
+        stored.metadata.record_store(user, self.clock)
+        stored.metadata.restrict(security_level, available_to)
+        return stored
+
+    def modify(
+        self, entity_name: str, record_id: int, data: dict, user: str
+    ) -> StoredRecord:
+        """Update with traceability metadata captured."""
+        stored = self.entity(entity_name).update(record_id, data)
+        stored.metadata.record_modification(user, self.clock)
+        return stored
+
+    def readable_by(
+        self, entity_name: str, user: str, user_level: int
+    ) -> list[StoredRecord]:
+        """Confidentiality-filtered read (the paper's Confidentiality DQR)."""
+        return [
+            stored
+            for stored in self.entity(entity_name).all()
+            if stored.metadata.accessible_by(user, user_level)
+        ]
+
+    def total_records(self) -> int:
+        return sum(len(store) for store in self._entities.values())

@@ -1,0 +1,46 @@
+"""``repro.transform`` — the MDA pipeline (paper §5, realized).
+
+* :mod:`repro.transform.engine` — QVT-lite M2M engine with traces;
+* :mod:`repro.transform.design` — the design (PIM) metamodel;
+* :mod:`repro.transform.req2design` — DQ_WebRE requirements → design rules;
+* :mod:`repro.transform.m2t` — line-oriented template engine;
+* :mod:`repro.transform.codegen` — design model → Python application source.
+"""
+
+from . import codegen, design, designcheck, docgen, engine, impact, m2t, req2design
+from .design import (
+    DESIGN,
+    BoundSpec,
+    DesignModel,
+    EntitySpec,
+    FormSpec,
+    MetadataSpec,
+    PolicySpec,
+    RouteSpec,
+    ValidatorSpec,
+)
+from .engine import (
+    Rule,
+    TraceEntry,
+    Transformation,
+    TransformationContext,
+    TransformationResult,
+    TransformationTrace,
+)
+from .designcheck import validate_design
+from .impact import ImpactReport, analyse_impact
+from .docgen import generate_srs
+from .m2t import Template, render
+from .req2design import build_req2design, slugify, transform
+
+__all__ = [
+    "engine", "design", "req2design", "m2t", "codegen", "docgen",
+    "designcheck", "generate_srs", "validate_design",
+    "impact", "analyse_impact", "ImpactReport",
+    "Rule", "Transformation", "TransformationContext",
+    "TransformationResult", "TransformationTrace", "TraceEntry",
+    "DESIGN", "DesignModel", "EntitySpec", "BoundSpec", "ValidatorSpec",
+    "MetadataSpec", "PolicySpec", "FormSpec", "RouteSpec",
+    "Template", "render",
+    "build_req2design", "transform", "slugify",
+]

@@ -1,0 +1,170 @@
+"""The design-level metamodel: the PIM the requirements model transforms into.
+
+The MDA pipeline the paper envisions (§5) is
+
+    requirements (CIM, DQ_WebRE)  →  design (PIM, this metamodel)  →  code.
+
+A design model describes a concrete DQ-aware web application:
+
+* ``EntitySpec`` — a persistent entity (one per Content element) with its
+  fields and required fields;
+* ``FormSpec`` — an input form (one per WebUI) binding fields to an entity;
+* ``RouteSpec`` — an HTTP-ish endpoint (create/update/view/list) serving a
+  form or an entity;
+* ``ValidatorSpec`` — a validation operation (one per DQ_Validator
+  operation / validator-mechanism DQSR) with typed parameters;
+* ``BoundSpec`` — numeric bounds (one per DQConstraint field);
+* ``MetadataSpec`` — DQ metadata to capture on writes (one per DQ_Metadata);
+* ``PolicySpec`` — confidentiality policy for an entity (security levels).
+"""
+
+from __future__ import annotations
+
+from repro.core import (
+    BOOLEAN,
+    INTEGER,
+    MANY,
+    STRING,
+    MetaPackage,
+    global_registry,
+)
+
+
+def build_design_package() -> MetaPackage:
+    design = MetaPackage("design", "urn:repro:design")
+
+    validator_kind = design.define_enum(
+        "ValidatorKind",
+        [
+            "completeness",
+            "precision",
+            "format",
+            "enum",
+            "consistency",
+            "currentness",
+            "credibility",
+            "authorized",
+        ],
+    )
+    route_kind = design.define_enum(
+        "RouteKind", ["create", "update", "view", "list"]
+    )
+
+    entity = design.define_class(
+        "EntitySpec", doc="A persistent entity the application stores."
+    )
+    entity.attribute("name", STRING, lower=1)
+    entity.attribute("fields", STRING, upper=MANY)
+    entity.attribute("required_fields", STRING, upper=MANY)
+
+    bound = design.define_class(
+        "BoundSpec", doc="Numeric bounds for one field (from a DQConstraint)."
+    )
+    bound.attribute("field", STRING, lower=1)
+    bound.attribute("lower", INTEGER, lower=1, default=0)
+    bound.attribute("upper", INTEGER, lower=1, default=0)
+
+    validator = design.define_class(
+        "ValidatorSpec",
+        doc="One validation operation of the generated DQ_Validator class.",
+    )
+    validator.attribute("name", STRING, lower=1)
+    validator.attribute("kind", validator_kind, lower=1)
+    validator.attribute("target_fields", STRING, upper=MANY)
+    validator.attribute(
+        "patterns", STRING, upper=MANY,
+        doc="For format validators: field=regex entries.",
+    )
+    validator.attribute(
+        "max_age", INTEGER, doc="For currentness validators."
+    )
+    validator.attribute(
+        "age_field", STRING, default="age",
+        doc="For currentness validators: the field carrying the age.",
+    )
+    validator.attribute(
+        "source_field", STRING, default="source",
+        doc="For credibility validators: the field carrying the source.",
+    )
+    validator.attribute(
+        "trusted_sources", STRING, upper=MANY,
+        doc="For credibility validators.",
+    )
+    validator.attribute(
+        "rules", STRING, upper=MANY,
+        doc="For consistency validators: OCL-lite expressions over the "
+            "record (self = the submitted record).",
+    )
+    validator.reference("bounds", bound, upper=MANY, containment=True)
+    validator.reference("entity", entity, doc="The entity it validates.")
+
+    metadata = design.define_class(
+        "MetadataSpec",
+        doc="DQ metadata captured on every write of the target entities.",
+    )
+    metadata.attribute("name", STRING, lower=1)
+    metadata.attribute("attributes", STRING, upper=MANY, lower=1)
+    metadata.reference("entities", entity, upper=MANY)
+
+    policy = design.define_class(
+        "PolicySpec",
+        doc="Confidentiality policy: minimum clearance to read an entity.",
+    )
+    policy.attribute("name", STRING, lower=1)
+    policy.attribute("security_level", INTEGER, default=0)
+    policy.attribute(
+        "grant_writer_access", BOOLEAN, default=True,
+        doc="Whether the storing user is auto-granted read access.",
+    )
+    policy.reference("entity", entity, lower=1)
+
+    form = design.define_class(
+        "FormSpec", doc="An input form binding page fields to an entity."
+    )
+    form.attribute("name", STRING, lower=1)
+    form.attribute("fields", STRING, upper=MANY)
+    form.reference("entity", entity)
+    form.reference("validators", validator, upper=MANY)
+
+    route = design.define_class(
+        "RouteSpec", doc="An endpoint of the generated application."
+    )
+    route.attribute("name", STRING, lower=1)
+    route.attribute("path", STRING, lower=1)
+    route.attribute("kind", route_kind, lower=1, default="view")
+    route.reference("form", form)
+    route.reference("entity", entity)
+
+    model = design.define_class(
+        "DesignModel", doc="Root of a design (PIM) model."
+    )
+    model.attribute("name", STRING, lower=1)
+    model.reference("entities", entity, upper=MANY, containment=True)
+    model.reference("validators", validator, upper=MANY, containment=True)
+    model.reference("metadata_specs", metadata, upper=MANY, containment=True)
+    model.reference("policies", policy, upper=MANY, containment=True)
+    model.reference("forms", form, upper=MANY, containment=True)
+    model.reference("routes", route, upper=MANY, containment=True)
+
+    return design.resolve()
+
+
+#: The design metamodel (singleton).
+DESIGN = build_design_package()
+global_registry.register(DESIGN)
+
+
+def _export(name: str):
+    metaclass = DESIGN.find_class(name)
+    assert metaclass is not None, name
+    return metaclass
+
+
+DesignModel = _export("DesignModel")
+EntitySpec = _export("EntitySpec")
+BoundSpec = _export("BoundSpec")
+ValidatorSpec = _export("ValidatorSpec")
+MetadataSpec = _export("MetadataSpec")
+PolicySpec = _export("PolicySpec")
+FormSpec = _export("FormSpec")
+RouteSpec = _export("RouteSpec")

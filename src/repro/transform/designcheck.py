@@ -1,0 +1,199 @@
+"""Well-formedness rules for design (PIM) models.
+
+The transformation produces design models; hand edits (the designer
+refinement pass, cf. :func:`repro.casestudy.webshop.refine_design`) can
+break them.  This engine gate-keeps code generation and app assembly:
+
+* forms must bind fields their entity actually declares;
+* create/update routes need a form; view/list routes need an entity;
+* route paths must be unique per (path, kind-method);
+* precision bounds must name fields of the validated forms and be ordered;
+* format patterns must be ``field=regex`` with a compilable regex;
+* policies must target entities of the same model;
+* metadata specs must declare attributes.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.core import (
+    ConstraintEngine,
+    MObject,
+    Severity,
+    ValidationReport,
+)
+
+from . import design as D
+
+
+def build_design_engine() -> ConstraintEngine:
+    engine = ConstraintEngine()
+
+    def _form_fields_declared(form: MObject):
+        entity = form.entity
+        if entity is None:
+            return "form has no entity"
+        declared = set(entity.fields)
+        unknown = [f for f in form.fields if f not in declared]
+        if unknown:
+            return (
+                f"form binds fields {unknown!r} that entity "
+                f"{entity.name!r} does not declare"
+            )
+        return True
+
+    engine.constraint(
+        "form-fields-declared", D.FormSpec, _form_fields_declared
+    )
+
+    def _route_targets(route: MObject):
+        if route.kind in ("create", "update") and route.form is None:
+            return f"{route.kind} route {route.name!r} has no form"
+        if route.kind in ("view", "list") and route.entity is None:
+            return f"{route.kind} route {route.name!r} has no entity"
+        return True
+
+    engine.constraint("route-targets", D.RouteSpec, _route_targets)
+
+    def _routes_unique(model: MObject):
+        seen: dict[tuple, str] = {}
+        for route in model.routes:
+            method = "POST" if route.kind == "create" else (
+                "PUT" if route.kind == "update" else "GET"
+            )
+            key = (route.path, method)
+            if key in seen:
+                return (
+                    f"routes {seen[key]!r} and {route.name!r} collide on "
+                    f"{method} {route.path}"
+                )
+            seen[key] = route.name
+        return True
+
+    engine.constraint("routes-unique", D.DesignModel, _routes_unique)
+
+    def _bounds_valid(validator: MObject):
+        problems = []
+        for bound in validator.bounds:
+            if bound.lower > bound.upper:
+                problems.append(
+                    f"bound on {bound.field!r}: lower {bound.lower} exceeds "
+                    f"upper {bound.upper}"
+                )
+        if problems:
+            return "; ".join(problems)
+        return True
+
+    engine.constraint("bounds-ordered", D.ValidatorSpec, _bounds_valid)
+
+    def _bound_fields_bindable(validator: MObject):
+        model = validator.root()
+        if not model.is_instance_of(D.DesignModel):
+            return True
+        attached_fields: set[str] = set()
+        for form in model.forms:
+            if validator in form.validators:
+                attached_fields.update(form.fields)
+        if not attached_fields:
+            return True  # unattached validators checked elsewhere
+        stray = [
+            bound.field for bound in validator.bounds
+            if bound.field not in attached_fields
+        ]
+        if stray:
+            return (
+                f"bounds on {stray!r} target fields absent from every "
+                "attached form"
+            )
+        return True
+
+    engine.constraint(
+        "bound-fields-bindable", D.ValidatorSpec, _bound_fields_bindable
+    )
+
+    def _patterns_valid(validator: MObject):
+        if validator.kind != "format":
+            return True
+        problems = []
+        for entry in validator.patterns:
+            field, sep, pattern = entry.partition("=")
+            if not sep or not field or not pattern:
+                problems.append(f"malformed pattern entry {entry!r}")
+                continue
+            try:
+                re.compile(pattern)
+            except re.error as exc:
+                problems.append(f"pattern for {field!r} does not compile: {exc}")
+        if problems:
+            return "; ".join(problems)
+        return True
+
+    engine.constraint("patterns-valid", D.ValidatorSpec, _patterns_valid)
+
+    def _rules_parse(validator: MObject):
+        if validator.kind != "consistency":
+            return True
+        from repro.core.errors import OclSyntaxError
+        from repro.core.ocl import parse as parse_ocl
+
+        problems = []
+        for rule in validator.rules:
+            try:
+                parse_ocl(rule)
+            except OclSyntaxError as exc:
+                problems.append(f"rule {rule!r} does not parse: {exc}")
+        if problems:
+            return "; ".join(problems)
+        return True
+
+    engine.constraint("consistency-rules-parse", D.ValidatorSpec, _rules_parse)
+
+    def _validator_attached(validator: MObject):
+        model = validator.root()
+        if not model.is_instance_of(D.DesignModel):
+            return True
+        if any(validator in form.validators for form in model.forms):
+            return True
+        return f"validator {validator.name!r} is attached to no form"
+
+    engine.constraint(
+        "validator-attached",
+        D.ValidatorSpec,
+        _validator_attached,
+        severity=Severity.WARNING,
+    )
+
+    engine.constraint(
+        "metadata-has-attributes",
+        D.MetadataSpec,
+        "self.attributes->notEmpty()",
+        "a MetadataSpec without attributes captures nothing",
+    )
+
+    def _policy_entity_in_model(policy: MObject):
+        model = policy.root()
+        if not model.is_instance_of(D.DesignModel):
+            return True
+        if policy.entity in list(model.entities):
+            return True
+        return (
+            f"policy {policy.name!r} targets an entity outside this model"
+        )
+
+    engine.constraint(
+        "policy-entity-in-model", D.PolicySpec, _policy_entity_in_model
+    )
+
+    return engine
+
+
+_ENGINE: ConstraintEngine | None = None
+
+
+def validate_design(design: MObject) -> ValidationReport:
+    """Validate one design model against the standard rules."""
+    global _ENGINE
+    if _ENGINE is None:
+        _ENGINE = build_design_engine()
+    return _ENGINE.validate(design)

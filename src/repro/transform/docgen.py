@@ -1,0 +1,187 @@
+"""Documentation generation: DQ_WebRE model → software requirements spec.
+
+The paper's whole point is getting DQ requirements *into the software
+requirements specification*.  This generator produces that document: a
+Markdown SRS section set covering actors, functional requirements (the
+WebProcesses and their activities), the information cases, and — the
+DQ_WebRE payoff — a data quality requirements section with one subsection
+per DQ_Requirement, its ISO/IEC 25012 definition, its derived DQSRs and
+its realization elements (metadata, validators, constraints), ending with
+a traceability matrix.
+"""
+
+from __future__ import annotations
+
+from repro.core import MObject
+from repro.dq import iso25012
+from repro.dqwebre.derivation import bounds_from_model, derive
+from repro.dqwebre.derivation import requirements_from_model
+
+from .m2t import Template
+
+_DOCUMENT = Template(
+    """# Software Requirements Specification — ${model.name}
+
+Generated from the DQ_WebRE requirements model by repro.transform.docgen.
+
+## 1. Actors
+
+%for user in model.users
+* **${user.name}**${(' — ' + user.description) if user.description else ''}
+%endfor
+
+## 2. Functional requirements (web processes)
+
+%for process in model.processes
+### 2.${loop_index(process)} ${process.name}
+
+Initiated by: ${process.user.name if process.user else 'unspecified'}.
+
+%if len(process.activities) > 0
+Refining activities:
+
+%for activity in process.activities
+* ${activity.metaclass.name} — ${activity.name}
+%endfor
+%else
+*(no refining activities modelled yet)*
+%endif
+%endfor
+
+## 3. Information cases
+
+%for case in model.information_cases
+### 3.${loop_index(case)} ${case.name}
+
+Manages the data of: ${join(', ', [p.name for p in case.web_processes])}.
+
+Data managed:
+
+%for content in case.contents
+* **${content.name}**: ${join(', ', list(content.attributes))}
+%endfor
+%endfor
+"""
+)
+
+_DQ_SECTION_HEADER = """
+## 4. Data quality requirements
+"""
+
+_TRACE_HEADER = """
+## 5. Traceability matrix
+
+| DQ requirement | Characteristic | Mechanism | Realizing element |
+|---|---|---|---|
+"""
+
+
+def generate_srs(model: MObject) -> str:
+    """The full SRS document for a DQ_WebRE requirements model."""
+    indexers: dict[str, int] = {}
+
+    def loop_index(element: MObject) -> int:
+        key = element.metaclass.name
+        indexers[key] = indexers.get(key, 0) + 1
+        return indexers[key]
+
+    body = _DOCUMENT.render(
+        model=model, loop_index=loop_index, len=len, list=list
+    )
+    return body + _dq_sections(model) + _trace_matrix(model)
+
+
+def _dq_sections(model: MObject) -> str:
+    lines = [_DQ_SECTION_HEADER]
+    bounds = bounds_from_model(model)
+    dqrs = {d.req_id: d for d in requirements_from_model(model)}
+    for index, requirement in enumerate(model.dq_requirements, start=1):
+        characteristic = iso25012.by_name(requirement.characteristic)
+        lines.append(f"### 4.{index} {requirement.name}")
+        lines.append("")
+        lines.append(
+            f"*Characteristic:* **{characteristic.name}** "
+            f"({characteristic.category.value})"
+        )
+        lines.append("")
+        lines.append(f"> {characteristic.definition}")
+        lines.append("")
+        if requirement.statement:
+            lines.append(
+                f"*DQ functional requirement:* {requirement.statement}"
+            )
+            lines.append("")
+        spec = requirement.specification
+        if spec is not None:
+            lines.append(f"*Specification [{spec.ID}]:* {spec.Text}")
+            lines.append("")
+        dqr = dqrs.get(f"DQR-{requirement.id}")
+        if dqr is not None:
+            lines.append("Derived software requirements:")
+            lines.append("")
+            for dqsr in derive(dqr, bounds=bounds):
+                lines.append(
+                    f"* `{dqsr.req_id}` ({dqsr.mechanism.value}) — "
+                    f"{dqsr.functional_statement}"
+                )
+            lines.append("")
+    if len(model.dq_constraints):
+        lines.append("#### Declared constraints (DQConstraint elements)")
+        lines.append("")
+        for constraint in model.dq_constraints:
+            fields = ", ".join(constraint.dq_constraint)
+            lines.append(
+                f"* {constraint.name}: {fields} in "
+                f"[{constraint.lower_bound}, {constraint.upper_bound}]"
+            )
+        lines.append("")
+    if len(model.dq_metadata_classes):
+        lines.append("#### DQ metadata (DQ_Metadata elements)")
+        lines.append("")
+        for metadata in model.dq_metadata_classes:
+            attributes = ", ".join(metadata.dq_metadata)
+            lines.append(f"* {metadata.name}: {attributes}")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def _trace_matrix(model: MObject) -> str:
+    lines = [_TRACE_HEADER.rstrip(), ""]
+    rows: list[str] = []
+    for requirement in model.dq_requirements:
+        characteristic = iso25012.by_name(requirement.characteristic)
+        realizers = _realizers_for(model, characteristic)
+        if not realizers:
+            realizers = [("—", "*unrealized*")]
+        for mechanism, element in realizers:
+            rows.append(
+                f"| {requirement.name} | {characteristic.name} "
+                f"| {mechanism} | {element} |"
+            )
+    # header already contains the separator row; just append data rows
+    text = _TRACE_HEADER + "\n".join(rows) + "\n"
+    return text
+
+
+def _realizers_for(model: MObject, characteristic) -> list[tuple[str, str]]:
+    """Which model elements realize a characteristic, heuristically."""
+    realizers: list[tuple[str, str]] = []
+    wants_metadata = characteristic in (
+        iso25012.TRACEABILITY, iso25012.CONFIDENTIALITY,
+        iso25012.AVAILABILITY,
+    )
+    wants_validator = characteristic in (
+        iso25012.COMPLETENESS, iso25012.PRECISION, iso25012.ACCURACY,
+        iso25012.CONSISTENCY, iso25012.CURRENTNESS, iso25012.CREDIBILITY,
+        iso25012.CONFIDENTIALITY,
+    )
+    if wants_metadata:
+        for metadata in model.dq_metadata_classes:
+            realizers.append(("metadata", metadata.name))
+    if wants_validator:
+        for validator in model.dq_validators:
+            realizers.append(("validator", validator.name))
+    if characteristic is iso25012.PRECISION:
+        for constraint in model.dq_constraints:
+            realizers.append(("constraint", constraint.name))
+    return realizers

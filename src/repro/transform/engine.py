@@ -1,0 +1,224 @@
+"""A QVT-lite model-to-model transformation engine.
+
+The paper's §5 plans *"transformation rules ... implemented by employing the
+QVT language"* to carry DQ requirements into design.  This engine provides
+the QVT-operational essentials in Python:
+
+* declarative :class:`Rule` objects — *for every source object matching X,
+  produce target objects Y*;
+* a :class:`TransformationContext` with a **trace** (source → targets), the
+  backbone of QVT's ``resolveIn``: rules can look up what another rule made
+  from a given source object;
+* two-phase execution — all rules run in declaration order over a pre-order
+  traversal, then deferred resolution callbacks run once every target
+  exists (QVT's late resolve);
+* a :class:`TransformationTrace` you can query and render for audits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional, Sequence, Union
+
+from repro.core import MObject, walk
+from repro.core.errors import TransformationError
+from repro.core.meta import MetaClass
+
+
+@dataclass
+class TraceEntry:
+    """One rule firing: which rule mapped which source to which targets."""
+
+    rule: str
+    source: MObject
+    targets: list[MObject]
+
+    def describe(self) -> str:
+        made = ", ".join(t.label() for t in self.targets) or "<nothing>"
+        return f"{self.rule}: {self.source.label()} -> {made}"
+
+
+class TransformationTrace:
+    """The trace model: every mapping performed by a transformation run."""
+
+    def __init__(self):
+        self.entries: list[TraceEntry] = []
+        self._by_source: dict[str, list[TraceEntry]] = {}
+
+    def record(self, rule: str, source: MObject, targets: list[MObject]) -> None:
+        entry = TraceEntry(rule, source, targets)
+        self.entries.append(entry)
+        self._by_source.setdefault(source.id, []).append(entry)
+
+    def targets_of(
+        self, source: MObject, rule: Optional[str] = None
+    ) -> list[MObject]:
+        """Everything produced from ``source`` (optionally by one rule)."""
+        found: list[MObject] = []
+        for entry in self._by_source.get(source.id, []):
+            if rule is None or entry.rule == rule:
+                found.extend(entry.targets)
+        return found
+
+    def sources_of(self, target: MObject) -> list[MObject]:
+        """Inverse lookup: the sources a target was produced from."""
+        return [
+            entry.source
+            for entry in self.entries
+            if any(t is target for t in entry.targets)
+        ]
+
+    def by_rule(self, rule: str) -> list[TraceEntry]:
+        return [entry for entry in self.entries if entry.rule == rule]
+
+    def render(self) -> str:
+        return "\n".join(entry.describe() for entry in self.entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+class TransformationContext:
+    """Passed to every rule body; carries the trace and deferred work."""
+
+    def __init__(self, trace: TransformationTrace):
+        self.trace = trace
+        self._deferred: list[Callable[[], None]] = []
+        self.outputs: list[MObject] = []
+
+    def resolve(
+        self, source: MObject, rule: Optional[str] = None
+    ) -> Optional[MObject]:
+        """First target mapped from ``source`` (QVT's ``resolveone``)."""
+        targets = self.trace.targets_of(source, rule)
+        return targets[0] if targets else None
+
+    def resolve_all(
+        self, sources: Iterable[MObject], rule: Optional[str] = None
+    ) -> list[MObject]:
+        """Targets for each source that has one (QVT's ``resolve``)."""
+        resolved = []
+        for source in sources:
+            target = self.resolve(source, rule)
+            if target is not None:
+                resolved.append(target)
+        return resolved
+
+    def defer(self, action: Callable[[], None]) -> None:
+        """Run ``action`` after all rules have fired (late resolution)."""
+        self._deferred.append(action)
+
+    def run_deferred(self) -> None:
+        while self._deferred:
+            self._deferred.pop(0)()
+
+
+class Rule:
+    """One mapping rule.
+
+    ``source`` selects objects by metaclass (instances conforming to it) or
+    by predicate.  ``body(obj, ctx)`` returns the produced target object,
+    a list of targets, or ``None``; whatever is returned is recorded in the
+    trace.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        source: Union[MetaClass, Callable[[MObject], bool]],
+        body: Callable[[MObject, TransformationContext], object],
+        top: bool = False,
+    ):
+        self.name = name
+        self._source = source
+        self._body = body
+        self.top = top
+
+    def matches(self, obj: MObject) -> bool:
+        if isinstance(self._source, MetaClass):
+            return obj.is_instance_of(self._source)
+        return bool(self._source(obj))
+
+    def apply(self, obj: MObject, ctx: TransformationContext) -> list[MObject]:
+        produced = self._body(obj, ctx)
+        if produced is None:
+            targets: list[MObject] = []
+        elif isinstance(produced, MObject):
+            targets = [produced]
+        elif isinstance(produced, (list, tuple)):
+            targets = list(produced)
+        else:
+            raise TransformationError(
+                f"rule {self.name!r} returned {produced!r}; expected "
+                "MObject, list or None"
+            )
+        ctx.trace.record(self.name, obj, targets)
+        ctx.outputs.extend(targets)
+        return targets
+
+    def __repr__(self) -> str:
+        return f"<Rule {self.name!r}>"
+
+
+@dataclass
+class TransformationResult:
+    """What a run produced: targets plus the trace."""
+
+    outputs: list[MObject]
+    trace: TransformationTrace
+
+    @property
+    def primary(self) -> Optional[MObject]:
+        """The first produced object — by convention the target model root."""
+        return self.outputs[0] if self.outputs else None
+
+
+class Transformation:
+    """An ordered set of rules executed over a source model tree."""
+
+    def __init__(self, name: str, rules: Optional[Sequence[Rule]] = None):
+        self.name = name
+        self._rules: list[Rule] = list(rules or [])
+
+    def add_rule(self, rule: Rule) -> Rule:
+        self._rules.append(rule)
+        return rule
+
+    def rule(self, name: str, source, top: bool = False):
+        """Decorator flavour::
+
+            @transformation.rule("content2entity", webre.Content)
+            def content_to_entity(content, ctx): ...
+        """
+
+        def decorator(fn):
+            self.add_rule(Rule(name, source, fn, top=top))
+            return fn
+
+        return decorator
+
+    @property
+    def rules(self) -> list[Rule]:
+        return list(self._rules)
+
+    def run(self, root: MObject) -> TransformationResult:
+        """Execute: each rule visits every matching object in pre-order.
+
+        Rules fire grouped *by rule* (not by object) so earlier rules finish
+        before later ones start — later rules can therefore ``resolve``
+        anything earlier rules produced, and truly circular needs use
+        ``ctx.defer``.
+        """
+        if not self._rules:
+            raise TransformationError(
+                f"transformation {self.name!r} has no rules"
+            )
+        trace = TransformationTrace()
+        ctx = TransformationContext(trace)
+        objects = list(walk(root))
+        for rule in self._rules:
+            for obj in objects:
+                if rule.matches(obj):
+                    rule.apply(obj, ctx)
+        ctx.run_deferred()
+        return TransformationResult(ctx.outputs, trace)

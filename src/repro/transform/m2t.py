@@ -1,0 +1,183 @@
+"""A small model-to-text template engine (the MDA "code generation" leg).
+
+Line-oriented, in the tradition of MOFM2T/Acceleo-lite:
+
+* ``${expression}`` interpolates an expression into the line;
+* ``%for item in expression:`` ... ``%endfor`` repeats a block;
+* ``%if expression:`` / ``%elif expression:`` / ``%else:`` / ``%endif``
+  choose between blocks;
+* ``%%`` at the start of a line escapes a literal ``%``.
+
+Expressions are evaluated with :func:`eval` against the template context
+only (no builtins) — templates ship *with this library* and are trusted
+code; they are never fed user input.  Model objects work naturally in
+expressions because :class:`~repro.core.objects.MObject` exposes features
+as attributes.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, Optional
+
+from repro.core.errors import TemplateError
+
+_PLACEHOLDER = re.compile(r"\$\{([^}]+)\}")
+
+#: A few helpers templates may call; deliberately tiny.
+_TEMPLATE_BUILTINS = {
+    "len": len,
+    "sorted": sorted,
+    "enumerate": enumerate,
+    "repr": repr,
+    "str": str,
+    "join": lambda sep, items: sep.join(str(i) for i in items),
+}
+
+
+def _evaluate(expression: str, context: dict):
+    try:
+        return eval(  # noqa: S307 - trusted, library-authored templates only
+            expression, {"__builtins__": {}}, {**_TEMPLATE_BUILTINS, **context}
+        )
+    except Exception as exc:
+        raise TemplateError(
+            f"template expression {expression!r} failed: {exc}"
+        ) from exc
+
+
+class _Node:
+    def render(self, context: dict, out: list[str]) -> None:
+        raise NotImplementedError
+
+
+class _Text(_Node):
+    def __init__(self, line: str):
+        self.line = line
+
+    def render(self, context: dict, out: list[str]) -> None:
+        def substitute(match: re.Match) -> str:
+            value = _evaluate(match.group(1), context)
+            return "" if value is None else str(value)
+
+        out.append(_PLACEHOLDER.sub(substitute, self.line))
+
+
+class _For(_Node):
+    def __init__(self, variable: str, expression: str, body: list[_Node]):
+        self.variable = variable
+        self.expression = expression
+        self.body = body
+
+    def render(self, context: dict, out: list[str]) -> None:
+        items = _evaluate(self.expression, context)
+        if items is None:
+            return
+        for item in items:
+            scoped = dict(context)
+            scoped[self.variable] = item
+            for node in self.body:
+                node.render(scoped, out)
+
+
+class _If(_Node):
+    def __init__(self, branches: list[tuple[Optional[str], list[_Node]]]):
+        # branches: [(condition, body), ...]; condition None = else
+        self.branches = branches
+
+    def render(self, context: dict, out: list[str]) -> None:
+        for condition, body in self.branches:
+            if condition is None or _evaluate(condition, context):
+                for node in body:
+                    node.render(context, out)
+                return
+
+
+# The trailing colon is optional: `%for x in xs:` and `%for x in xs` parse
+# the same way.
+_FOR_RE = re.compile(r"%for\s+(\w+)\s+in\s+(.+?):?\s*$")
+_IF_RE = re.compile(r"%if\s+(.+?):?\s*$")
+_ELIF_RE = re.compile(r"%elif\s+(.+?):?\s*$")
+
+
+class Template:
+    """A parsed, reusable template."""
+
+    def __init__(self, text: str):
+        self.text = text
+        lines = text.splitlines()
+        self._nodes, rest = self._parse_block(lines, 0, ())
+        if rest != len(lines):
+            raise TemplateError(
+                f"unexpected directive at line {rest + 1}: {lines[rest]!r}"
+            )
+
+    def _parse_block(
+        self, lines: list[str], index: int, stop_on: tuple
+    ) -> tuple[list[_Node], int]:
+        nodes: list[_Node] = []
+        while index < len(lines):
+            line = lines[index]
+            stripped = line.strip()
+            if stripped.startswith("%%"):
+                nodes.append(_Text(line.replace("%%", "%", 1)))
+                index += 1
+                continue
+            if stripped.startswith("%"):
+                directive = stripped.split(":")[0].split()[0]
+                if directive in stop_on or stripped in stop_on:
+                    return nodes, index
+                node, index = self._parse_directive(lines, index)
+                nodes.append(node)
+                continue
+            nodes.append(_Text(line))
+            index += 1
+        if stop_on:
+            raise TemplateError(
+                f"missing closing directive; expected one of {stop_on}"
+            )
+        return nodes, index
+
+    def _parse_directive(self, lines: list[str], index: int) -> tuple[_Node, int]:
+        stripped = lines[index].strip()
+        match = _FOR_RE.match(stripped)
+        if match:
+            body, index = self._parse_block(
+                lines, index + 1, ("%endfor",)
+            )
+            return _For(match.group(1), match.group(2), body), index + 1
+        match = _IF_RE.match(stripped)
+        if match:
+            branches: list[tuple[Optional[str], list[_Node]]] = []
+            condition: Optional[str] = match.group(1)
+            index += 1
+            while True:
+                body, index = self._parse_block(
+                    lines, index, ("%elif", "%else", "%endif")
+                )
+                branches.append((condition, body))
+                stripped = lines[index].strip()
+                if stripped.startswith("%elif"):
+                    elif_match = _ELIF_RE.match(stripped)
+                    if elif_match is None:
+                        raise TemplateError(f"malformed %elif: {stripped!r}")
+                    condition = elif_match.group(1)
+                    index += 1
+                    continue
+                if stripped.startswith("%else"):
+                    condition = None
+                    index += 1
+                    continue
+                return _If(branches), index + 1
+        raise TemplateError(f"unknown directive: {stripped!r}")
+
+    def render(self, **context) -> str:
+        out: list[str] = []
+        for node in self._nodes:
+            node.render(context, out)
+        return "\n".join(out)
+
+
+def render(text: str, **context) -> str:
+    """Parse-and-render convenience for one-shot templates."""
+    return Template(text).render(**context)

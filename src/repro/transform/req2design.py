@@ -1,0 +1,302 @@
+"""Requirements → design transformation (the paper's §5, realized).
+
+Maps a DQ_WebRE requirements model (CIM) onto the design metamodel (PIM):
+
+==============================  =============================================
+Source (DQ_WebRE)               Target (design)
+==============================  =============================================
+DQWebREModel                    DesignModel
+Content                         EntitySpec (fields = content attributes)
+InformationCase                 composite EntitySpec + FormSpec + RouteSpec
+DQ_Validator (per operation)    ValidatorSpec (kind from the operation name)
+DQConstraint                    BoundSpec(s) inside the precision validator
+DQ_Metadata                     MetadataSpec
+DQ_Requirement[Confidentiality] PolicySpec per managed entity
+DQ_Requirement[Completeness]    required_fields on the managed entities
+==============================  =============================================
+
+Every mapping is recorded in the transformation trace, so a design element
+can always be traced back to the requirement that demanded it — the
+requirements-traceability property MDA promises.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.core import MObject
+from repro.core.errors import TransformationError
+from repro.dq import iso25012
+from repro.dqwebre import metamodel as DQ
+from repro.webre import metamodel as W
+
+from . import design as D
+from .engine import Rule, Transformation, TransformationContext, TransformationResult
+
+#: DQ_Validator operation name -> design ValidatorKind.
+OPERATION_KINDS = {
+    "check_completeness": "completeness",
+    "check_precision": "precision",
+    "check_format": "format",
+    "check_enum": "enum",
+    "check_consistency": "consistency",
+    "check_currentness": "currentness",
+    "check_credibility": "credibility",
+    "check_authorized": "authorized",
+}
+
+
+def slugify(name: str) -> str:
+    """Turn an element name into a URL path segment."""
+    slug = re.sub(r"[^a-z0-9]+", "-", name.lower()).strip("-")
+    return slug or "page"
+
+
+def _rule_model(model: MObject, ctx: TransformationContext) -> MObject:
+    return D.DesignModel.create(name=model.name)
+
+
+def _design_root(ctx: TransformationContext) -> MObject:
+    root = ctx.outputs[0] if ctx.outputs else None
+    if root is None or not root.is_instance_of(D.DesignModel):
+        raise TransformationError(
+            "req2design: the DesignModel root was not created first"
+        )
+    return root
+
+
+def _rule_content(content: MObject, ctx: TransformationContext) -> MObject:
+    root = _design_root(ctx)
+    entity = D.EntitySpec.create(name=content.name)
+    entity.set("fields", list(content.attributes))
+    root.entities.append(entity)
+    return entity
+
+
+def _rule_information_case(case: MObject, ctx: TransformationContext):
+    """An InformationCase becomes the composite entity + form + route."""
+    root = _design_root(ctx)
+    fields: list[str] = []
+    for content in case.contents:
+        for attribute in content.attributes:
+            if attribute not in fields:
+                fields.append(attribute)
+    entity = D.EntitySpec.create(name=case.name)
+    entity.set("fields", fields)
+    root.entities.append(entity)
+
+    form = D.FormSpec.create(name=f"{case.name} form", entity=entity)
+    form.set("fields", fields)
+    root.forms.append(form)
+
+    slug = slugify(case.name)
+    create_route = D.RouteSpec.create(
+        name=f"create {case.name}",
+        path=f"/{slug}",
+        kind="create",
+        form=form,
+        entity=entity,
+    )
+    root.routes.append(create_route)
+    list_route = D.RouteSpec.create(
+        name=f"list {case.name}",
+        path=f"/{slug}/list",
+        kind="list",
+        entity=entity,
+    )
+    root.routes.append(list_route)
+    return [entity, form, create_route, list_route]
+
+
+def _rule_validator(validator: MObject, ctx: TransformationContext):
+    """Each operation of a DQ_Validator becomes one ValidatorSpec."""
+    root = _design_root(ctx)
+    produced: list[MObject] = []
+    for operation in validator.operations:
+        bare = operation.rstrip("()").strip()
+        kind = OPERATION_KINDS.get(bare)
+        if kind is None:
+            # Unknown operations degrade to consistency checks that the
+            # analyst must flesh out; the trace still records the mapping.
+            kind = "consistency"
+        spec = D.ValidatorSpec.create(name=bare, kind=kind)
+        root.validators.append(spec)
+        produced.append(spec)
+
+    def attach_to_forms():
+        """Late resolve: attach specs to forms built from InformationCases.
+
+        The DQ_Validator names the WebUIs it validates; a form corresponds
+        to an InformationCase whose managed contents feed that UI.  When
+        the validator lists no UI we attach to every form (validate all
+        writes), which is the conservative reading of Table 3.
+        """
+        model = validator.root()
+        for spec in produced:
+            for form in _forms_validated_by(root, model, validator):
+                if spec not in form.validators:
+                    form.validators.append(spec)
+            _fill_target_fields(spec)
+
+    ctx.defer(attach_to_forms)
+    return produced
+
+
+def _forms_validated_by(root, model, validator) -> list[MObject]:
+    validated_uis = list(validator.validates)
+    if not validated_uis:
+        return list(root.forms)
+    ui_fields: set[str] = set()
+    for ui in validated_uis:
+        ui_fields.update(ui.fields)
+    if not ui_fields:
+        return list(root.forms)
+    # Attach to the best-matching form(s): the ones sharing the largest
+    # number of fields with the validated UI.  A mere one-field overlap
+    # (e.g. a shared customer_id) must not drag a validator onto an
+    # unrelated form.
+    overlaps = [
+        (len(set(form.fields) & ui_fields), form) for form in root.forms
+    ]
+    best = max((count for count, __ in overlaps), default=0)
+    if best == 0:
+        return list(root.forms)
+    return [form for count, form in overlaps if count == best]
+
+
+def _fill_target_fields(spec: MObject) -> None:
+    """Default a validator's target fields to its forms' field union."""
+    if len(spec.target_fields):
+        return
+    fields: list[str] = []
+    root = spec.root()
+    for form in root.forms:
+        if spec in form.validators:
+            for field in form.fields:
+                if field not in fields:
+                    fields.append(field)
+    spec.set("target_fields", fields)
+
+
+def _rule_constraint(constraint: MObject, ctx: TransformationContext):
+    """DQConstraint bounds land inside its validator's precision spec."""
+    produced: list[MObject] = []
+    for field in constraint.dq_constraint:
+        bound = D.BoundSpec.create(
+            field=field,
+            lower=constraint.lower_bound,
+            upper=constraint.upper_bound,
+        )
+        produced.append(bound)
+
+    def attach_bounds():
+        specs = ctx.trace.targets_of(constraint.validator, "validator2spec")
+        precision = [s for s in specs if s.kind == "precision"]
+        if not precision:
+            raise TransformationError(
+                f"DQConstraint {constraint.label()!r}: its validator "
+                f"{constraint.validator.label()!r} has no check_precision "
+                "operation to carry the bounds"
+            )
+        for bound in produced:
+            precision[0].bounds.append(bound)
+
+    ctx.defer(attach_bounds)
+    return produced
+
+
+def _rule_metadata(metadata: MObject, ctx: TransformationContext) -> MObject:
+    root = _design_root(ctx)
+    spec = D.MetadataSpec.create(name=metadata.name)
+    spec.set("attributes", list(metadata.dq_metadata))
+    root.metadata_specs.append(spec)
+
+    def attach_entities():
+        entities = ctx.resolve_all(metadata.contents, "content2entity")
+        # metadata declared on the contents also covers composite entities
+        model = metadata.root()
+        if model.has_feature("information_cases"):
+            for case in model.information_cases:
+                if any(c in metadata.contents for c in case.contents):
+                    composite = ctx.resolve(case, "case2form")
+                    if composite is not None:
+                        entities.append(composite)
+        if not entities:
+            entities = list(root.entities)
+        spec.set("entities", entities)
+
+    ctx.defer(attach_entities)
+    return spec
+
+
+def _rule_requirement(requirement: MObject, ctx: TransformationContext):
+    """Confidentiality → policies; Completeness → required fields."""
+    root = _design_root(ctx)
+    characteristic = iso25012.by_name(requirement.characteristic)
+    produced: list[MObject] = []
+
+    if characteristic == iso25012.CONFIDENTIALITY:
+        for case in requirement.information_cases:
+            composite = ctx.resolve(case, "case2form")
+            if composite is None:
+                continue
+            policy = D.PolicySpec.create(
+                name=f"confidentiality of {case.name}",
+                security_level=1,
+                entity=composite,
+            )
+            root.policies.append(policy)
+            produced.append(policy)
+            for content in case.contents:
+                entity = ctx.resolve(content, "content2entity")
+                if entity is None:
+                    continue
+                content_policy = D.PolicySpec.create(
+                    name=f"confidentiality of {content.name}",
+                    security_level=1,
+                    entity=entity,
+                )
+                root.policies.append(content_policy)
+                produced.append(content_policy)
+
+    elif characteristic == iso25012.COMPLETENESS:
+
+        def mark_required():
+            for case in requirement.information_cases:
+                composite = ctx.resolve(case, "case2form")
+                if composite is not None:
+                    composite.set("required_fields", list(composite.fields))
+                for content in case.contents:
+                    entity = ctx.resolve(content, "content2entity")
+                    if entity is not None:
+                        entity.set("required_fields", list(entity.fields))
+
+        ctx.defer(mark_required)
+
+    return produced
+
+
+def build_req2design() -> Transformation:
+    """The standard requirements → design transformation."""
+    return Transformation(
+        "req2design",
+        [
+            Rule("model2design", DQ.DQWebREModel, _rule_model, top=True),
+            Rule("content2entity", W.Content, _rule_content),
+            Rule("case2form", DQ.InformationCase, _rule_information_case),
+            Rule("validator2spec", DQ.DQValidator, _rule_validator),
+            Rule("constraint2bounds", DQ.DQConstraint, _rule_constraint),
+            Rule("metadata2spec", DQ.DQMetadata, _rule_metadata),
+            Rule("requirement2policy", DQ.DQRequirement, _rule_requirement),
+        ],
+    )
+
+
+def transform(model: MObject) -> TransformationResult:
+    """Run req2design on a DQ_WebRE model; result.primary is the DesignModel."""
+    if not model.is_instance_of(DQ.DQWebREModel):
+        raise TransformationError(
+            "req2design expects a DQWebREModel root, got "
+            f"{model.metaclass.name}"
+        )
+    return build_req2design().run(model)

@@ -1,0 +1,26 @@
+"""``repro.uml`` — the UML 2.x subset WebRE and DQ_WebRE build on.
+
+The metamodel itself lives in :mod:`repro.uml.metamodel` (defined over the
+:mod:`repro.core` kernel and registered globally); the sibling modules are
+thin, Pythonic facades for authoring models:
+
+* :mod:`repro.uml.elements` — models, packages, comments;
+* :mod:`repro.uml.classes` — class diagrams;
+* :mod:`repro.uml.usecases` — use case diagrams;
+* :mod:`repro.uml.activities` — activity diagrams;
+* :mod:`repro.uml.requirements` — SysML-style requirement diagrams;
+* :mod:`repro.uml.profiles` — profiles, stereotypes, tagged values.
+"""
+
+from . import activities, classes, elements, profiles, requirements, usecases
+from .metamodel import UML
+
+__all__ = [
+    "UML",
+    "activities",
+    "classes",
+    "elements",
+    "profiles",
+    "requirements",
+    "usecases",
+]

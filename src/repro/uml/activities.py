@@ -1,0 +1,197 @@
+"""Facade helpers for activity diagrams.
+
+The paper's Fig. 7 activity diagram uses: an initial node, a chain of
+stereotyped actions (``UserTransaction``, ``Add_DQ_Metadata`` ...), object
+nodes for the ``WebUI``/``DQ_Metadata``/``DQ_Validator`` classes, control and
+object flows, and a final node.  These helpers author all of that.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core import MObject
+
+from . import metamodel as M
+
+
+def activity(owner: MObject, name: str) -> MObject:
+    """Create an :class:`Activity` packaged in ``owner``."""
+    new_activity = M.Activity.create(name=name)
+    owner.packagedElements.append(new_activity)
+    return new_activity
+
+
+def initial(act: MObject, name: str = "start") -> MObject:
+    node = M.InitialNode.create(name=name)
+    act.nodes.append(node)
+    return node
+
+
+def final(act: MObject, name: str = "end") -> MObject:
+    node = M.ActivityFinalNode.create(name=name)
+    act.nodes.append(node)
+    return node
+
+
+def flow_final(act: MObject, name: str = "stop") -> MObject:
+    node = M.FlowFinalNode.create(name=name)
+    act.nodes.append(node)
+    return node
+
+
+def action(act: MObject, name: str, body: str = "") -> MObject:
+    """Create an :class:`OpaqueAction` in ``act``."""
+    node = M.OpaqueAction.create(name=name)
+    if body:
+        node.body = body
+    act.nodes.append(node)
+    return node
+
+
+def call_behavior(act: MObject, name: str, behavior: MObject) -> MObject:
+    node = M.CallBehaviorAction.create(name=name, behavior=behavior)
+    act.nodes.append(node)
+    return node
+
+
+def object_node(act: MObject, name: str, type: str = "") -> MObject:
+    node = M.ObjectNode.create(name=name)
+    if type:
+        node.type = type
+    act.nodes.append(node)
+    return node
+
+
+def decision(act: MObject, name: str = "decision") -> MObject:
+    node = M.DecisionNode.create(name=name)
+    act.nodes.append(node)
+    return node
+
+
+def merge(act: MObject, name: str = "merge") -> MObject:
+    node = M.MergeNode.create(name=name)
+    act.nodes.append(node)
+    return node
+
+
+def fork(act: MObject, name: str = "fork") -> MObject:
+    node = M.ForkNode.create(name=name)
+    act.nodes.append(node)
+    return node
+
+
+def join(act: MObject, name: str = "join") -> MObject:
+    node = M.JoinNode.create(name=name)
+    act.nodes.append(node)
+    return node
+
+
+def flow(
+    act: MObject, source: MObject, target: MObject, guard: str = ""
+) -> MObject:
+    """Create a :class:`ControlFlow` from ``source`` to ``target``."""
+    edge = M.ControlFlow.create(source=source, target=target)
+    if guard:
+        edge.guard = guard
+    act.edges.append(edge)
+    return edge
+
+
+def object_flow(
+    act: MObject, source: MObject, target: MObject, guard: str = ""
+) -> MObject:
+    """Create an :class:`ObjectFlow` (data flowing into/out of actions)."""
+    edge = M.ObjectFlow.create(source=source, target=target)
+    if guard:
+        edge.guard = guard
+    act.edges.append(edge)
+    return edge
+
+
+def chain(act: MObject, *nodes: MObject) -> list[MObject]:
+    """Connect consecutive ``nodes`` with control flows; returns the edges."""
+    edges = []
+    for source, target in zip(nodes, nodes[1:]):
+        edges.append(flow(act, source, target))
+    return edges
+
+
+def partition(
+    act: MObject, name: str, nodes: Optional[list[MObject]] = None
+) -> MObject:
+    """Create a swimlane; optionally assign nodes to it."""
+    lane = M.ActivityPartition.create(name=name)
+    act.partitions.append(lane)
+    if nodes:
+        lane.set("nodes", nodes)
+    return lane
+
+
+def successors(node: MObject) -> list[MObject]:
+    return [edge.target for edge in node.outgoing]
+
+
+def predecessors(node: MObject) -> list[MObject]:
+    return [edge.source for edge in node.incoming]
+
+
+def reachable_from(node: MObject) -> list[MObject]:
+    """Every node reachable via outgoing edges (BFS, ``node`` excluded)."""
+    seen: list[MObject] = []
+    frontier = successors(node)
+    while frontier:
+        current = frontier.pop(0)
+        if current in seen:
+            continue
+        seen.append(current)
+        frontier.extend(successors(current))
+    return seen
+
+
+def is_well_formed(act: MObject) -> list[str]:
+    """Structural sanity checks; returns a list of problem strings.
+
+    Rules (the usual UML activity well-formedness subset):
+    * at least one initial and one final node;
+    * the initial node has no incoming edges; final nodes no outgoing;
+    * every non-initial/final node is reachable from an initial node;
+    * every edge connects nodes owned by the activity.
+    """
+    problems: list[str] = []
+    initials = [n for n in act.nodes if n.is_instance_of(M.InitialNode)]
+    finals = [
+        n for n in act.nodes
+        if n.is_instance_of(M.ActivityFinalNode)
+        or n.is_instance_of(M.FlowFinalNode)
+    ]
+    if not initials:
+        problems.append("activity has no initial node")
+    if not finals:
+        problems.append("activity has no final node")
+    for node in initials:
+        if len(node.incoming):
+            problems.append(f"initial node {node.label()!r} has incoming edges")
+    for node in finals:
+        if len(node.outgoing):
+            problems.append(f"final node {node.label()!r} has outgoing edges")
+    if initials:
+        reachable = set()
+        for start in initials:
+            reachable.update(id(n) for n in reachable_from(start))
+            reachable.add(id(start))
+        for node in act.nodes:
+            if node.is_instance_of(M.ObjectNode):
+                # Object nodes may be pure data sources (only outgoing
+                # object flows) — Fig. 7's "webpage of New Review" feeds the
+                # validators without sitting on the control path.
+                continue
+            if id(node) not in reachable:
+                problems.append(f"node {node.label()!r} is unreachable")
+    owned = {id(n) for n in act.nodes}
+    for edge in act.edges:
+        if id(edge.source) not in owned or id(edge.target) not in owned:
+            problems.append(
+                f"edge {edge.label()!r} crosses outside the activity"
+            )
+    return problems

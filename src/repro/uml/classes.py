@@ -1,0 +1,111 @@
+"""Facade helpers for class diagrams: classes, properties, operations,
+associations."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core import MObject
+
+from . import metamodel as M
+
+
+def class_(owner: MObject, name: str, is_abstract: bool = False) -> MObject:
+    """Create a :class:`Class` packaged in ``owner``."""
+    cls = M.Class.create(name=name, isAbstract=is_abstract)
+    owner.packagedElements.append(cls)
+    return cls
+
+
+def property_(
+    cls: MObject,
+    name: str,
+    type: str = "String",
+    lower: int = 0,
+    upper: int = 1,
+    default: Optional[str] = None,
+) -> MObject:
+    """Add an owned attribute to a class."""
+    prop = M.Property.create(
+        name=name, type=type, lowerValue=lower, upperValue=upper
+    )
+    if default is not None:
+        prop.defaultValue = default
+    cls.ownedAttributes.append(prop)
+    return prop
+
+
+def operation(
+    cls: MObject,
+    name: str,
+    return_type: Optional[str] = None,
+    parameters: Sequence[tuple[str, str]] = (),
+    body: Optional[str] = None,
+) -> MObject:
+    """Add an owned operation; ``parameters`` is ``[(name, type), ...]``."""
+    op = M.Operation.create(name=name)
+    if return_type is not None:
+        op.returnType = return_type
+    if body is not None:
+        op.body = body
+    for param_name, param_type in parameters:
+        op.ownedParameters.append(
+            M.Parameter.create(name=param_name, type=param_type)
+        )
+    cls.ownedOperations.append(op)
+    return op
+
+
+def generalize(subclass: MObject, superclass: MObject) -> MObject:
+    """Record ``subclass`` specializing ``superclass``."""
+    if superclass not in subclass.superClasses:
+        subclass.superClasses.append(superclass)
+    return subclass
+
+
+def associate(
+    owner: MObject,
+    source: MObject,
+    target: MObject,
+    name: str = "",
+    source_role: str = "",
+    target_role: str = "",
+    source_multiplicity: str = "1",
+    target_multiplicity: str = "1",
+    navigable: bool = True,
+) -> MObject:
+    """Create an association packaged in ``owner`` between two classifiers."""
+    assoc = M.Association.create(
+        name=name,
+        source=source,
+        target=target,
+        sourceMultiplicity=source_multiplicity,
+        targetMultiplicity=target_multiplicity,
+        navigable=navigable,
+    )
+    if source_role:
+        assoc.sourceRole = source_role
+    if target_role:
+        assoc.targetRole = target_role
+    owner.packagedElements.append(assoc)
+    return assoc
+
+
+def associations_of(owner: MObject, classifier: MObject) -> list[MObject]:
+    """All associations in ``owner`` touching ``classifier`` (either end)."""
+    return [
+        assoc
+        for assoc in owner.packagedElements
+        if assoc.is_instance_of(M.Association)
+        and (assoc.source is classifier or assoc.target is classifier)
+    ]
+
+
+def associated_peers(owner: MObject, classifier: MObject) -> list[MObject]:
+    """Classifiers linked to ``classifier`` by any association in ``owner``."""
+    peers = []
+    for assoc in associations_of(owner, classifier):
+        other = assoc.target if assoc.source is classifier else assoc.source
+        if other not in peers:
+            peers.append(other)
+    return peers

@@ -1,0 +1,48 @@
+"""Facade helpers for the UML base layer: models, packages, comments."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core import MObject
+
+from . import metamodel as M
+
+
+def model(name: str) -> MObject:
+    """Create a root :class:`Model`."""
+    return M.Model.create(name=name)
+
+
+def package(owner: MObject, name: str) -> MObject:
+    """Create a :class:`Package` inside ``owner`` (a Package or Model)."""
+    pkg = M.Package.create(name=name)
+    owner.packagedElements.append(pkg)
+    return pkg
+
+
+def comment(element: MObject, body: str) -> MObject:
+    """Attach a comment to any element (the paper's Fig. 6 notes)."""
+    note = M.Comment.create(body=body)
+    element.ownedComments.append(note)
+    return note
+
+
+def owned(owner: MObject, metaclass) -> list[MObject]:
+    """The packaged elements of ``owner`` conforming to ``metaclass``."""
+    return [e for e in owner.packagedElements if e.is_instance_of(metaclass)]
+
+
+def find_named(owner: MObject, name: str) -> Optional[MObject]:
+    """Find a directly packaged element by name."""
+    for element in owner.packagedElements:
+        if element.name == name:
+            return element
+    return None
+
+
+def apply_profile(pkg: MObject, profile: MObject) -> MObject:
+    """Record that ``profile``'s stereotypes may be used inside ``pkg``."""
+    if profile not in pkg.appliedProfiles:
+        pkg.appliedProfiles.append(profile)
+    return pkg

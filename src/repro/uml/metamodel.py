@@ -1,0 +1,388 @@
+"""The UML 2.x subset metamodel used by WebRE and DQ_WebRE.
+
+This defines — *as a metamodel over the kernel* — the slice of UML that the
+paper's artifacts need:
+
+* packages and models;
+* class diagrams: classes, properties, operations, associations;
+* use case diagrams: actors, use cases, include/extend, actor associations;
+* activity diagrams: activities, actions, control/object flows, partitions;
+* SysML-style requirement diagrams (the paper's ``DQ_Req_Specification``
+  elements live on requirements diagrams, §3 / Fig. 5);
+* the profile mechanism: profiles, stereotypes, tag definitions, stereotype
+  constraints, and stereotype applications with tagged values.
+
+The package is built once at import time, registered in the global registry,
+and exposed as :data:`UML`.  Every metaclass is also exported as a module
+attribute (``PACKAGE_``-free upper-camel names, e.g. ``UseCase``).
+"""
+
+from __future__ import annotations
+
+from repro.core import (
+    BOOLEAN,
+    INTEGER,
+    MANY,
+    REAL,
+    STRING,
+    MetaPackage,
+    global_registry,
+)
+
+
+def build_uml_package() -> MetaPackage:
+    """Construct the UML subset metamodel; called once at import time."""
+    uml = MetaPackage("uml", "urn:repro:uml")
+
+    # -- base layer -------------------------------------------------------
+    element = uml.define_class("Element", abstract=True, doc="Root of UML.")
+    comment = uml.define_class(
+        "Comment", superclasses=[element],
+        doc="An annotation attached to an element.",
+    )
+    comment.attribute("body", STRING, lower=1)
+    element.reference(
+        "ownedComments", comment, upper=MANY, containment=True,
+        doc="Comments owned by this element.",
+    )
+    # Stereotype applications hang off every element (profile mechanism).
+    element.reference(
+        "appliedStereotypes", "StereotypeApplication", upper=MANY,
+        containment=True,
+        doc="Profile stereotype applications on this element.",
+    )
+
+    named = uml.define_class(
+        "NamedElement", superclasses=[element], abstract=True
+    )
+    named.attribute("name", STRING, doc="The element's name.")
+
+    packageable = uml.define_class(
+        "PackageableElement", superclasses=[named], abstract=True
+    )
+
+    package = uml.define_class(
+        "Package", superclasses=[packageable],
+        doc="A namespace grouping packageable elements.",
+    )
+    package.reference(
+        "packagedElements", packageable, upper=MANY, containment=True,
+        opposite="owningPackage",
+    )
+    packageable.reference("owningPackage", package)
+    package.reference(
+        "appliedProfiles", "Profile", upper=MANY,
+        doc="Profiles whose stereotypes may be applied inside this package.",
+    )
+
+    uml.define_class("Model", superclasses=[package], doc="A root package.")
+
+    # -- classifiers / class diagrams -----------------------------------------
+    classifier = uml.define_class(
+        "Classifier", superclasses=[packageable], abstract=True
+    )
+    classifier.attribute("isAbstract", BOOLEAN, default=False)
+
+    property_ = uml.define_class(
+        "Property", superclasses=[named],
+        doc="A typed structural feature of a Class (attribute or end).",
+    )
+    property_.attribute("type", STRING, doc="Type name (primitive or class).")
+    property_.attribute("lowerValue", INTEGER, default=0)
+    property_.attribute("upperValue", INTEGER, default=1, doc="-1 means *.")
+    property_.attribute("defaultValue", STRING)
+
+    parameter = uml.define_class("Parameter", superclasses=[named])
+    parameter.attribute("type", STRING)
+    direction = uml.define_enum(
+        "ParameterDirection", ["in_", "out", "inout", "return_"]
+    )
+    parameter.attribute("direction", direction, default="in_")
+
+    operation = uml.define_class(
+        "Operation", superclasses=[named],
+        doc="A behavioural feature of a Class.",
+    )
+    operation.reference(
+        "ownedParameters", parameter, upper=MANY, containment=True
+    )
+    operation.attribute("returnType", STRING)
+    operation.attribute("body", STRING, doc="Optional opaque implementation.")
+
+    class_ = uml.define_class(
+        "Class", superclasses=[classifier],
+        doc="A class on a class diagram.",
+    )
+    class_.reference(
+        "ownedAttributes", property_, upper=MANY, containment=True,
+        opposite="owningClass",
+    )
+    property_.reference("owningClass", class_)
+    class_.reference("ownedOperations", operation, upper=MANY, containment=True)
+    class_.reference("superClasses", class_, upper=MANY)
+
+    association = uml.define_class(
+        "Association", superclasses=[packageable],
+        doc="A binary association rendered on class/use-case diagrams.",
+    )
+    association.reference("source", classifier, lower=1)
+    association.reference("target", classifier, lower=1)
+    association.attribute("sourceRole", STRING)
+    association.attribute("targetRole", STRING)
+    association.attribute("sourceMultiplicity", STRING, default="1")
+    association.attribute("targetMultiplicity", STRING, default="1")
+    association.attribute(
+        "navigable", BOOLEAN, default=True,
+        doc="False renders a plain (non-arrow) association line.",
+    )
+
+    # -- use case diagrams -----------------------------------------------------
+    actor = uml.define_class(
+        "Actor", superclasses=[classifier],
+        doc="A user role interacting with the subject system.",
+    )
+
+    use_case = uml.define_class(
+        "UseCase", superclasses=[classifier],
+        doc="A unit of externally visible functionality.",
+    )
+    include = uml.define_class(
+        "Include",
+        doc="An include relationship between use cases.",
+        superclasses=[element],
+    )
+    include.reference("addition", use_case, lower=1, doc="The included use case.")
+    extend = uml.define_class(
+        "Extend",
+        doc="An extend relationship between use cases.",
+        superclasses=[element],
+    )
+    extend.reference("extendedCase", use_case, lower=1)
+    extend.attribute("condition", STRING)
+    use_case.reference(
+        "includes", include, upper=MANY, containment=True,
+        opposite="includingCase",
+    )
+    include.reference("includingCase", use_case)
+    use_case.reference(
+        "extends", extend, upper=MANY, containment=True, opposite="extension"
+    )
+    extend.reference("extension", use_case)
+    use_case.reference(
+        "actors", actor, upper=MANY,
+        doc="Actors communicating with this use case.",
+    )
+
+    # -- activity diagrams -------------------------------------------------------
+    activity = uml.define_class(
+        "Activity", superclasses=[classifier],
+        doc="A behaviour expressed as a graph of nodes and flows.",
+    )
+    node = uml.define_class(
+        "ActivityNode", superclasses=[named], abstract=True
+    )
+    edge = uml.define_class(
+        "ActivityEdge", superclasses=[named], abstract=True
+    )
+    edge.reference("source", node, lower=1, opposite="outgoing")
+    edge.reference("target", node, lower=1, opposite="incoming")
+    edge.attribute("guard", STRING, doc="Guard condition label.")
+    node.reference("outgoing", edge, upper=MANY)
+    node.reference("incoming", edge, upper=MANY)
+
+    activity.reference(
+        "nodes", node, upper=MANY, containment=True, opposite="activity"
+    )
+    node.reference("activity", activity)
+    activity.reference("edges", edge, upper=MANY, containment=True)
+
+    partition = uml.define_class(
+        "ActivityPartition", superclasses=[named],
+        doc="A swimlane grouping nodes, typically one per participant.",
+    )
+    partition.reference("nodes", node, upper=MANY)
+    partition.attribute("represents", STRING, doc="What the lane stands for.")
+    activity.reference(
+        "partitions", partition, upper=MANY, containment=True
+    )
+
+    uml.define_class("InitialNode", superclasses=[node])
+    uml.define_class("ActivityFinalNode", superclasses=[node])
+    uml.define_class("FlowFinalNode", superclasses=[node])
+    uml.define_class("DecisionNode", superclasses=[node])
+    uml.define_class("MergeNode", superclasses=[node])
+    uml.define_class("ForkNode", superclasses=[node])
+    uml.define_class("JoinNode", superclasses=[node])
+
+    action = uml.define_class("Action", superclasses=[node], abstract=True)
+    opaque = uml.define_class(
+        "OpaqueAction", superclasses=[action],
+        doc="An atomic action described by its name/body.",
+    )
+    opaque.attribute("body", STRING)
+    call = uml.define_class(
+        "CallBehaviorAction", superclasses=[action],
+        doc="Invokes another activity.",
+    )
+    call.reference("behavior", activity)
+
+    object_node = uml.define_class(
+        "ObjectNode", superclasses=[node],
+        doc="Holds object tokens (data) flowing through the activity.",
+    )
+    object_node.attribute("type", STRING)
+
+    uml.define_class("ControlFlow", superclasses=[edge])
+    uml.define_class("ObjectFlow", superclasses=[edge])
+
+    # -- requirements (SysML-flavoured) -----------------------------------------
+    requirement = uml.define_class(
+        "Requirement", superclasses=[packageable],
+        doc="A SysML-like requirement with id and text (Fig. 5 diagrams).",
+    )
+    requirement.attribute("reqId", STRING, doc="The requirement's ID tag.")
+    requirement.attribute("text", STRING, doc="The requirement statement.")
+    requirement.reference(
+        "derivedFrom", requirement, upper=MANY,
+        doc="<<deriveReqt>> sources.",
+    )
+    requirement.reference(
+        "refinedBy", packageable, upper=MANY,
+        doc="Elements that <<refine>> this requirement.",
+    )
+    requirement.reference(
+        "satisfiedBy", packageable, upper=MANY,
+        doc="Elements that <<satisfy>> this requirement.",
+    )
+    requirement.reference(
+        "verifiedBy", packageable, upper=MANY,
+        doc="Elements (e.g. tests) that <<verify>> this requirement.",
+    )
+    requirement.reference(
+        "tracedTo", packageable, upper=MANY, doc="Generic <<trace>> links."
+    )
+
+    # -- profiles ----------------------------------------------------------------
+    profile = uml.define_class(
+        "Profile", superclasses=[package],
+        doc="A UML profile: a package of stereotypes extending metaclasses.",
+    )
+    stereotype = uml.define_class(
+        "Stereotype", superclasses=[packageable],
+        doc="Extends one or more UML metaclasses with tags and constraints.",
+    )
+    stereotype.attribute(
+        "baseClasses", STRING, upper=MANY, lower=1,
+        doc="Names of the UML metaclasses this stereotype extends.",
+    )
+    stereotype.attribute("doc", STRING, doc="Description (paper Table 3).")
+    stereotype.attribute(
+        "icon", STRING, doc="Optional diagram icon identifier."
+    )
+    profile.reference(
+        "ownedStereotypes", stereotype, upper=MANY, containment=True,
+        opposite="profile",
+    )
+    stereotype.reference("profile", profile)
+
+    tag_definition = uml.define_class(
+        "TagDefinition",
+        superclasses=[named],
+        doc="A tagged-value definition on a stereotype.",
+    )
+    tag_type = uml.define_enum(
+        "TagType", ["string", "integer", "boolean", "real", "string_set"]
+    )
+    tag_definition.attribute("type", tag_type, default="string")
+    tag_definition.attribute("required", BOOLEAN, default=False)
+    tag_definition.attribute("defaultValue", STRING)
+    stereotype.reference(
+        "tagDefinitions", tag_definition, upper=MANY, containment=True
+    )
+
+    stereotype_constraint = uml.define_class(
+        "StereotypeConstraint", superclasses=[named],
+        doc="A well-formedness rule attached to a stereotype.",
+    )
+    stereotype_constraint.attribute(
+        "expression", STRING,
+        doc="OCL-lite text or the registered name of a Python rule.",
+    )
+    stereotype_constraint.attribute("description", STRING)
+    stereotype.reference(
+        "constraints", stereotype_constraint, upper=MANY, containment=True
+    )
+
+    application = uml.define_class(
+        "StereotypeApplication", superclasses=[element],
+        doc="One application of a stereotype to an element, with tag values.",
+    )
+    application.reference("stereotype", stereotype, lower=1)
+
+    tag_value = uml.define_class(
+        "TagValue", superclasses=[named],
+        doc="A tagged value; exactly one of the typed slots is used.",
+    )
+    tag_value.attribute("stringValue", STRING)
+    tag_value.attribute("integerValue", INTEGER)
+    tag_value.attribute("booleanValue", BOOLEAN)
+    tag_value.attribute("realValue", REAL)
+    tag_value.attribute("stringValues", STRING, upper=MANY)
+    application.reference(
+        "tagValues", tag_value, upper=MANY, containment=True
+    )
+
+    return uml.resolve()
+
+
+#: The UML metamodel package (singleton).
+UML = build_uml_package()
+global_registry.register(UML)
+
+
+def _export(name: str):
+    metaclass = UML.find_class(name)
+    assert metaclass is not None, name
+    return metaclass
+
+
+Element = _export("Element")
+Comment = _export("Comment")
+NamedElement = _export("NamedElement")
+PackageableElement = _export("PackageableElement")
+Package = _export("Package")
+Model = _export("Model")
+Classifier = _export("Classifier")
+Class = _export("Class")
+Property = _export("Property")
+Operation = _export("Operation")
+Parameter = _export("Parameter")
+Association = _export("Association")
+Actor = _export("Actor")
+UseCase = _export("UseCase")
+Include = _export("Include")
+Extend = _export("Extend")
+Activity = _export("Activity")
+ActivityNode = _export("ActivityNode")
+ActivityEdge = _export("ActivityEdge")
+ActivityPartition = _export("ActivityPartition")
+InitialNode = _export("InitialNode")
+ActivityFinalNode = _export("ActivityFinalNode")
+FlowFinalNode = _export("FlowFinalNode")
+DecisionNode = _export("DecisionNode")
+MergeNode = _export("MergeNode")
+ForkNode = _export("ForkNode")
+JoinNode = _export("JoinNode")
+Action = _export("Action")
+OpaqueAction = _export("OpaqueAction")
+CallBehaviorAction = _export("CallBehaviorAction")
+ObjectNode = _export("ObjectNode")
+ControlFlow = _export("ControlFlow")
+ObjectFlow = _export("ObjectFlow")
+Requirement = _export("Requirement")
+Profile = _export("Profile")
+Stereotype = _export("Stereotype")
+TagDefinition = _export("TagDefinition")
+StereotypeConstraint = _export("StereotypeConstraint")
+StereotypeApplication = _export("StereotypeApplication")
+TagValue = _export("TagValue")

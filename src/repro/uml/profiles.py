@@ -1,0 +1,404 @@
+"""The UML profile mechanism: stereotypes, tagged values, applications.
+
+This is the machinery the paper's contribution is packaged in: *"we have also
+implemented a UML profile for Web application requirements, which has been
+extended with data quality issues (DQ_WebRE)"* (§3).  A profile owns
+stereotypes; each stereotype names the UML base metaclasses it extends
+(Table 3's "Base class" column), defines tagged values (Table 3's "Tagged
+values") and carries constraints (Table 3's "Constraints").
+
+Stereotype constraints come in two flavours:
+
+* OCL-lite text, evaluated with ``self`` bound to the *stereotyped element*;
+* ``python:<rule-name>`` referencing a rule registered with
+  :func:`register_rule` — used for rules that must inspect stereotype
+  applications on related elements, which plain OCL cannot see.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.core import MObject, Severity, walk
+from repro.core.constraints import Diagnostic
+from repro.core.errors import (
+    BaseClassMismatchError,
+    OclError,
+    ProfileError,
+    TaggedValueError,
+)
+from repro.core.ocl import OclExpression
+
+from . import metamodel as M
+
+# ---------------------------------------------------------------------------
+# Profile definition helpers
+# ---------------------------------------------------------------------------
+
+
+def profile(name: str, uri: str = "") -> MObject:
+    """Create a :class:`Profile` root element."""
+    new_profile = M.Profile.create(name=name)
+    if uri:
+        from .elements import comment
+
+        comment(new_profile, f"uri: {uri}")
+    return new_profile
+
+
+def stereotype(
+    owner: MObject,
+    name: str,
+    base_classes: list[str],
+    doc: str = "",
+    icon: str = "",
+) -> MObject:
+    """Define a stereotype in ``owner`` extending the named metaclasses."""
+    if not base_classes:
+        raise ProfileError(f"stereotype {name!r} needs at least one base class")
+    for base in base_classes:
+        if M.UML.find_class(base) is None:
+            raise ProfileError(
+                f"stereotype {name!r}: unknown UML base class {base!r}"
+            )
+    new_stereotype = M.Stereotype.create(name=name)
+    new_stereotype.set("baseClasses", base_classes)
+    if doc:
+        new_stereotype.doc = doc
+    if icon:
+        new_stereotype.icon = icon
+    owner.ownedStereotypes.append(new_stereotype)
+    return new_stereotype
+
+
+def tag_definition(
+    owner_stereotype: MObject,
+    name: str,
+    type: str = "string",
+    required: bool = False,
+    default: Optional[str] = None,
+) -> MObject:
+    """Add a tagged-value definition to a stereotype."""
+    tag = M.TagDefinition.create(name=name, type=type, required=required)
+    if default is not None:
+        tag.defaultValue = default
+    owner_stereotype.tagDefinitions.append(tag)
+    return tag
+
+
+def stereotype_constraint(
+    owner_stereotype: MObject,
+    name: str,
+    expression: str,
+    description: str = "",
+) -> MObject:
+    """Attach a constraint (OCL-lite text or ``python:<rule>``) to a stereotype."""
+    constraint = M.StereotypeConstraint.create(name=name, expression=expression)
+    if description:
+        constraint.description = description
+    owner_stereotype.constraints.append(constraint)
+    return constraint
+
+
+def find_stereotype(profile_element: MObject, name: str) -> Optional[MObject]:
+    for stereo in profile_element.ownedStereotypes:
+        if stereo.name == name:
+            return stereo
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Python rule registry (for constraints OCL cannot express)
+# ---------------------------------------------------------------------------
+
+_RULES: dict[str, Callable[[MObject, MObject], object]] = {}
+
+
+def register_rule(name: str):
+    """Decorator registering ``fn(element, application) -> bool | str``.
+
+    Returning ``True``/``None`` means satisfied; ``False`` means violated with
+    the constraint's description as message; a string is a custom message.
+    """
+
+    def decorator(fn):
+        _RULES[name] = fn
+        return fn
+
+    return decorator
+
+
+def rule(name: str) -> Callable[[MObject, MObject], object]:
+    try:
+        return _RULES[name]
+    except KeyError:
+        raise ProfileError(f"no registered profile rule named {name!r}") from None
+
+
+# ---------------------------------------------------------------------------
+# Application
+# ---------------------------------------------------------------------------
+
+_TAG_SLOTS = {
+    "string": "stringValue",
+    "integer": "integerValue",
+    "boolean": "booleanValue",
+    "real": "realValue",
+    "string_set": "stringValues",
+}
+
+
+def apply_stereotype(element: MObject, stereo: MObject, **tags) -> MObject:
+    """Apply ``stereo`` to ``element`` with tagged values.
+
+    Checks (raising :class:`ProfileError` subtypes):
+    * ``element``'s metaclass conforms to one of the stereotype's base classes;
+    * every passed tag is defined on the stereotype and type-conforms;
+    * required tags without defaults are present.
+    """
+    _check_base_class(element, stereo)
+    definitions = {tag.name: tag for tag in stereo.tagDefinitions}
+    for tag_name in tags:
+        if tag_name not in definitions:
+            raise TaggedValueError(
+                f"stereotype {stereo.name!r} defines no tag {tag_name!r}"
+            )
+    application = M.StereotypeApplication.create(stereotype=stereo)
+    for tag_name, definition in definitions.items():
+        if tag_name in tags:
+            value = tags[tag_name]
+        elif definition.defaultValue is not None:
+            value = _parse_default(definition)
+        elif definition.required:
+            raise TaggedValueError(
+                f"stereotype {stereo.name!r}: required tag {tag_name!r} missing"
+            )
+        else:
+            continue
+        application.tagValues.append(_make_tag_value(definition, value))
+    element.appliedStereotypes.append(application)
+    return application
+
+
+def _check_base_class(element: MObject, stereo: MObject) -> None:
+    for base_name in stereo.baseClasses:
+        base = M.UML.find_class(base_name)
+        if base is not None and element.is_instance_of(base):
+            return
+    raise BaseClassMismatchError(
+        f"stereotype {stereo.name!r} extends {list(stereo.baseClasses)!r}; "
+        f"cannot apply to a {element.metaclass.name}"
+    )
+
+
+def _make_tag_value(definition: MObject, value) -> MObject:
+    tag_value = M.TagValue.create(name=definition.name)
+    slot = _TAG_SLOTS[definition.type]
+    try:
+        if definition.type == "string_set":
+            tag_value.set(slot, [str(v) for v in value])
+        else:
+            tag_value.set(slot, value)
+    except Exception as exc:
+        raise TaggedValueError(
+            f"tag {definition.name!r}: value {value!r} does not conform to "
+            f"type {definition.type!r}"
+        ) from exc
+    return tag_value
+
+
+def _parse_default(definition: MObject):
+    raw = definition.defaultValue
+    kind = definition.type
+    if kind == "integer":
+        return int(raw)
+    if kind == "real":
+        return float(raw)
+    if kind == "boolean":
+        return raw.lower() in ("true", "1", "yes")
+    if kind == "string_set":
+        return [part.strip() for part in raw.split(",") if part.strip()]
+    return raw
+
+
+def unapply_stereotype(element: MObject, name: str) -> bool:
+    """Remove the first application of the named stereotype; True if removed."""
+    for application in element.appliedStereotypes:
+        if application.stereotype.name == name:
+            element.appliedStereotypes.remove(application)
+            return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Introspection
+# ---------------------------------------------------------------------------
+
+
+def applications(element: MObject) -> list[MObject]:
+    if not element.has_feature("appliedStereotypes"):
+        return []
+    return list(element.appliedStereotypes)
+
+
+def has_stereotype(element: MObject, name: str) -> bool:
+    return any(
+        app.stereotype is not None and app.stereotype.name == name
+        for app in applications(element)
+    )
+
+
+def application_of(element: MObject, name: str) -> Optional[MObject]:
+    for app in applications(element):
+        if app.stereotype is not None and app.stereotype.name == name:
+            return app
+    return None
+
+
+def stereotype_names(element: MObject) -> list[str]:
+    return [
+        app.stereotype.name
+        for app in applications(element)
+        if app.stereotype is not None
+    ]
+
+
+def get_tag(element: MObject, stereotype_name: str, tag_name: str):
+    """The Python value of a tagged value, or ``None`` when absent."""
+    application = application_of(element, stereotype_name)
+    if application is None:
+        return None
+    for tag_value in application.tagValues:
+        if tag_value.name == tag_name:
+            return _read_tag_value(tag_value)
+    return None
+
+
+def set_tag(element: MObject, stereotype_name: str, tag_name: str, value) -> None:
+    """Update (or create) a tagged value on an existing application."""
+    application = application_of(element, stereotype_name)
+    if application is None:
+        raise ProfileError(
+            f"element {element.label()!r} has no {stereotype_name!r} stereotype"
+        )
+    definitions = {
+        tag.name: tag for tag in application.stereotype.tagDefinitions
+    }
+    if tag_name not in definitions:
+        raise TaggedValueError(
+            f"stereotype {stereotype_name!r} defines no tag {tag_name!r}"
+        )
+    for tag_value in application.tagValues:
+        if tag_value.name == tag_name:
+            application.tagValues.remove(tag_value)
+            break
+    application.tagValues.append(
+        _make_tag_value(definitions[tag_name], value)
+    )
+
+
+def _read_tag_value(tag_value: MObject):
+    if len(tag_value.stringValues):
+        return list(tag_value.stringValues)
+    for slot in ("stringValue", "integerValue", "booleanValue", "realValue"):
+        value = tag_value.get(slot)
+        if value is not None:
+            return value
+    # a string_set tag explicitly set to [] round-trips as empty list
+    return []
+
+
+def elements_with_stereotype(root: MObject, name: str) -> list[MObject]:
+    """All elements under ``root`` carrying the named stereotype."""
+    return [obj for obj in walk(root) if has_stereotype(obj, name)]
+
+
+# ---------------------------------------------------------------------------
+# Validation of stereotype applications
+# ---------------------------------------------------------------------------
+
+
+def validate_applications(root: MObject) -> list[Diagnostic]:
+    """Re-check every stereotype application under ``root``.
+
+    Checks base-class conformance, required tags, and evaluates every
+    stereotype constraint (OCL-lite with ``self`` = the stereotyped element,
+    or a registered python rule receiving ``(element, application)``).
+    """
+    diagnostics: list[Diagnostic] = []
+    for element in walk(root):
+        if not element.has_feature("appliedStereotypes"):
+            continue
+        for application in element.appliedStereotypes:
+            stereo = application.stereotype
+            if stereo is None:
+                diagnostics.append(
+                    Diagnostic(
+                        Severity.ERROR,
+                        "stereotype application without a stereotype",
+                        element,
+                        "profile.application",
+                    )
+                )
+                continue
+            diagnostics.extend(_check_application(element, application, stereo))
+    return diagnostics
+
+
+def _check_application(element, application, stereo) -> list[Diagnostic]:
+    diagnostics: list[Diagnostic] = []
+    try:
+        _check_base_class(element, stereo)
+    except BaseClassMismatchError as exc:
+        diagnostics.append(
+            Diagnostic(Severity.ERROR, str(exc), element, "profile.baseclass")
+        )
+    present = {tag.name for tag in application.tagValues}
+    for definition in stereo.tagDefinitions:
+        if definition.required and definition.name not in present:
+            diagnostics.append(
+                Diagnostic(
+                    Severity.ERROR,
+                    f"required tag {definition.name!r} of "
+                    f"{stereo.name!r} missing",
+                    element,
+                    "profile.tags",
+                )
+            )
+    for constraint in stereo.constraints:
+        diagnostics.extend(
+            _check_constraint(element, application, stereo, constraint)
+        )
+    return diagnostics
+
+
+def _check_constraint(element, application, stereo, constraint) -> list[Diagnostic]:
+    expression = constraint.expression or "true"
+    label = f"{stereo.name}.{constraint.name}"
+    message = constraint.description or f"constraint {constraint.name} violated"
+    if expression.startswith("python:"):
+        rule_name = expression[len("python:"):]
+        try:
+            outcome = rule(rule_name)(element, application)
+        except ProfileError as exc:
+            return [Diagnostic(Severity.ERROR, str(exc), element, label)]
+        if outcome is True or outcome is None:
+            return []
+        text = outcome if isinstance(outcome, str) else message
+        return [Diagnostic(Severity.ERROR, text, element, label)]
+    try:
+        ok = OclExpression(expression).evaluate(
+            element, variables={"app": application}
+        )
+    except OclError as exc:
+        return [
+            Diagnostic(
+                Severity.ERROR,
+                f"constraint expression failed: {exc}",
+                element,
+                label,
+            )
+        ]
+    if ok is True:
+        return []
+    return [Diagnostic(Severity.ERROR, message, element, label)]

@@ -1,0 +1,97 @@
+"""Facade helpers for SysML-style requirement diagrams.
+
+The paper's ``DQ_Req_Specification`` elements are "Requirement type" elements
+with ``ID``/``Text`` tags, elaborated on requirements diagrams (Table 3,
+Fig. 5).  We model them as SysML-like requirements with derive / refine /
+satisfy / verify relationships.
+"""
+
+from __future__ import annotations
+
+from repro.core import MObject
+
+from . import metamodel as M
+
+
+def requirement(
+    owner: MObject, name: str, req_id: str = "", text: str = ""
+) -> MObject:
+    """Create a :class:`Requirement` packaged in ``owner``."""
+    req = M.Requirement.create(name=name)
+    if req_id:
+        req.reqId = req_id
+    if text:
+        req.text = text
+    owner.packagedElements.append(req)
+    return req
+
+
+def derive(derived: MObject, source: MObject) -> MObject:
+    """``derived`` <<deriveReqt>> from ``source`` (both Requirements)."""
+    if source not in derived.derivedFrom:
+        derived.derivedFrom.append(source)
+    return derived
+
+
+def refine(req: MObject, element: MObject) -> MObject:
+    """``element`` <<refine>>s ``req``."""
+    if element not in req.refinedBy:
+        req.refinedBy.append(element)
+    return req
+
+
+def satisfy(req: MObject, element: MObject) -> MObject:
+    """``element`` <<satisfy>>-es ``req`` (e.g. a design class)."""
+    if element not in req.satisfiedBy:
+        req.satisfiedBy.append(element)
+    return req
+
+
+def verify(req: MObject, element: MObject) -> MObject:
+    """``element`` <<verify>>-es ``req`` (e.g. a test case)."""
+    if element not in req.verifiedBy:
+        req.verifiedBy.append(element)
+    return req
+
+
+def trace(req: MObject, element: MObject) -> MObject:
+    if element not in req.tracedTo:
+        req.tracedTo.append(element)
+    return req
+
+
+def derivation_chain(req: MObject) -> list[MObject]:
+    """Transitive <<deriveReqt>> ancestors, nearest first, cycles tolerated."""
+    seen: list[MObject] = []
+    frontier = list(req.derivedFrom)
+    while frontier:
+        current = frontier.pop(0)
+        if current in seen:
+            continue
+        seen.append(current)
+        frontier.extend(current.derivedFrom)
+    return seen
+
+
+def coverage(requirements: list[MObject]) -> dict[str, list[MObject]]:
+    """Partition requirements by verification status.
+
+    Returns a dict with keys ``satisfied``, ``verified``, ``unsatisfied``,
+    ``unverified`` — the basis of requirement-coverage reporting.
+    """
+    buckets: dict[str, list[MObject]] = {
+        "satisfied": [],
+        "unsatisfied": [],
+        "verified": [],
+        "unverified": [],
+    }
+    for req in requirements:
+        if len(req.satisfiedBy):
+            buckets["satisfied"].append(req)
+        else:
+            buckets["unsatisfied"].append(req)
+        if len(req.verifiedBy):
+            buckets["verified"].append(req)
+        else:
+            buckets["unverified"].append(req)
+    return buckets

@@ -1,0 +1,69 @@
+"""Facade helpers for use case diagrams: actors, use cases, include/extend."""
+
+from __future__ import annotations
+
+from repro.core import MObject
+
+from . import metamodel as M
+
+
+def actor(owner: MObject, name: str) -> MObject:
+    """Create an :class:`Actor` packaged in ``owner``."""
+    new_actor = M.Actor.create(name=name)
+    owner.packagedElements.append(new_actor)
+    return new_actor
+
+
+def use_case(owner: MObject, name: str) -> MObject:
+    """Create a :class:`UseCase` packaged in ``owner``."""
+    new_case = M.UseCase.create(name=name)
+    owner.packagedElements.append(new_case)
+    return new_case
+
+
+def include(including: MObject, added: MObject) -> MObject:
+    """``including`` <<include>>s ``added`` (both UseCases).
+
+    This is the relationship the paper uses to attach ``InformationCase``
+    use cases to ``WebProcess`` use cases and ``DQ_Requirement`` use cases
+    to ``InformationCase`` use cases (Table 3).
+    """
+    link = M.Include.create(addition=added)
+    including.includes.append(link)
+    return link
+
+
+def extend(extension: MObject, extended: MObject, condition: str = "") -> MObject:
+    """``extension`` <<extend>>s ``extended``."""
+    link = M.Extend.create(extendedCase=extended)
+    if condition:
+        link.condition = condition
+    extension.extends.append(link)
+    return link
+
+
+def communicates(actor_element: MObject, case: MObject) -> MObject:
+    """Associate an actor with a use case (the diagram's plain line)."""
+    if actor_element not in case.actors:
+        case.actors.append(actor_element)
+    return case
+
+
+def included_cases(case: MObject) -> list[MObject]:
+    """Use cases that ``case`` includes (following Include.addition)."""
+    return [link.addition for link in case.includes]
+
+
+def including_cases(root: MObject, case: MObject) -> list[MObject]:
+    """Use cases anywhere under ``root`` that include ``case``."""
+    from repro.core import objects_of_type
+
+    result = []
+    for other in objects_of_type(root, M.UseCase):
+        if case in included_cases(other) and other not in result:
+            result.append(other)
+    return result
+
+
+def extended_cases(case: MObject) -> list[MObject]:
+    return [link.extendedCase for link in case.extends]

@@ -1,0 +1,30 @@
+"""``repro.webre`` — the WebRE metamodel and profile (paper §2.3, Table 2)."""
+
+from . import metamodel, profile, validation
+from .metamodel import (
+    TABLE2_ELEMENTS,
+    WEBRE,
+    Browse,
+    Content,
+    Navigation,
+    Node,
+    Search,
+    UserTransaction,
+    WebProcess,
+    WebREActivity,
+    WebREModel,
+    WebREUseCase,
+    WebUI,
+    WebUser,
+)
+from .profile import WEBRE_STEREOTYPES, build_webre_profile
+from .validation import build_webre_engine, validate
+
+__all__ = [
+    "metamodel", "profile", "validation",
+    "WEBRE", "TABLE2_ELEMENTS", "WEBRE_STEREOTYPES",
+    "WebREModel", "WebUser", "WebREUseCase", "Navigation", "WebProcess",
+    "WebREActivity", "Browse", "Search", "UserTransaction",
+    "Node", "Content", "WebUI",
+    "build_webre_profile", "build_webre_engine", "validate",
+]

@@ -1,0 +1,235 @@
+"""The WebRE metamodel (Escalona & Koch 2006) — the paper's §2.3 / Table 2.
+
+WebRE captures web requirements with two packages:
+
+* **Behavior** — ``WebUser`` plus two kinds of use case, ``Navigation`` and
+  ``WebProcess``, refined by the activities ``Browse``, ``Search`` and
+  ``UserTransaction``;
+* **Structure** — ``Node`` (a navigation point, shown as a page),
+  ``Content`` (where pieces of information are stored) and ``WebUI``
+  (the concept of web page).
+
+This module defines that metamodel over the kernel, exactly mirroring the
+element descriptions of the paper's Table 2, and adds a ``WebREModel`` root
+so requirements models form a single serializable containment tree.
+
+The DQ_WebRE extension (:mod:`repro.dqwebre.metamodel`) extends these
+packages with the seven DQ metaclasses of Fig. 1.
+"""
+
+from __future__ import annotations
+
+from repro.core import (
+    MANY,
+    STRING,
+    MetaPackage,
+    global_registry,
+)
+
+
+def build_webre_package(name: str = "webre", uri: str = "urn:repro:webre") -> MetaPackage:
+    """Construct the WebRE metamodel (Behavior + Structure packages)."""
+    webre = MetaPackage(name, uri)
+    behavior = MetaPackage("behavior", f"{uri}:behavior", parent=webre)
+    structure = MetaPackage("structure", f"{uri}:structure", parent=webre)
+
+    # ---- Structure package ---------------------------------------------
+    content = structure.define_class(
+        "Content",
+        doc="Represents where the different pieces of information are "
+            "stored.",
+    )
+    content.attribute("name", STRING, lower=1)
+    content.attribute(
+        "attributes", STRING, upper=MANY,
+        doc="The data fields stored in this content element "
+            "(e.g. first_name, overall_evaluation).",
+    )
+
+    web_ui = structure.define_class(
+        "WebUI", doc="Represents the concept of Web page."
+    )
+    web_ui.attribute("name", STRING, lower=1)
+    web_ui.attribute(
+        "fields", STRING, upper=MANY,
+        doc="Input fields presented by the page.",
+    )
+
+    node = structure.define_class(
+        "Node",
+        doc="Represents a point of navigation at which the user can find "
+            "information. Nodes are shown to the users as pages.",
+    )
+    node.attribute("name", STRING, lower=1)
+    node.reference(
+        "contents", content, upper=MANY,
+        doc="Information available at this node.",
+    )
+    node.reference("ui", web_ui, doc="The page rendering this node.")
+
+    # ---- Behavior package ------------------------------------------------
+    web_user = behavior.define_class(
+        "WebUser",
+        doc="Represents any user who interacts with the Web application.",
+    )
+    web_user.attribute("name", STRING, lower=1)
+    web_user.attribute("description", STRING)
+
+    activity = behavior.define_class(
+        "WebREActivity", abstract=True,
+        doc="Common base of the WebRE activity kinds.",
+    )
+    activity.attribute("name", STRING, lower=1)
+
+    browse = behavior.define_class(
+        "Browse", superclasses=[activity],
+        doc="Represents a normal browse activity in the system; it can be "
+            "improved by a Search activity. Each instance starts in a "
+            "source node and finishes in a target node.",
+    )
+    browse.reference("source", node, doc="The node the browse starts at.")
+    browse.reference(
+        "target", node, lower=1, doc="The node the browse reaches."
+    )
+
+    search = behavior.define_class(
+        "Search", superclasses=[browse],
+        doc="Has a set of parameters which define queries on the data "
+            "storage in Content; results are shown in the target node.",
+    )
+    search.attribute("parameters", STRING, upper=MANY)
+    search.reference(
+        "queries", content, lower=1, doc="The content being queried."
+    )
+
+    user_transaction = behavior.define_class(
+        "UserTransaction", superclasses=[activity],
+        doc="Represents complex activities that can be expressed in terms "
+            "of transactions initiated by users.",
+    )
+    user_transaction.reference(
+        "data", content, upper=MANY,
+        doc="The content elements this transaction reads or writes.",
+    )
+
+    use_case = behavior.define_class(
+        "WebREUseCase", abstract=True,
+        doc="Common base of Navigation and WebProcess.",
+    )
+    use_case.attribute("name", STRING, lower=1)
+    use_case.reference("user", web_user, doc="The initiating WebUser.")
+
+    navigation = behavior.define_class(
+        "Navigation", superclasses=[use_case],
+        doc="A use case comprising Browse activities the WebUser performs "
+            "to reach a target node.",
+    )
+    navigation.reference(
+        "target", node, lower=1, doc="The node the navigation reaches."
+    )
+    navigation.reference(
+        "browses", browse, upper=MANY, containment=True,
+        doc="The Browse activities composing this navigation.",
+    )
+
+    web_process = behavior.define_class(
+        "WebProcess", superclasses=[use_case],
+        doc="Models the main functionalities (normally business processes) "
+            "of the Web application; refined by Browse, Search and "
+            "UserTransaction activities.",
+    )
+    web_process.reference(
+        "activities", activity, upper=MANY, containment=True,
+        doc="The refining activities.",
+    )
+
+    # ---- Model root --------------------------------------------------------
+    model = webre.define_class(
+        "WebREModel", doc="Root of a WebRE requirements model."
+    )
+    model.attribute("name", STRING, lower=1)
+    model.reference("users", web_user, upper=MANY, containment=True)
+    model.reference("navigations", navigation, upper=MANY, containment=True)
+    model.reference("processes", web_process, upper=MANY, containment=True)
+    model.reference("nodes", node, upper=MANY, containment=True)
+    model.reference("contents", content, upper=MANY, containment=True)
+    model.reference("uis", web_ui, upper=MANY, containment=True)
+
+    return webre.resolve()
+
+
+#: The WebRE metamodel package (singleton).
+WEBRE = build_webre_package()
+global_registry.register(WEBRE)
+
+
+def _export(name: str):
+    metaclass = WEBRE.find_class(name)
+    assert metaclass is not None, name
+    return metaclass
+
+
+WebREModel = _export("WebREModel")
+WebUser = _export("WebUser")
+WebREUseCase = _export("WebREUseCase")
+Navigation = _export("Navigation")
+WebProcess = _export("WebProcess")
+WebREActivity = _export("WebREActivity")
+Browse = _export("Browse")
+Search = _export("Search")
+UserTransaction = _export("UserTransaction")
+Node = _export("Node")
+Content = _export("Content")
+WebUI = _export("WebUI")
+
+#: (element name, description) pairs exactly as in the paper's Table 2.
+TABLE2_ELEMENTS: tuple[tuple[str, str], ...] = (
+    (
+        "WebUser",
+        "Represents any user who interacts with the Web application.",
+    ),
+    (
+        "Navigation",
+        "Represents a specific use case which includes a set of \"Browse\" "
+        "type activities that the WebUser will be able to perform to reach "
+        "a target node.",
+    ),
+    (
+        "WebProcess",
+        "Models the main functionalities (normally business process) of "
+        "the Web application. It represents another use case which can be "
+        "refined by different Browse, Search and UserTransaction type "
+        "activities.",
+    ),
+    (
+        "Browse",
+        "Represents a normal browse activity in the system; it can be "
+        "improved by a Search activity.",
+    ),
+    (
+        "Search",
+        "It has a set of parameters, which allow us to define queries on "
+        "the data storage in \"Content\" metaclass. The results will be "
+        "shown in the target node.",
+    ),
+    (
+        "UserTransaction",
+        "Represents complex activities that can be expressed in terms of "
+        "transactions initiated by users.",
+    ),
+    (
+        "Node",
+        "Represents a point of navigation at which the user can find "
+        "information. Each instance of a Browse activity starts in a node "
+        "(source) and finishes in another node (target). The Nodes are "
+        "shown to the users as pages.",
+    ),
+    (
+        "Content",
+        "Represents where the different pieces of information are stored.",
+    ),
+    (
+        "WebUI",
+        "Represents the concept of Web page.",
+    ),
+)

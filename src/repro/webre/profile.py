@@ -1,0 +1,111 @@
+"""The WebRE UML profile (Escalona & Koch 2006).
+
+*"The UML profile for Web requirements engineering specifies how the concepts
+of the WebRE metamodel relate to, and are represented in, the UML standard,
+using stereotypes and constraints."* (paper §2.3)
+
+The mapping follows the original WebRE profile:
+
+===============  ==================
+WebRE concept    UML base class
+===============  ==================
+WebUser          Actor
+Navigation       UseCase
+WebProcess       UseCase
+Browse           Action
+Search           Action
+UserTransaction  Action
+Node             Class
+Content          Class
+WebUI            Class
+===============  ==================
+
+The DQ_WebRE profile (:mod:`repro.dqwebre.profile`) extends this one with
+the paper's seven new stereotypes (Table 3).
+"""
+
+from __future__ import annotations
+
+from repro.core import MObject
+from repro.uml import profiles
+
+
+def build_webre_profile() -> MObject:
+    """Construct the WebRE UML profile as a model object."""
+    prof = profiles.profile("WebRE", uri="urn:repro:profiles:webre")
+
+    profiles.stereotype(
+        prof, "WebUser", ["Actor"],
+        doc="Any user who interacts with the Web application.",
+    )
+
+    navigation = profiles.stereotype(
+        prof, "Navigation", ["UseCase"],
+        doc="A use case comprising Browse activities performed to reach a "
+            "target node.",
+    )
+    profiles.stereotype_constraint(
+        navigation,
+        "has-name",
+        "self.name <> null and self.name.size() > 0",
+        "a Navigation use case must be named",
+    )
+
+    web_process = profiles.stereotype(
+        prof, "WebProcess", ["UseCase"],
+        doc="A main functionality (business process) of the Web "
+            "application, refined by Browse, Search and UserTransaction "
+            "activities.",
+    )
+    profiles.stereotype_constraint(
+        web_process,
+        "has-name",
+        "self.name <> null and self.name.size() > 0",
+        "a WebProcess use case must be named",
+    )
+
+    profiles.stereotype(
+        prof, "Browse", ["Action"],
+        doc="A normal browse activity; starts at a source node and "
+            "finishes at a target node.",
+    )
+    search = profiles.stereotype(
+        prof, "Search", ["Action"],
+        doc="A parameterized query over a Content element, shown in the "
+            "target node.",
+    )
+    profiles.tag_definition(search, "parameters", "string_set")
+
+    profiles.stereotype(
+        prof, "UserTransaction", ["Action"],
+        doc="A complex activity expressed as a user-initiated transaction.",
+    )
+
+    profiles.stereotype(
+        prof, "Node", ["Class", "ObjectNode"],
+        doc="A point of navigation where the user finds information; shown "
+            "as a page.",
+    )
+    profiles.stereotype(
+        prof, "Content", ["Class", "ObjectNode"],
+        doc="Where the different pieces of information are stored.",
+    )
+    profiles.stereotype(
+        prof, "WebUI", ["Class", "ObjectNode"],
+        doc="The concept of Web page.",
+    )
+    return prof
+
+
+#: The nine WebRE stereotype names in Table 2 order.
+WEBRE_STEREOTYPES: tuple[str, ...] = (
+    "WebUser",
+    "Navigation",
+    "WebProcess",
+    "Browse",
+    "Search",
+    "UserTransaction",
+    "Node",
+    "Content",
+    "WebUI",
+)

@@ -1,0 +1,111 @@
+"""Well-formedness rules for WebRE requirements models.
+
+Beyond the kernel's multiplicity checking (which already enforces e.g. a
+``Navigation`` having a target node and a ``Search`` querying a Content),
+these rules capture the structural conventions of the WebRE literature.
+"""
+
+from __future__ import annotations
+
+from repro.core import (
+    ConstraintEngine,
+    MObject,
+    Severity,
+    ValidationReport,
+)
+
+from . import metamodel as M
+
+
+def build_webre_engine() -> ConstraintEngine:
+    """A constraint engine loaded with the WebRE well-formedness rules."""
+    engine = ConstraintEngine()
+
+    engine.constraint(
+        "navigation-has-browses",
+        M.Navigation,
+        "self.browses->notEmpty()",
+        "a Navigation should include at least one Browse activity",
+        severity=Severity.WARNING,
+    )
+    engine.constraint(
+        "webprocess-has-activities",
+        M.WebProcess,
+        "self.activities->notEmpty()",
+        "a WebProcess should be refined by at least one activity",
+        severity=Severity.WARNING,
+    )
+    engine.constraint(
+        "browse-target-differs-from-source",
+        M.Browse,
+        lambda browse: (
+            browse.source is None
+            or browse.source is not browse.target
+            or "a Browse should move between distinct nodes"
+        ),
+        severity=Severity.WARNING,
+    )
+    engine.constraint(
+        "search-has-parameters",
+        M.Search,
+        "self.parameters->notEmpty()",
+        "a Search without parameters queries everything",
+        severity=Severity.WARNING,
+    )
+    engine.constraint(
+        "transaction-touches-data",
+        M.UserTransaction,
+        "self.data->notEmpty()",
+        "a UserTransaction should read or write at least one Content",
+        severity=Severity.WARNING,
+    )
+    engine.constraint(
+        "model-has-users",
+        M.WebREModel,
+        "self.users->notEmpty()",
+        "a requirements model should identify its WebUsers",
+        severity=Severity.WARNING,
+    )
+    engine.constraint(
+        "content-has-attributes",
+        M.Content,
+        "self.attributes->notEmpty()",
+        "a Content element without attributes stores nothing",
+        severity=Severity.WARNING,
+    )
+    engine.constraint(
+        "node-serves-content-or-ui",
+        M.Node,
+        "self.contents->notEmpty() or self.ui <> null",
+        "a Node should expose contents or be rendered by a WebUI",
+        severity=Severity.INFO,
+    )
+
+    def _use_case_names_unique(model: MObject):
+        names: dict[str, int] = {}
+        for case in list(model.navigations) + list(model.processes):
+            if case.name:
+                names[case.name] = names.get(case.name, 0) + 1
+        duplicated = sorted(n for n, c in names.items() if c > 1)
+        if duplicated:
+            return f"duplicate use case names: {', '.join(duplicated)}"
+        return True
+
+    engine.constraint(
+        "use-case-names-unique",
+        M.WebREModel,
+        _use_case_names_unique,
+        severity=Severity.ERROR,
+    )
+    return engine
+
+
+_ENGINE: ConstraintEngine | None = None
+
+
+def validate(model: MObject) -> ValidationReport:
+    """Validate a WebRE model against the standard rule set."""
+    global _ENGINE
+    if _ENGINE is None:
+        _ENGINE = build_webre_engine()
+    return _ENGINE.validate(model)

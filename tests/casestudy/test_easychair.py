@@ -1,0 +1,288 @@
+"""Tests for the EasyChair case study — the paper's §4 walked end to end."""
+
+import pytest
+
+from repro.casestudy import easychair
+from repro.dq.metadata import Clock
+from repro.dqwebre import validate
+from repro.dqwebre import metamodel as DQ
+from repro.uml.profiles import (
+    get_tag,
+    has_stereotype,
+    stereotype_names,
+    validate_applications,
+)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return easychair.build_requirements_model()
+
+
+@pytest.fixture(scope="module")
+def uml_case():
+    return easychair.build_uml_model()
+
+
+class TestRequirementsModel:
+    def test_three_roles(self, model):
+        assert {u.name for u in model.users} == {
+            "Author", "PC member", "Chair",
+        }
+
+    def test_paper_functionalities_present(self, model):
+        names = {p.name for p in model.processes}
+        assert "Submit paper" in names
+        assert "Assign papers to reviewers" in names
+        assert "Add new review to submission" in names
+
+    def test_five_user_transactions_of_fig7(self, model):
+        review = [
+            p for p in model.processes
+            if p.name == "Add new review to submission"
+        ][0]
+        transaction_names = {
+            a.name for a in review.activities
+            if a.is_instance_of(DQ.DQWEBRE.find_class("UserTransaction"))
+            or a.metaclass.name == "UserTransaction"
+        }
+        assert {
+            "add reviewer information",
+            "add evaluation scores",
+            "add additional scores",
+            "add detailed information of review",
+            "add comments for PC",
+        } <= transaction_names
+
+    def test_information_case_of_fig6(self, model):
+        assert len(model.information_cases) == 1
+        case = model.information_cases[0]
+        assert case.name == "Add all data as result of review"
+        assert case.web_processes[0].name == "Add new review to submission"
+        assert len(case.contents) == 5
+
+    def test_four_dq_requirements(self, model):
+        characteristics = {
+            r.characteristic for r in model.dq_requirements
+        }
+        assert characteristics == {
+            "Confidentiality", "Completeness", "Traceability", "Precision",
+        }
+
+    def test_requirement_statements_match_paper(self, model):
+        statements = {r.characteristic: r.statement
+                      for r in model.dq_requirements}
+        assert statements["Confidentiality"] == (
+            "check that data will be accessed only by authorized users"
+        )
+        assert statements["Completeness"] == (
+            "verify that all data have been completed by reviewer"
+        )
+        assert statements["Traceability"] == (
+            "check who is able to add or change a revision"
+        )
+        assert statements["Precision"] == (
+            "validate the score assigned to each topic of revision"
+        )
+
+    def test_metadata_attributes_of_fig7(self, model):
+        metadata = model.dq_metadata_classes[0]
+        assert set(metadata.dq_metadata) == {
+            "stored_by", "stored_date", "last_modified_by",
+            "last_modified_date", "security_level", "available_to",
+        }
+
+    def test_validator_operations_of_fig7(self, model):
+        validator = model.dq_validators[0]
+        assert set(validator.operations) == {
+            "check_completeness", "check_precision",
+        }
+        assert validator.validates[0].name == "webpage of New Review"
+
+    def test_score_constraints(self, model):
+        fields = {
+            constraint.dq_constraint[0]: (
+                constraint.lower_bound, constraint.upper_bound,
+            )
+            for constraint in model.dq_constraints
+        }
+        assert fields == dict(easychair.SCORE_BOUNDS)
+
+    def test_two_add_dq_metadata_activities(self, model):
+        names = {a.name for a in model.add_dq_metadata_activities}
+        assert names == {
+            "store metadata of traceability",
+            "add metadata about confidentiality",
+        }
+        for activity in model.add_dq_metadata_activities:
+            assert len(activity.user_transactions) == 5
+
+    def test_model_is_well_formed(self, model):
+        report = validate(model)
+        assert report.ok
+        # the two non-review processes legitimately have no activities yet
+        assert len(report.warnings) <= 2
+
+
+class TestUmlModel:
+    def test_fig6_stereotypes(self, uml_case):
+        assert has_stereotype(uml_case["web_process"], "WebProcess")
+        assert has_stereotype(uml_case["information_case"], "InformationCase")
+        for case in uml_case["dq_requirements"].values():
+            assert has_stereotype(case, "DQ_Requirement")
+
+    def test_fig6_includes(self, uml_case):
+        from repro.uml.usecases import included_cases
+
+        process = uml_case["web_process"]
+        assert uml_case["information_case"] in included_cases(process)
+        for case in uml_case["dq_requirements"].values():
+            assert uml_case["information_case"] in included_cases(case)
+
+    def test_fig7_activity_stereotypes(self, uml_case):
+        names = [n.name for n in uml_case["activity"].nodes]
+        assert "store metadata of traceability" in names
+        assert "add metadata about confidentiality" in names
+        stereos = set()
+        for node in uml_case["activity"].nodes:
+            stereos.update(stereotype_names(node))
+        assert "UserTransaction" in stereos
+        assert "Add_DQ_Metadata" in stereos
+        assert "WebUI" in stereos
+
+    def test_fig7_well_formed(self, uml_case):
+        from repro.uml.activities import is_well_formed
+
+        assert is_well_formed(uml_case["activity"]) == []
+
+    def test_profile_applications_validate_clean(self, uml_case):
+        assert validate_applications(uml_case["model"]) == []
+
+    def test_spec_elements_tagged(self, uml_case):
+        spec = uml_case["specs"]["Completeness"]
+        assert get_tag(spec, "DQ_Req_Specification", "ID") is not None
+        assert "reviewer" in get_tag(spec, "DQ_Req_Specification", "Text")
+
+    def test_dq_metadata_class_tag(self, uml_case):
+        from repro.uml.profiles import elements_with_stereotype
+
+        tagged = elements_with_stereotype(uml_case["model"], "DQ_Metadata")
+        assert len(tagged) == 1
+        names = get_tag(tagged[0], "DQ_Metadata", "DQ_metadata")
+        assert "stored_by" in names and "security_level" in names
+
+
+class TestApplication:
+    def test_complete_review_accepted(self):
+        app = easychair.build_app(Clock())
+        response = app.post(
+            easychair.REVIEW_PATH, easychair.complete_review(),
+            user="pc_member_1",
+        )
+        assert response.status == 201
+
+    def test_four_dqrs_enforced(self):
+        app = easychair.build_app(Clock())
+        # Completeness
+        incomplete = dict(easychair.complete_review())
+        incomplete["email_address"] = ""
+        assert app.post(
+            easychair.REVIEW_PATH, incomplete, user="pc_member_1"
+        ).status == 422
+        # Precision
+        imprecise = easychair.complete_review(overall=9)
+        assert app.post(
+            easychair.REVIEW_PATH, imprecise, user="pc_member_1"
+        ).status == 422
+        # Confidentiality (write)
+        assert app.post(
+            easychair.REVIEW_PATH, easychair.complete_review(),
+            user="outsider",
+        ).status == 403
+        # Traceability
+        accepted = app.post(
+            easychair.REVIEW_PATH, easychair.complete_review(),
+            user="pc_member_1",
+        )
+        record = app.store.entity(
+            "Add all data as result of review"
+        ).get(accepted.body["id"])
+        assert record.metadata.stored_by == "pc_member_1"
+        assert app.audit.who_changed(
+            "Add all data as result of review", accepted.body["id"]
+        ) == ["pc_member_1"]
+
+    def test_confidential_reads(self):
+        app = easychair.build_app(Clock())
+        app.post(
+            easychair.REVIEW_PATH, easychair.complete_review(),
+            user="pc_member_1",
+        )
+        assert len(app.get(easychair.REVIEW_LIST_PATH, user="chair").body) == 1
+        assert len(
+            app.get(easychair.REVIEW_LIST_PATH, user="author_1").body
+        ) == 0
+
+    def test_baseline_accepts_everything(self):
+        baseline = easychair.build_baseline(Clock())
+        junk = {"overall_evaluation": 999}
+        assert baseline.post(
+            easychair.REVIEW_PATH, junk, user="outsider"
+        ).status == 201
+
+
+class TestWorkload:
+    def test_deterministic(self):
+        from repro.casestudy.workloads import ReviewWorkload
+
+        first = list(ReviewWorkload(seed=3).generate(20))
+        second = list(ReviewWorkload(seed=3).generate(20))
+        assert [s.data for s in first] == [s.data for s in second]
+        assert [s.defects for s in first] == [s.defects for s in second]
+
+    def test_defect_rates_validated(self):
+        from repro.casestudy.workloads import ReviewWorkload
+
+        with pytest.raises(ValueError):
+            ReviewWorkload(missing_rate=1.5)
+
+    def test_zero_rates_all_clean(self):
+        from repro.casestudy.workloads import ReviewWorkload
+
+        workload = ReviewWorkload(
+            seed=1, missing_rate=0, out_of_range_rate=0, unauthorized_rate=0
+        )
+        submissions = list(workload.generate(30))
+        assert all(s.clean for s in submissions)
+
+    def test_dq_app_catches_everything(self):
+        from repro.casestudy.workloads import ReviewWorkload
+
+        app = easychair.build_app(Clock())
+        outcome = ReviewWorkload(seed=5).run(app, 150)
+        assert outcome.submitted == 150
+        assert outcome.false_accepts == 0
+        assert outcome.false_rejects == 0
+        assert outcome.catch_rate == 1.0
+
+    def test_baseline_catches_nothing(self):
+        from repro.casestudy.workloads import ReviewWorkload
+
+        baseline = easychair.build_baseline(Clock())
+        outcome = ReviewWorkload(seed=5).run(baseline, 150)
+        assert outcome.rejected_dq == 0
+        assert outcome.rejected_auth == 0
+        assert outcome.false_accepts > 0
+
+    def test_comparison_shape(self):
+        from repro.casestudy.workloads import compare_dq_vs_baseline
+
+        comparison = compare_dq_vs_baseline(
+            easychair.build_app(Clock()),
+            easychair.build_baseline(Clock()),
+            count=120,
+            seed=11,
+        )
+        assert comparison["defects_stored_by_dq"] == 0
+        assert comparison["defects_stored_by_baseline"] > 0
+        assert "catch rate" in comparison["dq"].render()

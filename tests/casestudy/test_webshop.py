@@ -1,0 +1,201 @@
+"""Tests for the web-shop case study (the BI scenario of the paper's §1)."""
+
+import pytest
+
+from repro.casestudy import webshop
+from repro.dq.metadata import Clock
+from repro.dqwebre import assess, validate
+from repro.dqwebre.methodology import StepStatus
+
+
+@pytest.fixture(scope="module")
+def model():
+    return webshop.build_requirements_model()
+
+
+@pytest.fixture()
+def app():
+    return webshop.build_app(Clock())
+
+
+class TestModel:
+    def test_well_formed(self, model):
+        report = validate(model)
+        assert report.ok, report.render()
+
+    def test_methodologically_complete(self, model):
+        report = assess(model)
+        assert report.complete, report.render()
+        assert report.step("S8").status is StepStatus.DONE
+
+    def test_six_characteristics(self, model):
+        characteristics = {r.characteristic for r in model.dq_requirements}
+        assert characteristics == {
+            "Accuracy", "Currentness", "Completeness", "Precision",
+            "Credibility", "Consistency",
+        }
+
+    def test_two_information_cases(self, model):
+        assert len(model.information_cases) == 2
+
+
+class TestDesignRefinement:
+    def test_patterns_filled(self, model):
+        design = webshop.build_design(model)
+        format_specs = [v for v in design.validators if v.kind == "format"]
+        assert format_specs
+        patterns = list(format_specs[0].patterns)
+        assert any(p.startswith("email=") for p in patterns)
+        assert any(p.startswith("postcode=") for p in patterns)
+
+    def test_trusted_sources_filled(self, model):
+        design = webshop.build_design(model)
+        credibility = [
+            v for v in design.validators if v.kind == "credibility"
+        ][0]
+        assert set(credibility.trusted_sources) == set(
+            webshop.TRUSTED_CHANNELS
+        )
+
+    def test_currentness_age_filled(self, model):
+        design = webshop.build_design(model)
+        currentness = [
+            v for v in design.validators if v.kind == "currentness"
+        ][0]
+        assert currentness.max_age == webshop.MAX_PROFILE_AGE_DAYS
+
+    def test_bounds_from_constraints(self, model):
+        design = webshop.build_design(model)
+        precision = [v for v in design.validators if v.kind == "precision"][0]
+        bounds = {b.field: (b.lower, b.upper) for b in precision.bounds}
+        assert bounds == dict(webshop.ORDER_BOUNDS)
+
+
+class TestCustomerForm:
+    def test_valid_customer_accepted(self, app):
+        response = app.post(
+            webshop.CUSTOMER_PATH, webshop.valid_customer(), user="clerk"
+        )
+        assert response.status == 201
+
+    def test_bad_email_rejected(self, app):
+        response = app.post(
+            webshop.CUSTOMER_PATH,
+            webshop.valid_customer(email="not-an-email"),
+            user="clerk",
+        )
+        assert response.status == 422
+        assert any("email" in f for f in response.body["dq_findings"])
+
+    def test_bad_postcode_rejected(self, app):
+        response = app.post(
+            webshop.CUSTOMER_PATH,
+            webshop.valid_customer(postcode="ABC"),
+            user="clerk",
+        )
+        assert response.status == 422
+
+    def test_stale_profile_rejected(self, app):
+        response = app.post(
+            webshop.CUSTOMER_PATH,
+            webshop.valid_customer(profile_age_days=9999),
+            user="integration_bot",
+        )
+        assert response.status == 422
+
+
+class TestOrderForm:
+    def test_valid_order_accepted(self, app):
+        response = app.post(
+            webshop.ORDER_PATH, webshop.valid_order(), user="clerk"
+        )
+        assert response.status == 201
+
+    def test_incomplete_order_rejected(self, app):
+        response = app.post(
+            webshop.ORDER_PATH, webshop.valid_order(sku=None), user="clerk"
+        )
+        assert response.status == 422
+
+    def test_imprecise_quantity_rejected(self, app):
+        bad = webshop.valid_order(quantity=5000, total_cents=5000 * 1999)
+        response = app.post(webshop.ORDER_PATH, bad, user="clerk")
+        assert response.status == 422
+
+    def test_untrusted_channel_rejected(self, app):
+        response = app.post(
+            webshop.ORDER_PATH,
+            webshop.valid_order(channel="darkweb"),
+            user="clerk",
+        )
+        assert response.status == 422
+
+    def test_incoherent_total_rejected(self, app):
+        response = app.post(
+            webshop.ORDER_PATH,
+            webshop.valid_order(total_cents=1),
+            user="clerk",
+        )
+        assert response.status == 422
+        assert any(
+            "total_cents" in f for f in response.body["dq_findings"]
+        )
+
+    def test_consistency_accepts_matching_total(self, app):
+        order = webshop.valid_order(
+            quantity=3, unit_price_cents=100, total_cents=300
+        )
+        assert app.post(webshop.ORDER_PATH, order, user="clerk").status == 201
+
+
+class TestBaselineContrast:
+    def test_baseline_stores_all_defects(self):
+        baseline = webshop.build_baseline(Clock())
+        defective = [
+            webshop.valid_customer(email="junk"),
+            webshop.valid_customer(profile_age_days=9999),
+        ]
+        for record in defective:
+            assert baseline.post(
+                webshop.CUSTOMER_PATH, record, user="clerk"
+            ).status == 201
+        assert baseline.post(
+            webshop.ORDER_PATH,
+            webshop.valid_order(total_cents=1, channel="darkweb"),
+            user="clerk",
+        ).status == 201
+
+    def test_provenance_captured_on_accepts(self, app):
+        created = app.post(
+            webshop.ORDER_PATH, webshop.valid_order(), user="clerk"
+        )
+        record = app.store.entity("Manage order data").get(created.body["id"])
+        assert record.metadata.stored_by == "clerk"
+
+
+class TestGeneratedEquivalence:
+    def test_generated_module_matches_direct_build(self):
+        from repro.transform.codegen import generate_app_module
+
+        design = webshop.build_design()
+        source = generate_app_module(design)
+        assert "OclConsistencyValidator" in source
+        namespace = {}
+        exec(compile(source, "webshop_generated.py", "exec"), namespace)
+        generated = namespace["build_app"](Clock())
+        generated.add_user("clerk", 1)
+        direct = webshop.build_app(Clock())
+        probes = [
+            (webshop.ORDER_PATH, webshop.valid_order()),
+            (webshop.ORDER_PATH, webshop.valid_order(total_cents=1)),
+            (webshop.ORDER_PATH, webshop.valid_order(channel="darkweb")),
+            (webshop.ORDER_PATH, webshop.valid_order(quantity=5000)),
+            (webshop.CUSTOMER_PATH, webshop.valid_customer()),
+            (webshop.CUSTOMER_PATH, webshop.valid_customer(email="junk")),
+            (webshop.CUSTOMER_PATH,
+             webshop.valid_customer(profile_age_days=9999)),
+        ]
+        for path, data in probes:
+            left = generated.post(path, data, user="clerk").status
+            right = direct.post(path, data, user="clerk").status
+            assert left == right, (path, data, left, right)

@@ -1,0 +1,55 @@
+"""Shared fixture: a small, well-formed DQ_WebRE model (builder flavour)."""
+
+import pytest
+
+from repro.dqwebre import DQWebREBuilder
+
+
+@pytest.fixture()
+def builder():
+    """A minimal valid model: one process, one IC, two DQ requirements."""
+    builder = DQWebREBuilder("Shop")
+    customer = builder.web_user("Customer")
+    profile = builder.content(
+        "customer profile", ["name", "email", "birth_year"]
+    )
+    page = builder.web_ui("profile page", ["name", "email", "birth_year"])
+    process = builder.web_process("Manage profile", user=customer)
+    transaction = builder.user_transaction(
+        process, "edit profile", [profile]
+    )
+    case = builder.information_case(
+        "Manage profile data", [process], [profile], user=customer
+    )
+    builder.dq_requirement(
+        "Complete profiles", case, "Completeness",
+        "all profile fields must be filled",
+    )
+    builder.dq_requirement(
+        "Plausible birth years", case, "Precision",
+        "birth_year must be plausible",
+    )
+    metadata = builder.dq_metadata(
+        "profile metadata", ["stored_by", "stored_date"], [profile]
+    )
+    validator = builder.dq_validator(
+        "profile validator", ["check_completeness", "check_precision"],
+        [page],
+    )
+    builder.dq_constraint(
+        "birth year bounds", validator, ["birth_year"], 1900, 2026
+    )
+    builder.add_dq_metadata(
+        "store provenance", metadata, ["stored_by"], [transaction]
+    )
+    builder._fixture_refs = {
+        "customer": customer,
+        "profile": profile,
+        "page": page,
+        "process": process,
+        "transaction": transaction,
+        "case": case,
+        "metadata": metadata,
+        "validator": validator,
+    }
+    return builder

@@ -1,0 +1,78 @@
+"""Shared fixtures: a small 'library' metamodel exercising every kernel feature."""
+
+import pytest
+
+from repro.core import (
+    BOOLEAN,
+    INTEGER,
+    MANY,
+    REAL,
+    STRING,
+    MetaAttribute,
+    MetaEnum,
+    MetaPackage,
+    MetaReference,
+)
+
+
+@pytest.fixture()
+def library_package():
+    """Library metamodel: Library contains Books and Members; loans cross-ref."""
+    pkg = MetaPackage("library", "urn:test:library")
+    genre = pkg.define_enum("Genre", ["novel", "poetry", "reference"])
+
+    book = pkg.define_class("Book")
+    book.add_attribute(MetaAttribute("name", STRING, lower=1))
+    book.add_attribute(MetaAttribute("pages", INTEGER, default=0))
+    book.add_attribute(MetaAttribute("price", REAL))
+    book.add_attribute(MetaAttribute("genre", genre, default="novel"))
+    book.add_attribute(MetaAttribute("tags", STRING, upper=MANY))
+    book.add_attribute(MetaAttribute("available", BOOLEAN, default=True))
+
+    member = pkg.define_class("Member")
+    member.add_attribute(MetaAttribute("name", STRING, lower=1))
+    member.add_reference(
+        MetaReference("borrowed", book, upper=MANY, opposite="borrower")
+    )
+    book.add_reference(MetaReference("borrower", member))
+
+    library = pkg.define_class("Library")
+    library.add_attribute(MetaAttribute("name", STRING, lower=1))
+    library.add_reference(
+        MetaReference("books", book, upper=MANY, containment=True, opposite="library")
+    )
+    book.add_reference(MetaReference("library", library))
+    library.add_reference(
+        MetaReference("members", member, upper=MANY, containment=True)
+    )
+    library.add_reference(MetaReference("featured", book))
+
+    rare_book = pkg.define_class("RareBook", superclasses=[book])
+    rare_book.add_attribute(MetaAttribute("appraisal", REAL, lower=1, default=0.0))
+
+    return pkg.resolve()
+
+
+@pytest.fixture()
+def classes(library_package):
+    return {
+        "Library": library_package.find_class("Library"),
+        "Book": library_package.find_class("Book"),
+        "RareBook": library_package.find_class("RareBook"),
+        "Member": library_package.find_class("Member"),
+    }
+
+
+@pytest.fixture()
+def sample_library(classes):
+    """A populated library with two books, a rare book and a member with a loan."""
+    library = classes["Library"].create(name="Civic")
+    hamlet = classes["Book"].create(name="Hamlet", pages=200, price=9.5, genre="poetry")
+    dune = classes["Book"].create(name="Dune", pages=600, price=12.0)
+    folio = classes["RareBook"].create(name="First Folio", appraisal=100000.0, pages=900)
+    alice = classes["Member"].create(name="Alice")
+    library.books.extend([hamlet, dune, folio])
+    library.members.append(alice)
+    alice.borrowed.append(dune)
+    library.featured = hamlet
+    return library

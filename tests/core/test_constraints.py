@@ -1,0 +1,203 @@
+"""Unit tests for the constraint engine (repro.core.constraints)."""
+
+import pytest
+
+from repro.core import (
+    Constraint,
+    ConstraintEngine,
+    Severity,
+    assert_valid,
+)
+from repro.core.errors import ValidationFailed
+
+
+@pytest.fixture()
+def engine(classes):
+    engine = ConstraintEngine()
+    engine.constraint(
+        "pages-positive",
+        classes["Book"],
+        "self.pages >= 0",
+        "pages must be non-negative",
+    )
+    engine.constraint(
+        "has-a-name",
+        classes["Book"],
+        lambda book: bool(book.name),
+        "books must be named",
+    )
+    return engine
+
+
+class TestConstraint:
+    def test_ocl_constraint_pass_and_fail(self, classes):
+        constraint = Constraint(
+            "cheap", classes["Book"], "self.price < 100", "too expensive"
+        )
+        cheap = classes["Book"].create(name="A", price=5.0)
+        pricey = classes["Book"].create(name="B", price=500.0)
+        assert constraint.check(cheap) is None
+        diagnostic = constraint.check(pricey)
+        assert diagnostic is not None
+        assert diagnostic.message == "too expensive"
+        assert diagnostic.severity == Severity.ERROR
+
+    def test_predicate_constraint_custom_message(self, classes):
+        constraint = Constraint(
+            "named",
+            classes["Book"],
+            lambda b: True if b.name else f"unnamed book {b.id}",
+        )
+        anonymous = classes["Book"].create()
+        diagnostic = constraint.check(anonymous)
+        assert "unnamed book" in diagnostic.message
+
+    def test_predicate_none_means_ok(self, classes):
+        constraint = Constraint("noop", classes["Book"], lambda b: None)
+        assert constraint.check(classes["Book"].create(name="X")) is None
+
+    def test_broken_ocl_reports_error_diagnostic(self, classes):
+        constraint = Constraint(
+            "broken", classes["Book"], "self.zzz->size() > 0"
+        )
+        diagnostic = constraint.check(classes["Book"].create(name="X"))
+        assert diagnostic is not None
+        assert "failed" in diagnostic.message
+
+    def test_applies_to_respects_inheritance(self, classes):
+        constraint = Constraint("x", classes["Book"], "true")
+        rare = classes["RareBook"].create(name="F", appraisal=1.0)
+        member = classes["Member"].create(name="M")
+        assert constraint.applies_to(rare)
+        assert not constraint.applies_to(member)
+
+    def test_warning_severity(self, classes):
+        constraint = Constraint(
+            "advice",
+            classes["Book"],
+            "self.pages > 10",
+            "thin book",
+            severity=Severity.WARNING,
+        )
+        pamphlet = classes["Book"].create(name="P", pages=2)
+        assert constraint.check(pamphlet).severity == Severity.WARNING
+
+
+class TestEngine:
+    def test_valid_model_passes(self, engine, sample_library):
+        report = engine.validate(sample_library)
+        assert report.ok
+        assert report.objects_checked == 5
+        assert not report.diagnostics
+
+    def test_violations_reported(self, engine, sample_library):
+        sample_library.books[0].set("pages", -5)
+        report = engine.validate(sample_library)
+        assert not report.ok
+        assert len(report.errors) == 1
+        assert report.by_constraint("pages-positive")
+
+    def test_multiplicity_checked_by_default(self, engine, classes):
+        lib = classes["Library"].create(name="L")
+        lib.books.append(classes["Book"].create())  # unnamed: name is 1..1
+        report = engine.validate(lib)
+        assert any(d.constraint == "multiplicity" for d in report.diagnostics)
+        # the lambda 'has-a-name' also fires
+        assert report.by_constraint("has-a-name")
+
+    def test_multiplicity_check_can_be_disabled(self, classes):
+        engine = ConstraintEngine(check_multiplicities=False)
+        lib = classes["Library"].create(name="L")
+        lib.books.append(classes["Book"].create())
+        assert engine.validate(lib).ok
+
+    def test_validate_object_ignores_children(self, engine, sample_library):
+        sample_library.books[0].set("pages", -5)
+        report = engine.validate_object(sample_library)
+        assert report.ok  # the bad book is a child, not validated here
+
+    def test_include_root_false(self, engine, classes):
+        book = classes["Book"].create()  # missing name
+        report = engine.validate(book, include_root=False)
+        assert report.ok
+
+    def test_constraints_property_copies(self, engine):
+        listed = engine.constraints
+        listed.clear()
+        assert engine.constraints  # internal list untouched
+
+    def test_add_all(self, classes):
+        engine = ConstraintEngine()
+        engine.add_all(
+            [
+                Constraint("a", classes["Book"], "true"),
+                Constraint("b", classes["Book"], "true"),
+            ]
+        )
+        assert len(engine.constraints) == 2
+
+
+class TestReport:
+    def test_render_ok(self, engine, sample_library):
+        report = engine.validate(sample_library)
+        assert "OK" in report.render()
+
+    def test_render_findings_sorted_by_severity(self, engine, classes):
+        engine.constraint(
+            "thin",
+            classes["Book"],
+            "self.pages > 10",
+            "thin",
+            severity=Severity.WARNING,
+        )
+        lib = classes["Library"].create(name="L")
+        lib.books.append(classes["Book"].create(name="B", pages=1))
+        lib.books.append(classes["Book"].create(pages=50))  # unnamed -> error
+        report = engine.validate(lib)
+        rendered = report.render()
+        assert rendered.index("ERROR") < rendered.index("WARNING")
+        assert "error(s)" in rendered
+
+    def test_severity_buckets(self, engine, classes):
+        engine.constraint(
+            "hint",
+            classes["Book"],
+            "self.pages > 100",
+            severity=Severity.INFO,
+        )
+        lib = classes["Library"].create(name="L")
+        lib.books.append(classes["Book"].create(name="B", pages=5))
+        report = engine.validate(lib)
+        assert len(report.infos) == 1
+        assert len(report.errors) == 0
+
+    def test_diagnostic_location_and_render(self, engine, sample_library):
+        sample_library.books[0].set("pages", -1)
+        diagnostic = engine.validate(sample_library).errors[0]
+        assert "Civic/Hamlet" in diagnostic.location()
+        assert "pages must be non-negative" in diagnostic.render()
+
+
+class TestAssertValid:
+    def test_passes_through_clean_report(self, engine, sample_library):
+        report = engine.validate(sample_library)
+        assert assert_valid(report) is report
+
+    def test_raises_on_errors(self, engine, sample_library):
+        sample_library.books[0].set("pages", -1)
+        report = engine.validate(sample_library)
+        with pytest.raises(ValidationFailed) as excinfo:
+            assert_valid(report, "library model")
+        assert "library model" in str(excinfo.value)
+        assert excinfo.value.diagnostics
+
+    def test_warnings_do_not_raise(self, classes):
+        engine = ConstraintEngine()
+        engine.constraint(
+            "thin",
+            classes["Book"],
+            "self.pages > 10",
+            severity=Severity.WARNING,
+        )
+        book = classes["Book"].create(name="B", pages=1)
+        assert_valid(engine.validate(book))

@@ -1,0 +1,183 @@
+"""Unit tests for model diff / patch (repro.core.diff)."""
+
+import pytest
+
+from repro.core import MetamodelRegistry, global_registry
+from repro.core.diff import (
+    AttributeChange,
+    AttributeListChange,
+    ObjectAdded,
+    ObjectRemoved,
+    ReferenceChange,
+    apply_diff,
+    clone_tree,
+    diff,
+)
+
+
+@pytest.fixture(autouse=True)
+def _register(library_package):
+    already = library_package.uri in global_registry
+    if not already:
+        global_registry.register(library_package)
+    yield
+    if not already:
+        global_registry.unregister(library_package)
+
+
+class TestClone:
+    def test_clone_is_deep_and_id_preserving(self, sample_library):
+        copy = clone_tree(sample_library)
+        assert copy is not sample_library
+        assert copy.id == sample_library.id
+        assert [b.id for b in copy.books] == [b.id for b in sample_library.books]
+        copy.books[0].name = "Changed"
+        assert sample_library.books[0].name == "Hamlet"
+
+    def test_clone_rewires_internal_references(self, sample_library):
+        copy = clone_tree(sample_library)
+        assert copy.featured is copy.books[0]
+        assert copy.members[0].borrowed[0] is copy.books[1]
+
+
+class TestDiff:
+    def test_identical_trees_have_empty_diff(self, sample_library):
+        assert diff(sample_library, clone_tree(sample_library)) == []
+
+    def test_attribute_change_detected(self, sample_library):
+        copy = clone_tree(sample_library)
+        copy.books[0].pages = 999
+        changes = diff(sample_library, copy)
+        assert len(changes) == 1
+        change = changes[0]
+        assert isinstance(change, AttributeChange)
+        assert change.feature == "pages"
+        assert change.old == 200 and change.new == 999
+
+    def test_many_attribute_change_detected(self, sample_library):
+        copy = clone_tree(sample_library)
+        copy.books[0].tags.append("classic")
+        changes = diff(sample_library, copy)
+        assert isinstance(changes[0], AttributeListChange)
+        assert changes[0].new == ("classic",)
+
+    def test_reference_change_detected(self, sample_library):
+        copy = clone_tree(sample_library)
+        copy.featured = copy.books[1]
+        changes = diff(sample_library, copy)
+        refs = [c for c in changes if isinstance(c, ReferenceChange)]
+        assert any(c.feature == "featured" for c in refs)
+
+    def test_object_added_detected(self, sample_library, classes):
+        copy = clone_tree(sample_library)
+        copy.books.append(classes["Book"].create(name="New"))
+        changes = diff(sample_library, copy)
+        added = [c for c in changes if isinstance(c, ObjectAdded)]
+        assert len(added) == 1
+        assert added[0].metaclass_name == "library.Book"
+        assert added[0].feature == "books"
+
+    def test_object_removed_detected(self, sample_library):
+        copy = clone_tree(sample_library)
+        copy.books[2].delete()
+        changes = diff(sample_library, copy)
+        removed = [c for c in changes if isinstance(c, ObjectRemoved)]
+        assert len(removed) == 1
+
+    def test_metaclass_swap_reports_remove_and_add(self, sample_library, classes):
+        copy = clone_tree(sample_library)
+        old = copy.books[0]
+        replacement = classes["RareBook"].create(name="Hamlet", appraisal=1.0)
+        object.__setattr__(replacement, "id", old.id)
+        old.delete()
+        copy.books.insert(0, replacement)
+        kinds = {type(c) for c in diff(sample_library, copy)}
+        assert ObjectAdded in kinds and ObjectRemoved in kinds
+
+    def test_describe_renders(self, sample_library, classes):
+        copy = clone_tree(sample_library)
+        copy.books[0].pages = 1
+        copy.books.append(classes["Book"].create(name="New"))
+        copy.books[1].delete()
+        copy.featured = copy.books[-1]
+        for change in diff(sample_library, copy):
+            assert isinstance(change.describe(), str)
+
+
+class TestApply:
+    def apply_and_check(self, left, right):
+        changes = diff(left, right)
+        apply_diff(left, right, changes)
+        assert diff(left, right) == []
+
+    def test_apply_attribute_change(self, sample_library):
+        copy = clone_tree(sample_library)
+        copy.books[0].pages = 999
+        self.apply_and_check(sample_library, copy)
+        assert sample_library.books[0].pages == 999
+
+    def test_apply_addition(self, sample_library, classes):
+        copy = clone_tree(sample_library)
+        copy.books.append(classes["Book"].create(name="Added"))
+        self.apply_and_check(sample_library, copy)
+        assert sample_library.books[-1].name == "Added"
+
+    def test_apply_removal(self, sample_library):
+        copy = clone_tree(sample_library)
+        copy.books[1].delete()
+        # the member's loan disappears with the book
+        self.apply_and_check(sample_library, copy)
+        assert [b.name for b in sample_library.books] == [
+            "Hamlet",
+            "First Folio",
+        ]
+
+    def test_apply_reference_retarget(self, sample_library):
+        copy = clone_tree(sample_library)
+        copy.featured = copy.books[2]
+        self.apply_and_check(sample_library, copy)
+        assert sample_library.featured is sample_library.books[2]
+
+    def test_apply_added_subtree_with_references(self, sample_library, classes):
+        copy = clone_tree(sample_library)
+        book = classes["Book"].create(name="Nested")
+        copy.books.append(book)
+        copy.members[0].borrowed.append(book)
+        self.apply_and_check(sample_library, copy)
+        new_book = sample_library.books[-1]
+        assert new_book in sample_library.members[0].borrowed
+
+    def test_apply_mixed_batch(self, sample_library, classes):
+        copy = clone_tree(sample_library)
+        copy.books[0].pages = 5
+        copy.books[1].delete()
+        copy.books.append(classes["Book"].create(name="Fresh", pages=10))
+        copy.name = "Renamed"
+        self.apply_and_check(sample_library, copy)
+        assert sample_library.name == "Renamed"
+
+
+class TestFreshIds:
+    def test_fresh_ids_renumber_everything(self, sample_library):
+        copy = clone_tree(sample_library, fresh_ids=True)
+        original_ids = {obj.id for obj in [sample_library]} | {
+            o.id for o in sample_library.all_contents()
+        }
+        copy_ids = {copy.id} | {o.id for o in copy.all_contents()}
+        assert original_ids.isdisjoint(copy_ids)
+
+    def test_fresh_ids_preserve_structure(self, sample_library):
+        copy = clone_tree(sample_library, fresh_ids=True)
+        assert copy.featured is copy.books[0]
+        assert copy.members[0].borrowed[0] is copy.books[1]
+        assert [b.name for b in copy.books] == [
+            b.name for b in sample_library.books
+        ]
+
+    def test_fresh_copy_diffs_as_disjoint(self, sample_library):
+        copy = clone_tree(sample_library, fresh_ids=True)
+        changes = diff(sample_library, copy)
+        # nothing matches by id: the whole copy reads as adds + removes
+        kinds = {type(c) for c in changes}
+        assert kinds <= {ObjectAdded, ObjectRemoved}
+        assert len(changes) == 10  # 5 removed + 5 added

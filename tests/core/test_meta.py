@@ -1,0 +1,268 @@
+"""Unit tests for the metamodel definition layer (repro.core.meta)."""
+
+import pytest
+
+from repro.core import (
+    ANY,
+    BOOLEAN,
+    INTEGER,
+    MANY,
+    REAL,
+    STRING,
+    MetaAttribute,
+    MetaClass,
+    MetaEnum,
+    MetaPackage,
+    MetaReference,
+)
+from repro.core.errors import (
+    DuplicateFeatureError,
+    InvalidMultiplicityError,
+    MetamodelError,
+    TypeCheckError,
+    UnresolvedTypeError,
+)
+
+
+class TestPrimitiveTypes:
+    def test_string_accepts_str_only(self):
+        assert STRING.accepts("hello")
+        assert not STRING.accepts(3)
+        assert not STRING.accepts(None)
+
+    def test_integer_accepts_ints_not_bools(self):
+        assert INTEGER.accepts(42)
+        assert INTEGER.accepts(-1)
+        assert not INTEGER.accepts(True)
+        assert not INTEGER.accepts(1.5)
+
+    def test_boolean_accepts_bools_only(self):
+        assert BOOLEAN.accepts(True)
+        assert BOOLEAN.accepts(False)
+        assert not BOOLEAN.accepts(1)
+        assert not BOOLEAN.accepts("true")
+
+    def test_real_accepts_ints_and_floats(self):
+        assert REAL.accepts(1)
+        assert REAL.accepts(1.5)
+        assert not REAL.accepts(True)
+        assert not REAL.accepts("1.5")
+
+    def test_real_rejects_nan(self):
+        assert not REAL.accepts(float("nan"))
+
+    def test_any_accepts_everything(self):
+        assert ANY.accepts(None)
+        assert ANY.accepts(object())
+
+
+class TestMetaEnum:
+    def test_literal_membership(self):
+        colors = MetaEnum("Color", ["red", "green"])
+        assert colors.accepts("red")
+        assert not colors.accepts("blue")
+
+    def test_default_is_first_literal(self):
+        colors = MetaEnum("Color", ["red", "green"])
+        assert colors.default == "red"
+
+    def test_iteration(self):
+        colors = MetaEnum("Color", ["red", "green"])
+        assert list(colors) == ["red", "green"]
+
+    def test_empty_enum_rejected(self):
+        with pytest.raises(MetamodelError):
+            MetaEnum("Empty", [])
+
+    def test_duplicate_literals_rejected(self):
+        with pytest.raises(MetamodelError):
+            MetaEnum("Dup", ["a", "a"])
+
+
+class TestMultiplicity:
+    def test_negative_lower_rejected(self):
+        with pytest.raises(InvalidMultiplicityError):
+            MetaAttribute("x", STRING, lower=-1)
+
+    def test_zero_upper_rejected(self):
+        with pytest.raises(InvalidMultiplicityError):
+            MetaAttribute("x", STRING, upper=0)
+
+    def test_lower_above_upper_rejected(self):
+        with pytest.raises(InvalidMultiplicityError):
+            MetaAttribute("x", STRING, lower=3, upper=2)
+
+    def test_many_flag(self):
+        assert MetaAttribute("x", STRING, upper=MANY).many
+        assert MetaAttribute("x", STRING, upper=5).many
+        assert not MetaAttribute("x", STRING).many
+
+    def test_multiplicity_rendering(self):
+        assert MetaAttribute("x", STRING, lower=1, upper=MANY).multiplicity() == "1..*"
+        assert MetaAttribute("x", STRING).multiplicity() == "0..1"
+
+    def test_required(self):
+        assert MetaAttribute("x", STRING, lower=1).required
+        assert not MetaAttribute("x", STRING).required
+
+
+class TestMetaAttribute:
+    def test_default_must_conform(self):
+        with pytest.raises(TypeCheckError):
+            MetaAttribute("x", INTEGER, default="nope")
+
+    def test_enum_typed_attribute(self):
+        colors = MetaEnum("Color", ["red", "green"])
+        attribute = MetaAttribute("color", colors, default="green")
+        attribute.check_value("red")
+        with pytest.raises(TypeCheckError):
+            attribute.check_value("blue")
+
+    def test_metaclass_type_rejected(self):
+        cls = MetaClass("Thing")
+        with pytest.raises(MetamodelError):
+            MetaAttribute("bad", cls)
+
+    def test_bad_identifier_name_rejected(self):
+        with pytest.raises(MetamodelError):
+            MetaAttribute("not a name", STRING)
+
+
+class TestMetaClass:
+    def test_duplicate_feature_rejected(self):
+        cls = MetaClass("Thing")
+        cls.add_attribute(MetaAttribute("name", STRING))
+        with pytest.raises(DuplicateFeatureError):
+            cls.add_attribute(MetaAttribute("name", STRING))
+
+    def test_duplicate_feature_across_attr_and_ref_rejected(self):
+        cls = MetaClass("Thing")
+        cls.add_attribute(MetaAttribute("peer", STRING))
+        with pytest.raises(DuplicateFeatureError):
+            cls.add_reference(MetaReference("peer", cls))
+
+    def test_self_inheritance_rejected(self):
+        with pytest.raises(MetamodelError):
+            # direct self-inheritance (only reachable via __new__ trickery)
+            bad = MetaClass.__new__(MetaClass)
+            bad.__init__("Loop", superclasses=[bad])
+
+    def test_conforms_to_transitively(self):
+        a = MetaClass("A")
+        b = MetaClass("B", superclasses=[a])
+        c = MetaClass("C", superclasses=[b])
+        assert c.conforms_to(a)
+        assert c.conforms_to(b)
+        assert c.conforms_to(c)
+        assert not a.conforms_to(c)
+
+    def test_all_attributes_include_inherited(self, classes):
+        rare = classes["RareBook"]
+        names = set(rare.all_attributes())
+        assert {"name", "pages", "appraisal"} <= names
+
+    def test_nearer_definition_shadows(self):
+        base = MetaClass("Base")
+        base.add_attribute(MetaAttribute("x", STRING, default="base"))
+        derived = MetaClass("Derived", superclasses=[base])
+        derived.add_attribute(MetaAttribute("x", STRING, default="derived"))
+        assert derived.all_attributes()["x"].default == "derived"
+
+    def test_abstract_class_cannot_instantiate(self):
+        cls = MetaClass("Abstract", abstract=True)
+        with pytest.raises(MetamodelError):
+            cls.create()
+
+    def test_create_applies_defaults(self, classes):
+        book = classes["Book"].create(name="X")
+        assert book.pages == 0
+        assert book.available is True
+        assert book.genre == "novel"
+
+    def test_fluent_definition(self):
+        pkg = MetaPackage("p")
+        cls = pkg.define_class("Thing").attribute("name").reference("next", "Thing")
+        pkg.resolve()
+        assert cls.find_feature("name") is not None
+        assert cls.find_feature("next").target is cls
+
+    def test_qualified_name(self, classes):
+        assert classes["Book"].qualified_name() == "library.Book"
+
+
+class TestMetaPackage:
+    def test_duplicate_class_name_rejected(self):
+        pkg = MetaPackage("p")
+        pkg.define_class("Thing")
+        with pytest.raises(MetamodelError):
+            pkg.define_class("Thing")
+
+    def test_duplicate_enum_rejected(self):
+        pkg = MetaPackage("p")
+        pkg.define_enum("E", ["a"])
+        with pytest.raises(MetamodelError):
+            pkg.define_enum("E", ["b"])
+
+    def test_subpackage_lookup(self):
+        root = MetaPackage("root")
+        sub = MetaPackage("sub", parent=root)
+        cls = sub.define_class("Leaf")
+        assert root.find_class("Leaf") is cls
+        assert root.find_class("sub.Leaf") is cls
+        assert root.find_class("other.Leaf") is None
+
+    def test_find_type_covers_primitives_enums_classes(self):
+        pkg = MetaPackage("p")
+        enum = pkg.define_enum("E", ["a"])
+        cls = pkg.define_class("C")
+        assert pkg.find_type("String") is STRING
+        assert pkg.find_type("E") is enum
+        assert pkg.find_type("C") is cls
+        assert pkg.find_type("Nope") is None
+
+    def test_lazy_reference_resolution(self):
+        pkg = MetaPackage("p")
+        a = pkg.define_class("A").reference("b", "B")
+        b = pkg.define_class("B")
+        pkg.resolve()
+        assert a.find_feature("b").target is b
+
+    def test_unresolved_target_raises_on_access(self):
+        pkg = MetaPackage("p")
+        a = pkg.define_class("A").reference("b", "Missing")
+        with pytest.raises(UnresolvedTypeError):
+            a.find_feature("b").target
+
+    def test_resolve_fails_on_missing_class(self):
+        pkg = MetaPackage("p")
+        pkg.define_class("A").reference("b", "Missing")
+        with pytest.raises(UnresolvedTypeError):
+            pkg.resolve()
+
+    def test_resolve_is_idempotent(self, library_package):
+        library_package.resolve()
+        library_package.resolve()
+
+    def test_opposites_wired_symmetrically(self, classes):
+        borrowed = classes["Member"].find_feature("borrowed")
+        borrower = classes["Book"].find_feature("borrower")
+        assert borrowed.opposite is borrower
+        assert borrower.opposite is borrowed
+
+    def test_opposite_must_be_reference(self):
+        pkg = MetaPackage("p")
+        a = pkg.define_class("A")
+        b = pkg.define_class("B").attribute("x")
+        a.reference("b", b, opposite="x")
+        with pytest.raises(MetamodelError):
+            pkg.resolve()
+
+    def test_all_classes_spans_subpackages(self):
+        root = MetaPackage("root")
+        root.define_class("A")
+        sub = MetaPackage("sub", parent=root)
+        sub.define_class("B")
+        assert {c.name for c in root.all_classes()} == {"A", "B"}
+
+    def test_default_uri(self):
+        assert MetaPackage("p").uri == "urn:repro:p"

@@ -1,0 +1,368 @@
+"""Unit tests for model objects (repro.core.objects)."""
+
+import pytest
+
+from repro.core import Recorder
+from repro.core.errors import (
+    ContainmentError,
+    FrozenModelError,
+    MultiplicityError,
+    TypeCheckError,
+    UnknownFeatureError,
+)
+
+
+class TestFeatureAccess:
+    def test_get_set_roundtrip(self, classes):
+        book = classes["Book"].create()
+        book.set("name", "Hamlet")
+        assert book.get("name") == "Hamlet"
+
+    def test_attribute_style_access(self, classes):
+        book = classes["Book"].create()
+        book.name = "Hamlet"
+        assert book.name == "Hamlet"
+
+    def test_unknown_feature_raises(self, classes):
+        book = classes["Book"].create()
+        with pytest.raises(UnknownFeatureError):
+            book.get("nonexistent")
+        with pytest.raises(UnknownFeatureError):
+            _ = book.nonexistent
+
+    def test_unknown_feature_is_attribute_error(self, classes):
+        book = classes["Book"].create()
+        assert getattr(book, "nonexistent", "fallback") == "fallback"
+
+    def test_type_check_on_set(self, classes):
+        book = classes["Book"].create()
+        with pytest.raises(TypeCheckError):
+            book.set("pages", "many")
+        with pytest.raises(TypeCheckError):
+            book.set("genre", "opera")
+
+    def test_bool_not_accepted_for_integer(self, classes):
+        book = classes["Book"].create()
+        with pytest.raises(TypeCheckError):
+            book.set("pages", True)
+
+    def test_reference_type_check(self, classes):
+        book = classes["Book"].create(name="X")
+        member = classes["Member"].create(name="Alice")
+        with pytest.raises(TypeCheckError):
+            member.borrowed.append(member)  # a Member is not a Book
+        member.borrowed.append(book)
+
+    def test_subclass_instance_accepted(self, classes):
+        rare = classes["RareBook"].create(name="Folio", appraisal=1.0)
+        member = classes["Member"].create(name="Alice")
+        member.borrowed.append(rare)
+        assert rare in member.borrowed
+
+    def test_set_many_replaces_contents(self, classes):
+        book = classes["Book"].create(name="X")
+        book.set("tags", ["a", "b"])
+        book.set("tags", ["c"])
+        assert list(book.tags) == ["c"]
+
+    def test_unset_single_and_many(self, classes):
+        book = classes["Book"].create(name="X")
+        book.set("tags", ["a"])
+        book.unset("tags")
+        assert len(book.tags) == 0
+        book.unset("name")
+        assert book.name is None
+
+    def test_set_returns_self_for_chaining(self, classes):
+        book = classes["Book"].create()
+        assert book.set("name", "X").set("pages", 3) is book
+
+    def test_has_feature(self, classes):
+        book = classes["Book"].create()
+        assert book.has_feature("name")
+        assert not book.has_feature("zzz")
+
+    def test_label_uses_name(self, classes):
+        book = classes["Book"].create(name="Dune")
+        assert book.label() == "Dune"
+
+    def test_label_falls_back_to_id(self, classes):
+        book = classes["Book"].create()
+        assert book.label() == book.id
+
+
+class TestSlots:
+    def test_upper_bound_enforced(self, library_package):
+        cls = library_package.define_class("Pair").attribute(
+            "xs", upper=2
+        )
+        obj = cls.create()
+        obj.xs.append("a")
+        obj.xs.append("b")
+        with pytest.raises(MultiplicityError):
+            obj.xs.append("c")
+
+    def test_reference_slot_deduplicates(self, classes):
+        member = classes["Member"].create(name="A")
+        book = classes["Book"].create(name="B")
+        member.borrowed.append(book)
+        member.borrowed.append(book)
+        assert len(member.borrowed) == 1
+
+    def test_attribute_slot_allows_duplicates(self, classes):
+        book = classes["Book"].create(name="X")
+        book.tags.append("t")
+        book.tags.append("t")
+        assert list(book.tags) == ["t", "t"]
+
+    def test_remove_missing_raises(self, classes):
+        book = classes["Book"].create(name="X")
+        with pytest.raises(ValueError):
+            book.tags.remove("missing")
+
+    def test_discard_missing_is_silent(self, classes):
+        book = classes["Book"].create(name="X")
+        book.tags.discard("missing")
+
+    def test_pop_and_clear(self, classes):
+        book = classes["Book"].create(name="X")
+        book.tags.extend(["a", "b"])
+        assert book.tags.pop() == "b"
+        book.tags.clear()
+        assert not book.tags
+
+    def test_slot_equality_with_list(self, classes):
+        book = classes["Book"].create(name="X")
+        book.tags.extend(["a", "b"])
+        assert book.tags == ["a", "b"]
+
+    def test_index_and_contains(self, classes):
+        book = classes["Book"].create(name="X")
+        book.tags.extend(["a", "b"])
+        assert book.tags.index("b") == 1
+        assert "a" in book.tags
+
+
+class TestContainment:
+    def test_container_set_on_add(self, sample_library):
+        hamlet = sample_library.books[0]
+        assert hamlet.container is sample_library
+        assert hamlet.containing_feature.name == "books"
+
+    def test_root(self, sample_library):
+        assert sample_library.books[0].root() is sample_library
+        assert sample_library.root() is sample_library
+
+    def test_move_between_containers(self, classes):
+        lib1 = classes["Library"].create(name="One")
+        lib2 = classes["Library"].create(name="Two")
+        book = classes["Book"].create(name="B")
+        lib1.books.append(book)
+        lib2.books.append(book)
+        assert book.container is lib2
+        assert book not in lib1.books
+        assert book in lib2.books
+
+    def test_opposite_updates_on_move(self, classes):
+        lib1 = classes["Library"].create(name="One")
+        lib2 = classes["Library"].create(name="Two")
+        book = classes["Book"].create(name="B")
+        lib1.books.append(book)
+        assert book.library is lib1
+        lib2.books.append(book)
+        assert book.library is lib2
+
+    def test_containment_cycle_rejected(self, library_package):
+        node = library_package.find_class("Node") or library_package.define_class(
+            "Node"
+        ).attribute("name").reference(
+            "children", "Node", upper=-1, containment=True
+        )
+        library_package.resolve()
+        a = node.create(name="a")
+        b = node.create(name="b")
+        a.children.append(b)
+        with pytest.raises(ContainmentError):
+            b.children.append(a)
+        with pytest.raises(ContainmentError):
+            a.children.append(a)
+
+    def test_owned_elements_and_all_contents(self, sample_library):
+        owned = list(sample_library.owned_elements())
+        assert len(owned) == 4  # 3 books + 1 member
+        assert len(list(sample_library.all_contents())) == 4
+
+    def test_delete_detaches_everywhere(self, sample_library):
+        dune = sample_library.books[1]
+        alice = sample_library.members[0]
+        assert dune in alice.borrowed
+        dune.delete()
+        assert dune not in sample_library.books
+        assert dune not in alice.borrowed
+        assert dune.container is None
+
+    def test_delete_featured_single_ref(self, sample_library):
+        hamlet = sample_library.featured
+        hamlet.delete()
+        assert hamlet not in sample_library.books
+        # featured is a plain (no-opposite) reference; delete() only clears
+        # opposite-backed and containment pointers, so it still dangles —
+        # consistent with EMF semantics where cross refs need a resource scan.
+        assert sample_library.featured is hamlet
+
+
+class TestOpposites:
+    def test_many_to_single_symmetry(self, classes):
+        member = classes["Member"].create(name="A")
+        book = classes["Book"].create(name="B")
+        member.borrowed.append(book)
+        assert book.borrower is member
+        member.borrowed.remove(book)
+        assert book.borrower is None
+
+    def test_single_side_assignment_updates_many_side(self, classes):
+        member = classes["Member"].create(name="A")
+        book = classes["Book"].create(name="B")
+        book.borrower = member
+        assert book in member.borrowed
+
+    def test_reassigning_single_side_moves(self, classes):
+        alice = classes["Member"].create(name="Alice")
+        bob = classes["Member"].create(name="Bob")
+        book = classes["Book"].create(name="B")
+        book.borrower = alice
+        book.borrower = bob
+        assert book not in alice.borrowed
+        assert book in bob.borrowed
+
+    def test_clearing_single_side(self, classes):
+        alice = classes["Member"].create(name="Alice")
+        book = classes["Book"].create(name="B")
+        book.borrower = alice
+        book.borrower = None
+        assert book not in alice.borrowed
+
+
+class TestMissingRequired:
+    def test_reports_unset_mandatory(self, classes):
+        book = classes["Book"].create()
+        missing = {f.name for f in book.missing_required_features()}
+        assert missing == {"name"}
+
+    def test_satisfied_when_set(self, classes):
+        book = classes["Book"].create(name="X")
+        assert book.missing_required_features() == []
+
+    def test_many_lower_bound(self, library_package):
+        cls = library_package.define_class("Tags2").attribute(
+            "xs", lower=2, upper=-1
+        )
+        obj = cls.create()
+        obj.xs.append("one")
+        assert [f.name for f in obj.missing_required_features()] == ["xs"]
+        obj.xs.append("two")
+        assert obj.missing_required_features() == []
+
+
+class TestFreeze:
+    def test_frozen_rejects_set(self, sample_library):
+        sample_library.freeze()
+        with pytest.raises(FrozenModelError):
+            sample_library.name = "Other"
+
+    def test_freeze_is_recursive(self, sample_library):
+        sample_library.freeze()
+        with pytest.raises(FrozenModelError):
+            sample_library.books[0].name = "Other"
+
+    def test_unfreeze_restores(self, sample_library):
+        sample_library.freeze()
+        sample_library.unfreeze()
+        sample_library.name = "Other"
+        assert sample_library.name == "Other"
+
+    def test_frozen_rejects_slot_mutation(self, sample_library):
+        sample_library.freeze()
+        with pytest.raises(FrozenModelError):
+            sample_library.books[0].tags.append("x")
+
+
+class TestEvents:
+    def test_set_notification(self, classes):
+        book = classes["Book"].create(name="X")
+        recorder = Recorder()
+        book.subscribe(recorder)
+        book.name = "Y"
+        note = recorder.last()
+        assert note.kind == "set"
+        assert note.feature == "name"
+        assert note.old == "X" and note.new == "Y"
+
+    def test_add_remove_notifications(self, classes):
+        book = classes["Book"].create(name="X")
+        recorder = Recorder()
+        book.subscribe(recorder)
+        book.tags.append("t")
+        book.tags.remove("t")
+        kinds = [n.kind for n in recorder.notifications]
+        assert kinds == ["add", "remove"]
+
+    def test_events_bubble_to_container(self, sample_library):
+        recorder = Recorder()
+        sample_library.subscribe(recorder)
+        sample_library.books[0].name = "Renamed"
+        assert recorder.last().kind == "set"
+        assert recorder.last().obj is sample_library.books[0]
+
+    def test_unsubscribe(self, classes):
+        book = classes["Book"].create(name="X")
+        recorder = Recorder()
+        book.subscribe(recorder)
+        book.unsubscribe(recorder)
+        book.name = "Y"
+        assert len(recorder) == 0
+
+    def test_recorder_kind_filter_and_cap(self, classes):
+        book = classes["Book"].create(name="X")
+        recorder = Recorder(keep=2)
+        book.subscribe(recorder)
+        book.name = "A"
+        book.name = "B"
+        book.name = "C"
+        assert len(recorder) == 2
+        assert len(recorder.of_kind("set")) == 2
+
+    def test_describe_runs(self, classes):
+        book = classes["Book"].create(name="X")
+        recorder = Recorder()
+        book.subscribe(recorder)
+        book.name = "Y"
+        book.tags.append("t")
+        book.tags.remove("t")
+        book.unset("name")
+        for note in recorder.notifications:
+            assert isinstance(note.describe(), str)
+
+
+class TestMoveNotifications:
+    def test_containment_move_emits_move(self, classes):
+        lib1 = classes["Library"].create(name="One")
+        lib2 = classes["Library"].create(name="Two")
+        book = classes["Book"].create(name="B")
+        lib1.books.append(book)
+        recorder = Recorder()
+        lib2.subscribe(recorder)
+        lib2.books.append(book)
+        moves = recorder.of_kind("move")
+        assert len(moves) == 1
+        assert moves[0].obj is book
+        assert moves[0].old is lib1 and moves[0].new is lib2
+        assert "move" in moves[0].describe()
+
+    def test_first_attach_is_not_a_move(self, classes):
+        lib = classes["Library"].create(name="L")
+        recorder = Recorder()
+        lib.subscribe(recorder)
+        lib.books.append(classes["Book"].create(name="B"))
+        assert recorder.of_kind("move") == []
+        assert len(recorder.of_kind("add")) == 1

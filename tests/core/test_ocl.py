@@ -1,0 +1,453 @@
+"""Unit tests for the OCL-lite expression language (repro.core.ocl)."""
+
+import pytest
+
+from repro.core import evaluate, parse, type_resolver_for
+from repro.core.errors import OclEvalError, OclSyntaxError
+from repro.core.ocl import tokenize
+
+
+class TestLexer:
+    def test_tokenize_basic(self):
+        kinds = [t.kind for t in tokenize("self.x -> size() >= 1")]
+        assert kinds == ["kw", "op", "name", "op", "name", "op", "op", "op", "int", "eof"]
+
+    def test_string_with_escaped_quote(self):
+        tokens = tokenize("'it''s'")
+        assert tokens[0].value == "it's"
+
+    def test_unterminated_string(self):
+        with pytest.raises(OclSyntaxError):
+            tokenize("'oops")
+
+    def test_real_vs_int(self):
+        tokens = tokenize("3.5 3")
+        assert tokens[0].kind == "real" and tokens[0].value == 3.5
+        assert tokens[1].kind == "int" and tokens[1].value == 3
+
+    def test_unexpected_character(self):
+        with pytest.raises(OclSyntaxError):
+            tokenize("a @ b")
+
+
+class TestLiteralsAndArithmetic:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("1 + 2 * 3", 7),
+            ("(1 + 2) * 3", 9),
+            ("10 / 4", 2.5),
+            ("10 div 4", 2),
+            ("10 mod 4", 2),
+            ("-3 + 5", 2),
+            ("2 - -2", 4),
+            ("'a' + 'b'", "ab"),
+            ("1.5 + 0.5", 2.0),
+        ],
+    )
+    def test_arithmetic(self, text, expected):
+        assert evaluate(text, None) == expected
+
+    def test_division_by_zero(self):
+        with pytest.raises(OclEvalError):
+            evaluate("1 / 0", None)
+        with pytest.raises(OclEvalError):
+            evaluate("1 div 0", None)
+        with pytest.raises(OclEvalError):
+            evaluate("1 mod 0", None)
+
+    def test_string_number_mix_rejected(self):
+        with pytest.raises(OclEvalError):
+            evaluate("'a' + 1", None)
+
+    def test_null_literal(self):
+        assert evaluate("null", None) is None
+
+
+class TestLogic:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("true and false", False),
+            ("true or false", True),
+            ("true xor true", False),
+            ("true xor false", True),
+            ("not false", True),
+            ("false implies false", True),
+            ("true implies false", False),
+            ("1 < 2 and 2 < 3", True),
+        ],
+    )
+    def test_boolean_operators(self, text, expected):
+        assert evaluate(text, None) is expected
+
+    def test_short_circuit_and(self):
+        # right side would fail, but left is false
+        assert evaluate("false and (1 / 0 > 0)", None) is False
+
+    def test_short_circuit_or(self):
+        assert evaluate("true or (1 / 0 > 0)", None) is True
+
+    def test_short_circuit_implies(self):
+        assert evaluate("false implies (1 / 0 > 0)", None) is True
+
+    def test_non_boolean_condition_rejected(self):
+        with pytest.raises(OclEvalError):
+            evaluate("1 and true", None)
+
+    def test_null_is_falsy_in_logic(self):
+        assert evaluate("null or true", None) is True
+
+
+class TestComparison:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("1 = 1", True),
+            ("1 <> 2", True),
+            ("'a' = 'a'", True),
+            ("'a' < 'b'", True),
+            ("2 >= 2", True),
+            ("null = null", True),
+            ("1 = null", False),
+        ],
+    )
+    def test_comparisons(self, text, expected):
+        assert evaluate(text, None) is expected
+
+    def test_object_equality_is_identity(self, classes):
+        a = classes["Book"].create(name="Same")
+        b = classes["Book"].create(name="Same")
+        assert evaluate("self = self", a) is True
+        assert evaluate("self = other", a, {"other": b}) is False
+
+
+class TestNavigation:
+    def test_simple_navigation(self, sample_library):
+        assert evaluate("self.name", sample_library) == "Civic"
+
+    def test_navigation_over_collection_flattens(self, sample_library):
+        names = evaluate("self.books.name", sample_library)
+        assert names == ["Hamlet", "Dune", "First Folio"]
+
+    def test_navigation_from_null_is_null(self, classes):
+        book = classes["Book"].create(name="X")
+        assert evaluate("self.borrower.name", book) is None
+
+    def test_navigation_from_non_object_fails(self):
+        with pytest.raises(OclEvalError):
+            evaluate("self.x", 42)
+
+    def test_unbound_variable(self):
+        with pytest.raises(OclEvalError):
+            evaluate("ghost", None)
+
+
+class TestCollections:
+    def test_size_isEmpty_notEmpty(self, sample_library):
+        assert evaluate("self.books->size()", sample_library) == 3
+        assert evaluate("self.books->isEmpty()", sample_library) is False
+        assert evaluate("self.books->notEmpty()", sample_library) is True
+
+    def test_includes_excludes(self, sample_library):
+        assert evaluate(
+            "self.books->includes(self.featured)", sample_library
+        ) is True
+        assert evaluate(
+            "self.members->excludes(self.featured)", sample_library
+        ) is True
+
+    def test_includesAll_excludesAll(self, sample_library):
+        assert evaluate(
+            "self.books->includesAll(self.books)", sample_library
+        ) is True
+        assert evaluate(
+            "self.books->excludesAll(self.members)", sample_library
+        ) is True
+
+    def test_count_sum(self, sample_library):
+        assert evaluate("self.books.pages->sum()", sample_library) == 1700
+        assert evaluate("Sequence{1, 1, 2}->count(1)", None) == 2
+
+    def test_first_last_at(self, sample_library):
+        assert evaluate("self.books->first().name", sample_library) == "Hamlet"
+        assert evaluate("self.books->last().name", sample_library) == "First Folio"
+        assert evaluate("self.books->at(2).name", sample_library) == "Dune"
+
+    def test_at_out_of_range(self):
+        with pytest.raises(OclEvalError):
+            evaluate("Sequence{1}->at(2)", None)
+
+    def test_min_max(self):
+        assert evaluate("Sequence{3, 1, 2}->min()", None) == 1
+        assert evaluate("Sequence{3, 1, 2}->max()", None) == 3
+        with pytest.raises(OclEvalError):
+            evaluate("Sequence{}->min()", None)
+
+    def test_asSet_deduplicates(self):
+        assert evaluate("Sequence{1, 1, 2}->asSet()->size()", None) == 2
+
+    def test_including_excluding_union_intersection(self):
+        assert evaluate("Sequence{1}->including(2)", None) == [1, 2]
+        assert evaluate("Sequence{1, 2}->excluding(1)", None) == [2]
+        assert evaluate("Sequence{1}->union(Sequence{2})", None) == [1, 2]
+        assert evaluate(
+            "Sequence{1, 2}->intersection(Sequence{2, 3})", None
+        ) == [2]
+
+    def test_flatten(self):
+        assert evaluate(
+            "Sequence{1, 2}->collect(x | Sequence{x, x})->size()", None
+        ) == 4
+
+    def test_set_literal(self):
+        assert evaluate("Set{1, 1, 2}->size()", None) == 2
+
+    def test_single_value_coerces_to_collection(self, sample_library):
+        assert evaluate("self.featured->size()", sample_library) == 1
+
+    def test_null_coerces_to_empty_collection(self, classes):
+        book = classes["Book"].create(name="X")
+        assert evaluate("self.borrower->size()", book) == 0
+
+    def test_unknown_collection_op(self):
+        with pytest.raises(OclEvalError):
+            evaluate("Sequence{1}->frobnicate()", None)
+
+
+class TestIterators:
+    def test_exists(self, sample_library):
+        assert evaluate(
+            "self.books->exists(b | b.pages > 500)", sample_library
+        ) is True
+        assert evaluate(
+            "self.books->exists(b | b.pages > 5000)", sample_library
+        ) is False
+
+    def test_forAll(self, sample_library):
+        assert evaluate(
+            "self.books->forAll(b | b.pages >= 200)", sample_library
+        ) is True
+
+    def test_select_reject(self, sample_library):
+        big = evaluate("self.books->select(b | b.pages > 300)", sample_library)
+        assert [b.name for b in big] == ["Dune", "First Folio"]
+        small = evaluate("self.books->reject(b | b.pages > 300)", sample_library)
+        assert [b.name for b in small] == ["Hamlet"]
+
+    def test_collect(self, sample_library):
+        assert evaluate(
+            "self.books->collect(b | b.pages)", sample_library
+        ) == [200, 600, 900]
+
+    def test_any_one(self, sample_library):
+        found = evaluate("self.books->any(b | b.pages = 600)", sample_library)
+        assert found.name == "Dune"
+        assert evaluate(
+            "self.books->one(b | b.pages = 600)", sample_library
+        ) is True
+        assert evaluate(
+            "self.books->one(b | b.pages > 100)", sample_library
+        ) is False
+
+    def test_any_without_match_is_null(self, sample_library):
+        assert evaluate(
+            "self.books->any(b | b.pages = 1)", sample_library
+        ) is None
+
+    def test_isUnique(self, sample_library):
+        assert evaluate(
+            "self.books->isUnique(b | b.name)", sample_library
+        ) is True
+
+    def test_sortedBy(self, sample_library):
+        ordered = evaluate("self.books->sortedBy(b | b.pages)", sample_library)
+        assert [b.pages for b in ordered] == [200, 600, 900]
+
+    def test_anonymous_iterator(self, sample_library):
+        # body without "x |" — uses implicit variable that is never referenced
+        assert evaluate("self.books->select(true)", sample_library)
+
+    def test_nested_iterators(self, sample_library):
+        assert evaluate(
+            "self.members->forAll(m | m.borrowed->forAll(b | b.pages > 0))",
+            sample_library,
+        ) is True
+
+
+class TestTypeOperations:
+    def test_oclIsKindOf(self, sample_library, library_package):
+        resolver = type_resolver_for(library_package)
+        folio = sample_library.books[2]
+        assert evaluate("self.oclIsKindOf(Book)", folio, type_resolver=resolver)
+        assert evaluate("self.oclIsKindOf(RareBook)", folio, type_resolver=resolver)
+        hamlet = sample_library.books[0]
+        assert not evaluate(
+            "self.oclIsKindOf(RareBook)", hamlet, type_resolver=resolver
+        )
+
+    def test_oclIsTypeOf_is_exact(self, sample_library, library_package):
+        resolver = type_resolver_for(library_package)
+        folio = sample_library.books[2]
+        assert not evaluate(
+            "self.oclIsTypeOf(Book)", folio, type_resolver=resolver
+        )
+        assert evaluate("self.oclIsTypeOf(RareBook)", folio, type_resolver=resolver)
+
+    def test_oclAsType_checked(self, sample_library, library_package):
+        resolver = type_resolver_for(library_package)
+        folio = sample_library.books[2]
+        cast = evaluate("self.oclAsType(Book)", folio, type_resolver=resolver)
+        assert cast is folio
+        with pytest.raises(OclEvalError):
+            evaluate(
+                "self.oclAsType(Member)", folio, type_resolver=resolver
+            )
+
+    def test_select_by_kind(self, sample_library, library_package):
+        resolver = type_resolver_for(library_package)
+        rare = evaluate(
+            "self.books->select(b | b.oclIsKindOf(RareBook))",
+            sample_library,
+            type_resolver=resolver,
+        )
+        assert len(rare) == 1
+
+    def test_unknown_type_fails(self, sample_library):
+        with pytest.raises(OclEvalError):
+            evaluate("self.oclIsKindOf(Martian)", sample_library)
+
+
+class TestStringsAndNumbers:
+    def test_string_methods(self):
+        assert evaluate("'hello'.size()", None) == 5
+        assert evaluate("'he'.concat('llo')", None) == "hello"
+        assert evaluate("'He'.toUpper()", None) == "HE"
+        assert evaluate("'He'.toLower()", None) == "he"
+        assert evaluate("'hello'.substring(2, 4)", None) == "ell"
+        assert evaluate("'hello'.indexOf('llo')", None) == 3
+        assert evaluate("'hello'.indexOf('zzz')", None) == 0
+
+    def test_substring_out_of_range(self):
+        with pytest.raises(OclEvalError):
+            evaluate("'abc'.substring(0, 2)", None)
+        with pytest.raises(OclEvalError):
+            evaluate("'abc'.substring(2, 9)", None)
+
+    def test_number_methods(self):
+        assert evaluate("(-3).abs()", None) == 3
+        assert evaluate("(3.7).floor()", None) == 3
+        assert evaluate("(3.5).round()", None) == 4
+        assert evaluate("(3).max(5)", None) == 5
+        assert evaluate("(3).min(5)", None) == 3
+
+    def test_unknown_method(self):
+        with pytest.raises(OclEvalError):
+            evaluate("'x'.reverse()", None)
+        with pytest.raises(OclEvalError):
+            evaluate("(1).sqrt()", None)
+        with pytest.raises(OclEvalError):
+            evaluate("true.size()", None)
+
+
+class TestControlFlow:
+    def test_if_then_else(self):
+        assert evaluate("if 1 < 2 then 'yes' else 'no' endif", None) == "yes"
+        assert evaluate("if 1 > 2 then 'yes' else 'no' endif", None) == "no"
+
+    def test_let(self):
+        assert evaluate("let x = 3 in x * x", None) == 9
+
+    def test_nested_let(self):
+        assert evaluate("let x = 2 in let y = 3 in x + y", None) == 5
+
+    def test_let_shadows(self, sample_library):
+        assert evaluate(
+            "let name = 'shadow' in name", sample_library
+        ) == "shadow"
+
+
+class TestSyntaxErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "1 +",
+            "self.",
+            "(1 + 2",
+            "if true then 1 else 2",  # missing endif
+            "let x = 1",  # missing in
+            "self->size",  # missing parens
+            "Sequence{1, }",
+            "1 2",
+        ],
+    )
+    def test_malformed_input(self, text):
+        with pytest.raises(OclSyntaxError):
+            parse(text)
+
+    def test_parse_reusable(self, sample_library):
+        expr = parse("self.books->size()")
+        assert expr.evaluate(sample_library) == 3
+        assert expr.evaluate(sample_library) == 3
+
+    def test_extra_variables(self, sample_library):
+        assert evaluate("n + 1", sample_library, {"n": 41}) == 42
+
+
+class TestClosure:
+    def test_closure_transitive(self, library_package):
+        node = library_package.find_class("Node") or library_package.define_class(
+            "Node"
+        ).attribute("name").reference(
+            "children", "Node", upper=-1, containment=True
+        )
+        library_package.resolve()
+        root = node.create(name="root")
+        child = node.create(name="child")
+        grandchild = node.create(name="grandchild")
+        root.children.append(child)
+        child.children.append(grandchild)
+        names = [
+            n.name
+            for n in evaluate("self->closure(n | n.children)", root)
+        ]
+        assert names == ["child", "grandchild"]
+
+    def test_closure_cycle_safe(self, classes):
+        alice = classes["Member"].create(name="Alice")
+        book = classes["Book"].create(name="B")
+        alice.borrowed.append(book)
+        # borrower/borrowed form a cycle between the two objects
+        result = evaluate(
+            "self->closure(x | if x.oclIsKindOf(Member) then x.borrowed "
+            "else Sequence{x.borrower} endif)",
+            alice,
+            type_resolver=lambda name: classes.get(name),
+        )
+        assert len(result) == 2  # book and alice, each once
+
+    def test_closure_on_numbers(self):
+        # closure over a numeric successor function, bounded by the body
+        result = evaluate(
+            "Sequence{1}->closure(n | if n < 4 then Sequence{n + 1} "
+            "else Sequence{} endif)",
+            None,
+        )
+        assert result == [2, 3, 4]
+
+
+class TestDictNavigation:
+    def test_dict_fields_navigate(self):
+        record = {"quantity": 3, "price": 2}
+        assert evaluate("self.quantity * self.price", record) == 6
+
+    def test_absent_keys_read_null(self):
+        assert evaluate("self.missing = null", {"a": 1}) is True
+
+    def test_nested_dicts(self):
+        record = {"order": {"total": 7}}
+        assert evaluate("self.order.total", record) == 7
+
+    def test_dict_list_navigation_flattens(self):
+        record = {"lines": [{"qty": 1}, {"qty": 2}]}
+        assert evaluate("self.lines.qty->sum()", record) == 3

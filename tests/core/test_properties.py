@@ -1,0 +1,208 @@
+"""Property-based tests of kernel invariants (hypothesis).
+
+Strategy: generate random library models (random books/members, random loans,
+random attribute values), then check the invariants that the kernel promises:
+
+* serialization round trip is identity (JSON and XMI);
+* diff(model, clone) is empty; after mutations, apply_diff converges;
+* containment is a tree: unique container, no cycles, root() terminates;
+* opposite references are always symmetric;
+* OCL structural identities hold on arbitrary models.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import MetamodelRegistry, evaluate
+from repro.core.diff import apply_diff, clone_tree, diff
+from repro.core.serialization import jsonio, xmi
+
+
+# The hypothesis fixtures cannot take pytest fixtures directly, so the
+# metamodel is built once at module scope.
+def _build_package():
+    from repro.core import (
+        BOOLEAN,
+        INTEGER,
+        MANY,
+        REAL,
+        STRING,
+        MetaAttribute,
+        MetaPackage,
+        MetaReference,
+    )
+
+    pkg = MetaPackage("hyplib", "urn:test:hyplib")
+    genre = pkg.define_enum("Genre", ["novel", "poetry", "reference"])
+    book = pkg.define_class("Book")
+    book.add_attribute(MetaAttribute("name", STRING, lower=1))
+    book.add_attribute(MetaAttribute("pages", INTEGER, default=0))
+    book.add_attribute(MetaAttribute("price", REAL))
+    book.add_attribute(MetaAttribute("genre", genre, default="novel"))
+    book.add_attribute(MetaAttribute("tags", STRING, upper=MANY))
+    book.add_attribute(MetaAttribute("available", BOOLEAN, default=True))
+    member = pkg.define_class("Member")
+    member.add_attribute(MetaAttribute("name", STRING, lower=1))
+    member.add_reference(
+        MetaReference("borrowed", book, upper=MANY, opposite="borrower")
+    )
+    book.add_reference(MetaReference("borrower", member))
+    library = pkg.define_class("Library")
+    library.add_attribute(MetaAttribute("name", STRING, lower=1))
+    library.add_reference(
+        MetaReference("books", book, upper=MANY, containment=True)
+    )
+    library.add_reference(
+        MetaReference("members", member, upper=MANY, containment=True)
+    )
+    return pkg.resolve()
+
+
+PACKAGE = _build_package()
+REGISTRY = MetamodelRegistry()
+REGISTRY.register(PACKAGE)
+LIBRARY = PACKAGE.find_class("Library")
+BOOK = PACKAGE.find_class("Book")
+MEMBER = PACKAGE.find_class("Member")
+
+# XML 1.0 cannot carry control characters; stay within printable text the
+# way real modeling tools do.
+name_text = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=0x2FF),
+    min_size=1,
+    max_size=12,
+)
+
+
+@st.composite
+def libraries(draw):
+    library = LIBRARY.create(name=draw(name_text))
+    n_books = draw(st.integers(min_value=0, max_value=6))
+    for index in range(n_books):
+        book = BOOK.create(
+            name=draw(name_text),
+            pages=draw(st.integers(min_value=0, max_value=2000)),
+            genre=draw(st.sampled_from(["novel", "poetry", "reference"])),
+            available=draw(st.booleans()),
+        )
+        price = draw(
+            st.one_of(
+                st.none(),
+                st.floats(min_value=0, max_value=500, allow_nan=False),
+            )
+        )
+        if price is not None:
+            book.price = price
+        book.set("tags", draw(st.lists(name_text, max_size=3)))
+        library.books.append(book)
+    n_members = draw(st.integers(min_value=0, max_value=3))
+    for _ in range(n_members):
+        member = MEMBER.create(name=draw(name_text))
+        library.members.append(member)
+        if len(library.books):
+            for book in draw(
+                st.lists(st.sampled_from(list(library.books)), max_size=3)
+            ):
+                member.borrowed.append(book)
+    return library
+
+
+@settings(max_examples=40, deadline=None)
+@given(libraries())
+def test_json_round_trip_is_identity(library):
+    restored = jsonio.loads(jsonio.dumps(library), REGISTRY)
+    assert jsonio.to_dict(restored) == jsonio.to_dict(library)
+
+
+@settings(max_examples=40, deadline=None)
+@given(libraries())
+def test_xmi_round_trip_is_identity(library):
+    restored = xmi.loads(xmi.dumps(library), REGISTRY)
+    assert jsonio.to_dict(restored) == jsonio.to_dict(library)
+
+
+@settings(max_examples=40, deadline=None)
+@given(libraries())
+def test_clone_has_empty_diff(library):
+    assert diff(library, clone_tree(library)) == []
+
+
+@settings(max_examples=30, deadline=None)
+@given(libraries(), st.data())
+def test_apply_diff_converges_after_mutation(library, data):
+    copy = clone_tree(library)
+    # random mutations on the copy
+    if len(copy.books):
+        victim = data.draw(st.sampled_from(list(copy.books)))
+        action = data.draw(st.sampled_from(["rename", "delete", "retag"]))
+        if action == "rename":
+            victim.name = data.draw(name_text)
+        elif action == "delete":
+            victim.delete()
+        else:
+            victim.set("tags", data.draw(st.lists(name_text, max_size=2)))
+    copy.books.append(BOOK.create(name=data.draw(name_text)))
+    changes = diff(library, copy)
+    apply_diff(library, copy, changes)
+    assert diff(library, copy) == []
+
+
+@settings(max_examples=40, deadline=None)
+@given(libraries())
+def test_containment_is_a_tree(library):
+    seen = set()
+    for obj in library.all_contents():
+        assert id(obj) not in seen, "object reachable twice => not a tree"
+        seen.add(id(obj))
+        assert obj.root() is library
+        assert obj.container is not None
+
+
+@settings(max_examples=40, deadline=None)
+@given(libraries())
+def test_opposites_are_symmetric(library):
+    for member in library.members:
+        for book in member.borrowed:
+            assert book.borrower is member
+    for book in library.books:
+        if book.borrower is not None:
+            assert book in book.borrower.borrowed
+
+
+@settings(max_examples=40, deadline=None)
+@given(libraries())
+def test_ocl_select_reject_partition(library):
+    selected = evaluate("self.books->select(b | b.pages > 100)", library)
+    rejected = evaluate("self.books->reject(b | b.pages > 100)", library)
+    assert len(selected) + len(rejected) == len(library.books)
+    assert evaluate("self.books->size()", library) == len(library.books)
+
+
+@settings(max_examples=40, deadline=None)
+@given(libraries())
+def test_ocl_exists_agrees_with_select(library):
+    exists = evaluate("self.books->exists(b | b.available)", library)
+    matches = evaluate("self.books->select(b | b.available)", library)
+    assert exists == (len(matches) > 0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(libraries())
+def test_ocl_forall_is_negated_exists(library):
+    forall = evaluate("self.books->forAll(b | b.pages >= 0)", library)
+    exists_violation = evaluate("self.books->exists(b | b.pages < 0)", library)
+    assert forall == (not exists_violation)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(min_value=-50, max_value=50), max_size=8))
+def test_ocl_sequence_sum_matches_python(values):
+    literal = "Sequence{" + ", ".join(str(v) for v in values) + "}"
+    assert evaluate(f"{literal}->sum()", None) == sum(values)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=9), min_size=1, max_size=8))
+def test_ocl_asset_size_matches_python_set(values):
+    literal = "Sequence{" + ", ".join(str(v) for v in values) + "}"
+    assert evaluate(f"{literal}->asSet()->size()", None) == len(set(values))

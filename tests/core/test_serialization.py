@@ -1,0 +1,220 @@
+"""Unit tests for XMI and JSON (de)serialization round trips."""
+
+import pytest
+
+from repro.core import MetamodelRegistry
+from repro.core.errors import SerializationError
+from repro.core.serialization import jsonio, xmi
+
+
+@pytest.fixture()
+def registry(library_package):
+    registry = MetamodelRegistry()
+    registry.register(library_package)
+    return registry
+
+
+def assert_library_shape(restored):
+    assert restored.name == "Civic"
+    assert [b.name for b in restored.books] == ["Hamlet", "Dune", "First Folio"]
+    assert restored.books[1].borrower is restored.members[0]
+    assert restored.members[0].borrowed[0] is restored.books[1]
+    assert restored.featured is restored.books[0]
+    assert restored.books[2].metaclass.name == "RareBook"
+    assert restored.books[2].appraisal == 100000.0
+
+
+class TestJson:
+    def test_round_trip(self, sample_library, registry):
+        text = jsonio.dumps(sample_library)
+        restored = jsonio.loads(text, registry)
+        assert_library_shape(restored)
+
+    def test_ids_preserved(self, sample_library, registry):
+        restored = jsonio.loads(jsonio.dumps(sample_library), registry)
+        assert restored.id == sample_library.id
+        assert [b.id for b in restored.books] == [
+            b.id for b in sample_library.books
+        ]
+
+    def test_unset_features_omitted(self, sample_library):
+        document = jsonio.to_dict(sample_library)
+        hamlet = document["books"][0]
+        assert "borrower" not in hamlet
+        assert "tags" not in hamlet
+
+    def test_many_attribute_round_trip(self, classes, registry):
+        lib = classes["Library"].create(name="L")
+        book = classes["Book"].create(name="B")
+        book.tags.extend(["x", "y"])
+        lib.books.append(book)
+        restored = jsonio.loads(jsonio.dumps(lib), registry)
+        assert list(restored.books[0].tags) == ["x", "y"]
+
+    def test_file_round_trip(self, sample_library, registry, tmp_path):
+        path = str(tmp_path / "model.json")
+        jsonio.dump(sample_library, path)
+        assert_library_shape(jsonio.load(path, registry))
+
+    def test_unknown_metaclass_rejected(self, registry):
+        with pytest.raises(SerializationError):
+            jsonio.from_dict({"eClass": "library.Martian", "id": "x"}, registry)
+
+    def test_missing_eclass_rejected(self, registry):
+        with pytest.raises(SerializationError):
+            jsonio.from_dict({"id": "x"}, registry)
+
+    def test_unknown_feature_rejected(self, registry):
+        document = {"eClass": "library.Book", "id": "x", "zzz": 1}
+        with pytest.raises(SerializationError):
+            jsonio.from_dict(document, registry)
+
+    def test_dangling_ref_rejected(self, registry):
+        document = {
+            "eClass": "library.Library",
+            "id": "l",
+            "name": "L",
+            "featured": {"$ref": "ghost"},
+        }
+        with pytest.raises(SerializationError):
+            jsonio.from_dict(document, registry)
+
+    def test_malformed_ref_stub_rejected(self, registry):
+        document = {
+            "eClass": "library.Library",
+            "id": "l",
+            "name": "L",
+            "featured": {"oops": "x"},
+        }
+        with pytest.raises(SerializationError):
+            jsonio.from_dict(document, registry)
+
+
+class TestXmi:
+    def test_round_trip(self, sample_library, registry):
+        text = xmi.dumps(sample_library)
+        restored = xmi.loads(text, registry)
+        assert_library_shape(restored)
+
+    def test_namespace_and_ids_present(self, sample_library):
+        text = xmi.dumps(sample_library)
+        assert "http://www.omg.org/XMI" in text
+        assert sample_library.id in text
+
+    def test_concrete_type_attribute_for_subclasses(self, sample_library):
+        text = xmi.dumps(sample_library)
+        assert "library.RareBook" in text
+
+    def test_boolean_and_real_round_trip(self, classes, registry):
+        lib = classes["Library"].create(name="L")
+        book = classes["Book"].create(name="B", available=False, price=3.25)
+        lib.books.append(book)
+        restored = xmi.loads(xmi.dumps(lib), registry)
+        assert restored.books[0].available is False
+        assert restored.books[0].price == 3.25
+
+    def test_many_attribute_round_trip(self, classes, registry):
+        lib = classes["Library"].create(name="L")
+        book = classes["Book"].create(name="B")
+        book.tags.extend(["x", "y"])
+        lib.books.append(book)
+        restored = xmi.loads(xmi.dumps(lib), registry)
+        assert list(restored.books[0].tags) == ["x", "y"]
+
+    def test_file_round_trip(self, sample_library, registry, tmp_path):
+        path = str(tmp_path / "model.xmi")
+        xmi.dump(sample_library, path)
+        assert_library_shape(xmi.load(path, registry))
+
+    def test_malformed_xml_rejected(self, registry):
+        with pytest.raises(SerializationError):
+            xmi.loads("<not-closed", registry)
+
+    def test_dangling_reference_rejected(self, registry):
+        text = (
+            '<xmi:XMI xmlns:xmi="http://www.omg.org/XMI">'
+            '<library.Library xmi:id="l" name="L" featured="ghost"/>'
+            "</xmi:XMI>"
+        )
+        with pytest.raises(SerializationError):
+            xmi.loads(text, registry)
+
+    def test_unknown_attribute_rejected(self, registry):
+        text = (
+            '<xmi:XMI xmlns:xmi="http://www.omg.org/XMI">'
+            '<library.Library xmi:id="l" name="L" zzz="1"/>'
+            "</xmi:XMI>"
+        )
+        with pytest.raises(SerializationError):
+            xmi.loads(text, registry)
+
+    def test_bad_integer_literal_rejected(self, registry):
+        text = (
+            '<xmi:XMI xmlns:xmi="http://www.omg.org/XMI">'
+            '<library.Book xmi:id="b" name="B" pages="lots"/>'
+            "</xmi:XMI>"
+        )
+        with pytest.raises(SerializationError):
+            xmi.loads(text, registry)
+
+    def test_two_roots_rejected(self, registry):
+        text = (
+            '<xmi:XMI xmlns:xmi="http://www.omg.org/XMI">'
+            '<library.Book xmi:id="a" name="A"/>'
+            '<library.Book xmi:id="b" name="B"/>'
+            "</xmi:XMI>"
+        )
+        with pytest.raises(SerializationError):
+            xmi.loads(text, registry)
+
+
+class TestCrossFormat:
+    def test_json_and_xmi_agree(self, sample_library, registry):
+        via_json = jsonio.loads(jsonio.dumps(sample_library), registry)
+        via_xmi = xmi.loads(xmi.dumps(sample_library), registry)
+        assert jsonio.to_dict(via_json) == jsonio.to_dict(via_xmi)
+
+
+class TestDuplicateIds:
+    def test_json_duplicate_ids_rejected(self, registry):
+        document = {
+            "eClass": "library.Library",
+            "id": "dup",
+            "name": "L",
+            "books": [
+                {"eClass": "library.Book", "id": "dup", "name": "B"},
+            ],
+        }
+        with pytest.raises(SerializationError):
+            jsonio.from_dict(document, registry)
+
+    def test_xmi_duplicate_ids_rejected(self, registry):
+        text = (
+            '<xmi:XMI xmlns:xmi="http://www.omg.org/XMI">'
+            '<library.Library xmi:id="dup" name="L">'
+            '<books xmi:type="library.Book" xmi:id="dup" name="B"/>'
+            "</library.Library>"
+            "</xmi:XMI>"
+        )
+        with pytest.raises(SerializationError):
+            xmi.loads(text, registry)
+
+
+class TestSelfContainedness:
+    def test_cross_tree_reference_rejected_at_dump(self, classes):
+        lib1 = classes["Library"].create(name="One")
+        lib2 = classes["Library"].create(name="Two")
+        inside = classes["Book"].create(name="inside")
+        outside = classes["Book"].create(name="outside")
+        lib1.books.append(inside)
+        lib2.books.append(outside)
+        lib1.featured = outside  # escapes lib1's tree
+        with pytest.raises(SerializationError) as excinfo:
+            jsonio.dumps(lib1)
+        assert "outside the serialized tree" in str(excinfo.value)
+        with pytest.raises(SerializationError):
+            xmi.dumps(lib1)
+
+    def test_self_contained_tree_still_fine(self, sample_library):
+        assert jsonio.dumps(sample_library)
+        assert xmi.dumps(sample_library)

@@ -1,0 +1,129 @@
+"""Stateful property testing: random mutation sequences keep the kernel sane.
+
+A hypothesis :class:`RuleBasedStateMachine` performs arbitrary interleavings
+of the kernel's mutating operations — create, contain, move, borrow, return,
+retag, delete — and checks the global invariants after every step:
+
+* containment forms a forest (unique container, roots terminate);
+* opposite references are always symmetric;
+* serialization round trip stays the identity;
+* diff against a fresh clone stays empty.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.core import MetamodelRegistry
+from repro.core.diff import clone_tree, diff
+from repro.core.serialization import jsonio
+
+from .test_properties import BOOK, LIBRARY, MEMBER, PACKAGE
+
+REGISTRY = MetamodelRegistry()
+if PACKAGE.uri not in REGISTRY:
+    REGISTRY.register(PACKAGE)
+
+names = st.sampled_from(["ada", "bob", "eve", "kim", "zoe"])
+
+
+class KernelMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.library = LIBRARY.create(name="main")
+        self.other = LIBRARY.create(name="annex")
+
+    # -- mutations -----------------------------------------------------------
+
+    @rule(name=names, pages=st.integers(min_value=0, max_value=999))
+    def add_book(self, name, pages):
+        self.library.books.append(BOOK.create(name=name, pages=pages))
+
+    @rule(name=names)
+    def add_member(self, name):
+        self.library.members.append(MEMBER.create(name=name))
+
+    @precondition(lambda self: len(self.library.books) > 0)
+    @rule(index=st.integers(min_value=0, max_value=99))
+    def move_book_to_annex(self, index):
+        books = list(self.library.books)
+        book = books[index % len(books)]
+        # a transfer returns the loan first; otherwise the borrowed/borrower
+        # pair would span two trees and (correctly) refuse to serialize
+        book.borrower = None
+        self.other.books.append(book)
+
+    @precondition(lambda self: len(self.other.books) > 0)
+    @rule(index=st.integers(min_value=0, max_value=99))
+    def move_book_back(self, index):
+        books = list(self.other.books)
+        self.library.books.append(books[index % len(books)])
+
+    @precondition(
+        lambda self: len(self.library.books) > 0
+        and len(self.library.members) > 0
+    )
+    @rule(b=st.integers(min_value=0, max_value=99),
+          m=st.integers(min_value=0, max_value=99))
+    def borrow(self, b, m):
+        books = list(self.library.books)
+        members = list(self.library.members)
+        members[m % len(members)].borrowed.append(books[b % len(books)])
+
+    @precondition(lambda self: any(
+        len(m.borrowed) for m in self.library.members
+    ))
+    @rule()
+    def return_first_loan(self):
+        for member in self.library.members:
+            if len(member.borrowed):
+                member.borrowed.pop()
+                return
+
+    @precondition(lambda self: len(self.library.books) > 0)
+    @rule(index=st.integers(min_value=0, max_value=99), tag=names)
+    def retag(self, index, tag):
+        books = list(self.library.books)
+        books[index % len(books)].tags.append(tag)
+
+    @precondition(lambda self: len(self.library.books) > 1)
+    @rule(index=st.integers(min_value=0, max_value=99))
+    def delete_book(self, index):
+        books = list(self.library.books)
+        books[index % len(books)].delete()
+
+    # -- invariants ------------------------------------------------------------
+
+    @invariant()
+    def containment_is_a_forest(self):
+        for root in (self.library, self.other):
+            seen = set()
+            for obj in root.all_contents():
+                assert id(obj) not in seen
+                seen.add(id(obj))
+                assert obj.root() is root
+
+    @invariant()
+    def opposites_symmetric(self):
+        for root in (self.library, self.other):
+            for member in getattr(root, "members", []):
+                for book in member.borrowed:
+                    assert book.borrower is member
+            for book in root.books:
+                if book.borrower is not None:
+                    assert book in book.borrower.borrowed
+
+    @invariant()
+    def round_trip_identity(self):
+        restored = jsonio.loads(jsonio.dumps(self.library), REGISTRY)
+        assert jsonio.to_dict(restored) == jsonio.to_dict(self.library)
+
+    @invariant()
+    def clone_diffs_empty(self):
+        assert diff(self.library, clone_tree(self.library)) == []
+
+
+KernelMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=20, deadline=None
+)
+TestKernelMachine = KernelMachine.TestCase

@@ -1,0 +1,115 @@
+"""Unit tests for traversal helpers and the metamodel registry."""
+
+import pytest
+
+from repro.core import (
+    MetaPackage,
+    MetamodelRegistry,
+    count,
+    find,
+    find_all,
+    find_by_name,
+    incoming_references,
+    objects_of_type,
+    path_of,
+    walk,
+)
+from repro.core.errors import MetamodelError
+
+
+class TestWalk:
+    def test_preorder_with_root(self, sample_library):
+        names = [obj.label() for obj in walk(sample_library)]
+        assert names[0] == "Civic"
+        assert set(names[1:]) == {"Hamlet", "Dune", "First Folio", "Alice"}
+
+    def test_without_root(self, sample_library):
+        names = [obj.label() for obj in walk(sample_library, include_root=False)]
+        assert "Civic" not in names
+
+    def test_count(self, sample_library):
+        assert count(sample_library) == 5
+
+
+class TestQueries:
+    def test_objects_of_type_respects_inheritance(self, sample_library, classes):
+        books = objects_of_type(sample_library, classes["Book"])
+        assert len(books) == 3  # RareBook conforms to Book
+        rare = objects_of_type(sample_library, classes["RareBook"])
+        assert len(rare) == 1
+
+    def test_find_first_match(self, sample_library):
+        hit = find(sample_library, lambda o: o.label().startswith("D"))
+        assert hit.label() == "Dune"
+
+    def test_find_none(self, sample_library):
+        assert find(sample_library, lambda o: o.label() == "Ghost") is None
+
+    def test_find_all(self, sample_library, classes):
+        hits = find_all(
+            sample_library,
+            lambda o: o.is_instance_of(classes["Book"]) and o.pages > 300,
+        )
+        assert {h.label() for h in hits} == {"Dune", "First Folio"}
+
+    def test_find_by_name(self, sample_library):
+        assert find_by_name(sample_library, "Alice").label() == "Alice"
+        assert find_by_name(sample_library, "Zeus") is None
+
+    def test_path_of(self, sample_library):
+        assert path_of(sample_library.books[0]) == "Civic/Hamlet"
+        assert path_of(sample_library) == "Civic"
+
+    def test_incoming_references(self, sample_library):
+        hamlet = sample_library.books[0]
+        hits = incoming_references(sample_library, hamlet)
+        assert ("featured" in {feature for _, feature in hits})
+
+    def test_incoming_references_ignore_containment(self, sample_library):
+        alice = sample_library.members[0]
+        hits = incoming_references(sample_library, alice)
+        # Alice is only pointed at via containment (members) and the
+        # borrower opposite on Dune.
+        assert all(feature == "borrower" for _, feature in hits)
+
+
+class TestRegistry:
+    def test_register_and_lookup(self, library_package):
+        registry = MetamodelRegistry()
+        registry.register(library_package)
+        assert registry.by_uri("urn:test:library") is library_package
+        assert registry.by_name("library") is library_package
+        assert len(registry) == 1
+        assert "urn:test:library" in registry
+
+    def test_find_class_qualified_and_bare(self, library_package):
+        registry = MetamodelRegistry()
+        registry.register(library_package)
+        assert registry.find_class("library.Book").name == "Book"
+        assert registry.find_class("Book").name == "Book"
+        assert registry.find_class("library.Martian") is None
+        assert registry.find_class("Martian") is None
+
+    def test_double_register_same_package_ok(self, library_package):
+        registry = MetamodelRegistry()
+        registry.register(library_package)
+        registry.register(library_package)
+        assert len(registry) == 1
+
+    def test_uri_conflict_rejected(self, library_package):
+        registry = MetamodelRegistry()
+        registry.register(library_package)
+        impostor = MetaPackage("other", "urn:test:library")
+        with pytest.raises(MetamodelError):
+            registry.register(impostor)
+
+    def test_unregister(self, library_package):
+        registry = MetamodelRegistry()
+        registry.register(library_package)
+        registry.unregister(library_package)
+        assert registry.by_uri("urn:test:library") is None
+
+    def test_packages_iteration(self, library_package):
+        registry = MetamodelRegistry()
+        registry.register(library_package)
+        assert list(registry.packages()) == [library_package]

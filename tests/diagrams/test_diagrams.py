@@ -1,0 +1,167 @@
+"""Unit tests for the PlantUML / Mermaid / ASCII diagram emitters."""
+
+import pytest
+
+from repro.casestudy.easychair import build_uml_model
+from repro.diagrams import ascii as ascii_art
+from repro.diagrams import mermaid, plantuml
+from repro.dqwebre.metamodel import DQWEBRE
+from repro.dqwebre.profile import build_dqwebre_profile
+from repro.webre.metamodel import WEBRE
+
+
+@pytest.fixture(scope="module")
+def case():
+    return build_uml_model()
+
+
+class TestPlantUmlMetamodel:
+    def test_webre_metamodel_diagram(self):
+        source = plantuml.metamodel_diagram(WEBRE, title="WebRE")
+        assert source.startswith("@startuml")
+        assert source.endswith("@enduml")
+        assert "title WebRE" in source
+        for name in ("WebProcess", "Navigation", "Content", "WebUI"):
+            assert name in source
+
+    def test_containment_vs_reference_arrows(self):
+        source = plantuml.metamodel_diagram(WEBRE)
+        assert "*--" in source  # containment (e.g. model contains users)
+        assert "-->" in source  # plain reference (e.g. browse target)
+
+    def test_inheritance_arrows(self):
+        source = plantuml.metamodel_diagram(WEBRE)
+        assert "Browse <|-- Search" in source
+
+    def test_highlighting(self):
+        source = plantuml.metamodel_diagram(
+            DQWEBRE, highlight=["DQ_Validator"]
+        )
+        highlighted = [
+            line for line in source.splitlines()
+            if "DQ_Validator" in line and "#D5E8D4" in line
+        ]
+        assert highlighted
+
+    def test_abstract_marker(self):
+        source = plantuml.metamodel_diagram(WEBRE)
+        assert 'abstract class "WebREActivity"' in source
+
+
+class TestPlantUmlUseCases:
+    def test_figure6_content(self, case):
+        source = plantuml.usecase_diagram(case["usecases_package"])
+        assert 'actor "PC member"' in source
+        assert "<<WebUser>>" in source
+        assert '"Add new review to submission"' in source
+        assert "<<WebProcess>>" in source
+        assert "<<InformationCase>>" in source
+        assert "<<DQ_Requirement>>" in source
+        assert "<<include>>" in source
+
+    def test_comment_note_rendered(self, case):
+        source = plantuml.usecase_diagram(case["usecases_package"])
+        assert "note" in source
+        assert "first_name" in source
+
+
+class TestPlantUmlActivity:
+    def test_figure7_content(self, case):
+        source = plantuml.activity_diagram(case["activity"])
+        assert "add reviewer information" in source
+        assert "<<UserTransaction>>" in source
+        assert "<<Add_DQ_Metadata>>" in source
+        assert "webpage of New Review" in source
+        assert "-->" in source   # control flows
+        assert "..>" in source   # object flows
+
+
+class TestPlantUmlClasses:
+    def test_class_diagram(self, case):
+        source = plantuml.class_diagram(case["classes_package"])
+        assert "<<DQ_Metadata>>" in source
+        assert "<<DQ_Validator>>" in source
+        assert "<<DQConstraint>>" in source
+        assert "check_completeness()" in source
+        assert "stored_by" in source
+
+
+class TestPlantUmlProfile:
+    def test_full_profile(self):
+        source = plantuml.profile_diagram(build_dqwebre_profile())
+        assert "<<stereotype>>" in source
+        assert "InformationCase" in source
+        assert "DQConstraint" in source
+        assert "upper_bound : integer" in source
+        assert "<<metaclass>>" in source
+        assert "<<extends>>" in source
+
+    def test_subset_selection(self):
+        source = plantuml.profile_diagram(
+            build_dqwebre_profile(), only=["DQ_Metadata"]
+        )
+        assert "DQ_Metadata" in source
+        assert "InformationCase" not in source
+
+    def test_constraint_notes(self):
+        source = plantuml.profile_diagram(
+            build_dqwebre_profile(), only=["DQConstraint"]
+        )
+        assert "DQ_Validator" in source  # the Table 3 constraint text
+
+
+class TestPlantUmlRequirements:
+    def test_requirement_diagram(self, case):
+        source = plantuml.requirement_diagram(case["requirements_package"])
+        assert "<<requirement>>" in source
+        assert "<<refine>>" in source
+        assert "DQ spec" in source
+
+
+class TestMermaid:
+    def test_metamodel(self):
+        source = mermaid.metamodel_diagram(WEBRE)
+        assert source.startswith("classDiagram")
+        assert "WebProcess" in source
+        assert "<|--" in source
+
+    def test_usecase(self, case):
+        source = mermaid.usecase_diagram(case["usecases_package"])
+        assert source.startswith("graph LR")
+        assert "include" in source
+        assert "PC_member" in source
+
+    def test_activity(self, case):
+        source = mermaid.activity_diagram(case["activity"])
+        assert source.startswith("flowchart TD")
+        assert "((start))" in source
+        assert "(((end)))" in source
+        assert "-.->" in source  # object flow
+
+
+class TestAscii:
+    def test_containment_tree(self, builder):
+        text = ascii_art.containment_tree(builder.model)
+        assert text.splitlines()[0].startswith("DQWebREModel")
+        assert "InformationCase" in text
+
+    def test_metamodel_summary(self):
+        text = ascii_art.metamodel_summary(WEBRE)
+        assert "class WebProcess" in text
+        assert "contains" in text
+        assert "refs" in text
+
+    def test_table(self):
+        text = ascii_art.table(
+            ["a", "b"], [["1", "a very long cell that should be clipped"]],
+            max_width=10,
+        )
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert "…" in text
+
+    def test_object_card(self, builder):
+        card = ascii_art.object_card(builder.model.dq_constraints[0])
+        assert "[DQConstraint]" in card
+        assert "lower_bound" in card
+        assert "validator ->" in card

@@ -1,0 +1,187 @@
+"""Unit tests for the Strong/Lee/Wang dimensions and the DQR/DQSR model."""
+
+import pytest
+
+from repro.dq import dimensions, iso25012
+from repro.dq.dimensions import DimensionCategory
+from repro.dq.requirements import (
+    DataQualityRequirement,
+    DataQualitySoftwareRequirement,
+    Mechanism,
+    RequirementsCatalog,
+    requirement_for,
+)
+
+
+class TestDimensions:
+    def test_fifteen_dimensions(self):
+        assert len(dimensions.ALL_DIMENSIONS) == 15
+
+    def test_four_categories(self):
+        by_cat = {
+            cat: dimensions.by_category(cat) for cat in DimensionCategory
+        }
+        assert len(by_cat[DimensionCategory.INTRINSIC]) == 4
+        assert len(by_cat[DimensionCategory.CONTEXTUAL]) == 5
+        assert len(by_cat[DimensionCategory.REPRESENTATIONAL]) == 4
+        assert len(by_cat[DimensionCategory.ACCESSIBILITY]) == 2
+
+    def test_by_name(self):
+        assert dimensions.by_name("timeliness") is dimensions.TIMELINESS
+        with pytest.raises(KeyError):
+            dimensions.by_name("speed")
+
+    def test_every_dimension_maps_to_characteristics(self):
+        for dimension in dimensions.ALL_DIMENSIONS:
+            mapped = dimensions.characteristics_for(dimension)
+            assert mapped, dimension.name
+            for characteristic in mapped:
+                assert characteristic in iso25012.ALL_CHARACTERISTICS
+
+    def test_case_study_mappings(self):
+        assert iso25012.COMPLETENESS in dimensions.characteristics_for(
+            dimensions.COMPLETENESS
+        )
+        assert iso25012.CONFIDENTIALITY in dimensions.characteristics_for(
+            dimensions.ACCESS_SECURITY
+        )
+        assert iso25012.CURRENTNESS in dimensions.characteristics_for(
+            dimensions.TIMELINESS
+        )
+
+    def test_inverse_mapping(self):
+        served = dimensions.dimensions_for(iso25012.CREDIBILITY)
+        assert dimensions.BELIEVABILITY in served
+        assert dimensions.OBJECTIVITY in served
+
+
+class TestDQR:
+    def test_basic_construction(self):
+        dqr = requirement_for(
+            "Add review", "PC member", ["score"], "Precision", "scores valid"
+        )
+        assert dqr.characteristic is iso25012.PRECISION
+        assert dqr.req_id.startswith("DQR-")
+        assert "Precision" in dqr.describe()
+
+    def test_validation_of_fields(self):
+        with pytest.raises(ValueError):
+            DataQualityRequirement(
+                task="", user_role="r", data_items=("x",),
+                characteristic=iso25012.ACCURACY,
+            )
+        with pytest.raises(ValueError):
+            DataQualityRequirement(
+                task="t", user_role="", data_items=("x",),
+                characteristic=iso25012.ACCURACY,
+            )
+        with pytest.raises(ValueError):
+            DataQualityRequirement(
+                task="t", user_role="r", data_items=(),
+                characteristic=iso25012.ACCURACY,
+            )
+
+    def test_ids_unique(self):
+        a = requirement_for("t", "r", ["x"], "Accuracy")
+        b = requirement_for("t", "r", ["x"], "Accuracy")
+        assert a.req_id != b.req_id
+
+
+class TestDQSR:
+    def test_metadata_mechanism_needs_attributes(self):
+        with pytest.raises(ValueError):
+            DataQualitySoftwareRequirement(
+                derived_from="DQR-x",
+                characteristic=iso25012.TRACEABILITY,
+                functional_statement="trace",
+                mechanism=Mechanism.METADATA,
+            )
+
+    def test_validator_mechanism_needs_operations(self):
+        with pytest.raises(ValueError):
+            DataQualitySoftwareRequirement(
+                derived_from="DQR-x",
+                characteristic=iso25012.COMPLETENESS,
+                functional_statement="check",
+                mechanism=Mechanism.VALIDATOR,
+            )
+
+    def test_constraint_mechanism_needs_constraints(self):
+        with pytest.raises(ValueError):
+            DataQualitySoftwareRequirement(
+                derived_from="DQR-x",
+                characteristic=iso25012.PRECISION,
+                functional_statement="bound",
+                mechanism=Mechanism.CONSTRAINT,
+            )
+
+    def test_describe(self):
+        dqsr = DataQualitySoftwareRequirement(
+            derived_from="DQR-1",
+            characteristic=iso25012.COMPLETENESS,
+            functional_statement="verify all fields",
+            mechanism=Mechanism.VALIDATOR,
+            operations=("check_completeness",),
+        )
+        text = dqsr.describe()
+        assert "DQR-1" in text and "validator" in text
+
+
+class TestCatalog:
+    @pytest.fixture()
+    def catalog(self):
+        catalog = RequirementsCatalog()
+        self.dqr = catalog.add_requirement(
+            requirement_for(
+                "Add review", "PC member", ["score"], "Precision"
+            )
+        )
+        catalog.add_software_requirement(
+            DataQualitySoftwareRequirement(
+                derived_from=self.dqr.req_id,
+                characteristic=iso25012.PRECISION,
+                functional_statement="validate",
+                mechanism=Mechanism.VALIDATOR,
+                operations=("check_precision",),
+            )
+        )
+        return catalog
+
+    def test_duplicate_dqr_rejected(self, catalog):
+        with pytest.raises(ValueError):
+            catalog.add_requirement(self.dqr)
+
+    def test_dqsr_with_unknown_parent_rejected(self, catalog):
+        with pytest.raises(ValueError):
+            catalog.add_software_requirement(
+                DataQualitySoftwareRequirement(
+                    derived_from="DQR-ghost",
+                    characteristic=iso25012.PRECISION,
+                    functional_statement="x",
+                    mechanism=Mechanism.VALIDATOR,
+                    operations=("op",),
+                )
+            )
+
+    def test_queries(self, catalog):
+        assert catalog.requirements_for_task("Add review") == [self.dqr]
+        assert catalog.requirements_for_role("PC member") == [self.dqr]
+        assert catalog.by_characteristic(iso25012.PRECISION) == [self.dqr]
+        assert catalog.by_characteristic(iso25012.ACCURACY) == []
+        assert len(catalog.derived_from(self.dqr.req_id)) == 1
+        assert len(catalog.by_mechanism(Mechanism.VALIDATOR)) == 1
+
+    def test_untranslated(self, catalog):
+        orphan = catalog.add_requirement(
+            requirement_for("Other task", "Chair", ["x"], "Accuracy")
+        )
+        assert catalog.untranslated_requirements() == [orphan]
+
+    def test_characteristics_in_use(self, catalog):
+        assert catalog.characteristics_in_use() == [iso25012.PRECISION]
+
+    def test_summary_renders(self, catalog):
+        text = catalog.summary()
+        assert "1 DQR(s)" in text
+        assert "check_precision" not in text  # summary shows statements
+        assert "->" in text

@@ -1,0 +1,83 @@
+"""Unit tests for the ISO/IEC 25012 model — the content of the paper's
+Table 1."""
+
+import pytest
+
+from repro.dq import iso25012
+from repro.dq.iso25012 import Category
+
+
+class TestCatalogue:
+    def test_fifteen_characteristics(self):
+        assert len(iso25012.ALL_CHARACTERISTICS) == 15
+
+    def test_table1_groups(self):
+        inherent = iso25012.by_category(Category.INHERENT)
+        both = iso25012.by_category(Category.INHERENT_AND_SYSTEM_DEPENDENT)
+        system = iso25012.by_category(Category.SYSTEM_DEPENDENT)
+        assert [c.name for c in inherent] == [
+            "Accuracy", "Completeness", "Consistency", "Credibility",
+            "Currentness",
+        ]
+        assert [c.name for c in both] == [
+            "Accessibility", "Compliance", "Confidentiality", "Efficiency",
+            "Precision", "Traceability", "Understandability",
+        ]
+        assert [c.name for c in system] == [
+            "Availability", "Portability", "Recoverability",
+        ]
+
+    def test_paper_case_study_characteristics_present(self):
+        # §4 uses exactly these four.
+        for name in ("Confidentiality", "Completeness", "Traceability",
+                     "Precision"):
+            assert iso25012.find(name) is not None
+
+    def test_definitions_match_table1_wording(self):
+        assert "true value" in iso25012.ACCURACY.definition
+        assert "all expected attributes" in iso25012.COMPLETENESS.definition
+        assert "free from contradiction" in iso25012.CONSISTENCY.definition
+        assert "audit trail" in iso25012.TRACEABILITY.definition
+        assert "only accessible and interpretable by authorized" in (
+            iso25012.CONFIDENTIALITY.definition
+        )
+        assert "exact or that provide discrimination" in (
+            iso25012.PRECISION.definition
+        )
+
+    def test_every_definition_ends_with_context_of_use(self):
+        for characteristic in iso25012.ALL_CHARACTERISTICS:
+            assert "context" in characteristic.definition, characteristic.name
+
+
+class TestLookup:
+    def test_by_name_case_insensitive(self):
+        assert iso25012.by_name("completeness") is iso25012.COMPLETENESS
+        assert iso25012.by_name("COMPLETENESS") is iso25012.COMPLETENESS
+
+    def test_by_name_unknown_raises_with_catalogue(self):
+        with pytest.raises(KeyError) as excinfo:
+            iso25012.by_name("Swiftness")
+        assert "Accuracy" in str(excinfo.value)
+
+    def test_find_returns_none(self):
+        assert iso25012.find("Swiftness") is None
+
+    def test_names_tuple_matches(self):
+        assert len(iso25012.CHARACTERISTIC_NAMES) == 15
+        assert iso25012.CHARACTERISTIC_NAMES[0] == "Accuracy"
+
+
+class TestFacets:
+    def test_is_inherent(self):
+        assert iso25012.is_inherent(iso25012.ACCURACY)
+        assert iso25012.is_inherent(iso25012.PRECISION)  # both group
+        assert not iso25012.is_inherent(iso25012.PORTABILITY)
+
+    def test_is_system_dependent(self):
+        assert iso25012.is_system_dependent(iso25012.PORTABILITY)
+        assert iso25012.is_system_dependent(iso25012.TRACEABILITY)
+        assert not iso25012.is_system_dependent(iso25012.ACCURACY)
+
+    def test_str(self):
+        assert str(iso25012.ACCURACY) == "Accuracy"

@@ -1,0 +1,103 @@
+"""Unit tests for DQ metadata records and the deterministic clock."""
+
+import pytest
+
+from repro.dq.metadata import (
+    CONFIDENTIALITY_ATTRIBUTES,
+    TRACEABILITY_ATTRIBUTES,
+    Clock,
+    DQMetadataRecord,
+)
+
+
+class TestClock:
+    def test_monotonic(self):
+        clock = Clock()
+        ticks = [clock.now() for _ in range(5)]
+        assert ticks == sorted(ticks)
+        assert len(set(ticks)) == 5
+
+    def test_peek_does_not_advance(self):
+        clock = Clock()
+        clock.now()
+        assert clock.peek() == clock.peek()
+
+    def test_start_offset(self):
+        clock = Clock(start=100)
+        assert clock.now() == 101
+
+
+class TestCapture:
+    def test_record_store_sets_all_traceability(self):
+        clock = Clock()
+        record = DQMetadataRecord().record_store("ada", clock)
+        assert record.stored_by == "ada"
+        assert record.last_modified_by == "ada"
+        assert record.stored_date == record.last_modified_date
+        assert not record.was_modified()
+
+    def test_record_modification(self):
+        clock = Clock()
+        record = DQMetadataRecord().record_store("ada", clock)
+        record.record_modification("bob", clock)
+        assert record.stored_by == "ada"
+        assert record.last_modified_by == "bob"
+        assert record.was_modified()
+
+    def test_age(self):
+        clock = Clock()
+        record = DQMetadataRecord().record_store("ada", clock)
+        clock.now()
+        clock.now()
+        assert record.age(clock) == 2
+
+    def test_age_unstored(self):
+        assert DQMetadataRecord().age(Clock()) is None
+
+    def test_canonical_attribute_names(self):
+        assert TRACEABILITY_ATTRIBUTES == (
+            "stored_by", "stored_date", "last_modified_by",
+            "last_modified_date",
+        )
+        assert CONFIDENTIALITY_ATTRIBUTES == (
+            "security_level", "available_to",
+        )
+
+
+class TestConfidentiality:
+    def test_restrict_and_access(self):
+        record = DQMetadataRecord().restrict(2, ["ada"])
+        assert record.accessible_by("ada", 0)        # explicit grant
+        assert record.accessible_by("chair", 2)      # clearance
+        assert record.accessible_by("boss", 5)
+        assert not record.accessible_by("eve", 1)
+
+    def test_open_record_accessible_to_all(self):
+        record = DQMetadataRecord()
+        assert record.accessible_by("anyone", 0)
+
+    def test_negative_level_rejected(self):
+        with pytest.raises(ValueError):
+            DQMetadataRecord().restrict(-1)
+
+
+class TestRendering:
+    def test_as_dict(self):
+        clock = Clock()
+        record = DQMetadataRecord().record_store("ada", clock)
+        record.restrict(1, ["ada", "bob"])
+        record.extra["note"] = "x"
+        rendered = record.as_dict()
+        assert rendered["stored_by"] == "ada"
+        assert rendered["available_to"] == ["ada", "bob"]
+        assert rendered["note"] == "x"
+
+    def test_attribute_names_populated_only(self):
+        record = DQMetadataRecord()
+        assert record.attribute_names() == []
+        record.record_store("ada", Clock())
+        names = record.attribute_names()
+        assert set(TRACEABILITY_ATTRIBUTES) <= set(names)
+        assert "security_level" not in names
+        record.restrict(1)
+        assert "security_level" in record.attribute_names()

@@ -1,0 +1,160 @@
+"""Unit tests for the DQ measurement functions."""
+
+import pytest
+
+from repro.dq import metrics
+from repro.dq.metrics import Measurement
+
+
+class TestCompleteness:
+    def test_ratio(self):
+        record = {"a": 1, "b": "", "c": None, "d": "x"}
+        assert metrics.completeness_ratio(record, ["a", "b", "c", "d"]) == 0.5
+
+    def test_blank_strings_count_missing(self):
+        assert metrics.completeness_ratio({"a": "   "}, ["a"]) == 0.0
+
+    def test_zero_and_false_count_present(self):
+        assert metrics.completeness_ratio(
+            {"a": 0, "b": False}, ["a", "b"]
+        ) == 1.0
+
+    def test_empty_expectation_is_perfect(self):
+        assert metrics.completeness_ratio({}, []) == 1.0
+
+    def test_missing_fields(self):
+        record = {"a": 1, "b": None}
+        assert metrics.missing_fields(record, ["a", "b", "c"]) == ["b", "c"]
+
+    def test_dataset_completeness(self):
+        records = [{"a": 1}, {"a": None}]
+        assert metrics.dataset_completeness(records, ["a"]) == 0.5
+        assert metrics.dataset_completeness([], ["a"]) == 1.0
+
+
+class TestPrecision:
+    def test_in_bounds(self):
+        assert metrics.in_bounds(3, -3, 3)
+        assert metrics.in_bounds(-3, -3, 3)
+        assert not metrics.in_bounds(4, -3, 3)
+        assert not metrics.in_bounds(None, -3, 3)
+        assert not metrics.in_bounds("3", -3, 3)
+        assert not metrics.in_bounds(True, 0, 1)  # booleans are not scores
+
+    def test_precision_ratio(self):
+        records = [{"s": 1}, {"s": 99}, {"s": -2}, {"s": None}]
+        assert metrics.precision_ratio(records, "s", -3, 3) == 0.5
+        assert metrics.precision_ratio([], "s", -3, 3) == 1.0
+
+
+class TestConsistency:
+    RULES = [
+        lambda r: r.get("end", 0) >= r.get("start", 0),
+        lambda r: r.get("total", 0) == r.get("a", 0) + r.get("b", 0),
+    ]
+
+    def test_violations(self):
+        good = {"start": 1, "end": 2, "a": 1, "b": 1, "total": 2}
+        bad = {"start": 5, "end": 2, "a": 1, "b": 1, "total": 9}
+        assert metrics.consistency_violations(good, self.RULES) == 0
+        assert metrics.consistency_violations(bad, self.RULES) == 2
+
+    def test_ratio(self):
+        good = {"start": 1, "end": 2, "a": 0, "b": 0, "total": 0}
+        bad = {"start": 5, "end": 2, "a": 0, "b": 0, "total": 0}
+        assert metrics.consistency_ratio([good, bad], self.RULES) == 0.75
+        assert metrics.consistency_ratio([], self.RULES) == 1.0
+        assert metrics.consistency_ratio([good], []) == 1.0
+
+
+class TestFormat:
+    EMAIL = r"[^@\s]+@[^@\s]+\.[a-z]+"
+
+    def test_format_valid(self):
+        assert metrics.format_valid("a@b.org", self.EMAIL)
+        assert not metrics.format_valid("nope", self.EMAIL)
+        assert not metrics.format_valid(42, self.EMAIL)
+
+    def test_ratio(self):
+        records = [{"e": "a@b.org"}, {"e": "bad"}]
+        assert metrics.format_validity_ratio(records, "e", self.EMAIL) == 0.5
+
+
+class TestCurrentness:
+    def test_score_decays_linearly(self):
+        assert metrics.currentness_score(0, 10) == 1.0
+        assert metrics.currentness_score(5, 10) == 0.5
+        assert metrics.currentness_score(10, 10) == 0.0
+        assert metrics.currentness_score(20, 10) == 0.0
+
+    def test_none_age_is_stale(self):
+        assert metrics.currentness_score(None, 10) == 0.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            metrics.currentness_score(1, 0)
+        with pytest.raises(ValueError):
+            metrics.currentness_score(-1, 10)
+
+    def test_is_current(self):
+        assert metrics.is_current(3, 10)
+        assert not metrics.is_current(11, 10)
+        assert not metrics.is_current(None, 10)
+
+
+class TestUniqueness:
+    def test_ratio(self):
+        records = [{"k": 1}, {"k": 1}, {"k": 2}]
+        assert metrics.uniqueness_ratio(records, ["k"]) == pytest.approx(2 / 3)
+        assert metrics.uniqueness_ratio([], ["k"]) == 1.0
+
+    def test_duplicates_pairs(self):
+        records = [{"k": 1}, {"k": 2}, {"k": 1}, {"k": 1}]
+        assert metrics.duplicates(records, ["k"]) == [(0, 2), (0, 3)]
+
+    def test_composite_keys(self):
+        records = [{"a": 1, "b": 1}, {"a": 1, "b": 2}]
+        assert metrics.uniqueness_ratio(records, ["a", "b"]) == 1.0
+
+
+class TestAccuracy:
+    def test_agreement(self):
+        records = [{"x": 1, "y": 2}, {"x": 3, "y": 0}]
+        truth = [{"x": 1, "y": 2}, {"x": 3, "y": 4}]
+        assert metrics.accuracy_ratio(records, truth, ["x", "y"]) == 0.75
+
+    def test_empty_inputs_perfect(self):
+        assert metrics.accuracy_ratio([], [], ["x"]) == 1.0
+        assert metrics.accuracy_ratio([{"x": 1}], [{"x": 1}], []) == 1.0
+
+
+class TestAggregate:
+    def test_measurement_bounds(self):
+        with pytest.raises(ValueError):
+            Measurement("Completeness", 1.5)
+
+    def test_uniform_weights(self):
+        measurements = [
+            Measurement("Completeness", 1.0),
+            Measurement("Precision", 0.0),
+        ]
+        assert metrics.weighted_score(measurements) == 0.5
+
+    def test_custom_weights(self):
+        measurements = [
+            Measurement("Completeness", 1.0),
+            Measurement("Precision", 0.0),
+        ]
+        score = metrics.weighted_score(
+            measurements, {"Completeness": 3.0, "Precision": 1.0}
+        )
+        assert score == 0.75
+
+    def test_empty_is_perfect(self):
+        assert metrics.weighted_score([]) == 1.0
+
+    def test_zero_weights_rejected(self):
+        with pytest.raises(ValueError):
+            metrics.weighted_score(
+                [Measurement("A", 1.0)], {"A": 0.0}
+            )

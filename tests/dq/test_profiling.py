@@ -1,0 +1,142 @@
+"""Unit tests for the data profiler and its DQ-requirement suggestions."""
+
+import pytest
+
+from repro.dq import iso25012
+from repro.dq.profiling import (
+    DataProfiler,
+    FieldProfile,
+    Suggestion,
+    _padded_bounds,
+)
+
+SAMPLE = [
+    {"id": "C-1", "email": "a@x.org", "score": 3, "tier": "gold",
+     "note": "fine"},
+    {"id": "C-2", "email": "b@x.org", "score": 4, "tier": "gold",
+     "note": None},
+    {"id": "C-3", "email": "c@x.org", "score": 2, "tier": "silver",
+     "note": "ok"},
+    {"id": "C-4", "email": "d@x.org", "score": 5, "tier": "silver",
+     "note": ""},
+    {"id": "C-5", "email": "e@x.org", "score": 1, "tier": "gold",
+     "note": "meh"},
+    {"id": "C-6", "email": "f@x.org", "score": 3, "tier": "silver",
+     "note": "good"},
+]
+
+
+@pytest.fixture()
+def profiler():
+    return DataProfiler().add_records(SAMPLE)
+
+
+class TestFieldProfiles:
+    def test_counts(self, profiler):
+        assert profiler.records_seen == 6
+        note = profiler.field("note")
+        assert note.total == 6
+        assert note.missing == 2  # None and blank string
+        assert note.completeness == pytest.approx(4 / 6)
+
+    def test_numeric_detection(self, profiler):
+        score = profiler.field("score")
+        assert score.is_numeric
+        assert score.numeric_range() == (1, 5)
+        assert not profiler.field("email").is_numeric
+
+    def test_pattern_detection(self, profiler):
+        matched = profiler.field("email").matched_pattern()
+        assert matched is not None and matched[0] == "email"
+        id_match = profiler.field("id").matched_pattern()
+        assert id_match is not None and id_match[0] == "identifier"
+        assert profiler.field("note").matched_pattern() is None
+
+    def test_enum_detection(self, profiler):
+        assert profiler.field("tier").looks_like_enum()
+        assert profiler.field("tier").value_domain() == ["gold", "silver"]
+        assert not profiler.field("email").looks_like_enum()  # all distinct
+
+    def test_duplicates(self, profiler):
+        assert profiler.field("tier").has_duplicates()
+        assert not profiler.field("id").has_duplicates()
+
+    def test_declared_fields_see_absent_keys(self):
+        profiler = DataProfiler(fields=["a", "b"])
+        profiler.add_records([{"a": 1}, {"a": 2}])
+        assert profiler.field("b").completeness == 0.0
+
+    def test_empty_profile_edge_cases(self):
+        profile = FieldProfile("x")
+        assert profile.completeness == 1.0
+        assert profile.numeric_range() is None
+        assert not profile.is_numeric
+        assert not profile.looks_like_enum()
+
+
+class TestSuggestions:
+    def test_small_sample_suggests_nothing(self):
+        profiler = DataProfiler().add_records(SAMPLE[:3])
+        assert profiler.suggest(min_sample=5) == []
+
+    def test_completeness_suggestion(self, profiler):
+        suggestions = profiler.suggest()
+        completeness = [
+            s for s in suggestions
+            if s.characteristic is iso25012.COMPLETENESS
+        ][0]
+        assert set(completeness.fields) == {"id", "email", "score", "tier"}
+        assert "note" not in completeness.fields
+
+    def test_precision_suggestion_with_padded_bounds(self, profiler):
+        precision = [
+            s for s in profiler.suggest()
+            if s.characteristic is iso25012.PRECISION
+        ][0]
+        assert precision.fields == ("score",)
+        lower, upper = precision.bounds["score"]
+        assert lower <= 1 and upper >= 5
+
+    def test_accuracy_suggestion(self, profiler):
+        accuracy = [
+            s for s in profiler.suggest()
+            if s.characteristic is iso25012.ACCURACY
+        ][0]
+        assert "email" in accuracy.fields
+        assert "id" in accuracy.fields
+        assert accuracy.patterns["email"]
+
+    def test_consistency_suggestion(self, profiler):
+        consistency = [
+            s for s in profiler.suggest()
+            if s.characteristic is iso25012.CONSISTENCY
+        ][0]
+        assert consistency.fields == ("tier",)
+        assert consistency.domains["tier"] == ["gold", "silver"]
+
+    def test_suggestion_adoption(self, profiler):
+        suggestion = profiler.suggest()[0]
+        dqr = suggestion.to_requirement("Import customers", "Analyst")
+        assert dqr.characteristic is suggestion.characteristic
+        assert dqr.task == "Import customers"
+        assert dqr.data_items == suggestion.fields
+
+    def test_describe(self, profiler):
+        for suggestion in profiler.suggest():
+            assert suggestion.characteristic.name in suggestion.describe()
+
+    def test_report_renders(self, profiler):
+        report = profiler.report()
+        assert "profiled 6 record(s)" in report
+        assert "-> suggest" in report
+        assert "domain ['gold', 'silver']" in report
+
+
+class TestPaddedBounds:
+    def test_padding_widens(self):
+        lower, upper = _padded_bounds(1, 5)
+        assert lower <= 1 and upper >= 5
+
+    def test_degenerate_range(self):
+        lower, upper = _padded_bounds(3, 3)
+        assert lower < 3 < upper

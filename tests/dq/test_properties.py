@@ -1,0 +1,151 @@
+"""Property-based tests of the DQ substrate (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dq import metrics
+from repro.dq.profiling import DataProfiler, _padded_bounds
+from repro.dq.validators import (
+    CompletenessValidator,
+    PrecisionValidator,
+    UniquenessValidator,
+)
+
+field_names = st.sampled_from(["a", "b", "c", "d"])
+values = st.one_of(
+    st.none(),
+    st.text(max_size=5),
+    st.integers(min_value=-100, max_value=100),
+)
+records = st.dictionaries(field_names, values, max_size=4)
+
+
+@settings(max_examples=60, deadline=None)
+@given(records, st.lists(field_names, min_size=1, max_size=4, unique=True))
+def test_completeness_ratio_in_unit_interval(record, expected):
+    ratio = metrics.completeness_ratio(record, expected)
+    assert 0.0 <= ratio <= 1.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(records, st.lists(field_names, min_size=1, max_size=4, unique=True))
+def test_completeness_validator_agrees_with_metric(record, expected):
+    """The metric says 1.0 exactly when the validator finds nothing."""
+    ratio = metrics.completeness_ratio(record, expected)
+    validator = CompletenessValidator(expected)
+    assert (ratio == 1.0) == validator.is_valid(record)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    records,
+    st.lists(field_names, min_size=1, max_size=4, unique=True),
+)
+def test_missing_fields_complement_completeness(record, expected):
+    missing = metrics.missing_fields(record, expected)
+    ratio = metrics.completeness_ratio(record, expected)
+    assert ratio == (len(expected) - len(missing)) / len(expected)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.dictionaries(
+            st.just("s"),
+            st.integers(min_value=-50, max_value=50),
+            min_size=1,
+            max_size=1,
+        ),
+        max_size=10,
+    ),
+    st.integers(min_value=-20, max_value=0),
+    st.integers(min_value=1, max_value=20),
+)
+def test_precision_validator_agrees_with_metric(record_list, lower, upper):
+    ratio = metrics.precision_ratio(record_list, "s", lower, upper)
+    validator = PrecisionValidator({"s": (lower, upper)})
+    valid = sum(1 for r in record_list if validator.is_valid(r))
+    expected = valid / len(record_list) if record_list else 1.0
+    assert ratio == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(records, max_size=10), st.lists(
+    field_names, min_size=1, max_size=2, unique=True))
+def test_uniqueness_ratio_bounds_and_duplicates(record_list, keys):
+    ratio = metrics.uniqueness_ratio(record_list, keys)
+    assert 0.0 < ratio <= 1.0 or record_list == []
+    pairs = metrics.duplicates(record_list, keys)
+    # pairs + distinct keys == total records
+    assert len(pairs) == len(record_list) - len(
+        {tuple(r.get(k) for k in keys) for r in record_list}
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(records, min_size=1, max_size=8))
+def test_uniqueness_validator_matches_duplicates(record_list):
+    validator = UniquenessValidator(["a"])
+    flagged = 0
+    for record in record_list:
+        if validator.check(record):
+            flagged += 1
+        else:
+            validator.commit(record)
+    distinct = len({repr(r.get("a")) for r in record_list})
+    assert flagged == len(record_list) - distinct
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["Completeness", "Precision", "Accuracy"]),
+            st.floats(min_value=0, max_value=1, allow_nan=False),
+        ),
+        max_size=6,
+    )
+)
+def test_weighted_score_within_measurement_range(pairs):
+    measurements = [metrics.Measurement(c, v) for c, v in pairs]
+    score = metrics.weighted_score(measurements)
+    if measurements:
+        low = min(m.value for m in measurements)
+        high = max(m.value for m in measurements)
+        assert low - 1e-9 <= score <= high + 1e-9
+    else:
+        assert score == 1.0
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.integers(min_value=-1000, max_value=1000),
+    st.integers(min_value=0, max_value=1000),
+)
+def test_padded_bounds_always_contain_observed(low, span):
+    high = low + span
+    lower, upper = _padded_bounds(low, high)
+    assert lower <= low
+    assert upper >= high
+    assert lower < upper
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(records, min_size=5, max_size=20))
+def test_profiler_suggestions_hold_on_their_own_sample(record_list):
+    """Whatever the profiler suggests must be true of the profiled data."""
+    profiler = DataProfiler(fields=["a", "b", "c", "d"])
+    profiler.add_records(record_list)
+    for suggestion in profiler.suggest():
+        if suggestion.characteristic.name == "Completeness":
+            for field in suggestion.fields:
+                assert all(
+                    not metrics._is_missing(r.get(field))
+                    for r in record_list
+                )
+        if suggestion.bounds:
+            for field, (lower, upper) in suggestion.bounds.items():
+                for record in record_list:
+                    value = record.get(field)
+                    if isinstance(value, int):
+                        assert lower <= value <= upper

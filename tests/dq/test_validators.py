@@ -1,0 +1,264 @@
+"""Unit tests for the runtime DQ validators (DQ_Validator operations)."""
+
+import pytest
+
+from repro.dq.validators import (
+    CompletenessValidator,
+    ConsistencyValidator,
+    CredibilityValidator,
+    CurrentnessValidator,
+    EnumValidator,
+    FormatValidator,
+    PrecisionValidator,
+    UniquenessValidator,
+    ValidatorSuite,
+)
+
+
+class TestCompleteness:
+    def test_detects_missing_and_blank(self):
+        validator = CompletenessValidator(["a", "b", "c"])
+        findings = validator.check({"a": 1, "b": "  "})
+        assert {f.field for f in findings} == {"b", "c"}
+        assert all(f.code == "completeness" for f in findings)
+
+    def test_passes_complete_record(self):
+        validator = CompletenessValidator(["a"])
+        assert validator.is_valid({"a": 0})
+
+    def test_needs_fields(self):
+        with pytest.raises(ValueError):
+            CompletenessValidator([])
+
+    def test_default_operation_name(self):
+        assert CompletenessValidator(["a"]).name == "check_completeness"
+
+
+class TestPrecision:
+    def test_bounds_enforced(self):
+        validator = PrecisionValidator({"score": (-3, 3)})
+        assert validator.check({"score": 0}) == []
+        assert validator.check({"score": -3}) == []
+        findings = validator.check({"score": 4})
+        assert findings[0].field == "score"
+        assert "[-3, 3]" in findings[0].message
+
+    def test_missing_value_is_imprecise(self):
+        validator = PrecisionValidator({"score": (0, 5)})
+        assert validator.check({})  # missing -> finding
+
+    def test_non_numeric_is_imprecise(self):
+        validator = PrecisionValidator({"score": (0, 5)})
+        assert validator.check({"score": "three"})
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            PrecisionValidator({"score": (5, 0)})
+        with pytest.raises(ValueError):
+            PrecisionValidator({})
+
+    def test_multiple_fields(self):
+        validator = PrecisionValidator(
+            {"a": (0, 1), "b": (0, 1)}
+        )
+        findings = validator.check({"a": 2, "b": 2})
+        assert len(findings) == 2
+
+
+class TestFormat:
+    def test_pattern_full_match(self):
+        validator = FormatValidator({"email": r"[^@]+@[^@]+\.[a-z]+"})
+        assert validator.check({"email": "a@b.org"}) == []
+        assert validator.check({"email": "a@b.org trailing"})
+
+    def test_missing_allowed_by_default(self):
+        validator = FormatValidator({"email": r".+"})
+        assert validator.check({}) == []
+
+    def test_missing_rejected_when_strict(self):
+        validator = FormatValidator({"email": r".+"}, allow_missing=False)
+        assert validator.check({})
+
+    def test_non_string_fails(self):
+        validator = FormatValidator({"email": r".+"})
+        assert validator.check({"email": 42})
+
+    def test_needs_patterns(self):
+        with pytest.raises(ValueError):
+            FormatValidator({})
+
+
+class TestEnum:
+    def test_allowed_values(self):
+        validator = EnumValidator({"status": ("open", "closed")})
+        assert validator.check({"status": "open"}) == []
+        assert validator.check({"status": "ajar"})
+
+    def test_missing_allowed_by_default(self):
+        validator = EnumValidator({"status": ("open",)})
+        assert validator.check({}) == []
+
+    def test_strict_missing(self):
+        validator = EnumValidator({"status": ("open",)}, allow_missing=False)
+        assert validator.check({})
+
+
+class TestConsistency:
+    def test_rules(self):
+        validator = ConsistencyValidator(
+            [("end after start", lambda r: r["end"] >= r["start"])]
+        )
+        assert validator.check({"start": 1, "end": 2}) == []
+        findings = validator.check({"start": 2, "end": 1})
+        assert findings[0].message == "end after start"
+
+    def test_raising_rule_counts_as_violation(self):
+        validator = ConsistencyValidator(
+            [("needs key", lambda r: r["missing_key"] > 0)]
+        )
+        assert validator.check({})
+
+    def test_needs_rules(self):
+        with pytest.raises(ValueError):
+            ConsistencyValidator([])
+
+
+class TestCurrentness:
+    def test_age_checked(self):
+        validator = CurrentnessValidator("age", max_age=10)
+        assert validator.check({"age": 5}) == []
+        assert validator.check({"age": 11})
+        assert validator.check({})
+        assert validator.check({"age": "old"})
+
+    def test_positive_max_age(self):
+        with pytest.raises(ValueError):
+            CurrentnessValidator("age", 0)
+
+
+class TestCredibility:
+    def test_trusted_sources(self):
+        validator = CredibilityValidator("source", ["registry", "erp"])
+        assert validator.check({"source": "erp"}) == []
+        assert validator.check({"source": "forum"})
+        assert validator.check({})
+
+    def test_needs_sources(self):
+        with pytest.raises(ValueError):
+            CredibilityValidator("source", [])
+
+
+class TestUniqueness:
+    def test_duplicate_detection_after_commit(self):
+        validator = UniquenessValidator(["email"])
+        first = {"email": "a@b.org"}
+        assert validator.check(first) == []
+        validator.commit(first)
+        assert validator.check({"email": "a@b.org"})
+        assert validator.check({"email": "other@b.org"}) == []
+
+    def test_reset(self):
+        validator = UniquenessValidator(["k"])
+        validator.commit({"k": 1})
+        validator.reset()
+        assert validator.check({"k": 1}) == []
+
+    def test_needs_keys(self):
+        with pytest.raises(ValueError):
+            UniquenessValidator([])
+
+
+class TestSuite:
+    @pytest.fixture()
+    def suite(self):
+        return ValidatorSuite(
+            "ReviewValidator",
+            [
+                CompletenessValidator(["name", "score"]),
+                PrecisionValidator({"score": (0, 5)}),
+            ],
+        )
+
+    def test_operation_names(self, suite):
+        assert suite.operation_names == [
+            "check_completeness", "check_precision",
+        ]
+        assert len(suite) == 2
+
+    def test_check_record_concatenates(self, suite):
+        findings = suite.check_record({"score": 9})
+        codes = {f.code for f in findings}
+        assert codes == {"completeness", "precision"}
+
+    def test_run_report(self, suite):
+        report = suite.run([
+            {"name": "a", "score": 3},
+            {"name": "", "score": 9},
+        ])
+        assert report.records_checked == 2
+        assert not report.ok
+        assert report.count("completeness") == 1
+        assert report.count("precision") == 1
+        assert set(report.findings_per_validator) == {
+            "check_completeness", "check_precision",
+        }
+
+    def test_report_render(self, suite):
+        clean = suite.run([{"name": "a", "score": 3}])
+        assert "OK" in clean.render()
+        dirty = suite.run([{}])
+        assert "finding(s)" in dirty.render()
+
+    def test_add_chains(self):
+        suite = ValidatorSuite("s")
+        suite.add(CompletenessValidator(["a"])).add(
+            PrecisionValidator({"a": (0, 1)})
+        )
+        assert len(suite) == 2
+
+    def test_finding_render(self, suite):
+        finding = suite.check_record({})[0]
+        assert finding.render().startswith("[completeness]")
+
+
+class TestOclConsistency:
+    def test_declarative_rule_pass_and_fail(self):
+        from repro.dq.validators import OclConsistencyValidator
+
+        validator = OclConsistencyValidator(
+            ["self.total = self.quantity * self.price"]
+        )
+        assert validator.check(
+            {"quantity": 3, "price": 2, "total": 6}
+        ) == []
+        findings = validator.check({"quantity": 3, "price": 2, "total": 1})
+        assert findings[0].message == "self.total = self.quantity * self.price"
+
+    def test_missing_fields_count_as_violation(self):
+        from repro.dq.validators import OclConsistencyValidator
+
+        validator = OclConsistencyValidator(
+            ["self.total = self.quantity * self.price"]
+        )
+        assert validator.check({"quantity": 3})  # total/price null
+
+    def test_multiple_rules(self):
+        from repro.dq.validators import OclConsistencyValidator
+
+        validator = OclConsistencyValidator(
+            ["self.a < self.b", "self.b < self.c"]
+        )
+        assert len(validator.check({"a": 3, "b": 2, "c": 1})) == 2
+
+    def test_needs_rules(self):
+        from repro.dq.validators import OclConsistencyValidator
+
+        with pytest.raises(ValueError):
+            OclConsistencyValidator([])
+
+    def test_malformed_rule_rejected_at_build(self):
+        from repro.core.errors import OclSyntaxError
+        from repro.dq.validators import OclConsistencyValidator
+
+        with pytest.raises(OclSyntaxError):
+            OclConsistencyValidator(["self.a +"])

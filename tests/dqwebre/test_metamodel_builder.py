@@ -1,0 +1,199 @@
+"""Unit tests for the extended metamodel (Fig. 1) and the builder API."""
+
+import pytest
+
+from repro.core import global_registry
+from repro.core.errors import MultiplicityError, TypeCheckError
+from repro.dqwebre import (
+    DQWEBRE,
+    FIG1_BEHAVIOR_ADDITIONS,
+    FIG1_STRUCTURE_ADDITIONS,
+    DQWebREBuilder,
+)
+from repro.dqwebre import metamodel as M
+from repro.webre import metamodel as W
+
+
+class TestExtendedMetamodel:
+    def test_registered_globally(self):
+        assert global_registry.by_uri("urn:repro:dqwebre") is DQWEBRE
+
+    def test_fig1_behavior_additions(self):
+        behavior = DQWEBRE.subpackages["behavior"]
+        for name in FIG1_BEHAVIOR_ADDITIONS:
+            assert behavior.find_class(name) is not None, name
+
+    def test_fig1_structure_additions(self):
+        structure = DQWEBRE.subpackages["structure"]
+        for name in FIG1_STRUCTURE_ADDITIONS:
+            assert structure.find_class(name) is not None, name
+
+    def test_seven_new_metaclasses(self):
+        assert len(FIG1_BEHAVIOR_ADDITIONS) == 4
+        assert len(FIG1_STRUCTURE_ADDITIONS) == 3
+
+    def test_extension_inherits_webre(self):
+        # "we have extended Escalona and Koch's metamodel" (§3)
+        assert M.InformationCase.conforms_to(W.WebREUseCase)
+        assert M.DQRequirement.conforms_to(W.WebREUseCase)
+        assert M.AddDQMetadata.conforms_to(W.WebREActivity)
+        assert M.DQWebREModel.conforms_to(W.WebREModel)
+
+    def test_information_case_needs_webprocess(self):
+        # Table 3: "Must be related to at least one element of WebProcess"
+        case = M.InformationCase.create(name="ic")
+        missing = {f.name for f in case.missing_required_features()}
+        assert "web_processes" in missing
+
+    def test_dq_requirement_needs_information_case(self):
+        requirement = M.DQRequirement.create(
+            name="r", characteristic="Accuracy"
+        )
+        missing = {f.name for f in requirement.missing_required_features()}
+        assert "information_cases" in missing
+
+    def test_dq_constraint_needs_validator(self):
+        # Table 3: "Must be related to at least one element of DQ_Validator"
+        constraint = M.DQConstraint.create(name="c")
+        missing = {f.name for f in constraint.missing_required_features()}
+        assert "validator" in missing
+
+    def test_characteristic_enum_restricted_to_iso(self):
+        with pytest.raises(TypeCheckError):
+            M.DQRequirement.create(name="r", characteristic="Swiftness")
+
+    def test_spec_tagged_values(self):
+        # Table 3: DQ_Req_Specification has ID: Integer, Text: String
+        spec = M.DQReqSpecification.create(ID=1, Text="detail")
+        assert spec.ID == 1
+        with pytest.raises(TypeCheckError):
+            M.DQReqSpecification.create(ID="one", Text="x")
+
+    def test_validator_constraint_opposite(self):
+        validator = M.DQValidator.create(name="v")
+        constraint = M.DQConstraint.create(name="c", validator=validator)
+        assert constraint in validator.constraints
+
+
+class TestBuilder:
+    def test_builds_single_tree(self, builder):
+        model = builder.model
+        assert model.is_instance_of(M.DQWebREModel)
+        for case in model.information_cases:
+            assert case.root() is model
+
+    def test_fixture_counts(self, builder):
+        model = builder.model
+        assert len(model.users) == 1
+        assert len(model.processes) == 1
+        assert len(model.information_cases) == 1
+        assert len(model.dq_requirements) == 2
+        assert len(model.dq_metadata_classes) == 1
+        assert len(model.dq_validators) == 1
+        assert len(model.dq_constraints) == 1
+        assert len(model.add_dq_metadata_activities) == 1
+
+    def test_dq_requirement_resolves_characteristic(self, builder):
+        names = {r.characteristic for r in builder.model.dq_requirements}
+        assert names == {"Completeness", "Precision"}
+
+    def test_dq_requirement_rejects_unknown_characteristic(self, builder):
+        case = builder.model.information_cases[0]
+        with pytest.raises(KeyError):
+            builder.dq_requirement("bad", case, "Swiftness")
+
+    def test_specification_auto_created_with_sequential_ids(self, builder):
+        specs = [r.specification for r in builder.model.dq_requirements]
+        assert [s.ID for s in specs] == [1, 2]
+        assert all(s.Text for s in specs)
+
+    def test_information_case_links(self, builder):
+        refs = builder._fixture_refs
+        case = refs["case"]
+        assert refs["process"] in case.web_processes
+        assert refs["profile"] in case.contents
+
+    def test_constraint_wires_validator_opposite(self, builder):
+        refs = builder._fixture_refs
+        constraint = builder.model.dq_constraints[0]
+        assert constraint.validator is refs["validator"]
+        assert constraint in refs["validator"].constraints
+
+    def test_navigation_helpers(self, builder):
+        refs = builder._fixture_refs
+        node = builder.node("home")
+        navigation = builder.navigation(
+            "to profile", target=node, user=refs["customer"]
+        )
+        browse = builder.browse(navigation, "open", target=node)
+        assert browse in navigation.browses
+        search = builder.search(
+            refs["process"], "find", queries=refs["profile"],
+            target=node, parameters=["name"],
+        )
+        assert search in refs["process"].activities
+
+    def test_validate_shortcut(self, builder):
+        report = builder.validate()
+        assert report.ok
+
+
+class TestPromotion:
+    def test_promote_plain_webre_model(self):
+        from repro.dqwebre.promotion import is_promoted, promote
+        from repro.webre import metamodel as W
+
+        plain = W.WebREModel.create(name="legacy")
+        user = W.WebUser.create(name="Visitor")
+        plain.users.append(user)
+        content = W.Content.create(name="catalog")
+        content.attributes.append("title")
+        plain.contents.append(content)
+        process = W.WebProcess.create(name="browse catalog", user=user)
+        plain.processes.append(process)
+
+        promoted = promote(plain)
+        assert is_promoted(promoted)
+        assert not is_promoted(plain)
+        # same content, fresh tree
+        assert promoted.users[0].name == "Visitor"
+        assert promoted.processes[0].user is promoted.users[0]
+        assert plain.users[0] is not promoted.users[0]
+        # the DQ features exist and start empty
+        assert len(promoted.information_cases) == 0
+
+    def test_promoted_model_accepts_dq_elements(self):
+        from repro.dqwebre import metamodel as M
+        from repro.dqwebre.promotion import promote
+        from repro.webre import metamodel as W
+
+        plain = W.WebREModel.create(name="legacy")
+        user = W.WebUser.create(name="u")
+        plain.users.append(user)
+        content = W.Content.create(name="c")
+        content.attributes.append("x")
+        plain.contents.append(content)
+        process = W.WebProcess.create(name="p", user=user)
+        plain.processes.append(process)
+
+        promoted = promote(plain)
+        case = M.InformationCase.create(name="ic")
+        case.web_processes.append(promoted.processes[0])
+        case.contents.append(promoted.contents[0])
+        promoted.information_cases.append(case)
+        requirement = M.DQRequirement.create(
+            name="r", characteristic="Completeness", statement="s"
+        )
+        requirement.information_cases.append(case)
+        promoted.dq_requirements.append(requirement)
+        from repro.dqwebre import validate
+
+        assert validate(promoted).errors == []
+
+    def test_promote_rejects_non_webre_root(self):
+        from repro.core.errors import TransformationError
+        from repro.dqwebre.promotion import promote
+        from repro.webre import metamodel as W
+
+        with pytest.raises(TransformationError):
+            promote(W.Content.create(name="not a model"))

@@ -1,0 +1,145 @@
+"""Unit tests for the methodology assistant."""
+
+import pytest
+
+from repro.casestudy.easychair import build_requirements_model
+from repro.dqwebre import DQWebREBuilder, assess
+from repro.dqwebre.methodology import StepStatus
+
+
+class TestCompleteModel:
+    def test_easychair_is_methodologically_complete(self):
+        report = assess(build_requirements_model())
+        assert report.complete, report.render()
+        assert report.completion == 1.0
+
+    def test_fixture_model_complete(self, builder):
+        report = assess(builder.model)
+        assert report.complete, report.render()
+
+
+class TestEmptyModel:
+    def test_empty_model_scores_low(self):
+        report = assess(DQWebREBuilder("empty").model)
+        assert not report.complete
+        assert report.completion < 0.6
+        assert report.step("S1").status is StepStatus.MISSING
+        assert report.step("S5").status is StepStatus.MISSING
+
+    def test_steps_without_prerequisites_vacuously_done(self):
+        # no DQ requirements => realization steps S7-S9 are vacuously done
+        report = assess(DQWebREBuilder("empty").model)
+        assert report.step("S7").status is StepStatus.DONE
+        assert report.step("S9").status is StepStatus.DONE
+
+
+class TestGapDetection:
+    def test_process_without_user(self, builder):
+        builder.web_process("ownerless")
+        report = assess(builder.model)
+        step = report.step("S2")
+        assert step.status is StepStatus.PARTIAL
+        assert any("ownerless" in gap for gap in step.gaps)
+
+    def test_content_without_attributes(self, builder):
+        builder.content("hollow", [])
+        report = assess(builder.model)
+        step = report.step("S3")
+        assert step.status is StepStatus.PARTIAL
+        assert any("hollow" in gap for gap in step.gaps)
+
+    def test_data_process_without_information_case(self, builder):
+        user = builder.model.users[0]
+        content = builder.model.contents[0]
+        orphan = builder.web_process("orphan process", user=user)
+        builder.user_transaction(orphan, "writes", [content])
+        report = assess(builder.model)
+        step = report.step("S4")
+        assert step.status is StepStatus.PARTIAL
+        assert any("orphan process" in gap for gap in step.gaps)
+
+    def test_information_case_without_requirement(self, builder):
+        refs = builder._fixture_refs
+        builder.information_case(
+            "quiet case", [refs["process"]], [refs["profile"]]
+        )
+        report = assess(builder.model)
+        step = report.step("S5")
+        assert step.status is StepStatus.PARTIAL
+
+    def test_requirement_without_statement(self, builder):
+        case = builder.model.information_cases[0]
+        requirement = builder.dq_requirement("mute", case, "Accuracy")
+        requirement.statement = None
+        report = assess(builder.model)
+        step = report.step("S6")
+        assert step.status is StepStatus.PARTIAL
+        assert any("mute" in gap for gap in step.gaps)
+
+    def test_metadata_requirement_without_store(self):
+        builder = DQWebREBuilder("m")
+        user = builder.web_user("u")
+        content = builder.content("c", ["x"])
+        process = builder.web_process("p", user=user)
+        builder.user_transaction(process, "t", [content])
+        case = builder.information_case("ic", [process], [content])
+        builder.dq_requirement("trace it", case, "Traceability", "who")
+        report = assess(builder.model)
+        step = report.step("S7")
+        assert step.status is StepStatus.MISSING
+        assert any("DQ_Metadata" in gap for gap in step.gaps)
+
+    def test_validator_requirement_without_operation(self, builder):
+        case = builder.model.information_cases[0]
+        builder.dq_requirement("fresh", case, "Currentness", "recent only")
+        report = assess(builder.model)
+        step = report.step("S8")
+        assert step.status is StepStatus.PARTIAL
+        assert any("Currentness" in gap for gap in step.gaps)
+
+    def test_accuracy_satisfied_by_check_format(self):
+        builder = DQWebREBuilder("m")
+        user = builder.web_user("u")
+        content = builder.content("c", ["x"])
+        page = builder.web_ui("page", ["x"])
+        process = builder.web_process("p", user=user)
+        builder.user_transaction(process, "t", [content])
+        case = builder.information_case("ic", [process], [content])
+        builder.dq_requirement("accurate", case, "Accuracy", "format ok")
+        builder.dq_validator("v", ["check_format"], [page])
+        report = assess(builder.model)
+        assert report.step("S8").status is StepStatus.DONE
+
+    def test_precision_without_constraints(self, builder):
+        model_without = DQWebREBuilder("m")
+        user = model_without.web_user("u")
+        content = model_without.content("c", ["x"])
+        page = model_without.web_ui("page", ["x"])
+        process = model_without.web_process("p", user=user)
+        model_without.user_transaction(process, "t", [content])
+        case = model_without.information_case("ic", [process], [content])
+        model_without.dq_requirement("precise", case, "Precision", "bounded")
+        model_without.dq_validator("v", ["check_precision"], [page])
+        report = assess(model_without.model)
+        step = report.step("S9")
+        assert step.status is StepStatus.MISSING
+
+    def test_validator_unlinked_to_ui(self, builder):
+        builder.dq_validator("floating", ["check_completeness"], [])
+        report = assess(builder.model)
+        step = report.step("S10")
+        assert step.status is StepStatus.PARTIAL
+        assert any("floating" in gap for gap in step.gaps)
+
+
+class TestRendering:
+    def test_render_markers(self, builder):
+        builder.web_process("ownerless")
+        text = assess(builder.model).render()
+        assert "[x]" in text
+        assert "[~]" in text
+        assert "methodology completion:" in text
+
+    def test_unknown_step_raises(self, builder):
+        with pytest.raises(KeyError):
+            assess(builder.model).step("S99")

@@ -1,0 +1,241 @@
+"""Unit tests for the DQ_WebRE UML profile — the paper's Table 3."""
+
+import pytest
+
+from repro.dqwebre.profile import (
+    DQWEBRE_STEREOTYPES,
+    TABLE3_SPECS,
+    build_dqwebre_profile,
+)
+from repro.uml import classes, elements, profiles, usecases
+from repro.webre.profile import build_webre_profile
+
+
+@pytest.fixture()
+def profile():
+    return build_dqwebre_profile()
+
+
+@pytest.fixture()
+def webre_profile():
+    return build_webre_profile()
+
+
+@pytest.fixture()
+def model():
+    return elements.model("m")
+
+
+def stereo(profile, name):
+    found = profiles.find_stereotype(profile, name)
+    assert found is not None, name
+    return found
+
+
+class TestTable3Content:
+    def test_seven_stereotypes(self):
+        assert len(TABLE3_SPECS) == 7
+        assert DQWEBRE_STEREOTYPES == (
+            "InformationCase",
+            "DQ_Requirement",
+            "DQ_Req_Specification",
+            "Add_DQ_Metadata",
+            "DQ_Metadata",
+            "DQ_Validator",
+            "DQConstraint",
+        )
+
+    def test_base_classes_match_table3(self):
+        by_name = {s.name: s for s in TABLE3_SPECS}
+        assert by_name["InformationCase"].base_class == "UseCase"
+        assert by_name["DQ_Requirement"].base_class == "UseCase"
+        assert by_name["DQ_Req_Specification"].base_class == "Element"
+        assert by_name["Add_DQ_Metadata"].base_class == "Activity"
+        assert by_name["DQ_Metadata"].base_class == "Class"
+        assert by_name["DQ_Validator"].base_class == "Class"
+        assert by_name["DQConstraint"].base_class == "Class"
+
+    def test_constraints_match_table3(self):
+        by_name = {s.name: s for s in TABLE3_SPECS}
+        assert "WebProcess" in by_name["InformationCase"].constraints
+        assert "Information Case" in by_name["DQ_Requirement"].constraints
+        assert "DQ_Validator" in by_name["DQConstraint"].constraints
+        assert by_name["Add_DQ_Metadata"].constraints == "Not mandatory."
+
+    def test_tagged_values_match_table3(self):
+        by_name = {s.name: s for s in TABLE3_SPECS}
+        assert "ID: Integer" in by_name["DQ_Req_Specification"].tagged_values
+        assert "set(String)" in by_name["DQ_Metadata"].tagged_values
+        assert "upper_bound" in by_name["DQConstraint"].tagged_values
+
+    def test_profile_defines_all_rows(self, profile):
+        names = {s.name for s in profile.ownedStereotypes}
+        assert names == set(DQWEBRE_STEREOTYPES)
+
+    def test_tag_definitions_built(self, profile):
+        spec = stereo(profile, "DQ_Req_Specification")
+        tags = {t.name: t for t in spec.tagDefinitions}
+        assert tags["ID"].type == "integer" and tags["ID"].required
+        assert tags["Text"].type == "string" and tags["Text"].required
+        constraint = stereo(profile, "DQConstraint")
+        tags = {t.name: t.type for t in constraint.tagDefinitions}
+        assert tags == {
+            "DQConstraint": "string_set",
+            "upper_bound": "integer",
+            "lower_bound": "integer",
+        }
+        metadata = stereo(profile, "DQ_Metadata")
+        assert [t.type for t in metadata.tagDefinitions] == ["string_set"]
+
+
+class TestInformationCaseConstraint:
+    def test_satisfied_via_include_from_webprocess(
+        self, model, profile, webre_profile
+    ):
+        process = usecases.use_case(model, "Checkout")
+        profiles.apply_stereotype(
+            process, stereo(webre_profile, "WebProcess")
+        )
+        case = usecases.use_case(model, "Manage checkout data")
+        profiles.apply_stereotype(case, stereo(profile, "InformationCase"))
+        usecases.include(process, case)
+        assert profiles.validate_applications(model) == []
+
+    def test_violated_when_unrelated(self, model, profile):
+        case = usecases.use_case(model, "Orphan IC")
+        profiles.apply_stereotype(case, stereo(profile, "InformationCase"))
+        diagnostics = profiles.validate_applications(model)
+        assert any("WebProcess" in d.message for d in diagnostics)
+
+    def test_include_from_plain_use_case_insufficient(self, model, profile):
+        plain = usecases.use_case(model, "Plain")
+        case = usecases.use_case(model, "IC")
+        profiles.apply_stereotype(case, stereo(profile, "InformationCase"))
+        usecases.include(plain, case)
+        diagnostics = profiles.validate_applications(model)
+        assert any("WebProcess" in d.message for d in diagnostics)
+
+    def test_association_to_webprocess_counts(
+        self, model, profile, webre_profile
+    ):
+        process = usecases.use_case(model, "P")
+        profiles.apply_stereotype(
+            process, stereo(webre_profile, "WebProcess")
+        )
+        case = usecases.use_case(model, "IC")
+        profiles.apply_stereotype(case, stereo(profile, "InformationCase"))
+        classes.associate(model, case, process)
+        assert profiles.validate_applications(model) == []
+
+
+class TestDQRequirementConstraint:
+    def build_base(self, model, profile, webre_profile):
+        process = usecases.use_case(model, "P")
+        profiles.apply_stereotype(
+            process, stereo(webre_profile, "WebProcess")
+        )
+        case = usecases.use_case(model, "IC")
+        profiles.apply_stereotype(case, stereo(profile, "InformationCase"))
+        usecases.include(process, case)
+        return case
+
+    def test_requirement_including_ic_ok(self, model, profile, webre_profile):
+        case = self.build_base(model, profile, webre_profile)
+        requirement = usecases.use_case(model, "Complete data")
+        profiles.apply_stereotype(
+            requirement, stereo(profile, "DQ_Requirement")
+        )
+        usecases.include(requirement, case)
+        assert profiles.validate_applications(model) == []
+
+    def test_requirement_included_by_ic_ok(self, model, profile, webre_profile):
+        case = self.build_base(model, profile, webre_profile)
+        requirement = usecases.use_case(model, "Complete data")
+        profiles.apply_stereotype(
+            requirement, stereo(profile, "DQ_Requirement")
+        )
+        usecases.include(case, requirement)
+        assert profiles.validate_applications(model) == []
+
+    def test_unrelated_requirement_fails(self, model, profile, webre_profile):
+        self.build_base(model, profile, webre_profile)
+        requirement = usecases.use_case(model, "Orphan requirement")
+        profiles.apply_stereotype(
+            requirement, stereo(profile, "DQ_Requirement")
+        )
+        diagnostics = profiles.validate_applications(model)
+        assert any("InformationCase" in d.message for d in diagnostics)
+
+
+class TestDQConstraintStereotype:
+    def test_linked_to_validator_ok(self, model, profile):
+        validator = classes.class_(model, "V")
+        profiles.apply_stereotype(validator, stereo(profile, "DQ_Validator"))
+        constraint = classes.class_(model, "C")
+        profiles.apply_stereotype(
+            constraint, stereo(profile, "DQConstraint"),
+            DQConstraint=["score"], lower_bound=0, upper_bound=5,
+        )
+        classes.associate(model, constraint, validator)
+        assert profiles.validate_applications(model) == []
+
+    def test_unlinked_fails(self, model, profile):
+        constraint = classes.class_(model, "C")
+        profiles.apply_stereotype(
+            constraint, stereo(profile, "DQConstraint"),
+            DQConstraint=["score"], lower_bound=0, upper_bound=5,
+        )
+        diagnostics = profiles.validate_applications(model)
+        assert any("DQ_Validator" in d.message for d in diagnostics)
+
+    def test_inverted_bounds_fail(self, model, profile):
+        validator = classes.class_(model, "V")
+        profiles.apply_stereotype(validator, stereo(profile, "DQ_Validator"))
+        constraint = classes.class_(model, "C")
+        profiles.apply_stereotype(
+            constraint, stereo(profile, "DQConstraint"),
+            DQConstraint=["score"], lower_bound=9, upper_bound=1,
+        )
+        classes.associate(model, constraint, validator)
+        diagnostics = profiles.validate_applications(model)
+        assert any("exceeds upper_bound" in d.message for d in diagnostics)
+
+
+class TestOtherStereotypes:
+    def test_spec_requires_id_and_text(self, model, profile):
+        from repro.uml import requirements
+
+        spec = requirements.requirement(model, "spec")
+        with pytest.raises(Exception):
+            profiles.apply_stereotype(
+                spec, stereo(profile, "DQ_Req_Specification")
+            )
+        profiles.apply_stereotype(
+            spec, stereo(profile, "DQ_Req_Specification"), ID=1, Text="t"
+        )
+        assert profiles.get_tag(spec, "DQ_Req_Specification", "ID") == 1
+
+    def test_add_dq_metadata_on_action(self, model, profile):
+        from repro.uml import activities
+
+        act = activities.activity(model, "flow")
+        action = activities.action(act, "store metadata")
+        profiles.apply_stereotype(action, stereo(profile, "Add_DQ_Metadata"))
+        assert profiles.validate_applications(model) == []
+
+    def test_dq_metadata_tag(self, model, profile):
+        metadata = classes.class_(model, "M")
+        profiles.apply_stereotype(
+            metadata, stereo(profile, "DQ_Metadata"),
+            DQ_metadata=["stored_by", "stored_date"],
+        )
+        assert profiles.get_tag(metadata, "DQ_Metadata", "DQ_metadata") == [
+            "stored_by", "stored_date",
+        ]
+
+    def test_information_case_on_class_rejected(self, model, profile):
+        cls = classes.class_(model, "NotAUseCase")
+        with pytest.raises(Exception):
+            profiles.apply_stereotype(
+                cls, stereo(profile, "InformationCase")
+            )

@@ -1,0 +1,229 @@
+"""Tests for the metamodel → UML synchronization."""
+
+import pytest
+
+from repro.casestudy.easychair import build_requirements_model
+from repro.diagrams import plantuml
+from repro.dqwebre.uml_sync import to_uml
+from repro.uml import metamodel as U
+from repro.uml.activities import is_well_formed
+from repro.uml.profiles import (
+    elements_with_stereotype,
+    get_tag,
+    has_stereotype,
+    validate_applications,
+)
+from repro.uml.usecases import included_cases
+
+
+@pytest.fixture(scope="module")
+def easychair_uml():
+    return to_uml(build_requirements_model())
+
+
+@pytest.fixture()
+def small_uml(builder):
+    return to_uml(builder.model)
+
+
+class TestProfileValidity:
+    def test_easychair_sync_validates_clean(self, easychair_uml):
+        assert validate_applications(easychair_uml["model"]) == []
+
+    def test_small_model_sync_validates_clean(self, small_uml):
+        assert validate_applications(small_uml["model"]) == []
+
+
+class TestUseCaseDiagram:
+    def test_actors_and_processes(self, easychair_uml):
+        model = easychair_uml["model"]
+        actors = elements_with_stereotype(model, "WebUser")
+        assert {a.name for a in actors} == {"Author", "PC member", "Chair"}
+        processes = elements_with_stereotype(model, "WebProcess")
+        assert "Add new review to submission" in {p.name for p in processes}
+
+    def test_information_case_included_by_process(self, easychair_uml):
+        model = easychair_uml["model"]
+        ic = elements_with_stereotype(model, "InformationCase")[0]
+        process = [
+            p for p in elements_with_stereotype(model, "WebProcess")
+            if p.name == "Add new review to submission"
+        ][0]
+        assert ic in included_cases(process)
+
+    def test_four_dq_requirements_with_characteristics(self, easychair_uml):
+        model = easychair_uml["model"]
+        requirements = elements_with_stereotype(model, "DQ_Requirement")
+        assert len(requirements) == 4
+        characteristics = {
+            get_tag(r, "DQ_Requirement", "characteristic")
+            for r in requirements
+        }
+        assert characteristics == {
+            "Confidentiality", "Completeness", "Traceability", "Precision",
+        }
+
+    def test_data_comment_generated(self, easychair_uml):
+        ic = elements_with_stereotype(
+            easychair_uml["model"], "InformationCase"
+        )[0]
+        comments = list(ic.ownedComments)
+        assert comments and "first_name" in comments[0].body
+
+    def test_figure6_renders_from_synced_model(self, easychair_uml):
+        source = plantuml.usecase_diagram(easychair_uml["usecases_package"])
+        assert source.count("<<DQ_Requirement>>") == 4
+        assert "<<include>>" in source
+
+
+class TestStructureDiagram:
+    def test_content_classes_with_properties(self, easychair_uml):
+        model = easychair_uml["model"]
+        contents = elements_with_stereotype(model, "Content")
+        scores = [c for c in contents if c.name == "evaluation scores"][0]
+        assert {p.name for p in scores.ownedAttributes} == {
+            "overall_evaluation", "reviewer_confidence",
+        }
+
+    def test_metadata_class_with_tag_and_associations(self, easychair_uml):
+        model = easychair_uml["model"]
+        metadata = elements_with_stereotype(model, "DQ_Metadata")[0]
+        tags = get_tag(metadata, "DQ_Metadata", "DQ_metadata")
+        assert "stored_by" in tags and "available_to" in tags
+
+    def test_validator_class_with_operations(self, easychair_uml):
+        model = easychair_uml["model"]
+        validator = elements_with_stereotype(model, "DQ_Validator")[0]
+        ops = {o.name for o in validator.ownedOperations}
+        assert ops == {"check_completeness", "check_precision"}
+
+    def test_constraints_linked_to_validator(self, easychair_uml):
+        model = easychair_uml["model"]
+        constraints = elements_with_stereotype(model, "DQConstraint")
+        assert len(constraints) == 5  # one per bounded score field
+        bounds = {
+            tuple(get_tag(c, "DQConstraint", "DQConstraint")):
+            (get_tag(c, "DQConstraint", "lower_bound"),
+             get_tag(c, "DQConstraint", "upper_bound"))
+            for c in constraints
+        }
+        assert bounds[("overall_evaluation",)] == (-3, 3)
+
+
+class TestActivities:
+    def test_activity_per_nonempty_process(self, easychair_uml):
+        assert "Add new review to submission" in easychair_uml["activities"]
+        # 'Submit paper' has no activities modelled -> no diagram
+        assert "Submit paper" not in easychair_uml["activities"]
+
+    def test_activity_well_formed(self, easychair_uml):
+        activity = easychair_uml["activities"][
+            "Add new review to submission"
+        ]
+        assert is_well_formed(activity) == []
+
+    def test_fig7_elements_present(self, easychair_uml):
+        activity = easychair_uml["activities"][
+            "Add new review to submission"
+        ]
+        names = {n.name for n in activity.nodes}
+        assert "add reviewer information" in names
+        assert "store metadata of traceability" in names
+        assert "add metadata about confidentiality" in names
+        assert "Check Completeness of data" in names
+        assert "Check Precision of data" in names
+        assert "webpage of New Review" in names
+
+    def test_object_flows_feed_validator_actions(self, easychair_uml):
+        activity = easychair_uml["activities"][
+            "Add new review to submission"
+        ]
+        object_flows = [
+            e for e in activity.edges if e.is_instance_of(U.ObjectFlow)
+        ]
+        assert len(object_flows) == 2  # page -> each validator action
+
+    def test_figure7_renders_from_synced_model(self, easychair_uml):
+        activity = easychair_uml["activities"][
+            "Add new review to submission"
+        ]
+        source = plantuml.activity_diagram(activity)
+        assert source.count("<<UserTransaction>>") == 5
+        assert source.count("<<Add_DQ_Metadata>>") == 2
+
+
+class TestWebshopSync:
+    def test_validator_actions_stay_on_their_process(self):
+        from repro.casestudy.webshop import build_requirements_model
+
+        synced = to_uml(build_requirements_model())
+        customer_nodes = {
+            n.name for n in synced["activities"]["Register customer"].nodes
+        }
+        order_nodes = {
+            n.name for n in synced["activities"]["Place order"].nodes
+        }
+        assert "Check Format of data" in customer_nodes
+        assert "Check Format of data" not in order_nodes
+        assert "Check Credibility of data" in order_nodes
+        assert "Check Credibility of data" not in customer_nodes
+
+    def test_webshop_sync_validates_clean(self):
+        from repro.casestudy.webshop import build_requirements_model
+
+        synced = to_uml(build_requirements_model())
+        assert validate_applications(synced["model"]) == []
+
+    def test_both_activities_well_formed(self):
+        from repro.casestudy.webshop import build_requirements_model
+
+        synced = to_uml(build_requirements_model())
+        for activity in synced["activities"].values():
+            assert is_well_formed(activity) == []
+
+
+class TestRequirementsDiagram:
+    def test_spec_elements_generated(self, easychair_uml):
+        model = easychair_uml["model"]
+        specs = elements_with_stereotype(model, "DQ_Req_Specification")
+        assert len(specs) == 4
+        ids = {get_tag(s, "DQ_Req_Specification", "ID") for s in specs}
+        assert ids == {1, 2, 3, 4}
+
+    def test_specs_refine_their_requirement_cases(self, easychair_uml):
+        model = easychair_uml["model"]
+        specs = elements_with_stereotype(model, "DQ_Req_Specification")
+        for spec in specs:
+            assert len(spec.refinedBy) == 1
+            refined = spec.refinedBy[0]
+            assert has_stereotype(refined, "DQ_Requirement")
+
+    def test_requirement_diagram_renders(self, easychair_uml):
+        source = plantuml.requirement_diagram(
+            easychair_uml["requirements_package"]
+        )
+        assert "<<requirement>>" in source
+        assert "<<refine>>" in source
+
+
+class TestGeneratedVsHandBuilt:
+    def test_figure6_inventories_agree(self, easychair_uml):
+        """The generated Fig. 6 carries the same element inventory as the
+        hand-built one in repro.casestudy.easychair (modulo layout)."""
+        from repro.casestudy.easychair import build_uml_model
+
+        hand_built = plantuml.usecase_diagram(
+            build_uml_model()["usecases_package"]
+        )
+        generated = plantuml.usecase_diagram(
+            easychair_uml["usecases_package"]
+        )
+        for marker, count in (
+            ("<<DQ_Requirement>>", 4),
+            ("<<InformationCase>>", 1),
+            ("<<include>>", 5),
+        ):
+            assert hand_built.count(marker) == count
+            assert generated.count(marker) == count
+        assert 'actor "PC member"' in generated
+        assert "Add all data as result of review" in generated

@@ -1,0 +1,41 @@
+"""Documentation must not rot: the tutorial's code blocks all execute."""
+
+import re
+from pathlib import Path
+
+DOCS_DIR = Path(__file__).resolve().parents[2] / "docs"
+
+
+def test_tutorial_blocks_execute():
+    text = (DOCS_DIR / "tutorial.md").read_text(encoding="utf-8")
+    blocks = re.findall(r"```python\n(.*?)```", text, re.S)
+    assert len(blocks) >= 8
+    namespace: dict = {}
+    for index, block in enumerate(blocks):
+        try:
+            exec(compile(block, f"tutorial-block-{index}", "exec"), namespace)
+        except Exception as exc:  # pragma: no cover - diagnostic aid
+            raise AssertionError(
+                f"tutorial block {index} failed: {exc}\n{block}"
+            ) from exc
+
+
+def test_architecture_doc_mentions_every_package():
+    text = (DOCS_DIR / "architecture.md").read_text(encoding="utf-8")
+    for package in (
+        "repro.core", "repro.uml", "repro.webre", "repro.dq",
+        "repro.dqwebre", "repro.transform", "repro.runtime",
+        "repro.diagrams", "repro.casestudy", "repro.reports",
+    ):
+        assert package in text, package
+
+
+def test_readme_quickstart_is_valid_python():
+    readme = (
+        Path(__file__).resolve().parents[2] / "README.md"
+    ).read_text(encoding="utf-8")
+    blocks = re.findall(r"```python\n(.*?)```", readme, re.S)
+    assert blocks, "README needs a quickstart block"
+    namespace: dict = {}
+    for block in blocks:
+        exec(compile(block, "readme-block", "exec"), namespace)

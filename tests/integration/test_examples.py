@@ -1,0 +1,28 @@
+"""Every example script must run cleanly end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize(
+    "script", EXAMPLES, ids=[s.stem for s in EXAMPLES]
+)
+def test_example_runs(script, tmp_path):
+    args = [sys.executable, str(script)]
+    if script.stem in ("mda_pipeline", "export_artifacts"):
+        args.append(str(tmp_path))
+    completed = subprocess.run(
+        args, capture_output=True, text=True, timeout=120
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert completed.stdout.strip(), "examples must print something"
+
+
+def test_at_least_four_examples_exist():
+    assert len(EXAMPLES) >= 4

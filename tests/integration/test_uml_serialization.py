@@ -1,0 +1,58 @@
+"""Integration: the UML case-study model (with profiles applied) round-trips.
+
+This exercises the heaviest serialization case in the library: a UML model
+tree carrying packages, use cases, activities, classes, requirements,
+comments, profiles, stereotype applications and typed tagged values —
+through both XMI and JSON — and proves the restored model still validates
+cleanly and renders the same figures.
+"""
+
+import pytest
+
+from repro.casestudy.easychair import build_uml_model
+from repro.core import global_registry
+from repro.core.serialization import jsonio, xmi
+from repro.diagrams import plantuml
+from repro.uml.profiles import validate_applications
+
+
+@pytest.fixture(scope="module")
+def case():
+    return build_uml_model()
+
+
+class TestUmlModelRoundTrip:
+    def test_json_round_trip_identity(self, case):
+        restored = jsonio.loads(jsonio.dumps(case["model"]), global_registry)
+        assert jsonio.to_dict(restored) == jsonio.to_dict(case["model"])
+
+    def test_xmi_round_trip_identity(self, case):
+        restored = xmi.loads(xmi.dumps(case["model"]), global_registry)
+        assert jsonio.to_dict(restored) == jsonio.to_dict(case["model"])
+
+    def test_restored_model_still_validates(self, case):
+        restored = jsonio.loads(jsonio.dumps(case["model"]), global_registry)
+        assert validate_applications(restored) == []
+
+    def test_restored_model_renders_same_figure6(self, case):
+        restored = jsonio.loads(jsonio.dumps(case["model"]), global_registry)
+        original_pkg = case["usecases_package"]
+        restored_pkg = next(
+            e for e in restored.packagedElements
+            if e.has_feature("name") and e.name == "Use cases"
+        )
+        assert plantuml.usecase_diagram(restored_pkg) == (
+            plantuml.usecase_diagram(original_pkg)
+        )
+
+    def test_tagged_values_survive(self, case):
+        from repro.uml.profiles import elements_with_stereotype, get_tag
+
+        restored = jsonio.loads(jsonio.dumps(case["model"]), global_registry)
+        constraints = elements_with_stereotype(restored, "DQConstraint")
+        assert len(constraints) == 1
+        assert get_tag(constraints[0], "DQConstraint", "lower_bound") == -3
+        assert get_tag(constraints[0], "DQConstraint", "upper_bound") == 3
+        assert get_tag(constraints[0], "DQConstraint", "DQConstraint") == [
+            "overall_evaluation",
+        ]

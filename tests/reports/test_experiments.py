@@ -1,0 +1,58 @@
+"""Tests for the programmatic experiment regeneration."""
+
+from repro.reports.experiments import (
+    ComparisonResult,
+    comparison_table,
+    easychair_scorecard,
+    full_report,
+    run_comparison,
+    webshop_summary,
+)
+
+
+class TestComparison:
+    def test_deterministic_per_seed(self):
+        first = run_comparison(count=80, seed=11)
+        second = run_comparison(count=80, seed=11)
+        assert first == second
+
+    def test_headline_shape(self):
+        result = run_comparison(count=120, seed=3)
+        assert result.dq_false_accepts == 0
+        assert result.dq_catch_rate == 1.0
+        assert result.baseline_accepted == 120
+        assert result.baseline_false_accepts > 0
+        # accepted sets agree on clean submissions
+        assert result.dq_accepted == 120 - result.baseline_false_accepts
+
+    def test_catch_rate_without_defects(self):
+        result = ComparisonResult(
+            count=10, seed=1, dq_accepted=10, dq_rejected_dq=0,
+            dq_rejected_auth=0, dq_false_accepts=0, baseline_accepted=10,
+            baseline_false_accepts=0,
+        )
+        assert result.dq_catch_rate == 1.0
+
+    def test_table_rendering(self):
+        text = comparison_table(run_comparison(count=60, seed=2))
+        assert "DQ-aware app" in text
+        assert "catch rate" in text
+        assert "seed 2" in text
+
+
+class TestScorecardAndSummary:
+    def test_scorecard_renders_high_scores(self):
+        text = easychair_scorecard(count=30, seed=4)
+        assert "DQ scorecard" in text
+        assert "100.0%" in text
+
+    def test_webshop_probes_all_ok(self):
+        text = webshop_summary()
+        assert "!!" not in text
+        assert text.count("OK ") == 7
+
+    def test_full_report_sections(self):
+        text = full_report(count=60, seed=2)
+        assert "EasyChair workload" in text
+        assert "DQ scorecard" in text
+        assert "WebShop case study probes" in text

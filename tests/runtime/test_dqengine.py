@@ -1,0 +1,174 @@
+"""Unit tests for model-driven application assembly (dqengine)."""
+
+import pytest
+
+from repro.core.errors import TransformationError
+from repro.dq.validators import (
+    CompletenessValidator,
+    CredibilityValidator,
+    CurrentnessValidator,
+    FormatValidator,
+    PrecisionValidator,
+)
+from repro.runtime.dqengine import (
+    build_app,
+    build_baseline_app,
+    spec_to_validator,
+)
+from repro.transform import design as D
+from repro.transform.req2design import transform
+
+
+@pytest.fixture()
+def design(builder):
+    return transform(builder.model).primary
+
+
+def make_spec(kind, **values):
+    spec = D.ValidatorSpec.create(name=f"check_{kind}", kind=kind)
+    for key, value in values.items():
+        spec.set(key, value)
+    return spec
+
+
+class TestSpecToValidator:
+    def test_completeness(self):
+        spec = make_spec("completeness", target_fields=["a", "b"])
+        validator = spec_to_validator(spec)
+        assert isinstance(validator, CompletenessValidator)
+        assert validator.required_fields == ("a", "b")
+
+    def test_completeness_without_fields_skipped(self):
+        assert spec_to_validator(make_spec("completeness")) is None
+
+    def test_precision_with_bounds(self):
+        spec = make_spec("precision")
+        spec.bounds.append(D.BoundSpec.create(field="s", lower=0, upper=5))
+        validator = spec_to_validator(spec)
+        assert isinstance(validator, PrecisionValidator)
+        assert validator.bounds == {"s": (0, 5)}
+
+    def test_precision_without_bounds_skipped(self):
+        assert spec_to_validator(make_spec("precision")) is None
+
+    def test_format(self):
+        spec = make_spec("format", patterns=["email=.+@.+"])
+        validator = spec_to_validator(spec)
+        assert isinstance(validator, FormatValidator)
+
+    def test_format_with_malformed_patterns_skipped(self):
+        assert spec_to_validator(make_spec("format", patterns=["junk"])) is None
+
+    def test_currentness_default_age(self):
+        validator = spec_to_validator(make_spec("currentness"))
+        assert isinstance(validator, CurrentnessValidator)
+        assert validator.max_age == 100
+
+    def test_currentness_custom_age(self):
+        validator = spec_to_validator(make_spec("currentness", max_age=7))
+        assert validator.max_age == 7
+
+    def test_credibility(self):
+        validator = spec_to_validator(
+            make_spec("credibility", trusted_sources=["erp"])
+        )
+        assert isinstance(validator, CredibilityValidator)
+
+    def test_credibility_without_sources_skipped(self):
+        assert spec_to_validator(make_spec("credibility")) is None
+
+    def test_policy_kinds_skipped(self):
+        assert spec_to_validator(make_spec("authorized")) is None
+        assert spec_to_validator(make_spec("consistency")) is None
+
+    def test_unknown_kind_rejected(self):
+        spec = make_spec("completeness")
+        spec._slots["kind"] = "quantum"
+        with pytest.raises(TransformationError):
+            spec_to_validator(spec)
+
+
+class TestBuildApp:
+    def test_entities_forms_routes_created(self, design):
+        app = build_app(design)
+        assert set(app.store.entity_names) == {
+            "customer profile", "Manage profile data",
+        }
+        assert len(app.forms) == 1
+        assert len(app.router.routes) == 2
+
+    def test_enforcement_wired(self, design):
+        app = build_app(design)
+        good = app.post(
+            "/manage-profile-data",
+            {"name": "Ada", "email": "a@x.org", "birth_year": 1990},
+        )
+        assert good.status == 201
+        incomplete = app.post(
+            "/manage-profile-data", {"name": "Ada"}
+        )
+        assert incomplete.status == 422
+        imprecise = app.post(
+            "/manage-profile-data",
+            {"name": "Ada", "email": "a@x.org", "birth_year": 1066},
+        )
+        assert imprecise.status == 422
+
+    def test_baseline_strips_dq(self, design):
+        baseline = build_baseline_app(design)
+        accepted = baseline.post("/manage-profile-data", {"name": None})
+        assert accepted.status == 201
+        assert baseline.store.total_records() == 1
+
+    def test_baseline_name_marked(self, design):
+        assert "(baseline)" in build_baseline_app(design).name
+
+    def test_create_route_without_form_rejected(self):
+        model = D.DesignModel.create(name="broken")
+        entity = D.EntitySpec.create(name="e")
+        model.entities.append(entity)
+        model.routes.append(
+            D.RouteSpec.create(name="r", path="/r", kind="create",
+                               entity=entity)
+        )
+        with pytest.raises(TransformationError):
+            build_app(model)
+
+    def test_update_route_wired(self, builder):
+        design = transform(builder.model).primary
+        form = design.forms[0]
+        design.routes.append(
+            D.RouteSpec.create(
+                name="edit", path="/manage-profile-data/<id>",
+                kind="update", form=form, entity=form.entity,
+            )
+        )
+        app = build_app(design)
+        created = app.post(
+            "/manage-profile-data",
+            {"name": "Ada", "email": "a@x.org", "birth_year": 1990},
+        )
+        assert created.status == 201
+        from repro.runtime.http import Request
+
+        updated = app.handle(
+            Request("PUT", "/manage-profile-data/1",
+                    data={"birth_year": 1991})
+        )
+        assert updated.status == 200
+
+    def test_view_route_wired(self, builder):
+        design = transform(builder.model).primary
+        entity = design.forms[0].entity
+        design.routes.append(
+            D.RouteSpec.create(
+                name="view", path="/manage-profile-data/<id>",
+                kind="view", entity=entity,
+            )
+        )
+        app = build_app(design)
+        app.post(
+            "/manage-profile-data",
+            {"name": "Ada", "email": "a@x.org", "birth_year": 1990},
+        )
+        assert app.get("/manage-profile-data/1").status == 200

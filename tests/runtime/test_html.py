@@ -1,0 +1,97 @@
+"""Unit tests for the HTML renderers."""
+
+import pytest
+
+from repro.dq.metadata import Clock
+from repro.dq.validators import CompletenessValidator, Finding
+from repro.runtime.forms import Form
+from repro.runtime.html import (
+    render_findings,
+    render_form,
+    render_page,
+    render_records_table,
+)
+from repro.runtime.storage import ContentStore
+
+
+@pytest.fixture()
+def form():
+    form = Form(
+        "New review", entity="review",
+        fields=["first_name", "overall_evaluation"],
+    )
+    form.add_validator(CompletenessValidator(["first_name"]))
+    return form
+
+
+class TestRenderForm:
+    def test_inputs_per_field(self, form):
+        html = render_form(form, action="/reviews")
+        assert html.count("<input") == 2
+        assert 'name="first_name"' in html
+        assert 'action="/reviews"' in html
+        assert "<legend>New review</legend>" in html
+
+    def test_numeric_fields_get_number_inputs(self, form):
+        html = render_form(form)
+        assert 'type="number" name="overall_evaluation"' in html
+        assert 'type="text" name="first_name"' in html
+
+    def test_validators_noted(self, form):
+        assert "check_completeness" in render_form(form)
+
+    def test_escaping(self):
+        form = Form("<script>", entity="e", fields=["a"])
+        html = render_form(form)
+        assert "<script>" not in html
+        assert "&lt;script&gt;" in html
+
+
+class TestRenderRecordsTable:
+    @pytest.fixture()
+    def records(self):
+        store = ContentStore(Clock())
+        store.define("review")
+        store.store("review", {"name": "Ada", "score": 3}, "pc")
+        store.store("review", {"name": None, "score": 5}, "bob")
+        return store.entity("review").all()
+
+    def test_headers_and_rows(self, records):
+        html = render_records_table("review", records)
+        assert "<th>name</th>" in html and "<th>score</th>" in html
+        assert html.count("<tr>") == 3  # header + 2 rows
+
+    def test_missing_values_marked(self, records):
+        html = render_records_table("review", records)
+        assert '<em class="missing">' in html
+
+    def test_metadata_columns(self, records):
+        html = render_records_table("review", records, show_metadata=True)
+        assert "<th>stored_by</th>" in html
+        assert "<td>pc</td>" in html
+
+    def test_explicit_field_selection(self, records):
+        html = render_records_table("review", records, fields=["score"])
+        assert "<th>score</th>" in html
+        assert "<th>name</th>" not in html
+
+    def test_empty(self):
+        html = render_records_table("review", [])
+        assert "<tbody>" in html
+
+
+class TestFindingsAndPage:
+    def test_findings_panel(self):
+        html = render_findings(
+            [Finding("completeness", "first_name", "missing")]
+        )
+        assert 'class="dq-findings"' in html
+        assert "first_name" in html
+        assert "dq-completeness" in html
+
+    def test_page_wraps_fragments(self, form):
+        page = render_page("Review", render_form(form), "<p>done</p>")
+        assert page.startswith("<!DOCTYPE html>")
+        assert "<title>Review</title>" in page
+        assert "<p>done</p>" in page
+        assert page.endswith("</html>")

@@ -1,0 +1,154 @@
+"""Unit tests for the WebRE navigation runtime."""
+
+import pytest
+
+from repro.core.errors import ModelError
+from repro.dqwebre import DQWebREBuilder
+from repro.runtime.navigation import (
+    NavigationGraph,
+    NavigationSession,
+    check_navigations,
+)
+
+
+@pytest.fixture()
+def travel_model():
+    """home -> search -> results -> details, with a shortcut home->details."""
+    builder = DQWebREBuilder("TravelSite")
+    user = builder.web_user("Traveller")
+    offers = builder.content("offers", ["destination", "price"])
+    home = builder.node("home")
+    search = builder.node("search")
+    results = builder.node("results", contents=[offers])
+    details = builder.node("details", contents=[offers])
+    navigation = builder.navigation("find a trip", target=details, user=user)
+    builder.browse(navigation, "open search", source=home, target=search)
+    builder.browse(navigation, "run search", source=search, target=results)
+    builder.browse(navigation, "open offer", source=results, target=details)
+    builder.browse(navigation, "featured offer", source=home, target=details)
+    return builder
+
+
+class TestGraph:
+    def test_nodes_collected(self, travel_model):
+        graph = NavigationGraph(travel_model.model)
+        assert set(graph.node_names) == {
+            "home", "search", "results", "details",
+        }
+
+    def test_browses_from(self, travel_model):
+        graph = NavigationGraph(travel_model.model)
+        names = {name for name, __ in graph.browses_from("home")}
+        assert names == {"open search", "featured offer"}
+        assert graph.browses_from("details") == []
+
+    def test_reachability(self, travel_model):
+        graph = NavigationGraph(travel_model.model)
+        assert graph.reachable_from("home") == {
+            "home", "search", "results", "details",
+        }
+        assert graph.reachable_from("details") == {"details"}
+
+    def test_shortest_path_prefers_shortcut(self, travel_model):
+        graph = NavigationGraph(travel_model.model)
+        path = graph.path("home", "details")
+        assert [hop.browse_name for hop in path] == ["featured offer"]
+
+    def test_path_to_self_is_empty(self, travel_model):
+        graph = NavigationGraph(travel_model.model)
+        assert graph.path("home", "home") == []
+
+    def test_unreachable_returns_none(self, travel_model):
+        graph = NavigationGraph(travel_model.model)
+        assert graph.path("details", "home") is None
+
+    def test_unknown_node_raises(self, travel_model):
+        graph = NavigationGraph(travel_model.model)
+        with pytest.raises(ModelError):
+            graph.node("mars")
+        with pytest.raises(ModelError):
+            graph.path("mars", "home")
+
+    def test_process_browses_included(self):
+        builder = DQWebREBuilder("m")
+        user = builder.web_user("u")
+        content = builder.content("c", ["x"])
+        a = builder.node("a")
+        b = builder.node("b", contents=[content])
+        process = builder.web_process("p", user=user)
+        builder.search(
+            process, "find", queries=content, target=b, parameters=["x"]
+        )
+        # a Search has target but its source is unset; edge only when both
+        graph = NavigationGraph(builder.model)
+        assert "b" in graph.node_names
+        # now a browse-like search with a source
+        search = process.activities[0]
+        search.source = a
+        graph = NavigationGraph(builder.model)
+        assert ("find", "b") in graph.browses_from("a")
+
+
+class TestSession:
+    def test_manual_browsing(self, travel_model):
+        graph = NavigationGraph(travel_model.model)
+        session = NavigationSession(graph, "ada", "home")
+        session.browse("open search")
+        session.browse("run search")
+        assert session.current == "results"
+        assert [hop.browse_name for hop in session.history] == [
+            "open search", "run search",
+        ]
+
+    def test_invalid_browse_raises(self, travel_model):
+        graph = NavigationGraph(travel_model.model)
+        session = NavigationSession(graph, "ada", "home")
+        with pytest.raises(ModelError):
+            session.browse("teleport")
+
+    def test_navigate_to(self, travel_model):
+        graph = NavigationGraph(travel_model.model)
+        session = NavigationSession(graph, "ada", "search")
+        hops = session.navigate_to("details")
+        assert session.current == "details"
+        assert [hop.target for hop in hops] == ["results", "details"]
+
+    def test_navigate_to_unreachable(self, travel_model):
+        graph = NavigationGraph(travel_model.model)
+        session = NavigationSession(graph, "ada", "details")
+        with pytest.raises(ModelError):
+            session.navigate_to("home")
+
+    def test_contents_here(self, travel_model):
+        graph = NavigationGraph(travel_model.model)
+        session = NavigationSession(graph, "ada", "results")
+        assert session.contents_here() == ["offers"]
+        session2 = NavigationSession(graph, "ada", "home")
+        assert session2.contents_here() == []
+
+
+class TestCheckNavigations:
+    def test_valid_model(self, travel_model):
+        assert check_navigations(travel_model.model) == []
+
+    def test_navigation_without_browses(self, travel_model):
+        node = travel_model.model.nodes[0]
+        travel_model.navigation("stuck", target=node)
+        problems = check_navigations(travel_model.model)
+        assert any("no browse activities" in p for p in problems)
+
+    def test_unreachable_target(self, travel_model):
+        builder = travel_model
+        island = builder.node("island")
+        navigation = builder.navigation("swim", target=island)
+        builder.browse(
+            navigation, "walk",
+            source=builder.model.nodes[0], target=builder.model.nodes[1],
+        )
+        problems = check_navigations(builder.model)
+        assert any("not reachable" in p for p in problems)
+
+    def test_easychair_navigations_realizable(self):
+        from repro.casestudy.easychair import build_requirements_model
+
+        assert check_navigations(build_requirements_model()) == []

@@ -1,0 +1,161 @@
+"""Unit tests for the content store, security and audit trail."""
+
+import pytest
+
+from repro.core.errors import AuthorizationError
+from repro.dq.metadata import Clock
+from repro.runtime.audit import AuditTrail
+from repro.runtime.security import PolicyBook, User, UserDirectory
+from repro.runtime.storage import ContentStore, EntityStore
+
+
+class TestEntityStore:
+    def test_insert_get_update_delete(self):
+        store = EntityStore("reviews", ["score"])
+        stored = store.insert({"score": 2})
+        assert stored.record_id == 1
+        assert store.get(1).data == {"score": 2}
+        store.update(1, {"score": 3})
+        assert store.get(1).data["score"] == 3
+        store.delete(1)
+        assert 1 not in store
+        with pytest.raises(KeyError):
+            store.get(1)
+
+    def test_ids_monotonic(self):
+        store = EntityStore("e")
+        ids = [store.insert({}).record_id for _ in range(3)]
+        assert ids == [1, 2, 3]
+
+    def test_query(self):
+        store = EntityStore("e")
+        store.insert({"x": 1})
+        store.insert({"x": 5})
+        hits = store.query(lambda data: data["x"] > 2)
+        assert len(hits) == 1 and hits[0].data["x"] == 5
+
+    def test_insert_copies_data(self):
+        store = EntityStore("e")
+        original = {"x": 1}
+        stored = store.insert(original)
+        original["x"] = 99
+        assert stored.data["x"] == 1
+
+
+class TestContentStore:
+    def test_define_and_duplicate(self):
+        store = ContentStore()
+        store.define("a")
+        with pytest.raises(ValueError):
+            store.define("a")
+        with pytest.raises(KeyError):
+            store.entity("b")
+        assert store.has_entity("a")
+        assert store.entity_names == ["a"]
+
+    def test_store_captures_metadata(self):
+        store = ContentStore(Clock())
+        store.define("reviews")
+        stored = store.store(
+            "reviews", {"x": 1}, "ada", security_level=2,
+            available_to=["ada"],
+        )
+        assert stored.metadata.stored_by == "ada"
+        assert stored.metadata.security_level == 2
+        assert "ada" in stored.metadata.available_to
+
+    def test_modify_updates_trace(self):
+        store = ContentStore(Clock())
+        store.define("reviews")
+        stored = store.store("reviews", {"x": 1}, "ada")
+        store.modify("reviews", stored.record_id, {"x": 2}, "bob")
+        assert stored.metadata.last_modified_by == "bob"
+        assert stored.metadata.was_modified()
+        assert stored.data["x"] == 2
+
+    def test_readable_by_filters(self):
+        store = ContentStore(Clock())
+        store.define("reviews")
+        store.store("reviews", {"x": 1}, "ada", security_level=1,
+                    available_to=["ada"])
+        store.store("reviews", {"x": 2}, "ada", security_level=0)
+        assert len(store.readable_by("reviews", "ada", 0)) == 2  # grant
+        assert len(store.readable_by("reviews", "eve", 0)) == 1
+        assert len(store.readable_by("reviews", "chair", 1)) == 2
+
+    def test_total_records(self):
+        store = ContentStore()
+        store.define("a")
+        store.define("b")
+        store.store("a", {}, "u")
+        store.store("b", {}, "u")
+        assert store.total_records() == 2
+
+
+class TestUsersAndPolicies:
+    def test_directory(self):
+        directory = UserDirectory()
+        directory.register("ada", 2, ["pc"])
+        assert directory.known("ada")
+        assert directory.get("ada").level == 2
+        assert directory.get("ada").has_role("pc")
+        ghost = directory.get("ghost")
+        assert ghost.level == 0 and not directory.known("ghost")
+        with pytest.raises(ValueError):
+            directory.register("bad", -1)
+
+    def test_policy_defaults_open(self):
+        book = PolicyBook()
+        assert book.for_entity("x").security_level == 0
+        assert not book.is_restricted("x")
+
+    def test_check_write(self):
+        book = PolicyBook()
+        book.set("reviews", 1)
+        book.check_write("reviews", User("ada", 1))
+        with pytest.raises(AuthorizationError):
+            book.check_write("reviews", User("eve", 0))
+
+    def test_negative_policy_rejected(self):
+        with pytest.raises(ValueError):
+            PolicyBook().set("x", -1)
+
+
+class TestAuditTrail:
+    @pytest.fixture()
+    def trail(self):
+        clock = Clock()
+        trail = AuditTrail(clock)
+        trail.record("store", "ada", "reviews", 1)
+        trail.record("modify", "bob", "reviews", 1)
+        trail.record("read", "eve", "reviews", detail="0 record(s) visible")
+        trail.record("reject-dq", "eve", "reviews", detail="incomplete")
+        trail.record("reject-auth", "eve", "reviews", 1)
+        return trail
+
+    def test_unknown_kind_rejected(self, trail):
+        with pytest.raises(ValueError):
+            trail.record("explode", "x", "y")
+
+    def test_ticks_monotonic(self, trail):
+        ticks = [e.tick for e in trail.events]
+        assert ticks == sorted(ticks)
+
+    def test_queries(self, trail):
+        assert len(trail.by_kind("store")) == 1
+        assert len(trail.by_user("eve")) == 3
+        assert len(trail.by_entity("reviews")) == 5
+        assert len(trail.for_record("reviews", 1)) == 3
+        assert len(trail.rejections()) == 2
+        assert len(trail.select(lambda e: "incomplete" in e.detail)) == 1
+
+    def test_who_changed(self, trail):
+        assert trail.who_changed("reviews", 1) == ["ada", "bob"]
+
+    def test_render(self, trail):
+        text = trail.render()
+        assert "store reviews#1 by ada" in text
+        assert len(trail.render(limit=2).splitlines()) == 2
+
+    def test_len(self, trail):
+        assert len(trail) == 5

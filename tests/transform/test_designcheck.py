@@ -1,0 +1,116 @@
+"""Unit tests for design-model well-formedness."""
+
+import pytest
+
+from repro.casestudy import webshop
+from repro.transform import design as D
+from repro.transform.designcheck import validate_design
+from repro.transform.req2design import transform
+
+
+@pytest.fixture()
+def design(builder):
+    return transform(builder.model).primary
+
+
+class TestCleanDesigns:
+    def test_generated_design_valid(self, design):
+        report = validate_design(design)
+        assert report.ok, report.render()
+
+    def test_webshop_refined_design_valid(self):
+        report = validate_design(webshop.build_design())
+        assert report.ok, report.render()
+
+
+class TestBrokenDesigns:
+    def test_form_with_undeclared_field(self, design):
+        design.forms[0].fields.append("ghost_field")
+        report = validate_design(design)
+        assert report.by_constraint("form-fields-declared")
+
+    def test_create_route_without_form(self, design):
+        route = [r for r in design.routes if r.kind == "create"][0]
+        route.form = None
+        report = validate_design(design)
+        assert report.by_constraint("route-targets")
+
+    def test_colliding_routes(self, design):
+        entity = design.entities[0]
+        for __ in range(2):
+            design.routes.append(
+                D.RouteSpec.create(
+                    name="dup", path="/same", kind="list", entity=entity
+                )
+            )
+        report = validate_design(design)
+        assert report.by_constraint("routes-unique")
+
+    def test_inverted_bounds(self, design):
+        precision = [v for v in design.validators if v.kind == "precision"][0]
+        precision.bounds[0].lower = 9999
+        report = validate_design(design)
+        assert report.by_constraint("bounds-ordered")
+
+    def test_bound_on_unbound_field(self, design):
+        precision = [v for v in design.validators if v.kind == "precision"][0]
+        precision.bounds.append(
+            D.BoundSpec.create(field="not_a_form_field", lower=0, upper=1)
+        )
+        report = validate_design(design)
+        assert report.by_constraint("bound-fields-bindable")
+
+    def test_malformed_format_pattern(self, design):
+        spec = D.ValidatorSpec.create(name="check_format", kind="format")
+        spec.patterns.append("no-equals-sign")
+        design.validators.append(spec)
+        design.forms[0].validators.append(spec)
+        report = validate_design(design)
+        assert report.by_constraint("patterns-valid")
+
+    def test_uncompilable_regex(self, design):
+        spec = D.ValidatorSpec.create(name="check_format", kind="format")
+        spec.patterns.append("email=[unclosed")
+        design.validators.append(spec)
+        design.forms[0].validators.append(spec)
+        report = validate_design(design)
+        assert report.by_constraint("patterns-valid")
+
+    def test_unattached_validator_warns(self, design):
+        design.validators.append(
+            D.ValidatorSpec.create(name="floating", kind="completeness")
+        )
+        report = validate_design(design)
+        findings = report.by_constraint("validator-attached")
+        assert findings and report.ok  # warning, not error
+
+    def test_metadata_without_attributes(self, design):
+        design.metadata_specs.append(D.MetadataSpec.create(name="hollow"))
+        report = validate_design(design)
+        # the multiplicity rule (attributes 1..*) or the OCL rule must fire
+        assert not report.ok
+
+    def test_policy_targeting_foreign_entity(self, design):
+        foreign = D.EntitySpec.create(name="foreign")
+        design.policies.append(
+            D.PolicySpec.create(name="bad policy", entity=foreign)
+        )
+        report = validate_design(design)
+        assert report.by_constraint("policy-entity-in-model")
+
+
+class TestConsistencyRules:
+    def test_parsable_rules_pass(self):
+        design = webshop.build_design()
+        report = validate_design(design)
+        assert report.ok, report.render()
+
+    def test_unparsable_rule_flagged(self, design):
+        spec = D.ValidatorSpec.create(
+            name="check_consistency", kind="consistency"
+        )
+        spec.rules.append("self.a +")
+        design.validators.append(spec)
+        design.forms[0].validators.append(spec)
+        report = validate_design(design)
+        assert report.by_constraint("consistency-rules-parse")

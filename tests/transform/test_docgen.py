@@ -1,0 +1,99 @@
+"""Unit tests for the SRS document generator."""
+
+import pytest
+
+from repro.casestudy.easychair import build_requirements_model
+from repro.transform.docgen import generate_srs
+
+
+@pytest.fixture(scope="module")
+def srs():
+    return generate_srs(build_requirements_model())
+
+
+class TestStructure:
+    def test_all_sections_present(self, srs):
+        for heading in (
+            "# Software Requirements Specification — EasyChair",
+            "## 1. Actors",
+            "## 2. Functional requirements",
+            "## 3. Information cases",
+            "## 4. Data quality requirements",
+            "## 5. Traceability matrix",
+        ):
+            assert heading in srs, heading
+
+    def test_actors_listed(self, srs):
+        assert "**Author**" in srs
+        assert "**PC member**" in srs
+        assert "**Chair**" in srs
+
+    def test_processes_numbered(self, srs):
+        assert "### 2.1 Submit paper" in srs
+        assert "### 2.3 Add new review to submission" in srs
+
+    def test_activities_listed(self, srs):
+        assert "UserTransaction — add evaluation scores" in srs
+
+    def test_information_case_data(self, srs):
+        assert "**evaluation scores**" in srs
+        assert "overall_evaluation, reviewer_confidence" in srs
+
+
+class TestDQSections:
+    def test_one_subsection_per_requirement(self, srs):
+        for name in (
+            "Confidentiality of review data",
+            "Completeness of review data",
+            "Traceability of review data",
+            "Precision of evaluation scores",
+        ):
+            assert name in srs
+
+    def test_iso_definitions_quoted(self, srs):
+        assert "only accessible and interpretable by authorized users" in srs
+        assert "audit trail" in srs
+
+    def test_statements_and_specs(self, srs):
+        assert "check that data will be accessed only by authorized users" in srs
+        assert "*Specification [" in srs
+
+    def test_derived_dqsrs_listed(self, srs):
+        assert "(metadata)" in srs
+        assert "(validator)" in srs
+        assert "(constraint)" in srs
+
+    def test_constraints_and_metadata_inventories(self, srs):
+        assert "overall_evaluation in [-3, 3]" in srs
+        assert "stored_by" in srs
+
+
+class TestTraceMatrix:
+    def test_every_requirement_traced(self, srs):
+        matrix = srs.split("## 5. Traceability matrix")[1]
+        for name in (
+            "Confidentiality of review data",
+            "Completeness of review data",
+            "Traceability of review data",
+            "Precision of evaluation scores",
+        ):
+            assert name in matrix
+
+    def test_mechanisms_traced(self, srs):
+        matrix = srs.split("## 5. Traceability matrix")[1]
+        assert "| metadata |" in matrix
+        assert "| validator |" in matrix
+        assert "| constraint |" in matrix
+
+    def test_unrealized_marked(self):
+        from repro.dqwebre import DQWebREBuilder
+
+        builder = DQWebREBuilder("bare")
+        user = builder.web_user("u")
+        content = builder.content("c", ["x"])
+        process = builder.web_process("p", user=user)
+        builder.user_transaction(process, "t", [content])
+        case = builder.information_case("ic", [process], [content])
+        builder.dq_requirement("r", case, "Completeness", "s")
+        text = generate_srs(builder.model)
+        assert "*unrealized*" in text

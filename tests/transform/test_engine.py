@@ -1,0 +1,158 @@
+"""Unit tests for the QVT-lite transformation engine."""
+
+import pytest
+
+from repro.core import MetaPackage, STRING, MANY
+from repro.core.errors import TransformationError
+from repro.transform.engine import Rule, Transformation
+
+
+@pytest.fixture()
+def packages():
+    source = MetaPackage("src", "urn:test:src")
+    item = source.define_class("Item").attribute("name", STRING, lower=1)
+    box = source.define_class("Box").attribute("name", STRING, lower=1)
+    box.reference("items", item, upper=MANY, containment=True)
+    source.resolve()
+
+    target = MetaPackage("tgt", "urn:test:tgt")
+    widget = target.define_class("Widget").attribute("name", STRING)
+    panel = target.define_class("Panel").attribute("name", STRING)
+    panel.reference("widgets", widget, upper=MANY, containment=True)
+    target.resolve()
+    return {
+        "Item": item, "Box": box, "Widget": widget, "Panel": panel,
+    }
+
+
+@pytest.fixture()
+def source_model(packages):
+    box = packages["Box"].create(name="toolbox")
+    for name in ("hammer", "saw", "level"):
+        box.items.append(packages["Item"].create(name=name))
+    return box
+
+
+def box_to_panel(packages):
+    def body(box, ctx):
+        return packages["Panel"].create(name=box.name.upper())
+
+    return Rule("box2panel", packages["Box"], body, top=True)
+
+
+def item_to_widget(packages):
+    def body(item, ctx):
+        panel = ctx.resolve(item.container, "box2panel")
+        widget = packages["Widget"].create(name=f"w-{item.name}")
+        panel.widgets.append(widget)
+        return widget
+
+    return Rule("item2widget", packages["Item"], body)
+
+
+class TestRules:
+    def test_rule_matching_by_metaclass(self, packages, source_model):
+        rule = box_to_panel(packages)
+        assert rule.matches(source_model)
+        assert not rule.matches(source_model.items[0])
+
+    def test_rule_matching_by_predicate(self, packages, source_model):
+        rule = Rule(
+            "named-h", lambda o: o.label().startswith("h"), lambda o, c: None
+        )
+        assert rule.matches(source_model.items[0])  # hammer
+        assert not rule.matches(source_model.items[1])  # saw
+
+    def test_bad_rule_return_type(self, packages, source_model):
+        rule = Rule("bad", packages["Box"], lambda o, c: 42)
+        transformation = Transformation("t", [rule])
+        with pytest.raises(TransformationError):
+            transformation.run(source_model)
+
+
+class TestTransformation:
+    def test_full_run(self, packages, source_model):
+        transformation = Transformation(
+            "boxes", [box_to_panel(packages), item_to_widget(packages)]
+        )
+        result = transformation.run(source_model)
+        panel = result.primary
+        assert panel.name == "TOOLBOX"
+        assert [w.name for w in panel.widgets] == [
+            "w-hammer", "w-saw", "w-level",
+        ]
+
+    def test_trace_queries(self, packages, source_model):
+        transformation = Transformation(
+            "boxes", [box_to_panel(packages), item_to_widget(packages)]
+        )
+        result = transformation.run(source_model)
+        trace = result.trace
+        assert len(trace) == 4  # 1 box + 3 items
+        hammer = source_model.items[0]
+        widgets = trace.targets_of(hammer)
+        assert len(widgets) == 1 and widgets[0].name == "w-hammer"
+        assert trace.sources_of(widgets[0]) == [hammer]
+        assert len(trace.by_rule("item2widget")) == 3
+        assert "box2panel" in trace.render()
+
+    def test_rules_fire_in_declaration_order(self, packages, source_model):
+        order = []
+        first = Rule(
+            "first", packages["Item"],
+            lambda o, c: order.append(("first", o.name)),
+        )
+        second = Rule(
+            "second", packages["Item"],
+            lambda o, c: order.append(("second", o.name)),
+        )
+        Transformation("t", [first, second]).run(source_model)
+        assert order[:3] == [
+            ("first", "hammer"), ("first", "saw"), ("first", "level"),
+        ]
+        assert all(tag == "second" for tag, __ in order[3:])
+
+    def test_deferred_actions_run_last(self, packages, source_model):
+        events = []
+        rule = Rule(
+            "deferred",
+            packages["Item"],
+            lambda o, c: (c.defer(lambda: events.append("late")), None)[1],
+        )
+        marker = Rule(
+            "marker", packages["Box"], lambda o, c: events.append("rule")
+        )
+        Transformation("t", [rule, marker]).run(source_model)
+        assert events == ["rule", "late", "late", "late"]
+
+    def test_empty_transformation_rejected(self, source_model):
+        with pytest.raises(TransformationError):
+            Transformation("empty").run(source_model)
+
+    def test_resolve_all_skips_unmapped(self, packages, source_model):
+        only_hammer = Rule(
+            "only-hammer",
+            lambda o: o.label() == "hammer",
+            lambda o, c: packages["Widget"].create(name="w"),
+        )
+        collector = {}
+
+        def collect(box, ctx):
+            collector["mapped"] = ctx.resolve_all(box.items, "only-hammer")
+
+        transformation = Transformation(
+            "t", [only_hammer, Rule("collect", packages["Box"], collect)]
+        )
+        transformation.run(source_model)
+        assert len(collector["mapped"]) == 1
+
+    def test_decorator_style(self, packages, source_model):
+        transformation = Transformation("deco")
+
+        @transformation.rule("box", packages["Box"], top=True)
+        def box_rule(box, ctx):
+            return packages["Panel"].create(name=box.name)
+
+        result = transformation.run(source_model)
+        assert result.primary.name == "toolbox"
+        assert transformation.rules[0].top

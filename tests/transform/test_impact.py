@@ -1,0 +1,75 @@
+"""Unit tests for change impact analysis."""
+
+import pytest
+
+from repro.core.diff import clone_tree
+from repro.transform.impact import analyse_impact
+
+
+class TestNoChange:
+    def test_identical_models_clean_report(self, builder):
+        copy = clone_tree(builder.model)
+        report = analyse_impact(builder.model, copy)
+        assert not report.requires_regeneration
+        assert "design is current" in report.render()
+
+
+class TestFieldEdits:
+    def test_constraint_edit_hits_bound_specs(self, builder):
+        copy = clone_tree(builder.model)
+        copy.dq_constraints[0].upper_bound = 2030
+        report = analyse_impact(builder.model, copy)
+        assert report.requires_regeneration
+        affected = report.affected_elements
+        assert any("BoundSpec" in label for label in affected)
+
+    def test_content_attribute_edit_hits_entity_and_form(self, builder):
+        copy = clone_tree(builder.model)
+        copy.contents[0].attributes.append("phone")
+        report = analyse_impact(builder.model, copy)
+        affected = report.affected_elements
+        assert any("EntitySpec" in label for label in affected)
+
+    def test_information_case_rename_hits_form_and_routes(self, builder):
+        copy = clone_tree(builder.model)
+        copy.information_cases[0].name = "Renamed case"
+        report = analyse_impact(builder.model, copy)
+        affected = report.affected_elements
+        assert any("FormSpec" in label for label in affected)
+        assert any("RouteSpec" in label for label in affected)
+
+    def test_validator_operation_edit_hits_specs(self, builder):
+        copy = clone_tree(builder.model)
+        copy.dq_validators[0].operations.append("check_format")
+        report = analyse_impact(builder.model, copy)
+        affected = report.affected_elements
+        assert any("ValidatorSpec" in label for label in affected)
+
+
+class TestStructuralEdits:
+    def test_added_requirement_flags_regeneration(self, builder):
+        copy = clone_tree(builder.model)
+        from repro.dqwebre import metamodel as M
+
+        requirement = M.DQRequirement.create(
+            name="fresh", characteristic="Currentness", statement="s"
+        )
+        requirement.information_cases.append(copy.information_cases[0])
+        copy.dq_requirements.append(requirement)
+        report = analyse_impact(builder.model, copy)
+        assert report.additions
+        assert "re-transformation" in report.render()
+
+    def test_removed_content_flags_regeneration(self, builder):
+        copy = clone_tree(builder.model)
+        copy.contents[0].delete()
+        report = analyse_impact(builder.model, copy)
+        assert report.removals
+
+    def test_render_lists_changes_and_effects(self, builder):
+        copy = clone_tree(builder.model)
+        copy.dq_constraints[0].upper_bound = 2030
+        text = analyse_impact(builder.model, copy).render()
+        assert "upper_bound" in text
+        assert "-> affects" in text
+        assert "design element(s) affected" in text

@@ -1,0 +1,125 @@
+"""Unit tests for the model-to-text template engine."""
+
+import pytest
+
+from repro.core.errors import TemplateError
+from repro.transform.m2t import Template, render
+
+
+class TestInterpolation:
+    def test_simple_placeholder(self):
+        assert render("hello ${name}", name="world") == "hello world"
+
+    def test_expression(self):
+        assert render("${a + b}", a=1, b=2) == "3"
+
+    def test_none_renders_empty(self):
+        assert render("x${missing}y", missing=None) == "xy"
+
+    def test_multiple_placeholders(self):
+        assert render("${a}-${b}", a=1, b=2) == "1-2"
+
+    def test_helpers_available(self):
+        assert render("${len(items)}", items=[1, 2, 3]) == "3"
+        assert render("${repr('x')}") == "'x'"
+        assert render("${join(', ', items)}", items=[1, 2]) == "1, 2"
+
+    def test_builtins_blocked(self):
+        with pytest.raises(TemplateError):
+            render("${open('/etc/passwd')}")
+
+    def test_failing_expression_reports(self):
+        with pytest.raises(TemplateError) as excinfo:
+            render("${1 / 0}")
+        assert "1 / 0" in str(excinfo.value)
+
+
+class TestFor:
+    def test_loop(self):
+        text = "%for x in items:\n- ${x}\n%endfor"
+        assert render(text, items=[1, 2]) == "- 1\n- 2"
+
+    def test_loop_without_colon(self):
+        text = "%for x in items\n- ${x}\n%endfor"
+        assert render(text, items=[1]) == "- 1"
+
+    def test_nested_loops(self):
+        text = (
+            "%for row in grid:\n"
+            "%for cell in row:\n"
+            "${cell}\n"
+            "%endfor\n"
+            "%endfor"
+        )
+        assert render(text, grid=[[1, 2], [3]]) == "1\n2\n3"
+
+    def test_loop_over_none_is_empty(self):
+        assert render("%for x in items:\n${x}\n%endfor", items=None) == ""
+
+    def test_loop_variable_scoped(self):
+        text = "%for x in items:\n${x}\n%endfor\n${x}"
+        assert render(text, items=[1], x="outer") == "1\nouter"
+
+    def test_missing_endfor(self):
+        with pytest.raises(TemplateError):
+            Template("%for x in items:\n${x}")
+
+
+class TestIf:
+    def test_if_true(self):
+        assert render("%if flag:\nyes\n%endif", flag=True) == "yes"
+
+    def test_if_false(self):
+        assert render("%if flag:\nyes\n%endif", flag=False) == ""
+
+    def test_if_else(self):
+        text = "%if flag:\nyes\n%else:\nno\n%endif"
+        assert render(text, flag=False) == "no"
+
+    def test_elif_chain(self):
+        text = (
+            "%if x == 1:\none\n"
+            "%elif x == 2:\ntwo\n"
+            "%else:\nmany\n%endif"
+        )
+        assert render(text, x=1) == "one"
+        assert render(text, x=2) == "two"
+        assert render(text, x=9) == "many"
+
+    def test_missing_endif(self):
+        with pytest.raises(TemplateError):
+            Template("%if x:\nbody")
+
+    def test_unknown_directive(self):
+        with pytest.raises(TemplateError):
+            Template("%while x:\nbody\n%endwhile")
+
+    def test_stray_endfor(self):
+        with pytest.raises(TemplateError):
+            Template("text\n%endfor")
+
+
+class TestEscapes:
+    def test_double_percent_escapes(self):
+        assert render("%%for real") == "%for real"
+
+    def test_template_reusable(self):
+        template = Template("v=${v}")
+        assert template.render(v=1) == "v=1"
+        assert template.render(v=2) == "v=2"
+
+    def test_mixed_document(self):
+        text = (
+            "header\n"
+            "%for item in items:\n"
+            "%if item > 1:\n"
+            "big ${item}\n"
+            "%else:\n"
+            "small ${item}\n"
+            "%endif\n"
+            "%endfor\n"
+            "footer"
+        )
+        assert render(text, items=[1, 2]) == (
+            "header\nsmall 1\nbig 2\nfooter"
+        )

@@ -1,0 +1,114 @@
+"""Property-based tests for the template engine.
+
+Strategy: generate a random template AST together with its expected
+rendering (computed independently of the engine), emit the template text,
+and check the engine agrees — across arbitrary nesting of text,
+placeholders, loops and conditionals.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.transform.m2t import Template
+
+#: The fixed rendering context every generated template runs against.
+CONTEXT = {
+    "xs": [1, 2, 3],
+    "name": "widget",
+    "flag_true": True,
+    "flag_false": False,
+}
+
+safe_text = st.text(
+    alphabet="abcdefghij XYZ.,:-", min_size=1, max_size=12
+).filter(lambda s: not s.strip().startswith("%"))
+
+
+def text_node(line: str):
+    return ([line], [line])
+
+
+def placeholder_node(kind: str):
+    if kind == "name":
+        return (["n=${name}"], ["n=widget"])
+    if kind == "len":
+        return (["c=${len(xs)}"], ["c=3"])
+    return (["s=${xs[0] + xs[1]}"], ["s=3"])
+
+
+def for_node(body):
+    body_lines, body_expected = body
+    lines = ["%for item in xs:"] + body_lines + ["%endfor"]
+    expected: list[str] = []
+    for __ in CONTEXT["xs"]:
+        expected.extend(body_expected)
+    return (lines, expected)
+
+
+def for_with_var_node():
+    lines = ["%for item in xs:", "i=${item}", "%endfor"]
+    expected = [f"i={x}" for x in CONTEXT["xs"]]
+    return (lines, expected)
+
+
+def if_node(condition_key: str, then, otherwise):
+    then_lines, then_expected = then
+    else_lines, else_expected = otherwise
+    lines = (
+        [f"%if {condition_key}:"]
+        + then_lines
+        + ["%else:"]
+        + else_lines
+        + ["%endif"]
+    )
+    expected = then_expected if CONTEXT[condition_key] else else_expected
+    return (lines, expected)
+
+
+@st.composite
+def template_nodes(draw, depth: int = 0):
+    choices = ["text", "placeholder"]
+    if depth < 2:
+        choices.extend(["for", "for_var", "if"])
+    kind = draw(st.sampled_from(choices))
+    if kind == "text":
+        return text_node(draw(safe_text))
+    if kind == "placeholder":
+        return placeholder_node(
+            draw(st.sampled_from(["name", "len", "sum"]))
+        )
+    if kind == "for":
+        return for_node(draw(template_nodes(depth=depth + 1)))
+    if kind == "for_var":
+        return for_with_var_node()
+    return if_node(
+        draw(st.sampled_from(["flag_true", "flag_false"])),
+        draw(template_nodes(depth=depth + 1)),
+        draw(template_nodes(depth=depth + 1)),
+    )
+
+
+@st.composite
+def documents(draw):
+    nodes = draw(st.lists(template_nodes(), min_size=1, max_size=5))
+    lines: list[str] = []
+    expected: list[str] = []
+    for node_lines, node_expected in nodes:
+        lines.extend(node_lines)
+        expected.extend(node_expected)
+    return "\n".join(lines), "\n".join(expected)
+
+
+@settings(max_examples=120, deadline=None)
+@given(documents())
+def test_random_templates_render_as_computed(document):
+    text, expected = document
+    assert Template(text).render(**CONTEXT) == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(documents())
+def test_templates_are_reusable(document):
+    text, expected = document
+    template = Template(text)
+    assert template.render(**CONTEXT) == template.render(**CONTEXT)

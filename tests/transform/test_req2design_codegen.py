@@ -1,0 +1,190 @@
+"""Unit tests for the req2design transformation and code generation."""
+
+import pytest
+
+from repro.core.errors import TransformationError
+from repro.transform import design as D
+from repro.transform.codegen import (
+    generate_app_module,
+    generate_validator_summary,
+    variable_name,
+)
+from repro.transform.req2design import OPERATION_KINDS, slugify, transform
+
+
+@pytest.fixture()
+def design_result(builder):
+    return transform(builder.model)
+
+
+@pytest.fixture()
+def design(design_result):
+    return design_result.primary
+
+
+class TestSlugify:
+    def test_basic(self):
+        assert slugify("Add new review") == "add-new-review"
+        assert slugify("  Weird -- name!! ") == "weird-name"
+        assert slugify("***") == "page"
+
+
+class TestTransform:
+    def test_rejects_wrong_root(self, builder):
+        with pytest.raises(TransformationError):
+            transform(builder.model.information_cases[0])
+
+    def test_design_root_created(self, design):
+        assert design.is_instance_of(D.DesignModel)
+        assert design.name == "Shop"
+
+    def test_entities_from_contents_and_case(self, design):
+        names = {e.name for e in design.entities}
+        assert "customer profile" in names        # per Content
+        assert "Manage profile data" in names     # composite per IC
+
+    def test_composite_fields_are_union(self, design):
+        composite = [
+            e for e in design.entities if e.name == "Manage profile data"
+        ][0]
+        assert list(composite.fields) == ["name", "email", "birth_year"]
+
+    def test_completeness_marks_required(self, design):
+        composite = [
+            e for e in design.entities if e.name == "Manage profile data"
+        ][0]
+        assert list(composite.required_fields) == list(composite.fields)
+
+    def test_form_and_routes(self, design):
+        assert len(design.forms) == 1
+        form = design.forms[0]
+        assert form.entity.name == "Manage profile data"
+        kinds = {r.kind for r in design.routes}
+        assert kinds == {"create", "list"}
+        create = [r for r in design.routes if r.kind == "create"][0]
+        assert create.path == "/manage-profile-data"
+        assert create.form is form
+
+    def test_validators_from_operations(self, design):
+        kinds = {v.name: v.kind for v in design.validators}
+        assert kinds == {
+            "check_completeness": "completeness",
+            "check_precision": "precision",
+        }
+
+    def test_validators_attached_to_form(self, design):
+        form = design.forms[0]
+        assert {v.kind for v in form.validators} == {
+            "completeness", "precision",
+        }
+
+    def test_bounds_inside_precision_validator(self, design):
+        precision = [
+            v for v in design.validators if v.kind == "precision"
+        ][0]
+        assert len(precision.bounds) == 1
+        bound = precision.bounds[0]
+        assert bound.field == "birth_year"
+        assert (bound.lower, bound.upper) == (1900, 2026)
+
+    def test_metadata_spec(self, design):
+        assert len(design.metadata_specs) == 1
+        spec = design.metadata_specs[0]
+        assert list(spec.attributes) == ["stored_by", "stored_date"]
+        entity_names = {e.name for e in spec.entities}
+        assert "customer profile" in entity_names
+        assert "Manage profile data" in entity_names
+
+    def test_no_confidentiality_no_policies(self, design):
+        assert len(design.policies) == 0
+
+    def test_confidentiality_produces_policies(self, builder):
+        case = builder.model.information_cases[0]
+        builder.dq_requirement(
+            "secret profiles", case, "Confidentiality", "restrict"
+        )
+        design = transform(builder.model).primary
+        assert len(design.policies) >= 1
+        assert all(p.security_level == 1 for p in design.policies)
+
+    def test_unknown_operation_degrades_to_consistency(self, builder):
+        builder.dq_validator("odd", ["check_flux_capacitor"], [])
+        design = transform(builder.model).primary
+        odd = [v for v in design.validators if v.name == "check_flux_capacitor"]
+        assert odd and odd[0].kind == "consistency"
+
+    def test_constraint_without_precision_op_fails(self, builder):
+        validator = builder.dq_validator("no-precision", ["check_format"], [])
+        builder.dq_constraint("orphan bounds", validator, ["x"], 0, 1)
+        with pytest.raises(TransformationError):
+            transform(builder.model)
+
+    def test_trace_links_requirements_to_design(self, design_result, builder):
+        trace = design_result.trace
+        case = builder.model.information_cases[0]
+        produced = trace.targets_of(case, "case2form")
+        assert produced  # composite entity, form, routes
+        assert produced[0].is_instance_of(D.EntitySpec)
+
+    def test_operation_kind_table_is_total_for_known_ops(self):
+        assert set(OPERATION_KINDS.values()) <= {
+            "completeness", "precision", "format", "enum", "consistency",
+            "currentness", "credibility", "authorized",
+        }
+
+
+class TestCodegen:
+    def test_variable_name(self):
+        assert variable_name("Manage profile data form") == (
+            "manage_profile_data_form"
+        )
+        assert variable_name("123abc").startswith("f_")
+        assert variable_name("***") == "form"
+
+    def test_generated_module_compiles(self, design):
+        source = generate_app_module(design)
+        compile(source, "generated.py", "exec")
+
+    def test_generated_module_builds_working_app(self, design):
+        source = generate_app_module(design)
+        namespace = {}
+        exec(compile(source, "generated.py", "exec"), namespace)
+        app = namespace["build_app"]()
+        response = app.post(
+            "/manage-profile-data",
+            {"name": "Ada", "email": "ada@x.org", "birth_year": 1985},
+        )
+        assert response.status == 201
+        rejected = app.post(
+            "/manage-profile-data",
+            {"name": "Ada", "email": "ada@x.org", "birth_year": 1500},
+        )
+        assert rejected.status == 422
+
+    def test_generated_app_matches_direct_build(self, design):
+        from repro.runtime.dqengine import build_app
+
+        source = generate_app_module(design)
+        namespace = {}
+        exec(compile(source, "generated.py", "exec"), namespace)
+        generated = namespace["build_app"]()
+        direct = build_app(design)
+        probes = [
+            {"name": "Ada", "email": "a@x.org", "birth_year": 1990},
+            {"name": None, "email": "a@x.org", "birth_year": 1990},
+            {"name": "Ada", "email": "a@x.org", "birth_year": 99},
+            {},
+        ]
+        for probe in probes:
+            left = generated.post("/manage-profile-data", probe).status
+            right = direct.post("/manage-profile-data", probe).status
+            assert left == right, probe
+
+    def test_validator_summary(self, design):
+        summary = generate_validator_summary(design)
+        assert "check_precision" in summary
+        assert "birth_year in [1900, 2026]" in summary
+
+    def test_validator_summary_empty_model(self):
+        empty = D.DesignModel.create(name="empty")
+        assert "(none)" in generate_validator_summary(empty)

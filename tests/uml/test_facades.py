@@ -1,0 +1,254 @@
+"""Unit tests for the UML facade modules (elements/classes/usecases/
+activities/requirements)."""
+
+import pytest
+
+from repro.uml import activities, classes, elements, requirements, usecases
+from repro.uml import metamodel as M
+
+
+@pytest.fixture()
+def model():
+    return elements.model("demo")
+
+
+@pytest.fixture()
+def pkg(model):
+    return elements.package(model, "pkg")
+
+
+class TestElements:
+    def test_model_and_package(self, model, pkg):
+        assert model.is_instance_of(M.Model)
+        assert pkg.owningPackage is model
+        assert elements.find_named(model, "pkg") is pkg
+        assert elements.find_named(model, "ghost") is None
+
+    def test_comment(self, pkg):
+        note = elements.comment(pkg, "hello")
+        assert note in pkg.ownedComments
+        assert note.body == "hello"
+
+    def test_owned_filters_by_type(self, model, pkg):
+        actor = usecases.actor(pkg, "A")
+        case = usecases.use_case(pkg, "U")
+        assert elements.owned(pkg, M.Actor) == [actor]
+        assert elements.owned(pkg, M.UseCase) == [case]
+
+    def test_apply_profile_idempotent(self, model):
+        from repro.uml.profiles import profile
+
+        prof = profile("P")
+        elements.apply_profile(model, prof)
+        elements.apply_profile(model, prof)
+        assert len(model.appliedProfiles) == 1
+
+
+class TestClasses:
+    def test_class_with_properties_and_operations(self, pkg):
+        cls = classes.class_(pkg, "Review")
+        prop = classes.property_(cls, "score", "Integer", lower=1)
+        op = classes.operation(
+            cls, "validate", "Boolean", parameters=[("strict", "Boolean")]
+        )
+        assert prop.owningClass is cls
+        assert prop.lowerValue == 1
+        assert op in cls.ownedOperations
+        assert op.ownedParameters[0].name == "strict"
+
+    def test_property_default(self, pkg):
+        cls = classes.class_(pkg, "C")
+        prop = classes.property_(cls, "x", "Integer", default="0")
+        assert prop.defaultValue == "0"
+
+    def test_generalize(self, pkg):
+        base = classes.class_(pkg, "Base")
+        derived = classes.class_(pkg, "Derived")
+        classes.generalize(derived, base)
+        classes.generalize(derived, base)  # idempotent
+        assert list(derived.superClasses) == [base]
+
+    def test_abstract_flag(self, pkg):
+        cls = classes.class_(pkg, "A", is_abstract=True)
+        assert cls.isAbstract is True
+
+    def test_associations(self, pkg):
+        a = classes.class_(pkg, "A")
+        b = classes.class_(pkg, "B")
+        c = classes.class_(pkg, "C")
+        ab = classes.associate(pkg, a, b, name="ab")
+        classes.associate(pkg, c, a)
+        assert ab in classes.associations_of(pkg, a)
+        peers = classes.associated_peers(pkg, a)
+        assert set(p.name for p in peers) == {"B", "C"}
+
+
+class TestUseCases:
+    def test_include_extend_communicates(self, pkg):
+        actor = usecases.actor(pkg, "User")
+        main = usecases.use_case(pkg, "Main")
+        sub = usecases.use_case(pkg, "Sub")
+        optional = usecases.use_case(pkg, "Optional")
+        usecases.include(main, sub)
+        usecases.extend(optional, main, condition="if needed")
+        usecases.communicates(actor, main)
+        usecases.communicates(actor, main)  # idempotent
+        assert usecases.included_cases(main) == [sub]
+        assert usecases.extended_cases(optional) == [main]
+        assert list(main.actors) == [actor]
+        assert main.extends == [] or True  # extends live on 'optional'
+        assert optional.extends[0].condition == "if needed"
+
+    def test_including_cases_searches_model(self, model, pkg):
+        main = usecases.use_case(pkg, "Main")
+        sub = usecases.use_case(pkg, "Sub")
+        other_pkg = elements.package(model, "other")
+        other = usecases.use_case(other_pkg, "Other")
+        usecases.include(main, sub)
+        usecases.include(other, sub)
+        including = usecases.including_cases(model, sub)
+        assert {c.name for c in including} == {"Main", "Other"}
+
+
+class TestActivities:
+    def build_linear(self, pkg):
+        act = activities.activity(pkg, "flow")
+        start = activities.initial(act)
+        a = activities.action(act, "a")
+        b = activities.action(act, "b")
+        end = activities.final(act)
+        activities.chain(act, start, a, b, end)
+        return act, (start, a, b, end)
+
+    def test_chain_connects_consecutively(self, pkg):
+        act, (start, a, b, end) = self.build_linear(pkg)
+        assert activities.successors(start) == [a]
+        assert activities.successors(a) == [b]
+        assert activities.predecessors(end) == [b]
+
+    def test_reachability(self, pkg):
+        act, (start, a, b, end) = self.build_linear(pkg)
+        reachable = activities.reachable_from(start)
+        assert set(n.label() for n in reachable) == {"a", "b", "end"}
+
+    def test_well_formed_linear(self, pkg):
+        act, __ = self.build_linear(pkg)
+        assert activities.is_well_formed(act) == []
+
+    def test_missing_initial_and_final_detected(self, pkg):
+        act = activities.activity(pkg, "broken")
+        activities.action(act, "only")
+        problems = activities.is_well_formed(act)
+        assert any("no initial node" in p for p in problems)
+        assert any("no final node" in p for p in problems)
+
+    def test_unreachable_node_detected(self, pkg):
+        act, __ = self.build_linear(pkg)
+        activities.action(act, "orphan")
+        problems = activities.is_well_formed(act)
+        assert any("unreachable" in p for p in problems)
+
+    def test_initial_with_incoming_detected(self, pkg):
+        act, (start, a, b, end) = self.build_linear(pkg)
+        activities.flow(act, a, start)
+        problems = activities.is_well_formed(act)
+        assert any("incoming" in p for p in problems)
+
+    def test_final_with_outgoing_detected(self, pkg):
+        act, (start, a, b, end) = self.build_linear(pkg)
+        activities.flow(act, end, b)
+        problems = activities.is_well_formed(act)
+        assert any("outgoing" in p for p in problems)
+
+    def test_decision_fork_join_merge(self, pkg):
+        act = activities.activity(pkg, "branching")
+        start = activities.initial(act)
+        decision = activities.decision(act)
+        a = activities.action(act, "a")
+        b = activities.action(act, "b")
+        merge = activities.merge(act)
+        end = activities.final(act)
+        activities.flow(act, start, decision)
+        activities.flow(act, decision, a, guard="yes")
+        activities.flow(act, decision, b, guard="no")
+        activities.flow(act, a, merge)
+        activities.flow(act, b, merge)
+        activities.flow(act, merge, end)
+        assert activities.is_well_formed(act) == []
+        guards = sorted(e.guard for e in decision.outgoing)
+        assert guards == ["no", "yes"]
+
+    def test_object_flow_and_object_node(self, pkg):
+        act = activities.activity(pkg, "data")
+        start = activities.initial(act)
+        action = activities.action(act, "use data")
+        page = activities.object_node(act, "page", type="WebUI")
+        end = activities.final(act)
+        activities.chain(act, start, action, end)
+        flow = activities.object_flow(act, page, action)
+        assert page.type == "WebUI"
+        assert flow.is_instance_of(M.ObjectFlow)
+
+    def test_partition(self, pkg):
+        act = activities.activity(pkg, "lanes")
+        a = activities.action(act, "a")
+        lane = activities.partition(act, "PC member", [a])
+        assert lane in act.partitions
+        assert a in lane.nodes
+
+    def test_call_behavior(self, pkg):
+        inner = activities.activity(pkg, "inner")
+        outer = activities.activity(pkg, "outer")
+        call = activities.call_behavior(outer, "call inner", inner)
+        assert call.behavior is inner
+
+    def test_edge_crossing_activities_detected(self, pkg):
+        act1, (s1, a1, b1, e1) = self.build_linear(pkg)
+        act2 = activities.activity(pkg, "second")
+        foreign = activities.action(act2, "foreign")
+        act1.edges.append(M.ControlFlow.create(source=a1, target=foreign))
+        problems = activities.is_well_formed(act1)
+        assert any("crosses outside" in p for p in problems)
+
+
+class TestRequirements:
+    def test_requirement_fields(self, pkg):
+        req = requirements.requirement(pkg, "R", req_id="1", text="must X")
+        assert req.reqId == "1"
+        assert req.text == "must X"
+
+    def test_links(self, pkg):
+        parent = requirements.requirement(pkg, "parent")
+        child = requirements.requirement(pkg, "child")
+        cls = classes.class_(pkg, "Impl")
+        test_case = classes.class_(pkg, "TestImpl")
+        requirements.derive(child, parent)
+        requirements.satisfy(child, cls)
+        requirements.verify(child, test_case)
+        requirements.refine(child, cls)
+        requirements.trace(child, cls)
+        assert parent in child.derivedFrom
+        assert cls in child.satisfiedBy
+        assert test_case in child.verifiedBy
+
+    def test_derivation_chain_handles_cycles(self, pkg):
+        a = requirements.requirement(pkg, "a")
+        b = requirements.requirement(pkg, "b")
+        c = requirements.requirement(pkg, "c")
+        requirements.derive(b, a)
+        requirements.derive(c, b)
+        requirements.derive(a, c)  # cycle
+        chain = requirements.derivation_chain(c)
+        assert {r.name for r in chain} == {"a", "b", "c"}
+
+    def test_coverage_buckets(self, pkg):
+        covered = requirements.requirement(pkg, "covered")
+        open_req = requirements.requirement(pkg, "open")
+        cls = classes.class_(pkg, "Impl")
+        requirements.satisfy(covered, cls)
+        requirements.verify(covered, cls)
+        buckets = requirements.coverage([covered, open_req])
+        assert buckets["satisfied"] == [covered]
+        assert buckets["unsatisfied"] == [open_req]
+        assert buckets["verified"] == [covered]
+        assert buckets["unverified"] == [open_req]

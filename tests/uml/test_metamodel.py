@@ -1,0 +1,82 @@
+"""Unit tests for the UML subset metamodel definition."""
+
+import pytest
+
+from repro.core import global_registry
+from repro.uml import UML
+from repro.uml import metamodel as M
+
+
+class TestStructure:
+    def test_registered_globally(self):
+        assert global_registry.by_uri("urn:repro:uml") is UML
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "Element", "NamedElement", "Package", "Model", "Class",
+            "Property", "Operation", "Association", "Actor", "UseCase",
+            "Include", "Extend", "Activity", "ActivityNode", "ActivityEdge",
+            "InitialNode", "ActivityFinalNode", "DecisionNode", "ForkNode",
+            "OpaqueAction", "CallBehaviorAction", "ObjectNode",
+            "ControlFlow", "ObjectFlow", "Requirement", "Profile",
+            "Stereotype", "TagDefinition", "StereotypeConstraint",
+            "StereotypeApplication", "TagValue", "Comment",
+            "ActivityPartition",
+        ],
+    )
+    def test_metaclass_exists(self, name):
+        assert UML.find_class(name) is not None
+
+    def test_abstract_classes(self):
+        for name in ("Element", "NamedElement", "Classifier", "ActivityNode",
+                     "ActivityEdge", "Action"):
+            assert UML.find_class(name).abstract, name
+
+    def test_inheritance_chains(self):
+        assert M.Model.conforms_to(M.Package)
+        assert M.Package.conforms_to(M.NamedElement)
+        assert M.UseCase.conforms_to(M.Classifier)
+        assert M.Actor.conforms_to(M.PackageableElement)
+        assert M.OpaqueAction.conforms_to(M.ActivityNode)
+        assert M.ControlFlow.conforms_to(M.ActivityEdge)
+        assert M.Profile.conforms_to(M.Package)
+        assert M.Requirement.conforms_to(M.Element)
+
+    def test_every_element_can_own_comments(self):
+        for metaclass in (M.UseCase, M.Activity, M.Class, M.Requirement):
+            assert "ownedComments" in metaclass.all_references()
+
+    def test_every_element_can_carry_stereotypes(self):
+        for metaclass in (M.UseCase, M.OpaqueAction, M.Class, M.Requirement):
+            assert "appliedStereotypes" in metaclass.all_references()
+
+
+class TestInstantiation:
+    def test_package_containment_opposite(self):
+        model = M.Model.create(name="m")
+        pkg = M.Package.create(name="p")
+        model.packagedElements.append(pkg)
+        assert pkg.owningPackage is model
+        assert pkg.container is model
+
+    def test_use_case_include_needs_addition(self):
+        include = M.Include.create()
+        assert [f.name for f in include.missing_required_features()] == [
+            "addition"
+        ]
+
+    def test_activity_edge_opposites(self):
+        activity = M.Activity.create(name="a")
+        a = M.OpaqueAction.create(name="x")
+        b = M.OpaqueAction.create(name="y")
+        activity.nodes.extend([a, b])
+        edge = M.ControlFlow.create(source=a, target=b)
+        activity.edges.append(edge)
+        assert edge in a.outgoing
+        assert edge in b.incoming
+
+    def test_stereotype_requires_base_class(self):
+        stereo = M.Stereotype.create(name="S")
+        missing = {f.name for f in stereo.missing_required_features()}
+        assert "baseClasses" in missing

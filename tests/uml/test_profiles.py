@@ -1,0 +1,265 @@
+"""Unit tests for the UML profile mechanism."""
+
+import pytest
+
+from repro.core.errors import (
+    BaseClassMismatchError,
+    ProfileError,
+    TaggedValueError,
+)
+from repro.uml import elements, profiles, usecases
+from repro.uml import metamodel as M
+
+
+@pytest.fixture()
+def model():
+    return elements.model("m")
+
+
+@pytest.fixture()
+def pkg(model):
+    return elements.package(model, "p")
+
+
+@pytest.fixture()
+def hot():
+    prof = profiles.profile("Test")
+    stereo = profiles.stereotype(prof, "Hot", ["UseCase"], doc="hot stuff")
+    profiles.tag_definition(stereo, "level", "integer", required=True)
+    profiles.tag_definition(stereo, "labels", "string_set")
+    profiles.tag_definition(stereo, "note", "string", default="n/a")
+    profiles.tag_definition(stereo, "weight", "real")
+    profiles.tag_definition(stereo, "active", "boolean", default="true")
+    return prof, stereo
+
+
+class TestDefinition:
+    def test_stereotype_needs_base_classes(self):
+        prof = profiles.profile("P")
+        with pytest.raises(ProfileError):
+            profiles.stereotype(prof, "Empty", [])
+
+    def test_unknown_base_class_rejected(self):
+        prof = profiles.profile("P")
+        with pytest.raises(ProfileError):
+            profiles.stereotype(prof, "Bad", ["Martian"])
+
+    def test_find_stereotype(self, hot):
+        prof, stereo = hot
+        assert profiles.find_stereotype(prof, "Hot") is stereo
+        assert profiles.find_stereotype(prof, "Cold") is None
+
+    def test_stereotype_constraint_stored(self, hot):
+        prof, stereo = hot
+        constraint = profiles.stereotype_constraint(
+            stereo, "named", "self.name <> null", "must be named"
+        )
+        assert constraint in stereo.constraints
+
+
+class TestApplication:
+    def test_apply_with_tags(self, pkg, hot):
+        __, stereo = hot
+        case = usecases.use_case(pkg, "U")
+        app = profiles.apply_stereotype(
+            case, stereo, level=3, labels=["a", "b"], weight=0.5
+        )
+        assert app in case.appliedStereotypes
+        assert profiles.has_stereotype(case, "Hot")
+        assert profiles.get_tag(case, "Hot", "level") == 3
+        assert profiles.get_tag(case, "Hot", "labels") == ["a", "b"]
+        assert profiles.get_tag(case, "Hot", "weight") == 0.5
+
+    def test_defaults_applied(self, pkg, hot):
+        __, stereo = hot
+        case = usecases.use_case(pkg, "U")
+        profiles.apply_stereotype(case, stereo, level=1)
+        assert profiles.get_tag(case, "Hot", "note") == "n/a"
+        assert profiles.get_tag(case, "Hot", "active") is True
+
+    def test_base_class_enforced(self, pkg, hot):
+        __, stereo = hot
+        actor = usecases.actor(pkg, "A")
+        with pytest.raises(BaseClassMismatchError):
+            profiles.apply_stereotype(actor, stereo, level=1)
+
+    def test_subclass_of_base_accepted(self, pkg):
+        prof = profiles.profile("P")
+        stereo = profiles.stereotype(prof, "AnyNamed", ["NamedElement"])
+        case = usecases.use_case(pkg, "U")  # UseCase is-a NamedElement
+        profiles.apply_stereotype(case, stereo)
+        assert profiles.has_stereotype(case, "AnyNamed")
+
+    def test_required_tag_missing_rejected(self, pkg, hot):
+        __, stereo = hot
+        case = usecases.use_case(pkg, "U")
+        with pytest.raises(TaggedValueError):
+            profiles.apply_stereotype(case, stereo)
+
+    def test_unknown_tag_rejected(self, pkg, hot):
+        __, stereo = hot
+        case = usecases.use_case(pkg, "U")
+        with pytest.raises(TaggedValueError):
+            profiles.apply_stereotype(case, stereo, level=1, bogus=1)
+
+    def test_wrong_tag_type_rejected(self, pkg, hot):
+        __, stereo = hot
+        case = usecases.use_case(pkg, "U")
+        with pytest.raises(TaggedValueError):
+            profiles.apply_stereotype(case, stereo, level="three")
+
+    def test_unapply(self, pkg, hot):
+        __, stereo = hot
+        case = usecases.use_case(pkg, "U")
+        profiles.apply_stereotype(case, stereo, level=1)
+        assert profiles.unapply_stereotype(case, "Hot") is True
+        assert not profiles.has_stereotype(case, "Hot")
+        assert profiles.unapply_stereotype(case, "Hot") is False
+
+    def test_set_tag_updates(self, pkg, hot):
+        __, stereo = hot
+        case = usecases.use_case(pkg, "U")
+        profiles.apply_stereotype(case, stereo, level=1)
+        profiles.set_tag(case, "Hot", "level", 9)
+        assert profiles.get_tag(case, "Hot", "level") == 9
+
+    def test_set_tag_without_application_fails(self, pkg, hot):
+        case = usecases.use_case(pkg, "U")
+        with pytest.raises(ProfileError):
+            profiles.set_tag(case, "Hot", "level", 1)
+
+    def test_set_tag_unknown_name_fails(self, pkg, hot):
+        __, stereo = hot
+        case = usecases.use_case(pkg, "U")
+        profiles.apply_stereotype(case, stereo, level=1)
+        with pytest.raises(TaggedValueError):
+            profiles.set_tag(case, "Hot", "bogus", 1)
+
+    def test_empty_string_set_round_trips(self, pkg, hot):
+        __, stereo = hot
+        case = usecases.use_case(pkg, "U")
+        profiles.apply_stereotype(case, stereo, level=1, labels=[])
+        assert profiles.get_tag(case, "Hot", "labels") == []
+
+    def test_get_tag_absent(self, pkg, hot):
+        __, stereo = hot
+        case = usecases.use_case(pkg, "U")
+        assert profiles.get_tag(case, "Hot", "level") is None
+
+    def test_stereotype_names_and_elements_with(self, model, pkg, hot):
+        __, stereo = hot
+        case = usecases.use_case(pkg, "U")
+        profiles.apply_stereotype(case, stereo, level=1)
+        assert profiles.stereotype_names(case) == ["Hot"]
+        assert profiles.elements_with_stereotype(model, "Hot") == [case]
+
+    def test_string_set_default_parsed_from_csv(self, pkg):
+        prof = profiles.profile("P")
+        stereo = profiles.stereotype(prof, "S", ["UseCase"])
+        profiles.tag_definition(
+            stereo, "tags", "string_set", default="a, b,c"
+        )
+        case = usecases.use_case(pkg, "U")
+        profiles.apply_stereotype(case, stereo)
+        assert profiles.get_tag(case, "S", "tags") == ["a", "b", "c"]
+
+
+class TestValidation:
+    def test_ocl_constraint_pass_fail(self, model, pkg):
+        prof = profiles.profile("P")
+        stereo = profiles.stereotype(prof, "Named", ["UseCase"])
+        profiles.stereotype_constraint(
+            stereo, "has-name", "self.name <> null and self.name.size() > 2",
+            "needs a longer name",
+        )
+        good = usecases.use_case(pkg, "Good name")
+        bad = usecases.use_case(pkg, "X")
+        profiles.apply_stereotype(good, stereo)
+        profiles.apply_stereotype(bad, stereo)
+        diagnostics = profiles.validate_applications(model)
+        assert len(diagnostics) == 1
+        assert diagnostics[0].obj is bad
+        assert "needs a longer name" in diagnostics[0].message
+
+    def test_python_rule_constraint(self, model, pkg):
+        @profiles.register_rule("test.always-fails")
+        def always_fails(element, application):
+            return f"{element.name} fails"
+
+        prof = profiles.profile("P")
+        stereo = profiles.stereotype(prof, "Doomed", ["UseCase"])
+        profiles.stereotype_constraint(
+            stereo, "doom", "python:test.always-fails"
+        )
+        case = usecases.use_case(pkg, "U")
+        profiles.apply_stereotype(case, stereo)
+        diagnostics = profiles.validate_applications(model)
+        assert any("U fails" in d.message for d in diagnostics)
+
+    def test_unregistered_python_rule_reports_error(self, model, pkg):
+        prof = profiles.profile("P")
+        stereo = profiles.stereotype(prof, "Ghost", ["UseCase"])
+        profiles.stereotype_constraint(
+            stereo, "ghost", "python:no.such.rule"
+        )
+        case = usecases.use_case(pkg, "U")
+        profiles.apply_stereotype(case, stereo)
+        diagnostics = profiles.validate_applications(model)
+        assert any("no registered" in d.message for d in diagnostics)
+
+    def test_broken_ocl_reports_error(self, model, pkg):
+        prof = profiles.profile("P")
+        stereo = profiles.stereotype(prof, "Broken", ["UseCase"])
+        profiles.stereotype_constraint(stereo, "broken", "self.zzz > 1")
+        case = usecases.use_case(pkg, "U")
+        profiles.apply_stereotype(case, stereo)
+        diagnostics = profiles.validate_applications(model)
+        assert any("failed" in d.message for d in diagnostics)
+
+    def test_missing_required_tag_detected_post_hoc(self, model, pkg, hot):
+        __, stereo = hot
+        case = usecases.use_case(pkg, "U")
+        application = profiles.apply_stereotype(case, stereo, level=1)
+        # simulate later damage: drop the tag value
+        application.tagValues.clear()
+        diagnostics = profiles.validate_applications(model)
+        assert any("required tag" in d.message for d in diagnostics)
+
+    def test_clean_model_validates_empty(self, model, pkg, hot):
+        __, stereo = hot
+        case = usecases.use_case(pkg, "U")
+        profiles.apply_stereotype(case, stereo, level=1)
+        assert profiles.validate_applications(model) == []
+
+    def test_rule_lookup_error(self):
+        with pytest.raises(ProfileError):
+            profiles.rule("definitely.not.registered")
+
+
+class TestTagDefaultsParsing:
+    @pytest.fixture()
+    def model_pkg(self):
+        model = elements.model("m")
+        return model, elements.package(model, "p")
+
+    def test_integer_and_real_defaults(self, model_pkg):
+        __, pkg = model_pkg
+        prof = profiles.profile("P")
+        stereo = profiles.stereotype(prof, "Sized", ["UseCase"])
+        profiles.tag_definition(stereo, "count", "integer", default="7")
+        profiles.tag_definition(stereo, "ratio", "real", default="0.5")
+        case = usecases.use_case(pkg, "U")
+        profiles.apply_stereotype(case, stereo)
+        assert profiles.get_tag(case, "Sized", "count") == 7
+        assert profiles.get_tag(case, "Sized", "ratio") == 0.5
+
+    def test_boolean_default_variants(self, model_pkg):
+        __, pkg = model_pkg
+        prof = profiles.profile("P")
+        stereo = profiles.stereotype(prof, "Flagged", ["UseCase"])
+        profiles.tag_definition(stereo, "yes", "boolean", default="YES")
+        profiles.tag_definition(stereo, "no", "boolean", default="off")
+        case = usecases.use_case(pkg, "U")
+        profiles.apply_stereotype(case, stereo)
+        assert profiles.get_tag(case, "Flagged", "yes") is True
+        assert profiles.get_tag(case, "Flagged", "no") is False

@@ -1,0 +1,208 @@
+"""Unit tests for the WebRE metamodel, profile and validation (Table 2)."""
+
+import pytest
+
+from repro.core import Severity, global_registry
+from repro.uml import elements, profiles, usecases
+from repro.webre import (
+    TABLE2_ELEMENTS,
+    WEBRE,
+    WEBRE_STEREOTYPES,
+    build_webre_profile,
+    validate,
+)
+from repro.webre import metamodel as M
+
+
+class TestMetamodel:
+    def test_registered_globally(self):
+        assert global_registry.by_uri("urn:repro:webre") is WEBRE
+
+    def test_table2_elements_all_defined(self):
+        for name, __ in TABLE2_ELEMENTS:
+            assert WEBRE.find_class(name) is not None, name
+
+    def test_table2_has_nine_elements(self):
+        assert len(TABLE2_ELEMENTS) == 9
+
+    def test_packages_behavior_and_structure(self):
+        assert set(WEBRE.subpackages) == {"behavior", "structure"}
+        assert WEBRE.subpackages["behavior"].find_class("WebProcess")
+        assert WEBRE.subpackages["structure"].find_class("Content")
+
+    def test_search_specializes_browse(self):
+        assert M.Search.conforms_to(M.Browse)
+        assert M.Search.conforms_to(M.WebREActivity)
+
+    def test_navigation_and_webprocess_are_use_cases(self):
+        assert M.Navigation.conforms_to(M.WebREUseCase)
+        assert M.WebProcess.conforms_to(M.WebREUseCase)
+
+    def test_browse_target_mandatory(self):
+        browse = M.Browse.create(name="b")
+        missing = {f.name for f in browse.missing_required_features()}
+        assert "target" in missing
+
+    def test_search_queries_mandatory(self):
+        node = M.Node.create(name="n")
+        search = M.Search.create(name="s", target=node)
+        missing = {f.name for f in search.missing_required_features()}
+        assert "queries" in missing
+
+    def test_model_containment(self):
+        model = M.WebREModel.create(name="m")
+        user = M.WebUser.create(name="u")
+        model.users.append(user)
+        process = M.WebProcess.create(name="p", user=user)
+        model.processes.append(process)
+        transaction = M.UserTransaction.create(name="t")
+        process.activities.append(transaction)
+        assert transaction.root() is model
+
+    def test_table2_descriptions_nonempty(self):
+        for name, description in TABLE2_ELEMENTS:
+            assert len(description) > 20, name
+
+
+class TestProfile:
+    @pytest.fixture()
+    def profile(self):
+        return build_webre_profile()
+
+    def test_all_nine_stereotypes(self, profile):
+        names = {s.name for s in profile.ownedStereotypes}
+        assert names == set(WEBRE_STEREOTYPES)
+
+    def test_base_classes(self, profile):
+        expectations = {
+            "WebUser": "Actor",
+            "Navigation": "UseCase",
+            "WebProcess": "UseCase",
+            "Browse": "Action",
+            "Search": "Action",
+            "UserTransaction": "Action",
+            "Node": "Class",
+            "Content": "Class",
+            "WebUI": "Class",
+        }
+        for stereo in profile.ownedStereotypes:
+            assert expectations[stereo.name] in list(stereo.baseClasses)
+
+    def test_structural_stereotypes_allow_object_nodes(self, profile):
+        for name in ("Node", "Content", "WebUI"):
+            stereo = profiles.find_stereotype(profile, name)
+            assert "ObjectNode" in list(stereo.baseClasses)
+
+    def test_apply_webprocess_to_use_case(self, profile):
+        model = elements.model("m")
+        case = usecases.use_case(model, "Checkout")
+        stereo = profiles.find_stereotype(profile, "WebProcess")
+        profiles.apply_stereotype(case, stereo)
+        assert profiles.validate_applications(model) == []
+
+    def test_unnamed_webprocess_fails_constraint(self, profile):
+        model = elements.model("m")
+        case = usecases.use_case(model, "x")
+        case.unset("name")
+        stereo = profiles.find_stereotype(profile, "WebProcess")
+        profiles.apply_stereotype(case, stereo)
+        diagnostics = profiles.validate_applications(model)
+        assert any("must be named" in d.message for d in diagnostics)
+
+
+class TestValidation:
+    def build_minimal(self):
+        model = M.WebREModel.create(name="shop")
+        user = M.WebUser.create(name="Customer")
+        model.users.append(user)
+        content = M.Content.create(name="catalog")
+        content.attributes.append("title")
+        model.contents.append(content)
+        ui = M.WebUI.create(name="catalog page")
+        model.uis.append(ui)
+        node = M.Node.create(name="home", ui=ui)
+        node.contents.append(content)
+        model.nodes.append(node)
+        navigation = M.Navigation.create(
+            name="browse catalog", target=node, user=user
+        )
+        browse = M.Browse.create(name="open home", target=node)
+        navigation.browses.append(browse)
+        model.navigations.append(navigation)
+        process = M.WebProcess.create(name="buy", user=user)
+        transaction = M.UserTransaction.create(name="pay")
+        transaction.data.append(content)
+        process.activities.append(transaction)
+        model.processes.append(process)
+        return model
+
+    def test_clean_model_has_no_errors(self):
+        report = validate(self.build_minimal())
+        assert report.ok
+        # one acceptable warning: browse source unset is fine (source 0..1)
+        assert all(d.severity != Severity.ERROR for d in report.diagnostics)
+
+    def test_empty_navigation_warns(self):
+        model = self.build_minimal()
+        node = model.nodes[0]
+        model.navigations.append(
+            M.Navigation.create(name="empty nav", target=node)
+        )
+        report = validate(model)
+        assert report.by_constraint("navigation-has-browses")
+
+    def test_empty_webprocess_warns(self):
+        model = self.build_minimal()
+        model.processes.append(M.WebProcess.create(name="idle"))
+        report = validate(model)
+        assert report.by_constraint("webprocess-has-activities")
+
+    def test_self_loop_browse_warns(self):
+        model = self.build_minimal()
+        browse = model.navigations[0].browses[0]
+        browse.source = browse.target
+        report = validate(model)
+        assert report.by_constraint("browse-target-differs-from-source")
+
+    def test_search_without_parameters_warns(self):
+        model = self.build_minimal()
+        search = M.Search.create(
+            name="find", target=model.nodes[0], queries=model.contents[0]
+        )
+        model.processes[0].activities.append(search)
+        report = validate(model)
+        assert report.by_constraint("search-has-parameters")
+
+    def test_transaction_without_data_warns(self):
+        model = self.build_minimal()
+        model.processes[0].activities.append(
+            M.UserTransaction.create(name="noop")
+        )
+        report = validate(model)
+        assert report.by_constraint("transaction-touches-data")
+
+    def test_duplicate_use_case_names_error(self):
+        model = self.build_minimal()
+        model.processes.append(M.WebProcess.create(name="buy"))
+        report = validate(model)
+        assert not report.ok
+        assert report.by_constraint("use-case-names-unique")
+
+    def test_model_without_users_warns(self):
+        model = M.WebREModel.create(name="empty")
+        report = validate(model)
+        assert report.by_constraint("model-has-users")
+
+    def test_content_without_attributes_warns(self):
+        model = self.build_minimal()
+        model.contents.append(M.Content.create(name="empty content"))
+        report = validate(model)
+        assert report.by_constraint("content-has-attributes")
+
+    def test_missing_mandatory_target_is_error(self):
+        model = self.build_minimal()
+        navigation = model.navigations[0]
+        navigation.unset("target")
+        report = validate(model)
+        assert not report.ok
+        assert report.by_constraint("multiplicity")
