@@ -16,7 +16,9 @@ Subcommands mirror the pipeline stages:
 * ``demo [--count N] [--seed S]`` — run the EasyChair case study workload
   through the DQ-aware app and the baseline, print the comparison and the
   DQ scorecard;
-* ``experiments`` — regenerate the measured EXPERIMENTS.md numbers.
+* ``experiments`` — regenerate the measured EXPERIMENTS.md numbers;
+* ``cluster-bench`` — measure the sharded gateway (our scaling extension)
+  against the single-shard serving path on the read-heavy mix.
 """
 
 from __future__ import annotations
@@ -94,6 +96,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     experiments.add_argument("--count", type=int, default=300)
     experiments.add_argument("--seed", type=int, default=42)
+
+    cluster_bench = commands.add_parser(
+        "cluster-bench",
+        help="single-shard vs sharded-gateway throughput comparison "
+             "(beyond the paper)",
+    )
+    cluster_bench.add_argument("--shards", type=int, default=4)
+    cluster_bench.add_argument("--count", type=int, default=600)
+    cluster_bench.add_argument("--preload", type=int, default=400)
+    cluster_bench.add_argument("--seed", type=int, default=23)
+    cluster_bench.add_argument("--threads", type=int, default=1)
+    cluster_bench.add_argument("--cache-capacity", type=int, default=512)
+    cluster_bench.add_argument(
+        "--include-uncached", action="store_true",
+        help="add an uncached N-shard row (isolates sharding vs caching)",
+    )
+    cluster_bench.add_argument(
+        "--metrics", action="store_true",
+        help="also print each configuration's gateway metrics",
+    )
 
     diff = commands.add_parser(
         "diff", help="compare two model files (requirements review aid)"
@@ -258,6 +280,32 @@ def _command_experiments(args, out) -> int:
     return 0
 
 
+def _command_cluster_bench(args, out) -> int:
+    from repro.cluster import run_comparison
+
+    result = run_comparison(
+        shard_count=args.shards,
+        count=args.count,
+        preload=args.preload,
+        seed=args.seed,
+        threads=args.threads,
+        cache_capacity=args.cache_capacity,
+        include_uncached=args.include_uncached,
+    )
+    print(result.render(), file=out)
+    for row in result.rows:
+        violations = row.report.leaks
+        if violations:  # pragma: no cover - would be a gateway bug
+            print(f"!! {row.label}: {len(violations)} leak(s)", file=out)
+            return 1
+    if args.metrics:
+        for row in result.rows:
+            print(file=out)
+            print(f"-- {row.label} --", file=out)
+            print(row.metrics_text, file=out)
+    return 0
+
+
 def _command_diff(args, out) -> int:
     from repro.core.diff import diff as model_diff
 
@@ -290,6 +338,7 @@ _COMMANDS = {
     "assess": _command_assess,
     "experiments": _command_experiments,
     "diff": _command_diff,
+    "cluster-bench": _command_cluster_bench,
 }
 
 

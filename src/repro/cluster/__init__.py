@@ -1,0 +1,52 @@
+"""``repro.cluster`` — the sharded, thread-parallel DQ serving layer.
+
+**Beyond the paper.**  DQ_WebRE ends at a single generated web application
+(the EasyChair case study); this package is our scaling extension: a
+:class:`~repro.cluster.gateway.ShardedGateway` fronting N ``WebApp``
+shards with deterministic key routing, per-shard locking, a
+confidentiality-aware read-through cache, backpressure (429/503), gateway
+metrics, and a deterministic load generator for tests and benchmarks.
+
+Every DQSR family the paper derives stays enforced *in the serving path*:
+writes still run the full validate→authorize→store→audit pipeline on
+their home shard; reads stay confidentiality-filtered (the cache keys by
+user + clearance, so a filtered body can never leak across users);
+traceability and optimistic concurrency behave exactly as on one app.
+"""
+
+from .bench import ComparisonResult, ComparisonRow, run_comparison
+from .cache import CacheStats, ReadThroughCache
+from .gateway import GatewayRoute, ShardedGateway
+from .loadgen import (
+    LoadGenerator,
+    LoadReport,
+    Operation,
+    READ_HEAVY_MIX,
+    SOAK_MIX,
+    WorkloadSpec,
+    easychair_spec,
+    verify_guarantees,
+)
+from .metrics import GatewayMetrics
+from .sharding import ShardRouter, fnv1a
+
+__all__ = [
+    "CacheStats",
+    "ComparisonResult",
+    "ComparisonRow",
+    "run_comparison",
+    "GatewayMetrics",
+    "GatewayRoute",
+    "LoadGenerator",
+    "LoadReport",
+    "Operation",
+    "READ_HEAVY_MIX",
+    "ReadThroughCache",
+    "SOAK_MIX",
+    "ShardRouter",
+    "ShardedGateway",
+    "WorkloadSpec",
+    "easychair_spec",
+    "fnv1a",
+    "verify_guarantees",
+]

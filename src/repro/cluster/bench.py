@@ -1,0 +1,186 @@
+"""Single-shard vs N-shard throughput comparison harness.
+
+Reused by ``benchmarks/bench_gateway.py`` and the ``repro cluster-bench``
+CLI subcommand.  The protocol keeps the two sides strictly comparable:
+
+1. build the **baseline** — one shard, cache disabled: the pre-cluster
+   serving path (a thin dispatch over a single ``WebApp``);
+2. build the **gateway** — N shards with the read-through cache;
+3. preload both with the same records, then replay the *identical*
+   seeded read-heavy operation plan against each from ``threads`` client
+   threads and compare wall-clock throughput.
+
+Determinism: the plan is fixed by the seed before any request runs; only
+wall-clock timings vary between runs.  The default of one client thread
+measures the per-request cost ratio with minimal scheduler noise; the
+soak tests separately prove the guarantees under many client threads.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.diagrams.ascii import table as render_table
+
+from .gateway import ShardedGateway
+from .loadgen import LoadGenerator, LoadReport, READ_HEAVY_MIX
+
+
+@dataclass
+class ComparisonRow:
+    """One measured configuration."""
+
+    label: str
+    shard_count: int
+    cache_capacity: int
+    operations: int
+    elapsed: float
+    report: LoadReport
+    cache_hit_rate: float
+    metrics_text: str = ""
+
+    @property
+    def ops_per_second(self) -> float:
+        return self.operations / self.elapsed if self.elapsed else 0.0
+
+
+@dataclass
+class ComparisonResult:
+    """Baseline row first; ``speedup`` is gateway vs baseline."""
+
+    rows: list
+    preload: int
+    threads: int
+    seed: int
+
+    @property
+    def baseline(self) -> ComparisonRow:
+        return self.rows[0]
+
+    @property
+    def gateway(self) -> ComparisonRow:
+        return self.rows[-1]
+
+    @property
+    def speedup(self) -> float:
+        base = self.baseline.ops_per_second
+        return self.gateway.ops_per_second / base if base else 0.0
+
+    def render(self) -> str:
+        header = (
+            f"gateway throughput, read-heavy mix — {self.preload} records "
+            f"preloaded, {self.gateway.operations} operations, "
+            f"{self.threads} client thread(s), seed {self.seed}"
+        )
+        body = render_table(
+            ["Configuration", "Ops/s", "Elapsed s", "Cache hit rate"],
+            [
+                [
+                    row.label,
+                    f"{row.ops_per_second:,.0f}",
+                    f"{row.elapsed:.3f}",
+                    f"{row.cache_hit_rate:.1%}"
+                    if row.cache_capacity else "—",
+                ]
+                for row in self.rows
+            ],
+            max_width=60,
+        )
+        footer = (
+            f"speedup: {self.speedup:.2f}x "
+            f"({self.gateway.label} vs {self.baseline.label})"
+        )
+        return f"{header}\n{body}\n{footer}"
+
+
+def _measure(
+    gateway: ShardedGateway,
+    generator: LoadGenerator,
+    plan: Sequence,
+    preload: int,
+    threads: int,
+    label: str,
+) -> ComparisonRow:
+    from repro.casestudy.easychair import complete_review
+
+    spec = generator.spec
+    for _ in range(preload):
+        response = gateway.submit(
+            spec.form, complete_review(), spec.cleared_users[0]
+        )
+        if response.status != 201:  # pragma: no cover - preload must land
+            raise RuntimeError(f"preload write failed: {response.status}")
+    start = time.perf_counter()
+    report = generator.run(gateway, operations=list(plan), threads=threads)
+    elapsed = time.perf_counter() - start
+    return ComparisonRow(
+        label=label,
+        shard_count=len(gateway.shards),
+        cache_capacity=gateway.cache.capacity,
+        operations=len(plan),
+        elapsed=elapsed,
+        report=report,
+        cache_hit_rate=gateway.cache.stats.hit_rate,
+        metrics_text=gateway.metrics.render(gateway.cache.stats),
+    )
+
+
+def run_comparison(
+    shard_count: int = 4,
+    count: int = 600,
+    preload: int = 400,
+    seed: int = 23,
+    threads: int = 1,
+    cache_capacity: int = 512,
+    include_uncached: bool = False,
+    design_model=None,
+    users: Optional[Sequence[tuple]] = None,
+    mix: Optional[dict] = None,
+) -> ComparisonResult:
+    """Measure the single-shard baseline against the N-shard gateway.
+
+    Returns the result with the baseline as the first row and the cached
+    N-shard gateway as the last; ``include_uncached`` adds an
+    uncached N-shard row in between (isolates sharding vs caching).
+    """
+    from repro.casestudy import easychair
+
+    if design_model is None:
+        design_model = easychair.build_design()
+    if users is None:
+        users = easychair.USERS
+    generator = LoadGenerator(seed=seed, mix=dict(mix or READ_HEAVY_MIX))
+    plan = generator.plan(count)
+
+    configurations = [
+        ("1 shard (baseline, uncached)", 1, 0),
+    ]
+    if include_uncached:
+        configurations.append(
+            (f"{shard_count} shards (uncached)", shard_count, 0)
+        )
+    configurations.append(
+        (f"{shard_count} shards (cached)", shard_count, cache_capacity)
+    )
+
+    rows = []
+    for label, shards, capacity in configurations:
+        gateway = ShardedGateway.from_design(
+            design_model,
+            shard_count=shards,
+            users=users,
+            cache_capacity=capacity,
+            max_queue_depth=max(512, count),
+            workers=shards,
+        )
+        try:
+            rows.append(
+                _measure(gateway, generator, plan, preload, threads, label)
+            )
+        finally:
+            gateway.close()
+    return ComparisonResult(
+        rows=rows, preload=preload, threads=threads, seed=seed
+    )

@@ -1,0 +1,150 @@
+"""A read-through, confidentiality-aware response cache for the gateway.
+
+The cache sits in front of the shards' *read* paths only.  Two rules keep
+the paper's Confidentiality DQSR intact under caching:
+
+* the cache key includes the requesting **user and their clearance
+  level** — a filtered read cached for a cleared PC member can never be
+  served to an uncleared outsider, and if an account's clearance changes,
+  entries keyed under the old level simply stop matching;
+* every accepted **write invalidates the written entity's entries** before
+  the write is acknowledged, so readers never see a stale view past the
+  acknowledgement.
+
+Entries are stored *frozen* (JSON text when the body allows it, a deep
+copy otherwise) and thawed per hit, so a caller mutating a served body can
+never poison the cache — the same defensive-copy discipline the
+:mod:`repro.runtime.storage` read path follows.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+import threading
+from collections import OrderedDict
+
+#: Key kinds (first element of every cache key).
+LIST = "list"
+VIEW = "view"
+
+
+class _Frozen:
+    """One cached body, stored in a caller-proof representation."""
+
+    __slots__ = ("_text", "_value")
+
+    def __init__(self, body):
+        try:
+            self._text = json.dumps(body)
+            self._value = None
+        except (TypeError, ValueError):
+            self._text = None
+            self._value = copy.deepcopy(body)
+
+    def thaw(self):
+        if self._text is not None:
+            return json.loads(self._text)
+        return copy.deepcopy(self._value)
+
+
+class CacheStats:
+    """Hit/miss/invalidation accounting (thread-safe via the cache lock)."""
+
+    def __init__(self):
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        self.evictions = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": round(self.hit_rate, 4),
+            "invalidations": self.invalidations,
+            "evictions": self.evictions,
+        }
+
+
+class ReadThroughCache:
+    """An LRU read cache keyed by (kind, entity, record id, user, level).
+
+    ``capacity`` of 0 disables caching entirely (every lookup misses) —
+    the gateway's uncached baseline configuration.
+    """
+
+    def __init__(self, capacity: int = 256):
+        if capacity < 0:
+            raise ValueError("capacity must be >= 0")
+        self.capacity = capacity
+        self._entries: OrderedDict[tuple, _Frozen] = OrderedDict()
+        self._by_entity: dict[str, set[tuple]] = {}
+        self._lock = threading.Lock()
+        self.stats = CacheStats()
+
+    @staticmethod
+    def list_key(entity: str, user: str, level: int) -> tuple:
+        return (LIST, entity, None, user, level)
+
+    @staticmethod
+    def view_key(entity: str, record_id: int, user: str, level: int) -> tuple:
+        return (VIEW, entity, record_id, user, level)
+
+    def lookup(self, key: tuple):
+        """The thawed cached body, or ``None`` on a miss."""
+        with self._lock:
+            frozen = self._entries.get(key)
+            if frozen is None:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return frozen.thaw()
+
+    def fill(self, key: tuple, body) -> None:
+        """Store a freshly read body under ``key`` (read-through fill)."""
+        if self.capacity == 0:
+            return
+        entity = key[1]
+        with self._lock:
+            self._entries[key] = _Frozen(body)
+            self._entries.move_to_end(key)
+            self._by_entity.setdefault(entity, set()).add(key)
+            while len(self._entries) > self.capacity:
+                evicted, _ = self._entries.popitem(last=False)
+                self._by_entity.get(evicted[1], set()).discard(evicted)
+                self.stats.evictions += 1
+
+    def invalidate_entity(self, entity: str) -> int:
+        """Drop every entry for ``entity``; the count dropped."""
+        with self._lock:
+            keys = self._by_entity.pop(entity, set())
+            for key in keys:
+                self._entries.pop(key, None)
+            if keys:
+                self.stats.invalidations += 1
+            return len(keys)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._by_entity.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __repr__(self) -> str:
+        return (
+            f"<ReadThroughCache {len(self)}/{self.capacity} entries, "
+            f"hit rate {self.stats.hit_rate:.2%}>"
+        )

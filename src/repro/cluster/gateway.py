@@ -1,0 +1,447 @@
+"""The sharded DQ gateway: N ``WebApp`` shards behind one serving facade.
+
+``ShardedGateway`` is the serving layer the ROADMAP's scale goal needs and
+the paper's case study never had to build: every DQSR guarantee the
+single-threaded :class:`~repro.runtime.app.WebApp` enforces (completeness
+and precision validation, confidentiality filtering, traceability and
+audit, optimistic concurrency) is preserved while requests fan out across
+shards from a worker thread pool.
+
+Design in one breath:
+
+* **Placement** — the gateway allocates global record ids and routes every
+  keyed operation with :class:`~repro.cluster.sharding.ShardRouter`
+  (``fnv1a(entity#id) mod N``); listing reads scatter to all shards and
+  gather a merged, id-sorted body.
+* **Isolation** — each shard is guarded by its own re-entrant lock, so a
+  shard's ``WebApp`` only ever sees one request at a time and stays
+  internally consistent; different shards serve concurrently.
+* **Backpressure** — admitted-but-unfinished dispatches are counted; past
+  ``max_queue_depth`` the gateway answers **429** immediately instead of
+  queueing without bound, and **503** once closed.
+* **Caching** — reads go through a confidentiality-aware
+  :class:`~repro.cluster.cache.ReadThroughCache`; accepted writes bump a
+  per-entity data version (and drop the entity's entries), so a stale body
+  can never be served after the write was acknowledged.
+
+Cross-shard listing is *per-shard consistent*, not a cross-shard snapshot:
+a scatter-gather that races a write may see the write on one shard and not
+another — the same contract most production sharded stores offer.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.errors import (
+    AuthorizationError,
+    DataQualityViolation,
+    VersionConflictError,
+)
+from repro.dq.metadata import Clock
+from repro.runtime.app import WebApp
+from repro.runtime.http import (
+    Request,
+    Response,
+    bad_request,
+    conflict,
+    created,
+    forbidden,
+    method_not_allowed,
+    not_found,
+    ok,
+    too_many_requests,
+    unavailable,
+    unprocessable,
+)
+
+from .cache import ReadThroughCache
+from .metrics import GatewayMetrics
+from .sharding import ShardRouter
+
+
+@dataclass(frozen=True)
+class GatewayRoute:
+    """One exposed HTTP-facade route: kind + path pattern + target."""
+
+    kind: str  # "create" | "update" | "list" | "view"
+    method: str
+    path: str
+    target: str  # form name (create/update) or entity name (list/view)
+
+    @property
+    def parameterized(self) -> bool:
+        return "<" in self.path
+
+    def match(self, path: str) -> Optional[dict]:
+        pattern = [s for s in self.path.split("/") if s]
+        segments = [s for s in path.split("/") if s]
+        if len(pattern) != len(segments):
+            return None
+        params: dict = {}
+        for expected, actual in zip(pattern, segments):
+            if expected.startswith("<") and expected.endswith(">"):
+                params[expected[1:-1]] = actual
+            elif expected != actual:
+                return None
+        return params
+
+
+class ShardedGateway:
+    """A thread-parallel, sharded, caching front for N ``WebApp`` shards.
+
+    ``shards`` must be built identically (same entities, forms, policies
+    and registered users) — :meth:`from_design` does exactly that from a
+    design model.  ``cache_capacity=0`` disables the read cache;
+    ``max_queue_depth`` bounds admitted-but-unfinished dispatches before
+    429s start; ``workers`` sizes the dispatch pool (default: one per
+    shard).
+    """
+
+    def __init__(
+        self,
+        shards: Sequence[WebApp],
+        cache_capacity: int = 256,
+        max_queue_depth: int = 64,
+        workers: Optional[int] = None,
+    ):
+        if not shards:
+            raise ValueError("a gateway needs at least one shard")
+        if max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be >= 1")
+        self.shards = list(shards)
+        self.router = ShardRouter(len(self.shards))
+        self.cache = ReadThroughCache(cache_capacity)
+        self.metrics = GatewayMetrics(len(self.shards))
+        self.max_queue_depth = max_queue_depth
+        self._shard_locks = [threading.RLock() for _ in self.shards]
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers or len(self.shards),
+            thread_name_prefix="gateway",
+        )
+        self._pending = 0
+        self._pending_lock = threading.Lock()
+        self._entity_versions: dict[str, int] = {}
+        self._version_lock = threading.Lock()
+        self._routes: list[GatewayRoute] = []
+        self._closed = False
+
+    # -- assembly ---------------------------------------------------------
+
+    @classmethod
+    def from_design(
+        cls,
+        design_model,
+        shard_count: int = 4,
+        users: Sequence[tuple] = (),
+        baseline: bool = False,
+        **gateway_options,
+    ) -> "ShardedGateway":
+        """Build ``shard_count`` identical shards from a design model.
+
+        ``users`` are ``(name, level, roles)`` triples registered on every
+        shard (reads broadcast, so each shard must know every account).
+        ``baseline=True`` builds no-DQ shards — the comparison harness.
+        """
+        from repro.runtime.dqengine import build_app, build_baseline_app
+
+        builder = build_baseline_app if baseline else build_app
+        shards = []
+        for _ in range(shard_count):
+            app = builder(design_model, clock=Clock())
+            for name, level, roles in users:
+                app.add_user(name, level, roles)
+            shards.append(app)
+        gateway = cls(shards, **gateway_options)
+        for route in design_model.routes:
+            if route.kind == "create":
+                gateway.expose_create(route.path, route.form.name)
+                entity = route.form.entity.name
+                gateway.expose_view(f"{route.path}/<id>", entity)
+                gateway.expose_update(f"{route.path}/<id>", route.form.name)
+            elif route.kind == "update":
+                gateway.expose_update(route.path, route.form.name)
+            elif route.kind == "list":
+                gateway.expose_list(route.path, route.entity.name)
+            elif route.kind == "view":
+                gateway.expose_view(route.path, route.entity.name)
+        return gateway
+
+    def expose_create(self, path: str, form_name: str) -> "ShardedGateway":
+        self._routes.append(GatewayRoute("create", "POST", path, form_name))
+        return self
+
+    def expose_update(self, path: str, form_name: str) -> "ShardedGateway":
+        self._routes.append(GatewayRoute("update", "PUT", path, form_name))
+        return self
+
+    def expose_list(self, path: str, entity: str) -> "ShardedGateway":
+        self._routes.append(GatewayRoute("list", "GET", path, entity))
+        return self
+
+    def expose_view(self, path: str, entity: str) -> "ShardedGateway":
+        self._routes.append(GatewayRoute("view", "GET", path, entity))
+        return self
+
+    @property
+    def routes(self) -> list[GatewayRoute]:
+        return list(self._routes)
+
+    def close(self) -> None:
+        """Stop accepting requests; in-flight dispatches drain first."""
+        self._closed = True
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ShardedGateway":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- dispatch machinery ----------------------------------------------
+
+    def _dispatch(self, operation: str, shards: tuple, work) -> Response:
+        if self._closed:
+            self.metrics.observe_unavailable()
+            return unavailable("gateway is closed")
+        with self._pending_lock:
+            if self._pending >= self.max_queue_depth:
+                self.metrics.observe_backpressure()
+                return too_many_requests(
+                    f"queue depth {self.max_queue_depth} exceeded",
+                    retry_after=1,
+                )
+            self._pending += 1
+        start = time.perf_counter()
+        try:
+            try:
+                response = self._pool.submit(work).result()
+            except RuntimeError:  # pool shut down between check and submit
+                self.metrics.observe_unavailable()
+                return unavailable("gateway is closed")
+        finally:
+            with self._pending_lock:
+                self._pending -= 1
+        self.metrics.observe(
+            operation, shards, response.status, time.perf_counter() - start
+        )
+        return response
+
+    def _entity_of_form(self, form_name: str) -> str:
+        return self.shards[0].form(form_name).entity
+
+    def _clearance(self, user: str) -> int:
+        return self.shards[0].users.get(user).level
+
+    def _entity_version(self, entity: str) -> int:
+        with self._version_lock:
+            return self._entity_versions.get(entity, 0)
+
+    def _bump_entity_version(self, entity: str) -> None:
+        """Write-path invalidation: retire every cached read of ``entity``."""
+        with self._version_lock:
+            self._entity_versions[entity] = (
+                self._entity_versions.get(entity, 0) + 1
+            )
+        self.cache.invalidate_entity(entity)
+
+    # -- operations -------------------------------------------------------
+
+    def submit(self, form_name: str, data: dict, user: str) -> Response:
+        """Create: allocate a global id, route by hash, run the shard's
+        full DQ write pipeline, invalidate cached reads on acceptance."""
+        entity = self._entity_of_form(form_name)
+        record_id, shard_index = self.router.placement(entity)
+
+        def work() -> Response:
+            app = self.shards[shard_index]
+            with self._shard_locks[shard_index]:
+                try:
+                    stored = app.submit(
+                        form_name, data, user, record_id=record_id
+                    )
+                except DataQualityViolation as exc:
+                    return unprocessable(exc.findings)
+                except AuthorizationError as exc:
+                    return forbidden(str(exc))
+            self._bump_entity_version(entity)
+            return created({"id": stored.record_id, "shard": shard_index})
+
+        return self._dispatch("submit", (shard_index,), work)
+
+    def modify(
+        self,
+        form_name: str,
+        record_id: int,
+        data: dict,
+        user: str,
+        expected_version: Optional[int] = None,
+    ) -> Response:
+        """Update: route to the record's home shard; optimistic-concurrency
+        conflicts surface as 409 — never a lost update."""
+        entity = self._entity_of_form(form_name)
+        shard_index = self.router.shard_for(entity, record_id)
+
+        def work() -> Response:
+            app = self.shards[shard_index]
+            with self._shard_locks[shard_index]:
+                try:
+                    stored = app.modify(
+                        form_name, record_id, data, user,
+                        expected_version=expected_version,
+                    )
+                except KeyError:
+                    return not_found(f"no record {record_id}")
+                except DataQualityViolation as exc:
+                    return unprocessable(exc.findings)
+                except AuthorizationError as exc:
+                    return forbidden(str(exc))
+                except VersionConflictError as exc:
+                    return conflict(str(exc))
+            self._bump_entity_version(entity)
+            return ok({"id": stored.record_id, "version": stored.version})
+
+        return self._dispatch("modify", (shard_index,), work)
+
+    def list(self, entity: str, user: str) -> Response:
+        """Confidentiality-filtered listing: cache hit or scatter-gather."""
+        if self._closed:
+            self.metrics.observe_unavailable()
+            return unavailable("gateway is closed")
+        key = self.cache.list_key(
+            entity, user, self._clearance(user)
+        ) + (self._entity_version(entity),)
+        start = time.perf_counter()
+        cached = self.cache.lookup(key)
+        if cached is not None:
+            self.metrics.observe(
+                "list", (), 200, time.perf_counter() - start
+            )
+            return ok(cached)
+
+        def work() -> Response:
+            body: list[dict] = []
+            for shard_index in self.router.all_shards():
+                app = self.shards[shard_index]
+                with self._shard_locks[shard_index]:
+                    visible = app.read(entity, user)
+                body.extend(
+                    {"id": s.record_id, "version": s.version, **s.data}
+                    for s in visible
+                )
+            body.sort(key=lambda row: row["id"])
+            self.cache.fill(key, body)
+            return ok(body)
+
+        return self._dispatch("list", tuple(self.router.all_shards()), work)
+
+    def view(self, entity: str, record_id: int, user: str) -> Response:
+        """Single-record read from the record's home shard, cache-assisted."""
+        if self._closed:
+            self.metrics.observe_unavailable()
+            return unavailable("gateway is closed")
+        key = self.cache.view_key(
+            entity, record_id, user, self._clearance(user)
+        ) + (self._entity_version(entity),)
+        start = time.perf_counter()
+        cached = self.cache.lookup(key)
+        if cached is not None:
+            self.metrics.observe(
+                "view", (), 200, time.perf_counter() - start
+            )
+            return ok(cached)
+        shard_index = self.router.shard_for(entity, record_id)
+
+        def work() -> Response:
+            app = self.shards[shard_index]
+            with self._shard_locks[shard_index]:
+                try:
+                    stored = app.read_record(entity, record_id, user)
+                except AuthorizationError as exc:
+                    return forbidden(str(exc))
+                except KeyError:
+                    return not_found(f"no record {record_id}")
+            body = {
+                "id": stored.record_id,
+                "version": stored.version,
+                **stored.data,
+            }
+            self.cache.fill(key, body)
+            return ok(body)
+
+        return self._dispatch("view", (shard_index,), work)
+
+    # -- HTTP facade ------------------------------------------------------
+
+    def handle(self, request: Request) -> Response:
+        """Dispatch one simulated HTTP request through the facade routes."""
+        path_matched = False
+        exact_first = sorted(self._routes, key=lambda r: r.parameterized)
+        for route in exact_first:
+            params = route.match(request.path)
+            if params is None:
+                continue
+            path_matched = True
+            if route.method != request.method:
+                continue
+            merged = {**request.params, **params}
+            return self._perform(route, request, merged)
+        if path_matched:
+            return method_not_allowed(
+                f"{request.method} not allowed on {request.path}"
+            )
+        return not_found(f"no route for {request.path}")
+
+    def _perform(
+        self, route: GatewayRoute, request: Request, params: dict
+    ) -> Response:
+        if route.kind == "create":
+            return self.submit(route.target, request.data, request.user)
+        if route.kind == "list":
+            return self.list(route.target, request.user)
+        raw_id = params.get("id")
+        if raw_id is None:
+            return bad_request("missing record id")
+        try:
+            record_id = int(raw_id)
+        except (TypeError, ValueError):
+            return bad_request(f"bad record id {raw_id!r}")
+        if route.kind == "view":
+            return self.view(route.target, record_id, request.user)
+        payload = dict(request.data)
+        expected_version = payload.pop("expected_version", None)
+        return self.modify(
+            route.target, record_id, payload, request.user,
+            expected_version=expected_version,
+        )
+
+    def get(self, path: str, user: str = "anonymous") -> Response:
+        return self.handle(Request("GET", path, user=user))
+
+    def post(self, path: str, data: dict, user: str = "anonymous") -> Response:
+        return self.handle(Request("POST", path, user=user, data=data))
+
+    def put(self, path: str, data: dict, user: str = "anonymous") -> Response:
+        return self.handle(Request("PUT", path, user=user, data=data))
+
+    # -- introspection ----------------------------------------------------
+
+    def total_records(self) -> int:
+        return sum(shard.store.total_records() for shard in self.shards)
+
+    def describe(self) -> str:
+        lines = [
+            f"ShardedGateway over {len(self.shards)} shard(s), "
+            f"cache capacity {self.cache.capacity}, "
+            f"queue depth {self.max_queue_depth}"
+        ]
+        for route in self._routes:
+            lines.append(
+                f"  {route.method} {route.path} -> {route.kind} "
+                f"{route.target!r}"
+            )
+        return "\n".join(lines)

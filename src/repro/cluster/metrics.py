@@ -1,0 +1,141 @@
+"""Gateway observability: per-shard counters, latencies, cache hit rate.
+
+A scaled serving layer the operator cannot see inside is a scaled outage;
+the gateway therefore meters every dispatch.  Rendering follows the
+reports idiom (:func:`repro.diagrams.ascii.table`) so ``repro
+cluster-bench`` output reads like the paper tables the CLI already prints.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter
+
+from repro.diagrams.ascii import table as render_table
+
+
+class _LatencySeries:
+    """Count / total / max of one operation's service times (seconds)."""
+
+    __slots__ = ("count", "total", "max")
+
+    def __init__(self):
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+
+    def observe(self, elapsed: float) -> None:
+        self.count += 1
+        self.total += elapsed
+        if elapsed > self.max:
+            self.max = elapsed
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "mean_us": round(self.mean * 1e6, 1),
+            "max_us": round(self.max * 1e6, 1),
+        }
+
+
+class GatewayMetrics:
+    """Thread-safe counters the gateway updates on every request."""
+
+    def __init__(self, shard_count: int):
+        self.shard_count = shard_count
+        self._lock = threading.Lock()
+        self._shard_requests = Counter()
+        self._operations: dict[str, _LatencySeries] = {}
+        self._statuses = Counter()
+        self.rejected_backpressure = 0
+        self.rejected_unavailable = 0
+
+    # -- recording (called by the gateway) ------------------------------
+
+    def observe(
+        self, operation: str, shards: tuple, status: int, elapsed: float
+    ) -> None:
+        with self._lock:
+            for shard in shards:
+                self._shard_requests[shard] += 1
+            series = self._operations.get(operation)
+            if series is None:
+                series = self._operations[operation] = _LatencySeries()
+            series.observe(elapsed)
+            self._statuses[status] += 1
+
+    def observe_backpressure(self) -> None:
+        with self._lock:
+            self.rejected_backpressure += 1
+            self._statuses[429] += 1
+
+    def observe_unavailable(self) -> None:
+        with self._lock:
+            self.rejected_unavailable += 1
+            self._statuses[503] += 1
+
+    # -- reading ---------------------------------------------------------
+
+    def snapshot(self, cache_stats=None) -> dict:
+        """A point-in-time copy of every counter, as plain data."""
+        with self._lock:
+            total = sum(s.count for s in self._operations.values())
+            snap = {
+                "shard_count": self.shard_count,
+                "requests": total,
+                "per_shard": {
+                    shard: self._shard_requests.get(shard, 0)
+                    for shard in range(self.shard_count)
+                },
+                "operations": {
+                    name: series.as_dict()
+                    for name, series in sorted(self._operations.items())
+                },
+                "statuses": dict(sorted(self._statuses.items())),
+                "rejected_backpressure": self.rejected_backpressure,
+                "rejected_unavailable": self.rejected_unavailable,
+            }
+        if cache_stats is not None:
+            snap["cache"] = cache_stats.as_dict()
+        return snap
+
+    def render(self, cache_stats=None) -> str:
+        """The metrics snapshot as aligned text tables."""
+        snap = self.snapshot(cache_stats)
+        sections = [
+            f"gateway over {snap['shard_count']} shard(s) — "
+            f"{snap['requests']} request(s), "
+            f"{snap['rejected_backpressure']} backpressured (429), "
+            f"{snap['rejected_unavailable']} refused (503)"
+        ]
+        sections.append(render_table(
+            ["Shard", "Requests"],
+            [[str(s), str(n)] for s, n in snap["per_shard"].items()],
+        ))
+        if snap["operations"]:
+            sections.append(render_table(
+                ["Operation", "Count", "Mean µs", "Max µs"],
+                [
+                    [name, str(d["count"]), str(d["mean_us"]),
+                     str(d["max_us"])]
+                    for name, d in snap["operations"].items()
+                ],
+            ))
+        if snap["statuses"]:
+            sections.append(render_table(
+                ["Status", "Count"],
+                [[str(s), str(n)] for s, n in snap["statuses"].items()],
+            ))
+        if "cache" in snap:
+            cache = snap["cache"]
+            sections.append(
+                f"cache: {cache['hits']} hit(s) / {cache['misses']} miss(es) "
+                f"(rate {cache['hit_rate']:.2%}), "
+                f"{cache['invalidations']} invalidation(s), "
+                f"{cache['evictions']} eviction(s)"
+            )
+        return "\n".join(sections)

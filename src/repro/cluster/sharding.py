@@ -1,0 +1,70 @@
+"""Deterministic key→shard routing for the sharded DQ gateway.
+
+Placement and lookup must agree without any shared mapping table, so both
+derive from the same pure function: a record lives on
+``fnv1a("entity#record_id") mod shard_count``.  The gateway allocates
+global record ids itself (a locked per-entity counter), computes the home
+shard from *(entity, id)* before the write ever touches a store, and every
+later keyed operation (view, update) re-derives the same shard from the
+same two values.  Listing reads have no key — they scatter to every shard
+and the gateway gathers the per-shard results.
+"""
+
+from __future__ import annotations
+
+import threading
+
+#: FNV-1a 64-bit parameters (stable across processes, unlike ``hash()``,
+#: which Python salts per interpreter run).
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+_FNV_MASK = 0xFFFFFFFFFFFFFFFF
+
+
+def fnv1a(text: str) -> int:
+    """The 64-bit FNV-1a hash of ``text`` — deterministic across runs."""
+    value = _FNV_OFFSET
+    for byte in text.encode("utf-8"):
+        value ^= byte
+        value = (value * _FNV_PRIME) & _FNV_MASK
+    return value
+
+
+class ShardRouter:
+    """Maps (entity, record id) pairs to shard indices."""
+
+    def __init__(self, shard_count: int):
+        if shard_count < 1:
+            raise ValueError("shard_count must be >= 1")
+        self.shard_count = shard_count
+        self._counters: dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    def allocate_id(self, entity: str) -> int:
+        """The next global record id for ``entity`` (thread-safe)."""
+        with self._lock:
+            next_id = self._counters.get(entity, 0) + 1
+            self._counters[entity] = next_id
+            return next_id
+
+    def observe_id(self, entity: str, record_id: int) -> None:
+        """Keep the allocator ahead of ids assigned elsewhere."""
+        with self._lock:
+            if record_id > self._counters.get(entity, 0):
+                self._counters[entity] = record_id
+
+    def shard_for(self, entity: str, record_id: int) -> int:
+        """The home shard of a record: ``fnv1a(entity#id) mod N``."""
+        return fnv1a(f"{entity}#{record_id}") % self.shard_count
+
+    def all_shards(self) -> range:
+        """Every shard index — the scatter-gather (broadcast) path."""
+        return range(self.shard_count)
+
+    def placement(self, entity: str) -> tuple[int, int]:
+        """Allocate a fresh id and return ``(record_id, shard_index)``."""
+        record_id = self.allocate_id(entity)
+        return record_id, self.shard_for(entity, record_id)
+
+    def __repr__(self) -> str:
+        return f"<ShardRouter over {self.shard_count} shard(s)>"

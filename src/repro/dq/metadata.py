@@ -16,6 +16,7 @@ deterministic in tests.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
@@ -44,15 +45,18 @@ class Clock:
 
     def __init__(self, start: int = 0):
         self._tick = start
+        self._lock = threading.Lock()
 
     def now(self) -> int:
         """Advance and return the current tick."""
-        self._tick += 1
-        return self._tick
+        with self._lock:
+            self._tick += 1
+            return self._tick
 
     def peek(self) -> int:
         """The last tick handed out, without advancing."""
-        return self._tick
+        with self._lock:
+            return self._tick
 
 
 @dataclass

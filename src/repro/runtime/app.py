@@ -137,11 +137,19 @@ class WebApp:
 
     # -- core operations -------------------------------------------------------
 
-    def submit(self, form_name: str, data: dict, user: str) -> StoredRecord:
+    def submit(
+        self,
+        form_name: str,
+        data: dict,
+        user: str,
+        record_id: Optional[int] = None,
+    ) -> StoredRecord:
         """The write pipeline: bind → validate → authorize → store → stamp.
 
         Raises :class:`DataQualityViolation` on validator findings and
         :class:`AuthorizationError` on clearance failures; both are audited.
+        ``record_id`` lets a fronting layer that allocates ids globally
+        (:mod:`repro.cluster`) pin the stored id.
         """
         form = self.form(form_name)
         record = form.bind(data)
@@ -173,6 +181,7 @@ class WebApp:
             user,
             security_level=policy.security_level,
             available_to=grants,
+            record_id=record_id,
         )
         self.audit.record(
             audit_events.STORE, user, form.entity, stored.record_id

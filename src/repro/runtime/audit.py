@@ -9,6 +9,7 @@ trail of every read, write and rejection.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Callable, Optional
 
@@ -47,6 +48,7 @@ class AuditTrail:
     def __init__(self, clock: Clock):
         self._clock = clock
         self._events: list[AuditEvent] = []
+        self._lock = threading.Lock()
 
     def record(
         self,
@@ -58,11 +60,12 @@ class AuditTrail:
     ) -> AuditEvent:
         if kind not in KINDS:
             raise ValueError(f"unknown audit event kind {kind!r}")
-        event = AuditEvent(
-            self._clock.now(), kind, user, entity, record_id, detail
-        )
-        self._events.append(event)
-        return event
+        with self._lock:
+            event = AuditEvent(
+                self._clock.now(), kind, user, entity, record_id, detail
+            )
+            self._events.append(event)
+            return event
 
     # -- queries (the Traceability payoff) ----------------------------------
 

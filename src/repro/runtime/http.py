@@ -20,6 +20,8 @@ NOT_FOUND = 404
 METHOD_NOT_ALLOWED = 405
 CONFLICT = 409  # optimistic concurrency failure
 UNPROCESSABLE = 422  # DQ validation failure
+TOO_MANY_REQUESTS = 429  # gateway backpressure: queue depth exceeded
+UNAVAILABLE = 503  # gateway not accepting requests (draining / closed)
 
 
 @dataclass
@@ -80,6 +82,19 @@ def method_not_allowed(message: str = "method not allowed") -> Response:
 
 def conflict(message: str = "version conflict") -> Response:
     return Response(CONFLICT, {"error": message})
+
+
+def too_many_requests(
+    message: str = "too many requests", retry_after: Optional[int] = None
+) -> Response:
+    """Backpressure: the serving queue is full; try again later."""
+    headers = {} if retry_after is None else {"Retry-After": str(retry_after)}
+    return Response(TOO_MANY_REQUESTS, {"error": message}, headers)
+
+
+def unavailable(message: str = "service unavailable") -> Response:
+    """The serving layer is not accepting requests (draining or closed)."""
+    return Response(UNAVAILABLE, {"error": message})
 
 
 def unprocessable(findings) -> Response:

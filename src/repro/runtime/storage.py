@@ -5,15 +5,57 @@ entity (table) stores plain-dict records; every record carries a
 :class:`~repro.dq.metadata.DQMetadataRecord` sidecar where the generated
 ``Add_DQ_Metadata`` activities put traceability and confidentiality
 metadata.
+
+Concurrency contract (used by :mod:`repro.cluster`): every public
+operation is guarded by a per-entity re-entrant lock, and the **read path**
+(:meth:`EntityStore.get`, :meth:`EntityStore.all`,
+:meth:`EntityStore.query`, :meth:`ContentStore.readable_by`) hands out
+defensive *snapshots* — mutating a snapshot (or updating the store after
+taking one) never changes the other side.  The **write path**
+(:meth:`EntityStore.insert`, :meth:`EntityStore.update`,
+:meth:`ContentStore.store`, :meth:`ContentStore.modify`) keeps returning
+the live record so metadata stamping works as before.
 """
 
 from __future__ import annotations
 
-import itertools
-from dataclasses import dataclass, field
+import copy
+import threading
+from dataclasses import dataclass, field, replace
 from typing import Callable, Iterable, Optional, Sequence
 
 from repro.dq.metadata import Clock, DQMetadataRecord
+
+
+class IdAllocator:
+    """A thread-safe record-id counter.
+
+    Replaces the bare ``itertools.count`` the store used to rely on: two
+    threads calling ``next(count)`` concurrently could observe torn
+    increments on some interpreters, and a bare counter cannot be kept
+    ahead of externally assigned ids (the sharded gateway allocates global
+    ids itself and pushes them down via ``insert(..., record_id=...)``).
+    """
+
+    def __init__(self, start: int = 1):
+        self._next = start
+        self._lock = threading.Lock()
+
+    def allocate(self) -> int:
+        with self._lock:
+            value = self._next
+            self._next += 1
+            return value
+
+    def reserve(self, record_id: int) -> None:
+        """Keep the counter ahead of an externally assigned id."""
+        with self._lock:
+            if record_id >= self._next:
+                self._next = record_id + 1
+
+    def peek(self) -> int:
+        with self._lock:
+            return self._next
 
 
 @dataclass
@@ -29,6 +71,19 @@ class StoredRecord:
     metadata: DQMetadataRecord = field(default_factory=DQMetadataRecord)
     version: int = 1
 
+    def snapshot(self) -> "StoredRecord":
+        """A defensive copy sharing nothing mutable with the live record."""
+        return StoredRecord(
+            self.record_id,
+            copy.deepcopy(self.data),
+            replace(
+                self.metadata,
+                available_to=set(self.metadata.available_to),
+                extra=copy.deepcopy(self.metadata.extra),
+            ),
+            self.version,
+        )
+
 
 class EntityStore:
     """All records of one entity (one ``Content`` element)."""
@@ -37,21 +92,38 @@ class EntityStore:
         self.name = name
         self.fields = tuple(fields)
         self._records: dict[int, StoredRecord] = {}
-        self._ids = itertools.count(1)
+        self._ids = IdAllocator()
+        self._lock = threading.RLock()
 
-    def insert(self, data: dict) -> StoredRecord:
-        record_id = next(self._ids)
-        stored = StoredRecord(record_id, dict(data))
-        self._records[record_id] = stored
-        return stored
+    def insert(self, data: dict, record_id: Optional[int] = None) -> StoredRecord:
+        """Insert a record; returns the **live** stored record.
+
+        ``record_id`` lets a caller that allocates ids globally (the
+        sharded gateway) pin the id; the local allocator is kept ahead so
+        unpinned inserts never collide with pinned ones.
+        """
+        with self._lock:
+            if record_id is None:
+                record_id = self._ids.allocate()
+            else:
+                if record_id in self._records:
+                    raise ValueError(
+                        f"{self.name}: record id {record_id} already in use"
+                    )
+                self._ids.reserve(record_id)
+            stored = StoredRecord(record_id, dict(data))
+            self._records[record_id] = stored
+            return stored
 
     def update(self, record_id: int, data: dict) -> StoredRecord:
-        stored = self.get(record_id)
-        stored.data.update(data)
-        stored.version += 1
-        return stored
+        with self._lock:
+            stored = self._live(record_id)
+            stored.data.update(data)
+            stored.version += 1
+            return stored
 
-    def get(self, record_id: int) -> StoredRecord:
+    def _live(self, record_id: int) -> StoredRecord:
+        """The live record (write path / internal use only)."""
         try:
             return self._records[record_id]
         except KeyError:
@@ -59,21 +131,49 @@ class EntityStore:
                 f"{self.name}: no record with id {record_id}"
             ) from None
 
+    def get(self, record_id: int) -> StoredRecord:
+        """A defensive snapshot of one record."""
+        with self._lock:
+            return self._live(record_id).snapshot()
+
     def delete(self, record_id: int) -> None:
-        self.get(record_id)
-        del self._records[record_id]
+        with self._lock:
+            self._live(record_id)
+            del self._records[record_id]
 
     def all(self) -> list[StoredRecord]:
-        return list(self._records.values())
+        with self._lock:
+            return [s.snapshot() for s in self._records.values()]
 
     def query(self, predicate: Callable[[dict], bool]) -> list[StoredRecord]:
-        return [s for s in self._records.values() if predicate(s.data)]
+        with self._lock:
+            return [
+                s.snapshot()
+                for s in self._records.values()
+                if predicate(s.data)
+            ]
+
+    def select_snapshots(
+        self, predicate: Callable[[StoredRecord], bool]
+    ) -> list[StoredRecord]:
+        """Snapshots of the records matching a whole-record predicate.
+
+        Unlike :meth:`query` the predicate sees the full record (metadata
+        included), and only the matching records pay the copy cost — the
+        confidentiality-filtered read path goes through here.
+        """
+        with self._lock:
+            return [
+                s.snapshot() for s in self._records.values() if predicate(s)
+            ]
 
     def __len__(self) -> int:
-        return len(self._records)
+        with self._lock:
+            return len(self._records)
 
     def __contains__(self, record_id: int) -> bool:
-        return record_id in self._records
+        with self._lock:
+            return record_id in self._records
 
     def __repr__(self) -> str:
         return f"<EntityStore {self.name!r} ({len(self)} records)>"
@@ -85,26 +185,31 @@ class ContentStore:
     def __init__(self, clock: Optional[Clock] = None):
         self.clock = clock or Clock()
         self._entities: dict[str, EntityStore] = {}
+        self._lock = threading.RLock()
 
     def define(self, name: str, fields: Sequence[str] = ()) -> EntityStore:
-        if name in self._entities:
-            raise ValueError(f"entity {name!r} already defined")
-        store = EntityStore(name, fields)
-        self._entities[name] = store
-        return store
+        with self._lock:
+            if name in self._entities:
+                raise ValueError(f"entity {name!r} already defined")
+            store = EntityStore(name, fields)
+            self._entities[name] = store
+            return store
 
     def entity(self, name: str) -> EntityStore:
-        try:
-            return self._entities[name]
-        except KeyError:
-            raise KeyError(f"no entity named {name!r}") from None
+        with self._lock:
+            try:
+                return self._entities[name]
+            except KeyError:
+                raise KeyError(f"no entity named {name!r}") from None
 
     def has_entity(self, name: str) -> bool:
-        return name in self._entities
+        with self._lock:
+            return name in self._entities
 
     @property
     def entity_names(self) -> list[str]:
-        return list(self._entities)
+        with self._lock:
+            return list(self._entities)
 
     # -- DQ-aware operations ----------------------------------------------
 
@@ -115,30 +220,34 @@ class ContentStore:
         user: str,
         security_level: int = 0,
         available_to: Iterable[str] = (),
+        record_id: Optional[int] = None,
     ) -> StoredRecord:
         """Insert with traceability + confidentiality metadata captured."""
-        stored = self.entity(entity_name).insert(data)
-        stored.metadata.record_store(user, self.clock)
-        stored.metadata.restrict(security_level, available_to)
-        return stored
+        entity = self.entity(entity_name)
+        with entity._lock:
+            stored = entity.insert(data, record_id=record_id)
+            stored.metadata.record_store(user, self.clock)
+            stored.metadata.restrict(security_level, available_to)
+            return stored
 
     def modify(
         self, entity_name: str, record_id: int, data: dict, user: str
     ) -> StoredRecord:
         """Update with traceability metadata captured."""
-        stored = self.entity(entity_name).update(record_id, data)
-        stored.metadata.record_modification(user, self.clock)
-        return stored
+        entity = self.entity(entity_name)
+        with entity._lock:
+            stored = entity.update(record_id, data)
+            stored.metadata.record_modification(user, self.clock)
+            return stored
 
     def readable_by(
         self, entity_name: str, user: str, user_level: int
     ) -> list[StoredRecord]:
         """Confidentiality-filtered read (the paper's Confidentiality DQR)."""
-        return [
-            stored
-            for stored in self.entity(entity_name).all()
-            if stored.metadata.accessible_by(user, user_level)
-        ]
+        return self.entity(entity_name).select_snapshots(
+            lambda stored: stored.metadata.accessible_by(user, user_level)
+        )
 
     def total_records(self) -> int:
-        return sum(len(store) for store in self._entities.values())
+        with self._lock:
+            return sum(len(store) for store in self._entities.values())

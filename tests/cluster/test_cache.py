@@ -1,0 +1,93 @@
+"""Unit tests for the confidentiality-aware read-through cache."""
+
+from repro.cluster.cache import ReadThroughCache
+
+
+def make_cache(capacity=8):
+    return ReadThroughCache(capacity)
+
+
+class TestLookupAndFill:
+    def test_miss_then_hit(self):
+        cache = make_cache()
+        key = cache.list_key("reviews", "ada", 1)
+        assert cache.lookup(key) is None
+        cache.fill(key, [{"id": 1}])
+        assert cache.lookup(key) == [{"id": 1}]
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+        assert cache.stats.hit_rate == 0.5
+
+    def test_keys_isolate_users_and_levels(self):
+        cache = make_cache()
+        cleared = cache.list_key("reviews", "ada", 2)
+        uncleared = cache.list_key("reviews", "eve", 0)
+        cache.fill(cleared, [{"id": 1, "secret": "x"}])
+        # the uncleared user's key can never see the cleared body
+        assert cache.lookup(uncleared) is None
+        # even the same user under a different clearance misses
+        assert cache.lookup(cache.list_key("reviews", "ada", 0)) is None
+
+    def test_view_and_list_keys_distinct(self):
+        cache = make_cache()
+        cache.fill(cache.list_key("reviews", "ada", 1), [])
+        assert cache.lookup(cache.view_key("reviews", 1, "ada", 1)) is None
+
+    def test_served_body_is_caller_proof(self):
+        cache = make_cache()
+        key = cache.view_key("reviews", 1, "ada", 1)
+        body = {"id": 1, "score": 3}
+        cache.fill(key, body)
+        body["score"] = 99  # mutating the filled value
+        served = cache.lookup(key)
+        assert served["score"] == 3
+        served["score"] = -1  # mutating a served value
+        assert cache.lookup(key)["score"] == 3
+
+    def test_non_json_bodies_fall_back_to_deepcopy(self):
+        cache = make_cache()
+        key = cache.view_key("reviews", 1, "ada", 1)
+        body = {"id": 1, "tags": {"a", "b"}}  # sets are not JSON
+        cache.fill(key, body)
+        served = cache.lookup(key)
+        assert served["tags"] == {"a", "b"}
+        served["tags"].add("c")
+        assert cache.lookup(key)["tags"] == {"a", "b"}
+
+
+class TestInvalidationAndEviction:
+    def test_write_path_invalidation_drops_entity_entries(self):
+        cache = make_cache()
+        cache.fill(cache.list_key("reviews", "ada", 1), [1])
+        cache.fill(cache.list_key("reviews", "bob", 1), [2])
+        cache.fill(cache.list_key("papers", "ada", 1), [3])
+        dropped = cache.invalidate_entity("reviews")
+        assert dropped == 2
+        assert cache.lookup(cache.list_key("reviews", "ada", 1)) is None
+        assert cache.lookup(cache.list_key("papers", "ada", 1)) == [3]
+        assert cache.stats.invalidations == 1
+
+    def test_lru_eviction(self):
+        cache = make_cache(capacity=2)
+        k1 = cache.view_key("e", 1, "u", 0)
+        k2 = cache.view_key("e", 2, "u", 0)
+        k3 = cache.view_key("e", 3, "u", 0)
+        cache.fill(k1, {"id": 1})
+        cache.fill(k2, {"id": 2})
+        cache.lookup(k1)  # refresh k1; k2 becomes LRU
+        cache.fill(k3, {"id": 3})
+        assert cache.lookup(k2) is None
+        assert cache.lookup(k1) == {"id": 1}
+        assert cache.stats.evictions == 1
+
+    def test_zero_capacity_disables_caching(self):
+        cache = make_cache(capacity=0)
+        key = cache.list_key("e", "u", 0)
+        cache.fill(key, [1])
+        assert cache.lookup(key) is None
+        assert len(cache) == 0
+
+    def test_clear(self):
+        cache = make_cache()
+        cache.fill(cache.list_key("e", "u", 0), [1])
+        cache.clear()
+        assert len(cache) == 0

@@ -1,0 +1,57 @@
+"""Unit tests for deterministic key→shard routing."""
+
+import pytest
+
+from repro.cluster.sharding import ShardRouter, fnv1a
+
+
+class TestFnv1a:
+    def test_known_vector(self):
+        # FNV-1a 64-bit of the empty string is the offset basis.
+        assert fnv1a("") == 0xCBF29CE484222325
+
+    def test_deterministic_and_spread(self):
+        assert fnv1a("reviews#1") == fnv1a("reviews#1")
+        values = {fnv1a(f"reviews#{i}") % 4 for i in range(100)}
+        assert values == {0, 1, 2, 3}  # all shards reachable
+
+
+class TestShardRouter:
+    def test_rejects_zero_shards(self):
+        with pytest.raises(ValueError):
+            ShardRouter(0)
+
+    def test_shard_for_is_stable_and_in_range(self):
+        router = ShardRouter(4)
+        first = router.shard_for("reviews", 7)
+        assert 0 <= first < 4
+        assert router.shard_for("reviews", 7) == first
+        # a different entity with the same id may route elsewhere
+        assert ShardRouter(4).shard_for("reviews", 7) == first
+
+    def test_single_shard_routes_everything_home(self):
+        router = ShardRouter(1)
+        assert all(
+            router.shard_for("e", i) == 0 for i in range(1, 20)
+        )
+
+    def test_allocate_ids_sequential_per_entity(self):
+        router = ShardRouter(3)
+        assert [router.allocate_id("a") for _ in range(3)] == [1, 2, 3]
+        assert router.allocate_id("b") == 1  # independent per entity
+
+    def test_observe_id_keeps_allocator_ahead(self):
+        router = ShardRouter(2)
+        router.observe_id("a", 10)
+        assert router.allocate_id("a") == 11
+        router.observe_id("a", 5)  # never goes backwards
+        assert router.allocate_id("a") == 12
+
+    def test_placement_pairs_id_with_its_hash_shard(self):
+        router = ShardRouter(4)
+        record_id, shard = router.placement("reviews")
+        assert record_id == 1
+        assert shard == router.shard_for("reviews", 1)
+
+    def test_all_shards_is_the_broadcast_path(self):
+        assert list(ShardRouter(3).all_shards()) == [0, 1, 2]

@@ -1,0 +1,98 @@
+"""Coverage for ``WebApp`` batch loading (the BI extract-import scenario)."""
+
+import pytest
+
+from repro.casestudy import easychair
+from repro.dq.metadata import Clock
+from repro.runtime.app import BatchResult
+
+FORM = "Add all data as result of review form"
+ENTITY = "Add all data as result of review"
+
+
+@pytest.fixture()
+def app():
+    return easychair.build_app(Clock())
+
+
+def defective_review():
+    payload = easychair.complete_review()
+    payload["overall_evaluation"] = 99  # Precision violation
+    return payload
+
+
+class TestBatchResult:
+    def test_empty_batch(self):
+        result = BatchResult()
+        assert result.total == 0
+        assert result.all_accepted
+        assert result.render() == (
+            "batch of 0: 0 accepted, 0 DQ-rejected, 0 unauthorized"
+        )
+
+    def test_total_sums_all_outcomes(self):
+        result = BatchResult()
+        result.accepted.append((0, 1))
+        result.rejected.append((1, ["finding"]))
+        result.unauthorized.append((2, "no clearance"))
+        assert result.total == 3
+        assert not result.all_accepted
+
+
+class TestSubmitBatch:
+    def test_clean_batch_all_accepted_and_stored(self, app):
+        rows = [easychair.complete_review() for _ in range(3)]
+        result = app.submit_batch(FORM, rows, "pc_member_1")
+        assert result.total == 3
+        assert result.all_accepted
+        assert [row for row, _ in result.accepted] == [0, 1, 2]
+        assert len(app.store.entity(ENTITY)) == 3
+        assert result.render() == (
+            "batch of 3: 3 accepted, 0 DQ-rejected, 0 unauthorized"
+        )
+
+    def test_mixed_batch_partially_accepts(self, app):
+        rows = [
+            easychair.complete_review(),   # row 0: clean
+            defective_review(),            # row 1: DQ-rejected
+            easychair.complete_review(),   # row 2: clean
+        ]
+        result = app.submit_batch(FORM, rows, "pc_member_1")
+        assert not result.all_accepted
+        assert [row for row, _ in result.accepted] == [0, 2]
+        assert [row for row, _ in result.rejected] == [1]
+        assert result.unauthorized == []
+        # rejected rows carry the validator findings
+        findings = result.rejected[0][1]
+        assert findings and any(
+            "overall_evaluation" in f.render() for f in findings
+        )
+        # only the clean rows landed
+        assert len(app.store.entity(ENTITY)) == 2
+
+    def test_unauthorized_rows_reported_separately(self, app):
+        rows = [easychair.complete_review(), defective_review()]
+        result = app.submit_batch(FORM, rows, "outsider")
+        # DQ validation runs before authorization: row 1 is DQ-rejected,
+        # row 0 fails clearance
+        assert [row for row, _ in result.unauthorized] == [0]
+        assert [row for row, _ in result.rejected] == [1]
+        assert result.accepted == []
+        assert "may not write" in result.unauthorized[0][1]
+        assert result.render() == (
+            "batch of 2: 0 accepted, 1 DQ-rejected, 1 unauthorized"
+        )
+
+    def test_batch_rejections_audited_per_row(self, app):
+        rows = [defective_review(), defective_review()]
+        app.submit_batch(FORM, rows, "pc_member_1")
+        assert len(app.audit.by_kind("reject-dq")) == 2
+
+    def test_accepted_rows_report_record_ids(self, app):
+        result = app.submit_batch(
+            FORM, [easychair.complete_review()], "pc_member_2"
+        )
+        (row, record_id), = result.accepted
+        assert row == 0
+        stored = app.store.entity(ENTITY).get(record_id)
+        assert stored.metadata.stored_by == "pc_member_2"

@@ -1,0 +1,32 @@
+"""Tests for the gateway-era response helpers: 429 and 503."""
+
+from repro.runtime import http
+
+
+class TestTooManyRequests:
+    def test_status_and_body(self):
+        response = http.too_many_requests()
+        assert response.status == http.TOO_MANY_REQUESTS == 429
+        assert response.body == {"error": "too many requests"}
+        assert not response.ok
+
+    def test_custom_message(self):
+        response = http.too_many_requests("queue depth 64 exceeded")
+        assert response.body["error"] == "queue depth 64 exceeded"
+
+    def test_retry_after_header(self):
+        assert http.too_many_requests().headers == {}
+        response = http.too_many_requests(retry_after=3)
+        assert response.headers == {"Retry-After": "3"}
+
+
+class TestUnavailable:
+    def test_status_and_body(self):
+        response = http.unavailable()
+        assert response.status == http.UNAVAILABLE == 503
+        assert response.body == {"error": "service unavailable"}
+        assert not response.ok
+
+    def test_custom_message(self):
+        response = http.unavailable("gateway draining")
+        assert response.body["error"] == "gateway draining"

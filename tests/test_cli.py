@@ -191,3 +191,25 @@ class TestFigureMermaidVariants:
         code, text = run_cli("figures", "6", "--format", "mermaid")
         assert code == 0
         assert "graph LR" in text
+
+
+class TestClusterBench:
+    def test_prints_comparison_and_speedup(self):
+        code, text = run_cli(
+            "cluster-bench", "--count", "120", "--preload", "40",
+            "--shards", "2",
+        )
+        assert code == 0
+        assert "1 shard (baseline, uncached)" in text
+        assert "2 shards (cached)" in text
+        assert "speedup:" in text
+
+    def test_metrics_flag_prints_per_configuration_metrics(self):
+        code, text = run_cli(
+            "cluster-bench", "--count", "80", "--preload", "20",
+            "--metrics",
+        )
+        assert code == 0
+        assert "-- 4 shards (cached) --" in text
+        assert "Shard | Requests" in text
+        assert "cache:" in text
