@@ -18,7 +18,12 @@ Subcommands mirror the pipeline stages:
   DQ scorecard;
 * ``experiments`` — regenerate the measured EXPERIMENTS.md numbers;
 * ``cluster-bench`` — measure the sharded gateway (our scaling extension)
-  against the single-shard serving path on the read-heavy mix.
+  against the single-shard serving path on the read-heavy mix; with
+  ``--faults``, add a row with one shard crashed to measure how much
+  throughput the resilience layer retains;
+* ``chaos`` — run the deterministic fault-injection harness against the
+  sharded gateway and verify every DQ guarantee held; exit code 1 on any
+  violation.
 """
 
 from __future__ import annotations
@@ -113,8 +118,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="add an uncached N-shard row (isolates sharding vs caching)",
     )
     cluster_bench.add_argument(
+        "--faults", action="store_true",
+        help="add a row with shard 0 crashed (measures resilience-layer "
+             "throughput retention)",
+    )
+    cluster_bench.add_argument(
         "--metrics", action="store_true",
         help="also print each configuration's gateway metrics",
+    )
+
+    chaos = commands.add_parser(
+        "chaos",
+        help="deterministic fault-injection run against the sharded "
+             "gateway, with a DQ-guarantee verdict (beyond the paper)",
+    )
+    chaos.add_argument("--seed", type=int, default=11)
+    chaos.add_argument("--shards", type=int, default=4)
+    chaos.add_argument("--count", type=int, default=400)
+    chaos.add_argument("--preload", type=int, default=32)
+    chaos.add_argument("--threads", type=int, default=1)
+    chaos.add_argument(
+        "--metrics", action="store_true",
+        help="also print the gateway metrics snapshot",
     )
 
     diff = commands.add_parser(
@@ -291,12 +316,13 @@ def _command_cluster_bench(args, out) -> int:
         threads=args.threads,
         cache_capacity=args.cache_capacity,
         include_uncached=args.include_uncached,
+        include_faulted=args.faults,
     )
     print(result.render(), file=out)
     for row in result.rows:
-        violations = row.report.leaks
+        violations = row.report.leaks + row.report.untagged_stale
         if violations:  # pragma: no cover - would be a gateway bug
-            print(f"!! {row.label}: {len(violations)} leak(s)", file=out)
+            print(f"!! {row.label}: {len(violations)} violation(s)", file=out)
             return 1
     if args.metrics:
         for row in result.rows:
@@ -304,6 +330,25 @@ def _command_cluster_bench(args, out) -> int:
             print(f"-- {row.label} --", file=out)
             print(row.metrics_text, file=out)
     return 0
+
+
+def _command_chaos(args, out) -> int:
+    from repro.cluster import run_chaos
+
+    result = run_chaos(
+        seed=args.seed,
+        shard_count=args.shards,
+        count=args.count,
+        preload=args.preload,
+        threads=args.threads,
+    )
+    print(result.render(), file=out)
+    if args.metrics:
+        print(file=out)
+        import json
+
+        print(json.dumps(result.metrics, indent=2, default=str), file=out)
+    return 0 if result.ok else 1
 
 
 def _command_diff(args, out) -> int:
@@ -339,6 +384,7 @@ _COMMANDS = {
     "experiments": _command_experiments,
     "diff": _command_diff,
     "cluster-bench": _command_cluster_bench,
+    "chaos": _command_chaos,
 }
 
 

@@ -12,12 +12,20 @@ writes still run the full validate→authorize→store→audit pipeline on
 their home shard; reads stay confidentiality-filtered (the cache keys by
 user + clearance, so a filtered body can never leak across users);
 traceability and optimistic concurrency behave exactly as on one app.
+
+The :mod:`~repro.cluster.resilience` layer adds deterministic fault
+injection (seeded :class:`~repro.cluster.resilience.FaultPlan`) plus the
+machinery to survive it — bounded retries with backoff, per-shard circuit
+breakers, idempotent task replay, and explicitly tagged degraded reads —
+with :func:`~repro.cluster.resilience.run_chaos` as the one-call chaos
+harness.
 """
 
 from .bench import ComparisonResult, ComparisonRow, run_comparison
-from .cache import CacheStats, ReadThroughCache
+from .cache import CacheStats, LastGoodStore, ReadThroughCache
 from .gateway import GatewayRoute, ShardedGateway
 from .loadgen import (
+    CHAOS_MIX,
     LoadGenerator,
     LoadReport,
     Operation,
@@ -28,25 +36,59 @@ from .loadgen import (
     verify_guarantees,
 )
 from .metrics import GatewayMetrics
+from .resilience import (
+    CACHE_FILL,
+    CRASH,
+    ChaosResult,
+    CircuitBreaker,
+    DROP,
+    DUPLICATE,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    IdempotencyRegistry,
+    LATENCY,
+    ResilienceConfig,
+    RetryPolicy,
+    ShardUnavailable,
+    run_chaos,
+)
 from .sharding import ShardRouter, fnv1a
 
 __all__ = [
+    "CACHE_FILL",
+    "CHAOS_MIX",
+    "CRASH",
     "CacheStats",
+    "ChaosResult",
+    "CircuitBreaker",
     "ComparisonResult",
     "ComparisonRow",
-    "run_comparison",
+    "DROP",
+    "DUPLICATE",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
     "GatewayMetrics",
     "GatewayRoute",
+    "IdempotencyRegistry",
+    "LATENCY",
+    "LastGoodStore",
     "LoadGenerator",
     "LoadReport",
     "Operation",
     "READ_HEAVY_MIX",
     "ReadThroughCache",
+    "ResilienceConfig",
+    "RetryPolicy",
     "SOAK_MIX",
     "ShardRouter",
+    "ShardUnavailable",
     "ShardedGateway",
     "WorkloadSpec",
     "easychair_spec",
     "fnv1a",
+    "run_chaos",
+    "run_comparison",
     "verify_guarantees",
 ]

@@ -26,6 +26,7 @@ from repro.diagrams.ascii import table as render_table
 
 from .gateway import ShardedGateway
 from .loadgen import LoadGenerator, LoadReport, READ_HEAVY_MIX
+from .resilience import FaultPlan, ResilienceConfig
 
 
 @dataclass
@@ -54,6 +55,7 @@ class ComparisonResult:
     preload: int
     threads: int
     seed: int
+    has_faulted: bool = False
 
     @property
     def baseline(self) -> ComparisonRow:
@@ -61,12 +63,25 @@ class ComparisonResult:
 
     @property
     def gateway(self) -> ComparisonRow:
-        return self.rows[-1]
+        """The healthy cached N-shard row (never the faulted one)."""
+        return self.rows[-2] if self.has_faulted else self.rows[-1]
+
+    @property
+    def faulted(self) -> Optional[ComparisonRow]:
+        return self.rows[-1] if self.has_faulted else None
 
     @property
     def speedup(self) -> float:
         base = self.baseline.ops_per_second
         return self.gateway.ops_per_second / base if base else 0.0
+
+    @property
+    def degradation(self) -> Optional[float]:
+        """Faulted throughput as a fraction of healthy cached throughput."""
+        if not self.has_faulted:
+            return None
+        healthy = self.gateway.ops_per_second
+        return self.faulted.ops_per_second / healthy if healthy else 0.0
 
     def render(self) -> str:
         header = (
@@ -92,6 +107,11 @@ class ComparisonResult:
             f"speedup: {self.speedup:.2f}x "
             f"({self.gateway.label} vs {self.baseline.label})"
         )
+        if self.has_faulted:
+            footer += (
+                f"\nunder faults: {self.degradation:.1%} of healthy "
+                f"throughput retained ({self.faulted.label})"
+            )
         return f"{header}\n{body}\n{footer}"
 
 
@@ -112,6 +132,11 @@ def _measure(
         )
         if response.status != 201:  # pragma: no cover - preload must land
             raise RuntimeError(f"preload write failed: {response.status}")
+    # warm one listing per user so every configuration starts from the
+    # same cache state and (when resilient) a last-known-good body exists
+    # before any fault window opens
+    for user in (*spec.cleared_users, *spec.uncleared_users):
+        gateway.list(spec.entity, user)
     start = time.perf_counter()
     report = generator.run(gateway, operations=list(plan), threads=threads)
     elapsed = time.perf_counter() - start
@@ -135,6 +160,7 @@ def run_comparison(
     threads: int = 1,
     cache_capacity: int = 512,
     include_uncached: bool = False,
+    include_faulted: bool = False,
     design_model=None,
     users: Optional[Sequence[tuple]] = None,
     mix: Optional[dict] = None,
@@ -142,8 +168,11 @@ def run_comparison(
     """Measure the single-shard baseline against the N-shard gateway.
 
     Returns the result with the baseline as the first row and the cached
-    N-shard gateway as the last; ``include_uncached`` adds an
-    uncached N-shard row in between (isolates sharding vs caching).
+    N-shard gateway as the last healthy row; ``include_uncached`` adds an
+    uncached N-shard row in between (isolates sharding vs caching), and
+    ``include_faulted`` appends a row where shard 0 crashes permanently
+    right after warm-up — measuring how much throughput the resilience
+    layer (retry, breaker shedding, degraded reads) retains.
     """
     from repro.casestudy import easychair
 
@@ -153,20 +182,32 @@ def run_comparison(
         users = easychair.USERS
     generator = LoadGenerator(seed=seed, mix=dict(mix or READ_HEAVY_MIX))
     plan = generator.plan(count)
+    spec = generator.spec
 
     configurations = [
-        ("1 shard (baseline, uncached)", 1, 0),
+        ("1 shard (baseline, uncached)", 1, 0, None),
     ]
     if include_uncached:
         configurations.append(
-            (f"{shard_count} shards (uncached)", shard_count, 0)
+            (f"{shard_count} shards (uncached)", shard_count, 0, None)
         )
     configurations.append(
-        (f"{shard_count} shards (cached)", shard_count, cache_capacity)
+        (f"{shard_count} shards (cached)", shard_count, cache_capacity, None)
     )
+    if include_faulted:
+        # the crash window opens after the preload submits plus the
+        # per-user warm listings (each listing touches every shard)
+        warm_users = len(spec.cleared_users) + len(spec.uncleared_users)
+        fault_start = preload + warm_users * shard_count
+        configurations.append((
+            f"{shard_count} shards (cached, shard 0 down)",
+            shard_count,
+            cache_capacity,
+            FaultPlan.crash_shard(0, start=fault_start),
+        ))
 
     rows = []
-    for label, shards, capacity in configurations:
+    for label, shards, capacity, fault_plan in configurations:
         gateway = ShardedGateway.from_design(
             design_model,
             shard_count=shards,
@@ -174,6 +215,10 @@ def run_comparison(
             cache_capacity=capacity,
             max_queue_depth=max(512, count),
             workers=shards,
+            fault_plan=fault_plan,
+            resilience=(
+                ResilienceConfig() if fault_plan is not None else None
+            ),
         )
         try:
             rows.append(
@@ -182,5 +227,6 @@ def run_comparison(
         finally:
             gateway.close()
     return ComparisonResult(
-        rows=rows, preload=preload, threads=threads, seed=seed
+        rows=rows, preload=preload, threads=threads, seed=seed,
+        has_faulted=include_faulted,
     )

@@ -148,3 +148,51 @@ class ReadThroughCache:
             f"<ReadThroughCache {len(self)}/{self.capacity} entries, "
             f"hit rate {self.stats.hit_rate:.2%}>"
         )
+
+
+class LastGoodStore:
+    """The last successfully served body per read identity, with the
+    entity data version it was served at — the degraded-read backstop.
+
+    Unlike :class:`ReadThroughCache` entries, these deliberately survive
+    write invalidation: they are *allowed* to be stale, because the
+    gateway only ever serves them explicitly tagged (status 203 plus
+    ``X-DQ-Degraded`` headers carrying served vs current version), never
+    as a fresh read.  Keys are the version-less cache keys, so the
+    user-and-clearance isolation that keeps the Confidentiality DQSR
+    intact on cache hits holds identically on degraded reads.
+    """
+
+    def __init__(self, capacity: int = 512):
+        if capacity < 0:
+            raise ValueError("capacity must be >= 0")
+        self.capacity = capacity
+        self._entries: OrderedDict[tuple, tuple[_Frozen, int]] = OrderedDict()
+        self._lock = threading.Lock()
+
+    def remember(self, key: tuple, body, version: int) -> None:
+        """Record a freshly served body as the new last-known-good."""
+        if self.capacity == 0:
+            return
+        with self._lock:
+            self._entries[key] = (_Frozen(body), version)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def lookup(self, key: tuple):
+        """``(thawed_body, served_version)`` or ``None``."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return None
+            self._entries.move_to_end(key)
+            frozen, version = entry
+            return frozen.thaw(), version
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __repr__(self) -> str:
+        return f"<LastGoodStore {len(self)}/{self.capacity} entries>"

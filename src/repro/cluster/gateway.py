@@ -31,6 +31,7 @@ another — the same contract most production sharded stores offer.
 
 from __future__ import annotations
 
+import itertools
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -50,6 +51,7 @@ from repro.runtime.http import (
     bad_request,
     conflict,
     created,
+    degraded,
     forbidden,
     method_not_allowed,
     not_found,
@@ -59,8 +61,21 @@ from repro.runtime.http import (
     unprocessable,
 )
 
-from .cache import ReadThroughCache
+from .cache import LastGoodStore, ReadThroughCache
 from .metrics import GatewayMetrics
+from .resilience import (
+    CACHE_FILL,
+    CircuitBreaker,
+    FaultInjector,
+    FaultPlan,
+    IdempotencyRegistry,
+    OperationTimeout,
+    ResilienceConfig,
+    ShardCrashed,
+    ShardUnavailable,
+    TaskDropped,
+    TransientShardFault,
+)
 from .sharding import ShardRouter
 
 
@@ -108,6 +123,8 @@ class ShardedGateway:
         cache_capacity: int = 256,
         max_queue_depth: int = 64,
         workers: Optional[int] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        resilience: Optional[ResilienceConfig] = None,
     ):
         if not shards:
             raise ValueError("a gateway needs at least one shard")
@@ -129,6 +146,41 @@ class ShardedGateway:
         self._version_lock = threading.Lock()
         self._routes: list[GatewayRoute] = []
         self._closed = False
+        # -- resilience layer: injected faults must be survivable --------
+        if fault_plan is not None and resilience is None:
+            resilience = ResilienceConfig()
+        self.resilience = resilience
+        self.fault_injector = (
+            FaultInjector(fault_plan) if fault_plan is not None else None
+        )
+        self._op_tokens = itertools.count(1)
+        if resilience is not None:
+            clock = (
+                self.fault_injector.clock
+                if self.fault_injector is not None else None
+            )
+            self._breakers: Optional[list[CircuitBreaker]] = [
+                CircuitBreaker(
+                    failure_threshold=resilience.breaker_failure_threshold,
+                    cooldown=resilience.breaker_cooldown,
+                    clock=clock,
+                    on_transition=(
+                        lambda origin, to, shard=index:
+                        self.metrics.observe_breaker(shard, origin, to)
+                    ),
+                )
+                for index in range(len(self.shards))
+            ]
+            self._idempotency: Optional[IdempotencyRegistry] = (
+                IdempotencyRegistry(resilience.idempotency_capacity)
+            )
+            self._last_good: Optional[LastGoodStore] = LastGoodStore(
+                resilience.last_good_capacity
+            )
+        else:
+            self._breakers = None
+            self._idempotency = None
+            self._last_good = None
 
     # -- assembly ---------------------------------------------------------
 
@@ -249,6 +301,144 @@ class ShardedGateway:
             )
         self.cache.invalidate_entity(entity)
 
+    # -- resilient shard calls -------------------------------------------
+
+    def breaker_states(self) -> Optional[list[str]]:
+        """Every shard breaker's current state (None when disabled)."""
+        if self._breakers is None:
+            return None
+        return [breaker.state for breaker in self._breakers]
+
+    def _call_shard(
+        self,
+        operation: str,
+        shard_index: int,
+        apply,
+        idempotency_key=None,
+    ):
+        """Run ``apply(shard_app)`` under the shard lock, surviving faults.
+
+        Without a resilience config this is a plain locked call.  With
+        one, the call flows through the per-shard circuit breaker (open =
+        shed immediately), the fault injector, and the bounded-backoff
+        retry loop; keyed calls are applied at most once no matter how
+        often they are retried or duplicated.  Raises
+        :class:`ShardUnavailable` when the shard cannot serve.
+        """
+        if self.resilience is None:
+            with self._shard_locks[shard_index]:
+                return apply(self.shards[shard_index])
+        policy = self.resilience.retry
+        breaker = self._breakers[shard_index]
+        last_fault: Optional[TransientShardFault] = None
+        for attempt in range(1, policy.max_attempts + 1):
+            if not breaker.allow():
+                if self.fault_injector is not None:
+                    self.fault_injector.tick()  # shed calls still age the
+                return self._shed(              # breaker's cooldown clock
+                    shard_index, f"circuit {breaker.state}"
+                )
+            if attempt > 1:
+                self.metrics.observe_retry(operation)
+                delay = policy.backoff(attempt - 1)
+                self.metrics.observe_backoff(delay)
+                if self.resilience.sleeper is not None:
+                    self.resilience.sleeper(delay)
+            try:
+                result = self._apply_once(shard_index, apply, idempotency_key)
+            except TransientShardFault as fault:
+                last_fault = fault
+                breaker.record_failure()
+                self.metrics.observe_fault(fault.kind)
+                continue
+            breaker.record_success()
+            return result
+        return self._shed(
+            shard_index,
+            f"retries exhausted after {policy.max_attempts} attempt(s): "
+            f"{last_fault}",
+        )
+
+    @staticmethod
+    def _shed(shard_index: int, reason: str):
+        raise ShardUnavailable(shard_index, reason)
+
+    def _apply_once(self, shard_index: int, apply, idempotency_key):
+        """One attempt: consult the injector, then apply exactly once.
+
+        Injected faults fire *before* the shard is touched, so a failed
+        attempt is never half-applied; the ambiguous-outcome case (did my
+        task run?) is modelled by DUPLICATE faults, which replay the task
+        and must be absorbed by the idempotency registry.
+        """
+        injection = None
+        if self.fault_injector is not None:
+            injection = self.fault_injector.next_call(shard_index)
+            if injection.crash:
+                raise ShardCrashed(shard_index, "injected shard crash")
+            if injection.latency > self.resilience.operation_timeout:
+                raise OperationTimeout(
+                    shard_index,
+                    f"injected latency {injection.latency * 1000:.1f}ms "
+                    f"exceeds the "
+                    f"{self.resilience.operation_timeout * 1000:.1f}ms budget",
+                )
+            if injection.drop:
+                raise TaskDropped(shard_index, "injected task drop")
+
+        def run():
+            with self._shard_locks[shard_index]:
+                return apply(self.shards[shard_index])
+
+        if idempotency_key is not None and self._idempotency is not None:
+            result = self._idempotency.run_once(idempotency_key, run)
+            if injection is not None and injection.duplicate:
+                # the duplicated task replays; the registry must dedupe it
+                self._idempotency.run_once(idempotency_key, run)
+        else:
+            result = run()
+            if injection is not None and injection.duplicate:
+                run()  # reads are naturally idempotent: a replay is harmless
+        return result
+
+    def _degraded_read(
+        self, operation: str, entity: str, base_key: tuple,
+        exc: ShardUnavailable,
+    ) -> Response:
+        """Serve the last known good body, explicitly tagged — or 503.
+
+        Never silent: a degraded body always arrives as 203 with the
+        served-vs-current data versions in the headers, so the
+        Traceability DQSR survives the outage.
+        """
+        if self._last_good is not None:
+            remembered = self._last_good.lookup(base_key)
+            if remembered is not None:
+                body, served_version = remembered
+                self.metrics.observe_degraded(operation)
+                return degraded(
+                    body,
+                    served_version=served_version,
+                    current_version=self._entity_version(entity),
+                )
+        self.metrics.observe_shed(operation)
+        return unavailable(str(exc))
+
+    def _cache_fill(self, key: tuple, body) -> None:
+        """A read-through fill, subject to injected cache-fill failures
+        (a failed fill loses only performance, never correctness)."""
+        if (
+            self.fault_injector is not None
+            and self.fault_injector.cache_fill_fails()
+        ):
+            self.metrics.observe_fault(CACHE_FILL)
+            return
+        self.cache.fill(key, body)
+
+    def _remember_good(self, base_key: tuple, body, version: int) -> None:
+        if self._last_good is not None:
+            self._last_good.remember(base_key, body, version)
+
     # -- operations -------------------------------------------------------
 
     def submit(self, form_name: str, data: dict, user: str) -> Response:
@@ -257,19 +447,27 @@ class ShardedGateway:
         entity = self._entity_of_form(form_name)
         record_id, shard_index = self.router.placement(entity)
 
-        def work() -> Response:
-            app = self.shards[shard_index]
-            with self._shard_locks[shard_index]:
-                try:
-                    stored = app.submit(
-                        form_name, data, user, record_id=record_id
-                    )
-                except DataQualityViolation as exc:
-                    return unprocessable(exc.findings)
-                except AuthorizationError as exc:
-                    return forbidden(str(exc))
+        def apply(app: WebApp) -> Response:
+            try:
+                stored = app.submit(form_name, data, user, record_id=record_id)
+            except DataQualityViolation as exc:
+                return unprocessable(exc.findings)
+            except AuthorizationError as exc:
+                return forbidden(str(exc))
             self._bump_entity_version(entity)
             return created({"id": stored.record_id, "shard": shard_index})
+
+        def work() -> Response:
+            try:
+                # record ids are globally unique, so (submit, entity, id)
+                # identifies this task across retries and duplicate replays
+                return self._call_shard(
+                    "submit", shard_index, apply,
+                    idempotency_key=("submit", entity, record_id),
+                )
+            except ShardUnavailable as exc:
+                self.metrics.observe_shed("submit")
+                return unavailable(str(exc))
 
         return self._dispatch("submit", (shard_index,), work)
 
@@ -285,25 +483,36 @@ class ShardedGateway:
         conflicts surface as 409 — never a lost update."""
         entity = self._entity_of_form(form_name)
         shard_index = self.router.shard_for(entity, record_id)
+        # each modify call is its own task: a fresh token makes retries of
+        # THIS call idempotent without collapsing distinct updates to one
+        op_token = next(self._op_tokens)
 
-        def work() -> Response:
-            app = self.shards[shard_index]
-            with self._shard_locks[shard_index]:
-                try:
-                    stored = app.modify(
-                        form_name, record_id, data, user,
-                        expected_version=expected_version,
-                    )
-                except KeyError:
-                    return not_found(f"no record {record_id}")
-                except DataQualityViolation as exc:
-                    return unprocessable(exc.findings)
-                except AuthorizationError as exc:
-                    return forbidden(str(exc))
-                except VersionConflictError as exc:
-                    return conflict(str(exc))
+        def apply(app: WebApp) -> Response:
+            try:
+                stored = app.modify(
+                    form_name, record_id, data, user,
+                    expected_version=expected_version,
+                )
+            except KeyError:
+                return not_found(f"no record {record_id}")
+            except DataQualityViolation as exc:
+                return unprocessable(exc.findings)
+            except AuthorizationError as exc:
+                return forbidden(str(exc))
+            except VersionConflictError as exc:
+                return conflict(str(exc))
             self._bump_entity_version(entity)
             return ok({"id": stored.record_id, "version": stored.version})
+
+        def work() -> Response:
+            try:
+                return self._call_shard(
+                    "modify", shard_index, apply,
+                    idempotency_key=("modify", op_token),
+                )
+            except ShardUnavailable as exc:
+                self.metrics.observe_shed("modify")
+                return unavailable(str(exc))
 
         return self._dispatch("modify", (shard_index,), work)
 
@@ -312,9 +521,9 @@ class ShardedGateway:
         if self._closed:
             self.metrics.observe_unavailable()
             return unavailable("gateway is closed")
-        key = self.cache.list_key(
-            entity, user, self._clearance(user)
-        ) + (self._entity_version(entity),)
+        base_key = self.cache.list_key(entity, user, self._clearance(user))
+        version = self._entity_version(entity)
+        key = base_key + (version,)
         start = time.perf_counter()
         cached = self.cache.lookup(key)
         if cached is not None:
@@ -325,16 +534,24 @@ class ShardedGateway:
 
         def work() -> Response:
             body: list[dict] = []
-            for shard_index in self.router.all_shards():
-                app = self.shards[shard_index]
-                with self._shard_locks[shard_index]:
-                    visible = app.read(entity, user)
-                body.extend(
-                    {"id": s.record_id, "version": s.version, **s.data}
-                    for s in visible
-                )
+            try:
+                for shard_index in self.router.all_shards():
+                    visible = self._call_shard(
+                        "list", shard_index,
+                        lambda app: app.read(entity, user),
+                    )
+                    body.extend(
+                        {"id": s.record_id, "version": s.version, **s.data}
+                        for s in visible
+                    )
+            except ShardUnavailable as exc:
+                # any shard missing means the gather is incomplete; a
+                # silently partial listing would violate Completeness, so
+                # degrade the WHOLE read (tagged) rather than serve a hole
+                return self._degraded_read("list", entity, base_key, exc)
             body.sort(key=lambda row: row["id"])
-            self.cache.fill(key, body)
+            self._cache_fill(key, body)
+            self._remember_good(base_key, body, version)
             return ok(body)
 
         return self._dispatch("list", tuple(self.router.all_shards()), work)
@@ -344,9 +561,11 @@ class ShardedGateway:
         if self._closed:
             self.metrics.observe_unavailable()
             return unavailable("gateway is closed")
-        key = self.cache.view_key(
+        base_key = self.cache.view_key(
             entity, record_id, user, self._clearance(user)
-        ) + (self._entity_version(entity),)
+        )
+        version = self._entity_version(entity)
+        key = base_key + (version,)
         start = time.perf_counter()
         cached = self.cache.lookup(key)
         if cached is not None:
@@ -356,22 +575,27 @@ class ShardedGateway:
             return ok(cached)
         shard_index = self.router.shard_for(entity, record_id)
 
-        def work() -> Response:
-            app = self.shards[shard_index]
-            with self._shard_locks[shard_index]:
-                try:
-                    stored = app.read_record(entity, record_id, user)
-                except AuthorizationError as exc:
-                    return forbidden(str(exc))
-                except KeyError:
-                    return not_found(f"no record {record_id}")
+        def apply(app: WebApp) -> Response:
+            try:
+                stored = app.read_record(entity, record_id, user)
+            except AuthorizationError as exc:
+                return forbidden(str(exc))
+            except KeyError:
+                return not_found(f"no record {record_id}")
             body = {
                 "id": stored.record_id,
                 "version": stored.version,
                 **stored.data,
             }
-            self.cache.fill(key, body)
+            self._cache_fill(key, body)
+            self._remember_good(base_key, body, version)
             return ok(body)
+
+        def work() -> Response:
+            try:
+                return self._call_shard("view", shard_index, apply)
+            except ShardUnavailable as exc:
+                return self._degraded_read("view", entity, base_key, exc)
 
         return self._dispatch("view", (shard_index,), work)
 
@@ -439,6 +663,17 @@ class ShardedGateway:
             f"cache capacity {self.cache.capacity}, "
             f"queue depth {self.max_queue_depth}"
         ]
+        if self.resilience is not None:
+            lines.append(
+                f"  resilience: {self.resilience.retry.max_attempts} "
+                f"attempt(s), breaker threshold "
+                f"{self.resilience.breaker_failure_threshold}, "
+                f"fault plan "
+                + (
+                    self.fault_injector.plan.signature()
+                    if self.fault_injector is not None else "none"
+                )
+            )
         for route in self._routes:
             lines.append(
                 f"  {route.method} {route.path} -> {route.kind} "

@@ -66,6 +66,19 @@ SOAK_MIX = {
     UPDATE_STALE: 4,
 }
 
+#: A fault-aware mix for chaos runs: balanced reads and writes, so every
+#: resilience path (retry, dedupe, degraded read, shed) sees traffic.
+CHAOS_MIX = {
+    LIST: 24,
+    VIEW: 18,
+    VIEW_UNCLEARED: 8,
+    WRITE: 22,
+    WRITE_DEFECTIVE: 6,
+    WRITE_UNAUTHORIZED: 6,
+    UPDATE: 10,
+    UPDATE_STALE: 6,
+}
+
 
 @dataclass(frozen=True)
 class WorkloadSpec:
@@ -239,6 +252,7 @@ class LoadGenerator:
                 return
             if kind == UPDATE:
                 current = gateway.view(spec.entity, record_id, user)
+                report.observe_probe(current)
                 expected = (
                     current.body.get("version", 1) if current.ok else 1
                 )
@@ -263,6 +277,9 @@ class LoadReport:
         self.conflicts = 0
         self.backpressured = 0
         self.leaks: list[str] = []
+        self.degraded: Counter = Counter()  # kind -> 203 degraded reads
+        self.shed: Counter = Counter()      # kind -> 503 load sheds
+        self.untagged_stale: list[str] = []  # degraded reads missing tags
 
     # -- target-id resolution --------------------------------------------
 
@@ -287,17 +304,40 @@ class LoadReport:
         uncleared = user in self.spec.uncleared_users
         with self._lock:
             self._tally(kind, response.status)
+            if response.status == 203:
+                self.degraded[kind] += 1
+                if "X-DQ-Degraded" not in response.headers:
+                    # the Traceability DQSR: stale data must say so
+                    self.untagged_stale.append(
+                        f"degraded {kind} for {user!r} arrived without an "
+                        f"X-DQ-Degraded staleness tag"
+                    )
+            elif response.status == 503:
+                self.shed[kind] += 1
             if uncleared and response.ok and response.body:
                 self.leaks.append(
                     f"uncleared user {user!r} received "
                     f"{response.body!r} ({kind})"
                 )
 
+    def observe_probe(self, response) -> None:
+        """A version-probe read made on behalf of an update.  Not a
+        planned operation, so it stays out of ``outcomes`` — but its
+        rejections must still be tallied or the gateway's 429/503 meters
+        and the report drift apart."""
+        with self._lock:
+            if response.status == 429:
+                self.backpressured += 1
+            elif response.status == 503:
+                self.shed["update-probe"] += 1
+
     def observe_write(self, kind: str, user: str, response) -> None:
         with self._lock:
             self._tally(kind, response.status)
             if response.status == 201:
                 self.accepted_ids.append(response.body["id"])
+            elif response.status == 503:
+                self.shed[kind] += 1
 
     def observe_update(
         self, kind: str, user: str, record_id: int, response
@@ -308,6 +348,8 @@ class LoadReport:
                 self.updates_applied[record_id] += 1
             elif response.status == 409:
                 self.conflicts += 1
+            elif response.status == 503:
+                self.shed[kind] += 1
 
     # -- summaries ---------------------------------------------------------
 
@@ -337,6 +379,12 @@ class LoadReport:
             f"backpressured: {self.backpressured}, "
             f"leaks: {len(self.leaks)}"
         )
+        if self.degraded or self.shed or self.untagged_stale:
+            lines.append(
+                f"  degraded (203): {sum(self.degraded.values())}, "
+                f"shed (503): {sum(self.shed.values())}, "
+                f"untagged stale: {len(self.untagged_stale)}"
+            )
         return "\n".join(lines)
 
 
@@ -359,8 +407,13 @@ def verify_guarantees(
 
     ``ignore_ids`` are records written *before* the run (preload) whose
     audit events are not this run's to account for.
+
+    Under fault injection, two more guarantees join the list: no write
+    acknowledged 201 may be lost or double-applied (retries and duplicated
+    tasks must collapse to exactly one store audit event), and no degraded
+    read may arrive without its staleness tag.
     """
-    violations = list(report.leaks)
+    violations = list(report.leaks) + list(report.untagged_stale)
     entity = report.spec.entity
 
     store_counts: Counter = Counter()

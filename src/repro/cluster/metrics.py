@@ -53,6 +53,13 @@ class GatewayMetrics:
         self._statuses = Counter()
         self.rejected_backpressure = 0
         self.rejected_unavailable = 0
+        # resilience counters (stay zero unless the machinery is active)
+        self.retries = Counter()              # operation -> retry attempts
+        self.faults = Counter()               # fault kind -> times it bit
+        self.degraded_reads = Counter()       # operation -> degraded serves
+        self.shed = Counter()                 # operation -> 503 load sheds
+        self.breaker_transitions = Counter()  # (shard, to_state) -> count
+        self.backoff_total = 0.0              # simulated backoff seconds
 
     # -- recording (called by the gateway) ------------------------------
 
@@ -78,6 +85,30 @@ class GatewayMetrics:
             self.rejected_unavailable += 1
             self._statuses[503] += 1
 
+    def observe_retry(self, operation: str) -> None:
+        with self._lock:
+            self.retries[operation] += 1
+
+    def observe_backoff(self, delay: float) -> None:
+        with self._lock:
+            self.backoff_total += delay
+
+    def observe_fault(self, kind: str) -> None:
+        with self._lock:
+            self.faults[kind] += 1
+
+    def observe_degraded(self, operation: str) -> None:
+        with self._lock:
+            self.degraded_reads[operation] += 1
+
+    def observe_shed(self, operation: str) -> None:
+        with self._lock:
+            self.shed[operation] += 1
+
+    def observe_breaker(self, shard: int, origin: str, to: str) -> None:
+        with self._lock:
+            self.breaker_transitions[(shard, to)] += 1
+
     # -- reading ---------------------------------------------------------
 
     def snapshot(self, cache_stats=None) -> dict:
@@ -99,6 +130,25 @@ class GatewayMetrics:
                 "rejected_backpressure": self.rejected_backpressure,
                 "rejected_unavailable": self.rejected_unavailable,
             }
+            if (
+                self.retries or self.faults or self.degraded_reads
+                or self.shed or self.breaker_transitions
+            ):
+                snap["resilience"] = {
+                    "retries": dict(sorted(self.retries.items())),
+                    "backoff_seconds": round(self.backoff_total, 6),
+                    "faults": dict(sorted(self.faults.items())),
+                    "degraded_reads": dict(
+                        sorted(self.degraded_reads.items())
+                    ),
+                    "shed": dict(sorted(self.shed.items())),
+                    "breaker_transitions": {
+                        f"shard{shard}->{state}": count
+                        for (shard, state), count in sorted(
+                            self.breaker_transitions.items()
+                        )
+                    },
+                }
         if cache_stats is not None:
             snap["cache"] = cache_stats.as_dict()
         return snap
@@ -130,6 +180,24 @@ class GatewayMetrics:
                 ["Status", "Count"],
                 [[str(s), str(n)] for s, n in snap["statuses"].items()],
             ))
+        if "resilience" in snap:
+            res = snap["resilience"]
+            sections.append(
+                f"resilience: {sum(res['retries'].values())} retry(ies) "
+                f"({res['backoff_seconds']}s backoff), "
+                f"{sum(res['faults'].values())} fault(s) "
+                f"{dict(res['faults'])}, "
+                f"{sum(res['degraded_reads'].values())} degraded read(s), "
+                f"{sum(res['shed'].values())} shed (503)"
+            )
+            if res["breaker_transitions"]:
+                sections.append(render_table(
+                    ["Breaker transition", "Count"],
+                    [
+                        [name, str(count)]
+                        for name, count in res["breaker_transitions"].items()
+                    ],
+                ))
         if "cache" in snap:
             cache = snap["cache"]
             sections.append(

@@ -14,6 +14,7 @@ from typing import Optional
 #: Statuses the runtime uses, mirroring their HTTP meanings.
 OK = 200
 CREATED = 201
+NON_AUTHORITATIVE = 203  # degraded read: cache-backed, staleness tagged
 BAD_REQUEST = 400
 FORBIDDEN = 403
 NOT_FOUND = 404
@@ -62,6 +63,23 @@ def ok(body=None) -> Response:
 
 def created(body=None) -> Response:
     return Response(CREATED, body)
+
+
+def degraded(body, served_version: int, current_version: int) -> Response:
+    """A degraded (cache-backed) read: 203 with explicit staleness tags.
+
+    The Traceability DQSR forbids serving possibly stale data silently;
+    the headers say exactly which entity data version the body reflects
+    and which version is current, so a caller can tell how stale it is.
+    """
+    headers = {
+        "X-DQ-Degraded": (
+            "stale" if served_version < current_version else "cached"
+        ),
+        "X-DQ-Served-Version": str(served_version),
+        "X-DQ-Current-Version": str(current_version),
+    }
+    return Response(NON_AUTHORITATIVE, body, headers)
 
 
 def bad_request(message: str) -> Response:

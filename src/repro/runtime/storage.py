@@ -39,6 +39,7 @@ class IdAllocator:
 
     def __init__(self, start: int = 1):
         self._next = start
+        self._reserved: set[int] = set()
         self._lock = threading.Lock()
 
     def allocate(self) -> int:
@@ -48,8 +49,20 @@ class IdAllocator:
             return value
 
     def reserve(self, record_id: int) -> None:
-        """Keep the counter ahead of an externally assigned id."""
+        """Keep the counter ahead of an externally assigned id.
+
+        Each id may be reserved exactly once: a second reservation means
+        the same externally routed write is being applied twice (a
+        replayed worker task that slipped past the idempotency layer) and
+        must fail loudly rather than silently double-apply.
+        """
         with self._lock:
+            if record_id in self._reserved:
+                raise ValueError(
+                    f"record id {record_id} already reserved "
+                    "(duplicate task replay?)"
+                )
+            self._reserved.add(record_id)
             if record_id >= self._next:
                 self._next = record_id + 1
 

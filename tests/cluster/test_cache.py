@@ -1,6 +1,8 @@
 """Unit tests for the confidentiality-aware read-through cache."""
 
-from repro.cluster.cache import ReadThroughCache
+import pytest
+
+from repro.cluster.cache import LastGoodStore, ReadThroughCache
 
 
 def make_cache(capacity=8):
@@ -91,3 +93,123 @@ class TestInvalidationAndEviction:
         cache.fill(cache.list_key("e", "u", 0), [1])
         cache.clear()
         assert len(cache) == 0
+
+
+class TestWriteRacingFillInvariants:
+    """Directed interleavings of the gateway's versioned-key protocol.
+
+    The gateway appends the per-entity data version to every cache key
+    and bumps the version (invalidating the entity) on each accepted
+    write.  Whichever way a read-through fill interleaves with a racing
+    write, a reader at the *current* version must never see the stale
+    body.
+    """
+
+    def test_fill_landing_after_the_invalidation_stays_unreachable(self):
+        # reader computes its key at version 0, the write completes
+        # (bump + invalidate) BEFORE the slow fill lands: the stale body
+        # sits under the v0 key, which no current reader computes
+        cache = make_cache()
+        stale_key = cache.list_key("reviews", "ada", 1) + (0,)
+        # ... the write acknowledges: version -> 1, entity invalidated
+        cache.invalidate_entity("reviews")
+        cache.fill(stale_key, [{"id": 1, "score": "old"}])  # late fill
+        fresh_key = cache.list_key("reviews", "ada", 1) + (1,)
+        assert cache.lookup(fresh_key) is None  # forced re-read
+        # the stale entry is only reachable through the retired version
+        assert cache.lookup(stale_key) == [{"id": 1, "score": "old"}]
+
+    def test_fill_landing_before_the_invalidation_is_dropped(self):
+        # the other order: the fill lands first, then the write
+        # invalidates — the entry must be gone for every version
+        cache = make_cache()
+        stale_key = cache.list_key("reviews", "ada", 1) + (0,)
+        cache.fill(stale_key, [{"id": 1, "score": "old"}])
+        cache.invalidate_entity("reviews")
+        assert cache.lookup(stale_key) is None
+        assert cache.lookup(
+            cache.list_key("reviews", "ada", 1) + (1,)
+        ) is None
+
+    def test_interleaved_writes_to_other_entities_do_not_shield_stale(self):
+        cache = make_cache()
+        key = cache.view_key("reviews", 1, "ada", 1) + (0,)
+        cache.fill(key, {"id": 1, "score": "old"})
+        cache.invalidate_entity("papers")  # unrelated write
+        assert cache.lookup(key) == {"id": 1, "score": "old"}
+        cache.invalidate_entity("reviews")  # the related write
+        assert cache.lookup(key) is None
+
+    def test_hit_never_crosses_clearance_levels_mid_interleaving(self):
+        # a cleared fill racing an uncleared read: whatever the order,
+        # the uncleared key can never hit the cleared body
+        cache = make_cache()
+        cleared = cache.view_key("reviews", 1, "chair", 2) + (0,)
+        uncleared = cache.view_key("reviews", 1, "outsider", 0) + (0,)
+        assert cache.lookup(uncleared) is None     # read arrives first
+        cache.fill(cleared, {"id": 1, "secret": "scores"})
+        assert cache.lookup(uncleared) is None     # and after the fill
+        cache.fill(uncleared, {"id": 1})           # the filtered body
+        assert cache.lookup(uncleared) == {"id": 1}
+        assert cache.lookup(cleared) == {"id": 1, "secret": "scores"}
+
+    def test_clearance_change_retires_the_old_levels_entries(self):
+        # demotion changes the key's level component: old entries simply
+        # stop matching, with no explicit invalidation needed
+        cache = make_cache()
+        cache.fill(
+            cache.view_key("reviews", 1, "ada", 2) + (0,),
+            {"id": 1, "secret": "x"},
+        )
+        assert cache.lookup(
+            cache.view_key("reviews", 1, "ada", 0) + (0,)
+        ) is None
+
+
+class TestLastGoodStore:
+    def test_remember_and_lookup_with_version(self):
+        store = LastGoodStore()
+        store.remember(("view", "reviews", 1, "ada", 1), {"id": 1}, 3)
+        assert store.lookup(("view", "reviews", 1, "ada", 1)) == (
+            {"id": 1}, 3
+        )
+        assert store.lookup(("view", "reviews", 2, "ada", 1)) is None
+
+    def test_entries_survive_what_invalidation_would_drop(self):
+        # deliberately: the last-good body is the degraded-read backstop,
+        # so a newer remember overwrites but nothing else removes it
+        store = LastGoodStore()
+        key = ("list", "reviews", None, "ada", 1)
+        store.remember(key, [{"id": 1}], 1)
+        store.remember(key, [{"id": 1}, {"id": 2}], 2)
+        assert store.lookup(key) == ([{"id": 1}, {"id": 2}], 2)
+
+    def test_bodies_are_caller_proof(self):
+        store = LastGoodStore()
+        key = ("view", "e", 1, "u", 0)
+        body = {"id": 1, "score": 3}
+        store.remember(key, body, 1)
+        body["score"] = 99
+        served, _ = store.lookup(key)
+        assert served["score"] == 3
+        served["score"] = -1
+        assert store.lookup(key)[0]["score"] == 3
+
+    def test_lru_eviction_beyond_capacity(self):
+        store = LastGoodStore(capacity=2)
+        store.remember(("k", 1), {"id": 1}, 1)
+        store.remember(("k", 2), {"id": 2}, 1)
+        store.lookup(("k", 1))  # refresh: ("k", 2) becomes LRU
+        store.remember(("k", 3), {"id": 3}, 1)
+        assert store.lookup(("k", 2)) is None
+        assert store.lookup(("k", 1)) is not None
+        assert len(store) == 2
+
+    def test_zero_capacity_disables_the_backstop(self):
+        store = LastGoodStore(capacity=0)
+        store.remember(("k",), {"id": 1}, 1)
+        assert store.lookup(("k",)) is None
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            LastGoodStore(capacity=-1)

@@ -20,6 +20,42 @@ class TestIdAllocator:
         allocator.reserve(3)  # never rolls back
         assert allocator.allocate() == 12
 
+    def test_reserving_the_same_id_twice_raises(self):
+        # a second reservation of one id means the same routed write is
+        # being applied twice (a replayed task that slipped past the
+        # dedupe layer) — it must fail loudly, not silently double-apply
+        allocator = IdAllocator()
+        allocator.reserve(7)
+        with pytest.raises(ValueError, match="already reserved"):
+            allocator.reserve(7)
+        # other ids are unaffected by the rejected replay
+        allocator.reserve(8)
+        assert allocator.allocate() == 9
+
+    def test_duplicate_reservation_under_contention_raises_exactly_once(self):
+        allocator = IdAllocator()
+        outcomes = []
+        lock = threading.Lock()
+        barrier = threading.Barrier(8)
+
+        def reserve():
+            barrier.wait()
+            try:
+                allocator.reserve(42)
+                result = "ok"
+            except ValueError:
+                result = "dup"
+            with lock:
+                outcomes.append(result)
+
+        threads = [threading.Thread(target=reserve) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert outcomes.count("ok") == 1
+        assert outcomes.count("dup") == 7
+
     def test_concurrent_allocation_no_duplicates(self):
         allocator = IdAllocator()
         seen = []

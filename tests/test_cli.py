@@ -213,3 +213,32 @@ class TestClusterBench:
         assert "-- 4 shards (cached) --" in text
         assert "Shard | Requests" in text
         assert "cache:" in text
+
+    def test_faults_flag_adds_the_degraded_row(self):
+        code, text = run_cli(
+            "cluster-bench", "--count", "120", "--preload", "40",
+            "--shards", "2", "--faults",
+        )
+        assert code == 0
+        assert "2 shards (cached, shard 0 down)" in text
+        assert "under faults:" in text
+        assert "of healthy throughput retained" in text
+
+
+class TestChaos:
+    def test_clean_run_reports_zero_violations_and_exits_zero(self):
+        code, text = run_cli(
+            "chaos", "--seed", "11", "--count", "150", "--preload", "12",
+        )
+        assert code == 0
+        assert "chaos run — seed 11" in text
+        assert "fault schedule" in text
+        assert "zero violations" in text
+
+    def test_metrics_flag_prints_the_snapshot(self):
+        code, text = run_cli(
+            "chaos", "--seed", "11", "--count", "100", "--preload", "10",
+            "--metrics",
+        )
+        assert code == 0
+        assert '"resilience"' in text
