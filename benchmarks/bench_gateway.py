@@ -7,7 +7,15 @@ read-through cache must sustain **at least 2x** the throughput of the
 single-shard, uncached serving path — while the load report shows the DQ
 guarantees held on both sides (no leak, no lost update, every defective
 or unauthorized write refused).
+
+The hot-path overhaul adds its own floors (``-m bench``): copy-on-write
+snapshots at least **3x** the deepcopy read path on the list/view mix,
+per-shard write batching at least **1.5x** one-at-a-time submits, both
+measured in the same run; the run also writes the machine-readable
+``BENCH_hotpath.json`` (ops/s, p50/p99 per path) at the repo root.
 """
+
+import pathlib
 
 import pytest
 
@@ -17,11 +25,13 @@ from repro.cluster import (
     READ_HEAVY_MIX,
     ShardedGateway,
     run_comparison,
+    run_hotpath_bench,
     verify_guarantees,
 )
 
 FORM = "Add all data as result of review form"
 ENTITY = "Add all data as result of review"
+HOTPATH_JSON = pathlib.Path(__file__).resolve().parent.parent / "BENCH_hotpath.json"
 
 
 @pytest.mark.slow
@@ -65,6 +75,64 @@ def test_guarantees_hold_during_measured_load():
         report = generator.run(gateway, count=500, threads=4)
         violations = verify_guarantees(gateway, report, ignore_ids=preloaded)
         assert violations == [], "\n".join(violations)
+    finally:
+        gateway.close()
+
+
+@pytest.mark.bench
+@pytest.mark.slow
+def test_hotpath_floors_and_report():
+    """The overhaul's acceptance floors, measured in one run.
+
+    Copy-on-write snapshots must serve the seeded list/view mix at least
+    3x as fast as the same gateway forced through the pre-COW deepcopy
+    path; ``submit_many`` must beat the one-at-a-time submit loop by at
+    least 1.5x at 4 shards; indexed field lookups must beat the predicate
+    scan outright.  Each run is already best-of-3 rounds per path; one
+    retry absorbs a pathologically loaded machine.
+    """
+    result = None
+    for _ in range(2):
+        result = run_hotpath_bench(shard_count=4, json_path=HOTPATH_JSON)
+        if (
+            result.read_speedup >= 3.0
+            and result.batch_speedup >= 1.5
+            and result.index_speedup >= 1.0
+        ):
+            break
+    print()
+    print(result.render())
+    assert result.read_speedup >= 3.0, result.render()
+    assert result.batch_speedup >= 1.5, result.render()
+    assert result.index_speedup >= 1.0, result.render()
+    report = result.as_dict()
+    assert HOTPATH_JSON.exists()
+    names = [row["name"] for row in report["rows"]]
+    assert names == [
+        "read deepcopy snapshots", "read cow snapshots",
+        "write unbatched", "write batched",
+        "lookup scan", "lookup indexed",
+    ]
+    for row in report["rows"]:
+        assert row["ops_per_second"] > 0
+        assert row["p50_us"] <= row["p99_us"]
+
+
+@pytest.mark.bench
+def test_batched_write_burst(benchmark):
+    """One ``submit_many`` burst: 128 writes coalesced per-shard."""
+    gateway = ShardedGateway.from_design(
+        easychair.build_design(), shard_count=4, users=easychair.USERS,
+        max_queue_depth=4096,
+    )
+    payloads = [easychair.complete_review() for _ in range(128)]
+
+    def burst():
+        responses = gateway.submit_many(FORM, payloads, "pc_member_1")
+        assert all(r.status == 201 for r in responses)
+
+    try:
+        benchmark(burst)
     finally:
         gateway.close()
 

@@ -20,7 +20,10 @@ Subcommands mirror the pipeline stages:
 * ``cluster-bench`` — measure the sharded gateway (our scaling extension)
   against the single-shard serving path on the read-heavy mix; with
   ``--faults``, add a row with one shard crashed to measure how much
-  throughput the resilience layer retains;
+  throughput the resilience layer retains; ``--smoke`` asserts the fast
+  performance floors (exit 1 on a miss) and ``--hotpath`` runs the
+  copy-on-write / write-batching / field-index microbenchmarks
+  (``--json PATH`` writes the machine-readable report);
 * ``chaos`` — run the deterministic fault-injection harness against the
   sharded gateway and verify every DQ guarantee held; exit code 1 on any
   violation.
@@ -125,6 +128,21 @@ def build_parser() -> argparse.ArgumentParser:
     cluster_bench.add_argument(
         "--metrics", action="store_true",
         help="also print each configuration's gateway metrics",
+    )
+    cluster_bench.add_argument(
+        "--smoke", action="store_true",
+        help="fast floor check: cached gateway >= 2x the baseline and "
+             ">= 50%% throughput retained under faults; exit 1 on a miss",
+    )
+    cluster_bench.add_argument(
+        "--hotpath", action="store_true",
+        help="run the hot-path microbenchmarks (copy-on-write reads, "
+             "write batching, field indexes) instead of the comparison",
+    )
+    cluster_bench.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="with --hotpath: also write the machine-readable report "
+             "(e.g. BENCH_hotpath.json)",
     )
 
     chaos = commands.add_parser(
@@ -306,7 +324,20 @@ def _command_experiments(args, out) -> int:
 
 
 def _command_cluster_bench(args, out) -> int:
-    from repro.cluster import run_comparison
+    from repro.cluster import run_comparison, run_hotpath_bench, run_smoke
+
+    if args.hotpath:
+        hotpath = run_hotpath_bench(
+            shard_count=args.shards, seed=args.seed, json_path=args.json,
+        )
+        print(hotpath.render(), file=out)
+        if args.json:
+            print(f"wrote {args.json}", file=out)
+        return 0
+    if args.smoke:
+        smoke = run_smoke(shard_count=args.shards, seed=args.seed)
+        print(smoke.render(), file=out)
+        return 0 if smoke.passed else 1
 
     result = run_comparison(
         shard_count=args.shards,

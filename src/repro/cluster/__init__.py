@@ -21,7 +21,16 @@ with :func:`~repro.cluster.resilience.run_chaos` as the one-call chaos
 harness.
 """
 
-from .bench import ComparisonResult, ComparisonRow, run_comparison
+from .bench import (
+    ComparisonResult,
+    ComparisonRow,
+    HotpathResult,
+    HotpathRow,
+    SmokeResult,
+    run_comparison,
+    run_hotpath_bench,
+    run_smoke,
+)
 from .cache import CacheStats, LastGoodStore, ReadThroughCache
 from .gateway import GatewayRoute, ShardedGateway
 from .loadgen import (
@@ -71,6 +80,8 @@ __all__ = [
     "FaultSpec",
     "GatewayMetrics",
     "GatewayRoute",
+    "HotpathResult",
+    "HotpathRow",
     "IdempotencyRegistry",
     "LATENCY",
     "LastGoodStore",
@@ -85,10 +96,13 @@ __all__ = [
     "ShardRouter",
     "ShardUnavailable",
     "ShardedGateway",
+    "SmokeResult",
     "WorkloadSpec",
     "easychair_spec",
     "fnv1a",
     "run_chaos",
     "run_comparison",
+    "run_hotpath_bench",
+    "run_smoke",
     "verify_guarantees",
 ]

@@ -125,12 +125,27 @@ class ShardedGateway:
         workers: Optional[int] = None,
         fault_plan: Optional[FaultPlan] = None,
         resilience: Optional[ResilienceConfig] = None,
+        write_batch_max: int = 32,
     ):
         if not shards:
             raise ValueError("a gateway needs at least one shard")
         if max_queue_depth < 1:
             raise ValueError("max_queue_depth must be >= 1")
+        if write_batch_max < 1:
+            raise ValueError("write_batch_max must be >= 1")
         self.shards = list(shards)
+        self.write_batch_max = write_batch_max
+        # form→entity and user→clearance are static once the shards are
+        # built; memoize them so the hot paths stop re-resolving through
+        # shard 0 (and do so without that shard's lock) on every request.
+        # Late registrations are absorbed lazily by the accessors.
+        self._form_entities: dict[str, str] = {
+            form.name: form.entity for form in self.shards[0].forms
+        }
+        self._user_levels: dict[str, int] = {
+            account.name: account.level
+            for account in self.shards[0].users.accounts()
+        }
         self.router = ShardRouter(len(self.shards))
         self.cache = ReadThroughCache(cache_capacity)
         self.metrics = GatewayMetrics(len(self.shards))
@@ -284,10 +299,20 @@ class ShardedGateway:
         return response
 
     def _entity_of_form(self, form_name: str) -> str:
-        return self.shards[0].form(form_name).entity
+        entity = self._form_entities.get(form_name)
+        if entity is None:  # registered after construction: memoize now
+            entity = self.shards[0].form(form_name).entity
+            self._form_entities[form_name] = entity
+        return entity
 
     def _clearance(self, user: str) -> int:
-        return self.shards[0].users.get(user).level
+        level = self._user_levels.get(user)
+        if level is None:
+            directory = self.shards[0].users
+            level = directory.get(user).level
+            if directory.known(user):  # anonymous users are never cached
+                self._user_levels[user] = level
+        return level
 
     def _entity_version(self, entity: str) -> int:
         with self._version_lock:
@@ -470,6 +495,137 @@ class ShardedGateway:
                 return unavailable(str(exc))
 
         return self._dispatch("submit", (shard_index,), work)
+
+    def submit_many(
+        self, form_name: str, payloads: Sequence[dict], user: str
+    ) -> list[Response]:
+        """Batched create: coalesce same-shard writes into one lock trip.
+
+        Every payload gets a global id and a home shard exactly as
+        :meth:`submit` would assign them; payloads bound for the same
+        shard are then grouped into chunks of at most ``write_batch_max``
+        and applied through :meth:`WebApp.submit_batch` under a **single**
+        shard-lock acquisition (and a single idempotency registration,
+        retry loop and cache invalidation) per chunk.  Chunks for
+        different shards run concurrently on the dispatch pool.
+
+        The response list is positional — ``responses[i]`` answers
+        ``payloads[i]`` with the same statuses the unbatched path
+        produces (201/422/403, 429 under backpressure, 503 when a shard
+        is unavailable past retries) — so batching changes throughput,
+        never outcomes.
+        """
+        payloads = list(payloads)
+        if not payloads:
+            return []
+        if self._closed:
+            for _ in payloads:
+                self.metrics.observe_unavailable()
+            return [unavailable("gateway is closed") for _ in payloads]
+        entity = self._entity_of_form(form_name)
+        placements = [self.router.placement(entity) for _ in payloads]
+        responses: list[Optional[Response]] = [None] * len(payloads)
+        by_shard: dict[int, list[int]] = {}
+        for position, (_, shard_index) in enumerate(placements):
+            by_shard.setdefault(shard_index, []).append(position)
+        chunks: list[tuple[int, list[int]]] = []
+        for shard_index in sorted(by_shard):
+            positions = by_shard[shard_index]
+            for start in range(0, len(positions), self.write_batch_max):
+                chunks.append(
+                    (shard_index, positions[start:start + self.write_batch_max])
+                )
+
+        pending_futures = []
+        for shard_index, positions in chunks:
+            with self._pending_lock:
+                admitted = self._pending < self.max_queue_depth
+                if admitted:
+                    self._pending += 1
+            if not admitted:
+                for position in positions:
+                    self.metrics.observe_backpressure()
+                    responses[position] = too_many_requests(
+                        f"queue depth {self.max_queue_depth} exceeded",
+                        retry_after=1,
+                    )
+                continue
+            work = self._batch_work(
+                form_name, entity, payloads, placements, shard_index,
+                positions, user,
+            )
+            started = time.perf_counter()
+            try:
+                future = self._pool.submit(work)
+            except RuntimeError:  # pool shut down between check and submit
+                with self._pending_lock:
+                    self._pending -= 1
+                for position in positions:
+                    self.metrics.observe_unavailable()
+                    responses[position] = unavailable("gateway is closed")
+                continue
+            pending_futures.append((shard_index, positions, started, future))
+
+        for shard_index, positions, started, future in pending_futures:
+            try:
+                outcome = future.result()
+            finally:
+                with self._pending_lock:
+                    self._pending -= 1
+            statuses = []
+            for position in positions:
+                responses[position] = outcome[position]
+                statuses.append(outcome[position].status)
+            self.metrics.observe_batch("submit-batch", len(positions))
+            self.metrics.observe(
+                "submit-batch",
+                (shard_index,),
+                max(statuses),
+                time.perf_counter() - started,
+            )
+        return responses
+
+    def _batch_work(
+        self, form_name, entity, payloads, placements, shard_index,
+        positions, user,
+    ):
+        """Build the pooled callable applying one same-shard write chunk."""
+        record_ids = [placements[position][0] for position in positions]
+        rows = [payloads[position] for position in positions]
+
+        def apply(app: WebApp) -> dict:
+            result = app.submit_batch(
+                form_name, rows, user, record_ids=record_ids
+            )
+            outcome: dict[int, Response] = {}
+            for row, record_id in result.accepted:
+                outcome[positions[row]] = created(
+                    {"id": record_id, "shard": shard_index}
+                )
+            for row, findings in result.rejected:
+                outcome[positions[row]] = unprocessable(findings)
+            for row, reason in result.unauthorized:
+                outcome[positions[row]] = forbidden(reason)
+            if result.accepted:
+                # one invalidation per chunk, not per accepted write
+                self._bump_entity_version(entity)
+            return outcome
+
+        def work() -> dict:
+            try:
+                # record ids are globally unique, so the chunk's id tuple
+                # identifies this task across retries and duplicate replays
+                return self._call_shard(
+                    "submit-batch", shard_index, apply,
+                    idempotency_key=("submit-batch", entity, tuple(record_ids)),
+                )
+            except ShardUnavailable as exc:
+                self.metrics.observe_shed("submit-batch")
+                return {
+                    position: unavailable(str(exc)) for position in positions
+                }
+
+        return work
 
     def modify(
         self,

@@ -60,6 +60,9 @@ class GatewayMetrics:
         self.shed = Counter()                 # operation -> 503 load sheds
         self.breaker_transitions = Counter()  # (shard, to_state) -> count
         self.backoff_total = 0.0              # simulated backoff seconds
+        # write-batching counters (stay zero unless batching is used)
+        self.batches = Counter()              # operation -> chunks dispatched
+        self.batched_ops = Counter()          # operation -> ops coalesced
 
     # -- recording (called by the gateway) ------------------------------
 
@@ -109,6 +112,12 @@ class GatewayMetrics:
         with self._lock:
             self.breaker_transitions[(shard, to)] += 1
 
+    def observe_batch(self, operation: str, size: int) -> None:
+        """One coalesced chunk of ``size`` operations hit a shard lock."""
+        with self._lock:
+            self.batches[operation] += 1
+            self.batched_ops[operation] += size
+
     # -- reading ---------------------------------------------------------
 
     def snapshot(self, cache_stats=None) -> dict:
@@ -148,6 +157,16 @@ class GatewayMetrics:
                             self.breaker_transitions.items()
                         )
                     },
+                }
+            if self.batches:
+                total_chunks = sum(self.batches.values())
+                total_ops = sum(self.batched_ops.values())
+                snap["batching"] = {
+                    "chunks": dict(sorted(self.batches.items())),
+                    "operations": dict(sorted(self.batched_ops.items())),
+                    "mean_ops_per_chunk": round(
+                        total_ops / total_chunks, 2
+                    ),
                 }
         if cache_stats is not None:
             snap["cache"] = cache_stats.as_dict()
@@ -198,6 +217,13 @@ class GatewayMetrics:
                         for name, count in res["breaker_transitions"].items()
                     ],
                 ))
+        if "batching" in snap:
+            batching = snap["batching"]
+            sections.append(
+                f"batching: {sum(batching['operations'].values())} op(s) in "
+                f"{sum(batching['chunks'].values())} chunk(s) "
+                f"(mean {batching['mean_ops_per_chunk']}/chunk)"
+            )
         if "cache" in snap:
             cache = snap["cache"]
             sections.append(

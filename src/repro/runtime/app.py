@@ -89,8 +89,11 @@ class WebApp:
         name: str,
         fields: Sequence[str],
         required_fields: Sequence[str] = (),
+        indexed_fields: Sequence[str] = (),
     ) -> "WebApp":
-        self.store.define(name, fields)
+        store = self.store.define(name, fields)
+        for field_name in indexed_fields:
+            store.create_index(field_name)
         self._required_fields[name] = tuple(required_fields)
         return self
 
@@ -241,18 +244,30 @@ class WebApp:
         return stored
 
     def submit_batch(
-        self, form_name: str, records: list, user: str
+        self,
+        form_name: str,
+        records: list,
+        user: str,
+        record_ids: Optional[Sequence[int]] = None,
     ) -> "BatchResult":
         """Bulk load (the BI extract-import scenario): partial accept.
 
         Each record goes through the full write pipeline independently;
         valid rows are stored, invalid ones reported — the batch never
         fails as a whole, and every rejection is audited as usual.
+        ``record_ids`` lets a fronting layer that allocates ids globally
+        (the sharded gateway's write batcher) pin each row's id, exactly
+        like the ``record_id`` argument of :meth:`submit`.
         """
+        if record_ids is not None and len(record_ids) != len(records):
+            raise ValueError(
+                f"{len(record_ids)} record id(s) for {len(records)} record(s)"
+            )
         result = BatchResult()
         for index, record in enumerate(records):
+            pinned = record_ids[index] if record_ids is not None else None
             try:
-                stored = self.submit(form_name, record, user)
+                stored = self.submit(form_name, record, user, record_id=pinned)
             except DataQualityViolation as exc:
                 result.rejected.append((index, exc.findings))
             except AuthorizationError as exc:

@@ -45,6 +45,10 @@ class UserDirectory:
     def known(self, name: str) -> bool:
         return name in self._users
 
+    def accounts(self) -> list[User]:
+        """Every registered user (for directory-wide memoization)."""
+        return list(self._users.values())
+
     def __len__(self) -> int:
         return len(self._users)
 

@@ -15,6 +15,18 @@ taking one) never changes the other side.  The **write path**
 (:meth:`EntityStore.insert`, :meth:`EntityStore.update`,
 :meth:`ContentStore.store`, :meth:`ContentStore.modify`) keeps returning
 the live record so metadata stamping works as before.
+
+Hot-path design (copy-on-write snapshots): the *store* side of the read
+path is copy-on-write — :meth:`EntityStore.update` never mutates a
+published data dict in place, it publishes a fresh merged dict — so a
+snapshot whose values are all immutable (the common case: form records
+are flat dicts of scalars) can be a **shallow** dict copy that shares
+every value structurally with the store.  Records holding nested mutable
+values fall back to the original ``deepcopy`` path, and
+``snapshot(deep=True)`` forces it, so the isolation contract above is
+identical in every case — only the allocation cost changes.  The
+equivalence is pinned by property tests
+(``tests/runtime/test_storage_hotpath.py``).
 """
 
 from __future__ import annotations
@@ -26,6 +38,23 @@ from typing import Callable, Iterable, Optional, Sequence
 
 from repro.dq.metadata import Clock, DQMetadataRecord
 
+#: Value types a snapshot may share with the live record: immutable
+#: scalars, plus immutable containers of the same.
+_FROZEN_SCALARS = (str, int, float, bool, bytes, complex, type(None))
+
+
+def _value_shareable(value) -> bool:
+    if isinstance(value, _FROZEN_SCALARS):
+        return True
+    if isinstance(value, (tuple, frozenset)):
+        return all(_value_shareable(item) for item in value)
+    return False
+
+
+def _values_shareable(data: dict) -> bool:
+    """May a shallow copy of ``data`` share every value with the store?"""
+    return all(_value_shareable(value) for value in data.values())
+
 
 class IdAllocator:
     """A thread-safe record-id counter.
@@ -35,11 +64,25 @@ class IdAllocator:
     increments on some interpreters, and a bare counter cannot be kept
     ahead of externally assigned ids (the sharded gateway allocates global
     ids itself and pushes them down via ``insert(..., record_id=...)``).
+
+    Reserved ids are tracked as a contiguous **watermark** plus a sparse
+    tail, not an ever-growing set: every id at or below the watermark
+    counts as reserved, and whenever the tail exceeds
+    ``compact_threshold`` its oldest half is folded into the watermark.
+    A soak run that reserves millions of ids therefore holds O(threshold)
+    memory while the duplicate-reservation guard still fires.  Folding is
+    safe for the intended callers — a sharded store only ever sees the
+    ids routed to it, in roughly increasing order, so an id that falls
+    into a folded gap is one that can never legitimately arrive late.
     """
 
-    def __init__(self, start: int = 1):
+    def __init__(self, start: int = 1, compact_threshold: int = 1024):
+        if compact_threshold < 2:
+            raise ValueError("compact_threshold must be >= 2")
         self._next = start
-        self._reserved: set[int] = set()
+        self._watermark = 0          # every id <= this counts as reserved
+        self._tail: set[int] = set()  # reserved ids above the watermark
+        self._compact_threshold = compact_threshold
         self._lock = threading.Lock()
 
     def allocate(self) -> int:
@@ -57,14 +100,32 @@ class IdAllocator:
         must fail loudly rather than silently double-apply.
         """
         with self._lock:
-            if record_id in self._reserved:
+            if record_id <= self._watermark or record_id in self._tail:
                 raise ValueError(
                     f"record id {record_id} already reserved "
                     "(duplicate task replay?)"
                 )
-            self._reserved.add(record_id)
+            self._tail.add(record_id)
+            # absorb any contiguous run into the watermark
+            while self._watermark + 1 in self._tail:
+                self._watermark += 1
+                self._tail.discard(self._watermark)
+            if len(self._tail) > self._compact_threshold:
+                self._fold_tail()
             if record_id >= self._next:
                 self._next = record_id + 1
+
+    def _fold_tail(self) -> None:
+        """Fold the oldest half of the sparse tail into the watermark."""
+        ordered = sorted(self._tail)
+        cut = ordered[len(ordered) // 2]
+        self._watermark = cut
+        self._tail = {rid for rid in ordered if rid > cut}
+
+    def reserved_footprint(self) -> int:
+        """How many sparse entries the reservation guard is holding."""
+        with self._lock:
+            return len(self._tail)
 
     def peek(self) -> int:
         with self._lock:
@@ -76,37 +137,195 @@ class StoredRecord:
     """One record plus its DQ metadata sidecar.
 
     ``version`` starts at 1 and increments on every update — the handle
-    for optimistic-concurrency checks on modification.
+    for optimistic-concurrency checks on modification.  ``shareable``
+    (internal) records whether every data value is immutable, i.e.
+    whether a snapshot may structurally share them.
     """
 
     record_id: int
     data: dict
     metadata: DQMetadataRecord = field(default_factory=DQMetadataRecord)
     version: int = 1
+    shareable: bool = field(default=False, repr=False, compare=False)
 
-    def snapshot(self) -> "StoredRecord":
-        """A defensive copy sharing nothing mutable with the live record."""
+    def __post_init__(self):
+        if not self.shareable:
+            self.shareable = _values_shareable(self.data)
+
+    def snapshot(self, deep: bool = False) -> "StoredRecord":
+        """A defensive copy: mutating it never leaks into the store.
+
+        The default is the copy-on-write fast path — a shallow dict copy
+        sharing the (immutable) values — whenever the record qualifies;
+        ``deep=True`` is the escape hatch that forces the original
+        ``deepcopy`` behaviour, and records holding nested mutable values
+        always take it.
+        """
+        meta = self.metadata
+        if deep or not self.shareable:
+            return StoredRecord(
+                self.record_id,
+                copy.deepcopy(self.data),
+                replace(
+                    meta,
+                    available_to=set(meta.available_to),
+                    extra=copy.deepcopy(meta.extra),
+                ),
+                self.version,
+            )
+        extra = meta.extra
+        if extra:
+            extra = (
+                dict(extra) if _values_shareable(extra)
+                else copy.deepcopy(extra)
+            )
+        else:
+            extra = {}
         return StoredRecord(
             self.record_id,
-            copy.deepcopy(self.data),
-            replace(
-                self.metadata,
-                available_to=set(self.metadata.available_to),
-                extra=copy.deepcopy(self.metadata.extra),
-            ),
+            dict(self.data),
+            replace(meta, available_to=set(meta.available_to), extra=extra),
             self.version,
+            shareable=True,
         )
 
 
+class _ConfidentialityIndex:
+    """Who may read what, as hash lookups instead of per-record predicates.
+
+    Mirrors :meth:`DQMetadataRecord.accessible_by` exactly: a record is
+    readable by ``(user, level)`` when ``level >= security_level`` *or*
+    the user holds an explicit grant.  Maintained under the entity lock by
+    the write path; ``readable_ids`` unions a handful of sets instead of
+    calling a Python predicate per record.
+    """
+
+    def __init__(self):
+        self._by_level: dict[int, set[int]] = {}
+        self._by_grant: dict[str, set[int]] = {}
+        self._state: dict[int, tuple[int, frozenset]] = {}
+
+    def index(self, record_id: int, metadata: DQMetadataRecord) -> None:
+        self.unindex(record_id)
+        level = metadata.security_level
+        grants = frozenset(metadata.available_to)
+        self._by_level.setdefault(level, set()).add(record_id)
+        for user in grants:
+            self._by_grant.setdefault(user, set()).add(record_id)
+        self._state[record_id] = (level, grants)
+
+    def unindex(self, record_id: int) -> None:
+        state = self._state.pop(record_id, None)
+        if state is None:
+            return
+        level, grants = state
+        bucket = self._by_level.get(level)
+        if bucket is not None:
+            bucket.discard(record_id)
+            if not bucket:
+                del self._by_level[level]
+        for user in grants:
+            granted = self._by_grant.get(user)
+            if granted is not None:
+                granted.discard(record_id)
+                if not granted:
+                    del self._by_grant[user]
+
+    def readable_ids(self, user: str, user_level: int) -> set[int]:
+        readable: set[int] = set()
+        for level, ids in self._by_level.items():
+            if level <= user_level:
+                readable |= ids
+        granted = self._by_grant.get(user)
+        if granted:
+            readable |= granted
+        return readable
+
+
 class EntityStore:
-    """All records of one entity (one ``Content`` element)."""
+    """All records of one entity (one ``Content`` element).
+
+    ``deep_snapshots`` forces every snapshot through the ``deepcopy``
+    escape hatch — the pre-COW behaviour, kept so benchmarks can measure
+    both paths in one run and tests can diff them.
+    """
 
     def __init__(self, name: str, fields: Sequence[str] = ()):
         self.name = name
         self.fields = tuple(fields)
+        self.deep_snapshots = False
         self._records: dict[int, StoredRecord] = {}
         self._ids = IdAllocator()
         self._lock = threading.RLock()
+        self._field_indexes: dict[str, dict[object, set[int]]] = {}
+        self._confidentiality = _ConfidentialityIndex()
+
+    # -- secondary indexes -------------------------------------------------
+
+    def create_index(self, field_name: str) -> "EntityStore":
+        """Declare a hash index on one data field.
+
+        Maintained transactionally under the entity lock by every write;
+        existing records are indexed immediately.  Unhashable field
+        values simply stay out of the index (``find_by`` then falls back
+        to the scan for them).
+        """
+        with self._lock:
+            if field_name in self._field_indexes:
+                return self
+            index: dict[object, set[int]] = {}
+            self._field_indexes[field_name] = index
+            for record_id, stored in self._records.items():
+                self._index_field_value(field_name, stored, record_id)
+            return self
+
+    @property
+    def indexed_fields(self) -> tuple[str, ...]:
+        with self._lock:
+            return tuple(self._field_indexes)
+
+    def _index_field_value(
+        self, field_name: str, stored: StoredRecord, record_id: int
+    ) -> None:
+        try:
+            value = stored.data.get(field_name)
+            self._field_indexes[field_name].setdefault(
+                value, set()
+            ).add(record_id)
+        except TypeError:  # unhashable value: stays scannable only
+            pass
+
+    def _index_record(self, stored: StoredRecord) -> None:
+        for field_name in self._field_indexes:
+            self._index_field_value(field_name, stored, stored.record_id)
+        self._confidentiality.index(stored.record_id, stored.metadata)
+
+    def _unindex_field_values(
+        self, record_id: int, stored: StoredRecord
+    ) -> None:
+        for field_name, index in self._field_indexes.items():
+            value = stored.data.get(field_name)
+            try:
+                bucket = index.get(value)
+            except TypeError:  # was never indexed
+                continue
+            if bucket is not None:
+                bucket.discard(record_id)
+                if not bucket:
+                    del index[value]
+
+    def reindex_metadata(self, record_id: int) -> None:
+        """Refresh the confidentiality index after metadata changed.
+
+        Confidentiality metadata is stamped *after* the insert (the write
+        path hands the live record to ``restrict``), so
+        :meth:`ContentStore.store` calls this once the sidecar is final.
+        """
+        with self._lock:
+            stored = self._live(record_id)
+            self._confidentiality.index(record_id, stored.metadata)
+
+    # -- writes ------------------------------------------------------------
 
     def insert(self, data: dict, record_id: Optional[int] = None) -> StoredRecord:
         """Insert a record; returns the **live** stored record.
@@ -126,14 +345,33 @@ class EntityStore:
                 self._ids.reserve(record_id)
             stored = StoredRecord(record_id, dict(data))
             self._records[record_id] = stored
+            self._index_record(stored)
             return stored
 
     def update(self, record_id: int, data: dict) -> StoredRecord:
+        """Merge ``data`` into a record — by *publishing a fresh dict*.
+
+        The previously published dict is never mutated, so snapshots that
+        structurally share its values stay frozen in time (the store-side
+        half of the copy-on-write contract).
+        """
         with self._lock:
             stored = self._live(record_id)
-            stored.data.update(data)
+            if self._field_indexes:
+                self._unindex_field_values(record_id, stored)
+            stored.data = {**stored.data, **data}
+            stored.shareable = stored.shareable and _values_shareable(data)
             stored.version += 1
+            for field_name in self._field_indexes:
+                self._index_field_value(field_name, stored, record_id)
             return stored
+
+    def delete(self, record_id: int) -> None:
+        with self._lock:
+            stored = self._live(record_id)
+            del self._records[record_id]
+            self._unindex_field_values(record_id, stored)
+            self._confidentiality.unindex(record_id)
 
     def _live(self, record_id: int) -> StoredRecord:
         """The live record (write path / internal use only)."""
@@ -144,40 +382,106 @@ class EntityStore:
                 f"{self.name}: no record with id {record_id}"
             ) from None
 
-    def get(self, record_id: int) -> StoredRecord:
+    # -- reads -------------------------------------------------------------
+
+    def get(self, record_id: int, deep: bool = False) -> StoredRecord:
         """A defensive snapshot of one record."""
         with self._lock:
-            return self._live(record_id).snapshot()
+            return self._live(record_id).snapshot(
+                deep or self.deep_snapshots
+            )
 
-    def delete(self, record_id: int) -> None:
+    def all(self, deep: bool = False) -> list[StoredRecord]:
+        deep = deep or self.deep_snapshots
         with self._lock:
-            self._live(record_id)
-            del self._records[record_id]
+            return [s.snapshot(deep) for s in self._records.values()]
 
-    def all(self) -> list[StoredRecord]:
-        with self._lock:
-            return [s.snapshot() for s in self._records.values()]
-
-    def query(self, predicate: Callable[[dict], bool]) -> list[StoredRecord]:
+    def query(
+        self, predicate: Callable[[dict], bool], deep: bool = False
+    ) -> list[StoredRecord]:
+        deep = deep or self.deep_snapshots
         with self._lock:
             return [
-                s.snapshot()
+                s.snapshot(deep)
                 for s in self._records.values()
                 if predicate(s.data)
             ]
 
+    def find_by(
+        self, field_name: str, value, deep: bool = False
+    ) -> list[StoredRecord]:
+        """Records whose ``field_name`` equals ``value`` — O(1) when the
+        field is indexed (``create_index``), a scan otherwise.  Results
+        come back in insertion order either way, exactly like
+        :meth:`query` with an equality predicate."""
+        deep = deep or self.deep_snapshots
+        with self._lock:
+            index = self._field_indexes.get(field_name)
+            if index is None:
+                return [
+                    s.snapshot(deep)
+                    for s in self._records.values()
+                    if s.data.get(field_name) == value
+                ]
+            try:
+                matches = index.get(value)
+            except TypeError:
+                # unhashable lookup value: such values never enter the
+                # index, so only the scan can answer equality for them
+                return [
+                    s.snapshot(deep)
+                    for s in self._records.values()
+                    if s.data.get(field_name) == value
+                ]
+            if not matches:
+                return []
+            if len(matches) == len(self._records):
+                return [s.snapshot(deep) for s in self._records.values()]
+            return [
+                s.snapshot(deep)
+                for record_id, s in self._records.items()
+                if record_id in matches
+            ]
+
     def select_snapshots(
-        self, predicate: Callable[[StoredRecord], bool]
+        self, predicate: Callable[[StoredRecord], bool], deep: bool = False
     ) -> list[StoredRecord]:
         """Snapshots of the records matching a whole-record predicate.
 
         Unlike :meth:`query` the predicate sees the full record (metadata
-        included), and only the matching records pay the copy cost — the
-        confidentiality-filtered read path goes through here.
+        included), and only the matching records pay the copy cost — this
+        is the index-free *oracle* for the confidentiality-filtered read
+        path (:meth:`readable_snapshots` is the indexed equivalent).
         """
+        deep = deep or self.deep_snapshots
         with self._lock:
             return [
-                s.snapshot() for s in self._records.values() if predicate(s)
+                s.snapshot(deep) for s in self._records.values()
+                if predicate(s)
+            ]
+
+    def readable_snapshots(
+        self, user: str, user_level: int, deep: bool = False
+    ) -> list[StoredRecord]:
+        """Confidentiality-filtered snapshots via the hash index.
+
+        Semantically identical to ``select_snapshots(lambda s:
+        s.metadata.accessible_by(user, user_level))`` — the property
+        tests hold the two paths equal — but the per-record Python
+        predicate is replaced by set unions and C-speed membership
+        checks.  Insertion order is preserved.
+        """
+        deep = deep or self.deep_snapshots
+        with self._lock:
+            readable = self._confidentiality.readable_ids(user, user_level)
+            if not readable:
+                return []
+            if len(readable) == len(self._records):
+                return [s.snapshot(deep) for s in self._records.values()]
+            return [
+                s.snapshot(deep)
+                for record_id, s in self._records.items()
+                if record_id in readable
             ]
 
     def __len__(self) -> int:
@@ -224,6 +528,13 @@ class ContentStore:
         with self._lock:
             return list(self._entities)
 
+    def set_deep_snapshots(self, enabled: bool) -> None:
+        """Force (or release) the deepcopy snapshot path on every entity —
+        the benchmark baseline switch."""
+        with self._lock:
+            for store in self._entities.values():
+                store.deep_snapshots = enabled
+
     # -- DQ-aware operations ----------------------------------------------
 
     def store(
@@ -241,6 +552,7 @@ class ContentStore:
             stored = entity.insert(data, record_id=record_id)
             stored.metadata.record_store(user, self.clock)
             stored.metadata.restrict(security_level, available_to)
+            entity.reindex_metadata(stored.record_id)
             return stored
 
     def modify(
@@ -253,13 +565,36 @@ class ContentStore:
             stored.metadata.record_modification(user, self.clock)
             return stored
 
+    def restrict(
+        self,
+        entity_name: str,
+        record_id: int,
+        security_level: int = 0,
+        available_to: Iterable[str] = (),
+    ) -> StoredRecord:
+        """Re-stamp a record's confidentiality metadata, index included.
+
+        Confidentiality metadata must change through here (or
+        :meth:`store`) so the clearance index never drifts from the
+        sidecar.
+        """
+        entity = self.entity(entity_name)
+        with entity._lock:
+            stored = entity._live(record_id)
+            stored.metadata.restrict(security_level, available_to)
+            entity.reindex_metadata(record_id)
+            return stored
+
     def readable_by(
         self, entity_name: str, user: str, user_level: int
     ) -> list[StoredRecord]:
-        """Confidentiality-filtered read (the paper's Confidentiality DQR)."""
-        return self.entity(entity_name).select_snapshots(
-            lambda stored: stored.metadata.accessible_by(user, user_level)
-        )
+        """Confidentiality-filtered read (the paper's Confidentiality DQR).
+
+        Served from the per-entity clearance index; the full-scan
+        predicate path (:meth:`EntityStore.select_snapshots`) remains as
+        the oracle the property tests compare against.
+        """
+        return self.entity(entity_name).readable_snapshots(user, user_level)
 
     def total_records(self) -> int:
         with self._lock:

@@ -1,0 +1,39 @@
+"""Fast performance floors, wired into tier-1 (``cluster-bench --smoke``).
+
+A sized-down run of the full comparison harness must keep the headline
+guarantees of the scaling extension: the cached 4-shard gateway at least
+**2x** the single-shard uncached baseline, and at least **50%** of
+healthy throughput retained with shard 0 crashed.  ``run_smoke`` retries
+a missed floor up to three times so only a repeated miss — a real
+regression, not a loaded machine — fails the suite.
+"""
+
+import io
+
+import pytest
+
+from repro.cli import main
+from repro.cluster import run_smoke
+
+
+@pytest.mark.bench
+def test_smoke_floors_hold():
+    result = run_smoke()
+    print()
+    print(result.render())
+    assert result.passed, result.render()
+    assert result.comparison.speedup >= 2.0
+    assert result.comparison.degradation >= 0.5
+    # the comparison itself stayed violation-free on every row
+    for row in result.comparison.rows:
+        assert row.report.leaks == []
+        assert row.report.untagged_stale == []
+
+
+@pytest.mark.bench
+def test_cli_smoke_mode_exits_zero():
+    out = io.StringIO()
+    assert main(["cluster-bench", "--smoke"], out=out) == 0
+    rendered = out.getvalue()
+    assert "smoke floors" in rendered
+    assert "PASS" in rendered
