@@ -1,0 +1,80 @@
+"""Validation-pipeline bench (ours): fused compiled plans vs legacy.
+
+The compiled-pipeline overhaul claims three acceptance floors, measured
+in one run on the EasyChair review chain: a fused single-record
+``findings()`` at least **3x** the interpreted validator walk, the
+vectorized prebound ``check_batch`` at least **5x** per-record legacy,
+and **zero** behavioural diffs between the two paths across a mixed
+clean/defective/adversarial sweep.  The run also writes the
+machine-readable ``BENCH_validate.json`` at the repo root.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.cluster import run_validation_bench
+
+VALIDATE_JSON = (
+    pathlib.Path(__file__).resolve().parent.parent / "BENCH_validate.json"
+)
+
+
+@pytest.mark.vbench
+@pytest.mark.bench
+@pytest.mark.slow
+def test_validation_floors_and_report():
+    """The overhaul's acceptance floors, best-of-3 with one retry."""
+    result = None
+    for _ in range(2):
+        result = run_validation_bench(json_path=VALIDATE_JSON)
+        if result.passed:
+            break
+    print()
+    print(result.render())
+    assert result.single_speedup >= 3.0, result.render()
+    assert result.batch_speedup >= 5.0, result.render()
+    assert result.equivalence_diffs == 0, result.render()
+    report = result.as_dict()
+    assert VALIDATE_JSON.exists()
+    names = [row["name"] for row in report["rows"]]
+    assert names == [
+        "validate legacy", "validate fused",
+        "validate fused batch", "admit fused",
+        "validate legacy dirty mix", "validate fused dirty mix",
+    ]
+    for row in report["rows"]:
+        assert row["ops_per_second"] > 0
+        assert row["p50_us"] <= row["p99_us"]
+    assert report["floors"]["met"] is True
+
+
+@pytest.mark.vbench
+def test_fused_single_record_validate(benchmark):
+    """One fused ``findings()`` call on a clean prebound review."""
+    from repro.casestudy import easychair
+
+    app = easychair.build_app()
+    form = app.form("Add all data as result of review form")
+    record = form.bind(easychair.complete_review())
+    plan = form.compiled_plan()
+    assert benchmark(plan.findings, record) == []
+
+
+@pytest.mark.vbench
+def test_fused_batch_validate(benchmark):
+    """One vectorized ``check_batch`` over 128 prebound reviews."""
+    from repro.casestudy import easychair
+
+    app = easychair.build_app()
+    form = app.form("Add all data as result of review form")
+    records = [
+        form.bind(easychair.complete_review()) for _ in range(128)
+    ]
+    plan = form.compiled_plan()
+
+    def batch():
+        per_record = plan.check_batch(records, True)
+        assert not any(per_record)
+
+    benchmark(batch)

@@ -21,9 +21,11 @@ Subcommands mirror the pipeline stages:
   against the single-shard serving path on the read-heavy mix; with
   ``--faults``, add a row with one shard crashed to measure how much
   throughput the resilience layer retains; ``--smoke`` asserts the fast
-  performance floors (exit 1 on a miss) and ``--hotpath`` runs the
-  copy-on-write / write-batching / field-index microbenchmarks
-  (``--json PATH`` writes the machine-readable report);
+  performance floors (exit 1 on a miss), ``--hotpath`` runs the
+  copy-on-write / write-batching / field-index microbenchmarks, and
+  ``--validate`` runs the compiled-validation bench (fused plans vs the
+  legacy interpreted chain; exit 1 on a missed floor) — both accept
+  ``--json PATH`` for the machine-readable report;
 * ``chaos`` — run the deterministic fault-injection harness against the
   sharded gateway and verify every DQ guarantee held; exit code 1 on any
   violation.
@@ -140,9 +142,16 @@ def build_parser() -> argparse.ArgumentParser:
              "write batching, field indexes) instead of the comparison",
     )
     cluster_bench.add_argument(
+        "--validate", action="store_true",
+        help="run the compiled-validation bench (fused plans vs the "
+             "legacy interpreted chain, with the zero-diff equivalence "
+             "sweep); exit 1 on a missed floor",
+    )
+    cluster_bench.add_argument(
         "--json", metavar="PATH", default=None,
-        help="with --hotpath: also write the machine-readable report "
-             "(e.g. BENCH_hotpath.json)",
+        help="with --hotpath or --validate: also write the "
+             "machine-readable report (e.g. BENCH_hotpath.json / "
+             "BENCH_validate.json)",
     )
 
     chaos = commands.add_parser(
@@ -324,7 +333,12 @@ def _command_experiments(args, out) -> int:
 
 
 def _command_cluster_bench(args, out) -> int:
-    from repro.cluster import run_comparison, run_hotpath_bench, run_smoke
+    from repro.cluster import (
+        run_comparison,
+        run_hotpath_bench,
+        run_smoke,
+        run_validation_bench,
+    )
 
     if args.hotpath:
         hotpath = run_hotpath_bench(
@@ -334,6 +348,14 @@ def _command_cluster_bench(args, out) -> int:
         if args.json:
             print(f"wrote {args.json}", file=out)
         return 0
+    if args.validate:
+        validation = run_validation_bench(
+            seed=args.seed, json_path=args.json,
+        )
+        print(validation.render(), file=out)
+        if args.json:
+            print(f"wrote {args.json}", file=out)
+        return 0 if validation.passed else 1
     if args.smoke:
         smoke = run_smoke(shard_count=args.shards, seed=args.seed)
         print(smoke.render(), file=out)

@@ -27,9 +27,11 @@ from .bench import (
     HotpathResult,
     HotpathRow,
     SmokeResult,
+    ValidationBenchResult,
     run_comparison,
     run_hotpath_bench,
     run_smoke,
+    run_validation_bench,
 )
 from .cache import CacheStats, LastGoodStore, ReadThroughCache
 from .gateway import GatewayRoute, ShardedGateway
@@ -97,6 +99,7 @@ __all__ = [
     "ShardUnavailable",
     "ShardedGateway",
     "SmokeResult",
+    "ValidationBenchResult",
     "WorkloadSpec",
     "easychair_spec",
     "fnv1a",
@@ -104,5 +107,6 @@ __all__ = [
     "run_comparison",
     "run_hotpath_bench",
     "run_smoke",
+    "run_validation_bench",
     "verify_guarantees",
 ]

@@ -151,7 +151,9 @@ def _measure(
         elapsed=elapsed,
         report=report,
         cache_hit_rate=gateway.cache.stats.hit_rate,
-        metrics_text=gateway.metrics.render(gateway.cache.stats),
+        metrics_text=gateway.metrics.render(
+            gateway.cache.stats, gateway.validation_stats()
+        ),
     )
 
 
@@ -595,6 +597,7 @@ class SmokeResult:
     failures: list
     min_speedup: float
     min_retention: float
+    validation: Optional["ValidationBenchResult"] = None
 
     def render(self) -> str:
         verdict = "PASS" if self.passed else "FAIL"
@@ -604,6 +607,16 @@ class SmokeResult:
             f"cached >= {self.min_speedup:.1f}x baseline, "
             f"faulted >= {self.min_retention:.0%} of healthy",
         ]
+        if self.validation is not None:
+            lines.append(
+                f"validation floors: fused "
+                f"{self.validation.single_speedup:.2f}x legacy "
+                f"(>= {self.validation.min_single_speedup:.1f}x), batched "
+                f"{self.validation.batch_speedup:.2f}x legacy "
+                f"(>= {self.validation.min_batch_speedup:.1f}x), "
+                f"{self.validation.equivalence_diffs} behavioural diff(s) "
+                f"over {self.validation.equivalence_records} record(s)"
+            )
         lines.extend(f"  floor missed: {failure}" for failure in self.failures)
         return "\n".join(lines)
 
@@ -618,12 +631,14 @@ def run_smoke(
     attempts: int = 3,
 ) -> SmokeResult:
     """A fast floor check: cached gateway at least ``min_speedup`` x the
-    single-shard baseline, and at least ``min_retention`` of healthy
-    throughput retained with shard 0 down.  Wall-clock comparisons on a
-    busy machine can flake, so a missed floor is retried up to
-    ``attempts`` times and only a repeated miss fails."""
+    single-shard baseline, at least ``min_retention`` of healthy
+    throughput retained with shard 0 down, and the compiled-validation
+    floors (:func:`run_validation_bench`, at smoke scale).  Wall-clock
+    comparisons on a busy machine can flake, so a missed floor is retried
+    up to ``attempts`` times and only a repeated miss fails."""
     failures: list = []
     result = None
+    validation = None
     for attempt in range(1, attempts + 1):
         result = run_comparison(
             shard_count=shard_count, count=count, preload=preload,
@@ -640,10 +655,322 @@ def run_smoke(
                 f"faulted retention {result.degradation:.1%} < "
                 f"{min_retention:.0%} of healthy"
             )
+        validation = run_validation_bench(
+            count=800, equivalence_count=200, seed=seed, rounds=2,
+        )
+        failures.extend(validation.floor_failures())
         if not failures:
             return SmokeResult(
-                result, attempt, True, [], min_speedup, min_retention
+                result, attempt, True, [], min_speedup, min_retention,
+                validation,
             )
     return SmokeResult(
-        result, attempts, False, failures, min_speedup, min_retention
+        result, attempts, False, failures, min_speedup, min_retention,
+        validation,
     )
+
+
+# ---------------------------------------------------------------------------
+# Validation bench: fused compiled plans vs the legacy interpreted walk
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ValidationBenchResult:
+    """Fused-validation measurements plus the zero-diff equivalence sweep.
+
+    The floors are the compiled-pipeline acceptance numbers: a fused
+    single-record ``findings()`` at least ``min_single_speedup`` x the
+    legacy interpreted walk, the vectorized prebound batch at least
+    ``min_batch_speedup`` x per-record legacy, and **zero** behavioural
+    diffs between the two paths across the mixed clean/defective/raw
+    EasyChair sweep.  Dirty-mix rows are informational (defective records
+    take the exact slow lane, so their margin is structurally smaller).
+    """
+
+    seed: int
+    count: int
+    rows: list
+    equivalence_records: int
+    equivalence_diffs: int
+    plan_cache: dict
+    signature: str
+    min_single_speedup: float = 3.0
+    min_batch_speedup: float = 5.0
+
+    def _row(self, name: str) -> HotpathRow:
+        for row in self.rows:
+            if row.name == name:
+                return row
+        raise KeyError(name)
+
+    def _speedup(self, fast: str, slow: str) -> float:
+        base = self._row(slow).ops_per_second
+        return self._row(fast).ops_per_second / base if base else 0.0
+
+    @property
+    def single_speedup(self) -> float:
+        """Fused single-record ``findings()`` over the legacy walk."""
+        return self._speedup("validate fused", "validate legacy")
+
+    @property
+    def batch_speedup(self) -> float:
+        """Vectorized prebound ``check_batch`` over per-record legacy."""
+        return self._speedup("validate fused batch", "validate legacy")
+
+    @property
+    def admit_speedup(self) -> float:
+        """Fail-fast ``admit()`` over the legacy walk (informational)."""
+        return self._speedup("admit fused", "validate legacy")
+
+    @property
+    def dirty_speedup(self) -> float:
+        """Fused vs legacy on the defective mix (informational)."""
+        return self._speedup(
+            "validate fused dirty mix", "validate legacy dirty mix"
+        )
+
+    def floor_failures(self) -> list:
+        """Every missed acceptance floor, as human-readable strings."""
+        failures = []
+        if self.single_speedup < self.min_single_speedup:
+            failures.append(
+                f"fused validation {self.single_speedup:.2f}x < "
+                f"{self.min_single_speedup:.1f}x legacy"
+            )
+        if self.batch_speedup < self.min_batch_speedup:
+            failures.append(
+                f"batched validation {self.batch_speedup:.2f}x < "
+                f"{self.min_batch_speedup:.1f}x per-record legacy"
+            )
+        if self.equivalence_diffs:
+            failures.append(
+                f"{self.equivalence_diffs} behavioural diff(s) between "
+                f"fused and legacy over {self.equivalence_records} record(s)"
+            )
+        return failures
+
+    @property
+    def passed(self) -> bool:
+        return not self.floor_failures()
+
+    def as_dict(self) -> dict:
+        return {
+            "benchmark": "validate",
+            "seed": self.seed,
+            "count": self.count,
+            "plan_signature": self.signature,
+            "rows": [row.as_dict() for row in self.rows],
+            "speedups": {
+                "fused_single_vs_legacy": round(self.single_speedup, 2),
+                "fused_batch_vs_legacy": round(self.batch_speedup, 2),
+                "fused_admit_vs_legacy": round(self.admit_speedup, 2),
+                "fused_vs_legacy_dirty_mix": round(self.dirty_speedup, 2),
+            },
+            "floors": {
+                "min_single_speedup": self.min_single_speedup,
+                "min_batch_speedup": self.min_batch_speedup,
+                "max_equivalence_diffs": 0,
+                "met": self.passed,
+            },
+            "equivalence": {
+                "records": self.equivalence_records,
+                "diffs": self.equivalence_diffs,
+            },
+            "plan_cache": dict(self.plan_cache),
+        }
+
+    def write_json(self, path) -> None:
+        """Emit the machine-readable report (``BENCH_validate.json``)."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.as_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    def render(self) -> str:
+        header = (
+            f"validation pipeline bench — EasyChair chain "
+            f"(plan {self.signature}), {self.count} record(s), "
+            f"seed {self.seed}"
+        )
+        body = render_table(
+            ["Path", "Ops", "Ops/s", "p50 µs", "p99 µs"],
+            [
+                [
+                    row.name,
+                    str(row.operations),
+                    f"{row.ops_per_second:,.0f}",
+                    f"{row.p50_us}",
+                    f"{row.p99_us}",
+                ]
+                for row in self.rows
+            ],
+            max_width=60,
+        )
+        footer = (
+            f"fused: {self.single_speedup:.2f}x legacy · "
+            f"batched: {self.batch_speedup:.2f}x legacy · "
+            f"admit: {self.admit_speedup:.2f}x legacy · "
+            f"dirty mix: {self.dirty_speedup:.2f}x\n"
+            f"equivalence: {self.equivalence_diffs} diff(s) over "
+            f"{self.equivalence_records} mixed record(s); floors "
+            f"{'met' if self.passed else 'MISSED'} "
+            f"(>= {self.min_single_speedup:.1f}x single, "
+            f">= {self.min_batch_speedup:.1f}x batched, zero diffs)"
+        )
+        return f"{header}\n{body}\n{footer}"
+
+
+def run_validation_bench(
+    count: int = 2000,
+    batch_size: int = 128,
+    dirty_fraction: float = 0.25,
+    equivalence_count: int = 600,
+    seed: int = 23,
+    rounds: int = 3,
+    min_single_speedup: float = 3.0,
+    min_batch_speedup: float = 5.0,
+    json_path=None,
+) -> ValidationBenchResult:
+    """Measure the compiled validation pipeline against its legacy oracle.
+
+    The workload is the paper's own: the EasyChair review form's full
+    validator chain (completeness over all ten fields plus precision over
+    the five scored fields), compiled once into a fused plan.  Five paths
+    run over the identical ``count`` prebound clean records, best-of-
+    ``rounds`` with rounds interleaved:
+
+    1. **validate legacy** — the per-record interpreted walk;
+    2. **validate fused** — the fused ``findings()`` fast path;
+    3. **validate fused batch** — vectorized ``check_batch`` in prebound
+       chunks of ``batch_size`` (per-op latencies amortized per chunk);
+    4. **admit fused** — the fail-fast boolean admission;
+    5. a **dirty mix** pair (``dirty_fraction`` defective records) rides
+       along informationally — defective records take the exact slow
+       lane, so this bounds the worst-case margin.
+
+    The equivalence sweep then replays ``equivalence_count`` mixed
+    clean/defective payloads — bound, raw (unbound layouts), and a few
+    adversarial shapes — through both paths, single and batched, and
+    counts behavioural diffs; the floor is zero.
+
+    ``json_path`` additionally writes ``BENCH_validate.json``.
+    """
+    from repro.casestudy import easychair
+    from repro.runtime.vpipeline import PlanCache
+
+    app = easychair.build_app()
+    generator = LoadGenerator(seed=seed)
+    spec = generator.spec
+    form = app.form(spec.form)
+    cache = PlanCache()
+    form.use_plan_cache(cache)
+    plan = form.compiled_plan()
+    legacy = form._validate_legacy
+
+    rng = random.Random(seed)
+    clean = [form.bind(spec.clean_payload(rng)) for _ in range(count)]
+    mixed = [
+        form.bind(
+            spec.defective_payload(rng)
+            if rng.random() < dirty_fraction
+            else spec.clean_payload(rng)
+        )
+        for _ in range(count)
+    ]
+
+    def legacy_pass(records, name) -> HotpathRow:
+        elapsed, samples = _timed_loop(
+            [(lambda r=r: legacy(r)) for r in records]
+        )
+        return HotpathRow(name, len(records), elapsed, samples)
+
+    def fused_pass(records, name) -> HotpathRow:
+        findings = plan.findings
+        elapsed, samples = _timed_loop(
+            [(lambda r=r: findings(r)) for r in records]
+        )
+        return HotpathRow(name, len(records), elapsed, samples)
+
+    def batch_pass() -> HotpathRow:
+        check_batch = plan.check_batch
+        samples = []
+        gc.collect()
+        was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            start = time.perf_counter()
+            for begin in range(0, count, batch_size):
+                chunk = clean[begin:begin + batch_size]
+                began = time.perf_counter()
+                check_batch(chunk, True)
+                per_op = (time.perf_counter() - began) / len(chunk)
+                samples.extend([per_op] * len(chunk))
+            elapsed = time.perf_counter() - start
+        finally:
+            if was_enabled:
+                gc.enable()
+        return HotpathRow("validate fused batch", count, elapsed, samples)
+
+    def admit_pass() -> HotpathRow:
+        admit = plan.admit
+        elapsed, samples = _timed_loop(
+            [(lambda r=r: admit(r)) for r in clean]
+        )
+        return HotpathRow("admit fused", count, elapsed, samples)
+
+    rows = _best_of(
+        [
+            lambda: legacy_pass(clean, "validate legacy"),
+            lambda: fused_pass(clean, "validate fused"),
+            batch_pass,
+            admit_pass,
+            lambda: legacy_pass(mixed, "validate legacy dirty mix"),
+            lambda: fused_pass(mixed, "validate fused dirty mix"),
+        ],
+        rounds,
+    )
+
+    # -- zero-behavioural-diff sweep: fused must equal legacy exactly ----
+    eq_rng = random.Random(seed + 1)
+    sweep: list[dict] = []
+    for _ in range(equivalence_count):
+        payload = (
+            spec.defective_payload(eq_rng)
+            if eq_rng.random() < 0.5
+            else spec.clean_payload(eq_rng)
+        )
+        # alternate bound records (the fast layout) with raw payloads
+        # (extra/missing keys — the layout guard must reroute these)
+        sweep.append(form.bind(payload) if eq_rng.random() < 0.5 else payload)
+    sweep.extend([
+        {},  # everything missing
+        {"overall_evaluation": "not-a-number", "unknown_key": object()},
+        {field: "" for field in form.fields},  # all blank strings
+        {field: 2.5 for field in form.fields},  # floats take the slow lane
+        dict(reversed(list(form.bind(spec.clean_payload(eq_rng)).items()))),
+    ])
+    diffs = 0
+    for record in sweep:
+        if plan.findings(record) != legacy(record):
+            diffs += 1  # pragma: no cover - would be a compiler bug
+    batched = plan.check_batch(sweep)
+    for per_batch, record in zip(batched, sweep):
+        if per_batch != legacy(record):
+            diffs += 1  # pragma: no cover - would be a compiler bug
+        if plan.admit(record) != (not legacy(record)):
+            diffs += 1  # pragma: no cover - would be a compiler bug
+
+    result = ValidationBenchResult(
+        seed=seed,
+        count=count,
+        rows=rows,
+        equivalence_records=len(sweep),
+        equivalence_diffs=diffs,
+        plan_cache=cache.stats(),
+        signature=plan.digest,
+        min_single_speedup=min_single_speedup,
+        min_batch_speedup=min_batch_speedup,
+    )
+    if json_path is not None:
+        result.write_json(json_path)
+    return result

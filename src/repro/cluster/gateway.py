@@ -215,14 +215,23 @@ class ShardedGateway:
         ``baseline=True`` builds no-DQ shards — the comparison harness.
         """
         from repro.runtime.dqengine import build_app, build_baseline_app
+        from repro.runtime.vpipeline import PlanCache
 
-        builder = build_baseline_app if baseline else build_app
         shards = []
-        for _ in range(shard_count):
-            app = builder(design_model, clock=Clock())
+        if baseline:
+            for _ in range(shard_count):
+                shards.append(build_baseline_app(design_model, clock=Clock()))
+        else:
+            # all shards run identical chains: one shared plan cache
+            # means each chain compiles exactly once fleet-wide
+            plan_cache = PlanCache()
+            for _ in range(shard_count):
+                shards.append(build_app(
+                    design_model, clock=Clock(), plan_cache=plan_cache,
+                ))
+        for app in shards:
             for name, level, roles in users:
                 app.add_user(name, level, roles)
-            shards.append(app)
         gateway = cls(shards, **gateway_options)
         for route in design_model.routes:
             if route.kind == "create":
@@ -257,6 +266,20 @@ class ShardedGateway:
     @property
     def routes(self) -> list[GatewayRoute]:
         return list(self._routes)
+
+    def validation_stats(self) -> dict:
+        """Aggregated validator-pipeline counters across every shard.
+
+        Shards built by :meth:`from_design` share one plan cache, which
+        :meth:`~repro.runtime.vpipeline.ValidationStats.merge` counts
+        exactly once.
+        """
+        from repro.runtime.vpipeline import ValidationStats
+
+        return ValidationStats.merge(
+            (shard.validation.as_dict() for shard in self.shards),
+            (shard.plan_cache for shard in self.shards),
+        )
 
     def close(self) -> None:
         """Stop accepting requests; in-flight dispatches drain first."""

@@ -120,8 +120,14 @@ class GatewayMetrics:
 
     # -- reading ---------------------------------------------------------
 
-    def snapshot(self, cache_stats=None) -> dict:
-        """A point-in-time copy of every counter, as plain data."""
+    def snapshot(self, cache_stats=None, validation_stats=None) -> dict:
+        """A point-in-time copy of every counter, as plain data.
+
+        ``validation_stats`` is the dict
+        :meth:`repro.runtime.vpipeline.ValidationStats.merge` produces
+        (``validation_us``, ``plan_cache_hits``, …) — the gateway passes
+        its aggregated per-shard numbers here.
+        """
         with self._lock:
             total = sum(s.count for s in self._operations.values())
             snap = {
@@ -170,11 +176,13 @@ class GatewayMetrics:
                 }
         if cache_stats is not None:
             snap["cache"] = cache_stats.as_dict()
+        if validation_stats is not None:
+            snap["validation"] = dict(validation_stats)
         return snap
 
-    def render(self, cache_stats=None) -> str:
+    def render(self, cache_stats=None, validation_stats=None) -> str:
         """The metrics snapshot as aligned text tables."""
-        snap = self.snapshot(cache_stats)
+        snap = self.snapshot(cache_stats, validation_stats)
         sections = [
             f"gateway over {snap['shard_count']} shard(s) — "
             f"{snap['requests']} request(s), "
@@ -231,5 +239,15 @@ class GatewayMetrics:
                 f"(rate {cache['hit_rate']:.2%}), "
                 f"{cache['invalidations']} invalidation(s), "
                 f"{cache['evictions']} eviction(s)"
+            )
+        if "validation" in snap:
+            val = snap["validation"]
+            sections.append(
+                f"validation: {val['checks']} check(s) in "
+                f"{val['validation_us']}µs "
+                f"(mean {val['mean_us']}µs, {val['batches']} batch(es)), "
+                f"plan cache {val['plan_cache_hits']} hit(s) / "
+                f"{val['plan_cache_misses']} miss(es), "
+                f"{val['plans_compiled']} plan(s) compiled"
             )
         return "\n".join(sections)

@@ -546,6 +546,17 @@ class ChaosResult:
                     for kind, count in sorted(self.applied.items())
                 )
             )
+        validation = self.metrics.get("validation")
+        if validation:
+            # Counters only — wall-clock µs would break the byte-identical
+            # stdout guarantee for repeated same-seed chaos runs.
+            sections.append(
+                f"validation: {validation['checks']} check(s) "
+                f"({validation['batches']} batch(es)), "
+                f"plan cache {validation['plan_cache_hits']} hit(s) / "
+                f"{validation['plan_cache_misses']} miss(es), "
+                f"{validation['plans_compiled']} plan(s) compiled"
+            )
         if self.violations:
             sections.append(
                 f"guarantee report: {len(self.violations)} VIOLATION(S)"
@@ -630,7 +641,9 @@ def run_chaos(
         applied = Counter(
             gateway.fault_injector.applied
         ) if gateway.fault_injector else Counter()
-        metrics = gateway.metrics.snapshot(gateway.cache.stats)
+        metrics = gateway.metrics.snapshot(
+            gateway.cache.stats, gateway.validation_stats()
+        )
     finally:
         gateway.close()
     return ChaosResult(

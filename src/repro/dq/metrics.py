@@ -12,7 +12,20 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Callable, Iterable, Mapping, Optional, Sequence
+
+
+@lru_cache(maxsize=512)
+def compiled_pattern(pattern: str) -> re.Pattern:
+    """One shared compiled regex per pattern string, process-wide.
+
+    Every consumer of a DQ format pattern — :class:`FormatValidator`
+    construction, the measurement functions below, the profiler's known
+    patterns — funnels through this cache, so a pattern is parsed once no
+    matter how many validators, shards or scorecards reference it.
+    """
+    return re.compile(pattern)
 
 
 def _is_missing(value) -> bool:
@@ -112,7 +125,7 @@ def format_valid(value, pattern: str) -> bool:
     """True when the value is a string fully matching ``pattern``."""
     if not isinstance(value, str):
         return False
-    return re.fullmatch(pattern, value) is not None
+    return compiled_pattern(pattern).fullmatch(value) is not None
 
 
 def format_validity_ratio(
@@ -121,7 +134,12 @@ def format_validity_ratio(
     records = list(records)
     if not records:
         return 1.0
-    valid = sum(1 for r in records if format_valid(r.get(field), pattern))
+    compiled = compiled_pattern(pattern)
+    valid = sum(
+        1
+        for r in records
+        if isinstance(r.get(field), str) and compiled.fullmatch(r[field])
+    )
     return valid / len(records)
 
 

@@ -24,12 +24,11 @@ Heuristics (each cites the characteristic it evidences):
 from __future__ import annotations
 
 import math
-import re
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Optional, Sequence
 
 from . import iso25012
-from .metrics import _is_missing
+from .metrics import _is_missing, compiled_pattern
 from .requirements import DataQualityRequirement
 
 #: Recognizable value patterns, tried in order.
@@ -101,7 +100,8 @@ class FieldProfile:
         if not strings or len(strings) != len(self.values):
             return None
         for label, pattern in KNOWN_PATTERNS:
-            if all(re.fullmatch(pattern, s) for s in strings):
+            compiled = compiled_pattern(pattern)
+            if all(compiled.fullmatch(s) for s in strings):
                 return (label, pattern)
         return None
 

@@ -13,11 +13,10 @@ Validators examine plain record dicts and return :class:`Finding` lists;
 
 from __future__ import annotations
 
-import re
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Mapping, Optional, Sequence
 
-from .metrics import _is_missing, in_bounds
+from .metrics import _is_missing, compiled_pattern, in_bounds
 
 
 @dataclass(frozen=True)
@@ -49,6 +48,14 @@ class Validator:
         raise NotImplementedError
 
     def is_valid(self, record: Mapping) -> bool:
+        """``not check(record)``, but allowed to stop at the first defect.
+
+        Subclasses override this with a short-circuiting test that
+        allocates no :class:`Finding` objects — admission paths that only
+        need the boolean (``Form.admit``, the fused plans' fail-fast
+        lane) call this instead of materializing every finding.  The
+        contract is exact: ``is_valid(r) == (not check(r))`` always.
+        """
         return not self.check(record)
 
     def __repr__(self) -> str:
@@ -72,6 +79,10 @@ class CompletenessValidator(Validator):
             for field in self.required_fields
             if _is_missing(record.get(field))
         ]
+
+    def is_valid(self, record: Mapping) -> bool:
+        get = record.get
+        return not any(_is_missing(get(f)) for f in self.required_fields)
 
 
 class PrecisionValidator(Validator):
@@ -112,6 +123,13 @@ class PrecisionValidator(Validator):
                 )
         return findings
 
+    def is_valid(self, record: Mapping) -> bool:
+        get = record.get
+        return all(
+            in_bounds(get(field_name), lower, upper)
+            for field_name, (lower, upper) in self.bounds.items()
+        )
+
 
 class FormatValidator(Validator):
     """Syntactic accuracy: fields must fully match a regular expression."""
@@ -127,7 +145,9 @@ class FormatValidator(Validator):
         super().__init__(name)
         if not patterns:
             raise ValueError("FormatValidator needs at least one pattern")
-        self.patterns = {f: re.compile(p) for f, p in patterns.items()}
+        # compile once at construction, through the process-wide shared
+        # cache: N validators over the same pattern share one regex object
+        self.patterns = {f: compiled_pattern(p) for f, p in patterns.items()}
         self.allow_missing = allow_missing
 
     def check(self, record: Mapping) -> list[Finding]:
@@ -150,6 +170,17 @@ class FormatValidator(Validator):
                     )
                 )
         return findings
+
+    def is_valid(self, record: Mapping) -> bool:
+        for field_name, pattern in self.patterns.items():
+            value = record.get(field_name)
+            if _is_missing(value):
+                if not self.allow_missing:
+                    return False
+                continue
+            if not isinstance(value, str) or not pattern.fullmatch(value):
+                return False
+        return True
 
 
 class EnumValidator(Validator):
@@ -189,6 +220,17 @@ class EnumValidator(Validator):
                 )
         return findings
 
+    def is_valid(self, record: Mapping) -> bool:
+        for field_name, values in self.allowed.items():
+            value = record.get(field_name)
+            if _is_missing(value):
+                if not self.allow_missing:
+                    return False
+                continue
+            if value not in values:
+                return False
+        return True
+
 
 class ConsistencyValidator(Validator):
     """Cross-field rules: each rule is ``(description, predicate)``."""
@@ -215,6 +257,16 @@ class ConsistencyValidator(Validator):
             if not ok:
                 findings.append(Finding(self.code, "<record>", description))
         return findings
+
+    def is_valid(self, record: Mapping) -> bool:
+        for _description, predicate in self.rules:
+            try:
+                ok = predicate(record)
+            except Exception:
+                ok = False
+            if not ok:
+                return False
+        return True
 
 
 class OclConsistencyValidator(Validator):
@@ -257,6 +309,17 @@ class OclConsistencyValidator(Validator):
                 findings.append(Finding(self.code, "<record>", text))
         return findings
 
+    def is_valid(self, record: Mapping) -> bool:
+        from repro.core.errors import OclError
+
+        for _text, expression in self.rules:
+            try:
+                if expression.evaluate(dict(record)) is not True:
+                    return False
+            except OclError:
+                return False
+        return True
+
 
 class CurrentnessValidator(Validator):
     """Data must not be older than ``max_age`` ticks at check time."""
@@ -286,6 +349,14 @@ class CurrentnessValidator(Validator):
                 )
             ]
         return []
+
+    def is_valid(self, record: Mapping) -> bool:
+        age = record.get(self.age_field)
+        return (
+            age is not None
+            and isinstance(age, (int, float))
+            and age <= self.max_age
+        )
 
 
 class CredibilityValidator(Validator):
@@ -317,6 +388,9 @@ class CredibilityValidator(Validator):
             ]
         return []
 
+    def is_valid(self, record: Mapping) -> bool:
+        return record.get(self.source_field) in self.trusted_sources
+
 
 class UniquenessValidator(Validator):
     """Stateful: rejects a key tuple already seen by this validator."""
@@ -341,6 +415,9 @@ class UniquenessValidator(Validator):
                 )
             ]
         return []
+
+    def is_valid(self, record: Mapping) -> bool:
+        return tuple(record.get(f) for f in self.key_fields) not in self._seen
 
     def commit(self, record: Mapping) -> None:
         """Remember an accepted record's key (call after a successful write)."""

@@ -15,6 +15,7 @@ implements every DQSR family of the paper's case study:
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Callable, Iterable, Optional, Sequence
 
 from repro.core.errors import (
@@ -41,6 +42,7 @@ from .http import (
 from .routing import Handler, Router
 from .security import PolicyBook, UserDirectory
 from .storage import ContentStore, StoredRecord
+from .vpipeline import PlanCache, ValidationStats
 
 
 class BatchResult:
@@ -70,7 +72,13 @@ class BatchResult:
 class WebApp:
     """One simulated, DQ-aware web application."""
 
-    def __init__(self, name: str, clock: Optional[Clock] = None):
+    def __init__(
+        self,
+        name: str,
+        clock: Optional[Clock] = None,
+        compiled: bool = True,
+        plan_cache: Optional[PlanCache] = None,
+    ):
         self.name = name
         self.clock = clock or Clock()
         self.store = ContentStore(self.clock)
@@ -81,6 +89,16 @@ class WebApp:
         self._forms: dict[str, Form] = {}
         self._required_fields: dict[str, tuple] = {}
         self._metadata_captures: dict[str, tuple] = {}
+        # compiled=False is the escape hatch: every form validates via
+        # the legacy interpreted walk instead of fused plans.  A shared
+        # plan_cache (e.g. one cache across all shards of a gateway)
+        # lets identical chains compile once fleet-wide.
+        self.compiled = compiled
+        self.plan_cache = (
+            plan_cache if plan_cache is not None
+            else (PlanCache() if compiled else None)
+        )
+        self.validation = ValidationStats()
 
     # -- configuration (what codegen emits) ----------------------------------
 
@@ -108,6 +126,9 @@ class WebApp:
         existing = set(self._metadata_captures.get(entity, ()))
         existing.update(attributes)
         self._metadata_captures[entity] = tuple(sorted(existing))
+        for form in self._forms.values():
+            if form.entity == entity:
+                form.set_metadata_attributes(self._metadata_captures[entity])
         return self
 
     def register_form(self, form: Form) -> Form:
@@ -117,6 +138,12 @@ class WebApp:
             raise ValueError(
                 f"form {form.name!r} targets unknown entity {form.entity!r}"
             )
+        form.compiled = self.compiled
+        if self.compiled:
+            form.use_plan_cache(self.plan_cache)
+        form.set_metadata_attributes(
+            self._metadata_captures.get(form.entity, ())
+        )
         self._forms[form.name] = form
         return form
 
@@ -156,7 +183,9 @@ class WebApp:
         """
         form = self.form(form_name)
         record = form.bind(data)
+        t0 = perf_counter()
         findings = form.validate(record)
+        self.validation.observe(1, perf_counter() - t0)
         if findings:
             self.audit.record(
                 audit_events.REJECT_DQ,
@@ -168,6 +197,16 @@ class WebApp:
                 f"form {form_name!r}: {len(findings)} DQ finding(s)",
                 findings,
             )
+        return self._store_validated(form, record, user, record_id)
+
+    def _store_validated(
+        self,
+        form: Form,
+        record: dict,
+        user: str,
+        record_id: Optional[int],
+    ) -> StoredRecord:
+        """Authorize + store + stamp one already-validated record."""
         account = self.users.get(user)
         policy = self.policies.for_entity(form.entity)
         try:
@@ -215,7 +254,9 @@ class WebApp:
             )
         merged = dict(current.data)
         merged.update({k: v for k, v in data.items() if k in form.fields})
+        t0 = perf_counter()
         findings = form.validate(merged)
+        self.validation.observe(1, perf_counter() - t0)
         if findings:
             self.audit.record(
                 audit_events.REJECT_DQ,
@@ -264,12 +305,44 @@ class WebApp:
                 f"{len(record_ids)} record id(s) for {len(records)} record(s)"
             )
         result = BatchResult()
-        for index, record in enumerate(records):
+        if not self.compiled:
+            for index, record in enumerate(records):
+                pinned = record_ids[index] if record_ids is not None else None
+                try:
+                    stored = self.submit(
+                        form_name, record, user, record_id=pinned
+                    )
+                except DataQualityViolation as exc:
+                    result.rejected.append((index, exc.findings))
+                except AuthorizationError as exc:
+                    result.unauthorized.append((index, str(exc)))
+                else:
+                    result.accepted.append((index, stored.record_id))
+            return result
+        # compiled: one vectorized validate_batch over the whole chunk
+        # (the records were just bound, so the plan may skip its layout
+        # check), then the per-record authorize/store/audit steps run in
+        # index order exactly as the per-record pipeline would.
+        form = self.form(form_name)
+        bound = [form.bind(record) for record in records]
+        t0 = perf_counter()
+        per_record = form.validate_batch(bound, prebound=True)
+        self.validation.observe(
+            len(bound), perf_counter() - t0, batched=True
+        )
+        for index, (record, findings) in enumerate(zip(bound, per_record)):
             pinned = record_ids[index] if record_ids is not None else None
+            if findings:
+                self.audit.record(
+                    audit_events.REJECT_DQ,
+                    user,
+                    form.entity,
+                    detail="; ".join(f.render() for f in findings),
+                )
+                result.rejected.append((index, findings))
+                continue
             try:
-                stored = self.submit(form_name, record, user, record_id=pinned)
-            except DataQualityViolation as exc:
-                result.rejected.append((index, exc.findings))
+                stored = self._store_validated(form, record, user, pinned)
             except AuthorizationError as exc:
                 result.unauthorized.append((index, str(exc)))
             else:

@@ -87,9 +87,23 @@ def spec_to_validator(spec: MObject) -> Optional[Validator]:
     raise TransformationError(f"unknown validator kind {kind!r}")
 
 
-def build_app(design_model: MObject, clock: Optional[Clock] = None) -> WebApp:
-    """Assemble the full DQ-aware application from a design model."""
-    app = WebApp(design_model.name, clock=clock)
+def build_app(
+    design_model: MObject,
+    clock: Optional[Clock] = None,
+    compiled: bool = True,
+    plan_cache=None,
+) -> WebApp:
+    """Assemble the full DQ-aware application from a design model.
+
+    ``compiled=False`` is the escape hatch back to the interpreted
+    validator walk; ``plan_cache`` shares one compiled-plan cache across
+    many apps (the sharded gateway passes one cache for all shards, so
+    identical chains compile exactly once).
+    """
+    app = WebApp(
+        design_model.name, clock=clock, compiled=compiled,
+        plan_cache=plan_cache,
+    )
     for entity in design_model.entities:
         app.define_entity(
             entity.name,

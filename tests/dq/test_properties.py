@@ -149,3 +149,48 @@ def test_profiler_suggestions_hold_on_their_own_sample(record_list):
                     value = record.get(field)
                     if isinstance(value, int):
                         assert lower <= value <= upper
+
+
+# ---------------------------------------------------------------------------
+# Fail-fast is_valid: every short-circuit must agree with check() exactly
+# ---------------------------------------------------------------------------
+
+def _short_circuit_validators():
+    from repro.dq.validators import (
+        ConsistencyValidator,
+        CredibilityValidator,
+        CurrentnessValidator,
+        EnumValidator,
+        FormatValidator,
+        OclConsistencyValidator,
+    )
+
+    return [
+        CompletenessValidator(["a", "b"]),
+        PrecisionValidator({"a": (1, 5), "b": (-3, 3)}),
+        FormatValidator({"c": r"[a-z]+"}, allow_missing=True),
+        FormatValidator({"c": r"[a-z]+"}, allow_missing=False),
+        EnumValidator({"d": ("x", "y")}, allow_missing=True),
+        EnumValidator({"d": ("x", "y")}, allow_missing=False),
+        ConsistencyValidator([("a set", lambda r: r.get("a") is not None)]),
+        OclConsistencyValidator(["self.a <= 5"]),
+        CurrentnessValidator("a", 10),
+        CredibilityValidator("c", ["crm"]),
+    ]
+
+
+@settings(max_examples=100, deadline=None)
+@given(records)
+def test_is_valid_short_circuit_agrees_with_check(record):
+    """``is_valid`` may stop at the first defect but never disagree."""
+    for validator in _short_circuit_validators():
+        assert validator.is_valid(record) == (not validator.check(record))
+
+
+def test_uniqueness_is_valid_tracks_committed_keys():
+    validator = UniquenessValidator(["a"])
+    record = {"a": 1}
+    assert validator.is_valid(record) == (not validator.check(record))
+    validator.commit(record)
+    assert not validator.is_valid(record)
+    assert validator.check(record)
