@@ -24,8 +24,11 @@ Subcommands mirror the pipeline stages:
   performance floors (exit 1 on a miss), ``--hotpath`` runs the
   copy-on-write / write-batching / field-index microbenchmarks, and
   ``--validate`` runs the compiled-validation bench (fused plans vs the
-  legacy interpreted chain; exit 1 on a missed floor) — both accept
-  ``--json PATH`` for the machine-readable report;
+  legacy interpreted chain; exit 1 on a missed floor), and
+  ``--dqtelemetry`` runs the streaming-DQ-telemetry bench (live
+  scorecards/profiles vs full rescans, with the zero-diff equivalence
+  sweep; exit 1 on a missed floor) — all three accept ``--json PATH``
+  for the machine-readable report;
 * ``chaos`` — run the deterministic fault-injection harness against the
   sharded gateway and verify every DQ guarantee held; exit code 1 on any
   violation.
@@ -148,10 +151,17 @@ def build_parser() -> argparse.ArgumentParser:
              "sweep); exit 1 on a missed floor",
     )
     cluster_bench.add_argument(
+        "--dqtelemetry", action="store_true",
+        help="run the streaming-DQ-telemetry bench (live scorecards and "
+             "profiler suggestions from mergeable accumulators vs full "
+             "rescans, with the zero-diff equivalence sweep); exit 1 on "
+             "a missed floor",
+    )
+    cluster_bench.add_argument(
         "--json", metavar="PATH", default=None,
-        help="with --hotpath or --validate: also write the "
-             "machine-readable report (e.g. BENCH_hotpath.json / "
-             "BENCH_validate.json)",
+        help="with --hotpath, --validate or --dqtelemetry: also write "
+             "the machine-readable report (e.g. BENCH_hotpath.json / "
+             "BENCH_validate.json / BENCH_dqtelemetry.json)",
     )
 
     chaos = commands.add_parser(
@@ -335,11 +345,20 @@ def _command_experiments(args, out) -> int:
 def _command_cluster_bench(args, out) -> int:
     from repro.cluster import (
         run_comparison,
+        run_dqtelemetry_bench,
         run_hotpath_bench,
         run_smoke,
         run_validation_bench,
     )
 
+    if args.dqtelemetry:
+        telemetry = run_dqtelemetry_bench(
+            shard_count=args.shards, seed=args.seed, json_path=args.json,
+        )
+        print(telemetry.render(), file=out)
+        if args.json:
+            print(f"wrote {args.json}", file=out)
+        return 0 if telemetry.passed else 1
     if args.hotpath:
         hotpath = run_hotpath_bench(
             shard_count=args.shards, seed=args.seed, json_path=args.json,

@@ -24,11 +24,13 @@ harness.
 from .bench import (
     ComparisonResult,
     ComparisonRow,
+    DQTelemetryBenchResult,
     HotpathResult,
     HotpathRow,
     SmokeResult,
     ValidationBenchResult,
     run_comparison,
+    run_dqtelemetry_bench,
     run_hotpath_bench,
     run_smoke,
     run_validation_bench,
@@ -75,6 +77,7 @@ __all__ = [
     "CircuitBreaker",
     "ComparisonResult",
     "ComparisonRow",
+    "DQTelemetryBenchResult",
     "DROP",
     "DUPLICATE",
     "FaultInjector",
@@ -105,6 +108,7 @@ __all__ = [
     "fnv1a",
     "run_chaos",
     "run_comparison",
+    "run_dqtelemetry_bench",
     "run_hotpath_bench",
     "run_smoke",
     "run_validation_bench",

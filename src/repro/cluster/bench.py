@@ -598,6 +598,7 @@ class SmokeResult:
     min_speedup: float
     min_retention: float
     validation: Optional["ValidationBenchResult"] = None
+    dqtelemetry: Optional["DQTelemetryBenchResult"] = None
 
     def render(self) -> str:
         verdict = "PASS" if self.passed else "FAIL"
@@ -617,6 +618,16 @@ class SmokeResult:
                 f"{self.validation.equivalence_diffs} behavioural diff(s) "
                 f"over {self.validation.equivalence_records} record(s)"
             )
+        if self.dqtelemetry is not None:
+            lines.append(
+                f"dq telemetry floors: scorecard "
+                f"{self.dqtelemetry.read_speedup:.1f}x rescan "
+                f"(>= {self.dqtelemetry.min_read_speedup:.1f}x), write "
+                f"overhead {self.dqtelemetry.write_overhead:+.1%} "
+                f"(<= {self.dqtelemetry.max_write_overhead:.0%}), "
+                f"{self.dqtelemetry.equivalence_diffs} diff(s) over "
+                f"{self.dqtelemetry.equivalence_checks} check(s)"
+            )
         lines.extend(f"  floor missed: {failure}" for failure in self.failures)
         return "\n".join(lines)
 
@@ -632,13 +643,17 @@ def run_smoke(
 ) -> SmokeResult:
     """A fast floor check: cached gateway at least ``min_speedup`` x the
     single-shard baseline, at least ``min_retention`` of healthy
-    throughput retained with shard 0 down, and the compiled-validation
-    floors (:func:`run_validation_bench`, at smoke scale).  Wall-clock
-    comparisons on a busy machine can flake, so a missed floor is retried
-    up to ``attempts`` times and only a repeated miss fails."""
+    throughput retained with shard 0 down, the compiled-validation
+    floors (:func:`run_validation_bench`, at smoke scale) and the
+    streaming-DQ-telemetry floors (:func:`run_dqtelemetry_bench`, at
+    smoke scale — the full floors hold there too, with margin).
+    Wall-clock comparisons on a busy machine can flake,
+    so a missed floor is retried up to ``attempts`` times and only a
+    repeated miss fails."""
     failures: list = []
     result = None
     validation = None
+    dqtelemetry = None
     for attempt in range(1, attempts + 1):
         result = run_comparison(
             shard_count=shard_count, count=count, preload=preload,
@@ -659,14 +674,20 @@ def run_smoke(
             count=800, equivalence_count=200, seed=seed, rounds=2,
         )
         failures.extend(validation.floor_failures())
+        dqtelemetry = run_dqtelemetry_bench(
+            shard_count=shard_count, records=2_000, write_records=1_500,
+            live_reads=50, rescan_reads=5, suggest_reads=10,
+            equivalence_ops=120, seed=seed, rounds=2,
+        )
+        failures.extend(dqtelemetry.floor_failures())
         if not failures:
             return SmokeResult(
                 result, attempt, True, [], min_speedup, min_retention,
-                validation,
+                validation, dqtelemetry,
             )
     return SmokeResult(
         result, attempts, False, failures, min_speedup, min_retention,
-        validation,
+        validation, dqtelemetry,
     )
 
 
@@ -970,6 +991,447 @@ def run_validation_bench(
         signature=plan.digest,
         min_single_speedup=min_single_speedup,
         min_batch_speedup=min_batch_speedup,
+    )
+    if json_path is not None:
+        result.write_json(json_path)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# DQ telemetry bench: streaming accumulators vs the full-rescan oracle
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class DQTelemetryBenchResult:
+    """Streaming-telemetry measurements plus the zero-diff equivalence sweep.
+
+    The floors are the incremental-telemetry acceptance numbers: a live
+    cluster scorecard read at least ``min_read_speedup`` x the full
+    rescan at ``records`` preloaded records, the telemetry-on write path
+    within ``max_write_overhead`` of telemetry-off, and **zero**
+    score/suggestion diffs between the live accumulators and the rescan
+    oracle across the seeded EasyChair create/reject/modify/delete
+    sweep.  The profiler-suggestion rows are informational.
+    """
+
+    seed: int
+    shard_count: int
+    records: int
+    write_records: int
+    rows: list
+    equivalence_checks: int
+    equivalence_diffs: int
+    telemetry: dict
+    min_read_speedup: float = 10.0
+    max_write_overhead: float = 0.10
+
+    def _row(self, name: str) -> HotpathRow:
+        for row in self.rows:
+            if row.name == name:
+                return row
+        raise KeyError(name)
+
+    @property
+    def read_speedup(self) -> float:
+        """Live cluster scorecard over the full rescan."""
+        base = self._row("scorecard rescan").ops_per_second
+        return (
+            self._row("scorecard live").ops_per_second / base if base else 0.0
+        )
+
+    @property
+    def suggest_speedup(self) -> float:
+        """Live profiler suggestions over the rescan profiler
+        (informational)."""
+        base = self._row("suggest rescan").ops_per_second
+        return (
+            self._row("suggest live").ops_per_second / base if base else 0.0
+        )
+
+    @property
+    def write_overhead(self) -> float:
+        """Relative write-path cost of keeping the accumulators fresh:
+        0.04 means telemetry-on writes ran 4% slower than telemetry-off."""
+        on = self._row("write telemetry on").ops_per_second
+        if not on:
+            return float("inf")
+        return self._row("write telemetry off").ops_per_second / on - 1.0
+
+    def floor_failures(self) -> list:
+        failures = []
+        if self.read_speedup < self.min_read_speedup:
+            failures.append(
+                f"live scorecard {self.read_speedup:.2f}x < "
+                f"{self.min_read_speedup:.1f}x rescan "
+                f"at {self.records} record(s)"
+            )
+        if self.write_overhead > self.max_write_overhead:
+            failures.append(
+                f"telemetry write overhead {self.write_overhead:.1%} > "
+                f"{self.max_write_overhead:.0%}"
+            )
+        if self.equivalence_diffs:
+            failures.append(
+                f"{self.equivalence_diffs} live-vs-rescan diff(s) over "
+                f"{self.equivalence_checks} equivalence check(s)"
+            )
+        return failures
+
+    @property
+    def passed(self) -> bool:
+        return not self.floor_failures()
+
+    def as_dict(self) -> dict:
+        return {
+            "benchmark": "dqtelemetry",
+            "seed": self.seed,
+            "shard_count": self.shard_count,
+            "records": self.records,
+            "write_records": self.write_records,
+            "rows": [row.as_dict() for row in self.rows],
+            "speedups": {
+                "scorecard_live_vs_rescan": round(self.read_speedup, 2),
+                "suggest_live_vs_rescan": round(self.suggest_speedup, 2),
+            },
+            "write_overhead": round(self.write_overhead, 4),
+            "floors": {
+                "min_read_speedup": self.min_read_speedup,
+                "max_write_overhead": self.max_write_overhead,
+                "max_equivalence_diffs": 0,
+                "met": self.passed,
+            },
+            "equivalence": {
+                "checks": self.equivalence_checks,
+                "diffs": self.equivalence_diffs,
+            },
+            "telemetry": dict(self.telemetry),
+        }
+
+    def write_json(self, path) -> None:
+        """Emit the machine-readable report (``BENCH_dqtelemetry.json``)."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.as_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    def render(self) -> str:
+        header = (
+            f"dq telemetry bench — EasyChair entity, "
+            f"{self.records} record(s) preloaded over "
+            f"{self.shard_count} shard(s), seed {self.seed}"
+        )
+        body = render_table(
+            ["Path", "Ops", "Ops/s", "p50 µs", "p99 µs"],
+            [
+                [
+                    row.name,
+                    str(row.operations),
+                    f"{row.ops_per_second:,.0f}",
+                    f"{row.p50_us}",
+                    f"{row.p99_us}",
+                ]
+                for row in self.rows
+            ],
+            max_width=60,
+        )
+        footer = (
+            f"scorecard: {self.read_speedup:.1f}x rescan · "
+            f"suggest: {self.suggest_speedup:.1f}x rescan · "
+            f"write overhead: {self.write_overhead:+.1%}\n"
+            f"equivalence: {self.equivalence_diffs} diff(s) over "
+            f"{self.equivalence_checks} check(s); floors "
+            f"{'met' if self.passed else 'MISSED'} "
+            f"(>= {self.min_read_speedup:.0f}x read, "
+            f"<= {self.max_write_overhead:.0%} write overhead, zero diffs)"
+        )
+        return f"{header}\n{body}\n{footer}"
+
+
+def _scorecard_diffs(oracle_lines, live_lines) -> int:
+    """Count disagreements between two score-line lists under the
+    documented tolerance: Precision/Traceability/Confidentiality and all
+    evidence strings must match exactly, Completeness/Currentness to
+    float tolerance."""
+    from repro.dq.streaming import scores_close
+
+    exact = {"Precision", "Traceability", "Confidentiality"}
+    diffs = 0
+    if live_lines is None or len(oracle_lines) != len(live_lines):
+        return 1
+    for oracle, live in zip(oracle_lines, live_lines):
+        if (
+            oracle.characteristic != live.characteristic
+            or oracle.evidence != live.evidence
+        ):
+            diffs += 1
+        elif oracle.characteristic in exact:
+            if oracle.score != live.score:
+                diffs += 1
+        elif not scores_close(oracle.score, live.score):
+            diffs += 1
+    return diffs
+
+
+def run_dqtelemetry_bench(
+    shard_count: int = 4,
+    records: int = 50_000,
+    write_records: int = 10_000,
+    live_reads: int = 200,
+    rescan_reads: int = 5,
+    suggest_reads: int = 50,
+    equivalence_ops: int = 400,
+    seed: int = 23,
+    rounds: int = 2,
+    min_read_speedup: float = 10.0,
+    max_write_overhead: float = 0.10,
+    json_path=None,
+) -> DQTelemetryBenchResult:
+    """Measure streaming DQ telemetry against the full-rescan oracle.
+
+    Three phases, all over the EasyChair review workload:
+
+    1. **Write overhead** — ``write_records`` identical payloads go
+       through two fresh gateways via ``submit_many`` (per-shard
+       coalescing), one with the accumulators live, one with telemetry
+       disabled, best-of-``rounds`` interleaved.  Floor: the telemetry
+       gateway keeps within ``max_write_overhead`` of the other.
+    2. **Reads at scale** — one gateway preloaded with ``records``
+       records answers ``live_reads`` cluster scorecards from merged
+       accumulator snapshots and ``rescan_reads`` from the O(records)
+       rescan twin.  Floor: live at least ``min_read_speedup`` x rescan.
+       Live vs rescan profiler suggestions ride along informationally.
+    3. **Equivalence sweep** — a fresh small gateway replays
+       ``equivalence_ops`` seeded operations (batched clean creates,
+       DQ-rejected defectives, direct store modifies and deletes) and
+       after every burst compares live vs rescan score lines, overall
+       score, and profiler suggestions.  Floor: zero diffs.
+
+    ``json_path`` additionally writes ``BENCH_dqtelemetry.json``.
+    """
+    from repro.casestudy import easychair
+    from repro.dq.metrics import Measurement, weighted_score
+    from repro.dq.profiling import DataProfiler
+    from repro.dq.streaming import LiveProfile
+
+    generator = LoadGenerator(seed=seed)
+    spec = generator.spec
+    writer = spec.cleared_users[0]
+    design_model = easychair.build_design()
+    rng = random.Random(seed)
+    rows: list[HotpathRow] = []
+
+    def fresh_gateway() -> ShardedGateway:
+        return ShardedGateway.from_design(
+            design_model, shard_count=shard_count, users=easychair.USERS,
+            cache_capacity=0, max_queue_depth=4096, workers=shard_count,
+        )
+
+    def drive_writes(gateway, payloads) -> HotpathRow:
+        client_batch = max(1, gateway.write_batch_max) * shard_count
+        samples = []
+        gc.collect()
+        was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            start = time.perf_counter()
+            for begin in range(0, len(payloads), client_batch):
+                group = payloads[begin:begin + client_batch]
+                began = time.perf_counter()
+                responses = gateway.submit_many(spec.form, group, writer)
+                per_op = (time.perf_counter() - began) / len(group)
+                samples.extend([per_op] * len(group))
+                for response in responses:
+                    if response.status != 201:  # pragma: no cover
+                        raise RuntimeError(
+                            f"bench write failed: {response.status}"
+                        )
+            elapsed = time.perf_counter() - start
+        finally:
+            if was_enabled:
+                gc.enable()
+        return HotpathRow("write", len(payloads), elapsed, samples)
+
+    # -- 1. write-path overhead: telemetry on vs off ---------------------
+    write_payloads = [spec.clean_payload(rng) for _ in range(write_records)]
+
+    # One throwaway pass warms every code path (allocator arenas, method
+    # caches, lazy imports) so first-touch costs do not land entirely on
+    # whichever measured pass happens to run first.
+    warmup_gateway = fresh_gateway()
+    try:
+        drive_writes(warmup_gateway, write_payloads[:512])
+    finally:
+        warmup_gateway.close()
+
+    def write_pass(telemetry_on: bool) -> HotpathRow:
+        gateway = fresh_gateway()
+        try:
+            if not telemetry_on:
+                for shard in gateway.shards:
+                    shard.store.set_telemetry(False)
+            row = drive_writes(gateway, write_payloads)
+            row.name = (
+                "write telemetry on" if telemetry_on
+                else "write telemetry off"
+            )
+            return row
+        finally:
+            gateway.close()
+
+    rows.extend(_best_of(
+        [lambda: write_pass(True), lambda: write_pass(False)], rounds
+    ))
+
+    # -- 2. live vs rescan reads at scale --------------------------------
+    read_payloads = [spec.clean_payload(rng) for _ in range(records)]
+    gateway = fresh_gateway()
+    try:
+        drive_writes(gateway, read_payloads)
+        fields = easychair.ALL_REVIEW_FIELDS
+        bounds = easychair.SCORE_BOUNDS
+        entity = spec.entity
+
+        def live_pass() -> HotpathRow:
+            elapsed, samples = _timed_loop([
+                (lambda: gateway.live_scorecard(
+                    entity, fields, bounds, max_age=records
+                ))
+            ] * live_reads)
+            return HotpathRow("scorecard live", live_reads, elapsed, samples)
+
+        def rescan_pass() -> HotpathRow:
+            elapsed, samples = _timed_loop([
+                (lambda: gateway.rescan_scorecard(
+                    entity, fields, bounds, max_age=records
+                ))
+            ] * rescan_reads)
+            return HotpathRow(
+                "scorecard rescan", rescan_reads, elapsed, samples
+            )
+
+        def suggest_live_pass() -> HotpathRow:
+            elapsed, samples = _timed_loop([
+                (lambda: LiveProfile(gateway.dq_telemetry(entity)).suggest())
+            ] * suggest_reads)
+            return HotpathRow("suggest live", suggest_reads, elapsed, samples)
+
+        def suggest_rescan_pass() -> HotpathRow:
+            def rescan_suggest():
+                profiler = DataProfiler()
+                for shard in gateway.shards:
+                    profiler.add_records(
+                        stored.data
+                        for stored in shard.store.entity(entity).all()
+                    )
+                return profiler.suggest()
+
+            elapsed, samples = _timed_loop([rescan_suggest] * 2)
+            return HotpathRow("suggest rescan", 2, elapsed, samples)
+
+        rows.extend(_best_of(
+            [live_pass, rescan_pass, suggest_live_pass, suggest_rescan_pass],
+            rounds,
+        ))
+
+        # the at-scale readings must agree before speed means anything
+        equivalence_checks = 1
+        equivalence_diffs = _scorecard_diffs(
+            gateway.rescan_scorecard(entity, fields, bounds, max_age=records),
+            gateway.live_scorecard(entity, fields, bounds, max_age=records),
+        )
+        telemetry_stats = gateway.telemetry_stats()
+    finally:
+        gateway.close()
+
+    # -- 3. seeded equivalence sweep: creates / rejects / modifies /
+    #       deletes, live == rescan after every burst -------------------
+    sweep_rng = random.Random(seed + 7)
+    gateway = fresh_gateway()
+    try:
+        entity = spec.entity
+        fields = easychair.ALL_REVIEW_FIELDS
+        bounds = easychair.SCORE_BOUNDS
+        live_ids: list[tuple[int, int]] = []  # (shard_index, record_id)
+        applied = 0
+        while applied < equivalence_ops:
+            burst = min(equivalence_ops - applied, 40)
+            payloads = [
+                spec.defective_payload(sweep_rng)
+                if sweep_rng.random() < 0.25
+                else spec.clean_payload(sweep_rng)
+                for _ in range(burst)
+            ]
+            responses = gateway.submit_many(spec.form, payloads, writer)
+            for response in responses:
+                if response.status == 201:
+                    live_ids.append(
+                        (response.body["shard"], response.body["id"])
+                    )
+            applied += burst
+            # a few direct modifies and deletes against random shards:
+            # the paths submit_many never exercises
+            sweep_rng.shuffle(live_ids)
+            for _ in range(min(6, len(live_ids) // 4)):
+                shard_index, record_id = live_ids.pop()
+                shard = gateway.shards[shard_index]
+                if sweep_rng.random() < 0.5:
+                    shard.store.modify(
+                        entity, record_id,
+                        {"overall_evaluation": sweep_rng.randint(-3, 3)},
+                        writer,
+                    )
+                    live_ids.insert(0, (shard_index, record_id))
+                else:
+                    shard.store.entity(entity).delete(record_id)
+            max_age = max(1, sweep_rng.randrange(50, 500))
+            oracle_lines = gateway.rescan_scorecard(
+                entity, fields, bounds, max_age=max_age
+            )
+            live_lines = gateway.live_scorecard(
+                entity, fields, bounds, max_age=max_age
+            )
+            equivalence_checks += 1
+            equivalence_diffs += _scorecard_diffs(oracle_lines, live_lines)
+            if live_lines is not None:
+                oracle_overall = weighted_score([
+                    Measurement(line.characteristic, line.score)
+                    for line in oracle_lines
+                ])
+                live_overall = weighted_score([
+                    Measurement(line.characteristic, line.score)
+                    for line in live_lines
+                ])
+                from repro.dq.streaming import scores_close
+
+                equivalence_checks += 1
+                if not scores_close(oracle_overall, live_overall):
+                    equivalence_diffs += 1
+            profiler = DataProfiler()
+            for shard in gateway.shards:
+                profiler.add_records(
+                    stored.data
+                    for stored in shard.store.entity(entity).all()
+                )
+            live_suggestions = LiveProfile(
+                gateway.dq_telemetry(entity)
+            ).suggest()
+            equivalence_checks += 1
+            if profiler.suggest() != live_suggestions:
+                equivalence_diffs += 1
+    finally:
+        gateway.close()
+
+    result = DQTelemetryBenchResult(
+        seed=seed,
+        shard_count=shard_count,
+        records=records,
+        write_records=write_records,
+        rows=rows,
+        equivalence_checks=equivalence_checks,
+        equivalence_diffs=equivalence_diffs,
+        telemetry=telemetry_stats,
+        min_read_speedup=min_read_speedup,
+        max_write_overhead=max_write_overhead,
     )
     if json_path is not None:
         result.write_json(json_path)

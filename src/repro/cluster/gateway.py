@@ -281,6 +281,247 @@ class ShardedGateway:
             (shard.plan_cache for shard in self.shards),
         )
 
+    def telemetry_stats(self) -> dict:
+        """Aggregated streaming-DQ-telemetry counters across every shard
+        (counts only — safe for the byte-identical chaos report)."""
+        stats = {
+            "records": 0,
+            "updates": 0,
+            "tracked_fields": 0,
+            "spilled_fields": 0,
+            "rebuilds": 0,
+            "disabled_entities": 0,
+        }
+        for shard in self.shards:
+            for name in shard.store.entity_names:
+                store = shard.store.entity(name)
+                per_entity = store.measure_telemetry(
+                    lambda accumulator: accumulator.stats()
+                )
+                if per_entity is None:
+                    stats["disabled_entities"] += 1
+                    continue
+                stats["records"] += per_entity["records"]
+                stats["updates"] += per_entity["updates"]
+                stats["tracked_fields"] += per_entity["tracked_fields"]
+                stats["spilled_fields"] += per_entity["spilled_fields"]
+                stats["rebuilds"] += store.telemetry_rebuilds
+        return stats
+
+    def dq_telemetry(self, entity: str):
+        """The cluster-wide accumulator for one entity: per-shard
+        snapshots merged shard-0-first (``None`` when telemetry is
+        disabled on any shard — a partial merge would under-count)."""
+        from repro.dq.streaming import merge_accumulators
+
+        return merge_accumulators(
+            shard.store.entity(entity).telemetry_snapshot()
+            for shard in self.shards
+        )
+
+    def live_scorecard(
+        self,
+        entity: str,
+        required_fields: Sequence[str] = (),
+        bounds=None,
+        max_age: int = 100,
+    ):
+        """Cluster-wide DQ score lines served from streaming telemetry —
+        O(shards × fields) instead of a rescan of every shard's records.
+
+        Each shard contributes one reduced reading (per-field present
+        and in-bounds counts, provenance / protection tallies and its
+        own clock's Currentness total) gathered under its entity lock —
+        no snapshot copies, so a read costs the same whether the shard
+        holds ten records or a million.  Line-for-line equivalent to
+        :meth:`rescan_scorecard` — exactly for Precision, Traceability
+        and Confidentiality, to float tolerance for Completeness and
+        Currentness.  ``None`` when telemetry is disabled on any shard.
+        """
+        from repro.dq.metrics import in_bounds
+        from repro.dq.scorecard import ScoreLine
+
+        bounds = dict(bounds or {})
+        fields = tuple(required_fields) or tuple(
+            self.shards[0].store.entity(entity).fields
+        )
+        policy = self.shards[0].policies.for_entity(entity)
+        level = policy.security_level
+        readings = []
+        for shard in self.shards:
+            now = shard.clock.peek()
+
+            def read(accumulator, now=now):
+                valid = []
+                for name, (lower, upper) in bounds.items():
+                    field = accumulator.field_or_none(name)
+                    valid.append(
+                        field.count_in_bounds(lower, upper)
+                        if field is not None else 0
+                    )
+                return (
+                    accumulator.records,
+                    sum(accumulator.present_of(name) for name in fields),
+                    valid,
+                    accumulator.currentness_total(now, max_age)
+                    if accumulator.records else 0.0,
+                    accumulator.traced,
+                    accumulator.protected_count(level) if level else 0,
+                )
+
+            reading = shard.store.entity(entity).measure_telemetry(read)
+            if reading is None:
+                return None
+            readings.append(reading)
+        total = sum(reading[0] for reading in readings)
+        lines = []
+        if total == 0 or not fields:
+            completeness = 1.0
+        else:
+            completeness = (
+                sum(reading[1] for reading in readings)
+                / (total * len(fields))
+            )
+        lines.append(ScoreLine(
+            "Completeness", completeness,
+            f"{total} record(s) x {len(fields)} required field(s)",
+        ))
+        if not bounds:
+            lines.append(ScoreLine("Precision", 1.0, "no bounds declared"))
+        else:
+            ratios = []
+            for index, (name, (lower, upper)) in enumerate(bounds.items()):
+                if total == 0:
+                    ratios.append(1.0)
+                    continue
+                per_shard = [reading[2][index] for reading in readings]
+                if any(count is None for count in per_shard):
+                    # spilled past exact tracking: only a rescan of this
+                    # field is exact
+                    valid = sum(
+                        1
+                        for shard in self.shards
+                        for stored in shard.store.entity(entity).all()
+                        if in_bounds(stored.data.get(name), lower, upper)
+                    )
+                else:
+                    valid = sum(per_shard)
+                ratios.append(valid / total)
+            lines.append(ScoreLine(
+                "Precision", sum(ratios) / len(ratios),
+                f"{len(bounds)} bounded field(s)",
+            ))
+        if total == 0:
+            lines.append(ScoreLine("Currentness", 1.0, "no records"))
+        else:
+            decayed = sum(reading[3] for reading in readings)
+            lines.append(ScoreLine(
+                "Currentness", decayed / total, f"max age {max_age} ticks"
+            ))
+        if total == 0:
+            lines.append(ScoreLine("Traceability", 1.0, "no records"))
+        else:
+            traced = sum(reading[4] for reading in readings)
+            lines.append(ScoreLine(
+                "Traceability", traced / total,
+                f"{traced}/{total} record(s) with provenance",
+            ))
+        if level == 0:
+            lines.append(ScoreLine(
+                "Confidentiality", 1.0, "entity is unrestricted"
+            ))
+        elif total == 0:
+            lines.append(ScoreLine("Confidentiality", 1.0, "no records"))
+        else:
+            protected = sum(reading[5] for reading in readings)
+            lines.append(ScoreLine(
+                "Confidentiality", protected / total,
+                f"policy level {policy.security_level}",
+            ))
+        return lines
+
+    def rescan_scorecard(
+        self,
+        entity: str,
+        required_fields: Sequence[str] = (),
+        bounds=None,
+        max_age: int = 100,
+    ):
+        """The full-rescan twin of :meth:`live_scorecard` — O(records),
+        identical composition.  Retained as the equivalence oracle and
+        the fallback when telemetry is off."""
+        from repro.dq import metrics as dq_metrics
+        from repro.dq.scorecard import ScoreLine
+
+        per_shard = [
+            shard.store.entity(entity).all() for shard in self.shards
+        ]
+        stored = [record for chunk in per_shard for record in chunk]
+        total = len(stored)
+        bounds = dict(bounds or {})
+        fields = tuple(required_fields) or tuple(
+            self.shards[0].store.entity(entity).fields
+        )
+        data = [record.data for record in stored]
+        lines = [ScoreLine(
+            "Completeness",
+            dq_metrics.dataset_completeness(data, fields),
+            f"{total} record(s) x {len(fields)} required field(s)",
+        )]
+        if not bounds:
+            lines.append(ScoreLine("Precision", 1.0, "no bounds declared"))
+        else:
+            ratios = [
+                dq_metrics.precision_ratio(data, name, lower, upper)
+                for name, (lower, upper) in bounds.items()
+            ]
+            lines.append(ScoreLine(
+                "Precision", sum(ratios) / len(ratios),
+                f"{len(bounds)} bounded field(s)",
+            ))
+        if total == 0:
+            lines.append(ScoreLine("Currentness", 1.0, "no records"))
+        else:
+            decayed = sum(
+                dq_metrics.currentness_score(
+                    record.metadata.age(shard.clock), max_age
+                )
+                for shard, chunk in zip(self.shards, per_shard)
+                for record in chunk
+            )
+            lines.append(ScoreLine(
+                "Currentness", decayed / total, f"max age {max_age} ticks"
+            ))
+        if total == 0:
+            lines.append(ScoreLine("Traceability", 1.0, "no records"))
+        else:
+            traced = sum(
+                1 for record in stored
+                if record.metadata.stored_by
+                and record.metadata.stored_date is not None
+            )
+            lines.append(ScoreLine(
+                "Traceability", traced / total,
+                f"{traced}/{total} record(s) with provenance",
+            ))
+        policy = self.shards[0].policies.for_entity(entity)
+        if policy.security_level == 0:
+            lines.append(ScoreLine(
+                "Confidentiality", 1.0, "entity is unrestricted"
+            ))
+        elif total == 0:
+            lines.append(ScoreLine("Confidentiality", 1.0, "no records"))
+        else:
+            protected = sum(
+                1 for record in stored
+                if record.metadata.security_level >= policy.security_level
+            )
+            lines.append(ScoreLine(
+                "Confidentiality", protected / total,
+                f"policy level {policy.security_level}",
+            ))
+        return lines
+
     def close(self) -> None:
         """Stop accepting requests; in-flight dispatches drain first."""
         self._closed = True

@@ -120,13 +120,17 @@ class GatewayMetrics:
 
     # -- reading ---------------------------------------------------------
 
-    def snapshot(self, cache_stats=None, validation_stats=None) -> dict:
+    def snapshot(
+        self, cache_stats=None, validation_stats=None, telemetry_stats=None
+    ) -> dict:
         """A point-in-time copy of every counter, as plain data.
 
         ``validation_stats`` is the dict
         :meth:`repro.runtime.vpipeline.ValidationStats.merge` produces
         (``validation_us``, ``plan_cache_hits``, …) — the gateway passes
-        its aggregated per-shard numbers here.
+        its aggregated per-shard numbers here.  ``telemetry_stats`` is
+        :meth:`repro.cluster.gateway.ShardedGateway.telemetry_stats` —
+        streaming-DQ-accumulator counters (counts only, deterministic).
         """
         with self._lock:
             total = sum(s.count for s in self._operations.values())
@@ -178,11 +182,15 @@ class GatewayMetrics:
             snap["cache"] = cache_stats.as_dict()
         if validation_stats is not None:
             snap["validation"] = dict(validation_stats)
+        if telemetry_stats is not None:
+            snap["telemetry"] = dict(telemetry_stats)
         return snap
 
-    def render(self, cache_stats=None, validation_stats=None) -> str:
+    def render(
+        self, cache_stats=None, validation_stats=None, telemetry_stats=None
+    ) -> str:
         """The metrics snapshot as aligned text tables."""
-        snap = self.snapshot(cache_stats, validation_stats)
+        snap = self.snapshot(cache_stats, validation_stats, telemetry_stats)
         sections = [
             f"gateway over {snap['shard_count']} shard(s) — "
             f"{snap['requests']} request(s), "
@@ -249,5 +257,15 @@ class GatewayMetrics:
                 f"plan cache {val['plan_cache_hits']} hit(s) / "
                 f"{val['plan_cache_misses']} miss(es), "
                 f"{val['plans_compiled']} plan(s) compiled"
+            )
+        if "telemetry" in snap:
+            tel = snap["telemetry"]
+            sections.append(
+                f"dq telemetry: {tel['records']} record(s) live over "
+                f"{tel['tracked_fields']} field accumulator(s), "
+                f"{tel['updates']} update(s), "
+                f"{tel['spilled_fields']} spill(s), "
+                f"{tel['rebuilds']} rebuild(s), "
+                f"{tel['disabled_entities']} disabled entity(ies)"
             )
         return "\n".join(sections)

@@ -557,6 +557,17 @@ class ChaosResult:
                 f"{validation['plan_cache_misses']} miss(es), "
                 f"{validation['plans_compiled']} plan(s) compiled"
             )
+        telemetry = self.metrics.get("telemetry")
+        if telemetry:
+            # Counters only here too — the accumulator counts are a pure
+            # function of the seeded workload, so same-seed runs render
+            # the same line.
+            sections.append(
+                f"dq telemetry: {telemetry['records']} record(s) live, "
+                f"{telemetry['updates']} update(s), "
+                f"{telemetry['spilled_fields']} spill(s), "
+                f"{telemetry['rebuilds']} rebuild(s)"
+            )
         if self.violations:
             sections.append(
                 f"guarantee report: {len(self.violations)} VIOLATION(S)"
@@ -642,7 +653,9 @@ def run_chaos(
             gateway.fault_injector.applied
         ) if gateway.fault_injector else Counter()
         metrics = gateway.metrics.snapshot(
-            gateway.cache.stats, gateway.validation_stats()
+            gateway.cache.stats,
+            gateway.validation_stats(),
+            gateway.telemetry_stats(),
         )
     finally:
         gateway.close()

@@ -6,7 +6,9 @@
 * :mod:`repro.dq.metadata` — DQ metadata records (traceability,
   confidentiality) and the deterministic clock;
 * :mod:`repro.dq.metrics` — measurement functions per characteristic;
-* :mod:`repro.dq.validators` — runtime validators (DQ_Validator operations).
+* :mod:`repro.dq.validators` — runtime validators (DQ_Validator operations);
+* :mod:`repro.dq.streaming` — incremental mergeable accumulators behind
+  the ``live=True`` scorecard/profiler paths (O(1) reads, no rescans).
 """
 
 from . import (
@@ -17,12 +19,26 @@ from . import (
     profiling,
     requirements,
     scorecard,
+    streaming,
     validators,
 )
 from .iso25012 import ALL_CHARACTERISTICS, Category, Characteristic
 from .metadata import Clock, DQMetadataRecord
-from .profiling import DataProfiler, FieldProfile, Suggestion
+from .profiling import (
+    DataProfiler,
+    FieldProfile,
+    Suggestion,
+    suggest_from_profiles,
+)
 from .scorecard import ScoreLine, Scorecard
+from .streaming import (
+    EntityAccumulator,
+    FieldAccumulator,
+    KMVSketch,
+    LiveProfile,
+    merge_accumulators,
+    scores_close,
+)
 from .requirements import (
     DataQualityRequirement,
     DataQualitySoftwareRequirement,
@@ -47,9 +63,11 @@ from .validators import (
 
 __all__ = [
     "iso25012", "dimensions", "requirements", "metadata", "metrics",
-    "validators", "profiling", "scorecard",
-    "DataProfiler", "FieldProfile", "Suggestion",
+    "validators", "profiling", "scorecard", "streaming",
+    "DataProfiler", "FieldProfile", "Suggestion", "suggest_from_profiles",
     "Scorecard", "ScoreLine",
+    "EntityAccumulator", "FieldAccumulator", "KMVSketch", "LiveProfile",
+    "merge_accumulators", "scores_close",
     "ALL_CHARACTERISTICS", "Category", "Characteristic",
     "Clock", "DQMetadataRecord",
     "DataQualityRequirement", "DataQualitySoftwareRequirement",

@@ -46,12 +46,46 @@ ENUM_MIN_SUPPORT = 3
 
 @dataclass
 class FieldProfile:
-    """Statistics of one field across the sample."""
+    """Statistics of one field across the sample.
+
+    The derived views (``distinct``, ``numeric_values``,
+    ``string_values``, ``matched_pattern``) are cached keyed by the
+    length of ``values``: any append — via :meth:`add` or directly —
+    invalidates the whole cache on the next read, so repeated property
+    access during :meth:`DataProfiler.suggest` costs O(N) once instead
+    of once per access.
+    """
 
     name: str
     total: int = 0
     missing: int = 0
     values: list = field(default_factory=list)
+    _cache: dict = field(
+        default_factory=dict, repr=False, compare=False
+    )
+    _cache_len: int = field(default=-1, repr=False, compare=False)
+
+    def add(self, value) -> None:
+        """Record one observation (missing values tracked, not stored)."""
+        self.total += 1
+        if _is_missing(value):
+            self.missing += 1
+        else:
+            self.values.append(value)
+
+    def add_missing(self) -> None:
+        self.total += 1
+        self.missing += 1
+
+    def _cached(self, key: str, compute):
+        if self._cache_len != len(self.values):
+            self._cache.clear()
+            self._cache_len = len(self.values)
+        try:
+            return self._cache[key]
+        except KeyError:
+            result = self._cache[key] = compute()
+            return result
 
     @property
     def present(self) -> int:
@@ -65,9 +99,14 @@ class FieldProfile:
 
     @property
     def distinct(self) -> int:
-        return len({repr(v) for v in self.values})
+        return self._cached(
+            "distinct", lambda: len({repr(v) for v in self.values})
+        )
 
     def numeric_values(self) -> list[float]:
+        return self._cached("numeric_values", self._numeric_values)
+
+    def _numeric_values(self) -> list[float]:
         return [
             v for v in self.values
             if isinstance(v, (int, float)) and not isinstance(v, bool)
@@ -86,6 +125,9 @@ class FieldProfile:
         return (min(numbers), max(numbers))
 
     def string_values(self) -> list[str]:
+        return self._cached("string_values", self._string_values)
+
+    def _string_values(self) -> list[str]:
         return [v for v in self.values if isinstance(v, str)]
 
     @property
@@ -96,6 +138,9 @@ class FieldProfile:
 
     def matched_pattern(self) -> Optional[tuple[str, str]]:
         """The first known pattern every present value matches."""
+        return self._cached("matched_pattern", self._matched_pattern)
+
+    def _matched_pattern(self) -> Optional[tuple[str, str]]:
         strings = self.string_values()
         if not strings or len(strings) != len(self.values):
             return None
@@ -162,12 +207,7 @@ class DataProfiler:
             names = self._declared_fields or record.keys()
             for name in names:
                 profile = self._profiles.setdefault(name, FieldProfile(name))
-                profile.total += 1
-                value = record.get(name)
-                if _is_missing(value):
-                    profile.missing += 1
-                else:
-                    profile.values.append(value)
+                profile.add(record.get(name))
         return self
 
     @property
@@ -185,73 +225,31 @@ class DataProfiler:
 
     def suggest(self, min_sample: int = 5) -> list[Suggestion]:
         """Candidate DQ requirements; empty when the sample is too small."""
-        if self._records_seen < min_sample:
-            return []
-        suggestions: list[Suggestion] = []
-        always_present = [
-            p.name for p in self._profiles.values()
-            if p.total and p.completeness == 1.0
-        ]
-        if always_present:
-            suggestions.append(
-                Suggestion(
-                    iso25012.COMPLETENESS,
-                    tuple(always_present),
-                    "these fields were populated in every sampled record; "
-                    "the application should require them",
+        return suggest_from_profiles(
+            self._profiles.values(), self._records_seen, min_sample
+        )
+
+    @staticmethod
+    def live(source):
+        """A :class:`~repro.dq.streaming.LiveProfile` over streaming
+        telemetry — the same ``suggest``/``report`` surface in O(fields).
+
+        ``source`` is either an entity store (anything exposing
+        ``telemetry_snapshot()``) or an
+        :class:`~repro.dq.streaming.EntityAccumulator` directly.
+        """
+        from .streaming import LiveProfile
+
+        snapshot = getattr(source, "telemetry_snapshot", None)
+        if callable(snapshot):
+            accumulator = snapshot()
+            if accumulator is None:
+                raise ValueError(
+                    "streaming telemetry is disabled for this entity; "
+                    "re-enable it or use DataProfiler.add_records"
                 )
-            )
-        bounds = {}
-        for profile in self._profiles.values():
-            if not profile.is_numeric or profile.present < min_sample:
-                continue
-            observed = profile.numeric_range()
-            if observed is None:
-                continue
-            bounds[profile.name] = _padded_bounds(*observed)
-        if bounds:
-            suggestions.append(
-                Suggestion(
-                    iso25012.PRECISION,
-                    tuple(sorted(bounds)),
-                    "numeric fields with a stable observed range; suggested "
-                    "DQConstraint bounds derived from the sample",
-                    bounds=bounds,
-                )
-            )
-        patterns = {}
-        for profile in self._profiles.values():
-            if profile.present < min_sample:
-                continue
-            matched = profile.matched_pattern()
-            if matched is not None:
-                patterns[profile.name] = matched[1]
-        if patterns:
-            suggestions.append(
-                Suggestion(
-                    iso25012.ACCURACY,
-                    tuple(sorted(patterns)),
-                    "every sampled value matches a recognizable format; the "
-                    "application should validate it",
-                    patterns=patterns,
-                )
-            )
-        domains = {
-            profile.name: profile.value_domain()
-            for profile in self._profiles.values()
-            if profile.looks_like_enum()
-        }
-        if domains:
-            suggestions.append(
-                Suggestion(
-                    iso25012.CONSISTENCY,
-                    tuple(sorted(domains)),
-                    "low-cardinality fields with a closed value domain; "
-                    "values outside it are likely inconsistencies",
-                    domains=domains,
-                )
-            )
-        return suggestions
+            return LiveProfile(accumulator)
+        return LiveProfile(source)
 
     def report(self) -> str:
         """A human-readable profiling summary."""
@@ -274,6 +272,87 @@ class DataProfiler:
         for suggestion in self.suggest():
             lines.append(f"  -> suggest {suggestion.describe()}")
         return "\n".join(lines)
+
+
+def suggest_from_profiles(
+    profiles, records_seen: int, min_sample: int = 5
+) -> list[Suggestion]:
+    """The suggestion heuristics over any field-profile protocol.
+
+    ``profiles`` is an iterable of objects exposing the
+    :class:`FieldProfile` read surface — the profiler's sampled profiles
+    or streaming :class:`~repro.dq.streaming.FieldAccumulator` objects;
+    both representations must yield identical suggestions (pinned by the
+    live-vs-oracle equivalence tests).  Iteration order decides the
+    Completeness field tuple, so pass profiles in first-seen order.
+    """
+    if records_seen < min_sample:
+        return []
+    profiles = list(profiles)
+    suggestions: list[Suggestion] = []
+    always_present = [
+        p.name for p in profiles if p.total and p.completeness == 1.0
+    ]
+    if always_present:
+        suggestions.append(
+            Suggestion(
+                iso25012.COMPLETENESS,
+                tuple(always_present),
+                "these fields were populated in every sampled record; "
+                "the application should require them",
+            )
+        )
+    bounds = {}
+    for profile in profiles:
+        if not profile.is_numeric or profile.present < min_sample:
+            continue
+        observed = profile.numeric_range()
+        if observed is None:
+            continue
+        bounds[profile.name] = _padded_bounds(*observed)
+    if bounds:
+        suggestions.append(
+            Suggestion(
+                iso25012.PRECISION,
+                tuple(sorted(bounds)),
+                "numeric fields with a stable observed range; suggested "
+                "DQConstraint bounds derived from the sample",
+                bounds=bounds,
+            )
+        )
+    patterns = {}
+    for profile in profiles:
+        if profile.present < min_sample:
+            continue
+        matched = profile.matched_pattern()
+        if matched is not None:
+            patterns[profile.name] = matched[1]
+    if patterns:
+        suggestions.append(
+            Suggestion(
+                iso25012.ACCURACY,
+                tuple(sorted(patterns)),
+                "every sampled value matches a recognizable format; the "
+                "application should validate it",
+                patterns=patterns,
+            )
+        )
+    domains = {
+        profile.name: profile.value_domain()
+        for profile in profiles
+        if profile.looks_like_enum()
+    }
+    if domains:
+        suggestions.append(
+            Suggestion(
+                iso25012.CONSISTENCY,
+                tuple(sorted(domains)),
+                "low-cardinality fields with a closed value domain; "
+                "values outside it are likely inconsistencies",
+                domains=domains,
+            )
+        )
+    return suggestions
 
 
 def _padded_bounds(low: float, high: float) -> tuple[int, int]:

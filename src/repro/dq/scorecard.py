@@ -36,7 +36,19 @@ class ScoreLine:
 
 
 class Scorecard:
-    """Measures one entity of a running :class:`~repro.runtime.app.WebApp`."""
+    """Measures one entity of a running :class:`~repro.runtime.app.WebApp`.
+
+    ``live=True`` serves every line from the store's streaming telemetry
+    accumulators — O(fields) per read instead of a full record rescan —
+    with the rescan retained as both the equivalence oracle (pinned by
+    the ``live == rescan`` property tests) and the automatic fallback
+    whenever the accumulator cannot answer exactly: telemetry disabled,
+    or a bounded field spilled past exact distinct tracking.  Count-based
+    lines (Precision, Traceability, Confidentiality) are bit-identical to
+    the oracle; Completeness and Currentness sum in a different order and
+    agree to ``math.isclose`` tolerance.  Evidence strings are
+    byte-identical on both paths.
+    """
 
     def __init__(
         self,
@@ -45,17 +57,26 @@ class Scorecard:
         required_fields: Sequence[str] = (),
         bounds: Optional[Mapping[str, tuple]] = None,
         max_age: int = 100,
+        live: bool = False,
     ):
         self.app = app
         self.entity = entity
         self.required_fields = tuple(required_fields)
         self.bounds = dict(bounds or {})
         self.max_age = max_age
+        self.live = live
 
     def _stored(self):
         return self.app.store.entity(self.entity).all()
 
+    def _entity_store(self):
+        return self.app.store.entity(self.entity)
+
     def completeness(self) -> ScoreLine:
+        if self.live:
+            line = self._live_completeness()
+            if line is not None:
+                return line
         stored = self._stored()
         fields = self.required_fields or tuple(
             self.app.store.entity(self.entity).fields
@@ -68,7 +89,33 @@ class Scorecard:
             f"{len(stored)} record(s) x {len(fields)} required field(s)",
         )
 
+    def _live_completeness(self) -> Optional[ScoreLine]:
+        store = self._entity_store()
+        fields = self.required_fields or tuple(store.fields)
+
+        def read(accumulator):
+            count = accumulator.records
+            if count == 0 or not fields:
+                return (1.0, count)
+            present = sum(
+                accumulator.present_of(name) for name in fields
+            )
+            return (present / (count * len(fields)), count)
+
+        result = store.measure_telemetry(read)
+        if result is None:
+            return None
+        score, count = result
+        return ScoreLine(
+            "Completeness", score,
+            f"{count} record(s) x {len(fields)} required field(s)",
+        )
+
     def precision(self) -> ScoreLine:
+        if self.live:
+            line = self._live_precision()
+            if line is not None:
+                return line
         stored = self._stored()
         if not self.bounds:
             return ScoreLine("Precision", 1.0, "no bounds declared")
@@ -83,7 +130,39 @@ class Scorecard:
             "Precision", score, f"{len(self.bounds)} bounded field(s)"
         )
 
+    def _live_precision(self) -> Optional[ScoreLine]:
+        if not self.bounds:
+            return ScoreLine("Precision", 1.0, "no bounds declared")
+
+        def read(accumulator):
+            count = accumulator.records
+            ratios = []
+            for name, (lower, upper) in self.bounds.items():
+                if count == 0:
+                    ratios.append(1.0)
+                    continue
+                field = accumulator.field_or_none(name)
+                if field is None:
+                    valid = 0
+                else:
+                    valid = field.count_in_bounds(lower, upper)
+                    if valid is None:  # spilled: only the rescan is exact
+                        return None
+                ratios.append(valid / count)
+            return sum(ratios) / len(ratios)
+
+        score = self._entity_store().measure_telemetry(read)
+        if score is None:
+            return None
+        return ScoreLine(
+            "Precision", score, f"{len(self.bounds)} bounded field(s)"
+        )
+
     def currentness(self) -> ScoreLine:
+        if self.live:
+            line = self._live_currentness()
+            if line is not None:
+                return line
         stored = self._stored()
         clock: Clock = self.app.clock
         if not stored:
@@ -97,7 +176,28 @@ class Scorecard:
             "Currentness", score, f"max age {self.max_age} ticks"
         )
 
+    def _live_currentness(self) -> Optional[ScoreLine]:
+        clock: Clock = self.app.clock
+
+        def read(accumulator):
+            count = accumulator.records
+            if count == 0:
+                return ScoreLine("Currentness", 1.0, "no records")
+            total = accumulator.currentness_total(
+                clock.peek(), self.max_age
+            )
+            return ScoreLine(
+                "Currentness", total / count,
+                f"max age {self.max_age} ticks",
+            )
+
+        return self._entity_store().measure_telemetry(read)
+
     def traceability(self) -> ScoreLine:
+        if self.live:
+            line = self._live_traceability()
+            if line is not None:
+                return line
         stored = self._stored()
         if not stored:
             return ScoreLine("Traceability", 1.0, "no records")
@@ -110,7 +210,24 @@ class Scorecard:
             f"{traced}/{len(stored)} record(s) with provenance",
         )
 
+    def _live_traceability(self) -> Optional[ScoreLine]:
+        def read(accumulator):
+            count = accumulator.records
+            if count == 0:
+                return ScoreLine("Traceability", 1.0, "no records")
+            traced = accumulator.traced
+            return ScoreLine(
+                "Traceability", traced / count,
+                f"{traced}/{count} record(s) with provenance",
+            )
+
+        return self._entity_store().measure_telemetry(read)
+
     def confidentiality(self) -> ScoreLine:
+        if self.live:
+            line = self._live_confidentiality()
+            if line is not None:
+                return line
         stored = self._stored()
         policy = self.app.policies.for_entity(self.entity)
         if policy.security_level == 0:
@@ -125,6 +242,23 @@ class Scorecard:
             "Confidentiality", protected / len(stored),
             f"policy level {policy.security_level}",
         )
+
+    def _live_confidentiality(self) -> Optional[ScoreLine]:
+        policy = self.app.policies.for_entity(self.entity)
+        if policy.security_level == 0:
+            return ScoreLine("Confidentiality", 1.0, "entity is unrestricted")
+
+        def read(accumulator):
+            count = accumulator.records
+            if count == 0:
+                return ScoreLine("Confidentiality", 1.0, "no records")
+            protected = accumulator.protected_count(policy.security_level)
+            return ScoreLine(
+                "Confidentiality", protected / count,
+                f"policy level {policy.security_level}",
+            )
+
+        return self._entity_store().measure_telemetry(read)
 
     def lines(self) -> list[ScoreLine]:
         return [

@@ -1,0 +1,1000 @@
+"""Streaming DQ telemetry: mergeable per-field accumulators, O(fields) reads.
+
+The scorecard and profiler rescan every stored record on each evaluation —
+O(records) per read, which collapses under the ROADMAP's millions-of-users
+target now that writes are batched and validation is compiled.  The DQ
+assessment literature the paper builds on (Batini et al. 2009) treats DQ
+indicators as *continuously monitored* artifacts, which requires
+incremental computation: this module maintains, per entity, a set of
+**mergeable streaming accumulators** updated on every store mutation
+(create / update / delete / metadata re-stamp) instead of recomputed by
+full scan.
+
+What is tracked, per field:
+
+* present / total counts (the Completeness inputs);
+* distinct values — exact (hashed counters) until the cardinality passes
+  ``spill_threshold``, then an approximate KMV sketch (:class:`KMVSketch`);
+* numeric min / max / mean / M2 plus a value→count table that answers
+  bounds queries (the Precision inputs) exactly while unspilled;
+* pattern-match tallies against the profiler's ``KNOWN_PATTERNS`` (exact
+  even after a spill: tallies are running counters, not re-derived);
+* and per entity: security-level and provenance counts (Confidentiality,
+  Traceability) and a last-modified-timestamp table with running sum/min
+  (Currentness in O(1) on the fresh path).
+
+Equivalence contract (pinned by tests and ``cluster-bench
+--dqtelemetry``): every live reading matches the full-rescan oracle —
+exactly for the integer-ratio lines (Precision, Traceability,
+Confidentiality) and all profiler suggestions, and to float tolerance
+(``math.isclose``, the two sides sum in different orders) for
+Completeness and Currentness.  Two documented degradations: a *spilled*
+field answers ``distinct`` approximately and loses its bounds table (the
+live Precision path falls back to the rescan oracle), and live
+suggestion field *order* assumes records share a consistent key order
+(the form-bound case; arbitrary dict-key interleavings may order the
+Completeness suggestion differently after deletes).
+
+Lock discipline: accumulators are owned by
+:class:`~repro.runtime.storage.EntityStore` and mutated only under the
+existing per-entity re-entrant lock, exactly like the field indexes.
+Reads either copy under the lock (``telemetry_snapshot``) or compute
+under it (``measure_telemetry``); cross-shard merges combine per-shard
+snapshots, so a merged view is per-shard consistent (the same contract
+scatter-gather listings offer).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from hashlib import blake2b
+from typing import Iterable, Mapping, Optional, Sequence
+
+from .metrics import compiled_pattern
+from .profiling import (
+    ENUM_MAX_CARDINALITY,
+    ENUM_MIN_SUPPORT,
+    KNOWN_PATTERNS,
+    Suggestion,
+    suggest_from_profiles,
+)
+
+#: Exact distinct tracking hands over to the KMV sketch past this many
+#: distinct values per field (bounds the accumulator's memory at
+#: O(spill_threshold) per field no matter how many records stream in).
+DEFAULT_SPILL_THRESHOLD = 1024
+
+#: KMV sketch size: relative error ~1/sqrt(k) ≈ 6% at 256.
+DEFAULT_SKETCH_SIZE = 256
+
+_HASH_SPACE = float(2 ** 64)
+
+#: Per-pattern index tuples for every observed mask, precomputed once.
+_PATTERN_COUNT = len(KNOWN_PATTERNS)
+_COMPILED_PATTERNS = tuple(
+    compiled_pattern(pattern) for _, pattern in KNOWN_PATTERNS
+)
+
+
+def _hash64(key: str) -> int:
+    """A deterministic (unsalted) 64-bit hash, stable across processes."""
+    return int.from_bytes(
+        blake2b(key.encode("utf-8", "surrogatepass"),
+                digest_size=8).digest(),
+        "big",
+    )
+
+
+class KMVSketch:
+    """K-minimum-values distinct-count estimator.
+
+    Keeps the ``k`` smallest 64-bit hashes seen; with ``m > k`` distinct
+    inputs the k-th smallest hash sits near ``k / m`` of the hash space,
+    so ``(k - 1) / kth_smallest`` estimates ``m``.  Merging is the union
+    of the kept hashes re-trimmed to ``k`` — order-insensitive and
+    idempotent, the property the cluster merge relies on.  Deletions are
+    not reflected: after a spill ``distinct`` is an upper-bound estimate.
+    """
+
+    __slots__ = ("k", "_heap", "_members")
+
+    def __init__(self, k: int = DEFAULT_SKETCH_SIZE):
+        if k < 16:
+            raise ValueError("sketch size must be >= 16")
+        self.k = k
+        self._heap: list[int] = []      # max-heap via negation
+        self._members: set[int] = set()
+
+    def add(self, key: str) -> None:
+        self.add_hash(_hash64(key))
+
+    def add_hash(self, value: int) -> None:
+        if value in self._members:
+            return
+        if len(self._heap) < self.k:
+            self._members.add(value)
+            heapq.heappush(self._heap, -value)
+            return
+        largest = -self._heap[0]
+        if value < largest:
+            self._members.add(value)
+            self._members.discard(largest)
+            heapq.heapreplace(self._heap, -value)
+
+    def estimate(self) -> int:
+        if len(self._heap) < self.k:
+            return len(self._heap)
+        kth = -self._heap[0]  # the k-th smallest hash kept
+        if kth == 0:
+            return len(self._heap)
+        return int(round((self.k - 1) * _HASH_SPACE / kth))
+
+    def merge(self, other: "KMVSketch") -> None:
+        for value in other._members:
+            self.add_hash(value)
+
+    def copy(self) -> "KMVSketch":
+        clone = KMVSketch(self.k)
+        clone._heap = list(self._heap)
+        clone._members = set(self._members)
+        return clone
+
+
+_PATTERN_ENUMERATED = tuple(enumerate(_COMPILED_PATTERNS))
+
+
+def _pattern_mask(value: str) -> tuple[int, ...]:
+    """Indexes of the known patterns ``value`` fully matches.
+
+    No known pattern admits a space (email forbids ``\\s``, the other
+    two are strict character classes), so free-text values skip the
+    regex engine entirely.
+    """
+    if " " in value:
+        return ()
+    mask = []
+    for index, compiled in _PATTERN_ENUMERATED:
+        if compiled.fullmatch(value):
+            mask.append(index)
+    return tuple(mask)
+
+
+class FieldAccumulator:
+    """Streaming statistics of one field — the live :class:`FieldProfile`.
+
+    Exposes the same read protocol (``completeness``, ``distinct``,
+    ``is_numeric``, ``numeric_range()``, ``matched_pattern()``,
+    ``looks_like_enum()``, ``value_domain()``, …) so the suggestion
+    heuristics run unchanged over either representation.  ``add`` /
+    ``remove`` mirror one record gaining / losing the field; callers
+    (the entity store) serialize them under the entity lock.
+    """
+
+    __slots__ = (
+        "name", "total", "missing", "spilled", "spill_threshold",
+        "_other_counts", "_sketch",
+        "_numeric_counts", "_num_n", "_num_sum", "_num_sumsq",
+        "_num_min", "_num_max",
+        "_string_count", "_strings", "_pattern_counts",
+    )
+
+    def __init__(
+        self, name: str, spill_threshold: int = DEFAULT_SPILL_THRESHOLD
+    ):
+        self.name = name
+        self.total = 0
+        self.missing = 0
+        self.spilled = False
+        self.spill_threshold = spill_threshold
+        # distinct tracking: strings live in the ``_strings`` memo keyed
+        # raw (their repr is injective and never collides with another
+        # type's repr); exact ``int``s are keyed by themselves (repr is
+        # injective on ints and an int key never equals a string key);
+        # everything else is keyed by repr — together exactly the
+        # oracle's |{repr(v)}|.
+        self._other_counts: dict = {}
+        self._sketch: Optional[KMVSketch] = None
+        # numeric: value→count answers bounds queries exactly; the
+        # running sums answer mean/M2 and survive the spill.
+        self._numeric_counts: dict = {}
+        self._num_n = 0
+        self._num_sum = 0.0
+        self._num_sumsq = 0.0
+        self._num_min: Optional[float] = None
+        self._num_max: Optional[float] = None
+        # strings: value→[count, pattern-index-tuple] memo doubles as
+        # the distinct-string table and keeps repeat strings off the
+        # regex path; the tallies are running counters.
+        self._string_count = 0
+        self._strings: Optional[dict[str, list]] = {}
+        self._pattern_counts = [0] * _PATTERN_COUNT
+
+    # -- writes (entity lock held) ---------------------------------------
+
+    def add(self, value) -> None:
+        # Hot path: exact ``str`` and ``int`` are dispatched on concrete
+        # type (no repr, no isinstance chain, spill check only when a
+        # new key appears); everything else takes ``_add_other``.
+        self.total += 1
+        kind = type(value)
+        if kind is str:
+            if not value or value.isspace():  # == not value.strip()
+                self.missing += 1
+                return
+            self._string_count += 1
+            strings = self._strings
+            if strings is not None:
+                entry = strings.get(value)
+                if entry is not None:
+                    entry[0] += 1
+                    mask = entry[1]
+                else:
+                    mask = _pattern_mask(value)
+                    strings[value] = [1, mask]
+                    if (
+                        len(strings) + len(self._other_counts)
+                        > self.spill_threshold
+                    ):
+                        self._spill()
+            else:
+                mask = _pattern_mask(value)
+                self._sketch.add(repr(value))
+            if mask:
+                tallies = self._pattern_counts
+                for index in mask:
+                    tallies[index] += 1
+            return
+        if kind is int:
+            self._num_n += 1
+            self._num_sum += value
+            self._num_sumsq += value * value
+            if self._num_min is None or value < self._num_min:
+                self._num_min = value
+            if self._num_max is None or value > self._num_max:
+                self._num_max = value
+            if self.spilled:
+                self._sketch.add(repr(value))
+                return
+            counts = self._other_counts
+            seen = counts.get(value)
+            if seen is None:
+                counts[value] = 1
+                if len(counts) + len(self._strings) > self.spill_threshold:
+                    self._spill()  # bounds table dropped with the rest
+                    return
+            else:
+                counts[value] = seen + 1
+            numeric = self._numeric_counts
+            numeric[value] = numeric.get(value, 0) + 1
+            return
+        self._add_other(value)
+
+    def _add_other(self, value) -> None:
+        """``add`` for everything off the str/int fast path (``total``
+        already counted): None, bools, floats, str subclasses, objects."""
+        if value is None:
+            self.missing += 1
+            return
+        if isinstance(value, str):  # str subclass: the string path
+            if not value.strip():
+                self.missing += 1
+                return
+            self._string_count += 1
+            strings = self._strings
+            if strings is None:
+                mask = _pattern_mask(value)
+                self._sketch.add(repr(value))
+            else:
+                entry = strings.get(value)
+                if entry is None:
+                    mask = _pattern_mask(value)
+                    strings[value] = [1, mask]
+                    if (
+                        len(strings) + len(self._other_counts)
+                        > self.spill_threshold
+                    ):
+                        self._spill()
+                else:
+                    entry[0] += 1
+                    mask = entry[1]
+            if mask:
+                tallies = self._pattern_counts
+                for index in mask:
+                    tallies[index] += 1
+            return
+        key = repr(value)
+        if self.spilled:
+            self._sketch.add(key)
+        else:
+            counts = self._other_counts
+            counts[key] = counts.get(key, 0) + 1
+            if len(counts) + len(self._strings) > self.spill_threshold:
+                self._spill()
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            self._num_n += 1
+            self._num_sum += value
+            self._num_sumsq += value * value
+            if self._num_min is None or value < self._num_min:
+                self._num_min = value
+            if self._num_max is None or value > self._num_max:
+                self._num_max = value
+            if not self.spilled:
+                numeric = self._numeric_counts
+                numeric[value] = numeric.get(value, 0) + 1
+
+    def remove(self, value) -> None:
+        self.total -= 1
+        kind = type(value)
+        if kind is str:
+            if not value or value.isspace():
+                self.missing -= 1
+                return
+            self._remove_text(value)
+            return
+        if kind is int:
+            if not self.spilled:
+                counts = self._other_counts
+                remaining = counts.get(value, 0) - 1
+                if remaining > 0:
+                    counts[value] = remaining
+                else:
+                    counts.pop(value, None)
+            self._remove_numeric(value)
+            return
+        if value is None:
+            self.missing -= 1
+            return
+        if isinstance(value, str):  # str subclass
+            if not value.strip():
+                self.missing -= 1
+            else:
+                self._remove_text(value)
+            return
+        if not self.spilled:
+            counts = self._other_counts
+            key = repr(value)
+            remaining = counts.get(key, 0) - 1
+            if remaining > 0:
+                counts[key] = remaining
+            else:
+                counts.pop(key, None)
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            self._remove_numeric(value)
+
+    def _remove_text(self, value: str) -> None:
+        """Drop one non-missing string occurrence (``total``/``missing``
+        already adjusted by :meth:`remove`)."""
+        self._string_count -= 1
+        strings = self._strings
+        if strings is None:
+            mask = _pattern_mask(value)
+        else:
+            entry = strings.get(value)
+            if entry is None:  # pragma: no cover - unseen removal
+                mask = _pattern_mask(value)
+            else:
+                entry[0] -= 1
+                mask = entry[1]
+                if entry[0] <= 0:
+                    del strings[value]
+        if mask:
+            tallies = self._pattern_counts
+            for index in mask:
+                tallies[index] -= 1
+
+    def _remove_numeric(self, value) -> None:
+        self._num_n -= 1
+        self._num_sum -= value
+        self._num_sumsq -= value * value
+        if self._num_n == 0:
+            self._num_sum = 0.0
+            self._num_sumsq = 0.0
+        if not self.spilled:
+            numeric = self._numeric_counts
+            remaining = numeric.get(value, 0) - 1
+            if remaining > 0:
+                numeric[value] = remaining
+            else:
+                numeric.pop(value, None)
+                if value == self._num_min or value == self._num_max:
+                    self._refresh_extremes()
+        # spilled: min/max stay monotone (deletes not reflected)
+
+    def _refresh_extremes(self) -> None:
+        if self._numeric_counts:
+            self._num_min = min(self._numeric_counts)
+            self._num_max = max(self._numeric_counts)
+        else:
+            self._num_min = None
+            self._num_max = None
+
+    def _spill(self) -> None:
+        """Hand exact distinct tracking over to the sketch.
+
+        The value→count tables are dropped (that is the point: memory
+        stays O(threshold)); the running numeric sums, min/max and
+        pattern tallies survive, so only ``distinct`` turns approximate
+        and the bounds table / value domain become unavailable.
+        """
+        sketch = KMVSketch()
+        for value in self._strings:
+            sketch.add(repr(value))
+        for key in self._other_counts:
+            sketch.add(key if type(key) is str else repr(key))
+        self._sketch = sketch
+        self.spilled = True
+        self._other_counts = {}
+        self._numeric_counts = {}
+        self._strings = None
+
+    # -- the FieldProfile read protocol ----------------------------------
+
+    @property
+    def present(self) -> int:
+        return self.total - self.missing
+
+    @property
+    def completeness(self) -> float:
+        if self.total == 0:
+            return 1.0
+        return self.present / self.total
+
+    @property
+    def distinct(self) -> int:
+        if self.spilled:
+            return self._sketch.estimate()
+        return len(self._strings) + len(self._other_counts)
+
+    @property
+    def is_numeric(self) -> bool:
+        return self.present > 0 and self._num_n == self.present
+
+    def numeric_range(self) -> Optional[tuple[float, float]]:
+        if self._num_n == 0:
+            return None
+        return (self._num_min, self._num_max)
+
+    @property
+    def is_textual(self) -> bool:
+        return self.present > 0 and self._string_count == self.present
+
+    def matched_pattern(self) -> Optional[tuple[str, str]]:
+        """The first known pattern every present value matches — running
+        tallies make this exact even after a spill."""
+        if self._string_count == 0 or self._string_count != self.present:
+            return None
+        tallies = self._pattern_counts
+        for index, (label, pattern) in enumerate(KNOWN_PATTERNS):
+            if tallies[index] == self._string_count:
+                return (label, pattern)
+        return None
+
+    def looks_like_enum(self) -> bool:
+        if self.spilled:  # >= threshold distinct values: never enum-like
+            return False
+        if not self.is_textual or self.present == 0:
+            return False
+        distinct = self.distinct
+        if distinct > ENUM_MAX_CARDINALITY or distinct < 2:
+            return False
+        return self.present / distinct >= ENUM_MIN_SUPPORT
+
+    def value_domain(self) -> list[str]:
+        if self._strings is None:
+            return []  # spilled: the domain table was dropped
+        return sorted(self._strings)
+
+    def has_duplicates(self) -> bool:
+        return self.distinct < self.present
+
+    # -- beyond the profile protocol -------------------------------------
+
+    @property
+    def mean(self) -> Optional[float]:
+        if self._num_n == 0:
+            return None
+        return self._num_sum / self._num_n
+
+    @property
+    def m2(self) -> float:
+        """Sum of squared deviations from the mean (Welford's M2)."""
+        if self._num_n == 0:
+            return 0.0
+        m2 = self._num_sumsq - (self._num_sum * self._num_sum) / self._num_n
+        return max(0.0, m2)
+
+    @property
+    def variance(self) -> float:
+        return self.m2 / self._num_n if self._num_n else 0.0
+
+    def count_in_bounds(self, lower, upper) -> Optional[int]:
+        """How many present values satisfy ``lower <= v <= upper`` —
+        exact while unspilled, ``None`` after (caller must fall back)."""
+        if self.spilled:
+            return None
+        return sum(
+            count for value, count in self._numeric_counts.items()
+            if lower <= value <= upper
+        )
+
+    # -- lifecycle --------------------------------------------------------
+
+    def merge(self, other: "FieldAccumulator") -> None:
+        self.total += other.total
+        self.missing += other.missing
+        self._num_n += other._num_n
+        self._num_sum += other._num_sum
+        self._num_sumsq += other._num_sumsq
+        if other._num_min is not None and (
+            self._num_min is None or other._num_min < self._num_min
+        ):
+            self._num_min = other._num_min
+        if other._num_max is not None and (
+            self._num_max is None or other._num_max > self._num_max
+        ):
+            self._num_max = other._num_max
+        self._string_count += other._string_count
+        for index in range(_PATTERN_COUNT):
+            self._pattern_counts[index] += other._pattern_counts[index]
+        if self.spilled or other.spilled:
+            if not self.spilled:
+                self._spill()
+            if other.spilled:
+                self._sketch.merge(other._sketch)
+            else:
+                sketch = self._sketch
+                for value in other._strings:
+                    sketch.add(repr(value))
+                for key in other._other_counts:
+                    sketch.add(key if type(key) is str else repr(key))
+            return
+        for key, count in other._other_counts.items():
+            self._other_counts[key] = self._other_counts.get(key, 0) + count
+        for value, count in other._numeric_counts.items():
+            self._numeric_counts[value] = (
+                self._numeric_counts.get(value, 0) + count
+            )
+        for value, (count, mask) in other._strings.items():
+            entry = self._strings.get(value)
+            if entry is None:
+                self._strings[value] = [count, mask]
+            else:
+                entry[0] += count
+        if (
+            len(self._strings) + len(self._other_counts)
+            > self.spill_threshold
+        ):
+            self._spill()
+
+    def copy(self) -> "FieldAccumulator":
+        clone = FieldAccumulator(self.name, self.spill_threshold)
+        clone.total = self.total
+        clone.missing = self.missing
+        clone.spilled = self.spilled
+        clone._other_counts = dict(self._other_counts)
+        clone._sketch = self._sketch.copy() if self._sketch else None
+        clone._numeric_counts = dict(self._numeric_counts)
+        clone._num_n = self._num_n
+        clone._num_sum = self._num_sum
+        clone._num_sumsq = self._num_sumsq
+        clone._num_min = self._num_min
+        clone._num_max = self._num_max
+        clone._string_count = self._string_count
+        clone._strings = (
+            {value: list(entry) for value, entry in self._strings.items()}
+            if self._strings is not None else None
+        )
+        clone._pattern_counts = list(self._pattern_counts)
+        return clone
+
+    def __repr__(self) -> str:
+        return (
+            f"<FieldAccumulator {self.name!r} {self.present}/{self.total} "
+            f"present, {self.distinct} distinct"
+            f"{' (spilled)' if self.spilled else ''}>"
+        )
+
+
+class EntityAccumulator:
+    """All streaming telemetry of one entity, updated per mutation.
+
+    Field accumulators mirror :class:`~repro.dq.profiling.DataProfiler`
+    semantics (a field's ``total`` counts the records carrying the key);
+    the metadata side tracks the scorecard inputs — provenance count,
+    security-level counts, and the last-modified-timestamp table with a
+    running sum and minimum so the common all-fresh Currentness read is
+    O(1).  ``_meta_state`` remembers each record's last observed metadata
+    so re-stamps apply as deltas (and is the one O(records) structure —
+    small constants, the same trade the confidentiality index makes).
+    """
+
+    def __init__(
+        self,
+        entity: str,
+        spill_threshold: int = DEFAULT_SPILL_THRESHOLD,
+    ):
+        self.entity = entity
+        self.spill_threshold = spill_threshold
+        self.records = 0
+        self.updates = 0  # observe calls absorbed (telemetry_stats)
+        self._fields: dict[str, FieldAccumulator] = {}
+        self._levels: dict[int, int] = {}
+        self._traced = 0
+        self._timestamps: dict[int, int] = {}
+        self._ts_sum = 0
+        self._ts_count = 0
+        self._ts_min: Optional[int] = None
+        self._meta_state: dict[int, tuple] = {}
+
+    # -- mutation observers (entity lock held) ---------------------------
+
+    def _field(self, name: str) -> FieldAccumulator:
+        accumulator = self._fields.get(name)
+        if accumulator is None:
+            accumulator = FieldAccumulator(name, self.spill_threshold)
+            self._fields[name] = accumulator
+        return accumulator
+
+    def observe_row(self, record_id: int, data: Mapping, metadata) -> None:
+        """One record entered the store (``data`` is the published dict
+        captured at mutation time; ``metadata`` may still be stamped
+        later — :meth:`observe_metadata` applies the delta)."""
+        self.updates += 1
+        self.records += 1
+        fields = self._fields
+        for name, value in data.items():
+            accumulator = fields.get(name)
+            if accumulator is None:
+                accumulator = self._field(name)
+            accumulator.add(value)
+        self._register_metadata(record_id, metadata)
+
+    def observe_insert(self, stored) -> None:
+        self.observe_row(stored.record_id, stored.data, stored.metadata)
+
+    def observe_rows(self, rows: Iterable[tuple]) -> None:
+        """A whole already-stamped chunk of ``(record_id, data,
+        metadata)`` triples in one call — the batched write path's single
+        telemetry update per chunk (loop overheads hoisted, one
+        ``updates`` tick per chunk)."""
+        self.updates += 1
+        fields = self._fields
+        new_field = self._field
+        register = self._register_metadata
+        count = 0
+        for record_id, data, metadata in rows:
+            count += 1
+            for name, value in data.items():
+                accumulator = fields.get(name)
+                if accumulator is None:
+                    accumulator = new_field(name)
+                accumulator.add(value)
+            register(record_id, metadata)
+        self.records += count
+
+    def observe_insert_many(self, stored_list: Sequence) -> None:
+        self.observe_rows(
+            (stored.record_id, stored.data, stored.metadata)
+            for stored in stored_list
+        )
+
+    def observe_update(self, old_data: Mapping, new_data: Mapping) -> None:
+        """A record's published dict was replaced (copy-on-write: the new
+        dict's keys are a superset of the old one's)."""
+        self.updates += 1
+        fields = self._fields
+        for name, new_value in new_data.items():
+            if name in old_data:
+                old_value = old_data[name]
+                if old_value is new_value:
+                    continue
+                accumulator = fields[name]
+                accumulator.remove(old_value)
+                accumulator.add(new_value)
+            else:
+                accumulator = fields.get(name)
+                if accumulator is None:
+                    accumulator = self._field(name)
+                accumulator.add(new_value)
+
+    def observe_delete_row(self, record_id: int, data: Mapping) -> None:
+        self.updates += 1
+        self.records -= 1
+        fields = self._fields
+        for name, value in data.items():
+            fields[name].remove(value)
+        state = self._meta_state.pop(record_id, None)
+        if state is not None:
+            self._retire_metadata(state)
+
+    def observe_delete(self, stored) -> None:
+        self.observe_delete_row(stored.record_id, stored.data)
+
+    def absorb(self, ops: Sequence[tuple]) -> None:
+        """Replay a store's deferred mutation queue, in order.
+
+        The write path enqueues compact op tuples (captured dict refs —
+        published dicts are copy-on-write, so they are frozen the moment
+        they are captured) and pays nothing else; the accumulator
+        absorbs the queue on the next telemetry read.  Each mutation is
+        absorbed exactly once, and ``updates`` ticks exactly as the
+        synchronous observers would have.  Metadata objects are read at
+        absorb time: every re-stamp also enqueued a ``meta`` op, so the
+        replay converges on the sidecar's final state.
+        """
+        for op in ops:
+            kind = op[0]
+            if kind == "rows":
+                self.observe_rows(op[1])
+            elif kind == "meta":
+                self.observe_metadata(op[1], op[2])
+            elif kind == "update":
+                self.observe_update(op[1], op[2])
+            elif kind == "row":
+                self.observe_row(op[1], op[2], op[3])
+            else:  # "delete"
+                self.observe_delete_row(op[1], op[2])
+
+    def observe_metadata(self, record_id: int, metadata) -> None:
+        """A record's sidecar was re-stamped; apply the delta.
+
+        Unregistered ids are skipped silently — mid-batch records are
+        registered once, already stamped, by :meth:`observe_insert_many`.
+        """
+        old = self._meta_state.get(record_id)
+        if old is None:
+            return
+        self.updates += 1
+        new = (
+            bool(metadata.stored_by) and metadata.stored_date is not None,
+            metadata.security_level,
+            metadata.last_modified_date,
+        )
+        if new == old:
+            return
+        self._retire_metadata(old)
+        self._meta_state[record_id] = new
+        self._admit_metadata(new)
+
+    def _register_metadata(self, record_id: int, metadata) -> None:
+        state = (
+            bool(metadata.stored_by) and metadata.stored_date is not None,
+            metadata.security_level,
+            metadata.last_modified_date,
+        )
+        self._meta_state[record_id] = state
+        self._admit_metadata(state)
+
+    def _admit_metadata(self, state: tuple) -> None:
+        traced, level, timestamp = state
+        if traced:
+            self._traced += 1
+        self._levels[level] = self._levels.get(level, 0) + 1
+        if timestamp is not None:
+            table = self._timestamps
+            table[timestamp] = table.get(timestamp, 0) + 1
+            self._ts_sum += timestamp
+            self._ts_count += 1
+            # ``None`` means "invalidated, recompute lazily" — admitting
+            # over it must NOT claim this timestamp is the minimum (the
+            # table may still hold older entries).
+            minimum = self._ts_min
+            if minimum is not None and timestamp < minimum:
+                self._ts_min = timestamp
+
+    def _retire_metadata(self, state: tuple) -> None:
+        traced, level, timestamp = state
+        if traced:
+            self._traced -= 1
+        remaining = self._levels.get(level, 0) - 1
+        if remaining > 0:
+            self._levels[level] = remaining
+        else:
+            self._levels.pop(level, None)
+        if timestamp is not None:
+            table = self._timestamps
+            remaining = table.get(timestamp, 0) - 1
+            if remaining > 0:
+                table[timestamp] = remaining
+            else:
+                table.pop(timestamp, None)
+                if timestamp == self._ts_min:
+                    self._ts_min = None  # recomputed lazily on next read
+            self._ts_sum -= timestamp
+            self._ts_count -= 1
+
+    # -- reads ------------------------------------------------------------
+
+    @property
+    def fields(self) -> list[FieldAccumulator]:
+        return list(self._fields.values())
+
+    def field(self, name: str) -> FieldAccumulator:
+        return self._fields[name]
+
+    def field_or_none(self, name: str) -> Optional[FieldAccumulator]:
+        return self._fields.get(name)
+
+    @property
+    def traced(self) -> int:
+        return self._traced
+
+    def present_of(self, name: str) -> int:
+        accumulator = self._fields.get(name)
+        return accumulator.present if accumulator is not None else 0
+
+    def protected_count(self, minimum_level: int) -> int:
+        """Records whose security level reaches ``minimum_level``."""
+        return sum(
+            count for level, count in self._levels.items()
+            if level >= minimum_level
+        )
+
+    def currentness_total(self, now: int, max_age: int) -> float:
+        """Sum of per-record linear-decay scores at tick ``now``.
+
+        O(1) while no record is older than ``max_age`` (the running
+        sum/min answer it algebraically); O(distinct timestamps) once any
+        record clamps to zero.  Records never stamped score 0.0, exactly
+        like the oracle's ``currentness_score(None, …)``.
+        """
+        if max_age <= 0:
+            raise ValueError("max_age must be positive")
+        count = self._ts_count
+        if count == 0:
+            return 0.0
+        minimum = self._ts_min
+        if minimum is None:
+            minimum = min(self._timestamps)
+            self._ts_min = minimum
+        if now - minimum <= max_age:
+            return count - (now * count - self._ts_sum) / max_age
+        return sum(
+            bucket * (1.0 - (now - timestamp) / max_age)
+            for timestamp, bucket in self._timestamps.items()
+            if now - timestamp < max_age
+        )
+
+    @property
+    def spilled_fields(self) -> int:
+        return sum(
+            1 for accumulator in self._fields.values() if accumulator.spilled
+        )
+
+    def stats(self) -> dict:
+        """Deterministic counters for metrics / the chaos report."""
+        return {
+            "records": self.records,
+            "updates": self.updates,
+            "tracked_fields": len(self._fields),
+            "spilled_fields": self.spilled_fields,
+        }
+
+    # -- lifecycle --------------------------------------------------------
+
+    def merge(self, other: "EntityAccumulator") -> None:
+        """Fold another shard's accumulator in (count-based stats only
+        meaningfully compare when both sides share a clock for the
+        timestamp table — the cluster scorecard composes Currentness
+        per shard instead of reading the merged table)."""
+        self.records += other.records
+        self.updates += other.updates
+        for name, accumulator in other._fields.items():
+            mine = self._fields.get(name)
+            if mine is None:
+                self._fields[name] = accumulator.copy()
+            else:
+                mine.merge(accumulator)
+        for level, count in other._levels.items():
+            self._levels[level] = self._levels.get(level, 0) + count
+        self._traced += other._traced
+        for timestamp, count in other._timestamps.items():
+            self._timestamps[timestamp] = (
+                self._timestamps.get(timestamp, 0) + count
+            )
+        self._ts_sum += other._ts_sum
+        self._ts_count += other._ts_count
+        # A ``None`` minimum on either side means "invalidated" — the
+        # merged minimum is then unknown too (recomputed lazily on the
+        # next Currentness read); only two known minima combine eagerly.
+        if self._ts_min is None or other._ts_min is None:
+            self._ts_min = None
+        elif other._ts_min < self._ts_min:
+            self._ts_min = other._ts_min
+
+    def snapshot(self) -> "EntityAccumulator":
+        """A mergeable copy, minus the per-record ``_meta_state`` map
+        (a snapshot serves reads and merges, never deltas)."""
+        clone = EntityAccumulator(self.entity, self.spill_threshold)
+        clone.records = self.records
+        clone.updates = self.updates
+        clone._fields = {
+            name: accumulator.copy()
+            for name, accumulator in self._fields.items()
+        }
+        clone._levels = dict(self._levels)
+        clone._traced = self._traced
+        clone._timestamps = dict(self._timestamps)
+        clone._ts_sum = self._ts_sum
+        clone._ts_count = self._ts_count
+        clone._ts_min = self._ts_min
+        return clone
+
+    def __repr__(self) -> str:
+        return (
+            f"<EntityAccumulator {self.entity!r} {self.records} record(s), "
+            f"{len(self._fields)} field(s)>"
+        )
+
+
+class LiveProfile:
+    """A :class:`~repro.dq.profiling.DataProfiler`-compatible view over an
+    entity accumulator: same ``records_seen`` / ``field`` / ``fields`` /
+    ``suggest`` / ``report`` surface, O(fields) instead of O(records)."""
+
+    def __init__(self, accumulator: EntityAccumulator):
+        self._accumulator = accumulator
+
+    @property
+    def records_seen(self) -> int:
+        return self._accumulator.records
+
+    def field(self, name: str) -> FieldAccumulator:
+        return self._accumulator.field(name)
+
+    @property
+    def fields(self) -> list[FieldAccumulator]:
+        return self._accumulator.fields
+
+    def suggest(self, min_sample: int = 5) -> list[Suggestion]:
+        return suggest_from_profiles(
+            self._accumulator.fields,
+            self._accumulator.records,
+            min_sample,
+        )
+
+    def report(self) -> str:
+        lines = [f"profiled {self.records_seen} record(s)"]
+        for profile in sorted(self.fields, key=lambda p: p.name):
+            extras = []
+            if profile.is_numeric and profile.numeric_range():
+                lo, hi = profile.numeric_range()
+                extras.append(f"range [{lo}, {hi}]")
+            matched = profile.matched_pattern()
+            if matched:
+                extras.append(f"pattern {matched[0]}")
+            if profile.looks_like_enum():
+                extras.append(f"domain {profile.value_domain()}")
+            suffix = f" — {', '.join(extras)}" if extras else ""
+            lines.append(
+                f"  {profile.name}: {profile.completeness:.0%} complete, "
+                f"{profile.distinct} distinct{suffix}"
+            )
+        for suggestion in self.suggest():
+            lines.append(f"  -> suggest {suggestion.describe()}")
+        return "\n".join(lines)
+
+
+def merge_accumulators(
+    accumulators: Iterable[Optional[EntityAccumulator]],
+) -> Optional[EntityAccumulator]:
+    """Fold per-shard snapshots, first shard's field order winning (the
+    order the concatenated-records oracle would discover fields in).
+    ``None`` if any side has telemetry disabled — a partial merge would
+    silently under-count, violating Completeness."""
+    merged: Optional[EntityAccumulator] = None
+    for accumulator in accumulators:
+        if accumulator is None:
+            return None
+        if merged is None:
+            merged = accumulator.snapshot()
+        else:
+            merged.merge(accumulator)
+    return merged
+
+
+def scores_close(left: float, right: float) -> bool:
+    """The equivalence tolerance for the float-summation lines
+    (Completeness, Currentness); integer-ratio lines compare exactly."""
+    return math.isclose(left, right, rel_tol=1e-9, abs_tol=1e-12)

@@ -321,8 +321,10 @@ class WebApp:
             return result
         # compiled: one vectorized validate_batch over the whole chunk
         # (the records were just bound, so the plan may skip its layout
-        # check), then the per-record authorize/store/audit steps run in
-        # index order exactly as the per-record pipeline would.
+        # check), then ONE authorization check and ONE ``store_many``
+        # trip for every valid row — same per-row stamps and audit
+        # events as the per-record pipeline, but the entity lock and the
+        # telemetry accumulators are touched once per chunk.
         form = self.form(form_name)
         bound = [form.bind(record) for record in records]
         t0 = perf_counter()
@@ -330,6 +332,7 @@ class WebApp:
         self.validation.observe(
             len(bound), perf_counter() - t0, batched=True
         )
+        valid: list[tuple[int, dict, Optional[int]]] = []
         for index, (record, findings) in enumerate(zip(bound, per_record)):
             pinned = record_ids[index] if record_ids is not None else None
             if findings:
@@ -340,13 +343,37 @@ class WebApp:
                     detail="; ".join(f.render() for f in findings),
                 )
                 result.rejected.append((index, findings))
-                continue
-            try:
-                stored = self._store_validated(form, record, user, pinned)
-            except AuthorizationError as exc:
-                result.unauthorized.append((index, str(exc)))
             else:
-                result.accepted.append((index, stored.record_id))
+                valid.append((index, record, pinned))
+        if not valid:
+            return result
+        account = self.users.get(user)
+        policy = self.policies.for_entity(form.entity)
+        try:
+            self.policies.check_write(form.entity, account)
+        except AuthorizationError as exc:
+            detail = str(exc)
+            for index, _record, _pinned in valid:
+                self.audit.record(
+                    audit_events.REJECT_AUTH, user, form.entity,
+                    detail=detail,
+                )
+                result.unauthorized.append((index, detail))
+            return result
+        grants = [user] if policy.grant_writer_access else []
+        stored_list = self.store.store_many(
+            form.entity,
+            [record for _index, record, _pinned in valid],
+            user,
+            security_level=policy.security_level,
+            available_to=grants,
+            record_ids=[pinned for _index, _record, pinned in valid],
+        )
+        for (index, _record, _pinned), stored in zip(valid, stored_list):
+            self.audit.record(
+                audit_events.STORE, user, form.entity, stored.record_id
+            )
+            result.accepted.append((index, stored.record_id))
         return result
 
     def read(self, entity: str, user: str) -> list[StoredRecord]:

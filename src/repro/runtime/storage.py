@@ -37,6 +37,7 @@ from dataclasses import dataclass, field, replace
 from typing import Callable, Iterable, Optional, Sequence
 
 from repro.dq.metadata import Clock, DQMetadataRecord
+from repro.dq.streaming import EntityAccumulator
 
 #: Value types a snapshot may share with the live record: immutable
 #: scalars, plus immutable containers of the same.
@@ -259,6 +260,73 @@ class EntityStore:
         self._lock = threading.RLock()
         self._field_indexes: dict[str, dict[object, set[int]]] = {}
         self._confidentiality = _ConfidentialityIndex()
+        # Streaming DQ telemetry: maintained under the entity lock next
+        # to the field indexes, default-on.  ``None`` while disabled (or
+        # pending a rebuild after re-enabling).  Writes only enqueue
+        # compact op tuples on ``_telemetry_pending``; the accumulator
+        # absorbs the queue on the next telemetry read, so the write
+        # path never pays the per-value accounting.
+        self._telemetry_enabled = True
+        self._telemetry: Optional[EntityAccumulator] = EntityAccumulator(name)
+        self._telemetry_pending: list[tuple] = []
+        self.telemetry_rebuilds = 0
+
+    # -- streaming DQ telemetry -------------------------------------------
+
+    def set_telemetry(self, enabled: bool) -> None:
+        """Enable or disable streaming DQ telemetry for this entity.
+
+        Disabling drops the accumulator (writes stop paying for it);
+        re-enabling rebuilds it lazily from the stored records on the
+        next telemetry read.
+        """
+        with self._lock:
+            self._telemetry_enabled = enabled
+            if not enabled:
+                self._telemetry = None
+                self._telemetry_pending.clear()
+
+    @property
+    def telemetry(self) -> Optional[EntityAccumulator]:
+        """The **live**, fully-drained accumulator (entity-lock
+        discipline applies) — ``None`` while telemetry is disabled.
+        Prefer :meth:`telemetry_snapshot` / :meth:`measure_telemetry`
+        outside the store."""
+        with self._lock:
+            accumulator = self._telemetry
+            if accumulator is None:
+                if not self._telemetry_enabled:
+                    return None
+                # Rebuild from the stored records; nothing can be
+                # pending (hooks only enqueue while an accumulator
+                # exists, and disabling cleared the queue).
+                accumulator = EntityAccumulator(self.name)
+                for stored in self._records.values():
+                    accumulator.observe_insert(stored)
+                self._telemetry = accumulator
+                self.telemetry_rebuilds += 1
+                return accumulator
+            pending = self._telemetry_pending
+            if pending:
+                self._telemetry_pending = []
+                accumulator.absorb(pending)
+            return accumulator
+
+    def telemetry_snapshot(self) -> Optional[EntityAccumulator]:
+        """A mergeable point-in-time copy of the accumulator (``None``
+        while telemetry is disabled)."""
+        with self._lock:
+            accumulator = self.telemetry
+            return accumulator.snapshot() if accumulator is not None else None
+
+    def measure_telemetry(self, fn):
+        """Run a read ``fn(accumulator)`` under the entity lock, without
+        paying for a snapshot copy; ``None`` while disabled."""
+        with self._lock:
+            accumulator = self.telemetry
+            if accumulator is None:
+                return None
+            return fn(accumulator)
 
     # -- secondary indexes -------------------------------------------------
 
@@ -324,6 +392,10 @@ class EntityStore:
         with self._lock:
             stored = self._live(record_id)
             self._confidentiality.index(record_id, stored.metadata)
+            if self._telemetry is not None:
+                self._telemetry_pending.append(
+                    ("meta", record_id, stored.metadata)
+                )
 
     # -- writes ------------------------------------------------------------
 
@@ -346,7 +418,52 @@ class EntityStore:
             stored = StoredRecord(record_id, dict(data))
             self._records[record_id] = stored
             self._index_record(stored)
+            if self._telemetry is not None:
+                self._telemetry_pending.append(
+                    ("row", record_id, stored.data, stored.metadata)
+                )
             return stored
+
+    def insert_many(
+        self,
+        rows: Sequence[dict],
+        record_ids: Optional[Sequence[Optional[int]]] = None,
+    ) -> list[StoredRecord]:
+        """Insert a whole chunk under one lock trip, **telemetry
+        deferred**: the caller stamps metadata on the returned records
+        and then hands the chunk to :meth:`observe_inserted` so the
+        accumulators absorb it in a single batched update (the ≤10%
+        write-overhead contract of ``submit_many``).
+        """
+        with self._lock:
+            if record_ids is None:
+                record_ids = (None,) * len(rows)
+            stored_list: list[StoredRecord] = []
+            for data, record_id in zip(rows, record_ids):
+                if record_id is None:
+                    record_id = self._ids.allocate()
+                else:
+                    if record_id in self._records:
+                        raise ValueError(
+                            f"{self.name}: record id {record_id} "
+                            "already in use"
+                        )
+                    self._ids.reserve(record_id)
+                stored = StoredRecord(record_id, dict(data))
+                self._records[record_id] = stored
+                self._index_record(stored)
+                stored_list.append(stored)
+            return stored_list
+
+    def observe_inserted(self, stored_list: Sequence[StoredRecord]) -> None:
+        """Feed an :meth:`insert_many` chunk (metadata already stamped)
+        to the telemetry accumulator as one batched update."""
+        with self._lock:
+            if self._telemetry is not None:
+                self._telemetry_pending.append(("rows", [
+                    (stored.record_id, stored.data, stored.metadata)
+                    for stored in stored_list
+                ]))
 
     def update(self, record_id: int, data: dict) -> StoredRecord:
         """Merge ``data`` into a record — by *publishing a fresh dict*.
@@ -359,11 +476,16 @@ class EntityStore:
             stored = self._live(record_id)
             if self._field_indexes:
                 self._unindex_field_values(record_id, stored)
-            stored.data = {**stored.data, **data}
+            old_data = stored.data
+            stored.data = {**old_data, **data}
             stored.shareable = stored.shareable and _values_shareable(data)
             stored.version += 1
             for field_name in self._field_indexes:
                 self._index_field_value(field_name, stored, record_id)
+            if self._telemetry is not None:
+                self._telemetry_pending.append(
+                    ("update", old_data, stored.data)
+                )
             return stored
 
     def delete(self, record_id: int) -> None:
@@ -372,6 +494,10 @@ class EntityStore:
             del self._records[record_id]
             self._unindex_field_values(record_id, stored)
             self._confidentiality.unindex(record_id)
+            if self._telemetry is not None:
+                self._telemetry_pending.append(
+                    ("delete", record_id, stored.data)
+                )
 
     def _live(self, record_id: int) -> StoredRecord:
         """The live record (write path / internal use only)."""
@@ -535,6 +661,13 @@ class ContentStore:
             for store in self._entities.values():
                 store.deep_snapshots = enabled
 
+    def set_telemetry(self, enabled: bool) -> None:
+        """Enable or disable streaming DQ telemetry on every entity —
+        the write-overhead benchmark baseline switch."""
+        with self._lock:
+            for store in self._entities.values():
+                store.set_telemetry(enabled)
+
     # -- DQ-aware operations ----------------------------------------------
 
     def store(
@@ -555,6 +688,30 @@ class ContentStore:
             entity.reindex_metadata(stored.record_id)
             return stored
 
+    def store_many(
+        self,
+        entity_name: str,
+        rows: Sequence[dict],
+        user: str,
+        security_level: int = 0,
+        available_to: Iterable[str] = (),
+        record_ids: Optional[Sequence[Optional[int]]] = None,
+    ) -> list[StoredRecord]:
+        """Insert a validated chunk with metadata captured — the batched
+        equivalent of calling :meth:`store` per row (same per-row clock
+        ticks and stamps) with one lock trip and **one** telemetry update
+        for the whole chunk.
+        """
+        entity = self.entity(entity_name)
+        with entity._lock:
+            stored_list = entity.insert_many(rows, record_ids=record_ids)
+            for stored in stored_list:
+                stored.metadata.record_store(user, self.clock)
+                stored.metadata.restrict(security_level, available_to)
+                entity.reindex_metadata(stored.record_id)
+            entity.observe_inserted(stored_list)
+            return stored_list
+
     def modify(
         self, entity_name: str, record_id: int, data: dict, user: str
     ) -> StoredRecord:
@@ -563,6 +720,7 @@ class ContentStore:
         with entity._lock:
             stored = entity.update(record_id, data)
             stored.metadata.record_modification(user, self.clock)
+            entity.reindex_metadata(record_id)
             return stored
 
     def restrict(
