@@ -1,0 +1,108 @@
+"""Durability bench (ours): WAL write overhead, recovery, kill storms.
+
+The persistence subsystem must be *cheap when healthy and exact when
+killed*: acknowledged batches ride a group-committed write-ahead log at
+<= 25% overhead over pure in-memory serving (40% for sqlite), a crashed
+store recovers byte-identically from snapshot + WAL tail within 5s per
+100k records, and a seeded kill-restart storm loses nothing the gateway
+acknowledged.  The slow tests are the CLI floors (``cluster-bench
+--durability``); the micro-benchmarks pin the per-op costs underneath
+them — record encoding, the append/sync split, and cold recovery.
+"""
+
+import pytest
+
+from repro.cluster import run_chaos, run_durability_bench
+from repro.persistence import FileWALBackend, SQLiteBackend
+from repro.persistence.wal import WriteAheadLog, encode_payload
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("backend", ["file", "sqlite"])
+def test_durability_floors_hold(backend, tmp_path):
+    result = run_durability_bench(
+        backend=backend,
+        records=5_000,
+        write_records=3_000,
+        storm_count=150,
+        kills=2,
+        rounds=3,
+    )
+    print()
+    print(result.render())
+    assert result.passed, "\n".join(result.floor_failures())
+
+
+@pytest.mark.slow
+def test_kill_storm_loses_nothing(tmp_path):
+    result = run_chaos(
+        seed=23, count=300, preload=24, kills=3,
+        persistence="file", data_dir=tmp_path,
+    )
+    assert result.restarts >= 1
+    assert result.ok, "\n".join(str(v) for v in result.violations)
+
+
+def test_payload_encode(benchmark):
+    """Encoding one columnar rows op — the hot durable-write unit."""
+    op = {
+        "op": "rows",
+        "entity": "Add all data as result of review",
+        "by": "pc_member_1",
+        "level": 2,
+        "grants": [],
+        "fields": ["paper_id", "overall_evaluation", "reviewer_confidence"],
+        "rows": [[i, [i, 2, 3], False, 100 + i] for i in range(32)],
+    }
+    assert len(benchmark(encode_payload, op)) > 0
+
+
+def test_wal_append(benchmark, tmp_path):
+    """One buffered append: encode + CRC + write(2), no barrier."""
+    wal = WriteAheadLog(tmp_path / "bench.log")
+    op = {"op": "insert", "entity": "e", "id": 7, "data": {"x": 1, "y": "z"}}
+    try:
+        benchmark(wal.append, op)
+    finally:
+        wal.close()
+
+
+def test_wal_group_commit(benchmark, tmp_path):
+    """A 32-record group commit: 32 appends amortize one flush+fsync."""
+    wal = WriteAheadLog(tmp_path / "group.log")
+    ops = [{"op": "insert", "entity": "e", "id": i} for i in range(32)]
+
+    def batch():
+        for op in ops:
+            wal.append(op)
+        wal.sync()
+
+    try:
+        benchmark(batch)
+    finally:
+        wal.close()
+
+
+@pytest.mark.parametrize(
+    "make",
+    [
+        pytest.param(lambda p: FileWALBackend(p / "wal"), id="file"),
+        pytest.param(lambda p: SQLiteBackend(p / "wal.db"), id="sqlite"),
+    ],
+)
+def test_cold_recovery(benchmark, tmp_path, make):
+    """Reading back a synced 2k-op log: decode + CRC-verify every record."""
+    backend = make(tmp_path)
+    for i in range(2_000):
+        backend.append({"op": "insert", "entity": "e", "id": i})
+    backend.sync()
+    backend.kill()
+
+    def recover():
+        reader = make(tmp_path)
+        state = reader.recover()
+        reader.kill()
+        return state
+
+    state = benchmark(recover)
+    assert len(state.ops) == 2_000

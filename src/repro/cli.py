@@ -27,11 +27,16 @@ Subcommands mirror the pipeline stages:
   legacy interpreted chain; exit 1 on a missed floor), and
   ``--dqtelemetry`` runs the streaming-DQ-telemetry bench (live
   scorecards/profiles vs full rescans, with the zero-diff equivalence
-  sweep; exit 1 on a missed floor) — all three accept ``--json PATH``
-  for the machine-readable report;
+  sweep; exit 1 on a missed floor), and ``--durability`` runs the
+  persistence bench (WAL write overhead, crash-recovery time, the
+  post-recovery oracle and a kill-restart storm; exit 1 on a missed
+  floor) — all four accept ``--json PATH`` for the machine-readable
+  report;
 * ``chaos`` — run the deterministic fault-injection harness against the
-  sharded gateway and verify every DQ guarantee held; exit code 1 on any
-  violation.
+  sharded gateway and verify every DQ guarantee held; ``--durability``
+  (or ``--backend file|sqlite`` with ``--kills N``) puts a durable
+  backend under every shard and layers seeded kill-restart faults over
+  the storm; exit code 1 on any violation.
 """
 
 from __future__ import annotations
@@ -158,10 +163,27 @@ def build_parser() -> argparse.ArgumentParser:
              "a missed floor",
     )
     cluster_bench.add_argument(
+        "--durability", action="store_true",
+        help="run the durability bench (WAL write overhead vs in-memory, "
+             "crash-recovery time, the post-recovery oracle sweep and a "
+             "seeded kill-restart storm); exit 1 on a missed floor",
+    )
+    cluster_bench.add_argument(
+        "--backend", default="file", choices=["file", "sqlite"],
+        help="with --durability: the durable backend to measure "
+             "(default: file — the append-only WAL plus snapshots)",
+    )
+    cluster_bench.add_argument(
+        "--records", type=int, default=20_000,
+        help="with --durability: records loaded before the timed "
+             "crash recovery",
+    )
+    cluster_bench.add_argument(
         "--json", metavar="PATH", default=None,
-        help="with --hotpath, --validate or --dqtelemetry: also write "
-             "the machine-readable report (e.g. BENCH_hotpath.json / "
-             "BENCH_validate.json / BENCH_dqtelemetry.json)",
+        help="with --hotpath, --validate, --dqtelemetry or --durability: "
+             "also write the machine-readable report (e.g. "
+             "BENCH_hotpath.json / BENCH_validate.json / "
+             "BENCH_dqtelemetry.json / BENCH_durability.json)",
     )
 
     chaos = commands.add_parser(
@@ -177,6 +199,26 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument(
         "--metrics", action="store_true",
         help="also print the gateway metrics snapshot",
+    )
+    chaos.add_argument(
+        "--durability", action="store_true",
+        help="run the storm on a durable backend with kill-restart "
+             "faults layered in (shorthand for --backend file --kills 3)",
+    )
+    chaos.add_argument(
+        "--backend", default=None, choices=["file", "sqlite"],
+        help="durable backend to put under every shard (implies "
+             "durability faults are survivable)",
+    )
+    chaos.add_argument(
+        "--kills", type=int, default=None,
+        help="seeded kill-restart faults to inject (default 3 when "
+             "--durability or --backend is given, else 0)",
+    )
+    chaos.add_argument(
+        "--data-dir", default=None,
+        help="directory for the shards' durable state (default: a "
+             "temporary directory, removed afterwards)",
     )
 
     diff = commands.add_parser(
@@ -346,11 +388,21 @@ def _command_cluster_bench(args, out) -> int:
     from repro.cluster import (
         run_comparison,
         run_dqtelemetry_bench,
+        run_durability_bench,
         run_hotpath_bench,
         run_smoke,
         run_validation_bench,
     )
 
+    if args.durability:
+        durability = run_durability_bench(
+            shard_count=args.shards, records=args.records,
+            backend=args.backend, seed=args.seed, json_path=args.json,
+        )
+        print(durability.render(), file=out)
+        if args.json:
+            print(f"wrote {args.json}", file=out)
+        return 0 if durability.passed else 1
     if args.dqtelemetry:
         telemetry = run_dqtelemetry_bench(
             shard_count=args.shards, seed=args.seed, json_path=args.json,
@@ -407,12 +459,21 @@ def _command_cluster_bench(args, out) -> int:
 def _command_chaos(args, out) -> int:
     from repro.cluster import run_chaos
 
+    backend = args.backend
+    if backend is None and args.durability:
+        backend = "file"
+    kills = args.kills
+    if kills is None:
+        kills = 3 if backend is not None else 0
     result = run_chaos(
         seed=args.seed,
         shard_count=args.shards,
         count=args.count,
         preload=args.preload,
         threads=args.threads,
+        persistence=backend,
+        kills=kills,
+        data_dir=args.data_dir,
     )
     print(result.render(), file=out)
     if args.metrics:

@@ -25,12 +25,14 @@ from .bench import (
     ComparisonResult,
     ComparisonRow,
     DQTelemetryBenchResult,
+    DurabilityBenchResult,
     HotpathResult,
     HotpathRow,
     SmokeResult,
     ValidationBenchResult,
     run_comparison,
     run_dqtelemetry_bench,
+    run_durability_bench,
     run_hotpath_bench,
     run_smoke,
     run_validation_bench,
@@ -60,9 +62,11 @@ from .resilience import (
     FaultPlan,
     FaultSpec,
     IdempotencyRegistry,
+    KILL,
     LATENCY,
     ResilienceConfig,
     RetryPolicy,
+    ShardKilled,
     ShardUnavailable,
     run_chaos,
 )
@@ -80,6 +84,7 @@ __all__ = [
     "DQTelemetryBenchResult",
     "DROP",
     "DUPLICATE",
+    "DurabilityBenchResult",
     "FaultInjector",
     "FaultPlan",
     "FaultSpec",
@@ -88,6 +93,7 @@ __all__ = [
     "HotpathResult",
     "HotpathRow",
     "IdempotencyRegistry",
+    "KILL",
     "LATENCY",
     "LastGoodStore",
     "LoadGenerator",
@@ -98,6 +104,7 @@ __all__ = [
     "ResilienceConfig",
     "RetryPolicy",
     "SOAK_MIX",
+    "ShardKilled",
     "ShardRouter",
     "ShardUnavailable",
     "ShardedGateway",
@@ -109,6 +116,7 @@ __all__ = [
     "run_chaos",
     "run_comparison",
     "run_dqtelemetry_bench",
+    "run_durability_bench",
     "run_hotpath_bench",
     "run_smoke",
     "run_validation_bench",

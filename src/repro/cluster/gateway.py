@@ -72,6 +72,7 @@ from .resilience import (
     OperationTimeout,
     ResilienceConfig,
     ShardCrashed,
+    ShardKilled,
     ShardUnavailable,
     TaskDropped,
     TransientShardFault,
@@ -161,6 +162,11 @@ class ShardedGateway:
         self._version_lock = threading.Lock()
         self._routes: list[GatewayRoute] = []
         self._closed = False
+        # Durability: ``_shard_factory(index)`` rebuilds shard ``index``
+        # from its durable state after a kill (set by ``from_design``);
+        # without one, injected kills degrade to plain crashes.
+        self._shard_factory = None
+        self.shard_restarts = [0] * len(self.shards)
         # -- resilience layer: injected faults must be survivable --------
         if fault_plan is not None and resilience is None:
             resilience = ResilienceConfig()
@@ -206,6 +212,7 @@ class ShardedGateway:
         shard_count: int = 4,
         users: Sequence[tuple] = (),
         baseline: bool = False,
+        persistence=None,
         **gateway_options,
     ) -> "ShardedGateway":
         """Build ``shard_count`` identical shards from a design model.
@@ -213,26 +220,53 @@ class ShardedGateway:
         ``users`` are ``(name, level, roles)`` triples registered on every
         shard (reads broadcast, so each shard must know every account).
         ``baseline=True`` builds no-DQ shards — the comparison harness.
+        ``persistence`` is a per-shard backend factory
+        (:func:`repro.persistence.persistence_factory`): each shard gets
+        ``persistence(index)`` as its durable store and is **recovered
+        from it** at build time, so constructing a gateway over an
+        existing data directory resumes where the last process stopped.
         """
+        from repro.persistence import recover_app
         from repro.runtime.dqengine import build_app, build_baseline_app
         from repro.runtime.vpipeline import PlanCache
 
-        shards = []
         if baseline:
-            for _ in range(shard_count):
-                shards.append(build_baseline_app(design_model, clock=Clock()))
+            def make_shard(index: int) -> WebApp:
+                app = build_baseline_app(design_model, clock=Clock())
+                for name, level, roles in users:
+                    app.add_user(name, level, roles)
+                return app
         else:
             # all shards run identical chains: one shared plan cache
             # means each chain compiles exactly once fleet-wide
             plan_cache = PlanCache()
-            for _ in range(shard_count):
-                shards.append(build_app(
+
+            def make_shard(index: int) -> WebApp:
+                backend = (
+                    persistence(index) if persistence is not None else None
+                )
+                app = build_app(
                     design_model, clock=Clock(), plan_cache=plan_cache,
-                ))
-        for app in shards:
-            for name, level, roles in users:
-                app.add_user(name, level, roles)
+                    persistence=backend,
+                )
+                for name, level, roles in users:
+                    app.add_user(name, level, roles)
+                if backend is not None and backend.durable:
+                    recover_app(app, backend)
+                return app
+
+        shards = [make_shard(index) for index in range(shard_count)]
         gateway = cls(shards, **gateway_options)
+        gateway._shard_factory = make_shard
+        if persistence is not None:
+            # the router's global id counters must resume past every
+            # recovered (or reserved) id, or the first post-restart
+            # create would re-allocate an id a shard already holds
+            for shard in shards:
+                for entity_name in shard.store.entity_names:
+                    top = shard.store.entity(entity_name).high_water_id()
+                    if top:
+                        gateway.router.observe_id(entity_name, top)
         for route in design_model.routes:
             if route.kind == "create":
                 gateway.expose_create(route.path, route.form.name)
@@ -523,9 +557,16 @@ class ShardedGateway:
         return lines
 
     def close(self) -> None:
-        """Stop accepting requests; in-flight dispatches drain first."""
+        """Stop accepting requests; in-flight dispatches drain first.
+
+        Durable shard backends are closed cleanly (pending WAL appends
+        synced), so a closed gateway's data directory always recovers."""
         self._closed = True
         self._pool.shutdown(wait=True)
+        for shard in self.shards:
+            persistence = getattr(shard, "persistence", None)
+            if persistence is not None:
+                persistence.close()
 
     def __enter__(self) -> "ShardedGateway":
         return self
@@ -652,6 +693,31 @@ class ShardedGateway:
     def _shed(shard_index: int, reason: str):
         raise ShardUnavailable(shard_index, reason)
 
+    def _kill_and_restart(self, shard_index: int) -> None:
+        """Kill -9 one shard and bring a replacement up from durable state.
+
+        The shard lock is taken first, so no call is mid-apply when the
+        process "dies": everything already acknowledged was group-committed
+        and survives; whatever sat unsynced in the WAL buffer is lost,
+        exactly like a real crash.  With no shard factory the kill cannot
+        be followed by a restart, so it degrades to a plain crash fault.
+        """
+        if self._shard_factory is None:
+            raise ShardCrashed(
+                shard_index, "injected kill (no shard factory to restart)"
+            )
+        with self._shard_locks[shard_index]:
+            app = self.shards[shard_index]
+            persistence = getattr(app, "persistence", None)
+            if persistence is not None:
+                persistence.kill()
+            self.shards[shard_index] = self._shard_factory(shard_index)
+            self.shard_restarts[shard_index] += 1
+
+    def restart_shard(self, shard_index: int) -> None:
+        """Deliberately kill-and-restart one shard (durability drills)."""
+        self._kill_and_restart(shard_index)
+
     def _apply_once(self, shard_index: int, apply, idempotency_key):
         """One attempt: consult the injector, then apply exactly once.
 
@@ -663,6 +729,14 @@ class ShardedGateway:
         injection = None
         if self.fault_injector is not None:
             injection = self.fault_injector.next_call(shard_index)
+            if injection.kill:
+                # fires before the shard is touched, so the killed task
+                # was never half-applied; the retry loop re-runs it
+                # against the restarted shard
+                self._kill_and_restart(shard_index)
+                raise ShardKilled(
+                    shard_index, "injected kill -9 (shard restarted)"
+                )
             if injection.crash:
                 raise ShardCrashed(shard_index, "injected shard crash")
             if injection.latency > self.resilience.operation_timeout:

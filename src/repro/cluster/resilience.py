@@ -44,8 +44,10 @@ LATENCY = "latency"        # calls take `latency` simulated seconds
 DROP = "drop"              # the dispatched task vanishes before running
 DUPLICATE = "duplicate"    # the dispatched task runs twice
 CACHE_FILL = "cache-fill"  # read-through cache fills silently fail
+KILL = "kill"              # kill -9: the shard process dies and restarts
+                           # from its durable state (unsynced writes lost)
 
-FAULT_KINDS = (CRASH, LATENCY, DROP, DUPLICATE, CACHE_FILL)
+FAULT_KINDS = (CRASH, LATENCY, DROP, DUPLICATE, CACHE_FILL, KILL)
 
 #: Default per-operation timeout budget (simulated seconds).
 DEFAULT_OPERATION_TIMEOUT = 0.02
@@ -71,6 +73,15 @@ class OperationTimeout(TransientShardFault):
 
 class TaskDropped(TransientShardFault):
     kind = DROP
+
+
+class ShardKilled(TransientShardFault):
+    """The shard process was killed and restarted from durable state.
+
+    Retryable: the replacement shard is already serving by the time this
+    propagates, so the retry loop re-routes the same task to it."""
+
+    kind = KILL
 
 
 class ShardUnavailable(RuntimeError):
@@ -143,6 +154,12 @@ class FaultPlan:
         return cls([FaultSpec(CRASH, shard, start, stop)])
 
     @classmethod
+    def kill_shard(cls, shard: int, at: int) -> "FaultPlan":
+        """One kill -9 of one shard at one call — the simplest durability
+        drill."""
+        return cls([FaultSpec(KILL, shard, at, at + 1)])
+
+    @classmethod
     def seeded(
         cls,
         seed: int,
@@ -156,13 +173,16 @@ class FaultPlan:
         duplicate_rate: float = 0.02,
         cache_fill_windows: int = 1,
         operation_timeout: float = DEFAULT_OPERATION_TIMEOUT,
+        kills: int = 0,
     ) -> "FaultPlan":
         """A deterministic schedule drawn from ``random.Random(seed)``.
 
         All windows begin at or after ``start`` (so a preload phase can
         run clean) and before ``horizon``.  Latency values straddle the
         ``operation_timeout`` so some spikes are absorbed and some time
-        out.
+        out.  ``kills`` adds that many single-call kill-restart windows;
+        they are drawn *after* every other kind, so ``kills=0`` (the
+        default) leaves historical seeded schedules byte-identical.
         """
         if horizon <= start:
             raise ValueError("horizon must exceed start")
@@ -192,6 +212,12 @@ class FaultPlan:
             length = max(1, int(span * rng.uniform(0.05, 0.15)))
             begin = start + rng.randrange(max(1, span - length))
             specs.append(FaultSpec(CACHE_FILL, None, begin, begin + length))
+        for _ in range(kills):
+            # shard-agnostic single-call windows: whichever shard the
+            # call routes to dies — a pinned shard would miss most
+            # windows (that call index rarely lands on that shard)
+            at = start + rng.randrange(span)
+            specs.append(FaultSpec(KILL, None, at, at + 1))
         specs.sort(
             key=lambda s: (s.start, s.kind, -1 if s.shard is None else s.shard)
         )
@@ -226,6 +252,7 @@ class Injection:
     latency: float = 0.0
     drop: bool = False
     duplicate: bool = False
+    kill: bool = False
 
 
 class FaultInjector:
@@ -262,7 +289,7 @@ class FaultInjector:
         with self._lock:
             index = self._calls
             self._calls += 1
-            crash = drop = duplicate = False
+            crash = drop = duplicate = kill = False
             latency = 0.0
             for spec in self.plan.specs:
                 if spec.kind == CACHE_FILL:
@@ -277,6 +304,8 @@ class FaultInjector:
                     drop = True
                 elif spec.kind == DUPLICATE:
                     duplicate = True
+                elif spec.kind == KILL:
+                    kill = True
             if crash:
                 self.applied[CRASH] += 1
             if latency:
@@ -285,7 +314,9 @@ class FaultInjector:
                 self.applied[DROP] += 1
             if duplicate:
                 self.applied[DUPLICATE] += 1
-        return Injection(crash, latency, drop, duplicate)
+            if kill:
+                self.applied[KILL] += 1
+        return Injection(crash, latency, drop, duplicate, kill)
 
     def cache_fill_fails(self) -> bool:
         with self._lock:
@@ -527,6 +558,8 @@ class ChaosResult:
     applied: Counter
     metrics: dict
     preloaded: frozenset
+    backend: str = "memory"
+    restarts: int = 0
 
     @property
     def ok(self) -> bool:
@@ -545,6 +578,12 @@ class ChaosResult:
                     f"{kind}×{count}"
                     for kind, count in sorted(self.applied.items())
                 )
+            )
+        if self.backend != "memory" or self.restarts:
+            # counters only — same-seed runs render the same line
+            sections.append(
+                f"durability: {self.backend} backend, "
+                f"{self.restarts} shard restart(s)"
             )
         validation = self.metrics.get("validation")
         if validation:
@@ -594,14 +633,28 @@ def run_chaos(
     users: Optional[Sequence[tuple]] = None,
     config: Optional[ResilienceConfig] = None,
     plan: Optional[FaultPlan] = None,
+    persistence: Optional[str] = None,
+    kills: int = 0,
+    data_dir=None,
 ) -> ChaosResult:
     """One seeded chaos run: preload clean, inject the seeded fault plan
     over the mixed workload, then verify every DQ guarantee.
 
     With ``threads=1`` the whole run — fault schedule, applied faults,
     outcome counters — is a pure function of the seed.
+
+    ``persistence`` names a durable backend kind (``"file"`` or
+    ``"sqlite"``) to put under every shard; ``kills`` adds that many
+    seeded kill-restart faults to the default plan, turning the run into
+    a durability drill — each killed shard must come back from its WAL
+    with every acknowledged write intact.  Shard state lives under
+    ``data_dir`` (a temporary directory, removed afterwards, when not
+    given).
     """
+    import tempfile
+
     from repro.casestudy import easychair
+    from repro.persistence import persistence_factory
 
     from .gateway import ShardedGateway
     from .loadgen import CHAOS_MIX, LoadGenerator, verify_guarantees
@@ -623,7 +676,15 @@ def run_chaos(
             horizon=horizon,
             start=preload,
             operation_timeout=config.operation_timeout,
+            kills=kills,
         )
+    factory = None
+    tempdir = None
+    if persistence is not None:
+        if data_dir is None:
+            tempdir = tempfile.TemporaryDirectory(prefix="repro-chaos-")
+            data_dir = tempdir.name
+        factory = persistence_factory(data_dir, kind=persistence)
     generator = LoadGenerator(seed=seed, mix=dict(mix or CHAOS_MIX))
     gateway = ShardedGateway.from_design(
         design_model,
@@ -633,6 +694,7 @@ def run_chaos(
         resilience=config,
         max_queue_depth=max(512, count),
         workers=shard_count,
+        persistence=factory,
     )
     try:
         spec = generator.spec
@@ -657,8 +719,13 @@ def run_chaos(
             gateway.validation_stats(),
             gateway.telemetry_stats(),
         )
+        backend_name = gateway.shards[0].persistence.name
+        restarts = sum(gateway.shard_restarts)
     finally:
         gateway.close()
+        if tempdir is not None:
+            tempdir.cleanup()
     return ChaosResult(
-        seed, plan, report, violations, applied, metrics, frozenset(preloaded)
+        seed, plan, report, violations, applied, metrics,
+        frozenset(preloaded), backend_name, restarts,
     )

@@ -58,6 +58,17 @@ class Clock:
         with self._lock:
             return self._tick
 
+    def advance_to(self, tick: int) -> None:
+        """Fast-forward to ``tick`` if it is ahead (crash recovery).
+
+        Replayed durable state carries the ticks it was stamped with;
+        the recovered clock must never hand one of them out again.
+        Never moves backwards.
+        """
+        with self._lock:
+            if tick > self._tick:
+                self._tick = tick
+
 
 @dataclass
 class DQMetadataRecord:
@@ -134,6 +145,35 @@ class DQMetadataRecord:
             "available_to": sorted(self.available_to),
             **self.extra,
         }
+
+    def to_state(self) -> dict:
+        """A lossless, JSON-friendly rendering for durable snapshots.
+
+        Unlike :meth:`as_dict` (which flattens ``extra`` into the result
+        for human-facing audits), this keeps ``extra`` separate so
+        :meth:`from_state` reconstructs the record exactly.
+        """
+        return {
+            "stored_by": self.stored_by,
+            "stored_date": self.stored_date,
+            "last_modified_by": self.last_modified_by,
+            "last_modified_date": self.last_modified_date,
+            "security_level": self.security_level,
+            "available_to": sorted(self.available_to),
+            "extra": dict(self.extra),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "DQMetadataRecord":
+        return cls(
+            stored_by=state.get("stored_by"),
+            stored_date=state.get("stored_date"),
+            last_modified_by=state.get("last_modified_by"),
+            last_modified_date=state.get("last_modified_date"),
+            security_level=state.get("security_level", 0),
+            available_to=set(state.get("available_to", ())),
+            extra=dict(state.get("extra", ())),
+        )
 
     def attribute_names(self) -> list[str]:
         """All populated metadata attribute names."""

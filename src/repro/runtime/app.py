@@ -24,6 +24,7 @@ from repro.core.errors import (
     VersionConflictError,
 )
 from repro.dq.metadata import Clock
+from repro.persistence import MemoryBackend, PersistenceBackend, capture_state
 
 from . import audit as audit_events
 from .audit import AuditTrail
@@ -78,11 +79,19 @@ class WebApp:
         clock: Optional[Clock] = None,
         compiled: bool = True,
         plan_cache: Optional[PlanCache] = None,
+        persistence: Optional[PersistenceBackend] = None,
     ):
         self.name = name
         self.clock = clock or Clock()
-        self.store = ContentStore(self.clock)
-        self.audit = AuditTrail(self.clock)
+        # Pluggable durability: the default MemoryBackend is non-durable
+        # and the stores skip it entirely, so the in-memory write path
+        # is byte-for-byte what it was before persistence existed.
+        self.persistence = (
+            persistence if persistence is not None else MemoryBackend()
+        )
+        backend = self.persistence if self.persistence.durable else None
+        self.store = ContentStore(self.clock, backend=backend)
+        self.audit = AuditTrail(self.clock, backend=backend)
         self.users = UserDirectory()
         self.policies = PolicyBook()
         self.router = Router()
@@ -165,6 +174,25 @@ class WebApp:
         self.router.add(path, method, handler)
         return self
 
+    # -- durability ------------------------------------------------------------
+
+    def commit(self) -> None:
+        """Group commit: make every logged op durable, compact when due.
+
+        The write pipelines call this once per acknowledged operation
+        (once per batch for bulk loads), so an acknowledged write always
+        survives a kill while a batch pays a single sync barrier.  When
+        the WAL tail has outgrown the last snapshot the whole
+        application state is checkpointed and the log truncated.  No-op
+        on non-durable backends.
+        """
+        backend = self.persistence
+        if not backend.durable:
+            return
+        backend.sync()
+        if backend.should_compact():
+            backend.checkpoint(capture_state(self))
+
     # -- core operations -------------------------------------------------------
 
     def submit(
@@ -228,6 +256,7 @@ class WebApp:
         self.audit.record(
             audit_events.STORE, user, form.entity, stored.record_id
         )
+        self.commit()
         return stored
 
     def modify(
@@ -282,6 +311,7 @@ class WebApp:
         self.audit.record(
             audit_events.MODIFY, user, form.entity, record_id
         )
+        self.commit()
         return stored
 
     def submit_batch(
@@ -369,11 +399,13 @@ class WebApp:
             available_to=grants,
             record_ids=[pinned for _index, _record, pinned in valid],
         )
+        self.audit.record_many(
+            audit_events.STORE, user, form.entity,
+            [stored.record_id for stored in stored_list],
+        )
         for (index, _record, _pinned), stored in zip(valid, stored_list):
-            self.audit.record(
-                audit_events.STORE, user, form.entity, stored.record_id
-            )
             result.accepted.append((index, stored.record_id))
+        self.commit()
         return result
 
     def read(self, entity: str, user: str) -> list[StoredRecord]:

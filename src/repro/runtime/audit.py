@@ -45,10 +45,15 @@ class AuditEvent:
 class AuditTrail:
     """An append-only log of application events."""
 
-    def __init__(self, clock: Clock):
+    def __init__(self, clock: Clock, backend=None):
         self._clock = clock
         self._events: list[AuditEvent] = []
         self._lock = threading.Lock()
+        # Durable logging mirrors the entity stores: only a durable
+        # backend gets ops; syncing is the application's group commit.
+        self._backend = (
+            backend if backend is not None and backend.durable else None
+        )
 
     def record(
         self,
@@ -65,7 +70,78 @@ class AuditTrail:
                 self._clock.now(), kind, user, entity, record_id, detail
             )
             self._events.append(event)
+            if self._backend is not None:
+                self._backend.append({
+                    "op": "audit",
+                    "tick": event.tick,
+                    "kind": event.kind,
+                    "user": event.user,
+                    "entity": event.entity,
+                    "record_id": event.record_id,
+                    "detail": event.detail,
+                })
             return event
+
+    def record_many(
+        self,
+        kind: str,
+        user: str,
+        entity: str,
+        record_ids,
+        detail: str = "",
+    ) -> list[AuditEvent]:
+        """One event per record id, exactly as :meth:`record` would
+        stamp them (same per-event clock reads), but under a single lock
+        trip and — when durable — a single combined WAL op.  The batched
+        write path uses this so audit durability costs O(chunks), not
+        O(records)."""
+        if kind not in KINDS:
+            raise ValueError(f"unknown audit event kind {kind!r}")
+        with self._lock:
+            events = [
+                AuditEvent(
+                    self._clock.now(), kind, user, entity, record_id, detail
+                )
+                for record_id in record_ids
+            ]
+            self._events.extend(events)
+            if self._backend is not None and events:
+                self._backend.append({
+                    "op": "audits",
+                    "kind": kind,
+                    "user": user,
+                    "entity": entity,
+                    "detail": detail,
+                    "events": [
+                        [event.tick, event.record_id] for event in events
+                    ],
+                })
+            return events
+
+    # -- crash recovery ------------------------------------------------------
+
+    def restore_event(
+        self,
+        tick: int,
+        kind: str,
+        user: str,
+        entity: str,
+        record_id: Optional[int] = None,
+        detail: str = "",
+    ) -> AuditEvent:
+        """Re-append a durable event verbatim (no clock tick, no logging)."""
+        with self._lock:
+            event = AuditEvent(tick, kind, user, entity, record_id, detail)
+            self._events.append(event)
+            return event
+
+    def dump_state(self) -> list:
+        """The full trail as snapshot-ready rows."""
+        with self._lock:
+            return [
+                [e.tick, e.kind, e.user, e.entity, e.record_id, e.detail]
+                for e in self._events
+            ]
 
     # -- queries (the Traceability payoff) ----------------------------------
 

@@ -92,17 +92,20 @@ def build_app(
     clock: Optional[Clock] = None,
     compiled: bool = True,
     plan_cache=None,
+    persistence=None,
 ) -> WebApp:
     """Assemble the full DQ-aware application from a design model.
 
     ``compiled=False`` is the escape hatch back to the interpreted
     validator walk; ``plan_cache`` shares one compiled-plan cache across
     many apps (the sharded gateway passes one cache for all shards, so
-    identical chains compile exactly once).
+    identical chains compile exactly once).  ``persistence`` plugs a
+    durable backend (:mod:`repro.persistence`) under the stores; the
+    default stays fully in-memory.
     """
     app = WebApp(
         design_model.name, clock=clock, compiled=compiled,
-        plan_cache=plan_cache,
+        plan_cache=plan_cache, persistence=persistence,
     )
     for entity in design_model.entities:
         app.define_entity(

@@ -116,12 +116,37 @@ class IdAllocator:
             if record_id >= self._next:
                 self._next = record_id + 1
 
+    def bump_to(self, record_id: int) -> None:
+        """Keep the counter ahead of a **replayed** ``allocate``-style id.
+
+        Crash recovery re-inserts records whose ids originally came from
+        :meth:`allocate`; those must not enter the sparse reservation
+        tail (they were never externally reserved), but the counter must
+        still end up past them so post-recovery allocations never
+        collide.
+        """
+        with self._lock:
+            if record_id >= self._next:
+                self._next = record_id + 1
+
     def _fold_tail(self) -> None:
         """Fold the oldest half of the sparse tail into the watermark."""
         ordered = sorted(self._tail)
         cut = ordered[len(ordered) // 2]
         self._watermark = cut
-        self._tail = {rid for rid in ordered if rid > cut}
+        tail = {rid for rid in ordered if rid > cut}
+        # Re-establish the class invariant that the tail never touches
+        # the watermark: a fold can leave a contiguous run starting at
+        # ``cut + 1``, and a snapshot taken in that state used to
+        # round-trip those ids into the *gap* side of the watermark,
+        # where the duplicate-reservation guard no longer distinguishes
+        # them.  Absorbing the run keeps (watermark, tail) canonical for
+        # any given reserved-id set, so ``from_state(to_state())`` is an
+        # exact restore.
+        while self._watermark + 1 in tail:
+            self._watermark += 1
+            tail.discard(self._watermark)
+        self._tail = tail
 
     def reserved_footprint(self) -> int:
         """How many sparse entries the reservation guard is holding."""
@@ -131,6 +156,44 @@ class IdAllocator:
     def peek(self) -> int:
         with self._lock:
             return self._next
+
+    def high_water(self) -> int:
+        """The highest id this allocator knows about — allocated, folded
+        into the watermark, or reserved above the counter.  An external
+        allocator (the gateway router) must hand out ids strictly beyond
+        this or a recovered store will refuse them as duplicates."""
+        with self._lock:
+            tail_top = max(self._tail) if self._tail else 0
+            return max(self._next - 1, self._watermark, tail_top)
+
+    # -- durable state -----------------------------------------------------
+
+    def to_state(self) -> dict:
+        """The full allocator state, snapshot-ready.
+
+        Captures the watermark *and* the sparse tail explicitly:
+        rebuilding an allocator from surviving records alone would lose
+        reserved-but-unused ids (reserved for a record that was later
+        retired, or folded into the watermark), silently disarming the
+        duplicate-replay guard after a restore.
+        """
+        with self._lock:
+            return {
+                "next": self._next,
+                "watermark": self._watermark,
+                "tail": sorted(self._tail),
+                "compact_threshold": self._compact_threshold,
+            }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "IdAllocator":
+        allocator = cls(
+            start=state["next"],
+            compact_threshold=state.get("compact_threshold", 1024),
+        )
+        allocator._watermark = state.get("watermark", 0)
+        allocator._tail = set(state.get("tail", ()))
+        return allocator
 
 
 @dataclass
@@ -251,13 +314,21 @@ class EntityStore:
     both paths in one run and tests can diff them.
     """
 
-    def __init__(self, name: str, fields: Sequence[str] = ()):
+    def __init__(self, name: str, fields: Sequence[str] = (), backend=None):
         self.name = name
         self.fields = tuple(fields)
         self.deep_snapshots = False
         self._records: dict[int, StoredRecord] = {}
         self._ids = IdAllocator()
         self._lock = threading.RLock()
+        # Durable write-ahead logging: ``None`` (the default, and any
+        # non-durable backend) keeps the write path exactly as it was;
+        # a durable backend gets one op appended per mutation, under the
+        # entity lock so WAL order == apply order.  Syncing is the
+        # application's job (group commit via ``WebApp.commit``).
+        self._backend = (
+            backend if backend is not None and backend.durable else None
+        )
         self._field_indexes: dict[str, dict[object, set[int]]] = {}
         self._confidentiality = _ConfidentialityIndex()
         # Streaming DQ telemetry: maintained under the entity lock next
@@ -382,12 +453,15 @@ class EntityStore:
                 if not bucket:
                     del index[value]
 
-    def reindex_metadata(self, record_id: int) -> None:
+    def reindex_metadata(self, record_id: int, log: bool = True) -> None:
         """Refresh the confidentiality index after metadata changed.
 
         Confidentiality metadata is stamped *after* the insert (the write
         path hands the live record to ``restrict``), so
         :meth:`ContentStore.store` calls this once the sidecar is final.
+        ``log=False`` skips the per-record WAL op — for batch callers
+        whose combined :meth:`log_rows` op already carries the final
+        metadata.
         """
         with self._lock:
             stored = self._live(record_id)
@@ -396,6 +470,13 @@ class EntityStore:
                 self._telemetry_pending.append(
                     ("meta", record_id, stored.metadata)
                 )
+            if log and self._backend is not None:
+                self._backend.append({
+                    "op": "meta",
+                    "entity": self.name,
+                    "id": record_id,
+                    "meta": stored.metadata.to_state(),
+                })
 
     # -- writes ------------------------------------------------------------
 
@@ -407,6 +488,7 @@ class EntityStore:
         unpinned inserts never collide with pinned ones.
         """
         with self._lock:
+            pinned = record_id is not None
             if record_id is None:
                 record_id = self._ids.allocate()
             else:
@@ -422,24 +504,41 @@ class EntityStore:
                 self._telemetry_pending.append(
                     ("row", record_id, stored.data, stored.metadata)
                 )
+            if self._backend is not None:
+                # ``pinned`` tells replay which allocation style to
+                # reproduce: reserve() for externally assigned ids,
+                # bump_to() for locally allocated ones — so the
+                # recovered allocator matches the original exactly.
+                self._backend.append({
+                    "op": "insert",
+                    "entity": self.name,
+                    "id": record_id,
+                    "data": dict(stored.data),
+                    "pinned": pinned,
+                })
             return stored
 
     def insert_many(
         self,
         rows: Sequence[dict],
         record_ids: Optional[Sequence[Optional[int]]] = None,
+        log: bool = True,
     ) -> list[StoredRecord]:
         """Insert a whole chunk under one lock trip, **telemetry
         deferred**: the caller stamps metadata on the returned records
         and then hands the chunk to :meth:`observe_inserted` so the
         accumulators absorb it in a single batched update (the ≤10%
-        write-overhead contract of ``submit_many``).
+        write-overhead contract of ``submit_many``).  ``log=False``
+        defers WAL logging to the caller's :meth:`log_rows`, which
+        folds the stamped metadata into the same combined op.
         """
         with self._lock:
             if record_ids is None:
                 record_ids = (None,) * len(rows)
             stored_list: list[StoredRecord] = []
+            pins: list[bool] = []
             for data, record_id in zip(rows, record_ids):
+                pinned = record_id is not None
                 if record_id is None:
                     record_id = self._ids.allocate()
                 else:
@@ -453,7 +552,64 @@ class EntityStore:
                 self._records[record_id] = stored
                 self._index_record(stored)
                 stored_list.append(stored)
+                pins.append(pinned)
+            if log and self._backend is not None and stored_list:
+                self._backend.append({
+                    "op": "rows",
+                    "entity": self.name,
+                    "rows": [
+                        [stored.record_id, dict(stored.data), pinned]
+                        for stored, pinned in zip(stored_list, pins)
+                    ],
+                })
             return stored_list
+
+    def log_rows(
+        self,
+        stored_list: Sequence[StoredRecord],
+        record_ids: Optional[Sequence[Optional[int]]] = None,
+        user: Optional[str] = None,
+        security_level: int = 0,
+        available_to: Iterable[str] = (),
+    ) -> None:
+        """One combined WAL op for a stamped ``insert_many`` chunk.
+
+        Data and metadata land in a single record, so replay never needs
+        the per-row ``meta`` ops.  The chunk's provenance is regular —
+        every row was just stamped ``record_store(user)`` +
+        ``restrict(security_level, available_to)`` under this entity's
+        lock (that is the caller's contract) — so the op carries the
+        shared fields once and only each row's tick, which is what keeps
+        the durable batch write path within its overhead floor.  Row
+        data is stored *columnar*: the field names appear once in the op
+        header and each row carries just its value list (a row whose
+        keys deviate from the chunk's layout falls back to its full
+        dict).  Ops are encoded by ``append`` before the lock is
+        released, so row values are passed by reference, not copied.
+        """
+        if self._backend is None or not stored_list:
+            return
+        if record_ids is None:
+            record_ids = (None,) * len(stored_list)
+        fields = tuple(stored_list[0].data)
+        entries = []
+        for stored, record_id in zip(stored_list, record_ids):
+            data = stored.data
+            entries.append([
+                stored.record_id,
+                list(data.values()) if tuple(data) == fields else data,
+                record_id is not None,
+                stored.metadata.stored_date,
+            ])
+        self._backend.append({
+            "op": "rows",
+            "entity": self.name,
+            "by": user,
+            "level": security_level,
+            "grants": sorted(available_to),
+            "fields": list(fields),
+            "rows": entries,
+        })
 
     def observe_inserted(self, stored_list: Sequence[StoredRecord]) -> None:
         """Feed an :meth:`insert_many` chunk (metadata already stamped)
@@ -486,6 +642,14 @@ class EntityStore:
                 self._telemetry_pending.append(
                     ("update", old_data, stored.data)
                 )
+            if self._backend is not None:
+                self._backend.append({
+                    "op": "update",
+                    "entity": self.name,
+                    "id": record_id,
+                    "data": dict(data),
+                    "version": stored.version,
+                })
             return stored
 
     def delete(self, record_id: int) -> None:
@@ -498,6 +662,12 @@ class EntityStore:
                 self._telemetry_pending.append(
                     ("delete", record_id, stored.data)
                 )
+            if self._backend is not None:
+                self._backend.append({
+                    "op": "retire",
+                    "entity": self.name,
+                    "id": record_id,
+                })
 
     def _live(self, record_id: int) -> StoredRecord:
         """The live record (write path / internal use only)."""
@@ -507,6 +677,128 @@ class EntityStore:
             raise KeyError(
                 f"{self.name}: no record with id {record_id}"
             ) from None
+
+    # -- crash recovery (no backend logging, full index rebuild) -----------
+
+    def restore_record(
+        self,
+        record_id: int,
+        data: dict,
+        metadata_state: Optional[dict] = None,
+        version: int = 1,
+        reserve: Optional[bool] = None,
+    ) -> StoredRecord:
+        """Re-materialize a record from durable state.
+
+        Field indexes, the confidentiality index, and the telemetry
+        queue are all fed exactly as a live insert would — only the
+        backend logging is skipped (the op is already durable).
+
+        ``reserve`` selects the allocator effect: ``True`` replays a
+        pinned (externally assigned) id via :meth:`IdAllocator.reserve`,
+        ``False`` replays a locally allocated id via
+        :meth:`IdAllocator.bump_to`, and ``None`` (the snapshot path)
+        leaves the allocator alone — its full state is restored
+        separately via :meth:`restore_allocator`.
+        """
+        with self._lock:
+            if record_id in self._records:
+                raise ValueError(
+                    f"{self.name}: record id {record_id} already in use"
+                )
+            if reserve is True:
+                self._ids.reserve(record_id)
+            elif reserve is False:
+                self._ids.bump_to(record_id)
+            stored = StoredRecord(record_id, dict(data), version=version)
+            if metadata_state is not None:
+                stored.metadata = DQMetadataRecord.from_state(metadata_state)
+            self._records[record_id] = stored
+            self._index_record(stored)
+            if self._telemetry is not None:
+                self._telemetry_pending.append(
+                    ("row", record_id, stored.data, stored.metadata)
+                )
+            return stored
+
+    def restore_update(
+        self, record_id: int, data: dict, version: Optional[int] = None
+    ) -> StoredRecord:
+        """Replay a durable update op (same publish-fresh-dict path)."""
+        with self._lock:
+            stored = self._live(record_id)
+            if self._field_indexes:
+                self._unindex_field_values(record_id, stored)
+            old_data = stored.data
+            stored.data = {**old_data, **data}
+            stored.shareable = (
+                stored.shareable and _values_shareable(data)
+            )
+            stored.version = (
+                version if version is not None else stored.version + 1
+            )
+            for field_name in self._field_indexes:
+                self._index_field_value(field_name, stored, record_id)
+            if self._telemetry is not None:
+                self._telemetry_pending.append(
+                    ("update", old_data, stored.data)
+                )
+            return stored
+
+    def restore_metadata(
+        self, record_id: int, metadata_state: dict
+    ) -> StoredRecord:
+        """Replay a durable metadata re-stamp, index included."""
+        with self._lock:
+            stored = self._live(record_id)
+            stored.metadata = DQMetadataRecord.from_state(metadata_state)
+            self._confidentiality.index(record_id, stored.metadata)
+            if self._telemetry is not None:
+                self._telemetry_pending.append(
+                    ("meta", record_id, stored.metadata)
+                )
+            return stored
+
+    def restore_delete(self, record_id: int) -> None:
+        """Replay a durable retire op."""
+        with self._lock:
+            stored = self._live(record_id)
+            del self._records[record_id]
+            self._unindex_field_values(record_id, stored)
+            self._confidentiality.unindex(record_id)
+            if self._telemetry is not None:
+                self._telemetry_pending.append(
+                    ("delete", record_id, stored.data)
+                )
+
+    def restore_allocator(self, state: dict) -> None:
+        with self._lock:
+            self._ids = IdAllocator.from_state(state)
+
+    def allocator_state(self) -> dict:
+        with self._lock:
+            return self._ids.to_state()
+
+    def high_water_id(self) -> int:
+        """The highest record id this store would refuse as a duplicate."""
+        with self._lock:
+            return self._ids.high_water()
+
+    def dump_state(self) -> dict:
+        """This entity's full durable state (records + allocator)."""
+        with self._lock:
+            return {
+                "records": [
+                    [
+                        stored.record_id,
+                        dict(stored.data),
+                        stored.metadata.to_state(),
+                        stored.version,
+                    ]
+                    for stored in self._records.values()
+                ],
+                "allocator": self._ids.to_state(),
+            }
 
     # -- reads -------------------------------------------------------------
 
@@ -625,16 +917,17 @@ class EntityStore:
 class ContentStore:
     """All entities of one application."""
 
-    def __init__(self, clock: Optional[Clock] = None):
+    def __init__(self, clock: Optional[Clock] = None, backend=None):
         self.clock = clock or Clock()
         self._entities: dict[str, EntityStore] = {}
         self._lock = threading.RLock()
+        self._backend = backend
 
     def define(self, name: str, fields: Sequence[str] = ()) -> EntityStore:
         with self._lock:
             if name in self._entities:
                 raise ValueError(f"entity {name!r} already defined")
-            store = EntityStore(name, fields)
+            store = EntityStore(name, fields, backend=self._backend)
             self._entities[name] = store
             return store
 
@@ -704,11 +997,20 @@ class ContentStore:
         """
         entity = self.entity(entity_name)
         with entity._lock:
-            stored_list = entity.insert_many(rows, record_ids=record_ids)
+            stored_list = entity.insert_many(
+                rows, record_ids=record_ids, log=False
+            )
             for stored in stored_list:
                 stored.metadata.record_store(user, self.clock)
                 stored.metadata.restrict(security_level, available_to)
-                entity.reindex_metadata(stored.record_id)
+                entity.reindex_metadata(stored.record_id, log=False)
+            # one WAL op carries the whole stamped chunk (data + metadata)
+            entity.log_rows(
+                stored_list, record_ids,
+                user=user,
+                security_level=security_level,
+                available_to=available_to,
+            )
             entity.observe_inserted(stored_list)
             return stored_list
 

@@ -1,8 +1,37 @@
-"""Shared fixture: a small, well-formed DQ_WebRE model (builder flavour)."""
+"""Shared fixtures: a small DQ_WebRE model and durable backends."""
 
 import pytest
 
 from repro.dqwebre import DQWebREBuilder
+
+
+@pytest.fixture(params=["file", "sqlite"])
+def durable_backend(request, tmp_path):
+    """A fresh durable backend of each kind, rooted in a tmp dir.
+
+    Parametrized over both durable implementations so every test that
+    takes this fixture pins the backend *contract*, not one backend.
+    Reopening the same location (for crash-recovery tests) goes through
+    ``request.getfixturevalue`` — use the returned ``reopen`` attribute.
+    """
+    from repro.persistence import FileWALBackend, SQLiteBackend
+
+    def make(compact_every: int = 4096):
+        if request.param == "sqlite":
+            return SQLiteBackend(
+                tmp_path / "backend.db", compact_every=compact_every
+            )
+        return FileWALBackend(
+            tmp_path / "backend", compact_every=compact_every
+        )
+
+    backend = make()
+    backend.reopen = make  # a second handle onto the same durable state
+    yield backend
+    try:
+        backend.close()
+    except Exception:
+        pass
 
 
 @pytest.fixture()

@@ -1,0 +1,157 @@
+"""Contract tests over both durable backends (file WAL and sqlite).
+
+Every test takes the parametrized ``durable_backend`` fixture, so the
+assertions pin the *backend contract* — acknowledged ops survive a kill,
+unsynced ops never do, checkpoints compact the log, and recovery filters
+replayed ops by the snapshot's sequence number.
+"""
+
+import os
+
+import pytest
+
+from repro.persistence import FileWALBackend, RecoveryError
+from repro.persistence.wal import WriteAheadLog, encode_record
+
+
+def _drain(backend, ops):
+    for op in ops:
+        backend.append(op)
+    backend.sync()
+
+
+def test_synced_ops_survive_kill(durable_backend):
+    _drain(durable_backend, [{"op": "insert", "id": 1, "entity": "e"}])
+    durable_backend.kill()
+    recovered = durable_backend.reopen()
+    state = recovered.recover()
+    assert [op["id"] for op in state.ops] == [1]
+    recovered.close()
+
+
+def test_unsynced_ops_are_lost_on_kill(durable_backend):
+    _drain(durable_backend, [{"op": "insert", "id": 1, "entity": "e"}])
+    durable_backend.append({"op": "insert", "id": 2, "entity": "e"})
+    durable_backend.kill()  # the id=2 append was never acknowledged
+    recovered = durable_backend.reopen()
+    state = recovered.recover()
+    assert [op["id"] for op in state.ops] == [1]
+    recovered.close()
+
+
+def test_sequence_numbers_are_monotone(durable_backend):
+    seqs = [
+        durable_backend.append({"op": "insert", "id": i, "entity": "e"})
+        for i in range(5)
+    ]
+    assert seqs == sorted(seqs)
+    assert len(set(seqs)) == 5
+
+
+def test_checkpoint_compacts_and_seq_filters(durable_backend):
+    _drain(
+        durable_backend,
+        [{"op": "insert", "id": i, "entity": "e"} for i in range(4)],
+    )
+    durable_backend.checkpoint({"records_total": 4, "entities": {}})
+    # ops after the checkpoint are the only ones recovery may replay
+    _drain(durable_backend, [{"op": "insert", "id": 99, "entity": "e"}])
+    durable_backend.kill()
+    recovered = durable_backend.reopen()
+    state = recovered.recover()
+    assert state.snapshot is not None
+    assert state.snapshot["records_total"] == 4
+    assert [op["id"] for op in state.ops] == [99]
+    recovered.close()
+
+
+def test_checkpoint_crash_window_is_harmless(durable_backend):
+    """Already-snapshotted ops still sitting in the log (a crash between
+    'snapshot written' and 'log truncated') are filtered by sequence
+    number, not double-applied."""
+    _drain(
+        durable_backend,
+        [{"op": "insert", "id": i, "entity": "e"} for i in range(3)],
+    )
+    durable_backend.checkpoint({"records_total": 3, "entities": {}})
+    durable_backend.kill()
+    recovered = durable_backend.reopen()
+    state = recovered.recover()
+    assert state.ops == []  # everything predates last_seq
+    recovered.close()
+
+
+def test_recovered_seq_continues_numbering(durable_backend):
+    last = 0
+    for i in range(3):
+        last = durable_backend.append(
+            {"op": "insert", "id": i, "entity": "e"}
+        )
+    durable_backend.sync()
+    durable_backend.kill()
+    recovered = durable_backend.reopen()
+    recovered.recover()
+    assert recovered.append({"op": "insert", "id": 9, "entity": "e"}) > last
+    recovered.close()
+
+
+def test_stats_shape(durable_backend):
+    _drain(durable_backend, [{"op": "insert", "id": 1, "entity": "e"}])
+    stats = durable_backend.stats()
+    assert stats["durable"] is True
+    assert stats["appended"] == 1
+    assert stats["synced"] == 1
+    assert stats["syncs"] == 1
+
+
+# -- file-backend specifics (torn tails are a file concept) -----------------
+
+
+def test_file_backend_truncates_torn_tail(tmp_path):
+    backend = FileWALBackend(tmp_path / "wal")
+    backend.append({"op": "insert", "id": 1, "entity": "e"})
+    backend.sync()
+    backend.close()
+    wal_path = tmp_path / "wal" / "wal.log"
+    with open(wal_path, "ab") as handle:
+        handle.write(encode_record({"op": "insert", "id": 2})[:-3])
+    recovered = FileWALBackend(tmp_path / "wal")
+    state = recovered.recover()
+    assert [op["id"] for op in state.ops] == [1]
+    assert state.torn_bytes > 0
+    # the torn bytes were physically truncated away
+    reread = FileWALBackend(tmp_path / "wal").recover()
+    assert reread.torn_bytes == 0
+    recovered.close()
+
+
+def test_file_backend_refuses_corrupt_body(tmp_path):
+    backend = FileWALBackend(tmp_path / "wal")
+    backend.append({"op": "insert", "id": 1, "entity": "e"})
+    backend.sync()
+    backend.close()
+    wal_path = tmp_path / "wal" / "wal.log"
+    size = os.path.getsize(wal_path)
+    with open(wal_path, "r+b") as handle:
+        handle.seek(size - 1)
+        byte = handle.read(1)
+        handle.seek(size - 1)
+        handle.write(bytes([byte[0] ^ 0xFF]))
+    with pytest.raises(Exception) as excinfo:
+        FileWALBackend(tmp_path / "wal").recover()
+    assert "CRC" in str(excinfo.value)
+
+
+def test_wal_pending_and_group_commit(tmp_path):
+    wal = WriteAheadLog(tmp_path / "group.log")
+    for i in range(5):
+        wal.append({"op": "x", "i": i})
+    assert wal.pending == 5
+    assert wal.syncs == 0
+    wal.sync()
+    assert wal.pending == 0
+    assert wal.syncs == 1  # five appends, one barrier
+    payloads, torn = wal.read_all()
+    assert [p["i"] for p in payloads] == list(range(5))
+    assert torn == 0
+    wal.close()

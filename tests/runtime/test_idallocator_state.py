@@ -1,0 +1,98 @@
+"""IdAllocator durable state: exact round-trips, fold canonicality.
+
+``to_state``/``from_state`` must preserve the duplicate-reservation
+guard exactly — including reserved-but-unused ids and ids already folded
+into the watermark — because a recovered shard that forgets a
+reservation will silently double-apply a replayed write.
+"""
+
+import random
+
+import pytest
+
+from repro.runtime.storage import IdAllocator
+
+
+def _reserved_ids(allocator, upto):
+    """Which ids the guard currently refuses, probed non-destructively."""
+    refused = []
+    for record_id in range(1, upto + 1):
+        state = allocator.to_state()
+        probe = IdAllocator.from_state(state)
+        try:
+            probe.reserve(record_id)
+        except ValueError:
+            refused.append(record_id)
+    return refused
+
+
+def test_state_roundtrip_is_exact():
+    allocator = IdAllocator()
+    for record_id in (3, 5, 6, 900, 2):
+        allocator.reserve(record_id)
+    state = allocator.to_state()
+    restored = IdAllocator.from_state(state)
+    assert restored.to_state() == state
+    assert restored.peek() == allocator.peek()
+
+
+def test_reserved_but_unused_ids_survive_restore():
+    allocator = IdAllocator()
+    allocator.reserve(41)  # reserved, never materialized as a record
+    restored = IdAllocator.from_state(allocator.to_state())
+    with pytest.raises(ValueError):
+        restored.reserve(41)
+
+
+def test_fold_keeps_guard_and_roundtrip():
+    allocator = IdAllocator(compact_threshold=8)
+    rng = random.Random(5)
+    # roughly increasing, as the sharded router delivers them — ids
+    # below an already-folded watermark are *refused by design*
+    reserved = sorted(rng.sample(range(1, 200), 40))
+    for record_id in reserved:
+        allocator.reserve(record_id)
+    assert allocator.reserved_footprint() <= 8 + 1
+    state = allocator.to_state()
+    restored = IdAllocator.from_state(state)
+    assert restored.to_state() == state
+    # every id the original refuses, the restored one refuses too
+    for record_id in reserved:
+        with pytest.raises(ValueError):
+            restored.reserve(record_id)
+
+
+def test_fold_reabsorbs_contiguous_run():
+    """The canonical-form invariant: after a fold, the tail never starts
+    contiguously at watermark + 1 (that run belongs to the watermark).
+    A state violating it would round-trip reserved ids into the gap side
+    of the watermark, where the guard treats them as *unreserved*."""
+    allocator = IdAllocator(compact_threshold=4)
+    for record_id in (10, 11, 12, 13, 14):
+        allocator.reserve(record_id)
+    state = allocator.to_state()
+    assert state["tail"] == []  # fully absorbed, not left as a run
+    restored = IdAllocator.from_state(state)
+    for record_id in (10, 11, 12, 13, 14):
+        with pytest.raises(ValueError):
+            restored.reserve(record_id)
+
+
+def test_allocate_after_restore_never_collides():
+    allocator = IdAllocator()
+    taken = {allocator.allocate() for _ in range(5)}
+    allocator.reserve(50)
+    restored = IdAllocator.from_state(allocator.to_state())
+    fresh = {restored.allocate() for _ in range(60)}
+    assert not (fresh & taken)
+    assert 50 not in fresh
+
+
+def test_bump_to_does_not_reserve():
+    """Replayed allocate-style ids advance the counter but must not
+    enter the reservation tail — they were never externally pinned."""
+    allocator = IdAllocator()
+    allocator.bump_to(30)
+    assert allocator.peek() == 31
+    assert allocator.reserved_footprint() == 0
+    allocator.reserve(30)  # still allowed: 30 was allocated, not pinned
