@@ -30,13 +30,19 @@ Subcommands mirror the pipeline stages:
   sweep; exit 1 on a missed floor), and ``--durability`` runs the
   persistence bench (WAL write overhead, crash-recovery time, the
   post-recovery oracle and a kill-restart storm; exit 1 on a missed
-  floor) — all four accept ``--json PATH`` for the machine-readable
-  report;
+  floor), and ``--replication`` runs the replicated-ring bench
+  (serving throughput during a live split/merge, the fixed-topology
+  oracle, a failover drill and a seeded topology storm; exit 1 on a
+  missed floor) — all five accept ``--json PATH`` for the
+  machine-readable report;
 * ``chaos`` — run the deterministic fault-injection harness against the
   sharded gateway and verify every DQ guarantee held; ``--durability``
   (or ``--backend file|sqlite`` with ``--kills N``) puts a durable
   backend under every shard and layers seeded kill-restart faults over
-  the storm; exit code 1 on any violation.
+  the storm; ``--topology`` upgrades the storm to the replicated
+  consistent-hash ring — followers serving tagged 203 reads, a live
+  shard split and merge mid-run, seeded replica-lag and failover
+  faults layered in; exit code 1 on any violation.
 """
 
 from __future__ import annotations
@@ -169,6 +175,13 @@ def build_parser() -> argparse.ArgumentParser:
              "seeded kill-restart storm); exit 1 on a missed floor",
     )
     cluster_bench.add_argument(
+        "--replication", action="store_true",
+        help="run the replication bench (serving throughput during a "
+             "live split/merge, the fixed-topology oracle, a failover "
+             "drill and a seeded topology storm); exit 1 on a missed "
+             "floor",
+    )
+    cluster_bench.add_argument(
         "--backend", default="file", choices=["file", "sqlite"],
         help="with --durability: the durable backend to measure "
              "(default: file — the append-only WAL plus snapshots)",
@@ -219,6 +232,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--data-dir", default=None,
         help="directory for the shards' durable state (default: a "
              "temporary directory, removed afterwards)",
+    )
+    chaos.add_argument(
+        "--topology", action="store_true",
+        help="run the topology storm instead: a replicated consistent-"
+             "hash ring with a live shard split and merge mid-run, plus "
+             "seeded replica-lag and failover faults layered over the "
+             "usual storm",
+    )
+    chaos.add_argument(
+        "--replicas", type=int, default=1,
+        help="with --topology: followers per shard (reads are served "
+             "from followers as tagged 203s)",
+    )
+    chaos.add_argument(
+        "--staleness-bound", type=int, default=16,
+        help="with --topology: the maximum acked-ops lag a follower "
+             "read may serve",
     )
 
     diff = commands.add_parser(
@@ -390,10 +420,20 @@ def _command_cluster_bench(args, out) -> int:
         run_dqtelemetry_bench,
         run_durability_bench,
         run_hotpath_bench,
+        run_replication_bench,
         run_smoke,
         run_validation_bench,
     )
 
+    if args.replication:
+        replication = run_replication_bench(
+            shard_count=max(2, min(args.shards, 4)), seed=args.seed,
+            json_path=args.json,
+        )
+        print(replication.render(), file=out)
+        if args.json:
+            print(f"wrote {args.json}", file=out)
+        return 0 if replication.passed else 1
     if args.durability:
         durability = run_durability_bench(
             shard_count=args.shards, records=args.records,
@@ -457,7 +497,7 @@ def _command_cluster_bench(args, out) -> int:
 
 
 def _command_chaos(args, out) -> int:
-    from repro.cluster import run_chaos
+    from repro.cluster import run_chaos, run_topology_chaos
 
     backend = args.backend
     if backend is None and args.durability:
@@ -465,6 +505,21 @@ def _command_chaos(args, out) -> int:
     kills = args.kills
     if kills is None:
         kills = 3 if backend is not None else 0
+    if args.topology:
+        topology_result = run_topology_chaos(
+            seed=args.seed,
+            shard_count=args.shards,
+            count=args.count,
+            preload=args.preload,
+            threads=args.threads,
+            replicas=args.replicas,
+            staleness_bound=args.staleness_bound,
+            persistence=backend,
+            kills=kills,
+            data_dir=args.data_dir,
+        )
+        print(topology_result.render(), file=out)
+        return 0 if topology_result.ok else 1
     result = run_chaos(
         seed=args.seed,
         shard_count=args.shards,

@@ -28,12 +28,14 @@ from .bench import (
     DurabilityBenchResult,
     HotpathResult,
     HotpathRow,
+    ReplicationBenchResult,
     SmokeResult,
     ValidationBenchResult,
     run_comparison,
     run_dqtelemetry_bench,
     run_durability_bench,
     run_hotpath_bench,
+    run_replication_bench,
     run_smoke,
     run_validation_bench,
 )
@@ -51,6 +53,12 @@ from .loadgen import (
     verify_guarantees,
 )
 from .metrics import GatewayMetrics
+from .replication import (
+    LogTruncated,
+    ReplicaSet,
+    ReplicationLog,
+    restore_snapshot,
+)
 from .resilience import (
     CACHE_FILL,
     CRASH,
@@ -58,19 +66,30 @@ from .resilience import (
     CircuitBreaker,
     DROP,
     DUPLICATE,
+    FAILOVER,
     FaultInjector,
     FaultPlan,
     FaultSpec,
     IdempotencyRegistry,
     KILL,
     LATENCY,
+    REPLICA_LAG,
     ResilienceConfig,
     RetryPolicy,
+    ShardFailedOver,
     ShardKilled,
     ShardUnavailable,
     run_chaos,
 )
+from .ring import DEFAULT_VNODES, HashRing, RingRouter, moved_fraction
 from .sharding import ShardRouter, fnv1a
+from .topology import (
+    RingGateway,
+    TopologyChaosResult,
+    cluster_state,
+    run_topology_chaos,
+    state_checksum,
+)
 
 __all__ = [
     "CACHE_FILL",
@@ -81,15 +100,18 @@ __all__ = [
     "CircuitBreaker",
     "ComparisonResult",
     "ComparisonRow",
+    "DEFAULT_VNODES",
     "DQTelemetryBenchResult",
     "DROP",
     "DUPLICATE",
     "DurabilityBenchResult",
+    "FAILOVER",
     "FaultInjector",
     "FaultPlan",
     "FaultSpec",
     "GatewayMetrics",
     "GatewayRoute",
+    "HashRing",
     "HotpathResult",
     "HotpathRow",
     "IdempotencyRegistry",
@@ -98,27 +120,42 @@ __all__ = [
     "LastGoodStore",
     "LoadGenerator",
     "LoadReport",
+    "LogTruncated",
     "Operation",
     "READ_HEAVY_MIX",
+    "REPLICA_LAG",
     "ReadThroughCache",
+    "ReplicaSet",
+    "ReplicationBenchResult",
+    "ReplicationLog",
     "ResilienceConfig",
     "RetryPolicy",
+    "RingGateway",
+    "RingRouter",
     "SOAK_MIX",
+    "ShardFailedOver",
     "ShardKilled",
     "ShardRouter",
     "ShardUnavailable",
     "ShardedGateway",
     "SmokeResult",
+    "TopologyChaosResult",
     "ValidationBenchResult",
     "WorkloadSpec",
+    "cluster_state",
     "easychair_spec",
     "fnv1a",
+    "moved_fraction",
+    "restore_snapshot",
     "run_chaos",
     "run_comparison",
     "run_dqtelemetry_bench",
     "run_durability_bench",
     "run_hotpath_bench",
+    "run_replication_bench",
     "run_smoke",
+    "run_topology_chaos",
     "run_validation_bench",
+    "state_checksum",
     "verify_guarantees",
 ]

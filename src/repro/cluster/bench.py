@@ -600,6 +600,7 @@ class SmokeResult:
     validation: Optional["ValidationBenchResult"] = None
     dqtelemetry: Optional["DQTelemetryBenchResult"] = None
     durability: Optional["DurabilityBenchResult"] = None
+    replication: Optional["ReplicationBenchResult"] = None
 
     def render(self) -> str:
         verdict = "PASS" if self.passed else "FAIL"
@@ -641,6 +642,17 @@ class SmokeResult:
                 f"{self.durability.storm.get('restarts', 0)} restart(s) / "
                 f"{self.durability.storm.get('violations', 0)} violation(s)"
             )
+        if self.replication is not None:
+            lines.append(
+                f"replication floors: split/merge retention "
+                f"{self.replication.split_retention:.1%} "
+                f"(>= {self.replication.min_split_retention:.0%}), "
+                f"{self.replication.oracle_diffs} oracle diff(s), storm "
+                f"max lag {self.replication.storm.get('max_served_lag', 0)} "
+                f"(<= {self.replication.staleness_bound}), "
+                f"{self.replication.storm.get('migrated', 0)} migrated / "
+                f"{self.replication.storm.get('violations', 0)} violation(s)"
+            )
         lines.extend(f"  floor missed: {failure}" for failure in self.failures)
         return "\n".join(lines)
 
@@ -671,6 +683,7 @@ def run_smoke(
     validation = None
     dqtelemetry = None
     durability = None
+    replication = None
     for attempt in range(1, attempts + 1):
         result = run_comparison(
             shard_count=shard_count, count=count, preload=preload,
@@ -705,14 +718,22 @@ def run_smoke(
             max_write_overhead=0.40,
         )
         failures.extend(durability.floor_failures())
+        replication = run_replication_bench(
+            shard_count=3, count=150, preload=12, storm_count=150,
+            seed=seed, rounds=2,
+            # at smoke scale the paired ratio is noisy on a loaded
+            # machine; the strict 40% floor lives in --replication
+            min_split_retention=0.25,
+        )
+        failures.extend(replication.floor_failures())
         if not failures:
             return SmokeResult(
                 result, attempt, True, [], min_speedup, min_retention,
-                validation, dqtelemetry, durability,
+                validation, dqtelemetry, durability, replication,
             )
     return SmokeResult(
         result, attempts, False, failures, min_speedup, min_retention,
-        validation, dqtelemetry, durability,
+        validation, dqtelemetry, durability, replication,
     )
 
 
@@ -1923,6 +1944,362 @@ def run_durability_bench(
         backend_stats=backend_stats,
         max_write_overhead=max_write_overhead,
         recovery_budget_per_100k=recovery_budget_per_100k,
+    )
+    if json_path is not None:
+        result.write_json(json_path)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Replication bench: ring serving under live resharding and failover
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ReplicationBenchResult:
+    """Replicated-ring measurements plus the topology oracle sweeps.
+
+    The floors are the replication-subsystem acceptance numbers: serving
+    throughput during a live split + merge within ``min_split_retention``
+    of the steady ring, **zero** oracle diffs (a faultless resharded run
+    byte-identical — report and cluster-state checksum — to its fixed-
+    topology twin, and failing over every primary preserving the exact
+    acknowledged cluster state), every follower read within the declared
+    staleness bound, and a seeded topology storm (replica lag, failover,
+    kill-restart, live split/merge) that passes the full DQ-guarantee
+    verifier.
+    """
+
+    seed: int
+    shard_count: int
+    replicas: int
+    staleness_bound: int
+    rows: list
+    oracle_checks: int
+    oracle_diffs: int
+    drill: dict
+    storm: dict
+    min_split_retention: float = 0.4
+
+    def _row(self, name: str) -> HotpathRow:
+        for row in self.rows:
+            if row.name == name:
+                return row
+        raise KeyError(name)
+
+    @property
+    def split_retention(self) -> float:
+        """Throughput while resharding live as a fraction of the steady
+        ring: 0.8 means the split + merge cost one fifth of throughput."""
+        steady = self._row("serve steady ring").ops_per_second
+        moving = self._row("serve during split/merge").ops_per_second
+        return moving / steady if steady else 0.0
+
+    def floor_failures(self) -> list:
+        """Every missed acceptance floor, as human-readable strings."""
+        failures = []
+        if self.split_retention < self.min_split_retention:
+            failures.append(
+                f"split/merge retention {self.split_retention:.1%} < "
+                f"{self.min_split_retention:.0%} of steady ring"
+            )
+        if self.oracle_diffs:
+            failures.append(
+                f"{self.oracle_diffs} topology oracle diff(s) over "
+                f"{self.oracle_checks} check(s)"
+            )
+        if not self.drill.get("state_preserved", False):
+            failures.append(
+                "failover drill lost acknowledged state "
+                f"({self.drill.get('failovers', 0)} failover(s))"
+            )
+        if not self.storm.get("ok", False):
+            failures.append(
+                f"topology storm: "
+                f"{self.storm.get('violations', '?')} guarantee violation(s)"
+            )
+        if self.storm.get("max_served_lag", 0) > self.staleness_bound:
+            failures.append(
+                f"served follower lag {self.storm.get('max_served_lag')} > "
+                f"staleness bound {self.staleness_bound}"
+            )
+        if not self.storm.get("migrated", 0):
+            failures.append("topology storm migrated no records")
+        return failures
+
+    @property
+    def passed(self) -> bool:
+        return not self.floor_failures()
+
+    def as_dict(self) -> dict:
+        return {
+            "benchmark": "replication",
+            "seed": self.seed,
+            "shard_count": self.shard_count,
+            "replicas": self.replicas,
+            "staleness_bound": self.staleness_bound,
+            "rows": [row.as_dict() for row in self.rows],
+            "split_retention": round(self.split_retention, 4),
+            "floors": {
+                "min_split_retention": self.min_split_retention,
+                "max_oracle_diffs": 0,
+                "max_served_lag": self.staleness_bound,
+                "storm_ok": True,
+                "met": self.passed,
+            },
+            "oracle": {
+                "checks": self.oracle_checks,
+                "diffs": self.oracle_diffs,
+            },
+            "drill": dict(self.drill),
+            "storm": dict(self.storm),
+        }
+
+    def write_json(self, path) -> None:
+        """Emit the machine-readable report (``BENCH_replication.json``)."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.as_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    def render(self) -> str:
+        header = (
+            f"replication bench — {self.shard_count} shard(s) x "
+            f"{self.replicas} follower(s), staleness bound "
+            f"{self.staleness_bound}, seed {self.seed}"
+        )
+        body = render_table(
+            ["Path", "Ops", "Ops/s", "p50 µs", "p99 µs"],
+            [
+                [
+                    row.name,
+                    str(row.operations),
+                    f"{row.ops_per_second:,.0f}",
+                    f"{row.p50_us}",
+                    f"{row.p99_us}",
+                ]
+                for row in self.rows
+            ],
+            max_width=60,
+        )
+        footer = (
+            f"split/merge retention: {self.split_retention:.1%} of steady "
+            f"ring (floor {self.min_split_retention:.0%}) · oracle: "
+            f"{self.oracle_diffs} diff(s) over {self.oracle_checks} "
+            f"check(s)\n"
+            f"failover drill: {self.drill.get('failovers', 0)} primary "
+            f"loss(es), state "
+            f"{'preserved' if self.drill.get('state_preserved') else 'LOST'} "
+            f"· storm: {self.storm.get('violations', 0)} violation(s), "
+            f"max served lag {self.storm.get('max_served_lag', 0)}, "
+            f"{self.storm.get('migrated', 0)} record(s) migrated live; "
+            f"floors {'met' if self.passed else 'MISSED'}"
+        )
+        return f"{header}\n{body}\n{footer}"
+
+
+def run_replication_bench(
+    shard_count: int = 3,
+    count: int = 240,
+    preload: int = 16,
+    replicas: int = 1,
+    staleness_bound: int = 16,
+    vnodes: int = 64,
+    storm_count: int = 240,
+    seed: int = 23,
+    rounds: int = 2,
+    min_split_retention: float = 0.4,
+    json_path=None,
+) -> ReplicationBenchResult:
+    """Measure the replicated ring gateway against its own guarantees.
+
+    Four phases, all over the EasyChair review workload:
+
+    1. **Topology oracle** — one faultless seeded run with a live split
+       at one third and a live merge at two thirds, against its fixed-
+       topology twin: the client-visible report must render
+       byte-identically and the final cluster-state checksums must be
+       equal.  Floor: zero diffs — clients cannot tell a reshard
+       happened.
+    2. **Split/merge retention** — the identical operation plan is
+       served twice on fresh fleets, once on a steady ring and once with
+       the split + merge performed mid-run (their cost on the serving
+       clock).  Floor: at least ``min_split_retention`` of steady
+       throughput, paired per round like the durability bench.
+    3. **Failover drill** — every live primary is deliberately killed
+       and its most caught-up follower promoted; the acknowledged
+       cluster state before and after must be identical.  Floor: zero
+       state diffs.
+    4. **Topology storm** — one seeded chaos run
+       (:func:`~repro.cluster.topology.run_topology_chaos`) layering
+       replica lag, failover and kill-restart faults over the live
+       split/merge.  Floors: every DQ guarantee holds, every follower
+       read stayed within the staleness bound, and records actually
+       migrated live.
+
+    ``json_path`` additionally writes ``BENCH_replication.json``.
+    """
+    from repro.casestudy import easychair
+
+    from .topology import RingGateway, cluster_state, run_topology_chaos
+
+    design_model = easychair.build_design()
+    spec = LoadGenerator(seed=seed).spec
+    writer = spec.cleared_users[0]
+    rows: list[HotpathRow] = []
+
+    # -- 1. faultless resharded run vs fixed-topology twin ----------------
+    oracle_checks = 0
+    oracle_diffs = 0
+    resharded = run_topology_chaos(
+        seed=seed, shard_count=shard_count, count=count, preload=preload,
+        replicas=replicas, staleness_bound=staleness_bound, vnodes=vnodes,
+        plan=FaultPlan(), topology=True,
+    )
+    fixed = run_topology_chaos(
+        seed=seed, shard_count=shard_count, count=count, preload=preload,
+        replicas=replicas, staleness_bound=staleness_bound, vnodes=vnodes,
+        plan=FaultPlan(), topology=False,
+    )
+    oracle_checks += 2
+    if resharded.report.render() != fixed.report.render():
+        oracle_diffs += 1  # pragma: no cover - would be a topology bug
+    if resharded.checksum != fixed.checksum:
+        oracle_diffs += 1  # pragma: no cover - would be a topology bug
+
+    # -- 2. serving throughput while resharding live ----------------------
+    def ring_gateway() -> RingGateway:
+        return RingGateway.from_design(
+            design_model, shard_count=shard_count, users=easychair.USERS,
+            replicas=replicas, staleness_bound=staleness_bound,
+            vnodes=vnodes, cache_capacity=0, max_queue_depth=4096,
+            workers=shard_count,
+        )
+
+    def serve_pass(topology: bool) -> HotpathRow:
+        generator = LoadGenerator(seed=seed)
+        gateway = ring_gateway()
+        rng = random.Random(seed)
+        try:
+            for _ in range(preload):
+                response = gateway.submit(
+                    spec.form, spec.clean_payload(rng), writer
+                )
+                if response.status != 201:  # pragma: no cover
+                    raise RuntimeError(
+                        f"bench preload failed: {response.status}"
+                    )
+            operations = generator.plan(count)
+            report = LoadReport(spec=spec)
+            gc.collect()
+            was_enabled = gc.isenabled()
+            gc.disable()
+            try:
+                start = time.perf_counter()
+                if topology:
+                    first = count // 3
+                    second = (2 * count) // 3
+                    generator.run(
+                        gateway, operations=operations[:first], report=report
+                    )
+                    gateway.split_shard()
+                    generator.run(
+                        gateway, operations=operations[first:second],
+                        report=report,
+                    )
+                    gateway.merge_shard(0)
+                    generator.run(
+                        gateway, operations=operations[second:], report=report
+                    )
+                else:
+                    generator.run(
+                        gateway, operations=operations, report=report
+                    )
+                elapsed = time.perf_counter() - start
+            finally:
+                if was_enabled:
+                    gc.enable()
+            name = (
+                "serve during split/merge" if topology
+                else "serve steady ring"
+            )
+            return HotpathRow(name, count, elapsed, [elapsed])
+        finally:
+            gateway.close()
+
+    # the floor is a ratio, so the pair from the same round is the honest
+    # sample (see the durability bench's write-overhead note)
+    best_pair = None
+    for _ in range(max(1, rounds)):
+        steady_row = serve_pass(False)
+        moving_row = serve_pass(True)
+        ratio = moving_row.elapsed / steady_row.elapsed
+        if best_pair is None or ratio < best_pair[0]:
+            best_pair = (ratio, steady_row, moving_row)
+    rows.extend(best_pair[1:])
+
+    # -- 3. failover drill: lose every primary, compare acked state -------
+    drill_gateway = ring_gateway()
+    try:
+        rng = random.Random(seed)
+        drill_ids = []
+        for _ in range(max(8, preload)):
+            response = drill_gateway.submit(
+                spec.form, spec.clean_payload(rng), writer
+            )
+            drill_ids.append(response.body["id"])
+        before = cluster_state(drill_gateway)
+        live = drill_gateway.router.all_shards()
+        for index in live:
+            drill_gateway.fail_over(index)
+        after = cluster_state(drill_gateway)
+        probe = drill_gateway.view(spec.entity, drill_ids[0], writer)
+        drill = {
+            "failovers": len(live),
+            "records": len(before),
+            "state_preserved": before == after,
+            "follower_probe_status": probe.status,
+        }
+        oracle_checks += 1
+        if not drill["state_preserved"]:
+            oracle_diffs += 1  # pragma: no cover - would be a failover bug
+    finally:
+        drill_gateway.close()
+
+    # -- 4. seeded topology storm over the replicated ring ----------------
+    # on the file WAL: injected kills must restart from durable state
+    # (on a memory backend a kill genuinely loses acked writes — that
+    # negative control lives in the chaos test battery, not here)
+    storm_result = run_topology_chaos(
+        seed=seed, shard_count=shard_count, count=storm_count,
+        preload=preload, replicas=replicas,
+        staleness_bound=staleness_bound, vnodes=vnodes,
+        persistence="file", kills=1, replica_lags=2, failovers=1,
+    )
+    storm = {
+        "ok": storm_result.ok,
+        "violations": len(storm_result.violations),
+        "applied": dict(storm_result.applied),
+        "max_served_lag": storm_result.max_served_lag,
+        "replica_reads": storm_result.replica_reads,
+        "failovers": storm_result.failovers,
+        "restarts": storm_result.restarts,
+        "splits": storm_result.splits,
+        "merges": storm_result.merges,
+        "migrated": storm_result.migrated,
+        "final_shards": storm_result.final_shards,
+    }
+
+    result = ReplicationBenchResult(
+        seed=seed,
+        shard_count=shard_count,
+        replicas=replicas,
+        staleness_bound=staleness_bound,
+        rows=rows,
+        oracle_checks=oracle_checks,
+        oracle_diffs=oracle_diffs,
+        drill=drill,
+        storm=storm,
+        min_split_retention=min_split_retention,
     )
     if json_path is not None:
         result.write_json(json_path)

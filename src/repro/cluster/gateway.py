@@ -72,6 +72,7 @@ from .resilience import (
     OperationTimeout,
     ResilienceConfig,
     ShardCrashed,
+    ShardFailedOver,
     ShardKilled,
     ShardUnavailable,
     TaskDropped,
@@ -353,6 +354,12 @@ class ShardedGateway:
             for shard in self.shards
         )
 
+    def _scorecard_apps(self) -> Sequence[WebApp]:
+        """The apps :meth:`live_scorecard` reads from — the shards here;
+        the replicated gateway overrides this to serve scorecards from
+        caught-up followers instead of the primaries."""
+        return self.shards
+
     def live_scorecard(
         self,
         entity: str,
@@ -381,8 +388,9 @@ class ShardedGateway:
         )
         policy = self.shards[0].policies.for_entity(entity)
         level = policy.security_level
+        apps = self._scorecard_apps()
         readings = []
-        for shard in self.shards:
+        for shard in apps:
             now = shard.clock.peek()
 
             def read(accumulator, now=now):
@@ -434,7 +442,7 @@ class ShardedGateway:
                     # field is exact
                     valid = sum(
                         1
-                        for shard in self.shards
+                        for shard in apps
                         for stored in shard.store.entity(entity).all()
                         if in_bounds(stored.data.get(name), lower, upper)
                     )
@@ -718,6 +726,20 @@ class ShardedGateway:
         """Deliberately kill-and-restart one shard (durability drills)."""
         self._kill_and_restart(shard_index)
 
+    # -- topology-fault hooks (overridden by the replicated gateway) ------
+
+    def _on_failover_fault(self, shard_index: int) -> None:
+        """An injected primary loss.  Without a replication layer there
+        is no follower to promote, so the fault degrades to the kill
+        semantics: restart from durable state (losing unsynced writes),
+        or a plain crash when no shard factory exists."""
+        self._kill_and_restart(shard_index)
+
+    def _on_replica_lag_fault(self, shard_index: int) -> None:
+        """An injected replica-lag window.  Without followers there is
+        nothing to lag; the replicated gateway overrides this to inhibit
+        the shard's next follower catch-up."""
+
     def _apply_once(self, shard_index: int, apply, idempotency_key):
         """One attempt: consult the injector, then apply exactly once.
 
@@ -737,6 +759,16 @@ class ShardedGateway:
                 raise ShardKilled(
                     shard_index, "injected kill -9 (shard restarted)"
                 )
+            if injection.failover:
+                # fires before the shard is touched, like a kill: the
+                # task was never half-applied, and the retry loop
+                # re-runs it against the promoted (or restarted) shard
+                self._on_failover_fault(shard_index)
+                raise ShardFailedOver(
+                    shard_index, "injected primary loss (failover)"
+                )
+            if injection.lag:
+                self._on_replica_lag_fault(shard_index)
             if injection.crash:
                 raise ShardCrashed(shard_index, "injected shard crash")
             if injection.latency > self.resilience.operation_timeout:

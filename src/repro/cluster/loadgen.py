@@ -198,13 +198,21 @@ class LoadGenerator:
         count: Optional[int] = None,
         operations: Optional[Sequence[Operation]] = None,
         threads: int = 1,
+        report: Optional["LoadReport"] = None,
     ) -> "LoadReport":
-        """Execute a plan; ``threads`` > 1 drives the gateway concurrently."""
+        """Execute a plan; ``threads`` > 1 drives the gateway concurrently.
+
+        Passing an existing ``report`` accumulates across calls — the
+        topology-chaos harness runs one plan in segments (pausing for a
+        live split or merge between them) and needs a single combined
+        report with continuous target-id resolution.
+        """
         if operations is None:
             if count is None:
                 raise ValueError("pass count or operations")
             operations = self.plan(count)
-        report = LoadReport(spec=self.spec)
+        if report is None:
+            report = LoadReport(spec=self.spec)
         if threads <= 1:
             for operation in operations:
                 self._execute(gateway, operation, report)

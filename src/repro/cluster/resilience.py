@@ -46,8 +46,14 @@ DUPLICATE = "duplicate"    # the dispatched task runs twice
 CACHE_FILL = "cache-fill"  # read-through cache fills silently fail
 KILL = "kill"              # kill -9: the shard process dies and restarts
                            # from its durable state (unsynced writes lost)
+REPLICA_LAG = "replica-lag"  # the shard's followers stop catching up for
+                             # one read — bounded staleness made visible
+FAILOVER = "failover"      # the primary dies; a caught-up follower is
+                           # promoted (without replication: a plain kill)
 
-FAULT_KINDS = (CRASH, LATENCY, DROP, DUPLICATE, CACHE_FILL, KILL)
+FAULT_KINDS = (
+    CRASH, LATENCY, DROP, DUPLICATE, CACHE_FILL, KILL, REPLICA_LAG, FAILOVER,
+)
 
 #: Default per-operation timeout budget (simulated seconds).
 DEFAULT_OPERATION_TIMEOUT = 0.02
@@ -82,6 +88,17 @@ class ShardKilled(TransientShardFault):
     propagates, so the retry loop re-routes the same task to it."""
 
     kind = KILL
+
+
+class ShardFailedOver(TransientShardFault):
+    """The shard's primary died and a follower was promoted in its place.
+
+    Retryable: by the time this propagates the promoted follower is
+    already serving as the new primary, so the retry loop re-runs the
+    same task against it.  Without a replication layer the failover
+    degrades to a kill-restart (or a plain crash)."""
+
+    kind = FAILOVER
 
 
 class ShardUnavailable(RuntimeError):
@@ -174,6 +191,8 @@ class FaultPlan:
         cache_fill_windows: int = 1,
         operation_timeout: float = DEFAULT_OPERATION_TIMEOUT,
         kills: int = 0,
+        replica_lags: int = 0,
+        failovers: int = 0,
     ) -> "FaultPlan":
         """A deterministic schedule drawn from ``random.Random(seed)``.
 
@@ -183,6 +202,10 @@ class FaultPlan:
         out.  ``kills`` adds that many single-call kill-restart windows;
         they are drawn *after* every other kind, so ``kills=0`` (the
         default) leaves historical seeded schedules byte-identical.
+        ``replica_lags`` and ``failovers`` extend the plan the same way —
+        topology faults are drawn after the kills, in that order, so
+        every earlier seeded schedule (including kill schedules) stays
+        byte-identical when both stay 0.
         """
         if horizon <= start:
             raise ValueError("horizon must exceed start")
@@ -218,6 +241,19 @@ class FaultPlan:
             # windows (that call index rarely lands on that shard)
             at = start + rng.randrange(span)
             specs.append(FaultSpec(KILL, None, at, at + 1))
+        for _ in range(replica_lags):
+            # a lag window pins one shard: every primary call in the
+            # window re-arms the "followers stop catching up" flag, so
+            # reads straddling the window observe real, bounded lag
+            shard = rng.randrange(shard_count)
+            length = max(1, int(span * rng.uniform(0.03, 0.10)))
+            begin = start + rng.randrange(max(1, span - length))
+            specs.append(FaultSpec(REPLICA_LAG, shard, begin, begin + length))
+        for _ in range(failovers):
+            # shard-agnostic single-call windows, like kills: whichever
+            # shard the call routes to loses its primary
+            at = start + rng.randrange(span)
+            specs.append(FaultSpec(FAILOVER, None, at, at + 1))
         specs.sort(
             key=lambda s: (s.start, s.kind, -1 if s.shard is None else s.shard)
         )
@@ -253,6 +289,8 @@ class Injection:
     drop: bool = False
     duplicate: bool = False
     kill: bool = False
+    lag: bool = False
+    failover: bool = False
 
 
 class FaultInjector:
@@ -289,7 +327,7 @@ class FaultInjector:
         with self._lock:
             index = self._calls
             self._calls += 1
-            crash = drop = duplicate = kill = False
+            crash = drop = duplicate = kill = lag = failover = False
             latency = 0.0
             for spec in self.plan.specs:
                 if spec.kind == CACHE_FILL:
@@ -306,6 +344,10 @@ class FaultInjector:
                     duplicate = True
                 elif spec.kind == KILL:
                     kill = True
+                elif spec.kind == REPLICA_LAG:
+                    lag = True
+                elif spec.kind == FAILOVER:
+                    failover = True
             if crash:
                 self.applied[CRASH] += 1
             if latency:
@@ -316,7 +358,11 @@ class FaultInjector:
                 self.applied[DUPLICATE] += 1
             if kill:
                 self.applied[KILL] += 1
-        return Injection(crash, latency, drop, duplicate, kill)
+            if lag:
+                self.applied[REPLICA_LAG] += 1
+            if failover:
+                self.applied[FAILOVER] += 1
+        return Injection(crash, latency, drop, duplicate, kill, lag, failover)
 
     def cache_fill_fails(self) -> bool:
         with self._lock:

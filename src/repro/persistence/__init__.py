@@ -15,7 +15,13 @@ from .backend import (
     RecoveryError,
     persistence_factory,
 )
-from .recovery import RecoveryReport, capture_state, recover_app
+from .recovery import (
+    RecoveryReport,
+    apply_op,
+    capture_state,
+    op_tick,
+    recover_app,
+)
 from .sqlite import SQLiteBackend
 from .wal import (
     WALCorruptionError,
@@ -38,11 +44,13 @@ __all__ = [
     "WALCorruptionError",
     "WALError",
     "WriteAheadLog",
+    "apply_op",
     "capture_state",
     "decode_payload",
     "decode_records",
     "encode_payload",
     "encode_record",
+    "op_tick",
     "persistence_factory",
     "recover_app",
 ]

@@ -83,12 +83,34 @@ def _op_tick(op: dict) -> int:
             meta.get("stored_date") or 0,
             meta.get("last_modified_date") or 0,
         )
+    if kind == "adopt":
+        meta = op.get("meta") or {}
+        return max(
+            meta.get("stored_date") or 0,
+            meta.get("last_modified_date") or 0,
+        )
     if kind == "rows" and op.get("by") is not None:
         # compact batched form: entry[3] is the row's stamp tick, and
         # rows were stamped in order, so the last row carries the max
         rows = op["rows"]
         return rows[-1][3] if rows else 0
     return 0
+
+
+def apply_op(app, op: dict) -> None:
+    """Replay one durable WAL op into a running app.
+
+    The replay path recovery uses for the WAL tail, exposed for log
+    shipping: a replication follower applies its primary's acked ops
+    through exactly this function, so replicated state is rebuilt the
+    same way crash-recovered state is.
+    """
+    _apply_op(app, op)
+
+
+def op_tick(op: dict) -> int:
+    """The highest logical-clock tick a WAL op carries (see ``_op_tick``)."""
+    return _op_tick(op)
 
 
 def _apply_op(app, op: dict) -> None:
@@ -140,6 +162,18 @@ def _apply_op(app, op: dict) -> None:
     elif kind == "meta":
         app.store.entity(op["entity"]).restore_metadata(
             op["id"], op["meta"]
+        )
+    elif kind == "adopt":
+        # migration handoff: a recipient shard takes ownership of a
+        # record streamed off a donor, exact metadata sidecar and
+        # version included.  ``reserve=True`` pins the foreign id so the
+        # recipient's allocator can never re-issue it.
+        app.store.entity(op["entity"]).restore_record(
+            op["id"],
+            op["data"],
+            metadata_state=op.get("meta"),
+            version=op.get("version", 1),
+            reserve=True,
         )
     elif kind == "retire":
         app.store.entity(op["entity"]).restore_delete(op["id"])

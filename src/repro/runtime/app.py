@@ -176,6 +176,24 @@ class WebApp:
 
     # -- durability ------------------------------------------------------------
 
+    def attach_persistence(self, backend) -> None:
+        """Re-point the running app at a (new) persistence backend.
+
+        The replication failover path promotes a caught-up follower —
+        an app built without durable storage — to primary; the promoted
+        app must then log every further mutation, so the stores and the
+        audit trail are re-wired onto ``backend`` in place.  The backend
+        is expected to already hold (or wrap) the durable history this
+        app's state came from; nothing is replayed here.
+        """
+        from repro.persistence import MemoryBackend
+
+        self.persistence = backend if backend is not None else MemoryBackend()
+        self.store.attach_backend(
+            self.persistence if self.persistence.durable else None
+        )
+        self.audit.attach_backend(self.persistence)
+
     def commit(self) -> None:
         """Group commit: make every logged op durable, compact when due.
 

@@ -55,6 +55,13 @@ class AuditTrail:
             backend if backend is not None and backend.durable else None
         )
 
+    def attach_backend(self, backend) -> None:
+        """Swap the durable backend in place (replication failover)."""
+        with self._lock:
+            self._backend = (
+                backend if backend is not None and backend.durable else None
+            )
+
     def record(
         self,
         kind: str,

@@ -82,6 +82,24 @@ def degraded(body, served_version: int, current_version: int) -> Response:
     return Response(NON_AUTHORITATIVE, body, headers)
 
 
+def replica_read(body, lag: int, bound: int) -> Response:
+    """A follower-served read: 203 with an explicit staleness bound.
+
+    Replica reads are the Currentness tradeoff made measurable — the
+    body may trail the primary by up to ``bound`` acknowledged
+    operations, and the headers say exactly how far behind the serving
+    follower actually was (``lag``) and how far it is allowed to be
+    (``bound``).  Like :func:`degraded`, never silent: the
+    ``X-DQ-Degraded`` tag keeps the Traceability DQSR intact.
+    """
+    headers = {
+        "X-DQ-Degraded": "replica",
+        "X-DQ-Replica-Lag": str(lag),
+        "X-DQ-Staleness-Bound": str(bound),
+    }
+    return Response(NON_AUTHORITATIVE, body, headers)
+
+
 def bad_request(message: str) -> Response:
     return Response(BAD_REQUEST, {"error": message})
 

@@ -342,6 +342,17 @@ class EntityStore:
         self._telemetry_pending: list[tuple] = []
         self.telemetry_rebuilds = 0
 
+    def attach_backend(self, backend) -> None:
+        """Swap the durable backend in place (replication failover).
+
+        Same durability gate as construction: a non-durable backend
+        detaches logging entirely, keeping the hot path untouched.
+        """
+        with self._lock:
+            self._backend = (
+                backend if backend is not None and backend.durable else None
+            )
+
     # -- streaming DQ telemetry -------------------------------------------
 
     def set_telemetry(self, enabled: bool) -> None:
@@ -937,6 +948,13 @@ class ContentStore:
                 return self._entities[name]
             except KeyError:
                 raise KeyError(f"no entity named {name!r}") from None
+
+    def attach_backend(self, backend) -> None:
+        """Swap the durable backend on every entity (failover re-wire)."""
+        with self._lock:
+            self._backend = backend
+            for store in self._entities.values():
+                store.attach_backend(backend)
 
     def has_entity(self, name: str) -> bool:
         with self._lock:
