@@ -182,6 +182,14 @@ def build_parser() -> argparse.ArgumentParser:
              "floor",
     )
     cluster_bench.add_argument(
+        "--columnar", action="store_true",
+        help="run the columnar-spine bench (store-resident DQ sweeps "
+             "down the column arrays with zone maps, telemetry column "
+             "absorption and index scans vs their row oracles, plus the "
+             "WAL round-trip and same-seed determinism drills); exit 1 "
+             "on a missed floor",
+    )
+    cluster_bench.add_argument(
         "--backend", default="file", choices=["file", "sqlite"],
         help="with --durability: the durable backend to measure "
              "(default: file — the append-only WAL plus snapshots)",
@@ -193,10 +201,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cluster_bench.add_argument(
         "--json", metavar="PATH", default=None,
-        help="with --hotpath, --validate, --dqtelemetry or --durability: "
-             "also write the machine-readable report (e.g. "
-             "BENCH_hotpath.json / BENCH_validate.json / "
-             "BENCH_dqtelemetry.json / BENCH_durability.json)",
+        help="with --hotpath, --validate, --dqtelemetry, --durability "
+             "or --columnar: also write the machine-readable report "
+             "(e.g. BENCH_hotpath.json / BENCH_validate.json / "
+             "BENCH_dqtelemetry.json / BENCH_durability.json / "
+             "BENCH_columnar.json)",
     )
 
     chaos = commands.add_parser(
@@ -416,6 +425,7 @@ def _command_experiments(args, out) -> int:
 
 def _command_cluster_bench(args, out) -> int:
     from repro.cluster import (
+        run_columnar_bench,
         run_comparison,
         run_dqtelemetry_bench,
         run_durability_bench,
@@ -425,6 +435,14 @@ def _command_cluster_bench(args, out) -> int:
         run_validation_bench,
     )
 
+    if args.columnar:
+        columnar = run_columnar_bench(
+            seed=args.seed, json_path=args.json,
+        )
+        print(columnar.render(), file=out)
+        if args.json:
+            print(f"wrote {args.json}", file=out)
+        return 0 if columnar.passed else 1
     if args.replication:
         replication = run_replication_bench(
             shard_count=max(2, min(args.shards, 4)), seed=args.seed,

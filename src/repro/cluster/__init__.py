@@ -22,6 +22,7 @@ harness.
 """
 
 from .bench import (
+    ColumnarBenchResult,
     ComparisonResult,
     ComparisonRow,
     DQTelemetryBenchResult,
@@ -31,6 +32,7 @@ from .bench import (
     ReplicationBenchResult,
     SmokeResult,
     ValidationBenchResult,
+    run_columnar_bench,
     run_comparison,
     run_dqtelemetry_bench,
     run_durability_bench,
@@ -98,6 +100,7 @@ __all__ = [
     "CacheStats",
     "ChaosResult",
     "CircuitBreaker",
+    "ColumnarBenchResult",
     "ComparisonResult",
     "ComparisonRow",
     "DEFAULT_VNODES",
@@ -148,6 +151,7 @@ __all__ = [
     "moved_fraction",
     "restore_snapshot",
     "run_chaos",
+    "run_columnar_bench",
     "run_comparison",
     "run_dqtelemetry_bench",
     "run_durability_bench",

@@ -48,7 +48,9 @@ from __future__ import annotations
 
 import heapq
 import math
+from collections import Counter
 from hashlib import blake2b
+from operator import itemgetter, mul
 from typing import Iterable, Mapping, Optional, Sequence
 
 from .metrics import compiled_pattern
@@ -77,13 +79,18 @@ _COMPILED_PATTERNS = tuple(
 )
 
 
-def _hash64(key: str) -> int:
-    """A deterministic (unsalted) 64-bit hash, stable across processes."""
-    return int.from_bytes(
-        blake2b(key.encode("utf-8", "surrogatepass"),
-                digest_size=8).digest(),
-        "big",
-    )
+def _hash64(key: str, _blake2b=blake2b, _from_bytes=int.from_bytes) -> int:
+    """A deterministic (unsalted) 64-bit hash, stable across processes.
+
+    The strict default encoder is the fast path (identical bytes for
+    every valid string); only a lone surrogate pays the permissive
+    re-encode, so both spellings hash equal keys equally.
+    """
+    try:
+        raw = key.encode()
+    except UnicodeEncodeError:
+        raw = key.encode("utf-8", "surrogatepass")
+    return _from_bytes(_blake2b(raw, digest_size=8).digest(), "big")
 
 
 class KMVSketch:
@@ -110,17 +117,26 @@ class KMVSketch:
         self.add_hash(_hash64(key))
 
     def add_hash(self, value: int) -> None:
-        if value in self._members:
+        heap = self._heap
+        if len(heap) >= self.k:
+            # saturated: a hash at or above the kept maximum can neither
+            # enter nor change state (kept hashes are all <= largest, so
+            # a duplicate lands here too) — reject on one compare
+            largest = -heap[0]
+            if value >= largest:
+                return
+            members = self._members
+            if value in members:
+                return
+            members.add(value)
+            members.discard(largest)
+            heapq.heapreplace(heap, -value)
             return
-        if len(self._heap) < self.k:
-            self._members.add(value)
-            heapq.heappush(self._heap, -value)
+        members = self._members
+        if value in members:
             return
-        largest = -self._heap[0]
-        if value < largest:
-            self._members.add(value)
-            self._members.discard(largest)
-            heapq.heapreplace(self._heap, -value)
+        members.add(value)
+        heapq.heappush(heap, -value)
 
     def estimate(self) -> int:
         if len(self._heap) < self.k:
@@ -322,6 +338,196 @@ class FieldAccumulator:
             if not self.spilled:
                 numeric = self._numeric_counts
                 numeric[value] = numeric.get(value, 0) + 1
+
+    def add_column(self, values: Sequence) -> None:
+        """Absorb one column chunk — semantically ``for v in values:
+        self.add(v)``, with the per-value dispatch hoisted to the chunk.
+
+        Type-homogeneous chunks (the form path's common case: a bound
+        column is all-``str`` or all-``int``) take specialized loops —
+        attribute loads hoisted into locals, the running numeric sums
+        folded with C-level ``sum``/``min``/``max`` in the exact same
+        left-to-right addition order ``add`` would use, spill handled
+        mid-column.  Mixed chunks fall back to per-value :meth:`add`.
+        The per-value path stays the equivalence oracle (the property
+        suite pins both to identical accumulator state).
+        """
+        if not values:
+            return
+        kinds = set(map(type, values))
+        if kinds == {str}:
+            self.total += len(values)
+            self._add_str_column(values)
+        elif kinds == {int}:
+            self.total += len(values)
+            self._add_int_column(values)
+        else:
+            add = self.add
+            for value in values:
+                add(value)
+
+    def _add_str_column(self, values: Sequence) -> None:
+        # Pre-aggregate the chunk with ``Counter`` (one C pass) and walk
+        # *distinct* values: the missing test, pattern mask and memo
+        # lookup run once per distinct string instead of once per cell.
+        # Exactness: ``Counter`` preserves first-encounter order (dict
+        # semantics), so new memo keys are inserted in the same order
+        # the per-value loop would insert them; pattern tallies and the
+        # missing counter receive the same totals; and the KMV sketch is
+        # idempotent per key, so collapsing duplicates cannot change it.
+        # The one order-sensitive event is a spill *mid-column* — its
+        # trigger point and sketch hand-off depend on arrival order —
+        # so a chunk that would cross the threshold replays the exact
+        # per-value oracle instead.
+        tally = Counter(values)
+        missing = 0
+        string_count = 0
+        tallies = self._pattern_counts
+        strings = self._strings
+        if strings is not None:
+            additions = 0
+            for value in tally:
+                if value not in strings and value and not value.isspace():
+                    additions += 1
+            if (
+                len(strings) + additions + len(self._other_counts)
+                > self.spill_threshold
+            ):
+                self._add_str_column_slow(values)
+                return
+            for value, count in tally.items():
+                if not value or value.isspace():
+                    missing += count
+                    continue
+                string_count += count
+                entry = strings.get(value)
+                if entry is not None:
+                    entry[0] += count
+                    mask = entry[1]
+                else:
+                    mask = _pattern_mask(value)
+                    strings[value] = [count, mask]
+                if mask:
+                    for index in mask:
+                        tallies[index] += count
+        else:
+            # spilled: one hash per *distinct* string, handed straight
+            # to ``add_hash`` (no per-value method hop through ``add``)
+            add_hash = self._sketch.add_hash
+            h64 = _hash64
+            for value, count in tally.items():
+                if not value or value.isspace():
+                    missing += count
+                    continue
+                string_count += count
+                mask = _pattern_mask(value)
+                add_hash(h64(repr(value)))
+                if mask:
+                    for index in mask:
+                        tallies[index] += count
+        self.missing += missing
+        self._string_count += string_count
+
+    def _add_str_column_slow(self, values: Sequence) -> None:
+        """The exact per-value walk, kept for chunks that spill
+        mid-column (the spill point is arrival-order-sensitive)."""
+        missing = 0
+        string_count = 0
+        tallies = self._pattern_counts
+        threshold = self.spill_threshold
+        strings = self._strings
+        other_len = len(self._other_counts)
+        sketch = self._sketch
+        for value in values:
+            if not value or value.isspace():
+                missing += 1
+                continue
+            string_count += 1
+            if strings is not None:
+                entry = strings.get(value)
+                if entry is not None:
+                    entry[0] += 1
+                    mask = entry[1]
+                else:
+                    mask = _pattern_mask(value)
+                    strings[value] = [1, mask]
+                    if len(strings) + other_len > threshold:
+                        self._spill()
+                        strings = None
+                        sketch = self._sketch
+            else:
+                mask = _pattern_mask(value)
+                sketch.add(repr(value))
+            if mask:
+                for index in mask:
+                    tallies[index] += 1
+        self.missing += missing
+        self._string_count += string_count
+
+    def _add_int_column(self, values: Sequence) -> None:
+        # ``sum(values, start)`` performs the same left-to-right float
+        # additions the per-value loop would, so the running sum stays
+        # bit-identical to the oracle's — and ``sum(map(mul, v, v))``
+        # adds the same squares in the same order for the sumsq.  The
+        # bounds come off the tally's key set (the minimum over the
+        # support IS the minimum over the multiset, exactly) so the
+        # chunk pays two tiny passes instead of two full ones.
+        tally = Counter(values)
+        self._num_n += len(values)
+        self._num_sum = sum(values, self._num_sum)
+        lowest = min(tally)
+        highest = max(tally)
+        if self._num_min is None or lowest < self._num_min:
+            self._num_min = lowest
+        if self._num_max is None or highest > self._num_max:
+            self._num_max = highest
+        self._num_sumsq = sum(map(mul, values, values), self._num_sumsq)
+        if self.spilled:
+            # sketch adds are idempotent per key: hash each distinct once
+            add_hash = self._sketch.add_hash
+            for value in tally:
+                add_hash(_hash64(repr(value)))
+            return
+        counts = self._other_counts
+        additions = 0
+        for value in tally:
+            if value not in counts:
+                additions += 1
+        if (
+            len(counts) + additions + len(self._strings)
+            > self.spill_threshold
+        ):
+            self._int_table_slow(values)
+            return
+        numeric = self._numeric_counts
+        for value, count in tally.items():
+            seen = counts.get(value)
+            counts[value] = count if seen is None else seen + count
+            numeric[value] = numeric.get(value, 0) + count
+
+    def _int_table_slow(self, values: Sequence) -> None:
+        """Exact per-value distinct-table walk for a chunk that spills
+        mid-column (numeric sums/min/max were already folded): the
+        triggering value enters the sketch via ``_spill`` and — like
+        ``add`` — skips the bounds table; the remainder is sketch-only.
+        """
+        counts = self._other_counts
+        numeric = self._numeric_counts
+        strings_len = len(self._strings)
+        threshold = self.spill_threshold
+        for position, value in enumerate(values):
+            seen = counts.get(value)
+            if seen is None:
+                counts[value] = 1
+                if len(counts) + strings_len > threshold:
+                    self._spill()
+                    sketch_add = self._sketch.add
+                    for rest in values[position + 1:]:
+                        sketch_add(repr(rest))
+                    return
+            else:
+                counts[value] = seen + 1
+            numeric[value] = numeric.get(value, 0) + 1
 
     def remove(self, value) -> None:
         self.total -= 1
@@ -673,6 +879,28 @@ class EntityAccumulator:
             register(record_id, metadata)
         self.records += count
 
+    def observe_columns(
+        self, fields: Sequence[str], columns: Sequence[Sequence], rows_meta: Sequence[tuple]
+    ) -> None:
+        """A whole already-stamped chunk, transposed: ``columns[i]``
+        holds every record's value for ``fields[i]`` and ``rows_meta``
+        the ``(record_id, metadata)`` pairs.  One ``updates`` tick and
+        one bulk :meth:`FieldAccumulator.add_column` per field —
+        equivalent to :meth:`observe_rows` over the same chunk (field
+        accumulators are independent, so absorbing a field's values
+        contiguously instead of row-interleaved reaches the same state).
+        """
+        self.updates += 1
+        accumulators = self._fields
+        new_field = self._field
+        for name, column in zip(fields, columns):
+            accumulator = accumulators.get(name)
+            if accumulator is None:
+                accumulator = new_field(name)
+            accumulator.add_column(column)
+        self._register_metadata_many(rows_meta)
+        self.records += len(rows_meta)
+
     def observe_insert_many(self, stored_list: Sequence) -> None:
         self.observe_rows(
             (stored.record_id, stored.data, stored.metadata)
@@ -725,8 +953,42 @@ class EntityAccumulator:
         """
         for op in ops:
             kind = op[0]
-            if kind == "rows":
-                self.observe_rows(op[1])
+            if kind == "cols":
+                self.observe_columns(op[1], op[2], op[3])
+            elif kind == "rows":
+                rows = op[1]
+                # A layout-uniform chunk (the batched form path always
+                # is) transposes here — on the read side of the queue —
+                # and absorbs column-at-a-time.  Small or ragged chunks
+                # keep the row walk; both reach identical state (field
+                # accumulators are independent, so per-field contiguous
+                # absorption commutes with row interleaving).
+                # Uniformity proof: equal widths plus every layout key
+                # present (``itemgetter`` raises otherwise) pins each
+                # row's key *set* to the layout's; extraction is by
+                # name, so reordered rows transpose correctly too.
+                if len(rows) >= 8:
+                    first = rows[0][1]
+                    width = len(first)
+                    if width > 1 and all(
+                        len(row[1]) == width for row in rows
+                    ):
+                        layout = tuple(first)
+                        getter = itemgetter(*layout)
+                        try:
+                            columns = tuple(
+                                zip(*[getter(row[1]) for row in rows])
+                            )
+                        except KeyError:
+                            columns = None
+                        if columns is not None:
+                            self.observe_columns(
+                                layout,
+                                columns,
+                                [(row[0], row[2]) for row in rows],
+                            )
+                            continue
+                self.observe_rows(rows)
             elif kind == "meta":
                 self.observe_metadata(op[1], op[2])
             elif kind == "update":
@@ -765,6 +1027,43 @@ class EntityAccumulator:
         )
         self._meta_state[record_id] = state
         self._admit_metadata(state)
+
+    def _register_metadata_many(self, rows_meta: Sequence[tuple]) -> None:
+        """Batched :meth:`_register_metadata` over ``(record_id,
+        metadata)`` pairs — identical final state, with the counters
+        folded into locals and committed once.  Exactness: clock ticks
+        are integers, so the timestamp sums are order-free, and a
+        ``None`` running minimum (invalidated, recomputed lazily) stays
+        ``None`` exactly as the per-record admit would leave it.
+        """
+        meta_state = self._meta_state
+        levels = self._levels
+        table = self._timestamps
+        traced_added = 0
+        ts_sum = 0
+        ts_count = 0
+        minimum = self._ts_min
+        for record_id, metadata in rows_meta:
+            traced = (
+                bool(metadata.stored_by)
+                and metadata.stored_date is not None
+            )
+            level = metadata.security_level
+            timestamp = metadata.last_modified_date
+            meta_state[record_id] = (traced, level, timestamp)
+            if traced:
+                traced_added += 1
+            levels[level] = levels.get(level, 0) + 1
+            if timestamp is not None:
+                table[timestamp] = table.get(timestamp, 0) + 1
+                ts_sum += timestamp
+                ts_count += 1
+                if minimum is not None and timestamp < minimum:
+                    minimum = timestamp
+        self._traced += traced_added
+        self._ts_sum += ts_sum
+        self._ts_count += ts_count
+        self._ts_min = minimum
 
     def _admit_metadata(self, state: tuple) -> None:
         traced, level, timestamp = state

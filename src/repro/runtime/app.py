@@ -426,7 +426,7 @@ class WebApp:
         self.commit()
         return result
 
-    def read(self, entity: str, user: str) -> list[StoredRecord]:
+    def read(self, entity: str, user: str) -> Sequence[StoredRecord]:
         """Confidentiality-filtered read of an entity's records."""
         account = self.users.get(user)
         visible = self.store.readable_by(entity, user, account.level)

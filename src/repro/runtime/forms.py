@@ -169,6 +169,14 @@ class Form:
         (exact field layout, in order) and skips the per-record layout
         check — the batched write paths bind immediately before
         validating, so the layout holds by construction.
+
+        Row-form batches deliberately stay on the fused row scan even
+        though the plan may carry a column-sliced body
+        (``plan.check_columns``): transposing freshly bound dicts costs
+        more than the scan saves, so the columnar body is reserved for
+        data whose columns already exist — the EntityStore spine, where
+        :meth:`~repro.runtime.storage.EntityStore.revalidate` runs it
+        against write-time zone maps.
         """
         if self.compiled:
             return self.compiled_plan().check_batch(records, prebound)

@@ -34,6 +34,7 @@ from __future__ import annotations
 import copy
 import threading
 from dataclasses import dataclass, field, replace
+from operator import itemgetter
 from typing import Callable, Iterable, Optional, Sequence
 
 from repro.dq.metadata import Clock, DQMetadataRecord
@@ -254,6 +255,67 @@ class StoredRecord:
         )
 
 
+_NUMERIC_ZONE_KINDS = frozenset((int, float))
+
+
+class ColumnStats:
+    """**Zone map** of one column (the classic columnar trick: summary
+    statistics that let a whole-column predicate be answered without
+    scanning a single cell).
+
+    Computed lazily by :meth:`of_column` — a handful of C-level passes
+    over the live column — and memoized by the entity store against its
+    spine's mutation epoch, so the write path pays nothing and repeat
+    sweeps between writes reuse the map for free.  ``kinds`` is the
+    exact type census, ``missing`` whether a missing value (None /
+    blank string) is present (conservatively True for exotic mixes),
+    ``zmin``/``zmax`` bound the numeric values, ``nan`` whether a NaN
+    is present.  Every claim is exact-or-conservative: a zone map may
+    fail to prove a column clean (demoting the check to the real column
+    pass) but can never claim clean wrongly.
+    """
+
+    __slots__ = ("kinds", "missing", "nan", "zmin", "zmax")
+
+    def __init__(self):
+        self.kinds: set = set()
+        self.missing = False
+        self.nan = False
+        self.zmin = None
+        self.zmax = None
+
+    @classmethod
+    def of_column(cls, column) -> "ColumnStats":
+        stats = cls()
+        kinds = set(map(type, column))
+        stats.kinds = kinds
+        if kinds == {str}:
+            stats.missing = "" in column or any(
+                map(str.isspace, column)
+            )
+        elif kinds and kinds <= _NUMERIC_ZONE_KINDS:
+            total = sum(column)
+            if total != total:  # sum propagates NaN in one C pass
+                stats.nan = True
+            else:
+                stats.zmin = min(column)
+                stats.zmax = max(column)
+        elif kinds:
+            # mixed / exotic column: claim nothing (missing=True keeps
+            # completeness checks on the real column pass — sound)
+            stats.missing = True
+        return stats
+
+    def as_dict(self) -> dict:
+        return {
+            "kinds": sorted(kind.__name__ for kind in self.kinds),
+            "missing": self.missing,
+            "nan": self.nan,
+            "zmin": self.zmin,
+            "zmax": self.zmax,
+        }
+
+
 class _ConfidentialityIndex:
     """Who may read what, as hash lookups instead of per-record predicates.
 
@@ -264,10 +326,21 @@ class _ConfidentialityIndex:
     calling a Python predicate per record.
     """
 
+    #: readable-id cache entries kept before a wholesale clear — reads
+    #: come from a handful of distinct principals, so this is generous.
+    _CACHE_LIMIT = 128
+
     def __init__(self):
         self._by_level: dict[int, set[int]] = {}
         self._by_grant: dict[str, set[int]] = {}
         self._state: dict[int, tuple[int, frozenset]] = {}
+        # Readable-id sets are memoized per ``(user, level)`` and
+        # invalidated wholesale by bumping the generation on any index
+        # change: stores mutate in bursts and are then read repeatedly
+        # by the same principals, so the union rebuild amortizes to
+        # zero on the read-heavy mixes.
+        self._generation = 0
+        self._readable_cache: dict[tuple[str, int], tuple[int, frozenset]] = {}
 
     def index(self, record_id: int, metadata: DQMetadataRecord) -> None:
         self.unindex(record_id)
@@ -277,11 +350,13 @@ class _ConfidentialityIndex:
         for user in grants:
             self._by_grant.setdefault(user, set()).add(record_id)
         self._state[record_id] = (level, grants)
+        self._generation += 1
 
     def unindex(self, record_id: int) -> None:
         state = self._state.pop(record_id, None)
         if state is None:
             return
+        self._generation += 1
         level, grants = state
         bucket = self._by_level.get(level)
         if bucket is not None:
@@ -295,7 +370,15 @@ class _ConfidentialityIndex:
                 if not granted:
                     del self._by_grant[user]
 
-    def readable_ids(self, user: str, user_level: int) -> set[int]:
+    def readable_ids(self, user: str, user_level: int) -> frozenset:
+        """The ids ``(user, user_level)`` may read, as a **shared**
+        frozenset — callers must treat it as immutable (it is reused
+        across calls until the next index change)."""
+        key = (user, user_level)
+        generation = self._generation
+        cached = self._readable_cache.get(key)
+        if cached is not None and cached[0] == generation:
+            return cached[1]
         readable: set[int] = set()
         for level, ids in self._by_level.items():
             if level <= user_level:
@@ -303,7 +386,12 @@ class _ConfidentialityIndex:
         granted = self._by_grant.get(user)
         if granted:
             readable |= granted
-        return readable
+        result = frozenset(readable)
+        cache = self._readable_cache
+        if len(cache) >= self._CACHE_LIMIT:
+            cache.clear()
+        cache[key] = (generation, result)
+        return result
 
 
 class EntityStore:
@@ -331,6 +419,40 @@ class EntityStore:
         )
         self._field_indexes: dict[str, dict[object, set[int]]] = {}
         self._confidentiality = _ConfidentialityIndex()
+        # Columnar spine: one append-only value array per layout field,
+        # a parallel row-id array (``None`` marks a tombstone) and a
+        # record-id → slot map, all maintained under the entity lock.
+        # The layout is the declared field tuple (or adopted from the
+        # first insert when none was declared); a record whose key tuple
+        # deviates from it is tracked in ``_irregular`` and every
+        # column-answered read falls back to the dict scan while any
+        # such record exists.  Row dicts stay authoritative — the spine
+        # only mirrors them so the hot paths (vectorized validation,
+        # telemetry absorption, equality scans) can run down columns.
+        self._layout: Optional[tuple[str, ...]] = self.fields or None
+        self._cols: dict[str, list] = {name: [] for name in self.fields}
+        self._col_list: list[list] = list(self._cols.values())
+        # Admission compares ``data.keys()`` against this frozenset — a
+        # single C set comparison, no tuple allocation per insert.  The
+        # spine extracts values by name, so key *order* never matters
+        # (``None`` — e.g. a duplicated declared field — admits nothing).
+        self._layout_keys: Optional[frozenset] = (
+            frozenset(self._layout)
+            if self._layout is not None
+            and len(self._layout) == len(self._cols)
+            else None
+        )
+        self._col_pairs: list[tuple[str, list]] = list(self._cols.items())
+        self._col_ids: list[Optional[int]] = []
+        self._slots: dict[int, int] = {}
+        self._irregular: set[int] = set()
+        self._tombstones = 0
+        # Zone maps: exact per-column ColumnStats, computed lazily (C
+        # passes over the live columns) and memoized against the spine
+        # mutation epoch — the write path only bumps the epoch.
+        self._col_epoch = 0
+        self._stats_epoch = -1
+        self._col_stats: dict[str, ColumnStats] = {}
         # Streaming DQ telemetry: maintained under the entity lock next
         # to the field indexes, default-on.  ``None`` while disabled (or
         # pending a rebuild after re-enabling).  Writes only enqueue
@@ -489,6 +611,181 @@ class EntityStore:
                     "meta": stored.metadata.to_state(),
                 })
 
+    # -- columnar spine (entity lock held by every caller) -----------------
+
+    def _col_add(self, stored: StoredRecord) -> None:
+        """Mirror a just-inserted record into the column arrays."""
+        data = stored.data
+        if self._layout is None:
+            if not data:
+                self._irregular.add(stored.record_id)
+                return
+            layout = tuple(data)
+            self._layout = layout
+            self._cols = {name: [] for name in layout}
+            self._col_list = list(self._cols.values())
+            self._col_pairs = list(self._cols.items())
+            self._layout_keys = frozenset(layout)
+        if tuple(data) == self._layout:
+            self._slots[stored.record_id] = len(self._col_ids)
+            self._col_ids.append(stored.record_id)
+            self._col_epoch += 1
+            # ``any`` drains the C-level map (append returns None)
+            any(map(list.append, self._col_list, data.values()))
+        elif data.keys() == self._layout_keys:
+            # same fields, different key order: still regular — the
+            # spine extracts by name, so only the probes cost more
+            self._slots[stored.record_id] = len(self._col_ids)
+            self._col_ids.append(stored.record_id)
+            self._col_epoch += 1
+            for name, column in self._col_pairs:
+                column.append(data[name])
+        else:
+            self._irregular.add(stored.record_id)
+
+    def _col_add_chunk(self, stored_list: Sequence[StoredRecord]) -> None:
+        """Mirror a whole ``insert_many`` chunk into the columns.
+
+        The uniform case (every row carries exactly the layout keys —
+        the batched form path always does) admits the chunk with one
+        slot/epoch update and a single per-field extend, so the spine
+        tax per record is a set comparison and F dict probes instead of
+        the per-record bookkeeping of :meth:`_col_add`."""
+        if self._layout is None:
+            # adopt the layout from the first row, then retry the rest
+            self._col_add(stored_list[0])
+            stored_list = stored_list[1:]
+            if not stored_list:
+                return
+            if self._layout is None:
+                for stored in stored_list:
+                    self._col_add(stored)
+                return
+        keys = self._layout_keys
+        datas = [stored.data for stored in stored_list]
+        if all(d.keys() == keys for d in datas):
+            col_ids = self._col_ids
+            base = len(col_ids)
+            self._col_epoch += 1
+            rids = [stored.record_id for stored in stored_list]
+            col_ids.extend(rids)
+            self._slots.update(zip(rids, range(base, base + len(rids))))
+            for name, column in self._col_pairs:
+                column.extend(map(itemgetter(name), datas))
+        else:
+            for stored in stored_list:
+                self._col_add(stored)
+
+    def _col_update(self, record_id: int, stored: StoredRecord, delta: dict) -> None:
+        """Mirror an update.  A merge can only add keys, so an unchanged
+        dict length means the key tuple still equals the layout and the
+        changed cells are written in place; a widened record is demoted
+        to the irregular set (its slot becomes a tombstone)."""
+        slot = self._slots.get(record_id)
+        if slot is None:
+            return  # irregular records stay dict-served
+        if len(stored.data) == len(self._layout):
+            cols = self._cols
+            self._col_epoch += 1
+            for name, value in delta.items():
+                cols[name][slot] = value
+            return
+        del self._slots[record_id]
+        self._irregular.add(record_id)
+        self._col_tombstone(slot)
+
+    def _col_remove(self, record_id: int) -> None:
+        """Mirror a delete: tombstone the slot (or drop the irregular)."""
+        slot = self._slots.pop(record_id, None)
+        if slot is None:
+            self._irregular.discard(record_id)
+            return
+        self._col_tombstone(slot)
+
+    def _col_tombstone(self, slot: int) -> None:
+        self._col_epoch += 1
+        self._col_ids[slot] = None
+        for column in self._col_list:
+            column[slot] = None
+        self._tombstones += 1
+        if self._tombstones > 64 and self._tombstones * 2 > len(self._col_ids):
+            self._compact_columns()
+
+    def _compact_columns(self) -> None:
+        """Drop tombstoned slots, preserving live-slot (insertion) order."""
+        keep = [
+            slot for slot, rid in enumerate(self._col_ids) if rid is not None
+        ]
+        self._col_ids = [self._col_ids[slot] for slot in keep]
+        for name, column in self._cols.items():
+            self._cols[name] = [column[slot] for slot in keep]
+        self._col_list = list(self._cols.values())
+        self._col_pairs = list(self._cols.items())
+        self._slots = {rid: slot for slot, rid in enumerate(self._col_ids)}
+        self._tombstones = 0
+
+    def _refresh_stats(self) -> None:
+        """Recompute the zone maps iff the spine mutated since the last
+        sweep (entity lock held).  Tombstones are compacted first so the
+        stats describe exactly the live cells."""
+        if self._stats_epoch == self._col_epoch:
+            return
+        if self._tombstones:
+            self._compact_columns()
+        of_column = ColumnStats.of_column
+        self._col_stats = {
+            name: of_column(column) for name, column in self._cols.items()
+        }
+        self._stats_epoch = self._col_epoch
+
+    def columnar_stats(self) -> dict:
+        """Introspection for tests and the columnar bench."""
+        with self._lock:
+            self._refresh_stats()
+            return {
+                "layout": list(self._layout) if self._layout else None,
+                "slots": len(self._slots),
+                "tombstones": self._tombstones,
+                "irregular": len(self._irregular),
+                "epoch": self._col_epoch,
+                "zone_maps": {
+                    name: stats.as_dict()
+                    for name, stats in self._col_stats.items()
+                },
+            }
+
+    def revalidate(self, plan) -> dict[int, list]:
+        """Re-run a compiled plan over every live record, answering from
+        the columnar spine: findings keyed by record id.
+
+        This is the full-entity DQ sweep (scorecard-style re-audit of
+        already-admitted data).  When the plan carries a column-sliced
+        body and every record sits in the spine, each scan term runs
+        down whole columns — and the zone maps (refreshed lazily per
+        mutation epoch) usually answer a column in O(1) without
+        touching a single cell.  Any irregular record, plan without a
+        columnar body, or field mismatch falls back to the fused row
+        scan over the authoritative dicts, so the result is identical
+        either way (the row path is the oracle).
+        """
+        with self._lock:
+            check_columns = getattr(plan, "check_columns", None)
+            layout = self._layout
+            if (
+                check_columns is not None
+                and layout is not None
+                and not self._irregular
+                and set(plan.bound_fields) <= set(self._cols)
+            ):
+                self._refresh_stats()
+                columns = [self._cols[name] for name in plan.bound_fields]
+                stats = [self._col_stats[name] for name in plan.bound_fields]
+                results = check_columns(columns, len(self._col_ids), stats)
+                return dict(zip(self._col_ids, results))
+            rows = [stored.data for stored in self._records.values()]
+            ids = list(self._records.keys())
+            return dict(zip(ids, plan.check_batch(rows, False)))
+
     # -- writes ------------------------------------------------------------
 
     def insert(self, data: dict, record_id: Optional[int] = None) -> StoredRecord:
@@ -511,6 +808,7 @@ class EntityStore:
             stored = StoredRecord(record_id, dict(data))
             self._records[record_id] = stored
             self._index_record(stored)
+            self._col_add(stored)
             if self._telemetry is not None:
                 self._telemetry_pending.append(
                     ("row", record_id, stored.data, stored.metadata)
@@ -564,6 +862,8 @@ class EntityStore:
                 self._index_record(stored)
                 stored_list.append(stored)
                 pins.append(pinned)
+            if stored_list:
+                self._col_add_chunk(stored_list)
             if log and self._backend is not None and stored_list:
                 self._backend.append({
                     "op": "rows",
@@ -624,13 +924,22 @@ class EntityStore:
 
     def observe_inserted(self, stored_list: Sequence[StoredRecord]) -> None:
         """Feed an :meth:`insert_many` chunk (metadata already stamped)
-        to the telemetry accumulator as one batched update."""
+        to the telemetry accumulator as one batched update.
+
+        The write path only captures references — the published dicts
+        are copy-on-write, so they are frozen the moment they are
+        captured.  Layout detection and the columnar transpose happen at
+        **absorb** time (:meth:`EntityAccumulator.absorb`), on the read
+        side of the queue, keeping telemetry-on writes at parity with
+        telemetry-off ones.
+        """
         with self._lock:
-            if self._telemetry is not None:
-                self._telemetry_pending.append(("rows", [
-                    (stored.record_id, stored.data, stored.metadata)
-                    for stored in stored_list
-                ]))
+            if self._telemetry is None:
+                return
+            self._telemetry_pending.append(("rows", [
+                (stored.record_id, stored.data, stored.metadata)
+                for stored in stored_list
+            ]))
 
     def update(self, record_id: int, data: dict) -> StoredRecord:
         """Merge ``data`` into a record — by *publishing a fresh dict*.
@@ -649,6 +958,7 @@ class EntityStore:
             stored.version += 1
             for field_name in self._field_indexes:
                 self._index_field_value(field_name, stored, record_id)
+            self._col_update(record_id, stored, data)
             if self._telemetry is not None:
                 self._telemetry_pending.append(
                     ("update", old_data, stored.data)
@@ -669,6 +979,7 @@ class EntityStore:
             del self._records[record_id]
             self._unindex_field_values(record_id, stored)
             self._confidentiality.unindex(record_id)
+            self._col_remove(record_id)
             if self._telemetry is not None:
                 self._telemetry_pending.append(
                     ("delete", record_id, stored.data)
@@ -726,6 +1037,7 @@ class EntityStore:
                 stored.metadata = DQMetadataRecord.from_state(metadata_state)
             self._records[record_id] = stored
             self._index_record(stored)
+            self._col_add(stored)
             if self._telemetry is not None:
                 self._telemetry_pending.append(
                     ("row", record_id, stored.data, stored.metadata)
@@ -750,6 +1062,7 @@ class EntityStore:
             )
             for field_name in self._field_indexes:
                 self._index_field_value(field_name, stored, record_id)
+            self._col_update(record_id, stored, data)
             if self._telemetry is not None:
                 self._telemetry_pending.append(
                     ("update", old_data, stored.data)
@@ -777,6 +1090,7 @@ class EntityStore:
             del self._records[record_id]
             self._unindex_field_values(record_id, stored)
             self._confidentiality.unindex(record_id)
+            self._col_remove(record_id)
             if self._telemetry is not None:
                 self._telemetry_pending.append(
                     ("delete", record_id, stored.data)
@@ -840,37 +1154,68 @@ class EntityStore:
         self, field_name: str, value, deep: bool = False
     ) -> list[StoredRecord]:
         """Records whose ``field_name`` equals ``value`` — O(1) when the
-        field is indexed (``create_index``), a scan otherwise.  Results
-        come back in insertion order either way, exactly like
+        field is indexed (``create_index``), a column scan otherwise.
+        Results come back in insertion order either way, exactly like
         :meth:`query` with an equality predicate."""
         deep = deep or self.deep_snapshots
         with self._lock:
             index = self._field_indexes.get(field_name)
             if index is None:
-                return [
-                    s.snapshot(deep)
-                    for s in self._records.values()
-                    if s.data.get(field_name) == value
-                ]
+                return self._scan_by(field_name, value, deep)
             try:
                 matches = index.get(value)
             except TypeError:
                 # unhashable lookup value: such values never enter the
                 # index, so only the scan can answer equality for them
-                return [
-                    s.snapshot(deep)
-                    for s in self._records.values()
-                    if s.data.get(field_name) == value
-                ]
+                return self._scan_by(field_name, value, deep)
             if not matches:
                 return []
-            if len(matches) == len(self._records):
-                return [s.snapshot(deep) for s in self._records.values()]
+            records = self._records
+            if len(matches) == len(records):
+                return [s.snapshot(deep) for s in records.values()]
+            if not self._irregular and len(matches) * 4 <= len(records):
+                # Slot order is insertion order, so sorting the matched
+                # ids by slot skips the full-store walk entirely.
+                ordered = sorted(matches, key=self._slots.__getitem__)
+                return [records[rid].snapshot(deep) for rid in ordered]
             return [
                 s.snapshot(deep)
-                for record_id, s in self._records.items()
+                for record_id, s in records.items()
                 if record_id in matches
             ]
+
+    def _scan_by(self, field_name: str, value, deep: bool) -> list[StoredRecord]:
+        """Equality scan, answered down the field's column when every
+        record is on-layout (entity lock held).
+
+        ``list.index`` compares identity before equality (so NaN finds
+        itself), making the candidate set a superset of the dict scan's
+        ``==`` matches — each hit is re-checked with a real ``==`` so
+        both paths stay exactly equivalent.  Only the matching rows are
+        materialized as snapshots.
+        """
+        records = self._records
+        column = self._cols.get(field_name)
+        if column is not None and not self._irregular:
+            ids = self._col_ids
+            matched: list[int] = []
+            search = column.index
+            position = 0
+            try:
+                while True:
+                    position = search(value, position)
+                    rid = ids[position]
+                    if rid is not None and column[position] == value:
+                        matched.append(rid)
+                    position += 1
+            except ValueError:
+                pass
+            return [records[rid].snapshot(deep) for rid in matched]
+        return [
+            s.snapshot(deep)
+            for s in records.values()
+            if s.data.get(field_name) == value
+        ]
 
     def select_snapshots(
         self, predicate: Callable[[StoredRecord], bool], deep: bool = False
@@ -891,27 +1236,35 @@ class EntityStore:
 
     def readable_snapshots(
         self, user: str, user_level: int, deep: bool = False
-    ) -> list[StoredRecord]:
+    ) -> tuple[StoredRecord, ...]:
         """Confidentiality-filtered snapshots via the hash index.
 
         Semantically identical to ``select_snapshots(lambda s:
         s.metadata.accessible_by(user, user_level))`` — the property
         tests hold the two paths equal — but the per-record Python
         predicate is replaced by set unions and C-speed membership
-        checks.  Insertion order is preserved.
+        checks.  Insertion order is preserved.  Returns a **tuple**
+        (read results are never mutated in place), built straight from
+        the cached readable-id set: repeated reads by the same principal
+        between writes rebuild neither the id set nor any intermediate
+        list, and only matching rows are materialized.
         """
         deep = deep or self.deep_snapshots
         with self._lock:
             readable = self._confidentiality.readable_ids(user, user_level)
             if not readable:
-                return []
-            if len(readable) == len(self._records):
-                return [s.snapshot(deep) for s in self._records.values()]
-            return [
+                return ()
+            records = self._records
+            if len(readable) == len(records):
+                return tuple(s.snapshot(deep) for s in records.values())
+            if not self._irregular and len(readable) * 4 <= len(records):
+                ordered = sorted(readable, key=self._slots.__getitem__)
+                return tuple(records[rid].snapshot(deep) for rid in ordered)
+            return tuple(
                 s.snapshot(deep)
-                for record_id, s in self._records.items()
+                for record_id, s in records.items()
                 if record_id in readable
-            ]
+            )
 
     def __len__(self) -> int:
         with self._lock:
@@ -1065,7 +1418,7 @@ class ContentStore:
 
     def readable_by(
         self, entity_name: str, user: str, user_level: int
-    ) -> list[StoredRecord]:
+    ) -> tuple[StoredRecord, ...]:
         """Confidentiality-filtered read (the paper's Confidentiality DQR).
 
         Served from the per-entity clearance index; the full-scan

@@ -39,6 +39,7 @@ their identity (not their config) keys the cache.
 from __future__ import annotations
 
 import hashlib
+import math
 import threading
 from collections import OrderedDict
 from typing import Optional, Sequence
@@ -487,6 +488,294 @@ class _PlanBuilder:
         return [f"fs.extend({opaque}.check(record))"], True
 
 
+# ---------------------------------------------------------------------------
+# Columnar checks: per-field whole-column clean tests + per-value defect
+# tests, mirroring the scan terms exactly
+# ---------------------------------------------------------------------------
+#
+# ``check_columns`` is the column-sliced fast body: instead of running
+# the fused or-expression per record, each scan term becomes a pair of
+# closures — ``clean(column, kinds, stat)`` decides in a handful of
+# C-level passes (type-set, ``min``/``max``, ``in``, ``all(map(...))``)
+# whether an entire column can possibly contain a defect, and
+# ``defect(value)`` replicates the row scan term for the dirty columns,
+# building a defect row bitmap.  When the caller owns the columns (the
+# EntityStore's spine) it passes the store's write-time **zone maps**
+# (:class:`repro.runtime.storage.ColumnStats`) as ``stat``: a sticky
+# superset of everything ever written to the column, which usually
+# answers ``clean`` in O(1) — no missing value ever arrived, or the
+# running min/max already sit inside the bounds — without touching a
+# single cell.  Zone maps only ever widen, so a zone answer of "clean"
+# is sound and a stale-wide zone merely demotes to the real column
+# pass.  The soundness contract is the same as the row scan's:
+# ``clean`` may never answer True for a column any scan term would flag
+# (under-approximation forbidden), ``defect`` must flag exactly the
+# values the scan term flags (over-flagging is harmless — the exact
+# fused slow body re-answers flagged rows and returns ``[]`` for the
+# clean ones), and any exception anywhere demotes to the slow body.
+
+_NONE_TYPE = type(None)
+_NUMERIC_KINDS = frozenset((int, float))
+
+
+def _is_missing_value(value) -> bool:
+    """The scan's missing test (``_missing_condexpr``), as a function."""
+    if value.__class__ is str:
+        return not value or value.isspace()
+    return value is None or (
+        isinstance(value, str) and (not value or value.isspace())
+    )
+
+
+def _missing_clean(column, kinds, stat=None) -> bool:
+    if stat is not None and not stat.missing:
+        return True  # zone map: no missing value was ever written
+    if kinds == {str}:
+        return "" not in column and not any(map(str.isspace, column))
+    for kind in kinds:
+        if kind is _NONE_TYPE or issubclass(kind, str):
+            return False
+    return True
+
+
+def _column_nan(column) -> bool:
+    """Any NaN in an all-int/float column?  ``sum`` propagates NaN and
+    never raises over real numbers, so this is one C pass."""
+    return math.isnan(sum(column))
+
+
+def _range_checks(lower, upper):
+    def clean(column, kinds, stat=None):
+        if not kinds <= _NUMERIC_KINDS:
+            return False
+        if stat is not None:
+            # zone map: every numeric ever written sits inside the
+            # running [zmin, zmax] envelope, and NaN arrival is sticky
+            if (
+                not stat.nan
+                and stat.zmin is not None
+                and lower <= stat.zmin
+                and stat.zmax <= upper
+            ):
+                return True
+        if float in kinds and _column_nan(column):
+            return False
+        return lower <= min(column) and max(column) <= upper
+
+    def defect(value):
+        cls = value.__class__
+        return not (
+            (cls is int or cls is float) and lower <= value <= upper
+        )
+
+    return clean, defect
+
+
+def _currentness_checks(max_age):
+    def clean(column, kinds, stat=None):
+        if not kinds <= _NUMERIC_KINDS:
+            return False
+        if stat is not None:
+            if (
+                not stat.nan
+                and stat.zmax is not None
+                and stat.zmax <= max_age
+            ):
+                return True
+        if float in kinds and _column_nan(column):
+            return False
+        return max(column) <= max_age
+
+    def defect(value):
+        cls = value.__class__
+        return not ((cls is int or cls is float) and value <= max_age)
+
+    return clean, defect
+
+
+def _format_checks(pattern, allow_missing):
+    fullmatch = pattern.fullmatch
+
+    def clean(column, kinds, stat=None):
+        if kinds != {str}:
+            return False
+        if "" in column or any(map(str.isspace, column)):
+            return False
+        return all(map(fullmatch, column))
+
+    def defect(value):
+        present = (
+            value.__class__ is str and value and not value.isspace()
+        )
+        flagged = (fullmatch(value) is None) if present else True
+        if allow_missing:
+            return value is not None and flagged
+        return flagged
+
+    return clean, defect
+
+
+def _members_clean(values) -> frozenset:
+    """The hashable, non-missing members of an allowed/trusted table —
+    the only values a whole-column set containment may accept."""
+    members = set()
+    for value in values:
+        try:
+            hash(value)
+        except TypeError:
+            continue
+        if not _is_missing_value(value):
+            members.add(value)
+    return frozenset(members)
+
+
+def _enum_checks(allowed, allow_missing):
+    if allow_missing:
+        acceptable = frozenset(_members_clean(allowed) | {None, ""})
+    else:
+        acceptable = _members_clean(allowed)
+
+    def clean(column, kinds, stat=None):
+        return set(column) <= acceptable
+
+    def defect(value):
+        if allow_missing:
+            return not _is_missing_value(value) and value not in allowed
+        return _is_missing_value(value) or value not in allowed
+
+    return clean, defect
+
+
+def _credibility_checks(trusted):
+    members = set()
+    for value in trusted:
+        try:
+            hash(value)
+        except TypeError:
+            continue
+        members.add(value)
+    acceptable = frozenset(members)
+
+    def clean(column, kinds, stat=None):
+        return set(column) <= acceptable
+
+    def defect(value):
+        return value not in trusted
+
+    return clean, defect
+
+
+def _column_specs(validators) -> Optional[list[tuple]]:
+    """``[(field, clean, defect), ...]`` for a chain, or ``None`` when
+    any validator contributes a non-field-local term (OCL consistency
+    reads the whole record) or is not scannable at all.  Mirrors
+    :meth:`_PlanBuilder.scan_exprs`'s missing-dropped-when-bounded
+    shortcut (a missing value fails the bounds class test anyway, so
+    the defect set is unchanged)."""
+    collected: list[tuple] = []
+    for validator in validators:
+        kind = type(validator)
+        if kind is CompletenessValidator:
+            for field in validator.required_fields:
+                collected.append(
+                    ("missing", field, _missing_clean, _is_missing_value)
+                )
+        elif kind is PrecisionValidator:
+            for field, (lower, upper) in validator.bounds.items():
+                clean, defect = _range_checks(lower, upper)
+                collected.append(("bounds", field, clean, defect))
+        elif kind is FormatValidator:
+            for field, pattern in validator.patterns.items():
+                clean, defect = _format_checks(
+                    pattern, validator.allow_missing
+                )
+                collected.append(("format", field, clean, defect))
+        elif kind is EnumValidator:
+            for field, values in validator.allowed.items():
+                clean, defect = _enum_checks(
+                    values, validator.allow_missing
+                )
+                collected.append(("enum", field, clean, defect))
+        elif kind is CurrentnessValidator:
+            clean, defect = _currentness_checks(validator.max_age)
+            collected.append(
+                ("currentness", validator.age_field, clean, defect)
+            )
+        elif kind is CredibilityValidator:
+            clean, defect = _credibility_checks(validator.trusted_sources)
+            collected.append(
+                ("credibility", validator.source_field, clean, defect)
+            )
+        else:
+            return None
+    bounded = {f for kind, f, _, _ in collected if kind == "bounds"}
+    return [
+        (field, clean, defect)
+        for kind, field, clean, defect in collected
+        if not (kind == "missing" and field in bounded)
+    ]
+
+
+def _build_check_columns(layout, specs, findings_slow):
+    """The ``check_columns(columns, count)`` closure for one plan, or
+    ``None`` when a term reads a field outside the bound layout (the
+    row path resolves it to ``None`` via ``record.get``; columns cannot).
+    """
+    positions = {name: index for index, name in enumerate(layout)}
+    try:
+        checks = tuple(
+            (positions[field], clean, defect)
+            for field, clean, defect in specs
+        )
+    except KeyError:
+        return None
+    position_items = tuple(positions.items())
+
+    def check_columns(columns, count, stats=None):
+        defects = None
+        kinds_cache: dict = {}
+        for position, clean, defect in checks:
+            column = columns[position]
+            if stats is not None:
+                stat = stats[position]
+                kinds = stat.kinds
+            else:
+                stat = None
+                kinds = kinds_cache.get(position)
+                if kinds is None:
+                    kinds = set(map(type, column))
+                    kinds_cache[position] = kinds
+            try:
+                if clean(column, kinds, stat):
+                    continue
+            except Exception:
+                pass
+            if defects is None:
+                defects = set()
+            flag = defects.add
+            for index, value in enumerate(column):
+                try:
+                    if defect(value):
+                        flag(index)
+                except Exception:
+                    flag(index)
+        if not defects:
+            return [[] for _ in range(count)]
+        out = []
+        for index in range(count):
+            if index in defects:
+                record = {
+                    name: columns[position][index]
+                    for name, position in position_items
+                }
+                out.append(findings_slow(record))
+            else:
+                out.append([])
+        return out
+
+    return check_columns
+
+
 def _emit_findings_body(emitter: _Emitter, builder: _PlanBuilder) -> None:
     """The shared per-record body: prefetch fields, run every validator.
 
@@ -552,7 +841,7 @@ class CompiledPlan:
     __slots__ = (
         "signature", "digest", "source", "validator_count",
         "metadata_attributes", "fields", "bound_fields", "fast_scan",
-        "findings", "admit", "check_batch",
+        "findings", "admit", "check_batch", "check_columns",
     )
 
     def __init__(
@@ -565,6 +854,7 @@ class CompiledPlan:
         fields: tuple,
         bound_fields: Optional[tuple],
         fast_scan: bool,
+        check_columns=None,
     ):
         self.signature = signature
         self.digest = signature_digest(signature)
@@ -577,6 +867,10 @@ class CompiledPlan:
         self.findings = namespace["findings"]
         self.admit = namespace["admit"]
         self.check_batch = namespace["check_batch"]
+        #: ``check_columns(columns, count)`` — the column-sliced fast
+        #: body for prebound batches transposed to layout order; ``None``
+        #: when the chain has non-field-local terms or no bound layout.
+        self.check_columns = check_columns
 
     def run(self, records) -> list:
         """Concatenated findings over many records (suite-style)."""
@@ -771,6 +1065,17 @@ def compile_plan(
     namespace.update(builder.constants)
     code = compile(source, f"<vpipeline:{len(validators)}>", "exec")
     exec(code, namespace)
+    check_columns = None
+    if scan is not None and layout:
+        if not validators:
+            def check_columns(columns, count, stats=None):
+                return [[] for _ in range(count)]
+        else:
+            specs = _column_specs(validators)
+            if specs is not None:
+                check_columns = _build_check_columns(
+                    layout, specs, namespace["_findings_slow"]
+                )
     return CompiledPlan(
         signature=chain_signature(validators, metadata_attributes, bound_fields),
         source=source,
@@ -780,6 +1085,7 @@ def compile_plan(
         fields=tuple(builder.fields),
         bound_fields=layout,
         fast_scan=scan is not None and bool(validators),
+        check_columns=check_columns,
     )
 
 

@@ -33,7 +33,8 @@ def test_smoke_floors_hold():
 @pytest.mark.bench
 def test_cli_smoke_mode_exits_zero():
     out = io.StringIO()
-    assert main(["cluster-bench", "--smoke"], out=out) == 0
+    code = main(["cluster-bench", "--smoke"], out=out)
+    assert code == 0, out.getvalue()[-4000:]
     rendered = out.getvalue()
     assert "smoke floors" in rendered
     assert "PASS" in rendered

@@ -1,0 +1,289 @@
+"""Property suite pinning the columnar spine to its row-dict oracles.
+
+The columnar :class:`~repro.runtime.storage.EntityStore` layout is a
+performance change only if every observable answer stays bit-equal to
+the row-oriented path it replaced.  Hypothesis drives random operation
+sequences — single and batched admission, reordered and ragged payloads,
+updates, deletes, scans — against a plain ``{id: data}`` dict oracle,
+holds :meth:`~repro.runtime.storage.EntityStore.revalidate` equal to the
+fused row ``check_batch`` over the authoritative snapshots, pins the
+telemetry column paths (``add_column``, the ``absorb`` transpose) to
+per-value absorption including a forced mid-column spill, and re-runs
+the seeded kill-restart and topology-fault drills to show the spine
+never leaks into the recovery or determinism contracts.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.casestudy import easychair
+from repro.cluster import easychair_spec, run_chaos, run_topology_chaos
+from repro.dq.streaming import (
+    EntityAccumulator,
+    FieldAccumulator,
+    KMVSketch,
+)
+from repro.runtime.storage import EntityStore
+
+pytestmark = pytest.mark.columnar
+
+scalars = st.one_of(
+    st.text(max_size=6),
+    st.integers(-50, 50),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.booleans(),
+    st.none(),
+)
+LAYOUT = ("alpha", "beta", "gamma")
+
+
+@st.composite
+def regular_payloads(draw, shuffled=False):
+    """A payload carrying exactly the layout fields (maybe reordered)."""
+    names = list(LAYOUT)
+    if shuffled and draw(st.booleans()):
+        names = draw(st.permutations(names))
+    return {name: draw(scalars) for name in names}
+
+
+@st.composite
+def ragged_payloads(draw):
+    """A payload that must demote to the irregular set."""
+    names = draw(
+        st.sampled_from([("alpha",), ("alpha", "beta"), LAYOUT + ("delta",)])
+    )
+    return {name: draw(scalars) for name in names}
+
+
+@st.composite
+def op_sequences(draw):
+    """Mixed single/batched/ragged admission with updates and deletes."""
+    ops = []
+    live = 0
+    for _ in range(draw(st.integers(1, 14))):
+        choices = ["insert", "insert", "insert_many", "ragged"]
+        if live:
+            choices += ["update", "update", "delete"]
+        kind = draw(st.sampled_from(choices))
+        if kind == "insert":
+            ops.append(("insert", draw(regular_payloads(shuffled=True))))
+            live += 1
+        elif kind == "insert_many":
+            chunk = draw(
+                st.lists(regular_payloads(), min_size=1, max_size=6)
+            )
+            ops.append(("insert_many", chunk))
+            live += len(chunk)
+        elif kind == "ragged":
+            ops.append(("insert", draw(ragged_payloads())))
+            live += 1
+        elif kind == "update":
+            ops.append((
+                "update",
+                draw(st.integers(0, live - 1)),
+                draw(st.sampled_from(LAYOUT)),
+                draw(scalars),
+            ))
+        else:
+            ops.append(("delete", draw(st.integers(0, live - 1))))
+    return ops
+
+
+def apply_to_both(store, oracle, ops):
+    """Run the sequence against the store and the ``{id: data}`` oracle."""
+    ids = []
+    for op in ops:
+        if op[0] == "insert":
+            stored = store.insert(dict(op[1]))
+            oracle[stored.record_id] = dict(op[1])
+            ids.append(stored.record_id)
+        elif op[0] == "insert_many":
+            for stored, payload in zip(
+                store.insert_many([dict(row) for row in op[1]]), op[1]
+            ):
+                oracle[stored.record_id] = dict(payload)
+                ids.append(stored.record_id)
+        elif op[0] == "update":
+            record_id = ids[op[1]]
+            if record_id in oracle:
+                store.update(record_id, {op[2]: op[3]})
+                updated = dict(oracle[record_id])
+                updated[op[2]] = op[3]
+                oracle[record_id] = updated
+        else:
+            record_id = ids[op[1]]
+            if record_id in oracle:
+                store.delete(record_id)
+                del oracle[record_id]
+
+
+@given(ops=op_sequences())
+@settings(max_examples=80, deadline=None)
+def test_columnar_store_matches_dict_oracle(ops):
+    store = EntityStore("Entity", fields=LAYOUT)
+    oracle: dict = {}
+    apply_to_both(store, oracle, ops)
+
+    assert {
+        stored.record_id: stored.data for stored in store.all()
+    } == oracle
+
+    # every scan answer must match the oracle's predicate walk, and the
+    # spine must account for exactly the live records
+    stats = store.columnar_stats()
+    assert stats["slots"] + stats["irregular"] == len(oracle)
+    for field_name in LAYOUT:
+        # find_by's equality semantic is ``data.get(field) == value``
+        # (a record without the field matches ``None``), so the oracle
+        # scan must use the same probe
+        seen = {data.get(field_name) for data in oracle.values()}
+        for value in list(seen)[:3]:
+            expected = sorted(
+                record_id
+                for record_id, data in oracle.items()
+                if data.get(field_name) == value
+            )
+            found = sorted(
+                stored.record_id
+                for stored in store.find_by(field_name, value)
+            )
+            assert found == expected
+
+
+@given(rows=st.lists(regular_payloads(), min_size=1, max_size=16))
+@settings(max_examples=60, deadline=None)
+def test_batched_admission_equals_single(rows):
+    """``insert_many`` down the batch spine ≡ one ``insert`` per row."""
+    batched = EntityStore("Entity", fields=LAYOUT)
+    batched.insert_many([dict(row) for row in rows])
+    single = EntityStore("Entity", fields=LAYOUT)
+    for row in rows:
+        single.insert(dict(row))
+
+    assert [
+        (stored.record_id, stored.data) for stored in batched.all()
+    ] == [(stored.record_id, stored.data) for stored in single.all()]
+    left, right = batched.columnar_stats(), single.columnar_stats()
+    for key in ("layout", "slots", "tombstones", "irregular", "zone_maps"):
+        assert left[key] == right[key]
+
+
+@given(seed=st.integers(0, 100_000))
+@settings(max_examples=25, deadline=None)
+def test_revalidate_matches_check_batch(seed):
+    """The columnar DQ sweep ≡ the fused row scan, clean or dirty."""
+    rng = random.Random(seed)
+    spec = easychair_spec()
+    form = easychair.build_app().form(spec.form)
+    plan = form.compiled_plan()
+    store = EntityStore(spec.entity)
+    store.insert_many([
+        form.bind(
+            spec.defective_payload(rng)
+            if rng.random() < 0.4
+            else spec.clean_payload(rng)
+        )
+        for _ in range(rng.randint(1, 50))
+    ])
+    ids = [stored.record_id for stored in store.all()]
+    for record_id in rng.sample(ids, min(6, len(ids))):
+        store.update(record_id, {"overall_evaluation": rng.randint(-4, 4)})
+    for record_id in rng.sample(ids, min(3, len(ids))):
+        store.delete(record_id)
+
+    live = store.all()
+    oracle = dict(zip(
+        [stored.record_id for stored in live],
+        plan.check_batch([stored.data for stored in live], False),
+    ))
+    assert store.revalidate(plan) == oracle
+
+
+def field_state(accumulator: FieldAccumulator) -> dict:
+    """Every observable slot, with the KMV sketch order-normalized."""
+    state = {}
+    for slot in FieldAccumulator.__slots__:
+        value = getattr(accumulator, slot)
+        if isinstance(value, KMVSketch):
+            value = (value.k, sorted(value._members))
+        elif slot == "_strings" and value is not None:
+            value = {key: tuple(entry) for key, entry in value.items()}
+        elif isinstance(value, dict):
+            value = dict(value)
+        elif isinstance(value, list):
+            value = tuple(value)
+        state[slot] = value
+    return state
+
+
+@given(
+    values=st.lists(scalars, max_size=50),
+    threshold=st.integers(4, 12),
+    split=st.integers(0, 50),
+)
+@settings(max_examples=80, deadline=None)
+def test_add_column_equals_per_value_add(values, threshold, split):
+    """Column absorption ≡ per-value ``add``, spill point included.
+
+    A small ``spill_threshold`` forces the exact→sketch handover to
+    land mid-column, and splitting the column in two arbitrary chunks
+    moves the handover relative to the chunk boundary — the states must
+    still converge bit-for-bit.
+    """
+    columnar = FieldAccumulator("field", spill_threshold=threshold)
+    columnar.add_column(values[:split])
+    columnar.add_column(values[split:])
+    rowwise = FieldAccumulator("field", spill_threshold=threshold)
+    for value in values:
+        rowwise.add(value)
+    assert field_state(columnar) == field_state(rowwise)
+
+
+@given(seed=st.integers(0, 100_000), count=st.integers(8, 40))
+@settings(max_examples=25, deadline=None)
+def test_absorb_transpose_equals_row_walk(seed, count):
+    """The ``absorb`` layout-uniform transpose ≡ the row walk."""
+    rng = random.Random(seed)
+    spec = easychair_spec()
+    form = easychair.build_app().form(spec.form)
+    store = EntityStore(spec.entity)
+    stored_list = store.insert_many([
+        form.bind(spec.clean_payload(rng)) for _ in range(count)
+    ])
+    ops = [("rows", [
+        (stored.record_id, stored.data, stored.metadata)
+        for stored in stored_list
+    ])]
+
+    transposed = EntityAccumulator(spec.entity)
+    transposed.absorb(ops)
+    walked = EntityAccumulator(spec.entity)
+    walked.observe_rows(ops[0][1])
+    assert transposed.stats() == walked.stats()
+
+
+@pytest.mark.chaos
+def test_chaos_kill_restart_deterministic(tmp_path):
+    """Same-seed kill-restart storms reproduce their report exactly."""
+    runs = [
+        run_chaos(
+            23, shard_count=2, count=120, preload=12, kills=2,
+            persistence="file", data_dir=tmp_path / side,
+        )
+        for side in ("a", "b")
+    ]
+    assert runs[0].restarts >= 1
+    assert runs[0].ok, "\n".join(str(v) for v in runs[0].violations)
+    assert runs[0].render() == runs[1].render()
+
+
+@pytest.mark.chaos
+def test_topology_faults_deterministic():
+    """Same-seed topology storms reproduce report and state checksum."""
+    first = run_topology_chaos(23, shard_count=3, count=120, preload=12)
+    second = run_topology_chaos(23, shard_count=3, count=120, preload=12)
+    assert first.checksum == second.checksum
+    assert first.render() == second.render()

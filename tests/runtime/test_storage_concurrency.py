@@ -175,7 +175,7 @@ class TestReadPathIsolation:
         snapshot.metadata.available_to.add("eve")
         snapshot.metadata.security_level = 0
         live = content.readable_by("reviews", "eve", 0)
-        assert live == []  # the live confidentiality policy is untouched
+        assert not live  # the live confidentiality policy is untouched
 
     def test_readable_by_returns_copies(self):
         content = ContentStore(Clock())
