@@ -5,17 +5,23 @@ sweeps*: admission mirrors each chunk into the column arrays at C speed
 (one set comparison + per-field ``extend``), store-resident DQ sweeps
 run the compiled plan down the columns against write-time zone maps at
 >= 2x the row ``check_batch`` oracle, telemetry absorbs whole column
-chunks at >= 2x the row walk, and every answer stays byte-equal to the
-row-oracle path.  The slow test is the CLI floors (``cluster-bench
---columnar``); the micro-benchmarks pin the per-op costs underneath —
-chunk admission, the memoized sweep, column scans and confidentiality
-reads.
+chunks at >= 3x the row walk (>= 2x stdlib-only), and every answer
+stays byte-equal to the row-oracle path.  The slow test is the CLI
+floors (``cluster-bench --columnar``); the micro-benchmarks pin the
+per-op costs underneath — chunk admission, the memoized sweep, column
+scans, zone-pruned misses and confidentiality reads.
+
+Kernel-sensitive benches run once per kernel mode (``numpy`` and the
+pure-stdlib ``array`` fallback) via the ``kernel_mode`` fixture, so
+both lanes emit speedups side by side; ``REPRO_NO_NUMPY=1`` drops the
+numpy lane entirely.
 """
 
 import random
 
 import pytest
 
+from repro import colkernels
 from repro.casestudy import easychair
 from repro.cluster import easychair_spec, run_columnar_bench
 from repro.dq.metadata import Clock
@@ -25,6 +31,17 @@ from repro.runtime.storage import ContentStore, EntityStore
 pytestmark = pytest.mark.columnar
 
 SEED = 23
+
+
+@pytest.fixture(params=["numpy", "array"])
+def kernel_mode(request):
+    """Run a bench under each kernel mode; the numpy lane skips when
+    numpy is unavailable or ``REPRO_NO_NUMPY=1`` forced the fallback."""
+    use_numpy = request.param == "numpy"
+    if use_numpy and not colkernels.numpy_active():
+        pytest.skip("numpy unavailable or REPRO_NO_NUMPY=1")
+    with colkernels.forced_mode(use_numpy):
+        yield request.param
 
 
 def _bound_rows(count, seed=SEED):
@@ -59,7 +76,7 @@ def test_chunk_admission(benchmark):
     assert stats["slots"] == 256 and not stats["irregular"]
 
 
-def test_warm_sweep(benchmark):
+def test_warm_sweep(benchmark, kernel_mode):
     """The memoized store-resident sweep: zone maps prove columns clean."""
     spec, form, rows = _bound_rows(2_000)
     plan = form.compiled_plan()
@@ -71,7 +88,7 @@ def test_warm_sweep(benchmark):
     assert len(verdicts) == 2_000 and not any(verdicts.values())
 
 
-def test_column_scan(benchmark):
+def test_column_scan(benchmark, kernel_mode):
     """``find_by`` without an index: one C-level column equality scan."""
     spec, _form, rows = _bound_rows(2_000)
     store = EntityStore(spec.entity)
@@ -82,6 +99,18 @@ def test_column_scan(benchmark):
     assert found and all(
         record.data["overall_evaluation"] == target for record in found
     )
+
+
+def test_zone_pruned_miss(benchmark, kernel_mode):
+    """A probe outside the zone-map envelope: answered without touching
+    a single cell (the domain-audit fast path)."""
+    spec, _form, rows = _bound_rows(2_000)
+    store = EntityStore(spec.entity)
+    store.insert_many(rows)
+    store.find_by("overall_evaluation", 99)  # sync the kernels once
+
+    found = benchmark(store.find_by, "overall_evaluation", 99)
+    assert found == []
 
 
 def test_readable_snapshots(benchmark):
@@ -102,8 +131,28 @@ def test_readable_snapshots(benchmark):
     assert isinstance(readable, tuple) and readable
 
 
-def test_column_absorption(benchmark):
-    """Absorbing one layout-uniform 256-row chunk via the transpose."""
+def test_column_absorption(benchmark, kernel_mode):
+    """Absorbing one layout-uniform 256-row chunk as captured "cols"
+    ops: typed buffer slices plus column-type hints, no row transpose."""
+    spec, _form, rows = _bound_rows(256)
+    store = EntityStore(spec.entity)
+    stored_list = store.insert_many(rows)
+    store.observe_inserted(stored_list)
+    ops = store.pending_telemetry_ops()
+    assert ops and ops[0][0] == "cols"
+
+    def absorb():
+        accumulator = EntityAccumulator(spec.entity)
+        accumulator.absorb(ops)
+        return accumulator
+
+    accumulator = benchmark(absorb)
+    assert accumulator.stats()["records"] == 256
+
+
+def test_row_absorption(benchmark):
+    """The legacy row-walk absorption path, kept as the oracle baseline
+    the column path is measured against."""
     spec, _form, rows = _bound_rows(256)
     store = EntityStore(spec.entity)
     stored_list = store.insert_many(rows)

@@ -109,6 +109,18 @@ class DQMetadataRecord:
         self.available_to = set(available_to)
         return self
 
+    def replica(self, extra: dict) -> "DQMetadataRecord":
+        """A shallow copy with fresh ``available_to``/``extra``
+        containers — ``dataclasses.replace`` semantics without the
+        ``__init__`` round trip (the snapshot hot path clones one of
+        these per matched record)."""
+        clone = object.__new__(DQMetadataRecord)
+        state = dict(self.__dict__)
+        state["available_to"] = set(state["available_to"])
+        state["extra"] = extra
+        clone.__dict__ = state
+        return clone
+
     # -- queries -----------------------------------------------------------------
 
     def accessible_by(self, user: str, user_level: int) -> bool:

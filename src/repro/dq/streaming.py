@@ -48,11 +48,13 @@ from __future__ import annotations
 
 import heapq
 import math
+from array import array
 from collections import Counter
 from hashlib import blake2b
-from operator import itemgetter, mul
+from operator import attrgetter, itemgetter, mul
 from typing import Iterable, Mapping, Optional, Sequence
 
+from ..colkernels import EXACT_FLOAT_INT, int_column_summary
 from .metrics import compiled_pattern
 from .profiling import (
     ENUM_MAX_CARDINALITY,
@@ -65,10 +67,22 @@ from .profiling import (
 #: Exact distinct tracking hands over to the KMV sketch past this many
 #: distinct values per field (bounds the accumulator's memory at
 #: O(spill_threshold) per field no matter how many records stream in).
-DEFAULT_SPILL_THRESHOLD = 1024
+#: 4096 keeps typical free-text fields (comments, review bodies) on the
+#: exact branch — which also skips per-value hashing entirely — at a
+#: worst case of a few hundred KB per field; the memo keys are
+#: references to strings the store already holds, not copies.
+DEFAULT_SPILL_THRESHOLD = 4096
 
 #: KMV sketch size: relative error ~1/sqrt(k) ≈ 6% at 256.
 DEFAULT_SKETCH_SIZE = 256
+
+#: After a spill the value→count tables are gone, so every repeat
+#: string would pay ``repr`` + blake2b + regex again; a capped
+#: value→(hash, pattern-mask) cache keeps the frequent repeats off
+#: that path while staying O(1)-bounded like the spill itself.  Pure
+#: cache: hashes are deterministic, so hits and misses produce
+#: identical accumulator state.
+_HASH_MEMO_LIMIT = 4096
 
 _HASH_SPACE = float(2 ** 64)
 
@@ -115,6 +129,60 @@ class KMVSketch:
 
     def add(self, key: str) -> None:
         self.add_hash(_hash64(key))
+
+    def add_keys(self, keys) -> None:
+        """Bulk :meth:`add`: hash and fold a whole batch with the loop
+        overheads hoisted.  State-identical to adding the keys one by
+        one (the saturated reject stays the first test, so a hot
+        saturated sketch pays one hash and one compare per key)."""
+        heap = self._heap
+        members = self._members
+        k = self.k
+        h64 = _hash64
+        push = heapq.heappush
+        replace = heapq.heapreplace
+        saturated = len(heap) >= k
+        largest = -heap[0] if saturated else None
+        for key in keys:
+            value = h64(key)
+            if saturated:
+                if value >= largest or value in members:
+                    continue
+                members.add(value)
+                members.discard(largest)
+                replace(heap, -value)
+                largest = -heap[0]
+            elif value not in members:
+                members.add(value)
+                push(heap, -value)
+                if len(heap) >= k:
+                    saturated = True
+                    largest = -heap[0]
+
+    def add_hashes(self, values) -> None:
+        """Bulk :meth:`add_hash`: fold pre-computed hashes with the
+        loop overheads hoisted, state-identical to one-by-one adds."""
+        heap = self._heap
+        members = self._members
+        k = self.k
+        push = heapq.heappush
+        replace = heapq.heapreplace
+        saturated = len(heap) >= k
+        largest = -heap[0] if saturated else None
+        for value in values:
+            if saturated:
+                if value >= largest or value in members:
+                    continue
+                members.add(value)
+                members.discard(largest)
+                replace(heap, -value)
+                largest = -heap[0]
+            elif value not in members:
+                members.add(value)
+                push(heap, -value)
+                if len(heap) >= k:
+                    saturated = True
+                    largest = -heap[0]
 
     def add_hash(self, value: int) -> None:
         heap = self._heap
@@ -193,6 +261,7 @@ class FieldAccumulator:
         "_numeric_counts", "_num_n", "_num_sum", "_num_sumsq",
         "_num_min", "_num_max",
         "_string_count", "_strings", "_pattern_counts",
+        "_hash_memo",
     )
 
     def __init__(
@@ -225,6 +294,10 @@ class FieldAccumulator:
         self._string_count = 0
         self._strings: Optional[dict[str, list]] = {}
         self._pattern_counts = [0] * _PATTERN_COUNT
+        # post-spill str → (hash64-of-repr, pattern mask) cache; only
+        # exact-``str`` paths consult it (a str subclass may repr
+        # differently than the equal base string it would collide with)
+        self._hash_memo: dict[str, tuple] = {}
 
     # -- writes (entity lock held) ---------------------------------------
 
@@ -254,8 +327,16 @@ class FieldAccumulator:
                     ):
                         self._spill()
             else:
-                mask = _pattern_mask(value)
-                self._sketch.add(repr(value))
+                memo = self._hash_memo
+                entry = memo.get(value)
+                if entry is None:
+                    mask = _pattern_mask(value)
+                    digest = _hash64(repr(value))
+                    if len(memo) < _HASH_MEMO_LIMIT:
+                        memo[value] = (digest, mask)
+                else:
+                    digest, mask = entry
+                self._sketch.add_hash(digest)
             if mask:
                 tallies = self._pattern_counts
                 for index in mask:
@@ -339,7 +420,7 @@ class FieldAccumulator:
                 numeric = self._numeric_counts
                 numeric[value] = numeric.get(value, 0) + 1
 
-    def add_column(self, values: Sequence) -> None:
+    def add_column(self, values: Sequence, hint=None) -> None:
         """Absorb one column chunk — semantically ``for v in values:
         self.add(v)``, with the per-value dispatch hoisted to the chunk.
 
@@ -350,9 +431,30 @@ class FieldAccumulator:
         left-to-right addition order ``add`` would use, spill handled
         mid-column.  Mixed chunks fall back to per-value :meth:`add`.
         The per-value path stays the equivalence oracle (the property
-        suite pins both to identical accumulator state).
+        suite pins both to identical accumulator state).  ``hint ==
+        "str"`` is capture-side census evidence (the spine's zone map
+        proved every cell it ever admitted a ``str``) that skips the
+        type walk.
         """
         if not values:
+            return
+        if hint == "str":
+            self.total += len(values)
+            self._add_str_column(values)
+            return
+        if type(values) is array:
+            # A typed spine slice (``observe_inserted`` hands promoted
+            # columns over as ``array('q'/'d')`` copies): the typecode
+            # IS the census, so skip the per-value type walk.  Elements
+            # box to plain ``int``/``float`` on access — the same
+            # Python numbers the row walk reads from the dicts.
+            if values.typecode == "q":
+                self.total += len(values)
+                self._add_int_column(values)
+            else:
+                add = self.add
+                for value in values:
+                    add(value)
             return
         kinds = set(map(type, values))
         if kinds == {str}:
@@ -399,7 +501,6 @@ class FieldAccumulator:
                 if not value or value.isspace():
                     missing += count
                     continue
-                string_count += count
                 entry = strings.get(value)
                 if entry is not None:
                     entry[0] += count
@@ -410,21 +511,37 @@ class FieldAccumulator:
                 if mask:
                     for index in mask:
                         tallies[index] += count
+            string_count = len(values) - missing
         else:
-            # spilled: one hash per *distinct* string, handed straight
-            # to ``add_hash`` (no per-value method hop through ``add``)
-            add_hash = self._sketch.add_hash
-            h64 = _hash64
+            # spilled: one hash per *distinct* string, memo hits paying
+            # neither repr, blake2b nor the regex.  The inlined
+            # ``_pattern_mask`` space pre-test keeps free-text misses
+            # off the regex (no known pattern admits a space).
+            memo = self._hash_memo
+            digests: list[int] = []
+            keep = digests.append
             for value, count in tally.items():
                 if not value or value.isspace():
                     missing += count
                     continue
-                string_count += count
-                mask = _pattern_mask(value)
-                add_hash(h64(repr(value)))
+                entry = memo.get(value)
+                if entry is None:
+                    mask = (
+                        _pattern_mask(value) if " " not in value else ()
+                    )
+                    digest = _hash64(repr(value))
+                    if len(memo) < _HASH_MEMO_LIMIT:
+                        memo[value] = (digest, mask)
+                else:
+                    digest, mask = entry
+                keep(digest)
                 if mask:
                     for index in mask:
                         tallies[index] += count
+            if digests:
+                self._sketch.add_hashes(digests)
+            # tally counts partition the chunk: present = all - missing
+            string_count = len(values) - missing
         self.missing += missing
         self._string_count += string_count
 
@@ -456,8 +573,16 @@ class FieldAccumulator:
                         strings = None
                         sketch = self._sketch
             else:
-                mask = _pattern_mask(value)
-                sketch.add(repr(value))
+                memo = self._hash_memo
+                entry = memo.get(value)
+                if entry is None:
+                    mask = _pattern_mask(value)
+                    digest = _hash64(repr(value))
+                    if len(memo) < _HASH_MEMO_LIMIT:
+                        memo[value] = (digest, mask)
+                else:
+                    digest, mask = entry
+                sketch.add_hash(digest)
             if mask:
                 for index in mask:
                     tallies[index] += 1
@@ -472,6 +597,9 @@ class FieldAccumulator:
         # bounds come off the tally's key set (the minimum over the
         # support IS the minimum over the multiset, exactly) so the
         # chunk pays two tiny passes instead of two full ones.
+        summary = int_column_summary(values)
+        if summary is not None and self._add_int_summary(values, summary):
+            return
         tally = Counter(values)
         self._num_n += len(values)
         self._num_sum = sum(values, self._num_sum)
@@ -484,9 +612,9 @@ class FieldAccumulator:
         self._num_sumsq = sum(map(mul, values, values), self._num_sumsq)
         if self.spilled:
             # sketch adds are idempotent per key: hash each distinct once
-            add_hash = self._sketch.add_hash
-            for value in tally:
-                add_hash(_hash64(repr(value)))
+            self._sketch.add_hashes(
+                [_hash64(repr(value)) for value in tally]
+            )
             return
         counts = self._other_counts
         additions = 0
@@ -504,6 +632,81 @@ class FieldAccumulator:
             seen = counts.get(value)
             counts[value] = count if seen is None else seen + count
             numeric[value] = numeric.get(value, 0) + count
+
+    def _add_int_summary(self, values: Sequence, summary: tuple) -> bool:
+        """Fold a vectorized all-int census (``colkernels.
+        int_column_summary``) into the numeric state, **iff** the result
+        is provably bit-identical to the sequential fold; ``False``
+        sends the caller down the exact scalar path.
+
+        Exactness argument: when the running sum is an ``int``, integer
+        addition is associative, so ``current + total`` equals the
+        left-to-right fold for any order.  When it is a ``float``, the
+        fold is exact (hence order-free) as long as every partial sum
+        is an integer-valued float within ±2**53 — guaranteed when the
+        running value is integer-valued and ``abs(current) + n *
+        magnitude`` stays under that bound.  Anything else falls back.
+        """
+        lowest, highest, magnitude, total, sumsq, pairs = summary
+        count = len(values)
+        current = self._num_sum
+        if type(current) is int:
+            if total is None:
+                return False
+        elif (
+            total is None
+            or type(current) is not float
+            or not current.is_integer()
+            or abs(current) + count * magnitude > EXACT_FLOAT_INT
+        ):
+            return False
+        current_sq = self._num_sumsq
+        if type(current_sq) is int:
+            if sumsq is None:
+                return False
+        elif (
+            sumsq is None
+            or type(current_sq) is not float
+            or not current_sq.is_integer()
+            or abs(current_sq) + count * magnitude * magnitude
+            > EXACT_FLOAT_INT
+        ):
+            return False
+        self._num_n += count
+        self._num_sum = current + total
+        self._num_sumsq = current_sq + sumsq
+        if self._num_min is None or lowest < self._num_min:
+            self._num_min = lowest
+        if self._num_max is None or highest > self._num_max:
+            self._num_max = highest
+        if self.spilled:
+            # distinct values straight into the sketch — final KMV
+            # state is order-insensitive (min-k of the same hash set)
+            add_hash = self._sketch.add_hash
+            h64 = _hash64
+            for value, _ in pairs:
+                add_hash(h64(repr(value)))
+            return True
+        counts = self._other_counts
+        additions = 0
+        for value, _ in pairs:
+            if value not in counts:
+                additions += 1
+        if (
+            len(counts) + additions + len(self._strings)
+            > self.spill_threshold
+        ):
+            # numeric sums/min/max are already folded — exactly like
+            # the scalar path — and the order-sensitive mid-chunk spill
+            # replays the per-value oracle over the original sequence
+            self._int_table_slow(values)
+            return True
+        numeric = self._numeric_counts
+        for value, count in pairs:
+            seen = counts.get(value)
+            counts[value] = count if seen is None else seen + count
+            numeric[value] = numeric.get(value, 0) + count
+        return True
 
     def _int_table_slow(self, values: Sequence) -> None:
         """Exact per-value distinct-table walk for a chunk that spills
@@ -624,10 +827,20 @@ class FieldAccumulator:
         and the bounds table / value domain become unavailable.
         """
         sketch = KMVSketch()
-        for value in self._strings:
-            sketch.add(repr(value))
-        for key in self._other_counts:
-            sketch.add(key if type(key) is str else repr(key))
+        # hashing the memoized strings anyway: seed the post-spill
+        # hash/mask cache with them (they are the hot repeats by
+        # construction — they arrived before the spill)
+        memo = self._hash_memo
+        add_hash = sketch.add_hash
+        for value, (count, mask) in self._strings.items():
+            digest = _hash64(repr(value))
+            if len(memo) < _HASH_MEMO_LIMIT:
+                memo[value] = (digest, mask)
+            add_hash(digest)
+        sketch.add_keys([
+            key if type(key) is str else repr(key)
+            for key in self._other_counts
+        ])
         self._sketch = sketch
         self.spilled = True
         self._other_counts = {}
@@ -792,6 +1005,7 @@ class FieldAccumulator:
             if self._strings is not None else None
         )
         clone._pattern_counts = list(self._pattern_counts)
+        clone._hash_memo = dict(self._hash_memo)
         return clone
 
     def __repr__(self) -> str:
@@ -825,9 +1039,11 @@ class EntityAccumulator:
         self.records = 0
         self.updates = 0  # observe calls absorbed (telemetry_stats)
         self._fields: dict[str, FieldAccumulator] = {}
-        self._levels: dict[int, int] = {}
+        # Counters (not plain dicts) so the batched metadata register
+        # folds a whole chunk with one C-level ``update`` per table
+        self._levels: Counter = Counter()
         self._traced = 0
-        self._timestamps: dict[int, int] = {}
+        self._timestamps: Counter = Counter()
         self._ts_sum = 0
         self._ts_count = 0
         self._ts_min: Optional[int] = None
@@ -880,7 +1096,11 @@ class EntityAccumulator:
         self.records += count
 
     def observe_columns(
-        self, fields: Sequence[str], columns: Sequence[Sequence], rows_meta: Sequence[tuple]
+        self,
+        fields: Sequence[str],
+        columns: Sequence[Sequence],
+        rows_meta: Sequence[tuple],
+        hints: Optional[Sequence] = None,
     ) -> None:
         """A whole already-stamped chunk, transposed: ``columns[i]``
         holds every record's value for ``fields[i]`` and ``rows_meta``
@@ -889,15 +1109,19 @@ class EntityAccumulator:
         equivalent to :meth:`observe_rows` over the same chunk (field
         accumulators are independent, so absorbing a field's values
         contiguously instead of row-interleaved reaches the same state).
+        ``hints``, when given, is layout-aligned census evidence from
+        the capture side (``"str"`` = proven all-``str``).
         """
         self.updates += 1
         accumulators = self._fields
         new_field = self._field
-        for name, column in zip(fields, columns):
+        if hints is None:
+            hints = (None,) * len(fields)
+        for name, column, hint in zip(fields, columns, hints):
             accumulator = accumulators.get(name)
             if accumulator is None:
                 accumulator = new_field(name)
-            accumulator.add_column(column)
+            accumulator.add_column(column, hint)
         self._register_metadata_many(rows_meta)
         self.records += len(rows_meta)
 
@@ -954,7 +1178,9 @@ class EntityAccumulator:
         for op in ops:
             kind = op[0]
             if kind == "cols":
-                self.observe_columns(op[1], op[2], op[3])
+                self.observe_columns(
+                    op[1], op[2], op[3], op[4] if len(op) > 4 else None
+                )
             elif kind == "rows":
                 rows = op[1]
                 # A layout-uniform chunk (the batched form path always
@@ -1036,34 +1262,34 @@ class EntityAccumulator:
         ``None`` running minimum (invalidated, recomputed lazily) stays
         ``None`` exactly as the per-record admit would leave it.
         """
-        meta_state = self._meta_state
         levels = self._levels
         table = self._timestamps
-        traced_added = 0
-        ts_sum = 0
-        ts_count = 0
-        minimum = self._ts_min
-        for record_id, metadata in rows_meta:
-            traced = (
-                bool(metadata.stored_by)
-                and metadata.stored_date is not None
-            )
-            level = metadata.security_level
-            timestamp = metadata.last_modified_date
-            meta_state[record_id] = (traced, level, timestamp)
-            if traced:
-                traced_added += 1
-            levels[level] = levels.get(level, 0) + 1
-            if timestamp is not None:
-                table[timestamp] = table.get(timestamp, 0) + 1
-                ts_sum += timestamp
-                ts_count += 1
-                if minimum is not None and timestamp < minimum:
-                    minimum = timestamp
-        self._traced += traced_added
-        self._ts_sum += ts_sum
-        self._ts_count += ts_count
-        self._ts_min = minimum
+        metas = list(map(itemgetter(1), rows_meta))
+        traced_list = [
+            bool(meta.stored_by) and meta.stored_date is not None
+            for meta in metas
+        ]
+        level_list = list(map(attrgetter("security_level"), metas))
+        ts_list = list(map(attrgetter("last_modified_date"), metas))
+        self._meta_state.update(zip(
+            map(itemgetter(0), rows_meta),
+            zip(traced_list, level_list, ts_list),
+        ))
+        self._traced += sum(traced_list)
+        levels.update(level_list)
+        stamps = (
+            ts_list if None not in ts_list
+            else [ts for ts in ts_list if ts is not None]
+        )
+        if stamps:
+            table.update(stamps)
+            self._ts_sum += sum(stamps)
+            self._ts_count += len(stamps)
+            minimum = self._ts_min
+            if minimum is not None:
+                lowest = min(stamps)
+                if lowest < minimum:
+                    self._ts_min = lowest
 
     def _admit_metadata(self, state: tuple) -> None:
         traced, level, timestamp = state
@@ -1185,13 +1411,9 @@ class EntityAccumulator:
                 self._fields[name] = accumulator.copy()
             else:
                 mine.merge(accumulator)
-        for level, count in other._levels.items():
-            self._levels[level] = self._levels.get(level, 0) + count
+        self._levels.update(other._levels)  # Counter: adds counts
         self._traced += other._traced
-        for timestamp, count in other._timestamps.items():
-            self._timestamps[timestamp] = (
-                self._timestamps.get(timestamp, 0) + count
-            )
+        self._timestamps.update(other._timestamps)
         self._ts_sum += other._ts_sum
         self._ts_count += other._ts_count
         # A ``None`` minimum on either side means "invalidated" — the
@@ -1212,9 +1434,9 @@ class EntityAccumulator:
             name: accumulator.copy()
             for name, accumulator in self._fields.items()
         }
-        clone._levels = dict(self._levels)
+        clone._levels = Counter(self._levels)
         clone._traced = self._traced
-        clone._timestamps = dict(self._timestamps)
+        clone._timestamps = Counter(self._timestamps)
         clone._ts_sum = self._ts_sum
         clone._ts_count = self._ts_count
         clone._ts_min = self._ts_min

@@ -37,6 +37,14 @@ from dataclasses import dataclass, field, replace
 from operator import itemgetter
 from typing import Callable, Iterable, Optional, Sequence
 
+from repro import colkernels
+from repro.colkernels import (
+    TypedColumn,
+    equal_slots,
+    extend_typed,
+    promote_column,
+    set_typed,
+)
 from repro.dq.metadata import Clock, DQMetadataRecord
 from repro.dq.streaming import EntityAccumulator
 
@@ -246,16 +254,25 @@ class StoredRecord:
             )
         else:
             extra = {}
-        return StoredRecord(
-            self.record_id,
-            dict(self.data),
-            replace(meta, available_to=set(meta.available_to), extra=extra),
-            self.version,
-            shareable=True,
-        )
+        # ``__new__``-based clone: every field is assigned below, so
+        # this is the ``StoredRecord(...)`` constructor minus the
+        # ``__init__``/``__post_init__`` machinery — the dominant cost
+        # when a scan materializes hundreds of matches.
+        clone = object.__new__(StoredRecord)
+        clone.record_id = self.record_id
+        clone.data = dict(self.data)
+        clone.metadata = meta.replica(extra)
+        clone.version = self.version
+        clone.shareable = True
+        return clone
 
 
 _NUMERIC_ZONE_KINDS = frozenset((int, float))
+
+#: Probe types whose ``==`` against an all-numeric column is decided
+#: purely numerically — the only ones a zone map may prune (any other
+#: type may carry an arbitrary ``__eq__``, e.g. ``Fraction``).
+_NUMERIC_PROBE_KINDS = (int, float, bool)
 
 
 class ColumnStats:
@@ -263,16 +280,19 @@ class ColumnStats:
     statistics that let a whole-column predicate be answered without
     scanning a single cell).
 
-    Computed lazily by :meth:`of_column` — a handful of C-level passes
-    over the live column — and memoized by the entity store against its
-    spine's mutation epoch, so the write path pays nothing and repeat
-    sweeps between writes reuse the map for free.  ``kinds`` is the
-    exact type census, ``missing`` whether a missing value (None /
-    blank string) is present (conservatively True for exotic mixes),
-    ``zmin``/``zmax`` bound the numeric values, ``nan`` whether a NaN
-    is present.  Every claim is exact-or-conservative: a zone map may
-    fail to prove a column clean (demoting the check to the real column
-    pass) but can never claim clean wrongly.
+    Maintained *incrementally*: the store folds every admitted value
+    into the map — chunk admissions via one vectorizable
+    :meth:`observe_chunk`, in-place cell writes via :meth:`observe` —
+    so a sweep never rescans a column to refresh its map (the cost that
+    used to sink cold sweeps).  The map is a **sticky superset
+    envelope**: deletes and overwrites never shrink it, so it bounds
+    every *live* cell (plus possibly values that are gone).  That keeps
+    every claim exact-or-conservative: a zone map may fail to prove a
+    column clean (demoting the check to the real column pass) but can
+    never claim clean wrongly.  ``kinds`` is the admitted type census,
+    ``missing`` whether a missing value (None / blank string / exotic
+    type) was ever admitted, ``zmin``/``zmax`` bound the numeric
+    values, ``nan`` whether a NaN was admitted.
     """
 
     __slots__ = ("kinds", "missing", "nan", "zmin", "zmax")
@@ -284,26 +304,67 @@ class ColumnStats:
         self.zmin = None
         self.zmax = None
 
+    def observe(self, value) -> None:
+        """Fold one value into the envelope (idempotent)."""
+        kind = type(value)
+        self.kinds.add(kind)
+        if kind is int or kind is float:
+            if value != value:
+                self.nan = True
+            else:
+                if self.zmin is None or value < self.zmin:
+                    self.zmin = value
+                if self.zmax is None or value > self.zmax:
+                    self.zmax = value
+        elif kind is str:
+            if value == "" or value.isspace():
+                self.missing = True
+        else:
+            # None / bool / exotic: claim nothing (missing=True keeps
+            # completeness checks on the real column pass — sound)
+            self.missing = True
+
+    def observe_chunk(self, values, census: set) -> None:
+        """Fold a chunk into the envelope with C-level passes.
+
+        ``census`` is the chunk's exact type census (the caller already
+        has it for buffer promotion).  Bit-identical to folding the
+        chunk value by value through :meth:`observe`, for any chunking
+        of the same value sequence — the admission tests pin this.
+        """
+        self.kinds |= census
+        if census <= _NUMERIC_ZONE_KINDS:
+            total = sum(values)
+            if total != total:
+                # ``sum`` met a NaN — or an inf/-inf cancellation, which
+                # has no NaN at all; census the cells to tell them apart
+                finite = [value for value in values if value == value]
+                if len(finite) != len(values):
+                    self.nan = True
+                values = finite
+            if values:
+                lowest = min(values)
+                highest = max(values)
+                if self.zmin is None or lowest < self.zmin:
+                    self.zmin = lowest
+                if self.zmax is None or highest > self.zmax:
+                    self.zmax = highest
+        elif census == {str}:
+            if not self.missing:
+                self.missing = "" in values or any(
+                    map(str.isspace, values)
+                )
+        else:
+            for value in values:
+                self.observe(value)
+
     @classmethod
     def of_column(cls, column) -> "ColumnStats":
+        """A fresh envelope of exactly ``column`` (compaction rebuilds
+        and the equivalence tests)."""
         stats = cls()
-        kinds = set(map(type, column))
-        stats.kinds = kinds
-        if kinds == {str}:
-            stats.missing = "" in column or any(
-                map(str.isspace, column)
-            )
-        elif kinds and kinds <= _NUMERIC_ZONE_KINDS:
-            total = sum(column)
-            if total != total:  # sum propagates NaN in one C pass
-                stats.nan = True
-            else:
-                stats.zmin = min(column)
-                stats.zmax = max(column)
-        elif kinds:
-            # mixed / exotic column: claim nothing (missing=True keeps
-            # completeness checks on the real column pass — sound)
-            stats.missing = True
+        if column:
+            stats.observe_chunk(column, set(map(type, column)))
         return stats
 
     def as_dict(self) -> dict:
@@ -447,12 +508,24 @@ class EntityStore:
         self._slots: dict[int, int] = {}
         self._irregular: set[int] = set()
         self._tombstones = 0
-        # Zone maps: exact per-column ColumnStats, computed lazily (C
-        # passes over the live columns) and memoized against the spine
-        # mutation epoch — the write path only bumps the epoch.
         self._col_epoch = 0
-        self._stats_epoch = -1
-        self._col_stats: dict[str, ColumnStats] = {}
+        # Column kernels: the zone maps (sticky per-column ColumnStats
+        # envelopes) and the typed buffers (machine-scalar mirrors of
+        # homogeneous numeric columns, ``repro.colkernels``).  Both are
+        # maintained *incrementally*: ``_kernel_upto`` counts the
+        # leading spine slots already folded in; chunk admission folds
+        # its tail eagerly, single inserts defer to the next columnar
+        # read (``_sync_kernels``), and in-place cell writes below the
+        # watermark are folded at write time.  ``_demoted`` columns
+        # stay plain lists until compaction rebuilds the kernel state.
+        self._col_stats: dict[str, ColumnStats] = {
+            name: ColumnStats() for name in self._cols
+        }
+        self._typed: dict[str, TypedColumn] = {}
+        self._demoted: set[str] = set()
+        self._kernel_upto = 0
+        self._kernel_promotions = 0
+        self._kernel_demotions = 0
         # Streaming DQ telemetry: maintained under the entity lock next
         # to the field indexes, default-on.  ``None`` while disabled (or
         # pending a rebuild after re-enabling).  Writes only enqueue
@@ -626,6 +699,7 @@ class EntityStore:
             self._col_list = list(self._cols.values())
             self._col_pairs = list(self._cols.items())
             self._layout_keys = frozenset(layout)
+            self._col_stats = {name: ColumnStats() for name in layout}
         if tuple(data) == self._layout:
             self._slots[stored.record_id] = len(self._col_ids)
             self._col_ids.append(stored.record_id)
@@ -672,6 +746,11 @@ class EntityStore:
             self._slots.update(zip(rids, range(base, base + len(rids))))
             for name, column in self._col_pairs:
                 column.extend(map(itemgetter(name), datas))
+            # Chunk admissions fold into the kernels eagerly: the chunk
+            # is in hand and homogeneous, so the zone-map/buffer update
+            # is one vectorizable pass — and sweeps right after a bulk
+            # load (the cold-sweep case) find the kernels already warm.
+            self._sync_kernels()
         else:
             for stored in stored_list:
                 self._col_add(stored)
@@ -686,9 +765,30 @@ class EntityStore:
             return  # irregular records stay dict-served
         if len(stored.data) == len(self._layout):
             cols = self._cols
+            stats = self._col_stats
             self._col_epoch += 1
+            synced = slot < self._kernel_upto
             for name, value in delta.items():
-                cols[name][slot] = value
+                column = cols[name]
+                if synced:
+                    # the cell is inside the kernels: widen the sticky
+                    # envelope with the new value and patch the buffer
+                    # (or demote it if the value changed type)
+                    stats[name].observe(value)
+                    typed = self._typed.get(name)
+                    if typed is not None and not set_typed(
+                        typed, slot, value
+                    ):
+                        del self._typed[name]
+                        self._demoted.add(name)
+                        self._kernel_demotions += 1
+                else:
+                    # the old cell would be lost before the next sync —
+                    # fold it into the envelope now, exactly as if the
+                    # sync had run before this write (idempotent, so
+                    # eager and lazy admission styles stay identical)
+                    stats[name].observe(column[slot])
+                column[slot] = value
             return
         del self._slots[record_id]
         self._irregular.add(record_id)
@@ -705,6 +805,12 @@ class EntityStore:
     def _col_tombstone(self, slot: int) -> None:
         self._col_epoch += 1
         self._col_ids[slot] = None
+        if slot >= self._kernel_upto:
+            # the dying cells never reached the kernels — fold them into
+            # the envelopes first (as the sync would have), so eager and
+            # lazy admission styles keep bit-identical zone maps
+            for name, column in self._col_pairs:
+                self._col_stats[name].observe(column[slot])
         for column in self._col_list:
             column[slot] = None
         self._tombstones += 1
@@ -723,25 +829,81 @@ class EntityStore:
         self._col_pairs = list(self._cols.items())
         self._slots = {rid: slot for slot, rid in enumerate(self._col_ids)}
         self._tombstones = 0
+        # Compaction is the one event that sheds dead weight from the
+        # kernels: reset them so the next sync rebuilds zone maps and
+        # buffers from exactly the surviving cells (this is also what
+        # clears a sticky demotion once the offending cells are gone).
+        self._col_stats = {name: ColumnStats() for name in self._cols}
+        self._typed = {}
+        self._demoted = set()
+        self._kernel_upto = 0
 
-    def _refresh_stats(self) -> None:
-        """Recompute the zone maps iff the spine mutated since the last
-        sweep (entity lock held).  Tombstones are compacted first so the
-        stats describe exactly the live cells."""
-        if self._stats_epoch == self._col_epoch:
+    def _sync_kernels(self) -> None:
+        """Fold the unsynced spine tail into the zone maps and typed
+        buffers (entity lock held).
+
+        ``_kernel_upto`` counts the leading slots already folded in;
+        everything past it is absorbed here in one pass per column —
+        census, chunked zone-map fold, buffer extend (or first
+        promotion, or demotion when the tail breaks the column's type).
+        Tombstoned tail slots are skipped for the envelope (their cells
+        are dead ``None``s) and padded with fillers in the buffers so
+        buffer index == spine slot always holds.
+        """
+        ids = self._col_ids
+        upto = self._kernel_upto
+        total = len(ids)
+        if upto == total:
             return
+        live = None
         if self._tombstones:
-            self._compact_columns()
-        of_column = ColumnStats.of_column
-        self._col_stats = {
-            name: of_column(column) for name, column in self._cols.items()
-        }
-        self._stats_epoch = self._col_epoch
+            live = [
+                slot for slot in range(upto, total)
+                if ids[slot] is not None
+            ]
+            if len(live) == total - upto:
+                live = None
+        typed_map = self._typed
+        demoted = self._demoted
+        for name, column in self._col_pairs:
+            if live is None:
+                tail = column[upto:]
+            else:
+                tail = [column[slot] for slot in live]
+            census = set(map(type, tail))
+            stats = self._col_stats[name]
+            if tail:
+                stats.observe_chunk(tail, census)
+            typed = typed_map.get(name)
+            if typed is not None:
+                if not tail:
+                    typed.pad(total - upto)
+                else:
+                    if live is not None:
+                        filler = typed.filler
+                        tail = [
+                            column[slot] if ids[slot] is not None
+                            else filler
+                            for slot in range(upto, total)
+                        ]
+                    if not extend_typed(typed, census, tail):
+                        del typed_map[name]
+                        demoted.add(name)
+                        self._kernel_demotions += 1
+            elif tail and name not in demoted:
+                promoted = promote_column(column, ids)
+                if promoted is not None:
+                    typed_map[name] = promoted
+                    self._kernel_promotions += 1
+                else:
+                    demoted.add(name)
+        self._kernel_upto = total
 
     def columnar_stats(self) -> dict:
         """Introspection for tests and the columnar bench."""
         with self._lock:
-            self._refresh_stats()
+            self._sync_kernels()
+            typed = self._typed
             return {
                 "layout": list(self._layout) if self._layout else None,
                 "slots": len(self._slots),
@@ -751,6 +913,17 @@ class EntityStore:
                 "zone_maps": {
                     name: stats.as_dict()
                     for name, stats in self._col_stats.items()
+                },
+                "kernels": {
+                    "mode": colkernels.kernel_mode(),
+                    "columns": {
+                        name: (
+                            typed[name].mode if name in typed else "list"
+                        )
+                        for name in self._cols
+                    },
+                    "promotions": self._kernel_promotions,
+                    "demotions": self._kernel_demotions,
                 },
             }
 
@@ -777,11 +950,26 @@ class EntityStore:
                 and not self._irregular
                 and set(plan.bound_fields) <= set(self._cols)
             ):
-                self._refresh_stats()
-                columns = [self._cols[name] for name in plan.bound_fields]
-                stats = [self._col_stats[name] for name in plan.bound_fields]
-                results = check_columns(columns, len(self._col_ids), stats)
-                return dict(zip(self._col_ids, results))
+                self._sync_kernels()
+                bound = plan.bound_fields
+                columns = [self._cols[name] for name in bound]
+                stats = [self._col_stats[name] for name in bound]
+                typed = self._typed
+                buffers = [typed.get(name) for name in bound]
+                results = check_columns(
+                    columns, len(self._col_ids), stats, buffers
+                )
+                ids = self._col_ids
+                if self._tombstones:
+                    # dead slots ride along in the column pass (their
+                    # cells are ``None``) and are dropped here — only
+                    # live records answer the sweep
+                    return {
+                        rid: findings
+                        for rid, findings in zip(ids, results)
+                        if rid is not None
+                    }
+                return dict(zip(ids, results))
             rows = [stored.data for stored in self._records.values()]
             ids = list(self._records.keys())
             return dict(zip(ids, plan.check_batch(rows, False)))
@@ -928,18 +1116,85 @@ class EntityStore:
 
         The write path only captures references — the published dicts
         are copy-on-write, so they are frozen the moment they are
-        captured.  Layout detection and the columnar transpose happen at
-        **absorb** time (:meth:`EntityAccumulator.absorb`), on the read
-        side of the queue, keeping telemetry-on writes at parity with
-        telemetry-off ones.
+        captured.  A chunk that landed contiguously in the columnar
+        spine (the batched form path always does) is captured as a
+        ``cols`` op — per-column slices of the spine arrays, value
+        references only — so absorb never pays the row→column
+        transpose; ragged or scattered chunks keep the ``rows`` op and
+        absorb-side detection (:meth:`EntityAccumulator.absorb`).
         """
         with self._lock:
             if self._telemetry is None:
                 return
+            layout = self._layout
+            if layout is not None and len(stored_list) >= 8:
+                slots = self._slots
+                base = slots.get(stored_list[0].record_id)
+                if base is not None:
+                    expected = base
+                    for stored in stored_list:
+                        if slots.get(stored.record_id) != expected:
+                            expected = None
+                            break
+                        expected += 1
+                    if expected is not None:
+                        count = len(stored_list)
+                        # Promoted columns hand over *typed* slices —
+                        # ``array('q'/'d')`` copies straight off the
+                        # kernel buffer, so the absorb-side numeric
+                        # census reads machine scalars via the buffer
+                        # protocol instead of re-boxing a list.  Exact:
+                        # the contiguity walk above proved every slot in
+                        # [base, base+count) belongs to a live record
+                        # (deleted ids leave ``_slots``), and the synced
+                        # watermark proves the buffer mirrors the cells.
+                        typed = self._typed
+                        stats = self._col_stats
+                        upto = self._kernel_upto
+                        end = base + count
+                        synced = upto >= end
+                        self._telemetry_pending.append((
+                            "cols",
+                            layout,
+                            [
+                                buffer.buf[base:end]
+                                if synced
+                                and (buffer := typed.get(name)) is not None
+                                else column[base:end]
+                                for name, column in zip(
+                                    layout, self._col_list
+                                )
+                            ],
+                            [
+                                (stored.record_id, stored.metadata)
+                                for stored in stored_list
+                            ],
+                            # Census hints: the zone map's admitted-type
+                            # census covers a superset of these cells
+                            # (every value ever written, None included),
+                            # so ``kinds == {str}`` proves the slice
+                            # all-``str`` and absorb skips its type walk.
+                            tuple(
+                                "str"
+                                if synced and stats[name].kinds == {str}
+                                else None
+                                for name in layout
+                            ) if synced else None,
+                        ))
+                        return
             self._telemetry_pending.append(("rows", [
                 (stored.record_id, stored.data, stored.metadata)
                 for stored in stored_list
             ]))
+
+    def pending_telemetry_ops(self) -> list[tuple]:
+        """Snapshot-and-clear the deferred telemetry queue — bench and
+        test introspection for the op shapes the write path captured
+        (the accumulator normally drains this via :attr:`telemetry`)."""
+        with self._lock:
+            ops = self._telemetry_pending
+            self._telemetry_pending = []
+            return ops
 
     def update(self, record_id: int, data: dict) -> StoredRecord:
         """Merge ``data`` into a record — by *publishing a fresh dict*.
@@ -1197,7 +1452,32 @@ class EntityStore:
         records = self._records
         column = self._cols.get(field_name)
         if column is not None and not self._irregular:
+            self._sync_kernels()
             ids = self._col_ids
+            stat = self._col_stats.get(field_name)
+            if (
+                stat is not None
+                and type(value) in _NUMERIC_PROBE_KINDS
+                and stat.kinds <= _NUMERIC_ZONE_KINDS
+                and not (
+                    stat.zmin is not None
+                    and stat.zmin <= value <= stat.zmax
+                )
+            ):
+                # Zone-map prune: every value ever admitted was numeric
+                # and the probe falls outside the envelope (or is NaN),
+                # so no live cell can ``==`` it — answer without
+                # touching a single cell.
+                return []
+            typed = self._typed.get(field_name)
+            if typed is not None:
+                slots = equal_slots(typed, value)
+                if slots is not None:
+                    return [
+                        records[rid].snapshot(deep)
+                        for slot in slots
+                        if (rid := ids[slot]) is not None
+                    ]
             matched: list[int] = []
             search = column.index
             position = 0

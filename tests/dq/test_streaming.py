@@ -15,6 +15,7 @@ from repro.dq.metadata import Clock
 from repro.dq.profiling import DataProfiler, FieldProfile
 from repro.dq.scorecard import Scorecard
 from repro.dq.streaming import (
+    DEFAULT_SPILL_THRESHOLD,
     EntityAccumulator,
     FieldAccumulator,
     KMVSketch,
@@ -402,7 +403,7 @@ class TestScorecardLive:
     def test_precision_falls_back_after_spill(self, app):
         store = app.store.entity(ENTITY)
         # push a bounded field past exact distinct tracking
-        for value in range(1100):
+        for value in range(DEFAULT_SPILL_THRESHOLD + 100):
             store.insert({"overall_evaluation": value})
         live, rescan = self.make_cards(app)
         accumulator = store.telemetry

@@ -19,6 +19,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro import colkernels
 from repro.casestudy import easychair
 from repro.cluster import easychair_spec, run_chaos, run_topology_chaos
 from repro.dq.streaming import (
@@ -202,10 +203,210 @@ def test_revalidate_matches_check_batch(seed):
     assert store.revalidate(plan) == oracle
 
 
+# -- typed kernel equivalence ----------------------------------------------
+#
+# The typed buffers (``repro.colkernels``) are a cache, never an
+# authority: promotion must be invisible, demotion must be triggered by
+# exactly the writes that break a column's type, and every kernel lane
+# (numpy or the stdlib fallback) must answer bit-equal to the list/dict
+# oracle.  ``forced_mode`` pins each lane explicitly so the suite holds
+# even on a box where numpy is absent.
+
+irregular_values = st.one_of(
+    st.floats(allow_nan=True, allow_infinity=False),
+    st.none(),
+    st.text(max_size=4),
+    st.integers(-1_000, 1_000),
+)
+
+
+def _kernel_lanes():
+    lanes = [False]
+    if colkernels.numpy_active():
+        lanes.append(True)
+    return lanes
+
+
+@given(
+    base=st.lists(st.integers(-1_000, 1_000), min_size=4, max_size=20),
+    stages=st.lists(irregular_values, min_size=1, max_size=6),
+)
+@settings(max_examples=60, deadline=None)
+def test_promotion_demotion_roundtrip(base, stages):
+    """int→float→None→str overwrites: each type-breaking write demotes
+    its buffer, and scan answers stay oracle-equal at every stage."""
+    store = EntityStore("Entity", fields=LAYOUT)
+    stored = store.insert_many([
+        {"alpha": value, "beta": value, "gamma": float(value)}
+        for value in base
+    ])
+    kernels = store.columnar_stats()["kernels"]
+    assert kernels["columns"]["alpha"] != "list"  # all-int → 'q'
+    assert kernels["columns"]["gamma"] != "list"  # all-float → 'd'
+
+    oracle = {record.record_id: dict(record.data) for record in stored}
+    for index, value in enumerate(stages):
+        record_id = stored[index % len(stored)].record_id
+        store.update(record_id, {"alpha": value})
+        oracle[record_id] = {**oracle[record_id], "alpha": value}
+        for probe in (value, base[0], None, 10**7):
+            if isinstance(probe, float) and probe != probe:
+                continue  # NaN matches nothing on either path
+            expected = sorted(
+                rid for rid, data in oracle.items()
+                if data.get("alpha") == probe
+            )
+            found = sorted(
+                record.record_id
+                for record in store.find_by("alpha", probe)
+            )
+            assert found == expected
+
+    kernels = store.columnar_stats()["kernels"]
+    if any(type(value) is not int for value in stages):
+        assert kernels["columns"]["alpha"] == "list"
+        assert kernels["demotions"] >= 1
+    else:
+        assert kernels["columns"]["alpha"] != "list"
+    # the untouched columns never demote
+    assert kernels["columns"]["beta"] != "list"
+    assert kernels["columns"]["gamma"] != "list"
+
+
+@given(ops=op_sequences())
+@settings(max_examples=40, deadline=None)
+def test_kernel_modes_agree_on_scans(ops):
+    """numpy lanes ≡ the stdlib fallback ≡ the dict oracle: the same
+    operation sequence yields identical zone maps, promotion/demotion
+    tallies and scan answers under either kernel mode."""
+    observed = []
+    for use_numpy in _kernel_lanes():
+        with colkernels.forced_mode(use_numpy):
+            store = EntityStore("Entity", fields=LAYOUT)
+            oracle: dict = {}
+            apply_to_both(store, oracle, ops)
+            stats = store.columnar_stats()
+            scans = {}
+            for field_name in LAYOUT:
+                seen = sorted(
+                    {data.get(field_name) for data in oracle.values()},
+                    key=repr,
+                )
+                for probe in seen[:3] + ["zz-miss", 10**9]:
+                    found = sorted(
+                        record.record_id
+                        for record in store.find_by(field_name, probe)
+                    )
+                    assert found == sorted(
+                        rid for rid, data in oracle.items()
+                        if data.get(field_name) == probe
+                    )
+                    scans[(field_name, repr(probe))] = found
+            observed.append({
+                "zone_maps": stats["zone_maps"],
+                "slots": stats["slots"],
+                "tombstones": stats["tombstones"],
+                "irregular": stats["irregular"],
+                "promotions": stats["kernels"]["promotions"],
+                "demotions": stats["kernels"]["demotions"],
+                "scans": scans,
+            })
+    assert all(entry == observed[0] for entry in observed[1:])
+
+
+@given(seed=st.integers(0, 100_000))
+@settings(max_examples=15, deadline=None)
+def test_kernel_modes_agree_on_sweep_and_telemetry(seed):
+    """Check bodies and telemetry absorption answer identically under
+    both kernel modes, and identically to the row oracles."""
+    rng = random.Random(seed)
+    spec = easychair_spec()
+    form = easychair.build_app().form(spec.form)
+    plan = form.compiled_plan()
+    rows = [
+        form.bind(
+            spec.defective_payload(rng)
+            if rng.random() < 0.3
+            else spec.clean_payload(rng)
+        )
+        for _ in range(rng.randint(8, 40))
+    ]
+    store = EntityStore(spec.entity)
+    stored_list = store.insert_many(rows)
+    store.observe_inserted(stored_list)
+    ops = store.pending_telemetry_ops()
+    row_triples = [
+        (stored.record_id, stored.data, stored.metadata)
+        for stored in stored_list
+    ]
+
+    live = store.all()
+    sweep_oracle = dict(zip(
+        [stored.record_id for stored in live],
+        plan.check_batch([stored.data for stored in live], False),
+    ))
+    walked = EntityAccumulator(spec.entity)
+    walked.observe_rows(row_triples)
+    telemetry_oracle = walked.stats()
+
+    for use_numpy in _kernel_lanes():
+        with colkernels.forced_mode(use_numpy):
+            assert store.revalidate(plan) == sweep_oracle
+            absorbed = EntityAccumulator(spec.entity)
+            absorbed.absorb(ops)
+            assert absorbed.stats() == telemetry_oracle
+
+
+@given(
+    values=st.lists(
+        st.floats(allow_nan=True, allow_infinity=True), max_size=30
+    ),
+    threshold=st.integers(4, 10),
+)
+@settings(max_examples=60, deadline=None)
+def test_add_column_nan_parity(values, threshold):
+    """Typed float buffers with NaN/inf cells absorb identically to the
+    per-value walk (state compared by repr: NaN breaks ``==``)."""
+    from array import array
+
+    columnar = FieldAccumulator("field", spill_threshold=threshold)
+    columnar.add_column(array("d", values))
+    rowwise = FieldAccumulator("field", spill_threshold=threshold)
+    for value in values:
+        rowwise.add(value)
+    assert repr(field_state(columnar)) == repr(field_state(rowwise))
+
+
+@given(payload=regular_payloads(), level=st.integers(0, 3))
+@settings(max_examples=40, deadline=None)
+def test_snapshot_fast_clone_is_isolated(payload, level):
+    """The ``object.__new__`` snapshot clone equals the dataclass path
+    and never aliases the live record's containers."""
+    store = EntityStore("Entity", fields=LAYOUT)
+    stored = store.insert(dict(payload))
+    stored.metadata.restrict(
+        security_level=level, available_to=("ada", "bob")
+    )
+    snapshot = stored.snapshot()
+    assert snapshot.data == stored.data
+    assert snapshot.metadata.as_dict() == stored.metadata.as_dict()
+
+    snapshot.data["alpha"] = object()
+    snapshot.metadata.available_to.add("eve")
+    snapshot.metadata.extra["note"] = "tampered"
+    assert stored.data == dict(payload)
+    assert "eve" not in stored.metadata.available_to
+    assert "note" not in stored.metadata.extra
+
+
 def field_state(accumulator: FieldAccumulator) -> dict:
-    """Every observable slot, with the KMV sketch order-normalized."""
+    """Every observable slot, with the KMV sketch order-normalized and
+    the post-spill hash/mask cache dropped (a pure cache: which entries
+    it holds depends on the path taken, never the resulting state)."""
     state = {}
     for slot in FieldAccumulator.__slots__:
+        if slot == "_hash_memo":
+            continue
         value = getattr(accumulator, slot)
         if isinstance(value, KMVSketch):
             value = (value.k, sorted(value._members))
