@@ -190,6 +190,14 @@ def build_parser() -> argparse.ArgumentParser:
              "on a missed floor",
     )
     cluster_bench.add_argument(
+        "--interchange", action="store_true",
+        help="run the typed-buffer interchange bench (raw-buffer column "
+             "codec vs tagged JSON, batched replication catch-up vs the "
+             "per-op framed apply, the encoded scorecard reduce, and "
+             "the same-seed storm byte-identity oracle with the gate "
+             "on and off); exit 1 on a missed floor",
+    )
+    cluster_bench.add_argument(
         "--backend", default="file", choices=["file", "sqlite"],
         help="with --durability: the durable backend to measure "
              "(default: file — the append-only WAL plus snapshots)",
@@ -201,11 +209,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cluster_bench.add_argument(
         "--json", metavar="PATH", default=None,
-        help="with --hotpath, --validate, --dqtelemetry, --durability "
-             "or --columnar: also write the machine-readable report "
-             "(e.g. BENCH_hotpath.json / BENCH_validate.json / "
-             "BENCH_dqtelemetry.json / BENCH_durability.json / "
-             "BENCH_columnar.json)",
+        help="with --hotpath, --validate, --dqtelemetry, --durability, "
+             "--columnar or --interchange: also write the "
+             "machine-readable report (e.g. BENCH_hotpath.json / "
+             "BENCH_validate.json / BENCH_dqtelemetry.json / "
+             "BENCH_durability.json / BENCH_columnar.json / "
+             "BENCH_interchange.json)",
     )
 
     chaos = commands.add_parser(
@@ -430,11 +439,20 @@ def _command_cluster_bench(args, out) -> int:
         run_dqtelemetry_bench,
         run_durability_bench,
         run_hotpath_bench,
+        run_interchange_bench,
         run_replication_bench,
         run_smoke,
         run_validation_bench,
     )
 
+    if args.interchange:
+        interchange = run_interchange_bench(
+            seed=args.seed, json_path=args.json,
+        )
+        print(interchange.render(), file=out)
+        if args.json:
+            print(f"wrote {args.json}", file=out)
+        return 0 if interchange.passed else 1
     if args.columnar:
         columnar = run_columnar_bench(
             seed=args.seed, json_path=args.json,
@@ -488,6 +506,14 @@ def _command_cluster_bench(args, out) -> int:
     if args.smoke:
         smoke = run_smoke(shard_count=args.shards, seed=args.seed)
         print(smoke.render(), file=out)
+        # one grep-able verdict line: CI logs tail this
+        if smoke.failures:
+            print(
+                f"smoke: FAIL — first violated floor: {smoke.failures[0]}",
+                file=out,
+            )
+        else:
+            print("smoke: PASS — every floor met", file=out)
         return 0 if smoke.passed else 1
 
     result = run_comparison(

@@ -27,6 +27,7 @@ from .bench import (
     ComparisonRow,
     DQTelemetryBenchResult,
     DurabilityBenchResult,
+    InterchangeBenchResult,
     HotpathResult,
     HotpathRow,
     ReplicationBenchResult,
@@ -37,6 +38,7 @@ from .bench import (
     run_dqtelemetry_bench,
     run_durability_bench,
     run_hotpath_bench,
+    run_interchange_bench,
     run_replication_bench,
     run_smoke,
     run_validation_bench,
@@ -108,6 +110,7 @@ __all__ = [
     "DROP",
     "DUPLICATE",
     "DurabilityBenchResult",
+    "InterchangeBenchResult",
     "FAILOVER",
     "FaultInjector",
     "FaultPlan",
@@ -156,6 +159,7 @@ __all__ = [
     "run_dqtelemetry_bench",
     "run_durability_bench",
     "run_hotpath_bench",
+    "run_interchange_bench",
     "run_replication_bench",
     "run_smoke",
     "run_topology_chaos",

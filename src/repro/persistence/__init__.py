@@ -18,6 +18,7 @@ from .backend import (
 from .recovery import (
     RecoveryReport,
     apply_op,
+    apply_ops,
     capture_state,
     op_tick,
     recover_app,
@@ -45,6 +46,7 @@ __all__ = [
     "WALError",
     "WriteAheadLog",
     "apply_op",
+    "apply_ops",
     "capture_state",
     "decode_payload",
     "decode_records",

@@ -1,0 +1,184 @@
+"""Interchange round-trips of streaming-accumulator state.
+
+The contract: an encoded accumulator snapshot decodes to *observably*
+identical state (``accumulator_fingerprint`` equality — totals,
+moments, count tables, string stores, KMV sketch membership, field
+discovery order), and merging decoded snapshots commutes and
+associates exactly like in-process merges — including across a KMV
+spill handover, where one side has degraded to the sketch and the
+other has not.
+
+Numeric fields here use integers: int sums are exact, so associativity
+holds bit-for-bit.  (Float merge order is pinned separately by the
+cluster scorecard equivalence drills, to ``scores_close`` tolerance.)
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dq.streaming import EntityAccumulator, merge_accumulators
+from repro.interchange import (
+    accumulator_fingerprint,
+    decode_accumulator,
+    encode_accumulator,
+)
+
+ENTITY = "reviews"
+
+
+class Meta:
+    """A minimal metadata sidecar for direct accumulator tests."""
+
+    def __init__(self, stored_by="u", stored_date=0, security_level=0,
+                 last_modified_date=None):
+        self.stored_by = stored_by
+        self.stored_date = stored_date
+        self.security_level = security_level
+        self.last_modified_date = last_modified_date
+
+
+def _fill(accumulator, rows, base_id=0):
+    for offset, data in enumerate(rows):
+        accumulator.observe_row(
+            base_id + offset, data,
+            Meta(stored_date=offset, last_modified_date=offset,
+                 security_level=offset % 3),
+        )
+
+
+_cells = st.one_of(
+    st.none(),
+    st.integers(min_value=-(2 ** 40), max_value=2 ** 40),
+    st.sampled_from(["", "x", "a@b.org", "2026-01-02", "long text"]),
+    st.booleans(),
+)
+_rows = st.lists(
+    st.fixed_dictionaries(
+        {}, optional={"name": _cells, "score": _cells, "email": _cells}
+    ),
+    max_size=30,
+)
+
+
+# -- round-trip -------------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(_rows)
+def test_snapshot_round_trips_to_identical_fingerprint(rows):
+    accumulator = EntityAccumulator(ENTITY)
+    _fill(accumulator, rows)
+    decoded = decode_accumulator(encode_accumulator(accumulator))
+    assert accumulator_fingerprint(decoded) == (
+        accumulator_fingerprint(accumulator)
+    )
+
+
+def test_empty_accumulator_round_trips():
+    accumulator = EntityAccumulator(ENTITY)
+    decoded = decode_accumulator(encode_accumulator(accumulator))
+    assert accumulator_fingerprint(decoded) == (
+        accumulator_fingerprint(accumulator)
+    )
+
+
+def test_float_moments_round_trip_bit_identically():
+    accumulator = EntityAccumulator(ENTITY)
+    _fill(accumulator, [{"score": 0.1 * i} for i in range(25)])
+    decoded = decode_accumulator(encode_accumulator(accumulator))
+    assert accumulator_fingerprint(decoded) == (
+        accumulator_fingerprint(accumulator)
+    )
+
+
+def test_spilled_sketch_round_trips():
+    accumulator = EntityAccumulator(ENTITY, spill_threshold=16)
+    _fill(accumulator, [{"name": f"distinct-{i}"} for i in range(60)])
+    assert accumulator._fields["name"].spilled
+    decoded = decode_accumulator(encode_accumulator(accumulator))
+    assert decoded._fields["name"].spilled
+    assert accumulator_fingerprint(decoded) == (
+        accumulator_fingerprint(accumulator)
+    )
+
+
+# -- merge laws over encoded snapshots --------------------------------------
+
+
+def _three_shards(spill_threshold=4096):
+    shards = []
+    for shard in range(3):
+        accumulator = EntityAccumulator(
+            ENTITY, spill_threshold=spill_threshold
+        )
+        _fill(
+            accumulator,
+            [
+                {"name": f"s{shard}-r{i}", "score": shard * 100 + i,
+                 "email": None if i % 4 == 0 else f"u{i}@ex.org"}
+                for i in range(20 + shard * 7)
+            ],
+            base_id=shard * 1000,
+        )
+        shards.append(accumulator)
+    return shards
+
+
+def _ship(accumulator):
+    """A shard snapshot as the consumer sees it: decoded off the wire."""
+    return decode_accumulator(encode_accumulator(accumulator))
+
+
+def test_merge_of_decoded_snapshots_matches_in_process_merge():
+    shards = _three_shards()
+    in_process = merge_accumulators(shards)
+    over_wire = merge_accumulators(_ship(shard) for shard in shards)
+    assert accumulator_fingerprint(over_wire) == (
+        accumulator_fingerprint(in_process)
+    )
+
+
+def test_merge_commutes():
+    left, right, _ = _three_shards()
+    ab = merge_accumulators([_ship(left), _ship(right)])
+    ba = merge_accumulators([_ship(right), _ship(left)])
+    assert accumulator_fingerprint(ab) == accumulator_fingerprint(ba)
+
+
+def test_merge_associates():
+    a, b, c = (_ship(shard) for shard in _three_shards())
+    left_first = merge_accumulators([merge_accumulators([a, b]), c])
+    right_first = merge_accumulators([a, merge_accumulators([b, c])])
+    assert accumulator_fingerprint(left_first) == (
+        accumulator_fingerprint(right_first)
+    )
+
+
+def test_merge_with_spill_handover():
+    # one side spilled to the KMV sketch, the other still exact: the
+    # merge must land in the same state whether the spilled side was
+    # shipped over the wire or merged in process
+    spilled = EntityAccumulator(ENTITY, spill_threshold=16)
+    _fill(spilled, [{"name": f"many-{i}"} for i in range(50)])
+    exact = EntityAccumulator(ENTITY, spill_threshold=16)
+    _fill(exact, [{"name": f"few-{i}"} for i in range(5)], base_id=500)
+    assert spilled._fields["name"].spilled
+    assert not exact._fields["name"].spilled
+
+    in_process = merge_accumulators([exact, spilled])
+    over_wire = merge_accumulators([_ship(exact), _ship(spilled)])
+    assert in_process._fields["name"].spilled
+    assert accumulator_fingerprint(over_wire) == (
+        accumulator_fingerprint(in_process)
+    )
+    # and the merged result itself still round-trips
+    assert accumulator_fingerprint(_ship(over_wire)) == (
+        accumulator_fingerprint(over_wire)
+    )
+
+
+def test_merge_none_stays_none():
+    shard = _three_shards()[0]
+    assert merge_accumulators([shard, None]) is None
+    assert merge_accumulators([None]) is None

@@ -1,0 +1,349 @@
+"""Property tests for the typed-buffer interchange codec.
+
+The codec's contract is bit-identical round-trips over everything a
+WAL op or telemetry stream can carry — every op kind, NaN/±inf floats,
+int64 boundary values, empty columns, irregular (off-layout) rows —
+with a CRC failure *raised*, never skipped, and the coalescer's
+synthetic ``rows`` op replay-equivalent to the inserts it folds.
+"""
+
+import math
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import interchange
+from repro.interchange import (
+    COALESCE_MIN,
+    CorruptFrame,
+    coalesce_insert_runs,
+    decode_column,
+    decode_op_batch,
+    decode_value,
+    encode_column,
+    encode_op,
+    encode_op_batch,
+    encode_value,
+    frame,
+    unframe,
+)
+
+I64_MIN = -(2 ** 63)
+I64_MAX = 2 ** 63 - 1
+
+
+def _same(left, right) -> bool:
+    """Bit-aware structural equality: NaN equals NaN, exact types for
+    scalars so an int never passes as a float.  Dict key *order* is not
+    required — the tagged-JSON lane canonicalizes it (sorted keys, like
+    the WAL codec); the one lane where order is observable (PROWS row
+    layouts) pins it in its own test."""
+    if type(left) is not type(right):
+        return False
+    if type(left) is float:
+        if math.isnan(left) or math.isnan(right):
+            return math.isnan(left) and math.isnan(right)
+        return left == right
+    if type(left) is dict:
+        return (
+            left.keys() == right.keys()
+            and all(_same(left[k], right[k]) for k in left)
+        )
+    if type(left) in (list, tuple):
+        return len(left) == len(right) and all(
+            _same(a, b) for a, b in zip(left, right)
+        )
+    return left == right
+
+
+# -- value-space strategies -------------------------------------------------
+
+_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=I64_MIN - 10, max_value=I64_MAX + 10),
+    st.floats(allow_nan=True, allow_infinity=True),
+    st.text(max_size=16),
+)
+
+_values = st.recursive(
+    _scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=5),
+        st.dictionaries(st.text(max_size=6), children, max_size=4),
+    ),
+    max_leaves=16,
+)
+
+
+# -- framing ---------------------------------------------------------------
+
+
+def test_frame_round_trip_is_zero_copy():
+    payload = b"\x42" * 1024
+    view = unframe(frame(payload))
+    assert isinstance(view, memoryview)
+    assert bytes(view) == payload
+
+
+def test_corrupt_crc_raises():
+    blob = bytearray(frame(b"typed buffers"))
+    blob[-1] ^= 0xFF
+    with pytest.raises(CorruptFrame):
+        unframe(bytes(blob))
+
+
+def test_truncated_frame_raises():
+    blob = frame(b"typed buffers")
+    with pytest.raises(CorruptFrame):
+        unframe(blob[: len(blob) - 3])
+    with pytest.raises(CorruptFrame):
+        unframe(blob[:5])
+
+
+def test_flipped_length_header_raises():
+    blob = bytearray(frame(b"payload"))
+    struct.pack_into("<I", blob, 0, 2 ** 30)
+    with pytest.raises(CorruptFrame):
+        unframe(bytes(blob))
+
+
+# -- value round-trips ------------------------------------------------------
+
+
+@settings(max_examples=200, deadline=None)
+@given(_values)
+def test_value_round_trip(value):
+    assert _same(decode_value(encode_value(value)), value)
+
+
+@given(st.lists(st.integers(min_value=I64_MIN, max_value=I64_MAX),
+                min_size=1, max_size=64))
+def test_int64_list_takes_typed_lane_and_round_trips(values):
+    payload = encode_value(values)
+    assert decode_value(payload) == values
+
+
+def test_int64_boundaries_round_trip():
+    for value in (I64_MIN, I64_MAX, I64_MIN - 1, I64_MAX + 1, 0):
+        assert decode_value(encode_value([value])) == [value]
+
+
+def test_nan_and_infinities_round_trip():
+    specials = [float("nan"), float("inf"), float("-inf"), 0.0, -1e308]
+    decoded = decode_value(encode_value(specials))
+    assert _same(decoded, specials)
+    # exact bit pattern, not just isnan
+    assert struct.pack("<5d", *decoded) == struct.pack("<5d", *specials)
+
+
+def test_mixed_scalar_list_round_trips():
+    mixed = ["a", 1, None, True, 2.5, ""]
+    assert _same(decode_value(encode_value(mixed)), mixed)
+
+
+def test_empty_containers_round_trip():
+    for value in ([], {}, "", [[]], [{}]):
+        assert _same(decode_value(encode_value(value)), value)
+
+
+# -- column codec -----------------------------------------------------------
+
+
+def test_int_column_round_trips_exactly():
+    from array import array
+
+    column = array("q", [I64_MIN, -1, 0, 1, I64_MAX])
+    assert array("q", decode_column(encode_column(column))) == column
+
+
+def test_float_column_round_trips_bit_identically():
+    from array import array
+
+    column = array("d", [0.1, -0.0, float("inf"), 2.0 ** -1074, 1e308])
+    decoded = decode_column(encode_column(column))
+    assert array("d", decoded).tobytes() == column.tobytes()
+
+
+def test_empty_column_round_trips():
+    from array import array
+
+    for typecode in ("q", "d"):
+        column = array(typecode, [])
+        assert len(decode_column(encode_column(column))) == 0
+
+
+# -- op round-trips, every kind ---------------------------------------------
+
+_OPS = [
+    {"op": "insert", "entity": "e", "id": 1,
+     "data": {"a": 1, "b": "x"}, "pinned": False, "shareable": True},
+    {"op": "update", "entity": "e", "id": 1,
+     "data": {"a": 2.5}, "version": 3},
+    {"op": "meta", "entity": "e", "id": 1,
+     "meta": {"stored_by": "u", "stored_date": 4, "security_level": 1,
+              "available_to": ["a"], "last_modified_by": "u",
+              "last_modified_date": 4, "extra": {}}},
+    {"op": "adopt", "entity": "e", "id": 9, "data": {"a": None},
+     "meta": {"stored_by": "u", "stored_date": 1}, "version": 2},
+    {"op": "retire", "entity": "e", "id": 1},
+    {"op": "audit", "entity": "e", "tick": 7, "kind": "read",
+     "user": "u", "record_id": 1, "detail": "d"},
+    {"op": "audits", "entity": "e", "kind": "read", "user": "u",
+     "detail": "", "events": [[1, 2], [3, 4]]},
+    # by-form rows (compact batched write)
+    {"op": "rows", "entity": "e", "by": "u", "level": 0, "grants": [],
+     "fields": ["a", "b"],
+     "rows": [[1, [1, "x"], False, 5], [2, [2, "y"], True, 6]]},
+    # plain rows (insert replay form) — the PROWS columnar lane
+    {"op": "rows", "entity": "e", "by": None, "shareable": True,
+     "rows": [[1, {"a": 1, "b": "x"}, False],
+              [2, {"a": 2, "b": "y"}, True]]},
+]
+
+
+@pytest.mark.parametrize(
+    "op", _OPS, ids=[f"{o['op']}-{i}" for i, o in enumerate(_OPS)]
+)
+def test_every_op_kind_round_trips(op):
+    assert _same(decode_value(unframe(frame(encode_op(op)))), op)
+
+
+def test_plain_rows_off_layout_falls_back_and_round_trips():
+    # irregular rows: second dict carries different keys — the columnar
+    # lane must refuse and the JSON lane must still round-trip exactly
+    op = {"op": "rows", "entity": "e", "by": None,
+          "rows": [[1, {"a": 1}, False], [2, {"z": 2}, False]]}
+    assert interchange._encode_plain_rows_op(op) is None
+    assert _same(decode_value(encode_op(op)), op)
+
+
+def test_plain_rows_with_empty_data_falls_back():
+    op = {"op": "rows", "entity": "e", "by": None,
+          "rows": [[1, {}, False]]}
+    assert interchange._encode_plain_rows_op(op) is None
+    assert _same(decode_value(encode_op(op)), op)
+
+
+def test_plain_rows_preserves_key_order():
+    # layout order is observable: dict iteration order round-trips
+    op = {"op": "rows", "entity": "e", "by": None,
+          "rows": [[1, {"b": 1, "a": 2}, False],
+                   [2, {"b": 3, "a": 4}, False]]}
+    decoded = decode_value(encode_op(op))
+    assert [list(data) for _id, data, _p in decoded["rows"]] == (
+        [["b", "a"], ["b", "a"]]
+    )
+
+
+def test_plain_rows_layout_key_collision_falls_back():
+    # an op already carrying a "layout" key must take the JSON lane,
+    # or decode would pop a genuine key
+    op = {"op": "rows", "entity": "e", "by": None, "layout": "keep",
+          "rows": [[1, {"a": 1}, False]]}
+    assert interchange._encode_plain_rows_op(op) is None
+    assert _same(decode_value(encode_op(op)), op)
+
+
+_cell = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=I64_MIN, max_value=I64_MAX),
+    st.floats(allow_nan=True, allow_infinity=True),
+    st.text(max_size=8),
+)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(st.tuples(_cell, _cell), min_size=1, max_size=20),
+    st.booleans(),
+)
+def test_plain_rows_columnar_lane_round_trips(cells, pin):
+    op = {
+        "op": "rows", "entity": "e", "by": None,
+        "rows": [
+            [i, {"a": a, "b": b}, pin]
+            for i, (a, b) in enumerate(cells)
+        ],
+    }
+    assert interchange._encode_plain_rows_op(op) is not None
+    assert _same(decode_value(encode_op(op)), op)
+
+
+# -- op batches -------------------------------------------------------------
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(
+    st.dictionaries(st.text(max_size=6), _values, max_size=4),
+    max_size=6,
+))
+def test_op_batch_round_trips(ops):
+    pairs = [(seq + 1, {"op": "noop", **op}) for seq, op in enumerate(ops)]
+    decoded = decode_op_batch(encode_op_batch(pairs))
+    assert len(decoded) == len(pairs)
+    for (seq, op), (dseq, dop) in zip(pairs, decoded):
+        assert dseq == seq
+        assert _same(dop, op)
+
+
+# -- insert-run coalescing --------------------------------------------------
+
+
+def _insert(seq, entity="e", value=0, shareable=None, pinned=False):
+    op = {"op": "insert", "entity": entity, "id": seq,
+          "data": {"v": value}, "pinned": pinned}
+    if shareable is not None:
+        op["shareable"] = shareable
+    return seq, op
+
+
+def test_short_runs_are_left_alone():
+    pairs = [_insert(i) for i in range(COALESCE_MIN - 1)]
+    assert coalesce_insert_runs(pairs) == pairs
+
+
+def test_run_folds_under_last_seq_and_replays_identically():
+    pairs = [_insert(i, value=i) for i in range(COALESCE_MIN)]
+    ((seq, synthetic),) = coalesce_insert_runs(pairs)
+    assert seq == pairs[-1][0]
+    assert synthetic["op"] == "rows" and synthetic["by"] is None
+    assert synthetic["rows"] == [
+        [s, {"v": s}, False] for s, _ in pairs
+    ]
+    # stamps absent -> the coalescer re-derives: ints are scalars
+    assert synthetic["shareable"] is True
+
+
+def test_entity_change_breaks_the_run():
+    pairs = [_insert(i) for i in range(COALESCE_MIN)]
+    pairs.insert(5, _insert(99, entity="other"))
+    folded = coalesce_insert_runs(pairs)
+    # neither side of the break reaches the minimum on its own
+    assert folded == pairs
+
+
+def test_primary_stamp_is_trusted_over_rewalking():
+    # a False stamp must veto certification even for scalar payloads
+    pairs = [_insert(i, shareable=(i != 3)) for i in range(COALESCE_MIN)]
+    ((_seq, synthetic),) = coalesce_insert_runs(pairs)
+    assert synthetic["shareable"] is False
+
+
+def test_unstamped_mutable_value_fails_certification():
+    pairs = [_insert(i) for i in range(COALESCE_MIN)]
+    pairs[4][1]["data"]["v"] = [1, 2]  # a list is not a frozen scalar
+    ((_seq, synthetic),) = coalesce_insert_runs(pairs)
+    assert synthetic["shareable"] is False
+    # and the synthetic op still round-trips the mutable value exactly
+    assert _same(decode_value(encode_op(synthetic)), synthetic)
+
+
+def test_coalesced_op_round_trips_through_the_batch_codec():
+    pairs = [_insert(i, value=float(i) / 3) for i in range(COALESCE_MIN)]
+    folded = coalesce_insert_runs(pairs)
+    decoded = decode_op_batch(encode_op_batch(folded))
+    assert _same(decoded, folded)
